@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks for ldb's hot paths: PostScript scanning and
+//! execution, abstract-memory fetches, the nub protocol, breakpoint
+//! cycles, compilation, and LZW.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ldb_bench::{synth_program, FIB_C};
+use ldb_cc::driver::{compile, CompileOpts};
+use ldb_cc::{nm, pssym};
+use ldb_core::{AbstractMemory, Ldb};
+use ldb_machine::Arch;
+
+fn ps_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("postscript");
+    g.sample_size(30);
+    let big = {
+        let cc = compile("synth.c", &synth_program(200), Arch::Mips, CompileOpts::default())
+            .unwrap();
+        pssym::emit(&cc.unit, &cc.funcs, Arch::Mips, pssym::PsMode::Deferred)
+    };
+    g.throughput(Throughput::Bytes(big.len() as u64));
+    g.bench_function("scan_symbol_table", |b| {
+        b.iter(|| {
+            let mut sc = ldb_postscript::Scanner::from_str(big.as_str());
+            let mut n = 0u64;
+            while let Some(_t) = sc.next_token().unwrap() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.bench_function("exec_fib_20", |b| {
+        let mut i = ldb_postscript::Interp::new();
+        i.run_str("/fib {dup 2 lt {pop 1} {dup 1 sub fib exch 2 sub fib add} ifelse} def")
+            .unwrap();
+        b.iter(|| {
+            i.run_str("15 fib pop").unwrap();
+        })
+    });
+    g.bench_function("dict_literal", |b| {
+        let mut i = ldb_postscript::Interp::new();
+        b.iter(|| {
+            i.run_str("<< /name (i) /type 4 /sourcey 6 /kind (variable) >> pop").unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn abstract_memory(c: &mut Criterion) {
+    use ldb_core::amemory::{AliasMemory, AliasTarget, FakeMemory, JoinedMemory, RegisterMemory};
+    use std::rc::Rc;
+    let fake = Rc::new(FakeMemory::default());
+    fake.store('d', 92, 4, 1234).unwrap();
+    let alias = AliasMemory::new(fake.clone());
+    alias.alias('r', 30, AliasTarget::Mem('d', 92));
+    let alias = Rc::new(alias);
+    let reg = Rc::new(RegisterMemory::new(alias.clone() as _, &[('r', 4)]));
+    let joined = JoinedMemory::new().route('r', reg).fallback(fake);
+    let mut g = c.benchmark_group("amemory");
+    g.bench_function("register_fetch_through_dag", |b| {
+        b.iter(|| joined.fetch('r', 30, 1).unwrap())
+    });
+    g.finish();
+}
+
+fn nub_protocol(c: &mut Criterion) {
+    use ldb_nub::{Reply, Request};
+    let mut g = c.benchmark_group("nub");
+    g.bench_function("codec_roundtrip", |b| {
+        b.iter(|| {
+            let r = Request::Fetch { space: b'd', addr: 0x2000, size: 4 };
+            let d = Request::decode(&r.encode()).unwrap();
+            let rep = Reply::Fetched { value: 42 };
+            let _ = Reply::decode(&rep.encode()).unwrap();
+            d
+        })
+    });
+    // A live fetch round trip through channel wires and the nub thread.
+    let cc = compile("fib.c", FIB_C, Arch::Mips, CompileOpts::default()).unwrap();
+    let symtab = pssym::emit(&cc.unit, &cc.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let loader = nm::loader_table_for(&cc.linked.image, &symtab);
+    let mut ldb = Ldb::new();
+    ldb.spawn_program(&cc.linked.image, &loader).unwrap();
+    let client = ldb.target(0).client.clone();
+    g.bench_function("live_fetch_roundtrip", |b| {
+        b.iter(|| client.borrow_mut().fetch('d', cc.linked.context_addr, 4).unwrap())
+    });
+    g.finish();
+}
+
+fn breakpoints(c: &mut Criterion) {
+    let mut g = c.benchmark_group("debugger");
+    g.sample_size(20);
+    let cc = compile("fib.c", FIB_C, Arch::Mips, CompileOpts::default()).unwrap();
+    let symtab = pssym::emit(&cc.unit, &cc.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let loader = nm::loader_table_for(&cc.linked.image, &symtab);
+    g.bench_function("breakpoint_hit_print_continue", |b| {
+        b.iter(|| {
+            let mut ldb = Ldb::new();
+            ldb.spawn_program(&cc.linked.image, &loader).unwrap();
+            ldb.break_at("fib", 7).unwrap();
+            ldb.cont().unwrap();
+            let v = ldb.print_var("i").unwrap();
+            assert_eq!(v, "2");
+            v
+        })
+    });
+    g.finish();
+}
+
+fn compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cc");
+    g.sample_size(20);
+    for arch in Arch::ALL {
+        g.bench_function(format!("compile_fib_{arch}"), |b| {
+            b.iter(|| compile("fib.c", FIB_C, arch, CompileOpts::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn lzw(c: &mut Criterion) {
+    let data = synth_program(100).into_bytes();
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("lzw_compress", |b| b.iter(|| ldb_compress::compress(&data)));
+    let packed = ldb_compress::compress(&data);
+    g.bench_function("lzw_decompress", |b| b.iter(|| ldb_compress::decompress(&packed).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, lzw);
+criterion_main!(benches);

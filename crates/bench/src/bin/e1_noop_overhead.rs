@@ -1,0 +1,33 @@
+//! E1 — paper Sec. 3: "The no-ops increase the number of instructions by
+//! 16–19%, depending on the target."
+//!
+//! Compiles the workload suite for every target with and without `-g` and
+//! reports the instruction-count increase attributable to stopping-point
+//! no-ops.
+
+use ldb_bench::workload_suite;
+use ldb_cc::driver::{compile, CompileOpts};
+use ldb_machine::Arch;
+
+fn main() {
+    println!("E1: instruction-count increase from stopping-point no-ops (-g)");
+    println!("{:<8} {:>10} {:>10} {:>9}  (paper: 16-19%)", "target", "insns", "insns -g", "growth");
+    for arch in Arch::ALL {
+        let mut base = 0u32;
+        let mut dbg = 0u32;
+        for (name, src) in workload_suite() {
+            let rel = compile(
+                name,
+                &src,
+                arch,
+                CompileOpts { debug: false, ..Default::default() },
+            )
+            .unwrap();
+            let d = compile(name, &src, arch, CompileOpts::default()).unwrap();
+            base += rel.linked.stats.insn_count;
+            dbg += d.linked.stats.insn_count;
+        }
+        let growth = (dbg as f64 / base as f64 - 1.0) * 100.0;
+        println!("{:<8} {:>10} {:>10} {:>8.1}%", arch.name(), base, dbg, growth);
+    }
+}

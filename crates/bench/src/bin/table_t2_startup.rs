@@ -1,0 +1,142 @@
+//! T2 — the paper's Sec. 7 startup-time table: the elapsed time of ldb's
+//! initial phases, against the stabs baseline playing dbx/gdb.
+//!
+//! Paper (DECstation 5000/200):
+//! ```text
+//! Modula-3 initialization                    1.9 sec
+//! Read initial PostScript                    1.6
+//! Read symbol table for hello.c (1 line)     2.2
+//! Read symbol table for lcc (13,000 lines)   5.5
+//! Connect to hello.c (one machine)           1.8
+//! Connect to lcc (one machine)               5.1
+//! Connect to lcc (two MIPS machines)         6.2
+//! Connect to lcc (host MIPS, target SPARC)   5.0
+//! dbx: start and read a.out for lcc          1.5
+//! gdb: start and read a.out for lcc          1.1
+//! ```
+//! Absolute numbers are ~3 orders of magnitude smaller on modern hardware;
+//! the *shape* to check: symbol-table reading dominates and scales with
+//! program size; connecting to a second machine costs about one more
+//! connect; cross-architecture costs the same as same-architecture; the
+//! stabs baselines are several times faster than reading PostScript.
+
+use std::time::Instant;
+
+use ldb_bench::{synth_program, HELLO_C};
+use ldb_cc::driver::{compile, CompileOpts};
+use ldb_cc::{nm, pssym, stabs};
+use ldb_core::Ldb;
+use ldb_machine::Arch;
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (ms(t.elapsed()), r)
+}
+
+fn main() {
+    let big_src = synth_program(1000); // ≈ 13,000 lines
+    println!(
+        "workloads: hello.c ({} lines), synth.c ({} lines)",
+        HELLO_C.lines().count(),
+        big_src.lines().count()
+    );
+
+    let hello = compile("hello.c", HELLO_C, Arch::Mips, CompileOpts::default()).unwrap();
+    let big = compile("synth.c", &big_src, Arch::Mips, CompileOpts::default()).unwrap();
+    let big_sparc = compile("synth.c", &big_src, Arch::Sparc, CompileOpts::default()).unwrap();
+
+    let hello_ps = pssym::emit(&hello.unit, &hello.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let big_ps = pssym::emit(&big.unit, &big.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let big_sparc_ps =
+        pssym::emit(&big_sparc.unit, &big_sparc.funcs, Arch::Sparc, pssym::PsMode::Deferred);
+    let hello_loader = nm::loader_table_for(&hello.linked.image, &hello_ps);
+    let big_loader = nm::loader_table_for(&big.linked.image, &big_ps);
+    let big_sparc_loader = nm::loader_table_for(&big_sparc.linked.image, &big_sparc_ps);
+
+    // Phase 1: interpreter initialization (the Modula-3 runtime analog).
+    let (t_init, _) = time(ldb_postscript::Interp::new);
+    // Phase 2: read the initial PostScript (debug dictionary, printers,
+    // prelude) — what Ldb::new does beyond a bare interpreter.
+    let (t_both, _) = time(Ldb::new);
+    let t_initial_ps = (t_both - t_init).max(0.0);
+
+    // Phase 3/4: read symbol tables (loader table interpretation only).
+    let (t_hello_sym, _) = time(|| {
+        let mut ldb = Ldb::new();
+        ldb_core::Loader::load(&mut ldb.interp, &hello_loader).unwrap()
+    });
+    let (t_big_sym, _) = time(|| {
+        let mut ldb = Ldb::new();
+        ldb_core::Loader::load(&mut ldb.interp, &big_loader).unwrap()
+    });
+
+    // Phase 5/6: connect (spawn under a nub, read tables, first stop,
+    // build frames).
+    let (t_conn_hello, _) = time(|| {
+        let mut ldb = Ldb::new();
+        ldb.spawn_program(&hello.linked.image, &hello_loader).unwrap();
+        ldb
+    });
+    let (t_conn_big, _) = time(|| {
+        let mut ldb = Ldb::new();
+        ldb.spawn_program(&big.linked.image, &big_loader).unwrap();
+        ldb
+    });
+    // Phase 7: two MIPS machines in one session.
+    let (t_conn_two, _) = time(|| {
+        let mut ldb = Ldb::new();
+        ldb.spawn_program(&big.linked.image, &big_loader).unwrap();
+        ldb.spawn_program(&big.linked.image, &big_loader).unwrap();
+        ldb
+    });
+    // Phase 8: cross-architecture (the debugger code is identical; only
+    // the target differs).
+    let (t_conn_cross, _) = time(|| {
+        let mut ldb = Ldb::new();
+        ldb.spawn_program(&big_sparc.linked.image, &big_sparc_loader).unwrap();
+        ldb
+    });
+
+    // Baselines: dbx/gdb reading binary stabs for the big program.
+    let hello_stabs = stabs::emit(&hello);
+    let big_stabs = stabs::emit(&big);
+    let (t_dbx, dbg) = time(|| ldb_stabs::StabsDebugger::read(&big_stabs).unwrap());
+    let (t_gdb, _) = time(|| ldb_stabs::parse_raw(&big_stabs).unwrap());
+    let _ = hello_stabs;
+
+    println!();
+    println!("T2: startup phases (milliseconds; paper numbers were seconds)");
+    for (label, v, paper) in [
+        ("Interpreter initialization", t_init, 1.9),
+        ("Read initial PostScript", t_initial_ps, 1.6),
+        ("Read symbol table, hello.c (1 line)", t_hello_sym, 2.2),
+        ("Read symbol table, synth.c (~13k lines)", t_big_sym, 5.5),
+        ("Connect to hello.c (one machine)", t_conn_hello, 1.8),
+        ("Connect to synth.c (one machine)", t_conn_big, 5.1),
+        ("Connect to synth.c (two MIPS machines)", t_conn_two, 6.2),
+        ("Connect to synth.c (MIPS host, SPARC target)", t_conn_cross, 5.0),
+        ("dbx baseline: read stabs for synth.c", t_dbx, 1.5),
+        ("gdb baseline: parse stabs for synth.c", t_gdb, 1.1),
+    ] {
+        println!("  {label:<46} {v:>9.2} ms   (paper {paper:>4.1} s)");
+    }
+    println!();
+    println!(
+        "shape checks: big symbol table {}x hello's; two machines ≈ one extra connect \
+         ({:.2} vs {:.2}+{:.2}); cross-arch ≈ same-arch ({:.2} vs {:.2}); \
+         stabs baseline {}x faster than PostScript reading ({} symbols loaded)",
+        (t_big_sym / t_hello_sym.max(0.001)) as u32,
+        t_conn_two,
+        t_conn_big,
+        t_conn_big - t_conn_hello.min(t_conn_big),
+        t_conn_cross,
+        t_conn_big,
+        (t_big_sym / t_dbx.max(0.001)) as u32,
+        dbg.symbol_count(),
+    );
+}

@@ -1,0 +1,183 @@
+//! Shared infrastructure for the benchmark harness: synthetic C workloads
+//! (the analog of the paper's 13,000-line lcc source) and line-counting
+//! helpers for the structural tables.
+
+use std::fmt::Write as _;
+
+/// The paper's Figure 1 program, used throughout the benches.
+pub const FIB_C: &str = r#"void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    { int i;
+      for (i=2; i<n; i++)
+          a[i] = a[i-1] + a[i-2];
+    }
+    { int j;
+      for (j=0; j<n; j++)
+          printf("%d ", a[j]);
+    }
+    printf("\n");
+}
+int main(void) { fib(10); return 0; }
+"#;
+
+/// The one-line hello program of Table 2.
+pub const HELLO_C: &str = "int main(void) { printf(\"hello, world\\n\"); return 0; }\n";
+
+/// A mixed workload suite for code-growth measurements: integer loops,
+/// floating point, pointers, recursion, and branchy logic.
+pub fn workload_suite() -> Vec<(&'static str, String)> {
+    vec![
+        ("fib", FIB_C.to_string()),
+        (
+            "sort",
+            r#"
+            int data[64];
+            void sort(int n) {
+                int i; int j;
+                for (i = 0; i < n; i++)
+                    for (j = 0; j + 1 < n - i; j++)
+                        if (data[j] > data[j+1]) {
+                            int t;
+                            t = data[j]; data[j] = data[j+1]; data[j+1] = t;
+                        }
+            }
+            int main(void) {
+                int k;
+                for (k = 0; k < 64; k++) data[k] = (64 - k) * 7 % 31;
+                sort(64);
+                printf("%d %d\n", data[0], data[63]);
+                return 0;
+            }
+            "#
+            .to_string(),
+        ),
+        (
+            "floats",
+            r#"
+            double poly(double x) { return ((x * 2.0 + 1.0) * x - 3.5) * x + 0.25; }
+            int main(void) {
+                double s; int i;
+                s = 0.0;
+                for (i = 0; i < 100; i++) s = s + poly(i / 10.0);
+                printf("%g\n", s);
+                return 0;
+            }
+            "#
+            .to_string(),
+        ),
+        (
+            "strings",
+            r#"
+            char buf[128];
+            int len(char *s) { int n; n = 0; while (s[n]) n++; return n; }
+            void copy(char *d, char *s) { int i; i = 0; while ((d[i] = s[i])) i++; }
+            int main(void) {
+                copy(buf, "retargetable");
+                printf("%s %d\n", buf, len(buf));
+                return 0;
+            }
+            "#
+            .to_string(),
+        ),
+        (
+            "recurse",
+            r#"
+            int ack(int m, int n) {
+                if (m == 0) return n + 1;
+                if (n == 0) return ack(m - 1, 1);
+                return ack(m - 1, ack(m, n - 1));
+            }
+            int main(void) { printf("%d\n", ack(2, 3)); return 0; }
+            "#
+            .to_string(),
+        ),
+    ]
+}
+
+/// Generate a large synthetic compilation unit with roughly `funcs`
+/// functions (≈ 13 lines each): the analog of reading lcc's 13,000-line
+/// symbol table when `funcs` ≈ 1000.
+pub fn synth_program(funcs: usize) -> String {
+    let mut s = String::with_capacity(funcs * 300);
+    let _ = writeln!(s, "static int table[64];");
+    let _ = writeln!(s, "int grand;");
+    for i in 0..funcs {
+        let _ = writeln!(
+            s,
+            "int f{i}(int a{i}, int b{i}) {{\n    int x{i}; int y{i}; int k{i};\n    x{i} = a{i} * {m} + b{i};\n    y{i} = 0;\n    for (k{i} = 0; k{i} < 8; k{i}++) {{\n        y{i} += x{i} % ({m} + k{i} + 1);\n        if (y{i} > 1000) y{i} -= 997;\n    }}\n    table[{slot}] = y{i};\n    return y{i} + x{i};\n}}",
+            m = i % 13 + 2,
+            slot = i % 64,
+        );
+    }
+    let _ = writeln!(s, "int main(void) {{\n    int s;\n    s = 0;");
+    for i in 0..funcs.min(200) {
+        let _ = writeln!(s, "    s += f{i}({}, {});", i % 7, i % 11);
+    }
+    let _ = writeln!(s, "    grand = s;\n    printf(\"%d\\n\", s);\n    return 0;\n}}");
+    s
+}
+
+/// Count the non-blank, non-comment lines of a source string (`//`, `%`,
+/// and doc comments, good enough for Rust and PostScript).
+pub fn loc(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with('%') && !l.starts_with("///")
+        })
+        .count()
+}
+
+/// Count lines of code of a file on disk (0 if missing).
+pub fn file_loc(path: &str) -> usize {
+    std::fs::read_to_string(path).map(|s| loc(&s)).unwrap_or(0)
+}
+
+/// Workspace-relative path helper for the structural benches.
+pub fn ws(path: &str) -> String {
+    format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldb_cc::driver::{compile, CompileOpts};
+    use ldb_machine::Arch;
+
+    #[test]
+    fn synthetic_program_compiles_everywhere() {
+        let src = synth_program(40);
+        assert!(src.lines().count() > 400);
+        for arch in Arch::ALL {
+            let c = compile("synth.c", &src, arch, CompileOpts::default())
+                .unwrap_or_else(|e| panic!("{arch}: {e}"));
+            assert!(c.linked.stats.insn_count > 1000, "{arch}");
+        }
+    }
+
+    #[test]
+    fn workload_suite_compiles_and_runs() {
+        for (name, src) in workload_suite() {
+            for arch in Arch::ALL {
+                let c = compile(name, &src, arch, CompileOpts::default())
+                    .unwrap_or_else(|e| panic!("{name}/{arch}: {e}"));
+                let mut m = ldb_machine::Machine::load(&c.linked.image);
+                loop {
+                    match m.run(50_000_000) {
+                        ldb_machine::RunEvent::Paused { .. } => continue,
+                        ldb_machine::RunEvent::Exited(0) => break,
+                        other => panic!("{name}/{arch}: {other:?} out={:?}", m.output),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loc_counts_reasonably() {
+        assert_eq!(loc("a\n\n// c\n% ps comment\nb\n"), 2);
+    }
+}

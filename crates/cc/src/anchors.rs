@@ -1,0 +1,134 @@
+//! The anchor-symbol technique (paper, Sec. 2).
+//!
+//! The locations of private symbols and of stopping points are not known
+//! until link time, and ldb must not depend on the linker recording private
+//! symbols. Instead the compiler plans an *anchor table*: a block of words
+//! in the data segment, labeled by a single generated anchor symbol per
+//! compilation unit. Word *k* of the table holds the final address of the
+//! *k*-th planned item. Symbol tables then locate things with
+//! `(_stanchor_...) k LazyData`, and the loader table only needs the
+//! anchor symbol's address (which `nm` reports, because the anchor is
+//! extern).
+//!
+//! The enumeration below is shared between the PostScript emitter (which
+//! needs indices at compile time) and the linker (which fills in the
+//! addresses): both must walk the unit identically.
+
+use crate::ir::UnitIr;
+
+/// One planned anchor-table slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnchorEntry {
+    /// The address of stopping point `stop` of function `func`
+    /// (indices into [`UnitIr::funcs`] and its `stops`).
+    Stop {
+        /// Function index.
+        func: usize,
+        /// Stopping-point index within the function.
+        stop: usize,
+    },
+    /// The address of data item `data` (index into [`UnitIr::data`]).
+    Data {
+        /// Data index.
+        data: usize,
+    },
+}
+
+/// Enumerate the unit's anchor table. Order: every stopping point of every
+/// function, then every datum that corresponds to a source-level variable.
+pub fn anchor_entries(unit: &UnitIr) -> Vec<AnchorEntry> {
+    let mut v = Vec::new();
+    for (fi, f) in unit.funcs.iter().enumerate() {
+        for si in 0..f.stops.len() {
+            v.push(AnchorEntry::Stop { func: fi, stop: si });
+        }
+    }
+    for (di, d) in unit.data.iter().enumerate() {
+        if d.sym.is_some() {
+            v.push(AnchorEntry::Data { data: di });
+        }
+    }
+    v
+}
+
+/// The anchor index of a stopping point.
+pub fn stop_anchor_index(unit: &UnitIr, func: usize, stop: usize) -> u32 {
+    let mut idx = 0u32;
+    for (fi, f) in unit.funcs.iter().enumerate() {
+        if fi == func {
+            return idx + stop as u32;
+        }
+        idx += f.stops.len() as u32;
+    }
+    unreachable!("function index out of range")
+}
+
+/// The anchor index of a data item (must have a symbol).
+pub fn data_anchor_index(unit: &UnitIr, data: usize) -> u32 {
+    let mut idx: u32 = unit.funcs.iter().map(|f| f.stops.len() as u32).sum();
+    for (di, d) in unit.data.iter().enumerate() {
+        if di == data {
+            return idx;
+        }
+        if d.sym.is_some() {
+            idx += 1;
+        }
+    }
+    unreachable!("data index out of range")
+}
+
+/// The generated anchor-symbol name for a unit (the paper's
+/// `_stanchor__V2935334b_e288a` style).
+pub fn anchor_symbol(unit: &UnitIr) -> String {
+    // A stable hash of the file name stands in for lcc's version hash.
+    let mut h: u32 = 2166136261;
+    for b in unit.file.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(16777619);
+    }
+    format!("_stanchor__V{h:08x}_{}", unit.unit_name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::sema::analyze;
+
+    #[test]
+    fn indices_match_enumeration() {
+        let unit = analyze(
+            &parse(
+                "t.c",
+                "static int g = 1; int f(int x) { return x + g; } int main(void) { return f(2); }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let entries = anchor_entries(&unit);
+        for (k, e) in entries.iter().enumerate() {
+            match *e {
+                AnchorEntry::Stop { func, stop } => {
+                    assert_eq!(stop_anchor_index(&unit, func, stop), k as u32);
+                }
+                AnchorEntry::Data { data } => {
+                    assert_eq!(data_anchor_index(&unit, data), k as u32);
+                }
+            }
+        }
+        // g is a datum with a symbol, so it has an anchor slot.
+        assert!(entries
+            .iter()
+            .any(|e| matches!(e, AnchorEntry::Data { data } if unit.data[*data].link_name.contains('g'))));
+    }
+
+    #[test]
+    fn anchor_symbol_is_stable_and_unit_specific() {
+        let u1 = analyze(&parse("fib.c", "int x;").unwrap()).unwrap();
+        let u2 = analyze(&parse("fib.c", "int y;").unwrap()).unwrap();
+        let u3 = analyze(&parse("main.c", "int x;").unwrap()).unwrap();
+        assert_eq!(anchor_symbol(&u1), anchor_symbol(&u2));
+        assert_ne!(anchor_symbol(&u1), anchor_symbol(&u3));
+        assert!(anchor_symbol(&u1).starts_with("_stanchor__V"));
+    }
+}

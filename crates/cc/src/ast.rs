@@ -1,0 +1,180 @@
+//! Abstract syntax for the C subset.
+
+use crate::lex::Pos;
+use crate::types::Type;
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// Character literal.
+    CharLit(u8),
+    /// String literal.
+    StrLit(String),
+    /// Identifier reference.
+    Ident(String),
+    /// Prefix unary: `-`, `!`, `~`, `*` (deref), `&` (address-of),
+    /// `++` / `--` (pre-increment forms are `"++"` / `"--"`).
+    Unary(&'static str, Box<Expr>),
+    /// Postfix `++` / `--`.
+    Postfix(&'static str, Box<Expr>),
+    /// Binary arithmetic/relational/logical operator.
+    Binary(&'static str, Box<Expr>, Box<Expr>),
+    /// Assignment: `=`, `+=`, `-=`, `*=`, `/=`, `%=`, `&=`, `|=`, `^=`,
+    /// `<<=`, `>>=`.
+    Assign(&'static str, Box<Expr>, Box<Expr>),
+    /// Direct call of a named function.
+    Call(String, Vec<Expr>),
+    /// Array indexing.
+    Index(Box<Expr>, Box<Expr>),
+    /// Member access; the bool is true for `->`.
+    Member(Box<Expr>, String, bool),
+    /// `sizeof(type)` or `sizeof expr` (resolved to a type at parse time
+    /// when possible, else semantically).
+    SizeofExpr(Box<Expr>),
+    /// `sizeof(type-name)`.
+    SizeofType(Type),
+    /// A cast `(type) expr`.
+    Cast(Type, Box<Expr>),
+}
+
+/// A local variable declaration within a block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional scalar initializer.
+    pub init: Option<Expr>,
+    /// Declared `static` (per-function static storage).
+    pub is_static: bool,
+    /// Position of the name.
+    pub pos: Pos,
+}
+
+/// A statement with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What kind of statement.
+    pub kind: StmtKind,
+    /// Source position (start of the statement).
+    pub pos: Pos,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declarations.
+    Decl(Vec<LocalDecl>),
+    /// `if` with optional `else`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while`.
+    While(Expr, Box<Stmt>),
+    /// `do ... while`.
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init; cond; step) body` — all three headers optional.
+    For(Option<Expr>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `return`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// A braced block (opens a scope).
+    Block(Vec<Stmt>),
+    /// `;`.
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type (arrays decay at semantic analysis).
+    pub ty: Type,
+    /// Position of the name.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// The body block.
+    pub body: Stmt,
+    /// Declared `static`.
+    pub is_static: bool,
+    /// Position of the name.
+    pub pos: Pos,
+    /// Position of the closing brace (the function-exit stopping point).
+    pub end_pos: Pos,
+}
+
+/// A global (file-scope) variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initializer: scalar constant or brace list.
+    pub init: Option<Init>,
+    /// Declared `static`.
+    pub is_static: bool,
+    /// Declared `extern` (no storage here).
+    pub is_extern: bool,
+    /// Position of the name.
+    pub pos: Pos,
+}
+
+/// A static initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// A single constant expression.
+    Scalar(Expr),
+    /// `{ e, e, ... }` for arrays.
+    List(Vec<Expr>),
+    /// A string literal initializing a char array.
+    Str(String),
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopDecl {
+    /// A function definition.
+    Func(FuncDecl),
+    /// A global variable.
+    Var(GlobalDecl),
+    /// A struct definition (registered in the type environment).
+    Struct(std::rc::Rc<crate::types::StructDef>),
+}
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Source file name (for `/sourcefile` entries).
+    pub file: String,
+    /// Declarations in order.
+    pub decls: Vec<TopDecl>,
+}

@@ -1,0 +1,445 @@
+//! The intermediate representation: typed operator trees in the style of
+//! lcc's code-generation interface (Fraser & Hanson, "A code generation
+//! interface for ANSI C"). Operators carry lcc-style type suffixes
+//! (`ASGNI`, `INDIRC`, `CNSTF`, ...); the expression server's rewriter
+//! turns these trees into PostScript, so the operator inventory here is the
+//! analog of the "112 operators" the paper's rewriter handles.
+
+use crate::lex::Pos;
+use crate::types::{Sfx, Type};
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Const {
+    /// Integer (covers all integer suffixes and pointers).
+    I(i64),
+    /// Floating.
+    F(f64),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinIr {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Band,
+    Bor,
+    Bxor,
+    Lsh,
+    Rsh,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinIr {
+    /// The lcc operator name stem.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinIr::Add => "ADD",
+            BinIr::Sub => "SUB",
+            BinIr::Mul => "MUL",
+            BinIr::Div => "DIV",
+            BinIr::Mod => "MOD",
+            BinIr::Band => "BAND",
+            BinIr::Bor => "BOR",
+            BinIr::Bxor => "BXOR",
+            BinIr::Lsh => "LSH",
+            BinIr::Rsh => "RSH",
+            BinIr::Eq => "EQ",
+            BinIr::Ne => "NE",
+            BinIr::Lt => "LT",
+            BinIr::Le => "LE",
+            BinIr::Gt => "GT",
+            BinIr::Ge => "GE",
+        }
+    }
+
+    /// Is this a comparison?
+    pub fn is_cmp(self) -> bool {
+        matches!(self, BinIr::Eq | BinIr::Ne | BinIr::Lt | BinIr::Le | BinIr::Gt | BinIr::Ge)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnIr {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    Bcom,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tree {
+    /// `CNSTx`: a constant of the given suffix.
+    Cnst(Sfx, Const),
+    /// `ADDRGP`: the address of a global (by linker symbol name).
+    Global(String),
+    /// `ADDRLP`: the address of local variable `id` in the current frame.
+    Local(u32),
+    /// `ADDRFP`: the address of parameter `id`'s home slot.
+    Param(u32),
+    /// `INDIRx`: fetch through an address.
+    Indir(Sfx, Box<Tree>),
+    /// `ASGNx addr value`: store; yields the stored value.
+    Asgn(Sfx, Box<Tree>, Box<Tree>),
+    /// Binary operator.
+    Bin(BinIr, Sfx, Box<Tree>, Box<Tree>),
+    /// Unary operator.
+    Un(UnIr, Sfx, Box<Tree>),
+    /// `CVxy`: convert from the first suffix to the second.
+    Cvt(Sfx, Sfx, Box<Tree>),
+    /// `CALLx`: call a named function.
+    Call(Sfx, String, Vec<Tree>),
+}
+
+impl Tree {
+    /// The suffix of the value this tree produces.
+    pub fn suffix(&self) -> Sfx {
+        match self {
+            Tree::Cnst(s, _)
+            | Tree::Indir(s, _)
+            | Tree::Asgn(s, _, _)
+            | Tree::Un(_, s, _)
+            | Tree::Call(s, _, _) => *s,
+            Tree::Bin(op, s, _, _) => {
+                if op.is_cmp() {
+                    Sfx::I
+                } else {
+                    *s
+                }
+            }
+            Tree::Cvt(_, to, _) => *to,
+            Tree::Global(_) | Tree::Local(_) | Tree::Param(_) => Sfx::P,
+        }
+    }
+
+    /// Count tree nodes (used by tests and diagnostics).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Tree::Indir(_, t) | Tree::Un(_, _, t) | Tree::Cvt(_, _, t) => t.node_count(),
+            Tree::Asgn(_, a, b) | Tree::Bin(_, _, a, b) => a.node_count() + b.node_count(),
+            Tree::Call(_, _, args) => args.iter().map(Tree::node_count).sum(),
+            _ => 0,
+        }
+    }
+}
+
+/// A stopping point: where the debugger may plant a breakpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StopIr {
+    /// Index within the function (element of the `/loci` array).
+    pub index: u32,
+    /// Source line.
+    pub line: u32,
+    /// Source column.
+    pub col: u32,
+    /// The innermost visible symbol at this point (index into the unit's
+    /// symbol arena), or `None` when only globals are visible.
+    pub sym: Option<usize>,
+}
+
+/// A lowered statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtIr {
+    /// A stopping point (emits a label, and a no-op under `-g`).
+    Stop(u32),
+    /// Evaluate for side effects.
+    Expr(Tree),
+    /// Branch to `label` when the tree's truth value equals `when`.
+    CJump(Tree, bool, u32),
+    /// Unconditional branch.
+    Jump(u32),
+    /// Branch target.
+    Label(u32),
+    /// Return, optionally with a value.
+    Ret(Option<Tree>),
+}
+
+/// Where a variable lives, decided by the back end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Storage {
+    /// Not yet assigned (pre-codegen).
+    Unassigned,
+    /// In an integer register (register-resident scalar).
+    Reg(u8),
+    /// At a frame offset (relative to the frame pointer on CISC/SPARC, to
+    /// the *virtual* frame pointer on MIPS).
+    Frame(i32),
+    /// A function-scoped static, stored in the data segment under a
+    /// mangled linker name.
+    Static(String),
+}
+
+/// A variable in a function (parameter or local).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarIr {
+    /// Source name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Was its address taken (disqualifies register residence)?
+    pub addr_taken: bool,
+    /// Where it lives (filled by the back end).
+    pub storage: Storage,
+    /// Declaration position.
+    pub pos: Pos,
+    /// Index of this variable's symbol-table node.
+    pub sym: usize,
+}
+
+/// A function in IR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncIr {
+    /// Function name (source-level; linker name gets an underscore).
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters, in order.
+    pub params: Vec<VarIr>,
+    /// All locals (block scopes flattened; names may repeat).
+    pub locals: Vec<VarIr>,
+    /// Stopping points, in emission order.
+    pub stops: Vec<StopIr>,
+    /// The body.
+    pub body: Vec<StmtIr>,
+    /// `static` linkage?
+    pub is_static: bool,
+    /// Position of the name.
+    pub pos: Pos,
+    /// Position of the closing brace.
+    pub end_pos: Pos,
+    /// Index of this function's symbol-table node.
+    pub sym: usize,
+}
+
+/// One element of a static initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitItem {
+    /// Byte offset within the object.
+    pub offset: u32,
+    /// Width/kind of the slot.
+    pub sfx: Sfx,
+    /// The constant.
+    pub value: Const,
+}
+
+/// A datum in the data segment: a global, a function-scoped static, or a
+/// string literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataIr {
+    /// Linker name (mangled for privates).
+    pub link_name: String,
+    /// Size in bytes.
+    pub size: u32,
+    /// Alignment.
+    pub align: u32,
+    /// Non-zero initial contents.
+    pub init: Vec<InitItem>,
+    /// Raw string contents (for string literals; stored NUL-terminated).
+    pub str_init: Option<String>,
+    /// Private to the compilation unit (static linkage)?
+    pub is_private: bool,
+    /// Symbol-table node, if this is a source-level variable.
+    pub sym: Option<usize>,
+}
+
+/// What a symbol-table node describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymKindIr {
+    /// A variable.
+    Variable,
+    /// A procedure.
+    Procedure,
+}
+
+/// Where the debugger will find a variable: drives the `/where` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereIr {
+    /// Not a data symbol (procedures).
+    None,
+    /// In a register (register set 0 = integer registers).
+    Reg(u8),
+    /// At a frame offset.
+    Frame(i32),
+    /// Lazily, via the anchor table: `(anchor) k LazyData`.
+    Anchor(u32),
+}
+
+/// A node of the symbol table under construction: one per source symbol,
+/// linked by `uplink` into the scope tree of the paper's Figure 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymNode {
+    /// Source name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Variable or procedure.
+    pub kind: SymKindIr,
+    /// Declaration position.
+    pub pos: Pos,
+    /// The preceding symbol in this or an enclosing scope.
+    pub uplink: Option<usize>,
+    /// Location information (filled by the back end / linker).
+    pub where_: WhereIr,
+    /// Is this a file-scope static (lives in the unit's `statics` dict)?
+    pub is_static_scope: bool,
+    /// Is this a global (extern) symbol?
+    pub is_extern_scope: bool,
+}
+
+/// A compiled unit in IR form.
+#[derive(Debug, Clone, Default)]
+pub struct UnitIr {
+    /// Source file name.
+    pub file: String,
+    /// Functions in order.
+    pub funcs: Vec<FuncIr>,
+    /// Data items (globals, statics, strings).
+    pub data: Vec<DataIr>,
+    /// The symbol arena; `uplink`s index into it.
+    pub syms: Vec<SymNode>,
+}
+
+impl UnitIr {
+    /// Allocate a label id unique within a function lowering.
+    pub fn unit_name(&self) -> String {
+        self.file.replace(['.', '/', '-'], "_")
+    }
+}
+
+/// Enumerate the legal (operator, suffix) combinations — the analog of
+/// lcc's operator inventory ("the intermediate representation has 112
+/// operators", paper Sec. 5). The expression server's rewriter must handle
+/// every one of these.
+pub fn operator_inventory() -> Vec<String> {
+    use Sfx::*;
+    let arith = [C, Uc, S, Us, I, U, P, F, D];
+    let intish = [C, Uc, S, Us, I, U];
+    let mut v = Vec::new();
+    // CNST: all value suffixes.
+    for s in arith {
+        v.push(format!("CNST{}", s.letter()));
+    }
+    // ADDRG/ADDRL/ADDRF produce pointers.
+    v.push("ADDRGP".into());
+    v.push("ADDRLP".into());
+    v.push("ADDRFP".into());
+    // INDIR/ASGN over all memory suffixes (incl. B for struct copies the
+    // subset diagnoses but the inventory names).
+    for s in [C, Uc, S, Us, I, U, P, F, D, B] {
+        v.push(format!("INDIR{}", s.letter()));
+        v.push(format!("ASGN{}", s.letter()));
+    }
+    // Arithmetic over int/uint/float/double/pointer as applicable.
+    for op in ["ADD", "SUB", "MUL", "DIV"] {
+        for s in [I, U, F, D, P] {
+            if s == P && (op == "MUL" || op == "DIV") {
+                continue;
+            }
+            v.push(format!("{op}{}", s.letter()));
+        }
+    }
+    for op in ["MOD", "BAND", "BOR", "BXOR", "LSH", "RSH"] {
+        for s in [I, U] {
+            v.push(format!("{op}{}", s.letter()));
+        }
+    }
+    // Comparisons.
+    for op in ["EQ", "NE", "LT", "LE", "GT", "GE"] {
+        for s in [I, U, F, D, P] {
+            if s == P && !(op == "EQ" || op == "NE") {
+                continue;
+            }
+            v.push(format!("{op}{}", s.letter()));
+        }
+    }
+    // NEG / BCOM.
+    for s in [I, F, D] {
+        v.push(format!("NEG{}", s.letter()));
+    }
+    for s in [I, U] {
+        v.push(format!("BCOM{}", s.letter()));
+    }
+    // Conversions between the widened types.
+    for (f, t) in [
+        (I, F),
+        (I, D),
+        (F, I),
+        (D, I),
+        (F, D),
+        (D, F),
+        (I, U),
+        (U, I),
+        (U, D),
+    ] {
+        v.push(format!("CV{}{}", f.letter(), t.letter()));
+    }
+    // Narrowing/widening to sub-word integers (I<->U already listed).
+    for s in intish {
+        if s != I && s != U {
+            v.push(format!("CV{}I", s.letter()));
+            v.push(format!("CVI{}", s.letter()));
+        }
+    }
+    // Calls and returns.
+    for s in [I, U, P, F, D, V] {
+        v.push(format!("CALL{}", s.letter()));
+        v.push(format!("RET{}", s.letter()));
+    }
+    // Control.
+    v.push("JUMPV".into());
+    v.push("LABELV".into());
+    v.push("ARGx".into());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_inventory_is_lcc_sized() {
+        let inv = operator_inventory();
+        // lcc has 112; our inventory must be in the same league.
+        assert!(inv.len() >= 100, "only {} operators", inv.len());
+        assert!(inv.len() <= 160, "{} operators", inv.len());
+        assert!(inv.contains(&"ASGNI".to_string()));
+        assert!(inv.contains(&"INDIRUC".to_string()));
+        assert!(inv.contains(&"CVID".to_string()));
+        // No duplicates.
+        let mut sorted = inv.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), inv.len());
+    }
+
+    #[test]
+    fn tree_suffix_and_count() {
+        let t = Tree::Bin(
+            BinIr::Add,
+            Sfx::I,
+            Box::new(Tree::Cnst(Sfx::I, Const::I(1))),
+            Box::new(Tree::Indir(Sfx::I, Box::new(Tree::Local(0)))),
+        );
+        assert_eq!(t.suffix(), Sfx::I);
+        assert_eq!(t.node_count(), 4);
+        let cmp = Tree::Bin(
+            BinIr::Lt,
+            Sfx::D,
+            Box::new(Tree::Cnst(Sfx::D, Const::F(1.0))),
+            Box::new(Tree::Cnst(Sfx::D, Const::F(2.0))),
+        );
+        assert_eq!(cmp.suffix(), Sfx::I, "comparisons yield int");
+    }
+}

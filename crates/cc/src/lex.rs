@@ -1,0 +1,426 @@
+//! Lexer for the C subset.
+//!
+//! Every token carries its source position; the debugger's symbol tables
+//! record positions (`/sourcey`, `/sourcex`) for every symbol and stopping
+//! point, so the front end must keep them.
+
+use std::fmt;
+
+/// A source position: 1-based line, 1-based column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compilation diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcError {
+    /// Where.
+    pub pos: Pos,
+    /// What.
+    pub msg: String,
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Result type for the compiler.
+pub type CcResult<T> = Result<T, CcError>;
+
+pub(crate) fn err<T>(pos: Pos, msg: impl Into<String>) -> CcResult<T> {
+    Err(CcError { pos, msg: msg.into() })
+}
+
+/// Keywords of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Void,
+    Char,
+    Short,
+    Int,
+    Long,
+    Unsigned,
+    Signed,
+    Float,
+    Double,
+    Struct,
+    If,
+    Else,
+    While,
+    For,
+    Do,
+    Return,
+    Break,
+    Continue,
+    Static,
+    Extern,
+    Sizeof,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "void" => Kw::Void,
+        "char" => Kw::Char,
+        "short" => Kw::Short,
+        "int" => Kw::Int,
+        "long" => Kw::Long,
+        "unsigned" => Kw::Unsigned,
+        "signed" => Kw::Signed,
+        "float" => Kw::Float,
+        "double" => Kw::Double,
+        "struct" => Kw::Struct,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "for" => Kw::For,
+        "do" => Kw::Do,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "static" => Kw::Static,
+        "extern" => Kw::Extern,
+        "sizeof" => Kw::Sizeof,
+        _ => return None,
+    })
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier.
+    Ident(String),
+    /// A keyword.
+    Keyword(Kw),
+    /// An integer literal.
+    IntLit(i64),
+    /// A floating literal.
+    FloatLit(f64),
+    /// A character literal (its value).
+    CharLit(u8),
+    /// A string literal (unescaped contents).
+    StrLit(String),
+    /// Punctuation or an operator, e.g. `"+="`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Is this the given punctuation?
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(q) if *q == p)
+    }
+
+    /// Is this the given keyword?
+    pub fn is_kw(&self, k: Kw) -> bool {
+        matches!(self, Tok::Keyword(q) if *q == k)
+    }
+}
+
+/// A token with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Source position of the first character.
+    pub pos: Pos,
+}
+
+const PUNCTS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "[", "]", "{", "}", ";", ",", ".", "+", "-",
+    "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~", "?", ":",
+];
+
+/// Tokenize a whole compilation unit.
+///
+/// # Errors
+/// Malformed literals and stray characters.
+pub fn lex(src: &str) -> CcResult<Vec<Token>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! bump {
+        () => {{
+            if b[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    'outer: while i < b.len() {
+        let c = b[i];
+        let pos = Pos { line, col };
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            bump!();
+            bump!();
+            while i + 1 < b.len() {
+                if b[i] == b'*' && b[i + 1] == b'/' {
+                    bump!();
+                    bump!();
+                    continue 'outer;
+                }
+                bump!();
+            }
+            return err(pos, "unterminated comment");
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                bump!();
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                bump!();
+            }
+            let s = &src[start..i];
+            let tok = match keyword(s) {
+                Some(k) => Tok::Keyword(k),
+                None => Tok::Ident(s.to_string()),
+            };
+            toks.push(Token { tok, pos });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()) {
+            let start = i;
+            let mut is_float = false;
+            if c == b'0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                bump!();
+                bump!();
+                while i < b.len() && b[i].is_ascii_hexdigit() {
+                    bump!();
+                }
+                let v = i64::from_str_radix(&src[start + 2..i], 16)
+                    .map_err(|e| CcError { pos, msg: format!("bad hex literal: {e}") })?;
+                toks.push(Token { tok: Tok::IntLit(v), pos });
+                continue;
+            }
+            while i < b.len() && b[i].is_ascii_digit() {
+                bump!();
+            }
+            if i < b.len() && b[i] == b'.' {
+                is_float = true;
+                bump!();
+                while i < b.len() && b[i].is_ascii_digit() {
+                    bump!();
+                }
+            }
+            if i < b.len() && (b[i] | 32) == b'e' {
+                is_float = true;
+                bump!();
+                if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                    bump!();
+                }
+                while i < b.len() && b[i].is_ascii_digit() {
+                    bump!();
+                }
+            }
+            let text = &src[start..i];
+            // Suffixes f/F/l/L/u/U are accepted and ignored.
+            let mut floated = is_float;
+            while i < b.len() && matches!(b[i] | 32, b'f' | b'l' | b'u') {
+                if (b[i] | 32) == b'f' {
+                    floated = true;
+                }
+                bump!();
+            }
+            let tok = if floated {
+                Tok::FloatLit(
+                    text.parse::<f64>()
+                        .map_err(|e| CcError { pos, msg: format!("bad float literal: {e}") })?,
+                )
+            } else {
+                Tok::IntLit(
+                    text.parse::<i64>()
+                        .map_err(|e| CcError { pos, msg: format!("bad int literal: {e}") })?,
+                )
+            };
+            toks.push(Token { tok, pos });
+            continue;
+        }
+        // Character literals.
+        if c == b'\'' {
+            bump!();
+            if i >= b.len() {
+                return err(pos, "unterminated char literal");
+            }
+            let v = if b[i] == b'\\' {
+                bump!();
+                if i >= b.len() {
+                    return err(pos, "unterminated escape");
+                }
+                let e = escape(b[i]);
+                bump!();
+                e
+            } else {
+                let v = b[i];
+                bump!();
+                v
+            };
+            if i >= b.len() || b[i] != b'\'' {
+                return err(pos, "unterminated char literal");
+            }
+            bump!();
+            toks.push(Token { tok: Tok::CharLit(v), pos });
+            continue;
+        }
+        // String literals.
+        if c == b'"' {
+            bump!();
+            let mut s = String::new();
+            loop {
+                if i >= b.len() {
+                    return err(pos, "unterminated string literal");
+                }
+                match b[i] {
+                    b'"' => {
+                        bump!();
+                        break;
+                    }
+                    b'\\' => {
+                        bump!();
+                        if i >= b.len() {
+                            return err(pos, "unterminated escape");
+                        }
+                        s.push(escape(b[i]) as char);
+                        bump!();
+                    }
+                    other => {
+                        s.push(other as char);
+                        bump!();
+                    }
+                }
+            }
+            toks.push(Token { tok: Tok::StrLit(s), pos });
+            continue;
+        }
+        // Punctuation (maximal munch).
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                for _ in 0..p.len() {
+                    bump!();
+                }
+                toks.push(Token { tok: Tok::Punct(p), pos });
+                continue 'outer;
+            }
+        }
+        return err(pos, format!("stray character {:?}", c as char));
+    }
+    toks.push(Token { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(toks)
+}
+
+fn escape(c: u8) -> u8 {
+    match c {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'b' => 8,
+        b'f' => 12,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_keywords_numbers() {
+        let ts = kinds("int x1 = 42; double d = 2.5e1;");
+        assert!(ts[0].is_kw(Kw::Int));
+        assert_eq!(ts[1], Tok::Ident("x1".into()));
+        assert!(ts[2].is_punct("="));
+        assert_eq!(ts[3], Tok::IntLit(42));
+        assert_eq!(ts[8], Tok::FloatLit(25.0));
+    }
+
+    #[test]
+    fn hex_char_string() {
+        let ts = kinds(r#"0x1F 'a' '\n' "hi\tthere""#);
+        assert_eq!(ts[0], Tok::IntLit(31));
+        assert_eq!(ts[1], Tok::CharLit(b'a'));
+        assert_eq!(ts[2], Tok::CharLit(b'\n'));
+        assert_eq!(ts[3], Tok::StrLit("hi\tthere".into()));
+    }
+
+    #[test]
+    fn float_suffix() {
+        let ts = kinds("1f 2.0f 3u");
+        assert_eq!(ts[0], Tok::FloatLit(1.0));
+        assert_eq!(ts[1], Tok::FloatLit(2.0));
+        assert_eq!(ts[2], Tok::IntLit(3));
+    }
+
+    #[test]
+    fn maximal_munch() {
+        let ts = kinds("a->b a<<=2 a<=b a<b x++ +");
+        let ps: Vec<&str> = ts
+            .iter()
+            .filter_map(|t| if let Tok::Punct(p) = t { Some(*p) } else { None })
+            .collect();
+        assert_eq!(ps, vec!["->", "<<=", "<=", "<", "++", "+"]);
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("int /* c1 */ x;\n// c2\ny;").unwrap();
+        assert_eq!(toks[1].pos, Pos { line: 1, col: 14 });
+        assert_eq!(toks[3].pos, Pos { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn position_tracking_matches_fig1() {
+        // "static int a[20];" on line 2, a in column 13 (1-based), like the
+        // paper's /sourcey 2 /sourcex 13 for a.
+        let src = "void fib(int n)\n{ static int a[20];";
+        let toks = lex(src).unwrap();
+        let a = toks.iter().find(|t| t.tok == Tok::Ident("a".into())).unwrap();
+        assert_eq!(a.pos.line, 2);
+        assert_eq!(a.pos.col, 14);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'a").is_err());
+        assert!(lex("/* no end").is_err());
+        assert!(lex("int @ x;").is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! A mini-C compiler in the architecture of lcc, built for the ldb
+//! reproduction: a machine-independent front end and typed-tree IR, four
+//! small back ends (MIPS, 68020, SPARC, VAX), a MIPS delay-slot scheduler
+//! whose restriction under `-g` the paper measures, stopping-point no-ops,
+//! anchor symbols, and symbol-table emitters in both the paper's
+//! PostScript format and a binary "stabs" baseline format.
+pub mod anchors;
+pub mod asm;
+pub mod ast;
+pub mod driver;
+pub mod gen;
+pub mod ir;
+pub mod lex;
+pub mod link;
+pub mod nm;
+pub mod parse;
+pub mod pssym;
+pub mod sched;
+pub mod stabs;
+pub mod sema;
+pub mod types;

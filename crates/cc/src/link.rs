@@ -1,0 +1,455 @@
+//! The linker: lays out code and data, resolves labels and symbols, fills
+//! the anchor table, serializes the MIPS runtime procedure table, and
+//! reserves the nub's in-target area (context block and state words) —
+//! the nub is "loaded with every program" (paper, Sec. 4.2).
+
+use std::collections::HashMap;
+
+use crate::anchors::{anchor_entries, anchor_symbol, AnchorEntry};
+use crate::asm::{AsmFn, AsmIns};
+use crate::ir::{Const, UnitIr};
+use crate::lex::{CcError, CcResult, Pos};
+use crate::types::Sfx;
+use ldb_machine::{
+    encode, Arch, ByteOrder, Image, Memory, Op, Rpt, RptEntry, SymKind, Symbol, CODE_BASE,
+    STACK_SIZE,
+};
+
+/// Extra words of nub state reserved next to the context.
+pub const NUB_STATE_WORDS: u32 = 16;
+
+/// Counting statistics from linking (feeds experiments E1/E2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Total encoded instructions.
+    pub insn_count: u32,
+    /// No-op instructions among them.
+    pub nop_count: u32,
+    /// Code bytes.
+    pub code_bytes: u32,
+    /// Data bytes.
+    pub data_bytes: u32,
+}
+
+/// The output of linking: an executable image plus the side tables the
+/// debugger tooling needs.
+#[derive(Debug, Clone)]
+pub struct Linked {
+    /// The loadable program.
+    pub image: Image,
+    /// Stopping-point addresses, per function.
+    pub stop_addrs: Vec<Vec<u32>>,
+    /// (link name, entry address, end address) per function.
+    pub func_addrs: Vec<(String, u32, u32)>,
+    /// Address of each data item by link name.
+    pub data_addrs: HashMap<String, u32>,
+    /// Address of the anchor table.
+    pub anchor_addr: u32,
+    /// The anchor symbol name.
+    pub anchor_sym: String,
+    /// Address of the runtime procedure table (MIPS only).
+    pub rpt_addr: Option<u32>,
+    /// Address of the nub's context block.
+    pub context_addr: u32,
+    /// Counting statistics.
+    pub stats: LinkStats,
+}
+
+fn lerr<T>(msg: impl Into<String>) -> CcResult<T> {
+    Err(CcError { pos: Pos::default(), msg: msg.into() })
+}
+
+fn item_len(arch: Arch, item: &AsmIns) -> u8 {
+    match item {
+        AsmIns::Label(_) | AsmIns::StopPoint(_) => 0,
+        AsmIns::Op(op) => encode::length(arch, op),
+        AsmIns::Br { .. } => encode::length(
+            arch,
+            &Op::Branch { cond: ldb_machine::Cond::Eq, rs: 0, rt: 0, target: 0 },
+        ),
+        AsmIns::Bcc { .. } => {
+            encode::length(arch, &Op::BranchCC { cond: ldb_machine::Cond::Eq, target: 0 })
+        }
+        AsmIns::Jmp { .. } => encode::length(arch, &Op::Jump { target: 0 }),
+        AsmIns::CallSym(_) => match arch {
+            Arch::Mips | Arch::Sparc => 4,
+            Arch::M68k => 6,
+            Arch::Vax => 5,
+        },
+        AsmIns::LoadAddr { .. } => match arch {
+            // Always the two-instruction lui/ori form so sizes are stable.
+            Arch::Mips | Arch::Sparc => 8,
+            Arch::M68k => 6,
+            Arch::Vax => 6,
+        },
+    }
+}
+
+/// Link one compiled unit into an executable image.
+///
+/// # Errors
+/// Undefined symbols and encoding overflows.
+pub fn link(
+    arch: Arch,
+    order: ByteOrder,
+    unit: &UnitIr,
+    funcs: &[AsmFn],
+) -> CcResult<Linked> {
+    link_units(arch, order, &[(unit, funcs)])
+}
+
+/// Link any number of compiled units into one executable image — "a
+/// single compilation unit or any combination of compilation units, up to
+/// an entire program" (paper, Sec. 2).
+///
+/// The entry point is a startup stub that executes the nub's pause call,
+/// calls `_main`, and exits with its return value — the "system-dependent
+/// startup code modified to call the nub" of Sec. 4.3. Functions are laid
+/// out unit by unit; each unit gets its own anchor table.
+///
+/// # Errors
+/// Undefined symbols (including across units) and encoding overflows.
+pub fn link_units(
+    arch: Arch,
+    order: ByteOrder,
+    parts: &[(&UnitIr, &[AsmFn])],
+) -> CcResult<Linked> {
+    let d = arch.data();
+    // ---- startup stub ----
+    let rv = d.rv;
+    let sysarg = d.syscall_arg_reg;
+    let stub: Vec<AsmIns> = vec![
+        AsmIns::Op(Op::Syscall(ldb_machine::Service::Pause.number())),
+        AsmIns::CallSym("_main".to_string()),
+        AsmIns::Op(Op::Mov { rd: sysarg, rs: rv }),
+        AsmIns::Op(Op::Syscall(ldb_machine::Service::Exit.number())),
+    ];
+
+    // ---- sizing pass over code ----
+    let mut pc = CODE_BASE;
+    let mut stub_addr = Vec::new();
+    for it in &stub {
+        stub_addr.push(pc);
+        pc += item_len(arch, it) as u32;
+    }
+    let mut func_addrs = Vec::new();
+    let mut labels: Vec<HashMap<u32, u32>> = Vec::new();
+    let mut stop_addrs: Vec<Vec<u32>> = Vec::new();
+    let all_funcs: Vec<&AsmFn> = parts.iter().flat_map(|(_, fs)| fs.iter()).collect();
+    for f in &all_funcs {
+        // Align function starts to the instruction unit.
+        pc = pc.next_multiple_of(d.insn_unit.max(2) as u32);
+        let start = pc;
+        let mut lmap = HashMap::new();
+        let mut stops = vec![0u32; 0];
+        for it in &f.items {
+            match it {
+                AsmIns::Label(l) => {
+                    lmap.insert(*l, pc);
+                }
+                AsmIns::StopPoint(s) => {
+                    debug_assert_eq!(*s as usize, stops.len());
+                    stops.push(pc);
+                }
+                _ => pc += item_len(arch, it) as u32,
+            }
+        }
+        func_addrs.push((f.link_name.clone(), start, pc));
+        labels.push(lmap);
+        stop_addrs.push(stops);
+    }
+    let code_end = pc;
+
+    // ---- data layout ----
+    let mut daddr = code_end.div_ceil(8) * 8;
+    let data_base = daddr;
+    let mut data_addrs = HashMap::new();
+    for (unit, _) in parts {
+        for dd in &unit.data {
+            daddr = daddr.next_multiple_of(dd.align.max(1));
+            data_addrs.insert(dd.link_name.clone(), daddr);
+            daddr += dd.size;
+        }
+    }
+    // Per-function floating literal pools.
+    for f in &all_funcs {
+        for (label, _) in &f.float_consts {
+            daddr = daddr.next_multiple_of(8);
+            data_addrs.insert(label.clone(), daddr);
+            daddr += 8;
+        }
+    }
+    // One anchor table per unit.
+    let mut unit_anchor_info = Vec::new();
+    for (unit, _) in parts {
+        let entries = anchor_entries(unit);
+        daddr = daddr.next_multiple_of(4);
+        let sym = anchor_symbol(unit);
+        data_addrs.insert(sym.clone(), daddr);
+        unit_anchor_info.push((sym, daddr, entries));
+        daddr += 4 * unit_anchor_info.last().map(|(_, _, e)| e.len() as u32).unwrap_or(0);
+    }
+    let anchor_addr = unit_anchor_info.first().map(|(_, a, _)| *a).unwrap_or(0);
+    let anchor_sym = unit_anchor_info
+        .first()
+        .map(|(s, _, _)| s.clone())
+        .unwrap_or_default();
+    // MIPS runtime procedure table (all units).
+    let mut rpt_addr = None;
+    let rpt = if arch == Arch::Mips {
+        let mut entries = Vec::new();
+        for (f, (_, start, _)) in all_funcs.iter().zip(&func_addrs) {
+            entries.push(RptEntry {
+                proc_addr: *start,
+                frame_size: f.frame.size,
+                ra_save_offset: f.frame.ra_offset.unwrap_or(u32::MAX),
+                save_mask: f.frame.save_mask,
+                save_offset: f.frame.save_offset,
+            });
+        }
+        entries.sort_by_key(|e| e.proc_addr);
+        let rpt = Rpt { entries };
+        daddr = daddr.next_multiple_of(4);
+        rpt_addr = Some(daddr);
+        daddr += rpt.byte_size();
+        Some(rpt)
+    } else {
+        None
+    };
+    // Nub area: context block + state words.
+    daddr = daddr.next_multiple_of(8);
+    let context_addr = daddr;
+    daddr += d.ctx.size;
+    let nub_state_addr = daddr;
+    daddr += NUB_STATE_WORDS * 4;
+    let data_end = daddr;
+    let stack_top = data_end.div_ceil(64) * 64 + STACK_SIZE;
+
+    // ---- symbol resolution helper ----
+    let resolve = |sym: &str| -> CcResult<u32> {
+        if let Some((_, start, _)) = func_addrs.iter().find(|(n, _, _)| n == sym) {
+            return Ok(*start);
+        }
+        if let Some(a) = data_addrs.get(sym) {
+            return Ok(*a);
+        }
+        match sym {
+            "__rpt" => rpt_addr.ok_or(()).or_else(|_| lerr("no runtime procedure table")),
+            "__nub_context" => Ok(context_addr),
+            "__nub_state" => Ok(nub_state_addr),
+            _ => lerr(format!("undefined symbol `{sym}`")),
+        }
+    };
+
+    // ---- emission ----
+    let mut stats = LinkStats::default();
+    let mut code = Vec::with_capacity((code_end - CODE_BASE) as usize);
+    let mut pc = CODE_BASE;
+    // Startup stub.
+    for it in &stub {
+        emit_single(arch, order, &mut code, &mut pc, it, None, &resolve, &mut stats)?;
+    }
+    // Functions.
+    for (fi, f) in all_funcs.iter().enumerate() {
+        let target_start = func_addrs[fi].1;
+        while pc < target_start {
+            // Alignment padding between functions.
+            code.push(0);
+            pc += 1;
+        }
+        for it in &f.items {
+            emit_single(arch, order, &mut code, &mut pc, it, Some(&labels[fi]), &resolve, &mut stats)?;
+        }
+    }
+    debug_assert_eq!(pc, code_end);
+    stats.code_bytes = code.len() as u32;
+
+    // ---- data emission ----
+    let mut dmem = Memory::new(data_base, data_end - data_base, order);
+    for dd in parts.iter().flat_map(|(u, _)| u.data.iter()) {
+        let base = data_addrs[&dd.link_name];
+        if let Some(s) = &dd.str_init {
+            let mut bytes = s.as_bytes().to_vec();
+            bytes.push(0);
+            dmem.write_bytes(base, &bytes).map_err(|e| CcError {
+                pos: Pos::default(),
+                msg: e.to_string(),
+            })?;
+        }
+        for item in &dd.init {
+            let a = base + item.offset;
+            let r = match (item.sfx, item.value) {
+                (Sfx::F, Const::F(v)) => dmem.write_f32(a, v as f32),
+                (Sfx::D, Const::F(v)) => dmem.write_f64(a, v),
+                (Sfx::F, Const::I(v)) => dmem.write_f32(a, v as f32),
+                (Sfx::D, Const::I(v)) => dmem.write_f64(a, v as f64),
+                (s, Const::I(v)) => match s.size() {
+                    1 => dmem.write_u8(a, v as u8),
+                    2 => dmem.write_u16(a, v as u16),
+                    _ => dmem.write_u32(a, v as u32),
+                },
+                (s, Const::F(v)) => {
+                    let v = v as i64;
+                    match s.size() {
+                        1 => dmem.write_u8(a, v as u8),
+                        2 => dmem.write_u16(a, v as u16),
+                        _ => dmem.write_u32(a, v as u32),
+                    }
+                }
+            };
+            r.map_err(|e| CcError { pos: Pos::default(), msg: e.to_string() })?;
+        }
+    }
+    for f in &all_funcs {
+        for (label, v) in &f.float_consts {
+            let a = data_addrs[label];
+            dmem.write_f64(a, *v)
+                .map_err(|e| CcError { pos: Pos::default(), msg: e.to_string() })?;
+        }
+    }
+    // Anchor table contents; each unit's Stop indices are relative to the
+    // unit, while stop_addrs is flat across units.
+    let mut func_base = 0usize;
+    for ((unit, funcs), (_, addr, entries)) in parts.iter().zip(&unit_anchor_info) {
+        for (k, e) in entries.iter().enumerate() {
+            let v = match *e {
+                AnchorEntry::Stop { func, stop } => stop_addrs[func_base + func][stop],
+                AnchorEntry::Data { data } => data_addrs[&unit.data[data].link_name],
+            };
+            dmem.write_u32(addr + 4 * k as u32, v)
+                .map_err(|e| CcError { pos: Pos::default(), msg: e.to_string() })?;
+        }
+        func_base += funcs.len();
+    }
+    // Runtime procedure table.
+    if let (Some(rpt), Some(addr)) = (&rpt, rpt_addr) {
+        rpt.write_to(&mut dmem, addr)
+            .map_err(|e| CcError { pos: Pos::default(), msg: e.to_string() })?;
+    }
+    let data = dmem
+        .read_bytes(data_base, data_end - data_base)
+        .expect("own range")
+        .to_vec();
+    stats.data_bytes = data.len() as u32;
+
+    // ---- symbols (what nm will list) ----
+    let mut symbols = Vec::new();
+    symbols.push(Symbol { name: "__start".into(), addr: CODE_BASE, kind: SymKind::Text });
+    let unit_funcs: Vec<&crate::ir::FuncIr> =
+        parts.iter().flat_map(|(u, _)| u.funcs.iter()).collect();
+    for (fi, (name, start, _)) in func_addrs.iter().enumerate() {
+        let kind =
+            if unit_funcs[fi].is_static { SymKind::Private } else { SymKind::Text };
+        symbols.push(Symbol { name: name.clone(), addr: *start, kind });
+    }
+    for dd in parts.iter().flat_map(|(u, _)| u.data.iter()) {
+        let kind = if dd.is_private { SymKind::Private } else { SymKind::Data };
+        symbols.push(Symbol { name: dd.link_name.clone(), addr: data_addrs[&dd.link_name], kind });
+    }
+    for (sym, addr, _) in &unit_anchor_info {
+        symbols.push(Symbol { name: sym.clone(), addr: *addr, kind: SymKind::Data });
+    }
+    if let Some(a) = rpt_addr {
+        symbols.push(Symbol { name: "__rpt".into(), addr: a, kind: SymKind::Data });
+    }
+    symbols.push(Symbol { name: "__nub_context".into(), addr: context_addr, kind: SymKind::Data });
+    symbols.push(Symbol { name: "__nub_state".into(), addr: nub_state_addr, kind: SymKind::Data });
+
+    let image = Image {
+        arch,
+        order,
+        code,
+        code_base: CODE_BASE,
+        data,
+        data_base,
+        bss_size: 0,
+        entry: CODE_BASE,
+        stack_top,
+        symbols,
+    };
+    Ok(Linked {
+        image,
+        stop_addrs,
+        func_addrs,
+        data_addrs,
+        anchor_addr,
+        anchor_sym,
+        rpt_addr,
+        context_addr,
+        stats,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_single(
+    arch: Arch,
+    order: ByteOrder,
+    code: &mut Vec<u8>,
+    pc: &mut u32,
+    it: &AsmIns,
+    lmap: Option<&HashMap<u32, u32>>,
+    resolve: &dyn Fn(&str) -> CcResult<u32>,
+    stats: &mut LinkStats,
+) -> CcResult<()> {
+    let mut emit_op = |code: &mut Vec<u8>, pc: &mut u32, op: &Op| -> CcResult<()> {
+        let bytes = encode::encode(arch, op, *pc, order)
+            .map_err(|e| CcError { pos: Pos::default(), msg: e.to_string() })?;
+        stats.insn_count += 1;
+        if matches!(op, Op::Nop) {
+            stats.nop_count += 1;
+        }
+        *pc += bytes.len() as u32;
+        code.extend(bytes);
+        Ok(())
+    };
+    let label_of = |l: u32| -> CcResult<u32> {
+        lmap.and_then(|m| m.get(&l).copied())
+            .ok_or(())
+            .or_else(|_| lerr(format!("undefined label {l}")))
+    };
+    match it {
+        AsmIns::Label(_) | AsmIns::StopPoint(_) => Ok(()),
+        AsmIns::Op(op) => emit_op(code, pc, op),
+        AsmIns::Br { cond, rs, rt, label } => {
+            let target = label_of(*label)?;
+            emit_op(code, pc, &Op::Branch { cond: *cond, rs: *rs, rt: *rt, target })
+        }
+        AsmIns::Bcc { cond, label } => {
+            let target = label_of(*label)?;
+            emit_op(code, pc, &Op::BranchCC { cond: *cond, target })
+        }
+        AsmIns::Jmp { label } => {
+            let target = label_of(*label)?;
+            emit_op(code, pc, &Op::Jump { target })
+        }
+        AsmIns::CallSym(sym) => {
+            let target = resolve(sym)?;
+            match arch {
+                Arch::Mips => emit_op(code, pc, &Op::JumpAndLink { target, link: 31 }),
+                Arch::Sparc => emit_op(code, pc, &Op::JumpAndLink { target, link: 15 }),
+                Arch::M68k | Arch::Vax => emit_op(code, pc, &Op::Call { target }),
+            }
+        }
+        AsmIns::LoadAddr { rd, sym, off } => {
+            let addr = resolve(sym)?.wrapping_add(*off as u32);
+            match arch {
+                Arch::Mips | Arch::Sparc => {
+                    emit_op(code, pc, &Op::LoadUpper { rd: *rd, imm: (addr >> 16) as u16 })?;
+                    emit_op(
+                        code,
+                        pc,
+                        &Op::AluI {
+                            op: ldb_machine::AluOp::Or,
+                            rd: *rd,
+                            rs: *rd,
+                            imm: (addr & 0xffff) as u16 as i16,
+                        },
+                    )
+                }
+                Arch::M68k | Arch::Vax => {
+                    emit_op(code, pc, &Op::LoadImm { rd: *rd, imm: addr as i32 })
+                }
+            }
+        }
+    }
+}

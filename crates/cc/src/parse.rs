@@ -1,0 +1,749 @@
+//! Recursive-descent parser for the C subset.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::*;
+use crate::lex::{err, lex, CcResult, Kw, Pos, Tok, Token};
+use crate::types::{StructDef, Type};
+
+/// Parse a compilation unit.
+///
+/// # Errors
+/// Lexical and syntax errors, with positions.
+pub fn parse(file: &str, src: &str) -> CcResult<Unit> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0, structs: HashMap::new() };
+    let mut unit = Unit { file: file.to_string(), decls: Vec::new() };
+    while !p.at_eof() {
+        p.top_decl(&mut unit)?;
+    }
+    Ok(unit)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+    structs: HashMap<String, Rc<StructDef>>,
+}
+
+impl Parser {
+    fn cur(&self) -> &Token {
+        &self.toks[self.i]
+    }
+
+    fn pos(&self) -> Pos {
+        self.cur().pos
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.cur().tok, Tok::Eof)
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.toks[self.i].clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.cur().tok.is_punct(p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> CcResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            err(self.pos(), format!("expected `{p}`, found {:?}", self.cur().tok))
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.cur().tok.is_kw(k) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> CcResult<(String, Pos)> {
+        let pos = self.pos();
+        match self.advance().tok {
+            Tok::Ident(s) => Ok((s, pos)),
+            other => err(pos, format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // ----- types -----
+
+    /// Does a type start here? (Used to tell declarations from statements.)
+    fn starts_type(&self) -> bool {
+        match &self.cur().tok {
+            Tok::Keyword(k) => matches!(
+                k,
+                Kw::Void
+                    | Kw::Char
+                    | Kw::Short
+                    | Kw::Int
+                    | Kw::Long
+                    | Kw::Unsigned
+                    | Kw::Signed
+                    | Kw::Float
+                    | Kw::Double
+                    | Kw::Struct
+            ),
+            _ => false,
+        }
+    }
+
+    fn starts_decl(&self) -> bool {
+        self.starts_type()
+            || self.cur().tok.is_kw(Kw::Static)
+            || self.cur().tok.is_kw(Kw::Extern)
+    }
+
+    /// Parse a base type (no declarator).
+    fn base_type(&mut self) -> CcResult<Type> {
+        let pos = self.pos();
+        if self.eat_kw(Kw::Struct) {
+            let (name, _) = self.expect_ident()?;
+            // A reference to a previously defined struct.
+            return match self.structs.get(&name) {
+                Some(s) => Ok(Type::Struct(Rc::clone(s))),
+                None => err(pos, format!("unknown struct `{name}`")),
+            };
+        }
+        let mut unsigned = false;
+        let mut signed = false;
+        loop {
+            if self.eat_kw(Kw::Unsigned) {
+                unsigned = true;
+            } else if self.eat_kw(Kw::Signed) {
+                signed = true;
+            } else {
+                break;
+            }
+        }
+        let base = if self.eat_kw(Kw::Void) {
+            Type::Void
+        } else if self.eat_kw(Kw::Char) {
+            if unsigned {
+                Type::UChar
+            } else {
+                Type::Char
+            }
+        } else if self.eat_kw(Kw::Short) {
+            self.eat_kw(Kw::Int);
+            if unsigned {
+                Type::UShort
+            } else {
+                Type::Short
+            }
+        } else if self.eat_kw(Kw::Int) {
+            if unsigned {
+                Type::UInt
+            } else {
+                Type::Int
+            }
+        } else if self.eat_kw(Kw::Long) {
+            self.eat_kw(Kw::Int);
+            if unsigned {
+                Type::UInt
+            } else {
+                Type::Int
+            }
+        } else if self.eat_kw(Kw::Float) {
+            Type::Float
+        } else if self.eat_kw(Kw::Double) {
+            Type::Double
+        } else if unsigned || signed {
+            // `unsigned x` means `unsigned int x`.
+            if unsigned {
+                Type::UInt
+            } else {
+                Type::Int
+            }
+        } else {
+            return err(pos, "expected a type");
+        };
+        if (unsigned || signed) && base.is_float() {
+            return err(pos, "floating types cannot be signed/unsigned");
+        }
+        Ok(base)
+    }
+
+    /// Parse a declarator: `*`* name `[n]`*.
+    fn declarator(&mut self, base: &Type) -> CcResult<(String, Type, Pos)> {
+        let mut ty = base.clone();
+        while self.eat_punct("*") {
+            ty = Type::Ptr(Rc::new(ty));
+        }
+        let (name, pos) = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while self.eat_punct("[") {
+            let p = self.pos();
+            let n = match self.advance().tok {
+                Tok::IntLit(n) if n > 0 => n as u32,
+                other => return err(p, format!("expected array size, found {other:?}")),
+            };
+            self.expect_punct("]")?;
+            dims.push(n);
+        }
+        for n in dims.into_iter().rev() {
+            ty = Type::Array(Rc::new(ty), n);
+        }
+        Ok((name, ty, pos))
+    }
+
+    // ----- top level -----
+
+    fn top_decl(&mut self, unit: &mut Unit) -> CcResult<()> {
+        let is_static = self.eat_kw(Kw::Static);
+        let is_extern = !is_static && self.eat_kw(Kw::Extern);
+        // Struct definition?
+        if self.cur().tok.is_kw(Kw::Struct) && matches!(self.toks.get(self.i + 2).map(|t| &t.tok), Some(t) if t.is_punct("{"))
+        {
+            self.advance(); // struct
+            let (name, pos) = self.expect_ident()?;
+            self.expect_punct("{")?;
+            let mut fields = Vec::new();
+            while !self.eat_punct("}") {
+                let base = self.base_type()?;
+                loop {
+                    let (fname, fty, _) = self.declarator(&base)?;
+                    fields.push((fname, fty));
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(";")?;
+            }
+            self.expect_punct(";")?;
+            if self.structs.contains_key(&name) {
+                return err(pos, format!("struct `{name}` redefined"));
+            }
+            let def = Rc::new(StructDef::layout(name.clone(), fields));
+            self.structs.insert(name, Rc::clone(&def));
+            unit.decls.push(TopDecl::Struct(def));
+            return Ok(());
+        }
+        let base = self.base_type()?;
+        // `void;` style degenerate declarations are rejected by declarator.
+        let (name, ty, pos) = self.declarator(&base)?;
+        if self.cur().tok.is_punct("(") {
+            // Function definition.
+            self.advance();
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                if self.cur().tok.is_kw(Kw::Void) && self.toks[self.i + 1].tok.is_punct(")") {
+                    self.advance();
+                    self.advance();
+                } else {
+                    loop {
+                        let pbase = self.base_type()?;
+                        let (pname, pty, ppos) = self.declarator(&pbase)?;
+                        params.push(Param { name: pname, ty: pty.decay(), pos: ppos });
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+            }
+            if self.eat_punct(";") {
+                // A prototype: record as an extern function variable-free decl.
+                unit.decls.push(TopDecl::Var(GlobalDecl {
+                    name,
+                    ty: Type::Func(Rc::new(crate::types::FuncType {
+                        ret: ty,
+                        params: params.into_iter().map(|p| (p.name, p.ty)).collect(),
+                    })),
+                    init: None,
+                    is_static,
+                    is_extern: true,
+                    pos,
+                }));
+                return Ok(());
+            }
+            let body_pos = self.pos();
+            if !self.cur().tok.is_punct("{") {
+                return err(body_pos, "expected function body");
+            }
+            let body = self.block()?;
+            let end_pos = self.toks[self.i.saturating_sub(1)].pos;
+            unit.decls.push(TopDecl::Func(FuncDecl {
+                name,
+                ret: ty,
+                params,
+                body,
+                is_static,
+                pos,
+                end_pos,
+            }));
+            return Ok(());
+        }
+        // Global variable(s).
+        let mut name = name;
+        let mut ty = ty;
+        let mut pos = pos;
+        loop {
+            let init = if self.eat_punct("=") { Some(self.initializer()?) } else { None };
+            unit.decls.push(TopDecl::Var(GlobalDecl {
+                name: name.clone(),
+                ty: ty.clone(),
+                init,
+                is_static,
+                is_extern,
+                pos,
+            }));
+            if !self.eat_punct(",") {
+                break;
+            }
+            let (n2, t2, p2) = self.declarator(&base)?;
+            name = n2;
+            ty = t2;
+            pos = p2;
+        }
+        self.expect_punct(";")?;
+        Ok(())
+    }
+
+    fn initializer(&mut self) -> CcResult<Init> {
+        if self.eat_punct("{") {
+            let mut items = Vec::new();
+            if !self.eat_punct("}") {
+                loop {
+                    items.push(self.assignment()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    if self.cur().tok.is_punct("}") {
+                        break; // trailing comma
+                    }
+                }
+                self.expect_punct("}")?;
+            }
+            return Ok(Init::List(items));
+        }
+        if let Tok::StrLit(s) = &self.cur().tok {
+            let s = s.clone();
+            self.advance();
+            return Ok(Init::Str(s));
+        }
+        Ok(Init::Scalar(self.assignment()?))
+    }
+
+    // ----- statements -----
+
+    fn block(&mut self) -> CcResult<Stmt> {
+        let pos = self.pos();
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_eof() {
+                return err(pos, "unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Stmt { kind: StmtKind::Block(stmts), pos })
+    }
+
+    fn stmt(&mut self) -> CcResult<Stmt> {
+        let pos = self.pos();
+        if self.cur().tok.is_punct("{") {
+            return self.block();
+        }
+        if self.starts_decl() {
+            let is_static = self.eat_kw(Kw::Static);
+            let base = self.base_type()?;
+            let mut decls = Vec::new();
+            loop {
+                let (name, ty, dpos) = self.declarator(&base)?;
+                let init = if self.eat_punct("=") { Some(self.assignment()?) } else { None };
+                decls.push(LocalDecl { name, ty, init, is_static, pos: dpos });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(";")?;
+            return Ok(Stmt { kind: StmtKind::Decl(decls), pos });
+        }
+        if self.eat_kw(Kw::If) {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_kw(Kw::Else) { Some(Box::new(self.stmt()?)) } else { None };
+            return Ok(Stmt { kind: StmtKind::If(cond, then, els), pos });
+        }
+        if self.eat_kw(Kw::While) {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt { kind: StmtKind::While(cond, body), pos });
+        }
+        if self.eat_kw(Kw::Do) {
+            let body = Box::new(self.stmt()?);
+            if !self.eat_kw(Kw::While) {
+                return err(self.pos(), "expected `while` after do-body");
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt { kind: StmtKind::DoWhile(body, cond), pos });
+        }
+        if self.eat_kw(Kw::For) {
+            self.expect_punct("(")?;
+            let init =
+                if self.cur().tok.is_punct(";") { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            let cond =
+                if self.cur().tok.is_punct(";") { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            let step = if self.cur().tok.is_punct(")") { None } else { Some(self.expr()?) };
+            self.expect_punct(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt { kind: StmtKind::For(init, cond, step, body), pos });
+        }
+        if self.eat_kw(Kw::Return) {
+            let e = if self.cur().tok.is_punct(";") { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            return Ok(Stmt { kind: StmtKind::Return(e), pos });
+        }
+        if self.eat_kw(Kw::Break) {
+            self.expect_punct(";")?;
+            return Ok(Stmt { kind: StmtKind::Break, pos });
+        }
+        if self.eat_kw(Kw::Continue) {
+            self.expect_punct(";")?;
+            return Ok(Stmt { kind: StmtKind::Continue, pos });
+        }
+        if self.eat_punct(";") {
+            return Ok(Stmt { kind: StmtKind::Empty, pos });
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt { kind: StmtKind::Expr(e), pos })
+    }
+
+    // ----- expressions -----
+
+    /// Full expression (comma is not an operator in the subset).
+    pub(crate) fn expr(&mut self) -> CcResult<Expr> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> CcResult<Expr> {
+        let lhs = self.binary(0)?;
+        let pos = self.pos();
+        for opstr in
+            ["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="]
+        {
+            if self.cur().tok.is_punct(opstr) {
+                self.advance();
+                let rhs = self.assignment()?;
+                let opname: &'static str = match opstr {
+                    "=" => "=",
+                    "+=" => "+=",
+                    "-=" => "-=",
+                    "*=" => "*=",
+                    "/=" => "/=",
+                    "%=" => "%=",
+                    "&=" => "&=",
+                    "|=" => "|=",
+                    "^=" => "^=",
+                    "<<=" => "<<=",
+                    ">>=" => ">>=",
+                    _ => unreachable!(),
+                };
+                return Ok(Expr {
+                    kind: ExprKind::Assign(opname, Box::new(lhs), Box::new(rhs)),
+                    pos,
+                });
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary(&mut self, min_prec: u8) -> CcResult<Expr> {
+        const LEVELS: &[&[&str]] = &[
+            &["||"],
+            &["&&"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["==", "!="],
+            &["<", "<=", ">", ">="],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if min_prec as usize >= LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(min_prec + 1)?;
+        loop {
+            let mut matched = None;
+            for opstr in LEVELS[min_prec as usize] {
+                if self.cur().tok.is_punct(opstr) {
+                    matched = Some(*opstr);
+                    break;
+                }
+            }
+            let Some(op) = matched else { return Ok(lhs) };
+            let pos = self.pos();
+            self.advance();
+            let rhs = self.binary(min_prec + 1)?;
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), pos };
+        }
+    }
+
+    fn unary(&mut self) -> CcResult<Expr> {
+        let pos = self.pos();
+        for op in ["-", "!", "~", "*", "&", "++", "--"] {
+            if self.cur().tok.is_punct(op) {
+                self.advance();
+                let e = self.unary()?;
+                let opname: &'static str = match op {
+                    "-" => "-",
+                    "!" => "!",
+                    "~" => "~",
+                    "*" => "*",
+                    "&" => "&",
+                    "++" => "++",
+                    "--" => "--",
+                    _ => unreachable!(),
+                };
+                return Ok(Expr { kind: ExprKind::Unary(opname, Box::new(e)), pos });
+            }
+        }
+        if self.cur().tok.is_kw(Kw::Sizeof) {
+            self.advance();
+            if self.cur().tok.is_punct("(") && self.toks[self.i + 1].tok.is_kw_type() {
+                self.advance();
+                let base = self.base_type()?;
+                let mut ty = base;
+                while self.eat_punct("*") {
+                    ty = Type::Ptr(Rc::new(ty));
+                }
+                self.expect_punct(")")?;
+                return Ok(Expr { kind: ExprKind::SizeofType(ty), pos });
+            }
+            let e = self.unary()?;
+            return Ok(Expr { kind: ExprKind::SizeofExpr(Box::new(e)), pos });
+        }
+        // Cast: `(type) expr`.
+        if self.cur().tok.is_punct("(") && self.toks[self.i + 1].tok.is_kw_type() {
+            self.advance();
+            let base = self.base_type()?;
+            let mut ty = base;
+            while self.eat_punct("*") {
+                ty = Type::Ptr(Rc::new(ty));
+            }
+            self.expect_punct(")")?;
+            let e = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Cast(ty, Box::new(e)), pos });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> CcResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let pos = self.pos();
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), pos };
+            } else if self.eat_punct(".") {
+                let (name, _) = self.expect_ident()?;
+                e = Expr { kind: ExprKind::Member(Box::new(e), name, false), pos };
+            } else if self.eat_punct("->") {
+                let (name, _) = self.expect_ident()?;
+                e = Expr { kind: ExprKind::Member(Box::new(e), name, true), pos };
+            } else if self.cur().tok.is_punct("++") {
+                self.advance();
+                e = Expr { kind: ExprKind::Postfix("++", Box::new(e)), pos };
+            } else if self.cur().tok.is_punct("--") {
+                self.advance();
+                e = Expr { kind: ExprKind::Postfix("--", Box::new(e)), pos };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> CcResult<Expr> {
+        let pos = self.pos();
+        match self.advance().tok {
+            Tok::IntLit(v) => Ok(Expr { kind: ExprKind::IntLit(v), pos }),
+            Tok::FloatLit(v) => Ok(Expr { kind: ExprKind::FloatLit(v), pos }),
+            Tok::CharLit(v) => Ok(Expr { kind: ExprKind::CharLit(v), pos }),
+            Tok::StrLit(s) => Ok(Expr { kind: ExprKind::StrLit(s), pos }),
+            Tok::Ident(name) => {
+                if self.cur().tok.is_punct("(") {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.assignment()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    return Ok(Expr { kind: ExprKind::Call(name, args), pos });
+                }
+                Ok(Expr { kind: ExprKind::Ident(name), pos })
+            }
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => err(pos, format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+impl Tok {
+    /// Does this token begin a type name? (Used for casts and sizeof.)
+    fn is_kw_type(&self) -> bool {
+        matches!(
+            self,
+            Tok::Keyword(
+                Kw::Void
+                    | Kw::Char
+                    | Kw::Short
+                    | Kw::Int
+                    | Kw::Long
+                    | Kw::Unsigned
+                    | Kw::Signed
+                    | Kw::Float
+                    | Kw::Double
+                    | Kw::Struct
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 program must parse.
+    pub(crate) const FIB_C: &str = r#"void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    { int i;
+      for (i=2; i<n; i++)
+          a[i] = a[i-1] + a[i-2];
+    }
+    { int j;
+      for (j=0; j<n; j++)
+          printf("%d ", a[j]);
+    }
+    printf("\n");
+}
+"#;
+
+    #[test]
+    fn parses_fig1_fib() {
+        let unit = parse("fib.c", FIB_C).unwrap();
+        assert_eq!(unit.decls.len(), 1);
+        match &unit.decls[0] {
+            TopDecl::Func(f) => {
+                assert_eq!(f.name, "fib");
+                assert_eq!(f.params.len(), 1);
+                assert_eq!(f.params[0].name, "n");
+                assert!(f.end_pos.line >= 14);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn globals_and_structs() {
+        let src = r#"
+            struct point { int x; int y; double w; };
+            int g = 5;
+            static int tbl[3] = {1, 2, 3};
+            char msg[6] = "hello";
+            struct point origin;
+            int use(struct point *p) { return p->x + origin.y; }
+        "#;
+        let unit = parse("t.c", src).unwrap();
+        assert_eq!(unit.decls.len(), 6);
+        match &unit.decls[0] {
+            TopDecl::Struct(s) => assert_eq!(s.size, 16),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let unit = parse("t.c", "int f(void) { return 1 + 2 * 3 < 4 && 5 == 5; }").unwrap();
+        let TopDecl::Func(f) = &unit.decls[0] else { panic!() };
+        let StmtKind::Block(b) = &f.body.kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &b[0].kind else { panic!() };
+        // Top is &&.
+        let ExprKind::Binary("&&", l, _) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary("<", _, _) = &l.kind else { panic!("{l:?}") };
+    }
+
+    #[test]
+    fn declarators() {
+        let unit = parse("t.c", "int *p; int a[2][3]; unsigned short u;").unwrap();
+        let tys: Vec<String> = unit
+            .decls
+            .iter()
+            .map(|d| match d {
+                TopDecl::Var(v) => v.ty.decl_pattern(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(tys, vec!["int *%s", "int %s[2][3]", "unsigned short %s"]);
+    }
+
+    #[test]
+    fn control_flow_forms() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                while (n > 0) { s += n; n--; }
+                do s++; while (s < 0);
+                for (;;) break;
+                if (s) return s; else return -s;
+            }
+        "#;
+        parse("t.c", src).unwrap();
+    }
+
+    #[test]
+    fn casts_and_sizeof() {
+        let src = "int f(double d) { return (int)d + sizeof(int) + sizeof d; }";
+        parse("t.c", src).unwrap();
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        let e = parse("t.c", "int f( { }").unwrap_err();
+        assert!(e.pos.line >= 1);
+        assert!(parse("t.c", "int x = ;").is_err());
+        assert!(parse("t.c", "struct nosuch s;").is_err());
+    }
+}

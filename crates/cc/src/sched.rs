@@ -1,0 +1,358 @@
+//! The MIPS delay-slot scheduler.
+//!
+//! Our MIPS has R3000-style load delay slots: the instruction after a load
+//! must not use the loaded register. The scheduler fills each slot with an
+//! independent instruction drawn from the following code, or pads with a
+//! no-op when none can move.
+//!
+//! Compiling for debugging restricts the scheduler: "the scheduler may
+//! rearrange instructions only within [top-level] expressions, not within
+//! basic blocks" (paper, Sec. 3), because execution may stop at any
+//! stopping point and the debugger's view must match the source. In
+//! restricted mode a stopping point is a scheduling barrier; the paper
+//! measured 13% larger MIPS code from exactly this restriction, separate
+//! from the cost of the explicit no-ops.
+
+use crate::asm::{AsmFn, AsmIns};
+use ldb_machine::Op;
+
+/// Statistics from a scheduling pass (for the E2 experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Load delay slots encountered.
+    pub slots: u32,
+    /// Slots already safe (the next instruction was independent).
+    pub already_safe: u32,
+    /// Slots filled by moving an independent instruction up.
+    pub filled: u32,
+    /// Slots padded with a no-op.
+    pub padded: u32,
+}
+
+/// Registers read by an item (integer registers only; the loaded register
+/// hazard is an integer-register hazard).
+fn reads(i: &AsmIns) -> Vec<u8> {
+    match i {
+        AsmIns::Op(op) => match *op {
+            Op::Mov { rs, .. }
+            | Op::JumpReg { rs }
+            | Op::Tst { rs }
+            | Op::Push { rs }
+            | Op::CvtIF { rs, .. } => vec![rs],
+            Op::Alu { rs, rt, .. } | Op::Cmp { rs, rt } => vec![rs, rt],
+            Op::AluI { rs, .. } => vec![rs],
+            Op::Load { base, .. } | Op::FLoad { base, .. } => vec![base],
+            Op::Store { rs, base, .. } => vec![rs, base],
+            Op::FStore { base, .. } => vec![base],
+            Op::Branch { rs, rt, .. } => vec![rs, rt],
+            Op::Syscall(_) => vec![], // argument set up separately
+            _ => vec![],
+        },
+        AsmIns::Br { rs, rt, .. } => vec![*rs, *rt],
+        _ => vec![],
+    }
+}
+
+/// Integer register written by an item.
+fn writes(i: &AsmIns) -> Option<u8> {
+    match i {
+        AsmIns::Op(
+            Op::LoadImm { rd, .. }
+            | Op::LoadUpper { rd, .. }
+            | Op::Mov { rd, .. }
+            | Op::Alu { rd, .. }
+            | Op::AluI { rd, .. }
+            | Op::Load { rd, .. }
+            | Op::CvtFI { rd, .. }
+            | Op::FCmp { rd, .. }
+            | Op::Pop { rd },
+        )
+        | AsmIns::LoadAddr { rd, .. } => Some(*rd),
+        _ => None,
+    }
+}
+
+/// Is this item a scheduling barrier (control flow or a marker)?
+fn is_barrier(i: &AsmIns, restricted: bool) -> bool {
+    match i {
+        AsmIns::Label(_) | AsmIns::Jmp { .. } | AsmIns::Br { .. } | AsmIns::Bcc { .. } => true,
+        AsmIns::CallSym(_) => true,
+        AsmIns::StopPoint(_) => restricted,
+        AsmIns::Op(Op::Syscall(_)) | AsmIns::Op(Op::Break(_)) => true,
+        _ => false,
+    }
+}
+
+/// May this item be moved into a delay slot?
+fn movable(i: &AsmIns) -> bool {
+    match i {
+        AsmIns::Op(op) => matches!(
+            *op,
+            Op::LoadImm { .. }
+                | Op::LoadUpper { .. }
+                | Op::Mov { .. }
+                | Op::Alu { .. }
+                | Op::AluI { .. }
+                | Op::FAlu { .. }
+                | Op::FNeg { .. }
+                | Op::FMov { .. }
+                | Op::CvtIF { .. }
+                | Op::CvtFI { .. }
+                | Op::FCmp { .. }
+        ),
+        AsmIns::LoadAddr { .. } => true,
+        _ => false,
+    }
+}
+
+fn is_insn(i: &AsmIns) -> bool {
+    !matches!(i, AsmIns::Label(_) | AsmIns::StopPoint(_))
+}
+
+/// Does item `c` conflict with item `o` (for hoisting `c` over `o`)?
+fn conflicts(c: &AsmIns, o: &AsmIns) -> bool {
+    let (cr, cw) = (reads(c), writes(c));
+    let (or_, ow) = (reads(o), writes(o));
+    // RAW, WAR, WAW on integer registers.
+    if let Some(w) = cw {
+        if or_.contains(&w) || ow == Some(w) {
+            return true;
+        }
+    }
+    if let Some(w) = ow {
+        if cr.contains(&w) {
+            return true;
+        }
+    }
+    // Floating registers: be conservative about any float-register writer.
+    let fwrites = |i: &AsmIns| {
+        matches!(
+            i,
+            AsmIns::Op(
+                Op::FLoad { .. }
+                    | Op::FAlu { .. }
+                    | Op::FNeg { .. }
+                    | Op::FMov { .. }
+                    | Op::CvtIF { .. }
+            )
+        )
+    };
+    let freads = |i: &AsmIns| {
+        matches!(
+            i,
+            AsmIns::Op(
+                Op::FStore { .. }
+                    | Op::FAlu { .. }
+                    | Op::FNeg { .. }
+                    | Op::FMov { .. }
+                    | Op::CvtFI { .. }
+                    | Op::FCmp { .. }
+            )
+        )
+    };
+    if (fwrites(c) && (freads(o) || fwrites(o))) || (freads(c) && fwrites(o)) {
+        return true;
+    }
+    false
+}
+
+/// Fill the load delay slots of a MIPS function. `restricted` corresponds
+/// to compiling for debugging. Returns fill statistics.
+pub fn fill_delay_slots(a: &mut AsmFn, restricted: bool) -> SchedStats {
+    fill_delay_slots_mode(a, restricted, true)
+}
+
+/// As [`fill_delay_slots`], with filling optionally disabled (`allow_fill
+/// = false` pads every hazardous slot with a no-op — the ablation case).
+pub fn fill_delay_slots_mode(a: &mut AsmFn, restricted: bool, allow_fill: bool) -> SchedStats {
+    let mut stats = SchedStats::default();
+    let mut i = 0;
+    while i < a.items.len() {
+        let loaded = match &a.items[i] {
+            AsmIns::Op(Op::Load { rd, .. }) => Some(*rd),
+            _ => None,
+        };
+        let Some(rd) = loaded else {
+            i += 1;
+            continue;
+        };
+        stats.slots += 1;
+        // Find the next executed instruction; labels and markers in
+        // between mean control can land between load and use, so the slot
+        // must be padded before them.
+        let next = a.items.get(i + 1);
+        let next_is_insn = next.is_some_and(is_insn);
+        if next_is_insn {
+            let n = &a.items[i + 1];
+            let hazard = reads(n).contains(&rd) || writes(n) == Some(rd);
+            if !hazard {
+                stats.already_safe += 1;
+                i += 1;
+                continue;
+            }
+            // Look ahead for an independent, movable instruction.
+            let mut j = i + 2;
+            let mut candidate = None;
+            while allow_fill && j < a.items.len() {
+                let it = &a.items[j];
+                if is_barrier(it, restricted) {
+                    break;
+                }
+                if !is_insn(it) {
+                    // A marker that is not a barrier in this mode (a
+                    // stopping point in full scheduling): skip over it.
+                    j += 1;
+                    continue;
+                }
+                if movable(it)
+                    && !reads(it).contains(&rd)
+                    && writes(it) != Some(rd)
+                {
+                    // Check independence from everything it jumps over.
+                    let mut ok = true;
+                    for k in (i + 1)..j {
+                        if conflicts(it, &a.items[k]) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        candidate = Some(j);
+                        break;
+                    }
+                }
+                // Memory operations block further motion conservatively.
+                if matches!(
+                    it,
+                    AsmIns::Op(Op::Store { .. })
+                        | AsmIns::Op(Op::FStore { .. })
+                        | AsmIns::Op(Op::Load { .. })
+                        | AsmIns::Op(Op::FLoad { .. })
+                ) {
+                    j += 1;
+                    continue;
+                }
+                j += 1;
+            }
+            match candidate {
+                Some(j) => {
+                    let it = a.items.remove(j);
+                    a.items.insert(i + 1, it);
+                    stats.filled += 1;
+                }
+                None => {
+                    a.items.insert(i + 1, AsmIns::Op(Op::Nop));
+                    stats.padded += 1;
+                }
+            }
+        } else {
+            // A label, marker, or function end follows: pad.
+            a.items.insert(i + 1, AsmIns::Op(Op::Nop));
+            stats.padded += 1;
+        }
+        i += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::FrameInfo;
+    use ldb_machine::{AluOp, MemSize};
+
+    fn f(items: Vec<AsmIns>) -> AsmFn {
+        AsmFn {
+            name: "t".into(),
+            link_name: "_t".into(),
+            items,
+            frame: FrameInfo::default(),
+            float_consts: vec![],
+            stop_count: 0,
+        }
+    }
+
+    fn load(rd: u8) -> AsmIns {
+        AsmIns::Op(Op::Load { size: MemSize::B4, signed: true, rd, base: 29, off: 0 })
+    }
+
+    fn add(rd: u8, rs: u8, rt: u8) -> AsmIns {
+        AsmIns::Op(Op::Alu { op: AluOp::Add, rd, rs, rt })
+    }
+
+    #[test]
+    fn independent_next_needs_nothing() {
+        let mut a = f(vec![load(8), add(10, 11, 12)]);
+        let s = fill_delay_slots(&mut a, false);
+        assert_eq!(s, SchedStats { slots: 1, already_safe: 1, filled: 0, padded: 0 });
+        assert_eq!(a.items.len(), 2);
+    }
+
+    #[test]
+    fn dependent_next_gets_filled_from_below() {
+        // load r8; add r9 = r8+r8; mov r10 = r11  →  mov moves into the slot.
+        let mut a = f(vec![load(8), add(9, 8, 8), AsmIns::Op(Op::Mov { rd: 10, rs: 11 })]);
+        let s = fill_delay_slots(&mut a, false);
+        assert_eq!(s.filled, 1);
+        assert!(matches!(a.items[1], AsmIns::Op(Op::Mov { .. })), "{:?}", a.items);
+    }
+
+    #[test]
+    fn no_candidate_pads_with_nop() {
+        let mut a = f(vec![load(8), add(9, 8, 8)]);
+        let s = fill_delay_slots(&mut a, false);
+        assert_eq!(s.padded, 1);
+        assert!(matches!(a.items[1], AsmIns::Op(Op::Nop)));
+    }
+
+    #[test]
+    fn restricted_mode_stops_at_stopping_points() {
+        // The candidate sits beyond a stopping point: restricted mode may
+        // not move it, full mode may.
+        let items = vec![
+            load(8),
+            add(9, 8, 8),
+            AsmIns::StopPoint(1),
+            AsmIns::Op(Op::Mov { rd: 10, rs: 11 }),
+        ];
+        let mut a1 = f(items.clone());
+        let s1 = fill_delay_slots(&mut a1, true);
+        assert_eq!(s1.padded, 1, "restricted: {:?}", a1.items);
+        let mut a2 = f(items);
+        let s2 = fill_delay_slots(&mut a2, false);
+        assert_eq!(s2.filled, 1, "full: {:?}", a2.items);
+    }
+
+    #[test]
+    fn label_after_load_forces_pad() {
+        let mut a = f(vec![load(8), AsmIns::Label(5), add(9, 8, 8)]);
+        let s = fill_delay_slots(&mut a, false);
+        assert_eq!(s.padded, 1);
+        assert!(matches!(a.items[1], AsmIns::Op(Op::Nop)));
+    }
+
+    #[test]
+    fn does_not_hoist_conflicting_instruction() {
+        // Candidate writes r9 which the dependent instruction writes too —
+        // moving it above would be a WAW violation against the dependent
+        // read... the conflict check must reject it.
+        let items = vec![
+            load(8),
+            add(9, 8, 8),
+            add(10, 9, 9), // reads r9, written by the instruction above
+        ];
+        let mut a = f(items);
+        let s = fill_delay_slots(&mut a, false);
+        assert_eq!(s.padded, 1, "{:?}", a.items);
+    }
+
+    #[test]
+    fn consecutive_loads_to_different_regs_are_safe() {
+        let mut a = f(vec![load(8), load(9), add(10, 8, 9)]);
+        let s = fill_delay_slots(&mut a, false);
+        // First slot: next is load r9 (safe). Second: add reads r9 → pad
+        // (loads are not movable candidates).
+        assert_eq!(s.already_safe, 1);
+        assert_eq!(s.padded, 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! A binary "stabs" symbol-table format — the baseline the paper compares
+//! PostScript symbol tables against ("PostScript symbol-table information
+//! is about 9 times larger than dbx stabs for the same program", Sec. 7).
+//!
+//! The format follows a.out stabs: a table of 12-byte entries
+//! (`n_strx, n_type, n_other, n_desc, n_value`) plus a string table of
+//! `name:type-descriptor` strings. The production versions of lcc emit
+//! stabs from the same internal interface used by the PostScript emitter;
+//! so does this module.
+
+use std::collections::HashMap;
+
+use crate::driver::Compiled;
+use crate::ir::{SymKindIr, WhereIr};
+use crate::types::Type;
+
+/// Stab type codes (a.out conventions).
+#[allow(missing_docs)]
+pub mod n_type {
+    pub const N_GSYM: u8 = 0x20; // global variable
+    pub const N_FUN: u8 = 0x24; // function
+    pub const N_STSYM: u8 = 0x26; // static data
+    pub const N_RSYM: u8 = 0x40; // register variable
+    pub const N_SLINE: u8 = 0x44; // source line / stopping point
+    pub const N_SO: u8 = 0x64; // source file
+    pub const N_LSYM: u8 = 0x80; // stack local
+    pub const N_PSYM: u8 = 0xa0; // parameter
+}
+
+/// One decoded stab entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stab {
+    /// The `name:descriptor` string.
+    pub string: String,
+    /// Entry type (see [`n_type`]).
+    pub typ: u8,
+    /// Auxiliary byte (unused).
+    pub other: u8,
+    /// Line number (or similar).
+    pub desc: u16,
+    /// Address, register number, or frame offset.
+    pub value: u32,
+}
+
+/// Compact stabs type descriptors (dbx-style small codes).
+fn type_code(ty: &Type, structs: &mut HashMap<String, u16>) -> String {
+    match ty {
+        Type::Void => "0".into(),
+        Type::Int => "1".into(),
+        Type::Char => "2".into(),
+        Type::Short => "3".into(),
+        Type::UInt => "4".into(),
+        Type::UChar => "5".into(),
+        Type::UShort => "6".into(),
+        Type::Float => "12".into(),
+        Type::Double => "13".into(),
+        Type::Ptr(p) => format!("*{}", type_code(p, structs)),
+        Type::Array(el, n) => format!("a{};{}", n, type_code(el, structs)),
+        Type::Struct(sd) => {
+            let next = structs.len() as u16 + 16;
+            let id = *structs.entry(sd.name.clone()).or_insert(next);
+            format!("s{id}")
+        }
+        Type::Func(f) => format!("f{}", type_code(&f.ret, structs)),
+    }
+}
+
+/// Emit binary stabs for a compiled program.
+pub fn emit(c: &Compiled) -> Vec<u8> {
+    let mut stabs: Vec<Stab> = Vec::new();
+    let mut structs = HashMap::new();
+    let unit = &c.unit;
+    stabs.push(Stab { string: unit.file.clone(), typ: n_type::N_SO, other: 0, desc: 0, value: 0 });
+    // File-scope data symbols.
+    for d in &unit.data {
+        let Some(si) = d.sym else { continue };
+        let s = &unit.syms[si];
+        let tc = type_code(&s.ty, &mut structs);
+        let typ = if d.is_private { n_type::N_STSYM } else { n_type::N_GSYM };
+        let addr = c.linked.data_addrs.get(&d.link_name).copied().unwrap_or(0);
+        stabs.push(Stab {
+            string: format!("{}:{}", s.name, tc),
+            typ,
+            other: 0,
+            desc: s.pos.line as u16,
+            value: addr,
+        });
+    }
+    // Functions, their params/locals, and line stabs.
+    for (fi, f) in unit.funcs.iter().enumerate() {
+        let s = &unit.syms[f.sym];
+        let (_, start, _) = c.linked.func_addrs[fi];
+        let tc = type_code(&f.ret, &mut structs);
+        stabs.push(Stab {
+            string: format!("{}:F{}", s.name, tc),
+            typ: n_type::N_FUN,
+            other: 0,
+            desc: s.pos.line as u16,
+            value: start,
+        });
+        for v in f.params.iter().chain(f.locals.iter()) {
+            if v.name.starts_with("$t") {
+                continue;
+            }
+            let tc = type_code(&v.ty, &mut structs);
+            let (typ, value) = match &unit.syms[v.sym].where_ {
+                WhereIr::Reg(r) => (n_type::N_RSYM, *r as u32),
+                WhereIr::Frame(off) => {
+                    let t = if f.params.iter().any(|p| p.sym == v.sym) {
+                        n_type::N_PSYM
+                    } else {
+                        n_type::N_LSYM
+                    };
+                    (t, *off as u32)
+                }
+                WhereIr::Anchor(_) => {
+                    let addr = unit
+                        .data
+                        .iter()
+                        .find(|d| d.sym == Some(v.sym))
+                        .and_then(|d| c.linked.data_addrs.get(&d.link_name))
+                        .copied()
+                        .unwrap_or(0);
+                    (n_type::N_STSYM, addr)
+                }
+                WhereIr::None => continue,
+            };
+            stabs.push(Stab {
+                string: format!("{}:{}", v.name, tc),
+                typ,
+                other: 0,
+                desc: v.pos.line as u16,
+                value,
+            });
+        }
+        for (si, stop) in f.stops.iter().enumerate() {
+            stabs.push(Stab {
+                string: String::new(),
+                typ: n_type::N_SLINE,
+                other: 0,
+                desc: stop.line as u16,
+                value: c.linked.stop_addrs[fi][si],
+            });
+        }
+    }
+    // Statics that never went through `data` (none today), skipped.
+    let _ = SymKindIr::Variable;
+    encode(&stabs)
+}
+
+/// Serialize entries: `count:u32`, entries, string table.
+pub fn encode(stabs: &[Stab]) -> Vec<u8> {
+    let mut strtab: Vec<u8> = vec![0]; // offset 0 = empty string
+    let mut offsets = Vec::with_capacity(stabs.len());
+    for s in stabs {
+        if s.string.is_empty() {
+            offsets.push(0u32);
+        } else {
+            offsets.push(strtab.len() as u32);
+            strtab.extend_from_slice(s.string.as_bytes());
+            strtab.push(0);
+        }
+    }
+    let mut out = Vec::with_capacity(8 + stabs.len() * 12 + strtab.len());
+    out.extend_from_slice(&(stabs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(strtab.len() as u32).to_le_bytes());
+    for (s, off) in stabs.iter().zip(&offsets) {
+        out.extend_from_slice(&off.to_le_bytes());
+        out.push(s.typ);
+        out.push(s.other);
+        out.extend_from_slice(&s.desc.to_le_bytes());
+        out.extend_from_slice(&s.value.to_le_bytes());
+    }
+    out.extend_from_slice(&strtab);
+    out
+}
+
+/// Parse a stabs blob back into entries (the baseline debugger's reader).
+///
+/// # Errors
+/// Returns `None` on truncation or malformed string offsets.
+pub fn decode(bytes: &[u8]) -> Option<Vec<Stab>> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let count = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let strlen = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+    let table_end = 8 + count * 12;
+    if bytes.len() < table_end + strlen {
+        return None;
+    }
+    let strtab = &bytes[table_end..table_end + strlen];
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let e = &bytes[8 + i * 12..8 + i * 12 + 12];
+        let strx = u32::from_le_bytes(e[0..4].try_into().ok()?) as usize;
+        let string = if strx == 0 {
+            String::new()
+        } else {
+            let end = strtab[strx..].iter().position(|&b| b == 0)? + strx;
+            String::from_utf8_lossy(&strtab[strx..end]).into_owned()
+        };
+        out.push(Stab {
+            string,
+            typ: e[4],
+            other: e[5],
+            desc: u16::from_le_bytes(e[6..8].try_into().ok()?),
+            value: u32::from_le_bytes(e[8..12].try_into().ok()?),
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{compile, CompileOpts};
+    use ldb_machine::Arch;
+
+    const SRC: &str = r#"
+        static int tbl[4] = {1,2,3,4};
+        double g;
+        int add(int a, int b) { int s; s = a + b; return s; }
+        int main(void) { return add(2, 3); }
+    "#;
+
+    #[test]
+    fn round_trips() {
+        let c = compile("t.c", SRC, Arch::Mips, CompileOpts::default()).unwrap();
+        let bytes = emit(&c);
+        let stabs = decode(&bytes).unwrap();
+        assert!(stabs.iter().any(|s| s.typ == n_type::N_SO && s.string == "t.c"));
+        assert!(stabs.iter().any(|s| s.typ == n_type::N_FUN && s.string.starts_with("add:F1")));
+        assert!(stabs.iter().any(|s| s.typ == n_type::N_STSYM && s.string.starts_with("tbl:a4;1")));
+        assert!(stabs.iter().any(|s| s.typ == n_type::N_GSYM && s.string.starts_with("g:13")));
+        assert!(stabs.iter().filter(|s| s.typ == n_type::N_SLINE).count() >= 6);
+        // Register variable s on the MIPS.
+        assert!(stabs.iter().any(|s| s.typ == n_type::N_RSYM && s.string.starts_with("s:1")));
+    }
+
+    #[test]
+    fn stabs_much_smaller_than_postscript() {
+        let c = compile("t.c", SRC, Arch::Mips, CompileOpts::default()).unwrap();
+        let stabs = emit(&c);
+        let ps = crate::pssym::emit(&c.unit, &c.funcs, Arch::Mips, crate::pssym::PsMode::Deferred);
+        let ratio = ps.len() as f64 / stabs.len() as f64;
+        assert!(ratio > 2.0, "ps {} vs stabs {} (ratio {ratio:.1})", ps.len(), stabs.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let c = compile("t.c", SRC, Arch::Vax, CompileOpts::default()).unwrap();
+        let bytes = emit(&c);
+        assert!(decode(&bytes[..bytes.len() - 10]).is_none());
+        assert!(decode(&[1, 2, 3]).is_none());
+    }
+}

@@ -1,0 +1,332 @@
+//! The type system of the C subset, and the lcc-style type suffixes.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A struct field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// Byte offset within the struct.
+    pub offset: u32,
+}
+
+/// A struct definition, laid out at declaration time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Tag name.
+    pub name: String,
+    /// Fields in declaration order, with offsets assigned.
+    pub fields: Vec<Field>,
+    /// Total size (padded to alignment).
+    pub size: u32,
+    /// Alignment.
+    pub align: u32,
+}
+
+impl StructDef {
+    /// Lay out fields with natural alignment.
+    pub fn layout(name: String, raw: Vec<(String, Type)>) -> StructDef {
+        let mut fields = Vec::with_capacity(raw.len());
+        let mut offset = 0u32;
+        let mut align = 1u32;
+        for (fname, ty) in raw {
+            let a = ty.align();
+            align = align.max(a);
+            offset = offset.div_ceil(a) * a;
+            fields.push(Field { name: fname, ty: ty.clone(), offset });
+            offset += ty.size();
+        }
+        let size = offset.max(1).div_ceil(align) * align;
+        StructDef { name, fields, size, align }
+    }
+
+    /// Find a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncType {
+    /// Return type.
+    pub ret: Type,
+    /// Parameter names and types.
+    pub params: Vec<(String, Type)>,
+}
+
+/// Types of the subset. `long` is 32 bits, identical to `int`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// `void`.
+    Void,
+    /// `char` (signed, 8 bits).
+    Char,
+    /// `unsigned char`.
+    UChar,
+    /// `short` (16 bits).
+    Short,
+    /// `unsigned short`.
+    UShort,
+    /// `int` / `long` (32 bits).
+    Int,
+    /// `unsigned int` / `unsigned long`.
+    UInt,
+    /// `float` (IEEE single).
+    Float,
+    /// `double` (IEEE double).
+    Double,
+    /// A pointer.
+    Ptr(Rc<Type>),
+    /// An array with a known element count.
+    Array(Rc<Type>, u32),
+    /// A struct.
+    Struct(Rc<StructDef>),
+    /// A function (only as the type of a declared function).
+    Func(Rc<FuncType>),
+}
+
+impl Type {
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::Char | Type::UChar => 1,
+            Type::Short | Type::UShort => 2,
+            Type::Int | Type::UInt | Type::Float | Type::Ptr(_) => 4,
+            Type::Double => 8,
+            Type::Array(el, n) => el.size() * n,
+            Type::Struct(s) => s.size,
+            Type::Func(_) => 4,
+        }
+    }
+
+    /// Alignment in bytes.
+    pub fn align(&self) -> u32 {
+        match self {
+            Type::Void => 1,
+            Type::Char | Type::UChar => 1,
+            Type::Short | Type::UShort => 2,
+            Type::Int | Type::UInt | Type::Float | Type::Ptr(_) | Type::Func(_) => 4,
+            Type::Double => 8,
+            Type::Array(el, _) => el.align(),
+            Type::Struct(s) => s.align,
+        }
+    }
+
+    /// Is this an integer type?
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            Type::Char | Type::UChar | Type::Short | Type::UShort | Type::Int | Type::UInt
+        )
+    }
+
+    /// Is this a floating type?
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Float | Type::Double)
+    }
+
+    /// Is this arithmetic (integer or floating)?
+    pub fn is_arith(&self) -> bool {
+        self.is_integer() || self.is_float()
+    }
+
+    /// Is this unsigned?
+    pub fn is_unsigned(&self) -> bool {
+        matches!(self, Type::UChar | Type::UShort | Type::UInt)
+    }
+
+    /// Is this a pointer (after array decay)?
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_) | Type::Array(..))
+    }
+
+    /// The pointee (for pointers and arrays).
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Array-to-pointer decay.
+    pub fn decay(&self) -> Type {
+        match self {
+            Type::Array(el, _) => Type::Ptr(Rc::clone(el)),
+            other => other.clone(),
+        }
+    }
+
+    /// The lcc-style type suffix used in the IR.
+    pub fn suffix(&self) -> Sfx {
+        match self {
+            Type::Void => Sfx::V,
+            Type::Char => Sfx::C,
+            Type::UChar => Sfx::Uc,
+            Type::Short => Sfx::S,
+            Type::UShort => Sfx::Us,
+            Type::Int => Sfx::I,
+            Type::UInt => Sfx::U,
+            Type::Float => Sfx::F,
+            Type::Double => Sfx::D,
+            Type::Ptr(_) | Type::Array(..) | Type::Func(_) => Sfx::P,
+            Type::Struct(_) => Sfx::B,
+        }
+    }
+
+    /// Render as a C declaration of `name` (the `%s` form used in type
+    /// dictionaries' `/decl` entries uses `decl_pattern` instead).
+    pub fn display_name(&self) -> String {
+        self.decl_pattern().replace("%s", "").trim().to_string()
+    }
+
+    /// The declaration pattern with `%s` where the declared name goes,
+    /// exactly the `/decl (int %s[20])` strings the paper's symbol tables
+    /// carry.
+    pub fn decl_pattern(&self) -> String {
+        match self {
+            Type::Void => "void %s".into(),
+            Type::Char => "char %s".into(),
+            Type::UChar => "unsigned char %s".into(),
+            Type::Short => "short %s".into(),
+            Type::UShort => "unsigned short %s".into(),
+            Type::Int => "int %s".into(),
+            Type::UInt => "unsigned int %s".into(),
+            Type::Float => "float %s".into(),
+            Type::Double => "double %s".into(),
+            Type::Ptr(t) => t.decl_pattern().replace("%s", "*%s"),
+            Type::Array(t, n) => t.decl_pattern().replace("%s", &format!("%s[{n}]")),
+            Type::Struct(s) => format!("struct {} %s", s.name),
+            Type::Func(f) => f.ret.decl_pattern().replace("%s", "%s()"),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_name())
+    }
+}
+
+/// lcc-style type suffixes: the per-type variants of each IR operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Sfx {
+    C,
+    Uc,
+    S,
+    Us,
+    I,
+    U,
+    P,
+    F,
+    D,
+    B,
+    V,
+}
+
+impl Sfx {
+    /// One-letter (or two for the unsigned sub-word types) suffix text, as
+    /// in lcc operator names like `ASGNI` or `INDIRC`.
+    pub fn letter(self) -> &'static str {
+        match self {
+            Sfx::C => "C",
+            Sfx::Uc => "UC",
+            Sfx::S => "S",
+            Sfx::Us => "US",
+            Sfx::I => "I",
+            Sfx::U => "U",
+            Sfx::P => "P",
+            Sfx::F => "F",
+            Sfx::D => "D",
+            Sfx::B => "B",
+            Sfx::V => "V",
+        }
+    }
+
+    /// Memory width of a value of this suffix.
+    pub fn size(self) -> u32 {
+        match self {
+            Sfx::C | Sfx::Uc => 1,
+            Sfx::S | Sfx::Us => 2,
+            Sfx::I | Sfx::U | Sfx::P | Sfx::F => 4,
+            Sfx::D => 8,
+            Sfx::B | Sfx::V => 0,
+        }
+    }
+
+    /// Is this a floating suffix?
+    pub fn is_float(self) -> bool {
+        matches!(self, Sfx::F | Sfx::D)
+    }
+
+    /// Is this an unsigned integer suffix?
+    pub fn is_unsigned(self) -> bool {
+        matches!(self, Sfx::Uc | Sfx::Us | Sfx::U)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_alignment() {
+        assert_eq!(Type::Char.size(), 1);
+        assert_eq!(Type::Double.align(), 8);
+        let arr = Type::Array(Rc::new(Type::Int), 20);
+        assert_eq!(arr.size(), 80);
+        assert_eq!(arr.align(), 4);
+    }
+
+    #[test]
+    fn struct_layout_pads() {
+        let s = StructDef::layout(
+            "pt".into(),
+            vec![
+                ("c".into(), Type::Char),
+                ("d".into(), Type::Double),
+                ("i".into(), Type::Int),
+            ],
+        );
+        assert_eq!(s.field("c").unwrap().offset, 0);
+        assert_eq!(s.field("d").unwrap().offset, 8);
+        assert_eq!(s.field("i").unwrap().offset, 16);
+        assert_eq!(s.size, 24);
+        assert_eq!(s.align, 8);
+    }
+
+    #[test]
+    fn decl_patterns_match_paper() {
+        assert_eq!(Type::Int.decl_pattern(), "int %s");
+        let arr = Type::Array(Rc::new(Type::Int), 20);
+        assert_eq!(arr.decl_pattern(), "int %s[20]");
+        let pp = Type::Ptr(Rc::new(Type::Ptr(Rc::new(Type::Char))));
+        assert_eq!(pp.decl_pattern(), "char **%s");
+        let pa = Type::Array(Rc::new(Type::Ptr(Rc::new(Type::Int))), 4);
+        assert_eq!(pa.decl_pattern(), "int *%s[4]");
+    }
+
+    #[test]
+    fn decay() {
+        let arr = Type::Array(Rc::new(Type::Int), 20);
+        assert_eq!(arr.decay(), Type::Ptr(Rc::new(Type::Int)));
+        assert!(arr.is_pointer());
+        assert_eq!(arr.pointee(), Some(&Type::Int));
+    }
+
+    #[test]
+    fn suffixes() {
+        assert_eq!(Type::Int.suffix(), Sfx::I);
+        assert_eq!(Type::UChar.suffix().letter(), "UC");
+        assert_eq!(Sfx::D.size(), 8);
+        assert!(Sfx::U.is_unsigned());
+        assert!(Sfx::F.is_float());
+    }
+}

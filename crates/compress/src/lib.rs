@@ -1,0 +1,268 @@
+//! An LZW compressor compatible in spirit with UNIX `compress(1)`.
+//!
+//! The paper compares PostScript symbol-table sizes against dbx stabs
+//! "after compression by the UNIX program compress, in which case the
+//! ratio is about 2" (Sec. 7). This crate supplies the substrate for that
+//! measurement: LZW with variable-width codes growing from 9 to 16 bits
+//! and a dictionary reset when full — the parameters of `compress -b16`.
+//!
+//! # Examples
+//! ```
+//! let data = b"tobeornottobeortobeornot".repeat(10);
+//! let packed = ldb_compress::compress(&data);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(ldb_compress::decompress(&packed).unwrap(), data);
+//! ```
+
+use std::collections::HashMap;
+
+const MIN_BITS: u32 = 9;
+const MAX_BITS: u32 = 16;
+const CLEAR: u32 = 256;
+const FIRST: u32 = 257;
+
+/// A bit-packing writer (LSB-first, like `compress`).
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { out: Vec::new(), acc: 0, nbits: 0 }
+    }
+
+    fn put(&mut self, code: u32, width: u32) {
+        self.acc |= (code as u64) << self.nbits;
+        self.nbits += width;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    fn get(&mut self, width: u32) -> Option<u32> {
+        while self.nbits < width {
+            if self.pos >= self.data.len() {
+                return None;
+            }
+            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+        let v = (self.acc & ((1u64 << width) - 1)) as u32;
+        self.acc >>= width;
+        self.nbits -= width;
+        Some(v)
+    }
+}
+
+/// Compress `data` with LZW (9→16-bit codes).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    // Header: magic + max bits, like compress(1).
+    w.out.extend_from_slice(&[0x1f, 0x9d, MAX_BITS as u8]);
+    if data.is_empty() {
+        return w.finish();
+    }
+    let mut dict: HashMap<(u32, u8), u32> = HashMap::new();
+    let mut next = FIRST;
+    let mut width = MIN_BITS;
+    let mut cur = data[0] as u32;
+    for &b in &data[1..] {
+        match dict.get(&(cur, b)) {
+            Some(&code) => cur = code,
+            None => {
+                w.put(cur, width);
+                dict.insert((cur, b), next);
+                next += 1;
+                if next > (1 << width) && width < MAX_BITS {
+                    width += 1;
+                }
+                if next >= (1 << MAX_BITS) {
+                    // Dictionary full: emit a clear code and start over.
+                    w.put(CLEAR, width);
+                    dict.clear();
+                    next = FIRST;
+                    width = MIN_BITS;
+                }
+                cur = b as u32;
+            }
+        }
+    }
+    w.put(cur, width);
+    w.finish()
+}
+
+/// Decompression errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzwError {
+    /// Missing or wrong header.
+    BadHeader,
+    /// A code referenced an entry that does not exist.
+    BadCode(u32),
+}
+
+impl std::fmt::Display for LzwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzwError::BadHeader => write!(f, "not LZW data"),
+            LzwError::BadCode(c) => write!(f, "bad LZW code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for LzwError {}
+
+/// Decompress LZW data produced by [`compress`].
+///
+/// # Errors
+/// [`LzwError`] for malformed input.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, LzwError> {
+    if data.len() < 3 || data[0] != 0x1f || data[1] != 0x9d {
+        return Err(LzwError::BadHeader);
+    }
+    let mut r = BitReader::new(&data[3..]);
+    let mut out = Vec::new();
+    let mut table: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b]).collect();
+    table.push(Vec::new()); // CLEAR placeholder
+    let mut width = MIN_BITS;
+    let mut prev: Option<Vec<u8>> = None;
+    while let Some(code) = r.get(width) {
+        if code == CLEAR {
+            table.truncate(257);
+            width = MIN_BITS;
+            prev = None;
+            continue;
+        }
+        let entry = if (code as usize) < table.len() {
+            table[code as usize].clone()
+        } else if code as usize == table.len() {
+            // The KwKwK case.
+            let p = prev.clone().ok_or(LzwError::BadCode(code))?;
+            let mut e = p.clone();
+            e.push(p[0]);
+            e
+        } else {
+            return Err(LzwError::BadCode(code));
+        };
+        out.extend_from_slice(&entry);
+        if let Some(p) = prev {
+            let mut ne = p;
+            ne.push(entry[0]);
+            table.push(ne);
+            // The decoder's table lags the encoder's by one entry, so it
+            // widens one entry earlier by its own count.
+            if table.len() >= (1 << width) && width < MAX_BITS {
+                width += 1;
+            }
+        }
+        prev = Some(entry);
+    }
+    Ok(out)
+}
+
+/// Compression ratio (original / compressed), for the E3 report.
+pub fn ratio(data: &[u8]) -> f64 {
+    let c = compress(data);
+    data.len() as f64 / c.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trips_basics() {
+        for case in [
+            &b""[..],
+            b"a",
+            b"aaaaaaaaaaaaaaaaaaaa",
+            b"abcabcabcabcabc",
+            b"the quick brown fox jumps over the lazy dog",
+        ] {
+            let c = compress(case);
+            assert_eq!(decompress(&c).unwrap(), case, "{case:?}");
+        }
+    }
+
+    #[test]
+    fn compresses_postscript_like_text() {
+        let ps = "/S10 << /name (i) /type T4 /sourcefile (fib.c) /kind (variable) >> def\n"
+            .repeat(200);
+        let c = compress(ps.as_bytes());
+        let r = ps.len() as f64 / c.len() as f64;
+        assert!(r > 3.0, "ratio {r:.2}");
+        assert_eq!(decompress(&c).unwrap(), ps.as_bytes());
+    }
+
+    #[test]
+    fn kwkwk_case() {
+        // Classic LZW corner: ababab... exercises code == table.len().
+        let data = b"abababababababababab";
+        assert_eq!(decompress(&compress(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn dictionary_reset_on_large_random_input() {
+        // Large, low-redundancy input forces the dictionary to fill and
+        // reset via CLEAR.
+        let mut data = Vec::with_capacity(1 << 20);
+        let mut x: u32 = 12345;
+        for _ in 0..(1 << 20) {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            data.push((x >> 24) as u8);
+        }
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decompress(b"xx"), Err(LzwError::BadHeader));
+        assert_eq!(decompress(&[0x1f, 0x9d]), Err(LzwError::BadHeader));
+        // A stream with a wildly out-of-range code.
+        let mut w = BitWriter::new();
+        w.out.extend_from_slice(&[0x1f, 0x9d, 16]);
+        w.put(400, MIN_BITS); // references an entry far beyond the table
+        let bad = w.finish();
+        assert!(matches!(decompress(&bad), Err(LzwError::BadCode(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_round_trip_texty(s in "[a-f /(){}<>0-9\n]{0,2000}") {
+            let c = compress(s.as_bytes());
+            prop_assert_eq!(decompress(&c).unwrap(), s.as_bytes());
+        }
+    }
+}

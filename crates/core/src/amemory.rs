@@ -1,0 +1,439 @@
+//! Abstract memories (paper, Sec. 4.1).
+//!
+//! An abstract memory is a collection of *spaces* (single letters: `c`
+//! code, `d` data, `r` integer registers, `f` floating registers, `x`
+//! extra registers, `l` frame-locals) addressed by integer offsets. ldb
+//! combines instances into a DAG per procedure activation:
+//!
+//! * the **wire** forwards fetches and stores to the nub (which serves
+//!   only the code and data spaces),
+//! * the **alias** memory translates register-space locations into code or
+//!   data locations (the saved-register area of a context or stack frame)
+//!   or into immediate values (the virtual frame pointer),
+//! * the **register** memory turns sub-word accesses into full-word
+//!   accesses so target byte order is irrelevant — ldb runs the same code
+//!   against little- and big-endian MIPS targets,
+//! * the **joined** memory routes each space to the right component and is
+//!   what the rest of the debugger sees.
+//!
+//! Machine-independent code manipulates machine-dependent *data* (the
+//! aliases); no machine-dependent code is involved, so cross-architecture
+//! debugging is free.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use ldb_nub::{NubClient, NubError};
+
+/// Errors from abstract-memory operations.
+#[derive(Debug)]
+pub enum MemError {
+    /// The nub rejected the access or the connection failed.
+    Nub(NubError),
+    /// No component serves this space.
+    NoSpace(char),
+    /// A store to an immediate location.
+    ImmutableLocation,
+    /// Unsupported access width.
+    BadSize(u8),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Nub(e) => write!(f, "{e}"),
+            MemError::NoSpace(s) => write!(f, "no `{s}` space in this memory"),
+            MemError::ImmutableLocation => write!(f, "store to an immediate location"),
+            MemError::BadSize(n) => write!(f, "unsupported access width {n}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl From<NubError> for MemError {
+    fn from(e: NubError) -> Self {
+        MemError::Nub(e)
+    }
+}
+
+/// Result alias for memory operations.
+pub type MemResult<T> = Result<T, MemError>;
+
+/// An abstract memory: fetch and store raw values by (space, offset,
+/// width). Widths are 1, 2, 4, or 8 bytes; values travel as host `u64`s
+/// (the wire ships them little-endian, so byte order never leaks).
+pub trait AbstractMemory {
+    /// Fetch a value.
+    ///
+    /// # Errors
+    /// Unserved spaces, nub failures, bad widths.
+    fn fetch(&self, space: char, offset: i64, size: u8) -> MemResult<u64>;
+
+    /// Store a value.
+    ///
+    /// # Errors
+    /// Unserved spaces, nub failures, bad widths, immutable locations.
+    fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()>;
+
+    /// A short name for diagnostics and the F4 figure.
+    fn name(&self) -> &'static str;
+}
+
+/// A shared abstract memory.
+pub type MemRef = Rc<dyn AbstractMemory>;
+
+/// The wire: forwards everything to the nub. The nub serves only the code
+/// and data spaces.
+pub struct WireMemory {
+    client: Rc<RefCell<NubClient>>,
+}
+
+impl WireMemory {
+    /// Wrap a nub connection.
+    pub fn new(client: Rc<RefCell<NubClient>>) -> WireMemory {
+        WireMemory { client }
+    }
+}
+
+impl AbstractMemory for WireMemory {
+    fn fetch(&self, space: char, offset: i64, size: u8) -> MemResult<u64> {
+        if space != 'c' && space != 'd' {
+            return Err(MemError::NoSpace(space));
+        }
+        Ok(self.client.borrow_mut().fetch(space, offset as u32, size)?)
+    }
+
+    fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
+        if space != 'c' && space != 'd' {
+            return Err(MemError::NoSpace(space));
+        }
+        Ok(self.client.borrow_mut().store(space, offset as u32, size, value)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "wire"
+    }
+}
+
+/// Where an alias points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AliasTarget {
+    /// A location in an underlying space (usually `d`: the context or a
+    /// stack slot).
+    Mem(char, i64),
+    /// An immediate value (e.g. the virtual frame pointer).
+    Imm(u64),
+}
+
+/// The alias memory: exact-index aliases for registers, and linear maps
+/// for whole spaces (the `l` frame-local space maps to `d` at vfp+offset).
+pub struct AliasMemory {
+    under: MemRef,
+    regs: RefCell<HashMap<(char, i64), AliasTarget>>,
+    linear: HashMap<char, (char, i64)>,
+}
+
+impl AliasMemory {
+    /// An alias memory over `under`.
+    pub fn new(under: MemRef) -> AliasMemory {
+        AliasMemory { under, regs: RefCell::new(HashMap::new()), linear: HashMap::new() }
+    }
+
+    /// Add an exact-index alias (register `idx` of `space`).
+    pub fn alias(&self, space: char, idx: i64, target: AliasTarget) {
+        self.regs.borrow_mut().insert((space, idx), target);
+    }
+
+    /// Add a linear space map: `space` offset o → (`to`, base + o).
+    pub fn map_space(&mut self, space: char, to: char, base: i64) {
+        self.linear.insert(space, (to, base));
+    }
+
+    /// Copy all exact-index aliases from another alias memory (the paper's
+    /// reuse of aliases from the called frame for unsaved registers).
+    pub fn inherit_from(&self, other: &AliasMemory) {
+        let theirs = other.regs.borrow();
+        let mut mine = self.regs.borrow_mut();
+        for (k, v) in theirs.iter() {
+            mine.entry(*k).or_insert(*v);
+        }
+    }
+
+    fn resolve(&self, space: char, offset: i64) -> MemResult<AliasTarget> {
+        if let Some(&(to, base)) = self.linear.get(&space) {
+            return Ok(AliasTarget::Mem(to, base + offset));
+        }
+        self.regs
+            .borrow()
+            .get(&(space, offset))
+            .copied()
+            .ok_or(MemError::NoSpace(space))
+    }
+}
+
+impl AbstractMemory for AliasMemory {
+    fn fetch(&self, space: char, offset: i64, size: u8) -> MemResult<u64> {
+        match self.resolve(space, offset)? {
+            AliasTarget::Mem(to, addr) => self.under.fetch(to, addr, size),
+            AliasTarget::Imm(v) => Ok(truncate(v, size)),
+        }
+    }
+
+    fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
+        match self.resolve(space, offset)? {
+            AliasTarget::Mem(to, addr) => self.under.store(to, addr, size, value),
+            AliasTarget::Imm(_) => Err(MemError::ImmutableLocation),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "alias"
+    }
+}
+
+/// The register memory: sub-word fetches from register spaces become
+/// full-word fetches of the whole register, so the location of "the least
+/// significant byte" never depends on byte order.
+pub struct RegisterMemory {
+    under: MemRef,
+    /// Word width per register space: `r`/`x` are 4, `f` is 8.
+    widths: HashMap<char, u8>,
+}
+
+impl RegisterMemory {
+    /// Wrap `under`, treating `spaces` as register spaces of given widths.
+    pub fn new(under: MemRef, widths: &[(char, u8)]) -> RegisterMemory {
+        RegisterMemory { under, widths: widths.iter().copied().collect() }
+    }
+}
+
+impl AbstractMemory for RegisterMemory {
+    fn fetch(&self, space: char, offset: i64, size: u8) -> MemResult<u64> {
+        match self.widths.get(&space) {
+            None => self.under.fetch(space, offset, size),
+            Some(&w) => {
+                let full = self.under.fetch(space, offset, w)?;
+                Ok(truncate(full, size))
+            }
+        }
+    }
+
+    fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
+        match self.widths.get(&space) {
+            None => self.under.store(space, offset, size, value),
+            Some(&w) if size >= w => self.under.store(space, offset, w, value),
+            Some(&w) => {
+                // Read-modify-write the full register.
+                let full = self.under.fetch(space, offset, w)?;
+                let mask = width_mask(size);
+                let merged = (full & !mask) | (value & mask);
+                self.under.store(space, offset, w, merged)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "register"
+    }
+}
+
+/// The joined memory: routes each space to a component; this is the
+/// instance presented to the rest of the debugger.
+pub struct JoinedMemory {
+    routes: Vec<(char, MemRef)>,
+    fallback: Option<MemRef>,
+}
+
+impl JoinedMemory {
+    /// An empty joined memory.
+    pub fn new() -> JoinedMemory {
+        JoinedMemory { routes: Vec::new(), fallback: None }
+    }
+
+    /// Route `space` to `mem`.
+    pub fn route(mut self, space: char, mem: MemRef) -> Self {
+        self.routes.push((space, mem));
+        self
+    }
+
+    /// Route any unknown space to `mem`.
+    pub fn fallback(mut self, mem: MemRef) -> Self {
+        self.fallback = Some(mem);
+        self
+    }
+
+    fn pick(&self, space: char) -> MemResult<&MemRef> {
+        self.routes
+            .iter()
+            .find(|(s, _)| *s == space)
+            .map(|(_, m)| m)
+            .or(self.fallback.as_ref())
+            .ok_or(MemError::NoSpace(space))
+    }
+}
+
+impl Default for JoinedMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AbstractMemory for JoinedMemory {
+    fn fetch(&self, space: char, offset: i64, size: u8) -> MemResult<u64> {
+        self.pick(space)?.fetch(space, offset, size)
+    }
+
+    fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
+        self.pick(space)?.store(space, offset, size, value)
+    }
+
+    fn name(&self) -> &'static str {
+        "joined"
+    }
+}
+
+/// An in-memory test double (also used by unit tests higher up).
+#[derive(Default)]
+pub struct FakeMemory {
+    /// (space, offset) → byte. Multi-byte values live little-endian here;
+    /// byte order questions are the wire's business, not this fake's.
+    pub cells: RefCell<HashMap<(char, i64), u64>>,
+}
+
+impl AbstractMemory for FakeMemory {
+    fn fetch(&self, space: char, offset: i64, size: u8) -> MemResult<u64> {
+        let _ = size;
+        Ok(*self.cells.borrow().get(&(space, offset)).unwrap_or(&0))
+    }
+
+    fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
+        let _ = size;
+        self.cells.borrow_mut().insert((space, offset), value);
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "fake"
+    }
+}
+
+fn truncate(v: u64, size: u8) -> u64 {
+    v & width_mask(size)
+}
+
+fn width_mask(size: u8) -> u64 {
+    match size {
+        1 => 0xff,
+        2 => 0xffff,
+        4 => 0xffff_ffff,
+        _ => u64::MAX,
+    }
+}
+
+/// Sign-extend a fetched value of the given width.
+pub fn sign_extend(v: u64, size: u8) -> i64 {
+    match size {
+        1 => v as u8 as i8 as i64,
+        2 => v as u16 as i16 as i64,
+        4 => v as u32 as i32 as i64,
+        _ => v as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_routes_registers_to_context() {
+        let fake = Rc::new(FakeMemory::default());
+        fake.store('d', 92, 4, 1234).unwrap();
+        let alias = AliasMemory::new(fake.clone());
+        alias.alias('r', 30, AliasTarget::Mem('d', 92));
+        // Register 30 is an alias for a location 92 bytes into the context
+        // — the paper's worked example for i.
+        assert_eq!(alias.fetch('r', 30, 4).unwrap(), 1234);
+        alias.store('r', 30, 4, 99).unwrap();
+        assert_eq!(fake.fetch('d', 92, 4).unwrap(), 99);
+    }
+
+    #[test]
+    fn immediate_aliases_return_values_and_refuse_stores() {
+        let fake = Rc::new(FakeMemory::default());
+        let alias = AliasMemory::new(fake);
+        alias.alias('x', 1, AliasTarget::Imm(0x7fff_0000));
+        assert_eq!(alias.fetch('x', 1, 4).unwrap(), 0x7fff_0000);
+        assert!(matches!(
+            alias.store('x', 1, 4, 0),
+            Err(MemError::ImmutableLocation)
+        ));
+    }
+
+    #[test]
+    fn linear_space_maps_frame_locals() {
+        let fake = Rc::new(FakeMemory::default());
+        fake.store('d', 0x8000 - 12, 4, 7).unwrap();
+        let mut alias = AliasMemory::new(fake);
+        alias.map_space('l', 'd', 0x8000); // vfp = 0x8000
+        assert_eq!(alias.fetch('l', -12, 4).unwrap(), 7);
+    }
+
+    #[test]
+    fn register_memory_makes_byte_fetches_order_free() {
+        // The register holds 0x11223344; fetching its "char" must give
+        // 0x44 regardless of target byte order, because the fetch is
+        // transformed into a full-word fetch.
+        let fake = Rc::new(FakeMemory::default());
+        fake.store('r', 30, 4, 0x1122_3344).unwrap();
+        let reg = RegisterMemory::new(fake.clone(), &[('r', 4), ('f', 8)]);
+        assert_eq!(reg.fetch('r', 30, 1).unwrap(), 0x44);
+        assert_eq!(reg.fetch('r', 30, 2).unwrap(), 0x3344);
+        // Sub-word store: read-modify-write.
+        reg.store('r', 30, 1, 0x99).unwrap();
+        assert_eq!(fake.fetch('r', 30, 4).unwrap(), 0x1122_3399);
+    }
+
+    #[test]
+    fn joined_memory_routes_spaces() {
+        let code = Rc::new(FakeMemory::default());
+        let regs = Rc::new(FakeMemory::default());
+        code.store('d', 8, 4, 1).unwrap();
+        regs.store('r', 2, 4, 2).unwrap();
+        let joined = JoinedMemory::new()
+            .route('r', regs)
+            .fallback(code);
+        assert_eq!(joined.fetch('d', 8, 4).unwrap(), 1);
+        assert_eq!(joined.fetch('r', 2, 4).unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_space_is_an_error() {
+        let joined = JoinedMemory::new();
+        assert!(matches!(joined.fetch('q', 0, 4), Err(MemError::NoSpace('q'))));
+    }
+
+    #[test]
+    fn inherit_keeps_existing_aliases() {
+        let fake = Rc::new(FakeMemory::default());
+        let child = AliasMemory::new(fake.clone());
+        child.alias('r', 16, AliasTarget::Mem('d', 100));
+        child.alias('r', 17, AliasTarget::Mem('d', 104));
+        let parent = AliasMemory::new(fake);
+        parent.alias('r', 16, AliasTarget::Mem('d', 200)); // saved by child
+        parent.inherit_from(&child);
+        // r16 keeps the parent's own (saved-slot) alias; r17 is inherited.
+        assert_eq!(parent.resolve('r', 16).unwrap(), AliasTarget::Mem('d', 200));
+        assert_eq!(parent.resolve('r', 17).unwrap(), AliasTarget::Mem('d', 104));
+    }
+
+    #[test]
+    fn sign_extension_helper() {
+        assert_eq!(sign_extend(0xff, 1), -1);
+        assert_eq!(sign_extend(0x7f, 1), 127);
+        assert_eq!(sign_extend(0xffff_ffff, 4), -1);
+        assert_eq!(sign_extend(5, 8), 5);
+    }
+}

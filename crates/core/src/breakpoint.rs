@@ -1,0 +1,199 @@
+//! Breakpoints (paper, Sec. 3).
+//!
+//! "ldb plants a breakpoint at an instruction I by overwriting I with a
+//! trap instruction... For now, ldb can set breakpoints only at no-op
+//! instructions, which can be skipped instead of interpreted. The
+//! implementation is machine-independent, but it manipulates
+//! machine-dependent data: the bit patterns used for break and no-op, the
+//! type used to fetch and store instructions, and the amount to advance
+//! the program counter after 'interpreting' the no-op."
+//!
+//! Those four items are exactly [`MachineData::break_pattern`],
+//! [`MachineData::nop_pattern`], [`MachineData::insn_unit`], and
+//! [`MachineData::pc_advance`]. Everything below is shared by all four
+//! targets. Planting uses the nub's recorded *plant* store, so a fresh
+//! debugger can recover overwritten instructions after a crash.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ldb_machine::MachineData;
+use ldb_nub::NubClient;
+
+use crate::LdbError;
+
+/// How execution resumes from a planted breakpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeKind {
+    /// The paper's interim scheme: the overwritten instruction is a no-op;
+    /// skip it by advancing the saved pc.
+    SkipNop {
+        /// The pc just past the no-op.
+        next_pc: u32,
+    },
+    /// The Sec. 7.1 scheme: restore the original instruction, single-step
+    /// it, re-plant the trap.
+    SingleStep {
+        /// The overwritten instruction.
+        original: u64,
+    },
+}
+
+/// The set of planted breakpoints in one target. Each records the
+/// instruction it overwrote: a stopping-point no-op under the paper's
+/// interim scheme, or an arbitrary instruction under the single-step
+/// scheme of Sec. 7.1 (when the nub's step extension is available).
+pub struct Breakpoints {
+    data: &'static MachineData,
+    planted: HashMap<u32, u64>,
+}
+
+impl std::fmt::Debug for Breakpoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Breakpoints({:?})", self.planted.keys())
+    }
+}
+
+impl Breakpoints {
+    /// An empty set for a target.
+    pub fn new(data: &'static MachineData) -> Breakpoints {
+        Breakpoints { data, planted: HashMap::new() }
+    }
+
+    /// Plant a breakpoint at `addr`, which must hold a no-op (a stopping
+    /// point compiled with `-g`).
+    ///
+    /// # Errors
+    /// The address does not hold a no-op, or the nub connection failed.
+    pub fn plant(&mut self, client: &Rc<RefCell<NubClient>>, addr: u32) -> Result<(), LdbError> {
+        if self.planted.contains_key(&addr) {
+            return Ok(());
+        }
+        let cur = client.borrow_mut().fetch('c', addr, self.data.insn_unit)?;
+        if cur as u32 != self.data.nop_pattern {
+            return Err(LdbError::msg(format!(
+                "{addr:#x} does not hold a stopping-point no-op (found {cur:#x}); \
+                 was the program compiled with -g? (plant_anywhere uses the \
+                 single-step scheme instead)"
+            )));
+        }
+        client
+            .borrow_mut()
+            .plant(addr, self.data.insn_unit, self.data.break_pattern as u64)?;
+        self.planted.insert(addr, cur);
+        Ok(())
+    }
+
+    /// Plant a breakpoint over an *arbitrary* instruction — the Sec. 7.1
+    /// single-step scheme. Resuming needs the nub's step extension (see
+    /// [`Breakpoints::resume_kind`]).
+    ///
+    /// # Errors
+    /// Nub connection failure.
+    pub fn plant_anywhere(
+        &mut self,
+        client: &Rc<RefCell<NubClient>>,
+        addr: u32,
+    ) -> Result<(), LdbError> {
+        if self.planted.contains_key(&addr) {
+            return Ok(());
+        }
+        // Fixed-width targets: reject misaligned plants outright. On the
+        // variable-length targets (68020, VAX) the debugger cannot tell an
+        // instruction boundary from the middle of one; callers must supply
+        // a boundary (e.g. from the disassembler or a stopping point).
+        if self.data.insn_unit > 1 && !addr.is_multiple_of(self.data.insn_unit as u32) {
+            return Err(LdbError::msg(format!(
+                "{addr:#x} is not aligned to the {}-byte instruction unit",
+                self.data.insn_unit
+            )));
+        }
+        let cur = client.borrow_mut().fetch('c', addr, self.data.insn_unit)?;
+        client
+            .borrow_mut()
+            .plant(addr, self.data.insn_unit, self.data.break_pattern as u64)?;
+        self.planted.insert(addr, cur);
+        Ok(())
+    }
+
+    /// Remove the breakpoint at `addr`, restoring the no-op.
+    ///
+    /// # Errors
+    /// Nub connection failure.
+    pub fn remove(&mut self, client: &Rc<RefCell<NubClient>>, addr: u32) -> Result<(), LdbError> {
+        if let Some(orig) = self.planted.remove(&addr) {
+            client.borrow_mut().store('c', addr, self.data.insn_unit, orig)?;
+        }
+        Ok(())
+    }
+
+    /// Is a breakpoint planted at `addr`?
+    pub fn contains(&self, addr: u32) -> bool {
+        self.planted.contains_key(&addr)
+    }
+
+    /// Drop the record of a plant without touching target memory — for
+    /// a target that no longer exists.
+    pub fn forget(&mut self, addr: u32) {
+        self.planted.remove(&addr);
+    }
+
+    /// Whether a breakpoint is planted at `addr`.
+    #[must_use]
+    pub fn is_planted(&self, addr: u32) -> bool {
+        self.planted.contains_key(&addr)
+    }
+
+    /// All planted addresses.
+    #[must_use]
+    pub fn addresses(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.planted.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The pc to resume with after stopping at `addr`: the overwritten
+    /// instruction is a no-op, so it is "interpreted" by skipping it.
+    pub fn resume_pc(&self, addr: u32) -> Option<u32> {
+        match self.planted.get(&addr) {
+            Some(&orig) if orig as u32 == self.data.nop_pattern => {
+                Some(addr + self.data.pc_advance as u32)
+            }
+            _ => None,
+        }
+    }
+
+    /// How to resume from the breakpoint at `addr`.
+    pub fn resume_kind(&self, addr: u32) -> Option<ResumeKind> {
+        self.planted.get(&addr).map(|&orig| {
+            if orig as u32 == self.data.nop_pattern {
+                ResumeKind::SkipNop { next_pc: addr + self.data.pc_advance as u32 }
+            } else {
+                ResumeKind::SingleStep { original: orig }
+            }
+        })
+    }
+
+    /// The original instruction recorded for `addr`.
+    pub fn original(&self, addr: u32) -> Option<u64> {
+        self.planted.get(&addr).copied()
+    }
+
+    /// Rebuild the set from the nub's plant records (after this debugger
+    /// replaced a crashed one).
+    ///
+    /// # Errors
+    /// Nub connection failure.
+    pub fn recover(&mut self, client: &Rc<RefCell<NubClient>>) -> Result<usize, LdbError> {
+        let plants = client.borrow_mut().query_plants()?;
+        let mut n = 0;
+        for (addr, size, orig) in plants {
+            if size == self.data.insn_unit {
+                self.planted.insert(addr, orig);
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}

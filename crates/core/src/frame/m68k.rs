@@ -1,0 +1,50 @@
+//! The 68020 stack walker. Frames are linked through the frame pointer
+//! (`link a6`): the saved caller fp sits at fp+0 and the return address at
+//! fp+4. The callee's register-save mask (recorded in the symbol table by
+//! the compiler — paper, Sec. 5) locates the `movem` save area below the
+//! link region: saved register of rank k lives at fp - framesize - 4(k+1).
+
+use crate::amemory::MemResult;
+use crate::frame::{assemble_dag, parent_aliases, top_aliases, wire_word, Frame, FrameWalker, WalkCtx};
+
+/// The 68020 frame methods.
+pub struct M68kFrame;
+
+impl FrameWalker for M68kFrame {
+    fn top(&self, t: &WalkCtx) -> MemResult<Frame> {
+        let layout = t.data.ctx;
+        let ctx = t.context as i64;
+        let pc = wire_word(&t.wire, ctx + layout.pc_offset as i64)?;
+        let fp = wire_word(&t.wire, ctx + layout.reg(t.data.fp.expect("m68k has fp")) as i64)?;
+        let meta = t.loader.frame_meta(pc, &t.wire);
+        let alias = top_aliases(t, fp);
+        let mem = assemble_dag(&t.wire, alias.clone());
+        Ok(Frame { pc, vfp: fp, level: 0, mem, alias, meta })
+    }
+
+    fn down(&self, t: &WalkCtx, f: &Frame) -> MemResult<Option<Frame>> {
+        if f.vfp == 0 {
+            return Ok(None);
+        }
+        let parent_fp = wire_word(&t.wire, f.vfp as i64)?;
+        let parent_pc = wire_word(&t.wire, f.vfp as i64 + 4)?;
+        let Some(parent_meta) = t.loader.frame_meta(parent_pc, &t.wire) else {
+            return Ok(None);
+        };
+        // movem pushed below the link area: rank k at fp - size - 4(k+1).
+        let size = f.meta.map(|m| m.frame_size).unwrap_or(0) as i64;
+        let base = f.vfp as i64 - size;
+        let alias = parent_aliases(t, f, parent_pc, parent_fp, |rank| {
+            base - 4 * (rank as i64 + 1)
+        });
+        let mem = assemble_dag(&t.wire, alias.clone());
+        Ok(Some(Frame {
+            pc: parent_pc,
+            vfp: parent_fp,
+            level: f.level + 1,
+            mem,
+            alias,
+            meta: Some(parent_meta),
+        }))
+    }
+}

@@ -1,0 +1,160 @@
+//! Stack frames (paper, Sec. 4.1).
+//!
+//! The machine-independent class holds the program counter, the
+//! procedure's symbol-table entry, and the frame's abstract-memory DAG.
+//! "Machine-dependent instances of the class supply only two methods: one
+//! that walks down the stack and one that restores registers from the
+//! stack" — here, the [`FrameWalker`] trait with `top` and `down`.
+
+pub mod m68k;
+pub mod mips;
+pub mod sparc;
+pub mod vax;
+
+use std::rc::Rc;
+
+use ldb_machine::{Arch, MachineData};
+
+use crate::amemory::{AliasMemory, AliasTarget, JoinedMemory, MemRef, MemResult, RegisterMemory};
+use crate::loader::{FrameMeta, Loader};
+
+/// One procedure activation.
+pub struct Frame {
+    /// The program counter in this frame.
+    pub pc: u32,
+    /// The virtual frame pointer: the base `Storage::Frame` offsets (and
+    /// the `l` space) are relative to. On the MIPS it is computed as
+    /// sp + frame size; on the others it is the frame-pointer register.
+    pub vfp: u32,
+    /// 0 = topmost.
+    pub level: u32,
+    /// The joined memory presented to the rest of the debugger.
+    pub mem: MemRef,
+    /// The alias memory inside it (walkers build the parent's aliases from
+    /// it).
+    pub alias: Rc<AliasMemory>,
+    /// Frame metadata of the procedure, if known.
+    pub meta: Option<FrameMeta>,
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Frame {{ pc: {:#x}, vfp: {:#x}, level: {} }}", self.pc, self.vfp, self.level)
+    }
+}
+
+/// What the walkers need from the target.
+pub struct WalkCtx<'a> {
+    /// The wire (serves `c` and `d`).
+    pub wire: MemRef,
+    /// Address of the nub's context block.
+    pub context: u32,
+    /// Machine description.
+    pub data: &'static MachineData,
+    /// The loader (frame metadata, proctable).
+    pub loader: &'a Loader,
+}
+
+/// The machine-dependent stack-walking methods.
+pub trait FrameWalker {
+    /// Build the topmost frame from the context the nub saved.
+    ///
+    /// # Errors
+    /// Wire failures; missing frame metadata.
+    fn top(&self, t: &WalkCtx) -> MemResult<Frame>;
+
+    /// Walk down one frame (to the caller); `None` at the stack base.
+    ///
+    /// # Errors
+    /// Wire failures.
+    fn down(&self, t: &WalkCtx, f: &Frame) -> MemResult<Option<Frame>>;
+}
+
+/// The walker for an architecture.
+pub fn frame_walker(arch: Arch) -> &'static dyn FrameWalker {
+    match arch {
+        Arch::Mips => &mips::MipsFrame,
+        Arch::Sparc => &sparc::SparcFrame,
+        Arch::M68k => &m68k::M68kFrame,
+        Arch::Vax => &vax::VaxFrame,
+    }
+}
+
+/// Shared construction: wrap an alias memory in register and joined
+/// memories over the wire — the DAG of the paper's Figure 4.
+pub fn assemble_dag(wire: &MemRef, alias: Rc<AliasMemory>) -> MemRef {
+    let reg = Rc::new(RegisterMemory::new(
+        alias.clone() as MemRef,
+        &[('r', 4), ('x', 4), ('f', 8)],
+    ));
+    Rc::new(
+        JoinedMemory::new()
+            .route('r', reg.clone())
+            .route('f', reg.clone())
+            .route('x', reg)
+            .route('l', alias as MemRef)
+            .fallback(wire.clone()),
+    )
+}
+
+/// Build a top frame's alias memory: every register aliases its context
+/// slot; the pc and vfp become the extra registers x0 and x1 (x1 is an
+/// immediate — it exists nowhere in target memory).
+pub fn top_aliases(t: &WalkCtx, vfp: u32) -> Rc<AliasMemory> {
+    let mut alias = AliasMemory::new(t.wire.clone());
+    alias.map_space('l', 'd', vfp as i64);
+    let ctx = t.context as i64;
+    let layout = t.data.ctx;
+    for r in 0..layout.nregs {
+        alias.alias('r', r as i64, AliasTarget::Mem('d', ctx + layout.reg(r) as i64));
+    }
+    for f in 0..layout.nfregs {
+        alias.alias('f', f as i64, AliasTarget::Mem('d', ctx + layout.freg(f) as i64));
+    }
+    alias.alias('x', 0, AliasTarget::Mem('d', ctx + layout.pc_offset as i64));
+    alias.alias('x', 1, AliasTarget::Imm(vfp as u64));
+    Rc::new(alias)
+}
+
+/// Build a parent frame's alias memory: reuse the child's aliases for
+/// registers the child did not save, and point the saved ones at the
+/// child's save area (`slot_of(rank)` gives each saved register's
+/// address).
+pub fn parent_aliases(
+    t: &WalkCtx,
+    child: &Frame,
+    parent_pc: u32,
+    parent_vfp: u32,
+    slot_of: impl Fn(u32) -> i64,
+) -> Rc<AliasMemory> {
+    let mut alias = AliasMemory::new(t.wire.clone());
+    alias.map_space('l', 'd', parent_vfp as i64);
+    let alias = Rc::new(alias);
+    // Saved registers: aliases into the child's save area.
+    if let Some(meta) = &child.meta {
+        let mut rank = 0u32;
+        for r in 0..32u32 {
+            if meta.save_mask & (1 << r) != 0 {
+                alias.alias('r', r as i64, AliasTarget::Mem('d', slot_of(rank)));
+                rank += 1;
+            }
+        }
+    }
+    // Everything else: inherited from the called frame ("the aliases from
+    // the called frame are reused").
+    alias.inherit_from(&child.alias);
+    // The extra registers are immediates in parent frames.
+    alias.alias('x', 0, AliasTarget::Imm(parent_pc as u64));
+    alias.alias('x', 1, AliasTarget::Imm(parent_vfp as u64));
+    // The stack pointer of the parent at call time is the child's vfp.
+    alias.alias('r', t.data.sp as i64, AliasTarget::Imm(child.vfp as u64));
+    if let Some(fp) = t.data.fp {
+        alias.alias('r', fp as i64, AliasTarget::Imm(parent_vfp as u64));
+    }
+    alias
+}
+
+/// Read the saved pc out of a frame's context/stack through the wire.
+pub(crate) fn wire_word(wire: &MemRef, addr: i64) -> MemResult<u32> {
+    Ok(wire.fetch('d', addr, 4)? as u32)
+}

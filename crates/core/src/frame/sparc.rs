@@ -1,0 +1,49 @@
+//! The SPARC stack walker: a frame-pointer RISC. The old frame pointer is
+//! saved at fp-4 and the return address at fp-8 (our windowless SPARC
+//! convention); frame metadata comes from the symbol table, through the
+//! machine-independent linker interface shared with the VAX and 68020.
+
+use crate::amemory::MemResult;
+use crate::frame::{assemble_dag, parent_aliases, top_aliases, wire_word, Frame, FrameWalker, WalkCtx};
+
+/// The SPARC frame methods.
+pub struct SparcFrame;
+
+impl FrameWalker for SparcFrame {
+    fn top(&self, t: &WalkCtx) -> MemResult<Frame> {
+        let layout = t.data.ctx;
+        let ctx = t.context as i64;
+        let pc = wire_word(&t.wire, ctx + layout.pc_offset as i64)?;
+        let fp = wire_word(&t.wire, ctx + layout.reg(t.data.fp.expect("sparc has fp")) as i64)?;
+        let meta = t.loader.frame_meta(pc, &t.wire);
+        let alias = top_aliases(t, fp);
+        let mem = assemble_dag(&t.wire, alias.clone());
+        Ok(Frame { pc, vfp: fp, level: 0, mem, alias, meta })
+    }
+
+    fn down(&self, t: &WalkCtx, f: &Frame) -> MemResult<Option<Frame>> {
+        if f.vfp == 0 {
+            return Ok(None);
+        }
+        let parent_pc = wire_word(&t.wire, f.vfp as i64 - 8)?;
+        let parent_fp = wire_word(&t.wire, f.vfp as i64 - 4)?;
+        let Some(parent_meta) = t.loader.frame_meta(parent_pc, &t.wire) else {
+            return Ok(None);
+        };
+        let save_base = f.meta
+            .map(|m| f.vfp as i64 - m.save_offset as i64)
+            .unwrap_or(f.vfp as i64);
+        let alias = parent_aliases(t, f, parent_pc, parent_fp, |rank| {
+            save_base + 4 * rank as i64
+        });
+        let mem = assemble_dag(&t.wire, alias.clone());
+        Ok(Some(Frame {
+            pc: parent_pc,
+            vfp: parent_fp,
+            level: f.level + 1,
+            mem,
+            alias,
+            meta: Some(parent_meta),
+        }))
+    }
+}

@@ -1,0 +1,48 @@
+//! The VAX stack walker. Structurally like the 68020 (fp-linked frames,
+//! entry save mask), with the VAX's own registers: fp is r13, and the save
+//! area established at procedure entry sits below the locals, rank k at
+//! fp - framesize - 4(k+1).
+
+use crate::amemory::MemResult;
+use crate::frame::{assemble_dag, parent_aliases, top_aliases, wire_word, Frame, FrameWalker, WalkCtx};
+
+/// The VAX frame methods.
+pub struct VaxFrame;
+
+impl FrameWalker for VaxFrame {
+    fn top(&self, t: &WalkCtx) -> MemResult<Frame> {
+        let layout = t.data.ctx;
+        let ctx = t.context as i64;
+        let pc = wire_word(&t.wire, ctx + layout.pc_offset as i64)?;
+        let fp = wire_word(&t.wire, ctx + layout.reg(t.data.fp.expect("vax has fp")) as i64)?;
+        let meta = t.loader.frame_meta(pc, &t.wire);
+        let alias = top_aliases(t, fp);
+        let mem = assemble_dag(&t.wire, alias.clone());
+        Ok(Frame { pc, vfp: fp, level: 0, mem, alias, meta })
+    }
+
+    fn down(&self, t: &WalkCtx, f: &Frame) -> MemResult<Option<Frame>> {
+        if f.vfp == 0 {
+            return Ok(None);
+        }
+        let parent_fp = wire_word(&t.wire, f.vfp as i64)?;
+        let parent_pc = wire_word(&t.wire, f.vfp as i64 + 4)?;
+        let Some(parent_meta) = t.loader.frame_meta(parent_pc, &t.wire) else {
+            return Ok(None);
+        };
+        let size = f.meta.map(|m| m.frame_size).unwrap_or(0) as i64;
+        let base = f.vfp as i64 - size;
+        let alias = parent_aliases(t, f, parent_pc, parent_fp, |rank| {
+            base - 4 * (rank as i64 + 1)
+        });
+        let mem = assemble_dag(&t.wire, alias.clone());
+        Ok(Some(Frame {
+            pc: parent_pc,
+            vfp: parent_fp,
+            level: f.level + 1,
+            mem,
+            alias,
+            meta: Some(parent_meta),
+        }))
+    }
+}

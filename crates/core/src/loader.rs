@@ -1,0 +1,228 @@
+//! The linker interface (paper, Sec. 3 and 4.3).
+//!
+//! ldb reads the loader table — a PostScript dictionary generated from
+//! `nm` output — to learn anchor-symbol addresses and the (address, name)
+//! pairs of procedures. The frame-layout side differs by target: "the
+//! VAX, SPARC, and 68020 share a single, machine-independent
+//! implementation of the linker interface. The MIPS cannot use this
+//! implementation because it has no frame pointer" — its frame sizes come
+//! from the *runtime procedure table in the target address space*.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ldb_machine::{Arch, Rpt};
+use ldb_postscript::{DictRef, Interp, Object, PsResult};
+
+use crate::amemory::MemRef;
+
+/// Frame metadata for one procedure, as the stack walkers need it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Procedure start address.
+    pub proc_addr: u32,
+    /// Frame size in bytes.
+    pub frame_size: u32,
+    /// Offset below the frame top where the return address is saved
+    /// (RISC convention; CISC frames find it at fp+4).
+    pub ra_offset: Option<u32>,
+    /// Callee-saved registers this procedure saves.
+    pub save_mask: u32,
+    /// Offset below the frame top of the save area.
+    pub save_offset: u32,
+}
+
+/// The loader table, parsed.
+pub struct Loader {
+    /// The whole loader dictionary.
+    pub table: DictRef,
+    /// The program's top-level symbol dictionary.
+    pub top: DictRef,
+    /// Anchor symbol → address.
+    pub anchors: HashMap<String, u32>,
+    /// (address, linker name) pairs, sorted by address.
+    pub proctable: Vec<(u32, String)>,
+    /// The architecture named in the symbol table.
+    pub arch: Arch,
+    /// Cached MIPS runtime procedure table.
+    rpt: RefCell<Option<Rpt>>,
+}
+
+impl std::fmt::Debug for Loader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Loader {{ arch: {}, procs: {} }}", self.arch, self.proctable.len())
+    }
+}
+
+impl Loader {
+    /// Interpret loader-table PostScript and extract the pieces ldb
+    /// needs. The arch dictionary must already be on the dictionary stack
+    /// (symbol tables execute `Regset0` etc. while loading).
+    ///
+    /// # Errors
+    /// PostScript errors and malformed tables.
+    pub fn load(interp: &mut Interp, loader_ps: &str) -> PsResult<Loader> {
+        interp.run_str(loader_ps)?;
+        let table_obj = interp.pop()?;
+        let table = table_obj.as_dict()?;
+        let (top, anchors, proctable, arch);
+        {
+            let t = table.borrow();
+            let top_obj = t
+                .get_name("symtab")
+                .cloned()
+                .ok_or_else(|| bad("loader table has no /symtab"))?;
+            top = top_obj.as_dict()?;
+            let mut amap = HashMap::new();
+            let am = t
+                .get_name("anchormap")
+                .cloned()
+                .ok_or_else(|| bad("loader table has no /anchormap"))?
+                .as_dict()?;
+            for (k, v) in am.borrow().iter() {
+                amap.insert(k.to_string().trim_start_matches('/').to_string(), v.as_int()? as u32);
+            }
+            anchors = amap;
+            let mut procs = Vec::new();
+            let pt = t
+                .get_name("proctable")
+                .cloned()
+                .ok_or_else(|| bad("loader table has no /proctable"))?
+                .as_array()?;
+            let pt = pt.borrow();
+            let mut i = 0;
+            while i + 1 < pt.len() {
+                procs.push((pt[i].as_int()? as u32, pt[i + 1].as_string()?.to_string()));
+                i += 2;
+            }
+            procs.sort();
+            proctable = procs;
+            let arch_name = top
+                .borrow()
+                .get_name("architecture")
+                .cloned()
+                .ok_or_else(|| bad("symbol table has no /architecture"))?
+                .as_string()?;
+            arch = Arch::from_name(&arch_name)
+                .ok_or_else(|| bad(format!("unknown architecture ({arch_name})")))?;
+        }
+        Ok(Loader { table, top, anchors, proctable, arch, rpt: RefCell::new(None) })
+    }
+
+    /// The procedure containing `pc`: the proctable pair with the largest
+    /// address not above `pc` (mapping program counters to procedure
+    /// addresses, the first step of pc → symbol-table entry).
+    pub fn proc_containing(&self, pc: u32) -> Option<(u32, &str)> {
+        let idx = self.proctable.partition_point(|(a, _)| *a <= pc);
+        if idx == 0 {
+            return None;
+        }
+        let (a, n) = &self.proctable[idx - 1];
+        Some((*a, n))
+    }
+
+    /// The address of a procedure by linker name.
+    pub fn proc_addr(&self, link_name: &str) -> Option<u32> {
+        self.proctable.iter().find(|(_, n)| n == link_name).map(|(a, _)| *a)
+    }
+
+    /// Frame metadata for the procedure containing `pc`.
+    ///
+    /// The machine-independent implementation reads `/framesize`,
+    /// `/savemask`, `/saveoffset` from the procedure's symbol-table entry;
+    /// the MIPS implementation reads the runtime procedure table from the
+    /// target address space through `wire`.
+    pub fn frame_meta(&self, pc: u32, wire: &MemRef) -> Option<FrameMeta> {
+        if self.arch == Arch::Mips {
+            return self.frame_meta_mips(pc, wire);
+        }
+        let (proc_addr, link_name) = self.proc_containing(pc)?;
+        let entry = self.proc_entry_by_link_name(link_name)?;
+        let d = entry.as_dict().ok()?;
+        let d = d.borrow();
+        let get = |k: &str| d.get_name(k).and_then(|o| o.as_int().ok());
+        Some(FrameMeta {
+            proc_addr,
+            frame_size: get("framesize")? as u32,
+            ra_offset: get("raoffset").map(|v| v as u32),
+            save_mask: get("savemask").unwrap_or(0) as u32,
+            save_offset: get("saveoffset").unwrap_or(0) as u32,
+        })
+    }
+
+    /// The MIPS linker interface: lazily read the runtime procedure table
+    /// from target memory (paper: "gets machine-dependent data from the
+    /// runtime procedure table located in the target address space").
+    fn frame_meta_mips(&self, pc: u32, wire: &MemRef) -> Option<FrameMeta> {
+        if self.rpt.borrow().is_none() {
+            let addr = *self.anchors.get("__rpt")?;
+            let rpt = Rpt::read_from(
+                &mut |a| {
+                    wire.fetch('d', a as i64, 4)
+                        .map(|v| v as u32)
+                        .map_err(|_| ldb_machine::Fault::BadAddress { addr: a, write: false })
+                },
+                addr,
+            )
+            .ok()?;
+            *self.rpt.borrow_mut() = Some(rpt);
+        }
+        let rpt = self.rpt.borrow();
+        let e = rpt.as_ref()?.lookup(pc)?;
+        Some(FrameMeta {
+            proc_addr: e.proc_addr,
+            frame_size: e.frame_size,
+            ra_offset: (e.ra_save_offset != u32::MAX).then_some(e.ra_save_offset),
+            save_mask: e.save_mask,
+            save_offset: e.save_offset,
+        })
+    }
+
+    /// A procedure's symbol-table entry, by linker name (`_fib`).
+    pub fn proc_entry_by_link_name(&self, link_name: &str) -> Option<Object> {
+        // Externs carry a leading underscore; unit-private (static)
+        // functions are unit-qualified (`fib_c.helper`).
+        let source = link_name
+            .strip_prefix('_')
+            .unwrap_or_else(|| link_name.rsplit('.').next().unwrap_or(link_name));
+        self.proc_entry_by_name(source)
+    }
+
+    /// A procedure's symbol-table entry, by source name (`fib`): externs
+    /// first, then unit statics.
+    pub fn proc_entry_by_name(&self, name: &str) -> Option<Object> {
+        let top = self.top.borrow();
+        for dictname in ["externs", "statics"] {
+            if let Some(d) = top.get_name(dictname) {
+                if let Ok(d) = d.as_dict() {
+                    if let Some(e) = d.borrow().get_name(name) {
+                        return Some(e.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterate the `/procs` array (symbol-table entries of procedures).
+    pub fn procs(&self) -> Vec<Object> {
+        let top = self.top.borrow();
+        match top.get_name("procs").and_then(|o| o.as_array().ok()) {
+            Some(a) => a.borrow().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Share the cached runtime procedure table (tests, figures).
+    pub fn rpt_cache(&self) -> Option<Rpt> {
+        self.rpt.borrow().clone()
+    }
+}
+
+/// A sharable loader.
+pub type LoaderRef = Rc<Loader>;
+
+fn bad(msg: impl Into<String>) -> ldb_postscript::PsError {
+    ldb_postscript::PsError::runtime(ldb_postscript::ErrorKind::HostError, msg)
+}

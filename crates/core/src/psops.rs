@@ -1,0 +1,608 @@
+//! The debugging operators ldb registers into its embedded PostScript
+//! interpreter, and the evaluation context they act on.
+//!
+//! The interpreter's machine-independent location operators (`Absolute`,
+//! `Immediate`, `Shifted`) live in `ldb-postscript`; everything that
+//! touches a *target* lives here: fetch/store through the current abstract
+//! memory, lazy anchor resolution (`LazyData`, `LazyAddr`), symbol-entry
+//! location computation with the paper's replace-procedure-by-result
+//! memoization (`SymLoc`), the typed fetch/store words the expression
+//! server's rewriter targets, and the `print` value printer that the
+//! debugging dictionary *rebinds* over the standard `print`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ldb_postscript::{
+    downcast_host, Dict, ErrorKind, HostObject, Interp, Location, Object, PsError, PsResult,
+    Value,
+};
+
+use crate::amemory::{sign_extend, MemRef};
+
+/// The state the debugging operators consult: the current frame's memory,
+/// and the loader table's anchor map.
+pub struct EvalCtx {
+    /// The abstract memory of the selected frame (or the bare wire before
+    /// any stop).
+    pub mem: Option<MemRef>,
+    /// Anchor symbol → address, from the loader table.
+    pub anchors: HashMap<String, u32>,
+    /// Lazy-anchor cache: fetches from the target address space happen "at
+    /// most once per symbol-table entry". Keyed by target nonce too:
+    /// different targets may share anchor names (same compilation unit).
+    pub anchor_cache: HashMap<(usize, String, i64), u64>,
+    /// Which target the context currently reflects.
+    pub target_nonce: usize,
+    /// Count of anchor fetches actually performed (tests observe this).
+    pub anchor_fetches: u64,
+}
+
+impl EvalCtx {
+    /// An empty context.
+    pub fn new() -> EvalCtx {
+        EvalCtx {
+            mem: None,
+            anchors: HashMap::new(),
+            anchor_cache: HashMap::new(),
+            target_nonce: 0,
+            anchor_fetches: 0,
+        }
+    }
+}
+
+impl Default for EvalCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shared handle to the evaluation context.
+pub type CtxRef = Rc<RefCell<EvalCtx>>;
+
+/// A host object wrapping an abstract memory for PostScript code
+/// (`&machine` in the printer procedures).
+pub struct MemHandle(pub MemRef);
+
+impl std::fmt::Debug for MemHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "-memory:{}-", self.0.name())
+    }
+}
+
+impl HostObject for MemHandle {
+    fn type_name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+fn host_err(detail: impl Into<String>) -> PsError {
+    PsError::runtime(ErrorKind::HostError, detail)
+}
+
+fn ctx_mem(ctx: &CtxRef) -> PsResult<MemRef> {
+    ctx.borrow()
+        .mem
+        .clone()
+        .ok_or_else(|| host_err("not connected to a stopped target"))
+}
+
+/// Fetch through a location: immediates yield their value.
+fn loc_fetch(mem: &MemRef, loc: &Location, size: u8) -> PsResult<Object> {
+    match loc {
+        Location::Immediate(v) => Ok((**v).clone()),
+        Location::Addr { space, offset } => {
+            let raw = mem
+                .fetch(*space, *offset, size)
+                .map_err(|e| host_err(e.to_string()))?;
+            Ok(Object::int(raw as i64))
+        }
+    }
+}
+
+fn loc_store(mem: &MemRef, loc: &Location, size: u8, value: u64) -> PsResult<()> {
+    match loc {
+        Location::Immediate(_) => Err(host_err("store to an immediate location")),
+        Location::Addr { space, offset } => mem
+            .store(*space, *offset, size, value)
+            .map_err(|e| host_err(e.to_string())),
+    }
+}
+
+/// Register a `FetchN`-family operator: `mem loc OP -> value`.
+fn reg_fetch(i: &mut Interp, name: &str, size: u8, signed: bool, float: bool) {
+    i.register(name, move |i| {
+        let loc = i.pop()?.as_location()?;
+        let memobj = i.pop()?;
+        let handle = memobj.as_host::<MemHandle>()?;
+        let mh: &MemHandle = downcast_host(&handle)?;
+        let v = loc_fetch(&mh.0, &loc, size)?;
+        push_typed(i, v, size, signed, float)
+    });
+}
+
+fn push_typed(i: &mut Interp, v: Object, size: u8, signed: bool, float: bool) -> PsResult<()> {
+    match v.val {
+        Value::Int(raw) => {
+            if float {
+                let r = match size {
+                    4 => f32::from_bits(raw as u32) as f64,
+                    _ => f64::from_bits(raw as u64),
+                };
+                i.push(r);
+            } else if signed {
+                i.push(sign_extend(raw as u64, size));
+            } else {
+                i.push(raw & mask(size) as i64);
+            }
+            Ok(())
+        }
+        // Immediate locations may hold any object (e.g. the vfp integer).
+        _ => {
+            i.push(v);
+            Ok(())
+        }
+    }
+}
+
+fn mask(size: u8) -> u64 {
+    match size {
+        1 => 0xff,
+        2 => 0xffff,
+        4 => 0xffff_ffff,
+        _ => u64::MAX,
+    }
+}
+
+/// Register a `StoreN`-family operator: `mem loc value OP ->`.
+fn reg_store(i: &mut Interp, name: &str, size: u8, float: bool) {
+    i.register(name, move |i| {
+        let value = i.pop()?;
+        let loc = i.pop()?.as_location()?;
+        let memobj = i.pop()?;
+        let handle = memobj.as_host::<MemHandle>()?;
+        let mh: &MemHandle = downcast_host(&handle)?;
+        let raw = object_to_raw(&value, size, float)?;
+        loc_store(&mh.0, &loc, size, raw)
+    });
+}
+
+fn object_to_raw(value: &Object, size: u8, float: bool) -> PsResult<u64> {
+    if float {
+        let r = value.as_real()?;
+        Ok(match size {
+            4 => (r as f32).to_bits() as u64,
+            _ => r.to_bits(),
+        })
+    } else {
+        Ok(value.as_int()? as u64 & mask(size))
+    }
+}
+
+/// Build the debugging dictionary: every target-touching operator, the
+/// shared printer procedures, and the `print` rebinding. The caller pushes
+/// it on the dictionary stack (and pushes a per-architecture dictionary
+/// above it when a target is selected).
+/// Format a double the way the rest of the debugger prints them, always
+/// with a decimal point (or exponent) so the text re-lexes as a double.
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'i', 'N']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+pub fn make_debug_dict(interp: &mut Interp, ctx: CtxRef) -> ldb_postscript::DictRef {
+    let dict = Rc::new(RefCell::new(Dict::new(64)));
+
+    // --- raw fetch/store for printers: mem loc FetchX ---
+    reg_fetch(interp, "Fetch8", 1, true, false);
+    reg_fetch(interp, "Fetch8u", 1, false, false);
+    reg_fetch(interp, "Fetch16", 2, true, false);
+    reg_fetch(interp, "Fetch16u", 2, false, false);
+    reg_fetch(interp, "Fetch32", 4, true, false);
+    reg_fetch(interp, "Fetch32u", 4, false, false);
+    reg_fetch(interp, "FetchF32", 4, false, true);
+    reg_fetch(interp, "FetchF64", 8, false, true);
+    reg_store(interp, "Store8", 1, false);
+    reg_store(interp, "Store16", 2, false);
+    reg_store(interp, "Store32", 4, false);
+    reg_store(interp, "StoreF32", 4, true);
+    reg_store(interp, "StoreF64", 8, true);
+
+    // --- conversions the printers need ---
+    interp.register("CvChar", |i| {
+        let c = i.pop()?.as_int()?;
+        let ch = (c as u8) as char;
+        let s = if ch.is_ascii_graphic() || ch == ' ' {
+            ch.to_string()
+        } else {
+            format!("\\{:03o}", c as u8)
+        };
+        i.push(Object::string(s));
+        Ok(())
+    });
+    interp.register("CvHex", |i| {
+        let v = i.pop()?.as_int()?;
+        i.push(Object::string(format!("0x{:x}", v as u32)));
+        Ok(())
+    });
+
+    // --- the current frame's memory, for expression evaluation ---
+    {
+        let ctx = ctx.clone();
+        interp.register("CurrentMem", move |i| {
+            let mem = ctx_mem(&ctx)?;
+            i.push(Object::host(Rc::new(MemHandle(mem))));
+            Ok(())
+        });
+    }
+
+    // --- lazy anchor resolution ---
+    for (name, as_location) in [("LazyData", true), ("LazyAddr", false)] {
+        let ctx = ctx.clone();
+        interp.register(name, move |i| {
+            let k = i.pop()?.as_int()?;
+            let anchor = i.pop()?.as_string()?;
+            let addr = {
+                let c = ctx.borrow();
+                c.anchors
+                    .get(anchor.as_ref())
+                    .copied()
+                    .ok_or_else(|| host_err(format!("unknown anchor {anchor}")))?
+            };
+            let key = (ctx.borrow().target_nonce, anchor.to_string(), k);
+            let cached = ctx.borrow().anchor_cache.get(&key).copied();
+            let word = match cached {
+                Some(w) => w,
+                None => {
+                    let mem = ctx_mem(&ctx)?;
+                    let w = mem
+                        .fetch('d', addr as i64 + 4 * k, 4)
+                        .map_err(|e| host_err(e.to_string()))?;
+                    let mut c = ctx.borrow_mut();
+                    c.anchor_cache.insert(key, w);
+                    c.anchor_fetches += 1;
+                    w
+                }
+            };
+            if as_location {
+                i.push(Object::location(Location::Addr { space: 'd', offset: word as i64 }));
+            } else {
+                i.push(word as i64);
+            }
+            Ok(())
+        });
+    }
+
+    // --- SymLoc: symbol entry -> location, memoizing procedures ---
+    interp.register("SymLoc", |i| {
+        let entry = i.pop()?;
+        let d = entry.as_dict()?;
+        let where_ = d
+            .borrow()
+            .get_name("where")
+            .cloned()
+            .ok_or_else(|| host_err("symbol has no location"))?;
+        if let Value::Location(_) = where_.val {
+            i.push(where_);
+            return Ok(());
+        }
+        // A procedure (or executable string): interpret it, then replace
+        // it with its result — "procedures that are interpreted at most
+        // once can be replaced with their results" (paper, Sec. 5).
+        i.call(&where_)?;
+        let loc = i.pop()?;
+        loc.as_location()?;
+        d.borrow_mut().put_name("where", loc.clone());
+        i.push(loc);
+        Ok(())
+    });
+
+    // --- typed fetch/store words for rewritten expressions ---
+    let typed: [(&str, u8, bool, bool); 8] = [
+        ("fetchC", 1, true, false),
+        ("fetchUC", 1, false, false),
+        ("fetchS", 2, true, false),
+        ("fetchUS", 2, false, false),
+        ("fetchI", 4, true, false),
+        ("fetchU", 4, false, false),
+        ("fetchF", 4, false, true),
+        ("fetchD", 8, false, true),
+    ];
+    for (name, size, signed, float) in typed {
+        let ctx = ctx.clone();
+        interp.register(name, move |i| {
+            let loc = i.pop()?.as_location()?;
+            let mem = ctx_mem(&ctx)?;
+            let v = loc_fetch(&mem, &loc, size)?;
+            push_typed(i, v, size, signed, float)
+        });
+    }
+    // Pointers are *locations* in the dialect: fetching one yields a
+    // location in the data space, so pointer arithmetic (`Shifted`) and
+    // dereference compose naturally in rewritten expressions.
+    {
+        let ctx = ctx.clone();
+        interp.register("fetchP", move |i| {
+            let loc = i.pop()?.as_location()?;
+            let mem = ctx_mem(&ctx)?;
+            match loc_fetch(&mem, &loc, 4)? {
+                Object { val: Value::Int(addr), .. } => {
+                    i.push(Object::location(Location::Addr { space: 'd', offset: addr }));
+                    Ok(())
+                }
+                other => {
+                    i.push(other);
+                    Ok(())
+                }
+            }
+        });
+    }
+    {
+        let ctx = ctx.clone();
+        interp.register("storeP", move |i| {
+            let value = i.pop()?;
+            let loc = i.pop()?.as_location()?;
+            let mem = ctx_mem(&ctx)?;
+            let raw = match &value.val {
+                Value::Location(Location::Addr { offset, .. }) => *offset as u64,
+                Value::Int(v) => *v as u64,
+                other => return Err(host_err(format!("storeP: {other:?}"))),
+            };
+            loc_store(&mem, &loc, 4, raw & 0xffff_ffff)?;
+            i.push(value);
+            Ok(())
+        });
+    }
+    let stores: [(&str, u8, bool); 8] = [
+        ("storeC", 1, false),
+        ("storeUC", 1, false),
+        ("storeS", 2, false),
+        ("storeUS", 2, false),
+        ("storeI", 4, false),
+        ("storeU", 4, false),
+        ("storeF", 4, true),
+        ("storeD", 8, true),
+    ];
+    for (name, size, float) in stores {
+        let ctx = ctx.clone();
+        interp.register(name, move |i| {
+            let value = i.pop()?;
+            let loc = i.pop()?.as_location()?;
+            let mem = ctx_mem(&ctx)?;
+            let raw = object_to_raw(&value, size, float)?;
+            loc_store(&mem, &loc, size, raw)?;
+            // Store words leave the stored value: it is the value of the
+            // assignment expression.
+            i.push(value);
+            Ok(())
+        });
+    }
+
+    // --- the value printer, rebinding `print` in the debugging dict ---
+    // (mem loc typedict print -) — dictionary-stack rebinding in action:
+    // below this dictionary, `print` is still the standard output
+    // operator.
+    let print_op = {
+        ldb_postscript::Operator {
+            name: Rc::from("print"),
+            f: Rc::new(|i: &mut Interp| {
+                let td = i.peek(0)?.as_dict()?;
+                let printer = td
+                    .borrow()
+                    .get_name("printer")
+                    .cloned()
+                    .ok_or_else(|| host_err("type has no printer"))?;
+                i.call(&printer)
+            }),
+        }
+    };
+    dict.borrow_mut().put_name("print", Object::ex(Value::Operator(print_op)));
+
+    // Load the shared printer procedures into the debug dictionary.
+    interp.push_dict(Rc::clone(&dict));
+    interp
+        .run_str(include_str!("ps/base.ps"))
+        .expect("base.ps loads");
+    // Load the expression-evaluation prelude (cvC, rshI, ...).
+    interp
+        .run_str(ldb_exprserver::REWRITE_PRELUDE)
+        .expect("rewrite prelude loads");
+    interp.pop_dict().expect("balanced");
+
+    dict
+}
+
+/// The per-architecture PostScript (the paper's 13–18 machine-dependent
+/// lines per target), loaded into a fresh dictionary.
+pub fn make_arch_dict(interp: &mut Interp, arch: ldb_machine::Arch) -> ldb_postscript::DictRef {
+    let dict = Rc::new(RefCell::new(Dict::new(16)));
+    let src = match arch {
+        ldb_machine::Arch::Mips => include_str!("ps/mips.ps"),
+        ldb_machine::Arch::Sparc => include_str!("ps/sparc.ps"),
+        ldb_machine::Arch::M68k => include_str!("ps/m68k.ps"),
+        ldb_machine::Arch::Vax => include_str!("ps/vax.ps"),
+    };
+    interp.push_dict(Rc::clone(&dict));
+    interp.run_str(src).expect("arch dictionary loads");
+    interp.pop_dict().expect("balanced");
+    dict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amemory::{AbstractMemory, FakeMemory};
+
+    fn setup() -> (Interp, CtxRef, Rc<FakeMemory>) {
+        let mut i = Interp::new();
+        let ctx: CtxRef = Rc::new(RefCell::new(EvalCtx::new()));
+        let dict = make_debug_dict(&mut i, ctx.clone());
+        i.push_dict(dict);
+        let fake = Rc::new(FakeMemory::default());
+        ctx.borrow_mut().mem = Some(fake.clone());
+        (i, ctx, fake)
+    }
+
+    #[test]
+    fn fetch_and_store_through_locations() {
+        let (mut i, ctx, fake) = setup();
+        fake.store('d', 100, 4, 0xfffffff6).unwrap(); // -10 as u32
+        let mem = ctx.borrow().mem.clone().unwrap();
+        i.push(Object::host(Rc::new(MemHandle(mem))));
+        i.run_str("/d 100 Absolute Fetch32").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), -10);
+        // Unsigned view of the same cell.
+        let mem = ctx.borrow().mem.clone().unwrap();
+        i.push(Object::host(Rc::new(MemHandle(mem))));
+        i.run_str("/d 100 Absolute Fetch32u").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 0xfffffff6);
+    }
+
+    #[test]
+    fn typed_words_use_current_mem() {
+        let (mut i, _ctx, fake) = setup();
+        fake.store('d', 8, 4, 41).unwrap();
+        i.run_str("/d 8 Absolute fetchI 1 add").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 42);
+        i.run_str("/d 8 Absolute 7 storeI").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 7, "store leaves the value");
+        assert_eq!(fake.fetch('d', 8, 4).unwrap(), 7);
+    }
+
+    #[test]
+    fn float_words() {
+        let (mut i, _ctx, fake) = setup();
+        fake.store('d', 16, 8, 2.5f64.to_bits()).unwrap();
+        i.run_str("/d 16 Absolute fetchD 2.0 mul").unwrap();
+        assert_eq!(i.pop().unwrap().as_real().unwrap(), 5.0);
+        i.run_str("/d 24 Absolute 1.5 storeD pop").unwrap();
+        assert_eq!(f64::from_bits(fake.fetch('d', 24, 8).unwrap()), 1.5);
+    }
+
+    #[test]
+    fn lazy_data_fetches_once_per_entry() {
+        let (mut i, ctx, fake) = setup();
+        ctx.borrow_mut().anchors.insert("_stanchor_test".into(), 0x4000);
+        fake.store('d', 0x4000 + 8 * 4, 4, 0x2345).unwrap();
+        i.run_str("(_stanchor_test) 8 LazyData").unwrap();
+        let loc = i.pop().unwrap().as_location().unwrap();
+        assert_eq!(loc, Location::Addr { space: 'd', offset: 0x2345 });
+        assert_eq!(ctx.borrow().anchor_fetches, 1);
+        // Again: served from the cache.
+        i.run_str("(_stanchor_test) 8 LazyData pop").unwrap();
+        assert_eq!(ctx.borrow().anchor_fetches, 1);
+        i.run_str("(_stanchor_test) 8 LazyAddr").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 0x2345);
+    }
+
+    #[test]
+    fn symloc_memoizes_procedures() {
+        let (mut i, ctx, fake) = setup();
+        ctx.borrow_mut().anchors.insert("_a".into(), 0x4000);
+        fake.store('d', 0x4000, 4, 0x1111).unwrap();
+        i.run_str("/E << /where {(_a) 0 LazyData} >> def").unwrap();
+        i.run_str("E SymLoc").unwrap();
+        let loc = i.pop().unwrap().as_location().unwrap();
+        assert_eq!(loc, Location::Addr { space: 'd', offset: 0x1111 });
+        // The /where entry has been replaced by the literal location.
+        i.run_str("E /where get type").unwrap();
+        assert_eq!(i.pop().unwrap().as_name().unwrap().as_ref(), "locationtype");
+        // Literal locations pass straight through.
+        i.run_str("E SymLoc pop").unwrap();
+        assert_eq!(ctx.borrow().anchor_fetches, 1);
+    }
+
+    #[test]
+    fn printers_print_via_pretty() {
+        let (mut i, ctx, fake) = setup();
+        let buf = {
+            let buf = Rc::new(RefCell::new(String::new()));
+            i.set_output(ldb_postscript::Out::Shared(Rc::clone(&buf)));
+            buf
+        };
+        fake.store('d', 0, 4, 0xffff_ffff).unwrap(); // -1
+        let mem = ctx.borrow().mem.clone().unwrap();
+        i.push(Object::host(Rc::new(MemHandle(mem))));
+        i.run_str("/d 0 Absolute << /printer {INT} >> print").unwrap();
+        assert_eq!(buf.borrow().as_str(), "-1");
+    }
+
+    #[test]
+    fn array_printer_matches_paper_output() {
+        let (mut i, ctx, fake) = setup();
+        let buf = Rc::new(RefCell::new(String::new()));
+        i.set_output(ldb_postscript::Out::Shared(Rc::clone(&buf)));
+        for k in 0..5 {
+            fake.store('d', 0x100 + 4 * k, 4, (k as u64) * 11).unwrap();
+        }
+        let mem = ctx.borrow().mem.clone().unwrap();
+        i.push(Object::host(Rc::new(MemHandle(mem))));
+        i.run_str(
+            "/d 16#100 Absolute << /printer {ARRAY} /&elemsize 4 /&arraysize 20 \
+             /&elemtype << /printer {INT} >> >> print",
+        )
+        .unwrap();
+        assert_eq!(buf.borrow().as_str(), "{0, 11, 22, 33, 44}");
+    }
+
+    #[test]
+    fn array_printer_honours_limit() {
+        let (mut i, ctx, fake) = setup();
+        let buf = Rc::new(RefCell::new(String::new()));
+        i.set_output(ldb_postscript::Out::Shared(Rc::clone(&buf)));
+        for k in 0..30 {
+            fake.store('d', 4 * k, 4, 1).unwrap();
+        }
+        let mem = ctx.borrow().mem.clone().unwrap();
+        i.push(Object::host(Rc::new(MemHandle(mem))));
+        i.run_str(
+            "/&limit 3 def /d 0 Absolute << /printer {ARRAY} /&elemsize 4 /&arraysize 120 \
+             /&elemtype << /printer {INT} >> >> print",
+        )
+        .unwrap();
+        assert_eq!(buf.borrow().as_str(), "{1, 1, 1, ...}");
+    }
+
+    #[test]
+    fn char_printer_quotes() {
+        let (mut i, ctx, fake) = setup();
+        let buf = Rc::new(RefCell::new(String::new()));
+        i.set_output(ldb_postscript::Out::Shared(Rc::clone(&buf)));
+        fake.store('d', 0, 1, b'A' as u64).unwrap();
+        let mem = ctx.borrow().mem.clone().unwrap();
+        i.push(Object::host(Rc::new(MemHandle(mem))));
+        i.run_str("/d 0 Absolute << /printer {CHAR} >> print").unwrap();
+        assert_eq!(buf.borrow().as_str(), "'A'");
+    }
+
+    #[test]
+    fn arch_dicts_rebind_machine_dependent_names() {
+        let mut i = Interp::new();
+        let ctx: CtxRef = Rc::new(RefCell::new(EvalCtx::new()));
+        let dbg = make_debug_dict(&mut i, ctx);
+        i.push_dict(dbg);
+        let mips = make_arch_dict(&mut i, ldb_machine::Arch::Mips);
+        let vax = make_arch_dict(&mut i, ldb_machine::Arch::Vax);
+        i.push_dict(mips);
+        i.run_str("30 Regset0 Absolute LocSpace").unwrap();
+        assert_eq!(i.pop().unwrap().as_name().unwrap().as_ref(), "r");
+        i.run_str("&nregs").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 32);
+        i.pop_dict().unwrap();
+        i.push_dict(vax);
+        i.run_str("&nregs").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 16);
+        i.run_str("&regnames 13 get").unwrap();
+        assert_eq!(i.pop().unwrap().as_string().unwrap().as_ref(), "fp");
+    }
+}

@@ -1,0 +1,260 @@
+//! Operations over loaded PostScript symbol tables: stopping points, name
+//! resolution by uplink walking, and entry accessors.
+//!
+//! "ldb resolves names by walking up the tree of entries for local
+//! symbols, beginning with the symbol-table entry contained in the
+//! stopping point. When it reaches the root, it searches two PostScript
+//! dictionaries", the unit statics and the program externs (paper,
+//! Sec. 2).
+
+use ldb_postscript::{Interp, Object, PsResult, Value};
+
+use crate::loader::Loader;
+
+/// A stopping point, read from a procedure's `/loci` array.
+#[derive(Debug, Clone)]
+pub struct Locus {
+    /// Index in the loci array.
+    pub index: usize,
+    /// Source line.
+    pub line: u32,
+    /// Source column.
+    pub col: u32,
+    /// The innermost visible symbol entry (a dict), if any.
+    pub visible: Option<Object>,
+}
+
+/// Force a procedure's `/loci` value: deferred tables quote the whole
+/// array as an executable string, scanned on first use and replaced by
+/// its result.
+///
+/// # Errors
+/// Malformed entries.
+pub fn force_loci(interp: &mut Interp, entry: &Object) -> PsResult<Option<Object>> {
+    let d = entry.as_dict()?;
+    let loci = match d.borrow().get_name("loci") {
+        Some(l) => l.clone(),
+        None => return Ok(None),
+    };
+    if loci.as_array().is_ok() {
+        return Ok(Some(loci));
+    }
+    interp.call(&loci)?;
+    let arr = interp.pop()?;
+    arr.as_array()?;
+    d.borrow_mut().put_name("loci", arr.clone());
+    Ok(Some(arr))
+}
+
+/// Read the loci of a procedure entry (without resolving object
+/// addresses).
+///
+/// # Errors
+/// Malformed entries.
+pub fn loci_of(interp: &mut Interp, entry: &Object) -> PsResult<Vec<Locus>> {
+    let Some(loci) = force_loci(interp, entry)? else {
+        return Ok(Vec::new());
+    };
+    let arr = loci.as_array()?;
+    let arr = arr.borrow();
+    let mut out = Vec::with_capacity(arr.len());
+    for (index, el) in arr.iter().enumerate() {
+        let el = el.as_array()?;
+        let el = el.borrow();
+        let line = el[0].as_int()? as u32;
+        let col = el[1].as_int()? as u32;
+        let visible = match &el[3].val {
+            Value::Null => None,
+            _ => Some(el[3].clone()),
+        };
+        out.push(Locus { index, line, col, visible });
+    }
+    Ok(out)
+}
+
+/// Resolve the object-code address of stopping point `index` of `entry`,
+/// interpreting (and memoizing) the lazy anchor reference.
+///
+/// # Errors
+/// Interpretation failures (e.g. no stopped target for the first fetch).
+pub fn stop_addr(interp: &mut Interp, entry: &Object, index: usize) -> PsResult<u32> {
+    let loci = force_loci(interp, entry)?.ok_or_else(|| miss("procedure has no loci"))?;
+    let arr = loci.as_array()?;
+    let el = arr
+        .borrow()
+        .get(index)
+        .cloned()
+        .ok_or_else(|| miss(format!("no stopping point {index}")))?;
+    let el = el.as_array()?;
+    let lazy = el.borrow()[2].clone();
+    if let Value::Int(a) = lazy.val {
+        return Ok(a as u32);
+    }
+    interp.call(&lazy)?;
+    let addr = interp.pop()?.as_int()?;
+    // Replace the procedure with its result (at most one target fetch per
+    // entry).
+    el.borrow_mut()[2] = Object::int(addr);
+    Ok(addr as u32)
+}
+
+/// Find the stopping point whose resolved address is `addr`.
+///
+/// # Errors
+/// Interpretation failures while resolving loci.
+pub fn stop_at_addr(
+    interp: &mut Interp,
+    loader: &Loader,
+    addr: u32,
+) -> PsResult<Option<(Object, usize)>> {
+    let Some((_, name)) = loader.proc_containing(addr) else { return Ok(None) };
+    let name = name.to_string();
+    let Some(entry) = loader.proc_entry_by_link_name(&name) else { return Ok(None) };
+    let n = loci_of(interp, &entry)?.len();
+    for i in 0..n {
+        if stop_addr(interp, &entry, i)? == addr {
+            return Ok(Some((entry, i)));
+        }
+    }
+    Ok(None)
+}
+
+/// Find stopping points by source line: every locus on `line` in any
+/// procedure (the C preprocessor can give one line several stopping
+/// points, so this returns all of them).
+///
+/// # Errors
+/// Malformed tables.
+pub fn stops_at_line(
+    interp: &mut Interp,
+    loader: &Loader,
+    line: u32,
+) -> PsResult<Vec<(Object, usize)>> {
+    let mut out = Vec::new();
+    for p in loader.procs() {
+        for l in loci_of(interp, &p)? {
+            if l.line == line {
+                out.push((p.clone(), l.index));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Find stopping points on `line` of a particular source `file`, using
+/// the top-level dictionary's `/sourcemap` ("ldb uses the sourcemap
+/// dictionary to build a map from source locations to stopping points,
+/// making it possible to set breakpoints by source location").
+///
+/// # Errors
+/// Malformed tables.
+pub fn stops_at_file_line(
+    interp: &mut Interp,
+    loader: &Loader,
+    file: &str,
+    line: u32,
+) -> PsResult<Vec<(Object, usize)>> {
+    let procs = {
+        let top = loader.top.borrow();
+        let sm = top
+            .get_name("sourcemap")
+            .cloned()
+            .ok_or_else(|| miss("no /sourcemap"))?;
+        let sm = sm.as_dict()?;
+        let arr = sm.borrow().get_name(file).cloned();
+        match arr {
+            None => return Ok(Vec::new()),
+            Some(a) => a.as_array()?.borrow().clone(),
+        }
+    };
+    let mut out = Vec::new();
+    for p in procs {
+        for l in loci_of(interp, &p)? {
+            if l.line == line {
+                out.push((p.clone(), l.index));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The name of a symbol entry.
+pub fn entry_name(entry: &Object) -> Option<String> {
+    let d = entry.as_dict().ok()?;
+    let n = d.borrow().get_name("name")?.as_string().ok()?;
+    Some(n.to_string())
+}
+
+/// The type dictionary of a symbol entry.
+pub fn entry_type(entry: &Object) -> Option<Object> {
+    let d = entry.as_dict().ok()?;
+    let t = d.borrow().get_name("type").cloned();
+    t
+}
+
+/// Resolve `name` in the scope of stopping point `stop` of procedure
+/// `entry`: walk the uplink chain from the stopping point's visible
+/// symbol, then the unit statics, then the externs.
+///
+/// # Errors
+/// Malformed tables.
+pub fn resolve_name(
+    interp: &mut Interp,
+    loader: &Loader,
+    entry: &Object,
+    stop: usize,
+    name: &str,
+) -> PsResult<Option<Object>> {
+    let loci = loci_of(interp, entry)?;
+    let mut cur = loci.get(stop).and_then(|l| l.visible.clone());
+    while let Some(e) = cur {
+        if entry_name(&e).as_deref() == Some(name) {
+            return Ok(Some(e));
+        }
+        let d = e.as_dict()?;
+        let up = d.borrow().get_name("uplink").cloned();
+        cur = up;
+    }
+    // Statics of this procedure's compilation unit (each procedure entry
+    // carries its unit's statics dictionary), then the program externs.
+    if let Ok(d) = entry.as_dict() {
+        let statics = d.borrow().get_name("statics").cloned();
+        if let Some(statics) = statics.and_then(|s| s.as_dict().ok()) {
+            if let Some(e) = statics.borrow().get_name(name) {
+                return Ok(Some(e.clone()));
+            }
+        }
+    }
+    let top = loader.top.borrow();
+    for dictname in ["statics", "externs"] {
+        if let Some(d) = top.get_name(dictname) {
+            if let Ok(d) = d.as_dict() {
+                if let Some(e) = d.borrow().get_name(name) {
+                    return Ok(Some(e.clone()));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Walk the uplink chain from a stopping point, returning the names in
+/// scope order (innermost first) — the Figure 2 view.
+pub fn visible_chain(interp: &mut Interp, entry: &Object, stop: usize) -> PsResult<Vec<String>> {
+    let loci = loci_of(interp, entry)?;
+    let mut out = Vec::new();
+    let mut cur = loci.get(stop).and_then(|l| l.visible.clone());
+    while let Some(e) = cur {
+        if let Some(n) = entry_name(&e) {
+            out.push(n);
+        }
+        let d = e.as_dict()?;
+        let up = d.borrow().get_name("uplink").cloned();
+        cur = up;
+    }
+    Ok(out)
+}
+
+fn miss(msg: impl Into<String>) -> ldb_postscript::PsError {
+    ldb_postscript::PsError::runtime(ldb_postscript::ErrorKind::HostError, msg)
+}

@@ -1,0 +1,383 @@
+//! Target-architecture descriptions.
+//!
+//! Each of the four targets is described by a [`MachineData`] value: the
+//! machine-dependent *data* that machine-independent code is parameterized
+//! by. The paper's interim breakpoint implementation, for instance, needs
+//! exactly four machine-dependent items (Sec. 3): the bit patterns for
+//! `break` and no-op, the type used to fetch and store instructions, and
+//! the amount to advance the program counter after interpreting the no-op.
+//! Those are [`MachineData::break_pattern`], [`MachineData::nop_pattern`],
+//! [`MachineData::insn_unit`], and [`MachineData::pc_advance`].
+
+use std::fmt;
+
+/// Byte order of a target. The MIPS runs either way (the paper debugs both
+/// little- and big-endian MIPS with the same code); the others are fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByteOrder {
+    /// Least-significant byte first (VAX, little-endian MIPS).
+    Little,
+    /// Most-significant byte first (68020, SPARC, big-endian MIPS).
+    Big,
+}
+
+/// The four target architectures of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// MIPS R3000-like: fixed 4-byte instructions, load delay slots, no
+    /// frame pointer (frame sizes come from the runtime procedure table),
+    /// either byte order.
+    Mips,
+    /// Motorola 68020-like: variable-length instructions, big-endian,
+    /// frame pointer (`link`/`unlk`), register-save masks, 80-bit floats.
+    M68k,
+    /// SPARC-like: fixed 4-byte instructions, big-endian, frame pointer.
+    Sparc,
+    /// VAX-like: variable-length instructions (1-byte no-op!),
+    /// little-endian, frame pointer, entry save masks.
+    Vax,
+}
+
+impl Arch {
+    /// All targets, in the order the paper's tables list them.
+    pub const ALL: [Arch; 4] = [Arch::Mips, Arch::M68k, Arch::Sparc, Arch::Vax];
+
+    /// The lowercase name used in symbol tables (`/architecture (sparc)`).
+    pub fn name(self) -> &'static str {
+        self.data().name
+    }
+
+    /// Parse an architecture name.
+    pub fn from_name(s: &str) -> Option<Arch> {
+        match s {
+            "mips" => Some(Arch::Mips),
+            "m68k" | "68020" => Some(Arch::M68k),
+            "sparc" => Some(Arch::Sparc),
+            "vax" => Some(Arch::Vax),
+            _ => None,
+        }
+    }
+
+    /// The machine-dependent data for this target.
+    pub fn data(self) -> &'static MachineData {
+        match self {
+            Arch::Mips => &MIPS,
+            Arch::M68k => &M68K,
+            Arch::Sparc => &SPARC,
+            Arch::Vax => &VAX,
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Layout of a *context*: the memory area in which the nub saves the state
+/// of a stopped program (paper, Sec. 4.1/4.2). Offsets are relative to the
+/// start of the context block in the target's data space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextLayout {
+    /// Offset of the saved program counter (4 bytes).
+    pub pc_offset: u32,
+    /// Offset of integer register 0; registers are 4 bytes each.
+    pub reg_offset: u32,
+    /// Number of integer registers saved.
+    pub nregs: u8,
+    /// Offset of floating-point register 0; registers are 8 bytes each.
+    pub freg_offset: u32,
+    /// Number of floating-point registers saved.
+    pub nfregs: u8,
+    /// Total context size in bytes.
+    pub size: u32,
+}
+
+impl ContextLayout {
+    const fn new(nregs: u8, nfregs: u8) -> ContextLayout {
+        let pc_offset = 0;
+        let reg_offset = 4;
+        let freg_offset = reg_offset + nregs as u32 * 4;
+        ContextLayout {
+            pc_offset,
+            reg_offset,
+            nregs,
+            freg_offset,
+            nfregs,
+            size: freg_offset + nfregs as u32 * 8,
+        }
+    }
+
+    /// Offset of integer register `r` within the context.
+    pub fn reg(&self, r: u8) -> u32 {
+        debug_assert!(r < self.nregs);
+        self.reg_offset + r as u32 * 4
+    }
+
+    /// Offset of floating-point register `f` within the context.
+    pub fn freg(&self, f: u8) -> u32 {
+        debug_assert!(f < self.nfregs);
+        self.freg_offset + f as u32 * 8
+    }
+}
+
+/// Machine-dependent data describing one target.
+#[derive(Debug)]
+pub struct MachineData {
+    /// Which architecture this describes.
+    pub arch: Arch,
+    /// Lowercase name used in symbol tables and command lines.
+    pub name: &'static str,
+    /// Default byte order (MIPS can be overridden per image).
+    pub default_order: ByteOrder,
+    /// Instruction granularity in bytes: the type used to fetch and store
+    /// instructions when planting breakpoints (4 = word, 2 = halfword,
+    /// 1 = byte).
+    pub insn_unit: u8,
+    /// The no-op bit pattern, right-aligned in a word of `insn_unit` bytes.
+    pub nop_pattern: u32,
+    /// The breakpoint-trap bit pattern, same width as `nop_pattern`.
+    pub break_pattern: u32,
+    /// How far to advance the pc after "interpreting" the no-op out of line.
+    pub pc_advance: u8,
+    /// Number of integer registers.
+    pub nregs: u8,
+    /// Number of floating-point registers.
+    pub nfregs: u8,
+    /// Stack-pointer register index.
+    pub sp: u8,
+    /// Frame-pointer register index; `None` on the MIPS, which has no frame
+    /// pointer (the debugger computes a *virtual* frame pointer instead).
+    pub fp: Option<u8>,
+    /// Link (return-address) register for RISC call conventions.
+    pub ra: Option<u8>,
+    /// Return-value register.
+    pub rv: u8,
+    /// Argument registers, in order (empty for stack-argument conventions).
+    pub arg_regs: &'static [u8],
+    /// Register holding the argument of a host call.
+    pub syscall_arg_reg: u8,
+    /// Hardwired-zero register, if the architecture has one (MIPS `zero`,
+    /// SPARC `%g0`).
+    pub zero_reg: Option<u8>,
+    /// Callee-saved registers.
+    pub callee_saved: &'static [u8],
+    /// Does the hardware convention maintain a frame pointer?
+    pub has_frame_pointer: bool,
+    /// Register names, for disassembly and the register-space PostScript.
+    pub reg_names: &'static [&'static str],
+    /// Context layout used by this target's nub.
+    pub ctx: ContextLayout,
+}
+
+impl MachineData {
+    /// Render the nop pattern as bytes in the given order.
+    pub fn nop_bytes(&self, order: ByteOrder) -> Vec<u8> {
+        pattern_bytes(self.nop_pattern, self.insn_unit, order)
+    }
+
+    /// Render the break pattern as bytes in the given order.
+    pub fn break_bytes(&self, order: ByteOrder) -> Vec<u8> {
+        pattern_bytes(self.break_pattern, self.insn_unit, order)
+    }
+
+    /// The name of integer register `r`.
+    pub fn reg_name(&self, r: u8) -> &'static str {
+        self.reg_names.get(r as usize).copied().unwrap_or("?")
+    }
+}
+
+fn pattern_bytes(pattern: u32, unit: u8, order: ByteOrder) -> Vec<u8> {
+    let mut v = Vec::with_capacity(unit as usize);
+    for i in 0..unit as u32 {
+        let shift = match order {
+            ByteOrder::Big => (unit as u32 - 1 - i) * 8,
+            ByteOrder::Little => i * 8,
+        };
+        v.push((pattern >> shift) as u8);
+    }
+    v
+}
+
+/// MIPS register names (o32-style).
+static MIPS_REGS: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "s8", "ra",
+];
+
+static SPARC_REGS: [&str; 32] = [
+    "g0", "g1", "g2", "g3", "g4", "g5", "g6", "g7", "o0", "o1", "o2", "o3", "o4", "o5", "sp",
+    "o7", "l0", "l1", "l2", "l3", "l4", "l5", "l6", "l7", "i0", "i1", "i2", "i3", "i4", "i5",
+    "fp", "i7",
+];
+
+static M68K_REGS: [&str; 16] = [
+    "d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "a0", "a1", "a2", "a3", "a4", "a5", "a6",
+    "a7",
+];
+
+static VAX_REGS: [&str; 16] = [
+    "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "ap", "fp", "sp",
+    "r15",
+];
+
+/// MIPS R3000-like target.
+pub static MIPS: MachineData = MachineData {
+    arch: Arch::Mips,
+    name: "mips",
+    default_order: ByteOrder::Big,
+    insn_unit: 4,
+    nop_pattern: 0x0000_0000,
+    break_pattern: 0x0000_000d,
+    pc_advance: 4,
+    nregs: 32,
+    nfregs: 16,
+    sp: 29,
+    fp: None, // no frame pointer: the defining MIPS idiosyncrasy
+    ra: Some(31),
+    rv: 2,
+    arg_regs: &[4, 5, 6, 7],
+    syscall_arg_reg: 4,
+    zero_reg: Some(0),
+    callee_saved: &[16, 17, 18, 19, 20, 21, 22, 23, 30],
+    has_frame_pointer: false,
+    reg_names: &MIPS_REGS,
+    ctx: ContextLayout::new(32, 16),
+};
+
+/// Motorola 68020-like target.
+pub static M68K: MachineData = MachineData {
+    arch: Arch::M68k,
+    name: "m68k",
+    default_order: ByteOrder::Big,
+    insn_unit: 2,
+    nop_pattern: 0x4e71,
+    break_pattern: 0x4e4f,
+    pc_advance: 2,
+    nregs: 16,
+    nfregs: 8,
+    sp: 15, // a7
+    fp: Some(14), // a6
+    ra: None, // return address lives on the stack
+    rv: 0, // d0
+    arg_regs: &[], // arguments pass on the stack
+    syscall_arg_reg: 1, // d1
+    zero_reg: None,
+    callee_saved: &[2, 3, 4, 5, 6, 7, 10, 11, 12, 13], // d2-d7, a2-a5
+    has_frame_pointer: true,
+    reg_names: &M68K_REGS,
+    ctx: ContextLayout::new(16, 8),
+};
+
+/// SPARC-like target (simplified: no register windows).
+pub static SPARC: MachineData = MachineData {
+    arch: Arch::Sparc,
+    name: "sparc",
+    default_order: ByteOrder::Big,
+    insn_unit: 4,
+    nop_pattern: 0x0100_0000,
+    break_pattern: 0x91d0_2001,
+    pc_advance: 4,
+    nregs: 32,
+    nfregs: 16,
+    sp: 14, // %o6
+    fp: Some(30), // %i6
+    ra: Some(15), // %o7
+    rv: 8, // %o0
+    arg_regs: &[8, 9, 10, 11, 12, 13],
+    syscall_arg_reg: 8,
+    zero_reg: Some(0),
+    callee_saved: &[16, 17, 18, 19, 20, 21, 22, 23], // %l0-%l7
+    has_frame_pointer: true,
+    reg_names: &SPARC_REGS,
+    ctx: ContextLayout::new(32, 16),
+};
+
+/// VAX-like target.
+pub static VAX: MachineData = MachineData {
+    arch: Arch::Vax,
+    name: "vax",
+    default_order: ByteOrder::Little,
+    insn_unit: 1,
+    nop_pattern: 0x01,
+    break_pattern: 0x03, // bpt
+    pc_advance: 1,
+    nregs: 16,
+    nfregs: 8,
+    sp: 14,
+    fp: Some(13),
+    ra: None, // return address lives on the stack
+    rv: 0,
+    arg_regs: &[], // arguments pass on the stack
+    syscall_arg_reg: 1,
+    zero_reg: None,
+    callee_saved: &[2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+    has_frame_pointer: true,
+    reg_names: &VAX_REGS,
+    ctx: ContextLayout::new(16, 8),
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_targets_with_distinct_breakpoint_data() {
+        // The interim breakpoint scheme is specified by four items of
+        // machine-dependent data; check they really differ across targets.
+        let units: Vec<u8> = Arch::ALL.iter().map(|a| a.data().insn_unit).collect();
+        assert_eq!(units, vec![4, 2, 4, 1]);
+        for a in Arch::ALL {
+            let d = a.data();
+            assert_ne!(d.nop_pattern, d.break_pattern, "{a}");
+            assert_eq!(d.pc_advance, d.insn_unit, "{a}");
+        }
+    }
+
+    #[test]
+    fn mips_has_no_frame_pointer() {
+        assert!(MIPS.fp.is_none());
+        assert!(!MIPS.has_frame_pointer);
+        assert!(SPARC.has_frame_pointer);
+        assert!(M68K.has_frame_pointer);
+        assert!(VAX.has_frame_pointer);
+    }
+
+    #[test]
+    fn byte_order_rendering() {
+        assert_eq!(MIPS.break_bytes(ByteOrder::Big), vec![0, 0, 0, 0x0d]);
+        assert_eq!(MIPS.break_bytes(ByteOrder::Little), vec![0x0d, 0, 0, 0]);
+        assert_eq!(M68K.nop_bytes(ByteOrder::Big), vec![0x4e, 0x71]);
+        assert_eq!(VAX.nop_bytes(ByteOrder::Little), vec![0x01]);
+    }
+
+    #[test]
+    fn context_layout_offsets() {
+        let c = MIPS.ctx;
+        assert_eq!(c.pc_offset, 0);
+        assert_eq!(c.reg(0), 4);
+        assert_eq!(c.reg(31), 4 + 31 * 4);
+        assert_eq!(c.freg(0), 4 + 32 * 4);
+        assert_eq!(c.size, 4 + 32 * 4 + 16 * 8);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for a in Arch::ALL {
+            assert_eq!(Arch::from_name(a.name()), Some(a));
+        }
+        assert_eq!(Arch::from_name("68020"), Some(Arch::M68k));
+        assert_eq!(Arch::from_name("pdp11"), None);
+    }
+
+    #[test]
+    fn register_names() {
+        assert_eq!(MIPS.reg_name(29), "sp");
+        assert_eq!(MIPS.reg_name(30), "s8");
+        assert_eq!(SPARC.reg_name(30), "fp");
+        assert_eq!(M68K.reg_name(14), "a6");
+        assert_eq!(VAX.reg_name(13), "fp");
+    }
+}

@@ -1,0 +1,221 @@
+//! Core dumps: the complete state of a simulated machine in a flat,
+//! little-endian file, written when an *undebugged* target faults (UNIX
+//! `core` semantics) and reloaded for post-mortem debugging. The format
+//! is hand-coded like the nub's wire protocol — no serialization crate,
+//! so a core written by any build reads back in any other.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "LDBCORE1"                     8-byte magic
+//! arch            u8             index into Arch::ALL
+//! order           u8             0 = little, 1 = big
+//! sig             u8             fault signal number
+//! pad             u8
+//! code            u32            fault code (address or pc)
+//! context         u32            the nub's context-block address
+//! pc              u32
+//! cc              i32, i32       condition-code pair
+//! steps           u64            retired instructions
+//! regs            32 x u32
+//! fregs           16 x u64       IEEE bits
+//! mem base        u32
+//! mem len         u32            followed by that many bytes
+//! output len      u32            followed by that many bytes (UTF-8)
+//! ```
+
+use crate::cpu::Cpu;
+use crate::machine::Machine;
+use crate::memory::Memory;
+use crate::{Arch, ByteOrder};
+
+/// Magic prefix identifying an ldb core file (and its format version).
+pub const MAGIC: &[u8; 8] = b"LDBCORE1";
+
+/// Why a core file failed to load.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file ends before a field it promises.
+    Truncated,
+    /// A field holds a value outside its domain.
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::BadMagic => write!(f, "not an ldb core file"),
+            CoreError::Truncated => write!(f, "core file is truncated"),
+            CoreError::BadField(name) => write!(f, "core file has a bad {name} field"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Serialize a faulted machine (plus the signal that killed it).
+#[must_use]
+pub fn write_core(m: &Machine, sig: u8, code: u32, context: u32) -> Vec<u8> {
+    let mem = &m.cpu.mem;
+    let contents = mem.contents();
+    let mut out = Vec::with_capacity(64 + 32 * 4 + 16 * 8 + contents.len() + m.output.len());
+    out.extend_from_slice(MAGIC);
+    let arch_idx = Arch::ALL.iter().position(|a| *a == m.cpu.arch).unwrap_or(0) as u8;
+    out.push(arch_idx);
+    out.push(match mem.order() {
+        ByteOrder::Little => 0,
+        ByteOrder::Big => 1,
+    });
+    out.push(sig);
+    out.push(0);
+    out.extend_from_slice(&code.to_le_bytes());
+    out.extend_from_slice(&context.to_le_bytes());
+    out.extend_from_slice(&m.cpu.pc.to_le_bytes());
+    out.extend_from_slice(&m.cpu.cc.0.to_le_bytes());
+    out.extend_from_slice(&m.cpu.cc.1.to_le_bytes());
+    out.extend_from_slice(&m.cpu.steps.to_le_bytes());
+    for r in &m.cpu.regs {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+    for f in &m.cpu.fregs {
+        out.extend_from_slice(&f.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&mem.base().to_le_bytes());
+    out.extend_from_slice(&(contents.len() as u32).to_le_bytes());
+    out.extend_from_slice(contents);
+    out.extend_from_slice(&(m.output.len() as u32).to_le_bytes());
+    out.extend_from_slice(m.output.as_bytes());
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        let end = self.at.checked_add(n).ok_or(CoreError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CoreError::Truncated);
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Rebuild the machine from a core image; also returns the killing
+/// signal, its code, and the nub context address.
+///
+/// # Errors
+/// [`CoreError`] when the bytes are not a well-formed core file.
+pub fn read_core(bytes: &[u8]) -> Result<(Machine, u8, u32, u32), CoreError> {
+    let mut r = Reader { buf: bytes, at: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(CoreError::BadMagic);
+    }
+    let arch = *Arch::ALL
+        .get(r.u8()? as usize)
+        .ok_or(CoreError::BadField("architecture"))?;
+    let order = match r.u8()? {
+        0 => ByteOrder::Little,
+        1 => ByteOrder::Big,
+        _ => return Err(CoreError::BadField("byte order")),
+    };
+    let sig = r.u8()?;
+    let _pad = r.u8()?;
+    let code = r.u32()?;
+    let context = r.u32()?;
+    let pc = r.u32()?;
+    let cc = (r.u32()? as i32, r.u32()? as i32);
+    let steps = r.u64()?;
+    let mut regs = [0u32; 32];
+    for reg in &mut regs {
+        *reg = r.u32()?;
+    }
+    let mut fregs = [0f64; 16];
+    for f in &mut fregs {
+        *f = f64::from_bits(r.u64()?);
+    }
+    let base = r.u32()?;
+    let len = r.u32()? as usize;
+    let contents = r.take(len)?.to_vec();
+    let olen = r.u32()? as usize;
+    let output = String::from_utf8_lossy(r.take(olen)?).into_owned();
+    let mem = Memory::from_contents(base, contents, order);
+    let mut cpu = Cpu::new(arch, mem);
+    cpu.pc = pc;
+    cpu.cc = cc;
+    cpu.steps = steps;
+    cpu.regs = regs;
+    cpu.fregs = fregs;
+    Ok((Machine { cpu, output, exited: None }, sig, code, context))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_machine() -> Machine {
+        // A minimal hand-built image is overkill; build memory directly.
+        let mem = Memory::from_contents(0x1000, vec![0xAB; 0x100], ByteOrder::Big);
+        let mut cpu = Cpu::new(Arch::Sparc, mem);
+        cpu.pc = 0x1010;
+        cpu.regs[3] = 0xDEAD_BEEF;
+        cpu.fregs[2] = -2.5;
+        cpu.cc = (-1, 7);
+        cpu.steps = 42;
+        Machine { cpu, output: "partial output\n".into(), exited: None }
+    }
+
+    #[test]
+    fn roundtrips_every_field() {
+        let m = tiny_machine();
+        let bytes = write_core(&m, 11, 0x2004, 0x10f0);
+        let (back, sig, code, context) = read_core(&bytes).unwrap();
+        assert_eq!(sig, 11);
+        assert_eq!(code, 0x2004);
+        assert_eq!(context, 0x10f0);
+        assert_eq!(back.cpu.arch, Arch::Sparc);
+        assert_eq!(back.cpu.pc, 0x1010);
+        assert_eq!(back.cpu.regs[3], 0xDEAD_BEEF);
+        assert_eq!(back.cpu.fregs[2], -2.5);
+        assert_eq!(back.cpu.cc, (-1, 7));
+        assert_eq!(back.cpu.steps, 42);
+        assert_eq!(back.cpu.mem.base(), 0x1000);
+        assert_eq!(back.cpu.mem.contents(), m.cpu.mem.contents());
+        assert_eq!(back.cpu.mem.order(), ByteOrder::Big);
+        assert_eq!(back.output, "partial output\n");
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(matches!(read_core(b"not a core"), Err(CoreError::BadMagic)));
+        let m = tiny_machine();
+        let bytes = write_core(&m, 11, 0, 0);
+        for cut in [9, 20, 60, bytes.len() - 1] {
+            assert!(
+                matches!(read_core(&bytes[..cut]), Err(CoreError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+        let mut bad = bytes.clone();
+        bad[8] = 9; // arch index out of range
+        assert!(matches!(read_core(&bad), Err(CoreError::BadField("architecture"))));
+    }
+}

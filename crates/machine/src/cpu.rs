@@ -1,0 +1,733 @@
+//! The execution engine: decodes and executes target instructions.
+//!
+//! One engine serves all four targets: machine dependence lives in the
+//! decoders and in [`MachineData`]. The engine models the MIPS R3000 load
+//! delay slot by *detecting* violations (a well-scheduled program never
+//! reads a register in the instruction after its load; `ldb-cc`'s scheduler
+//! guarantees this, inserting no-ops when it cannot fill the slot).
+
+use crate::arch::{Arch, ByteOrder, MachineData};
+use crate::encode;
+use crate::memory::{Fault, Memory};
+use crate::op::{AluOp, FltSize, MemSize, Op};
+
+/// What happened during one instruction step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepEvent {
+    /// Ordinary instruction retired.
+    Continue,
+    /// A breakpoint trap; `pc` is the address of the trap instruction
+    /// (the pc has *not* been advanced).
+    Breakpoint {
+        /// Address of the trap instruction.
+        pc: u32,
+        /// The trap code.
+        code: u8,
+    },
+    /// A host call; the pc has been advanced past the instruction.
+    Syscall {
+        /// Service number.
+        n: u8,
+    },
+    /// A fault; the pc still addresses the faulting instruction.
+    Fault(Fault),
+}
+
+/// A simulated CPU: registers, pc, condition codes, and memory.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Which target this is.
+    pub arch: Arch,
+    /// Integer registers (the architecture uses a prefix of these).
+    pub regs: [u32; 32],
+    /// Floating-point registers.
+    pub fregs: [f64; 16],
+    /// Program counter.
+    pub pc: u32,
+    /// Target memory.
+    pub mem: Memory,
+    /// Condition codes, as last set by `Cmp`/`Tst` (signed pair).
+    pub cc: (i32, i32),
+    /// Detect MIPS load-delay hazards (on by default for the MIPS).
+    pub check_load_delay: bool,
+    pending_load: Option<u8>,
+    /// Retired instruction count.
+    pub steps: u64,
+}
+
+impl Cpu {
+    /// A CPU for `arch` with the given memory. Registers start at zero.
+    pub fn new(arch: Arch, mem: Memory) -> Cpu {
+        Cpu {
+            arch,
+            regs: [0; 32],
+            fregs: [0.0; 16],
+            pc: 0,
+            mem,
+            cc: (0, 0),
+            check_load_delay: arch == Arch::Mips,
+            pending_load: None,
+            steps: 0,
+        }
+    }
+
+    /// The machine-dependent data for this CPU's target.
+    pub fn data(&self) -> &'static MachineData {
+        self.arch.data()
+    }
+
+    /// Read an integer register, honouring the hardwired zero. Indices
+    /// are masked to the register file: malformed encodings (which only
+    /// arise from corrupt code bytes) alias registers instead of
+    /// panicking.
+    pub fn reg(&self, r: u8) -> u32 {
+        if self.data().zero_reg == Some(r) {
+            0
+        } else {
+            self.regs[(r & 31) as usize]
+        }
+    }
+
+    /// Write an integer register; writes to the hardwired zero are ignored.
+    pub fn set_reg(&mut self, r: u8, v: u32) {
+        if self.data().zero_reg != Some(r) {
+            self.regs[(r & 31) as usize] = v;
+        }
+    }
+
+    /// Read a floating register (index masked, as for [`Cpu::reg`]).
+    pub fn freg(&self, f: u8) -> f64 {
+        self.fregs[(f & 15) as usize]
+    }
+
+    /// Write a floating register.
+    pub fn set_freg(&mut self, f: u8, v: f64) {
+        self.fregs[(f & 15) as usize] = v;
+    }
+
+    fn sp(&self) -> u8 {
+        self.data().sp
+    }
+
+    fn push32(&mut self, v: u32) -> Result<(), Fault> {
+        let sp = self.reg(self.sp()).wrapping_sub(4);
+        self.mem.write_u32(sp, v)?;
+        let spr = self.sp();
+        self.set_reg(spr, sp);
+        Ok(())
+    }
+
+    fn pop32(&mut self) -> Result<u32, Fault> {
+        let spr = self.sp();
+        let sp = self.reg(spr);
+        let v = self.mem.read_u32(sp)?;
+        self.set_reg(spr, sp.wrapping_add(4));
+        Ok(v)
+    }
+
+    /// Decode the instruction at the current pc without executing it.
+    pub fn decode_current(&self) -> Option<(Op, u8)> {
+        let limit = self.mem.limit();
+        if self.pc < self.mem.base() || self.pc >= limit {
+            return None;
+        }
+        let avail = (limit - self.pc).min(16);
+        let bytes = self.mem.read_bytes(self.pc, avail).ok()?;
+        encode::decode(self.arch, bytes, self.pc, self.mem.order())
+    }
+
+    /// Execute one instruction.
+    pub fn step(&mut self) -> StepEvent {
+        let (op, len) = match self.decode_current() {
+            Some(x) => x,
+            None => return StepEvent::Fault(Fault::IllegalInstruction { pc: self.pc }),
+        };
+        // MIPS load-delay hazard detection.
+        if self.check_load_delay {
+            if let Some(loaded) = self.pending_load {
+                if reads_reg(&op, loaded, self.data()) {
+                    self.pending_load = None;
+                    return StepEvent::Fault(Fault::LoadDelayHazard { pc: self.pc, reg: loaded });
+                }
+            }
+        }
+        self.pending_load = match op {
+            Op::Load { rd, .. } => Some(rd),
+            _ => None,
+        };
+        let next = self.pc.wrapping_add(len as u32);
+        match self.exec(&op, next) {
+            Ok(ev) => {
+                self.steps += 1;
+                ev
+            }
+            Err(f) => StepEvent::Fault(f),
+        }
+    }
+
+    fn exec(&mut self, op: &Op, next: u32) -> Result<StepEvent, Fault> {
+        let mut pc = next;
+        match *op {
+            Op::Nop => {}
+            Op::Break(code) => {
+                return Ok(StepEvent::Breakpoint { pc: self.pc, code });
+            }
+            Op::Syscall(n) => {
+                self.pc = next;
+                return Ok(StepEvent::Syscall { n });
+            }
+            Op::LoadImm { rd, imm } => self.set_reg(rd, imm as u32),
+            Op::LoadUpper { rd, imm } => self.set_reg(rd, (imm as u32) << 16),
+            Op::Mov { rd, rs } => {
+                let v = self.reg(rs);
+                self.set_reg(rd, v);
+            }
+            Op::Alu { op, rd, rs, rt } => {
+                let v = alu(op, self.reg(rs), self.reg(rt))?;
+                self.set_reg(rd, v);
+            }
+            Op::AluI { op, rd, rs, imm } => {
+                // Logical immediates zero-extend (as MIPS andi/ori/xori do);
+                // arithmetic immediates sign-extend.
+                let immv = match op {
+                    AluOp::And | AluOp::Or | AluOp::Xor => imm as u16 as u32,
+                    _ => imm as i32 as u32,
+                };
+                let v = alu(op, self.reg(rs), immv)?;
+                self.set_reg(rd, v);
+            }
+            Op::Load { size, signed, rd, base, off } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                let v = match (size, signed) {
+                    (MemSize::B1, true) => self.mem.read_u8(addr)? as i8 as i32 as u32,
+                    (MemSize::B1, false) => self.mem.read_u8(addr)? as u32,
+                    (MemSize::B2, true) => self.mem.read_u16(addr)? as i16 as i32 as u32,
+                    (MemSize::B2, false) => self.mem.read_u16(addr)? as u32,
+                    (MemSize::B4, _) => self.mem.read_u32(addr)?,
+                };
+                self.set_reg(rd, v);
+            }
+            Op::Store { size, rs, base, off } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                let v = self.reg(rs);
+                match size {
+                    MemSize::B1 => self.mem.write_u8(addr, v as u8)?,
+                    MemSize::B2 => self.mem.write_u16(addr, v as u16)?,
+                    MemSize::B4 => self.mem.write_u32(addr, v)?,
+                }
+            }
+            Op::FLoad { size, fd, base, off } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                let v = match size {
+                    FltSize::F4 => self.mem.read_f32(addr)? as f64,
+                    FltSize::F8 => self.mem.read_f64(addr)?,
+                    FltSize::F10 => {
+                        let b = self.mem.read_bytes(addr, 10)?;
+                        let mut a = [0u8; 10];
+                        a.copy_from_slice(b);
+                        crate::f80::decode(&a)
+                    }
+                };
+                self.set_freg(fd, v);
+            }
+            Op::FStore { size, fs, base, off } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                let v = self.freg(fs);
+                match size {
+                    FltSize::F4 => self.mem.write_f32(addr, v as f32)?,
+                    FltSize::F8 => self.mem.write_f64(addr, v)?,
+                    FltSize::F10 => {
+                        let b = crate::f80::encode(v);
+                        self.mem.write_bytes(addr, &b)?;
+                    }
+                }
+            }
+            Op::FAlu { op, fd, fs, ft } => {
+                let (a, b) = (self.freg(fs), self.freg(ft));
+                let v = match op {
+                    crate::op::FaluOp::Add => a + b,
+                    crate::op::FaluOp::Sub => a - b,
+                    crate::op::FaluOp::Mul => a * b,
+                    crate::op::FaluOp::Div => a / b,
+                };
+                self.set_freg(fd, v);
+            }
+            Op::FNeg { fd, fs } => self.set_freg(fd, -self.freg(fs)),
+            Op::FMov { fd, fs } => self.set_freg(fd, self.freg(fs)),
+            Op::CvtIF { fd, rs } => self.set_freg(fd, self.reg(rs) as i32 as f64),
+            Op::CvtFI { rd, fs } => {
+                let v = self.freg(fs);
+                self.set_reg(rd, v.trunc() as i64 as u32);
+            }
+            Op::FCmp { cond, rd, fs, ft } => {
+                let r = cond.eval_f(self.freg(fs), self.freg(ft));
+                self.set_reg(rd, r as u32);
+            }
+            Op::Branch { cond, rs, rt, target } => {
+                if cond.eval(self.reg(rs) as i32, self.reg(rt) as i32) {
+                    pc = target;
+                }
+            }
+            Op::Cmp { rs, rt } => self.cc = (self.reg(rs) as i32, self.reg(rt) as i32),
+            Op::Tst { rs } => self.cc = (self.reg(rs) as i32, 0),
+            Op::BranchCC { cond, target } => {
+                if cond.eval(self.cc.0, self.cc.1) {
+                    pc = target;
+                }
+            }
+            Op::Jump { target } => pc = target,
+            Op::JumpAndLink { target, link } => {
+                self.set_reg(link, next);
+                pc = target;
+            }
+            Op::JumpReg { rs } => pc = self.reg(rs),
+            Op::Push { rs } => {
+                let v = self.reg(rs);
+                self.push32(v)?;
+            }
+            Op::Pop { rd } => {
+                let v = self.pop32()?;
+                self.set_reg(rd, v);
+            }
+            Op::Call { target } => {
+                self.push32(next)?;
+                pc = target;
+            }
+            Op::Ret => pc = self.pop32()?,
+            Op::Link { fp, size } => {
+                let old = self.reg(fp);
+                self.push32(old)?;
+                let sp = self.reg(self.sp());
+                self.set_reg(fp, sp);
+                let spr = self.sp();
+                self.set_reg(spr, sp.wrapping_sub(size as u32));
+            }
+            Op::Unlink { fp } => {
+                let fpv = self.reg(fp);
+                let spr = self.sp();
+                self.set_reg(spr, fpv);
+                let old = self.pop32()?;
+                self.set_reg(fp, old);
+            }
+            Op::SaveRegs { mask } => {
+                for r in 0..16u8 {
+                    if mask & (1 << r) != 0 {
+                        let v = self.reg(r);
+                        self.push32(v)?;
+                    }
+                }
+            }
+            Op::RestoreRegs { mask } => {
+                for r in (0..16u8).rev() {
+                    if mask & (1 << r) != 0 {
+                        let v = self.pop32()?;
+                        self.set_reg(r, v);
+                    }
+                }
+            }
+        }
+        self.pc = pc;
+        Ok(StepEvent::Continue)
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> Result<u32, Fault> {
+    let (sa, sb) = (a as i32, b as i32);
+    Ok(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                return Err(Fault::DivideByZero);
+            }
+            sa.wrapping_div(sb) as u32
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                return Err(Fault::DivideByZero);
+            }
+            sa.wrapping_rem(sb) as u32
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => (sa >> (b & 31)) as u32,
+        AluOp::Slt => (sa < sb) as u32,
+        AluOp::Sltu => (a < b) as u32,
+    })
+}
+
+/// Does `op` read integer register `r`? Used for load-delay hazard checks.
+fn reads_reg(op: &Op, r: u8, data: &MachineData) -> bool {
+    if data.zero_reg == Some(r) {
+        return false;
+    }
+    match *op {
+        Op::Mov { rs, .. } | Op::JumpReg { rs } | Op::Tst { rs } | Op::Push { rs } => rs == r,
+        Op::Alu { rs, rt, .. } | Op::Branch { rs, rt, .. } | Op::Cmp { rs, rt } => {
+            rs == r || rt == r
+        }
+        Op::AluI { rs, .. } | Op::CvtIF { rs, .. } => rs == r,
+        Op::Load { base, .. } | Op::FLoad { base, .. } => base == r,
+        Op::Store { rs, base, .. } => rs == r || base == r,
+        Op::FStore { base, .. } => base == r,
+        _ => false,
+    }
+}
+
+/// The host services a target program can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Service {
+    /// Terminate with the exit code in the syscall argument register.
+    Exit,
+    /// Print the argument register as a signed decimal.
+    PutInt,
+    /// Print the NUL-terminated string at the argument address.
+    PutStr,
+    /// Print the argument as one character.
+    PutChar,
+    /// Print floating-point register f0.
+    PutFlt,
+    /// Stop before `main` and wait for the debugger (the nub's "pause").
+    Pause,
+}
+
+impl Service {
+    /// Service number used in `Syscall` instructions.
+    pub fn number(self) -> u8 {
+        match self {
+            Service::Exit => 0,
+            Service::PutInt => 1,
+            Service::PutStr => 2,
+            Service::PutChar => 3,
+            Service::PutFlt => 4,
+            Service::Pause => 5,
+        }
+    }
+
+    /// Inverse of [`Service::number`].
+    pub fn from_number(n: u8) -> Option<Service> {
+        Some(match n {
+            0 => Service::Exit,
+            1 => Service::PutInt,
+            2 => Service::PutStr,
+            3 => Service::PutChar,
+            4 => Service::PutFlt,
+            5 => Service::Pause,
+            _ => return None,
+        })
+    }
+}
+
+/// Build a CPU with standard layout constants for tests.
+pub fn test_cpu(arch: Arch, order: ByteOrder) -> Cpu {
+    let mem = Memory::new(0x1000, 0x4_0000, order);
+    let mut cpu = Cpu::new(arch, mem);
+    cpu.pc = 0x1000;
+    let sp = arch.data().sp;
+    cpu.set_reg(sp, 0x1000 + 0x4_0000);
+    cpu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Cond;
+
+    /// Assemble ops at 0x1000 and run until breakpoint/fault/exit syscall.
+    fn run(arch: Arch, ops: &[Op]) -> (Cpu, StepEvent) {
+        let order = arch.data().default_order;
+        let mut cpu = test_cpu(arch, order);
+        let mut pc = cpu.pc;
+        for op in ops {
+            let bytes = encode::encode(arch, op, pc, order).expect("encodable");
+            cpu.mem.write_bytes(pc, &bytes).unwrap();
+            pc += bytes.len() as u32;
+        }
+        for _ in 0..10_000 {
+            let ev = cpu.step();
+            if ev != StepEvent::Continue {
+                return (cpu, ev);
+            }
+        }
+        panic!("did not stop");
+    }
+
+    #[test]
+    fn arithmetic_on_all_targets() {
+        for arch in Arch::ALL {
+            let ops = [
+                Op::LoadImm { rd: 1, imm: 6 },
+                Op::LoadImm { rd: 2, imm: 7 },
+                Op::Alu { op: AluOp::Mul, rd: 3, rs: 1, rt: 2 },
+                Op::Syscall(Service::Exit.number()),
+            ];
+            let (cpu, ev) = run(arch, &ops);
+            assert_eq!(ev, StepEvent::Syscall { n: 0 }, "{arch}");
+            assert_eq!(cpu.reg(3), 42, "{arch}");
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_faults_everywhere() {
+        for arch in Arch::ALL {
+            let ops = [
+                Op::LoadImm { rd: 1, imm: 6 },
+                Op::LoadImm { rd: 2, imm: 0 },
+                Op::Alu { op: AluOp::Div, rd: 3, rs: 1, rt: 2 },
+            ];
+            let (cpu, ev) = run(arch, &ops);
+            assert_eq!(ev, StepEvent::Fault(Fault::DivideByZero), "{arch}");
+            // pc still addresses the faulting instruction.
+            let (op, _) = cpu.decode_current().unwrap();
+            assert!(matches!(op, Op::Alu { op: AluOp::Div, .. }), "{arch}");
+        }
+    }
+
+    #[test]
+    fn breakpoint_leaves_pc_at_trap() {
+        for arch in Arch::ALL {
+            let ops = [Op::Nop, Op::Break(if arch == Arch::Sparc { 1 } else { 0 })];
+            let (cpu, ev) = run(arch, &ops);
+            match ev {
+                StepEvent::Breakpoint { pc, .. } => {
+                    assert_eq!(pc, cpu.pc, "{arch}");
+                    assert_eq!(pc, 0x1000 + arch.data().insn_unit as u32, "{arch}");
+                }
+                other => panic!("{arch}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn null_dereference_faults() {
+        for arch in Arch::ALL {
+            let ops = [
+                Op::LoadImm { rd: 1, imm: 0 },
+                Op::Nop, // avoid the MIPS load-delay slot of the next load
+                Op::Load { size: MemSize::B4, signed: true, rd: 2, base: 1, off: 0 },
+            ];
+            let (_, ev) = run(arch, &ops);
+            assert_eq!(ev, StepEvent::Fault(Fault::BadAddress { addr: 0, write: false }), "{arch}");
+        }
+    }
+
+    #[test]
+    fn mips_branch_compares_registers() {
+        let ops = [
+            Op::LoadImm { rd: 1, imm: 3 },
+            Op::LoadImm { rd: 2, imm: 5 },
+            Op::Branch { cond: Cond::Lt, rs: 1, rt: 2, target: 0x1000 + 5 * 4 },
+            Op::LoadImm { rd: 3, imm: 111 }, // skipped
+            Op::Break(0),
+            Op::LoadImm { rd: 3, imm: 222 },
+            Op::Break(0),
+        ];
+        let (cpu, ev) = run(Arch::Mips, &ops);
+        assert!(matches!(ev, StepEvent::Breakpoint { .. }));
+        assert_eq!(cpu.reg(3), 222);
+    }
+
+    #[test]
+    fn cc_branches_on_cisc_and_sparc() {
+        for arch in [Arch::Sparc, Arch::M68k, Arch::Vax] {
+            // if (3 < 5) r3 = 222 else r3 = 111
+            let order = arch.data().default_order;
+            let mut cpu = test_cpu(arch, order);
+            let base = cpu.pc;
+            // Lay out with a two-pass mini assembler.
+            let ops = |target: u32| {
+                vec![
+                    Op::LoadImm { rd: 1, imm: 3 },
+                    Op::LoadImm { rd: 2, imm: 5 },
+                    Op::Cmp { rs: 1, rt: 2 },
+                    Op::BranchCC { cond: Cond::Lt, target },
+                    Op::LoadImm { rd: 3, imm: 111 },
+                    Op::Break(if arch == Arch::Sparc { 1 } else { 0 }),
+                    Op::LoadImm { rd: 3, imm: 222 },
+                    Op::Break(if arch == Arch::Sparc { 1 } else { 0 }),
+                ]
+            };
+            // First pass with dummy target to learn offsets.
+            let dummy = ops(base);
+            let mut offs = Vec::new();
+            let mut pc = base;
+            for op in &dummy {
+                offs.push(pc);
+                pc += encode::length(arch, op) as u32;
+            }
+            let target = offs[6];
+            let real = ops(target);
+            let mut pc = base;
+            for op in &real {
+                let bytes = encode::encode(arch, op, pc, order).unwrap();
+                cpu.mem.write_bytes(pc, &bytes).unwrap();
+                pc += bytes.len() as u32;
+            }
+            loop {
+                match cpu.step() {
+                    StepEvent::Continue => continue,
+                    StepEvent::Breakpoint { .. } => break,
+                    other => panic!("{arch}: {other:?}"),
+                }
+            }
+            assert_eq!(cpu.reg(3), 222, "{arch}");
+        }
+    }
+
+    #[test]
+    fn cisc_call_ret_and_link() {
+        for arch in [Arch::M68k, Arch::Vax] {
+            let d = arch.data();
+            let order = d.default_order;
+            let mut cpu = test_cpu(arch, order);
+            let base = cpu.pc;
+            let fp = d.fp.unwrap();
+            // main: call f; break.  f: link fp,#8; r1 = 7; unlk; ret
+            let plan = |ftarget: u32| {
+                vec![
+                    Op::Call { target: ftarget },
+                    Op::Break(0),
+                    Op::Link { fp, size: 8 },
+                    Op::LoadImm { rd: 1, imm: 7 },
+                    Op::Unlink { fp },
+                    Op::Ret,
+                ]
+            };
+            let mut offs = Vec::new();
+            let mut pc = base;
+            for op in &plan(base) {
+                offs.push(pc);
+                pc += encode::length(arch, op) as u32;
+            }
+            let real = plan(offs[2]);
+            let mut pc = base;
+            for op in &real {
+                let bytes = encode::encode(arch, op, pc, order).unwrap();
+                cpu.mem.write_bytes(pc, &bytes).unwrap();
+                pc += bytes.len() as u32;
+            }
+            let sp0 = cpu.reg(d.sp);
+            loop {
+                match cpu.step() {
+                    StepEvent::Continue => continue,
+                    StepEvent::Breakpoint { .. } => break,
+                    other => panic!("{arch}: {other:?}"),
+                }
+            }
+            assert_eq!(cpu.reg(1), 7, "{arch}");
+            assert_eq!(cpu.reg(d.sp), sp0, "{arch}: stack balanced");
+        }
+    }
+
+    #[test]
+    fn save_restore_masks() {
+        for arch in [Arch::M68k, Arch::Vax] {
+            let ops = [
+                Op::LoadImm { rd: 2, imm: 10 },
+                Op::LoadImm { rd: 3, imm: 20 },
+                Op::SaveRegs { mask: 0b1100 },
+                Op::LoadImm { rd: 2, imm: 0 },
+                Op::LoadImm { rd: 3, imm: 0 },
+                Op::RestoreRegs { mask: 0b1100 },
+                Op::Break(0),
+            ];
+            let (cpu, _) = run(arch, &ops);
+            assert_eq!(cpu.reg(2), 10, "{arch}");
+            assert_eq!(cpu.reg(3), 20, "{arch}");
+        }
+    }
+
+    #[test]
+    fn mips_load_delay_hazard_detected() {
+        let ops = [
+            Op::AluI { op: AluOp::Add, rd: 1, rs: 29, imm: -64 },
+            Op::Store { size: MemSize::B4, rs: 29, base: 1, off: 0 },
+            Op::Load { size: MemSize::B4, signed: true, rd: 2, base: 1, off: 0 },
+            Op::Mov { rd: 3, rs: 2 }, // reads r2 in the delay slot!
+        ];
+        let (_, ev) = run(Arch::Mips, &ops);
+        assert!(matches!(ev, StepEvent::Fault(Fault::LoadDelayHazard { reg: 2, .. })), "{ev:?}");
+    }
+
+    #[test]
+    fn mips_load_delay_filled_with_nop_is_fine() {
+        let ops = [
+            Op::AluI { op: AluOp::Add, rd: 1, rs: 29, imm: -64 },
+            Op::Store { size: MemSize::B4, rs: 29, base: 1, off: 0 },
+            Op::Load { size: MemSize::B4, signed: true, rd: 2, base: 1, off: 0 },
+            Op::Nop,
+            Op::Mov { rd: 3, rs: 2 },
+            Op::Break(0),
+        ];
+        let (cpu, ev) = run(Arch::Mips, &ops);
+        assert!(matches!(ev, StepEvent::Breakpoint { .. }));
+        assert_eq!(cpu.reg(3), cpu.reg(2));
+    }
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let ops = [
+            Op::LoadImm { rd: 0, imm: 99 },
+            Op::Mov { rd: 1, rs: 0 },
+            Op::Break(0),
+        ];
+        let (cpu, _) = run(Arch::Mips, &ops);
+        assert_eq!(cpu.reg(1), 0);
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn float_pipeline_and_f80() {
+        // 68020: compute 2.5 * 4.0 via 80-bit spills.
+        let d = Arch::M68k.data();
+        let mut cpu = test_cpu(Arch::M68k, d.default_order);
+        let base = cpu.pc;
+        let scratch = 0x2000;
+        let ops = vec![
+            Op::LoadImm { rd: 1, imm: 5 },
+            Op::CvtIF { fd: 0, rs: 1 }, // f0 = 5.0
+            Op::LoadImm { rd: 2, imm: 2 },
+            Op::CvtIF { fd: 1, rs: 2 }, // f1 = 2.0
+            Op::FAlu { op: crate::op::FaluOp::Div, fd: 2, fs: 0, ft: 1 }, // 2.5
+            Op::LoadImm { rd: 3, imm: scratch },
+            Op::FStore { size: FltSize::F10, fs: 2, base: 3, off: 0 },
+            Op::FLoad { size: FltSize::F10, fd: 3, base: 3, off: 0 },
+            Op::LoadImm { rd: 4, imm: 4 },
+            Op::CvtIF { fd: 4, rs: 4 },
+            Op::FAlu { op: crate::op::FaluOp::Mul, fd: 5, fs: 3, ft: 4 },
+            Op::CvtFI { rd: 5, fs: 5 },
+            Op::Break(0),
+        ];
+        let mut pc = base;
+        for op in &ops {
+            let bytes = encode::encode(Arch::M68k, op, pc, d.default_order).unwrap();
+            cpu.mem.write_bytes(pc, &bytes).unwrap();
+            pc += bytes.len() as u32;
+        }
+        loop {
+            match cpu.step() {
+                StepEvent::Continue => continue,
+                StepEvent::Breakpoint { .. } => break,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(cpu.fregs[2], 2.5);
+        assert_eq!(cpu.fregs[3], 2.5);
+        assert_eq!(cpu.reg(5), 10);
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        for arch in Arch::ALL {
+            let order = arch.data().default_order;
+            let mut cpu = test_cpu(arch, order);
+            cpu.mem.write_bytes(0x1000, &[0xff, 0xff, 0xff, 0xff]).unwrap();
+            let ev = cpu.step();
+            assert_eq!(ev, StepEvent::Fault(Fault::IllegalInstruction { pc: 0x1000 }), "{arch}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! A disassembler: decoded operations rendered with the target's own
+//! register names and conventions.
+
+use crate::arch::{Arch, ByteOrder};
+use crate::encode;
+use crate::op::{AluOp, Cond, FltSize, MemSize, Op};
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+    }
+}
+
+fn cond_name(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "eq",
+        Cond::Ne => "ne",
+        Cond::Lt => "lt",
+        Cond::Ge => "ge",
+        Cond::Le => "le",
+        Cond::Gt => "gt",
+    }
+}
+
+fn msize(s: MemSize, signed: bool) -> &'static str {
+    match (s, signed) {
+        (MemSize::B1, true) => "b",
+        (MemSize::B1, false) => "bu",
+        (MemSize::B2, true) => "h",
+        (MemSize::B2, false) => "hu",
+        (MemSize::B4, _) => "w",
+    }
+}
+
+fn fsize(s: FltSize) -> &'static str {
+    match s {
+        FltSize::F4 => "s",
+        FltSize::F8 => "d",
+        FltSize::F10 => "x",
+    }
+}
+
+/// Render one operation in a target-flavored assembly syntax.
+pub fn render(arch: Arch, op: &Op) -> String {
+    let d = arch.data();
+    let r = |i: u8| d.reg_name(i).to_string();
+    match *op {
+        Op::Nop => "nop".into(),
+        Op::Break(c) => format!("break {c}"),
+        Op::Syscall(n) => format!("syscall {n}"),
+        Op::LoadImm { rd, imm } => format!("li {}, {imm}", r(rd)),
+        Op::LoadUpper { rd, imm } => format!("lui {}, {imm:#x}", r(rd)),
+        Op::Mov { rd, rs } => format!("move {}, {}", r(rd), r(rs)),
+        Op::Alu { op, rd, rs, rt } => {
+            format!("{} {}, {}, {}", alu_name(op), r(rd), r(rs), r(rt))
+        }
+        Op::AluI { op, rd, rs, imm } => {
+            format!("{}i {}, {}, {imm}", alu_name(op), r(rd), r(rs))
+        }
+        Op::Load { size, signed, rd, base, off } => {
+            format!("l{} {}, {off}({})", msize(size, signed), r(rd), r(base))
+        }
+        Op::Store { size, rs, base, off } => {
+            format!("s{} {}, {off}({})", msize(size, true), r(rs), r(base))
+        }
+        Op::FLoad { size, fd, base, off } => {
+            format!("l.{} f{fd}, {off}({})", fsize(size), r(base))
+        }
+        Op::FStore { size, fs, base, off } => {
+            format!("s.{} f{fs}, {off}({})", fsize(size), r(base))
+        }
+        Op::FAlu { op, fd, fs, ft } => {
+            let n = match op {
+                crate::op::FaluOp::Add => "add",
+                crate::op::FaluOp::Sub => "sub",
+                crate::op::FaluOp::Mul => "mul",
+                crate::op::FaluOp::Div => "div",
+            };
+            format!("{n}.d f{fd}, f{fs}, f{ft}")
+        }
+        Op::FNeg { fd, fs } => format!("neg.d f{fd}, f{fs}"),
+        Op::FMov { fd, fs } => format!("mov.d f{fd}, f{fs}"),
+        Op::CvtIF { fd, rs } => format!("cvt.d.w f{fd}, {}", r(rs)),
+        Op::CvtFI { rd, fs } => format!("cvt.w.d {}, f{fs}", r(rd)),
+        Op::FCmp { cond, rd, fs, ft } => {
+            format!("c.{}.d {}, f{fs}, f{ft}", cond_name(cond), r(rd))
+        }
+        Op::Branch { cond, rs, rt, target } => {
+            format!("b{} {}, {}, {target:#x}", cond_name(cond), r(rs), r(rt))
+        }
+        Op::Cmp { rs, rt } => format!("cmp {}, {}", r(rs), r(rt)),
+        Op::Tst { rs } => format!("tst {}", r(rs)),
+        Op::BranchCC { cond, target } => format!("b{} {target:#x}", cond_name(cond)),
+        Op::Jump { target } => format!("j {target:#x}"),
+        Op::JumpAndLink { target, link } => format!("jal {target:#x}  ; link {}", r(link)),
+        Op::JumpReg { rs } => format!("jr {}", r(rs)),
+        Op::Push { rs } => format!("push {}", r(rs)),
+        Op::Pop { rd } => format!("pop {}", r(rd)),
+        Op::Call { target } => format!("call {target:#x}"),
+        Op::Ret => "ret".into(),
+        Op::Link { fp, size } => format!("link {}, #{size}", r(fp)),
+        Op::Unlink { fp } => format!("unlk {}", r(fp)),
+        Op::SaveRegs { mask } => format!("movem.save {mask:#06x}"),
+        Op::RestoreRegs { mask } => format!("movem.rest {mask:#06x}"),
+    }
+}
+
+/// Disassemble a byte range: (address, length, text) per instruction.
+/// Undecodable bytes come out as `.byte`/`.word` lines so the walk always
+/// makes progress.
+pub fn disassemble(
+    arch: Arch,
+    order: ByteOrder,
+    bytes: &[u8],
+    base: u32,
+) -> Vec<(u32, u8, String)> {
+    let d = arch.data();
+    let mut out = Vec::new();
+    let mut pc = base;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match encode::decode(arch, &bytes[i..], pc, order) {
+            Some((op, len)) => {
+                out.push((pc, len, render(arch, &op)));
+                i += len as usize;
+                pc += len as u32;
+            }
+            None => {
+                let step = d.insn_unit.min((bytes.len() - i) as u8).max(1);
+                out.push((pc, step, format!(".byte {:02x?}", &bytes[i..i + step as usize])));
+                i += step as usize;
+                pc += step as u32;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_target_register_names() {
+        let op = Op::AluI { op: AluOp::Add, rd: 29, rs: 29, imm: -32 };
+        assert_eq!(render(Arch::Mips, &op), "addi sp, sp, -32");
+        let op = Op::Link { fp: 14, size: 24 };
+        assert_eq!(render(Arch::M68k, &op), "link a6, #24");
+        assert_eq!(render(Arch::Vax, &Op::Ret), "ret");
+    }
+
+    #[test]
+    fn disassembles_encoded_streams() {
+        for arch in Arch::ALL {
+            let order = arch.data().default_order;
+            let ops = [
+                Op::LoadImm { rd: 1, imm: 42 },
+                Op::Nop,
+                Op::Syscall(0),
+            ];
+            let mut bytes = Vec::new();
+            let mut pc = 0x1000;
+            for op in &ops {
+                let b = encode::encode(arch, op, pc, order).unwrap();
+                pc += b.len() as u32;
+                bytes.extend(b);
+            }
+            let dis = disassemble(arch, order, &bytes, 0x1000);
+            assert_eq!(dis.len(), 3, "{arch}: {dis:?}");
+            assert!(dis[0].2.starts_with("li"), "{arch}: {dis:?}");
+            assert_eq!(dis[1].2, "nop", "{arch}");
+        }
+    }
+
+    #[test]
+    fn junk_bytes_do_not_stall() {
+        let dis = disassemble(Arch::Vax, ByteOrder::Little, &[0xff, 0xfe, 0x01], 0);
+        assert_eq!(dis.len(), 3);
+        assert_eq!(dis[2].2, "nop");
+    }
+}

@@ -1,0 +1,313 @@
+//! 68020-like instruction encoding: variable-length, big-endian, built from
+//! 2-byte opwords plus extension words. The no-op is `0x4e71` (the real
+//! 68000 NOP) and the breakpoint trap is `0x4e4f` (`trap #15`); `unlk` and
+//! `rts` also use their real opcodes. Register fields pack two 4-bit
+//! register numbers per byte (16 registers: d0-d7 are 0-7, a0-a7 are 8-15).
+//! Supports 80-bit extended floating point.
+
+use super::EncodeError;
+use crate::arch::Arch;
+use crate::op::{AluOp, Cond, FaluOp, FltSize, MemSize, Op};
+
+fn err(reason: impl Into<String>) -> EncodeError {
+    EncodeError { arch: Arch::M68k, reason: reason.into() }
+}
+
+const NOP: u16 = 0x4e71;
+const BREAK: u16 = 0x4e4f; // trap #15
+const TRAP_BASE: u16 = 0x4e40; // trap #0..#14 are host calls
+const RTS: u16 = 0x4e75;
+const LINK_BASE: u16 = 0x4e50; // +An
+const UNLK_BASE: u16 = 0x4e58; // +An
+
+// Opword classes (first byte).
+const C_MOV: u8 = 0x20;
+const C_ALUR: u8 = 0x22;
+const C_ALUI: u8 = 0x24;
+const C_LI: u8 = 0x26;
+const C_LOAD: u8 = 0x28;
+const C_STORE: u8 = 0x2a;
+const C_FLOAD: u8 = 0x2c;
+const C_FSTORE: u8 = 0x2e;
+const C_FALU: u8 = 0x30;
+const C_FMISC: u8 = 0x32;
+const C_FCMP: u8 = 0x34;
+const C_CMP: u8 = 0x36;
+const C_TST: u8 = 0x38;
+const C_BCC: u8 = 0x3a;
+const C_JMP: u8 = 0x3c;
+const C_CALL: u8 = 0x3e;
+const C_PUSH: u8 = 0x40;
+const C_POP: u8 = 0x42;
+const C_SAVEM: u8 = 0x44;
+const C_RESTM: u8 = 0x46;
+const C_JMPR: u8 = 0x48;
+
+fn pack(hi: u8, lo: u8) -> u8 {
+    debug_assert!(hi < 16 && lo < 16);
+    (hi << 4) | (lo & 0xf)
+}
+
+fn mem_size_code(size: MemSize, signed: bool) -> u8 {
+    match (size, signed) {
+        (MemSize::B1, true) => 0,
+        (MemSize::B1, false) => 1,
+        (MemSize::B2, true) => 2,
+        (MemSize::B2, false) => 3,
+        (MemSize::B4, _) => 4,
+    }
+}
+
+fn mem_size_from(code: u8) -> Option<(MemSize, bool)> {
+    Some(match code {
+        0 => (MemSize::B1, true),
+        1 => (MemSize::B1, false),
+        2 => (MemSize::B2, true),
+        3 => (MemSize::B2, false),
+        4 => (MemSize::B4, true),
+        _ => return None,
+    })
+}
+
+fn flt_size_code(s: FltSize) -> u8 {
+    match s {
+        FltSize::F4 => 0,
+        FltSize::F8 => 1,
+        FltSize::F10 => 2,
+    }
+}
+
+fn flt_size_from(code: u8) -> Option<FltSize> {
+    Some(match code {
+        0 => FltSize::F4,
+        1 => FltSize::F8,
+        2 => FltSize::F10,
+        _ => return None,
+    })
+}
+
+/// Encoded length of `op` in bytes (fixed per operation kind).
+pub fn length(op: &Op) -> u8 {
+    match op {
+        Op::Nop | Op::Break(_) | Op::Syscall(_) | Op::Ret => 2,
+        Op::Mov { .. } | Op::Cmp { .. } | Op::Tst { .. } => 2,
+        Op::Push { .. } | Op::Pop { .. } | Op::JumpReg { .. } | Op::Unlink { .. } => 2,
+        Op::Alu { .. } | Op::FAlu { .. } => 4,
+        Op::FNeg { .. } | Op::FMov { .. } | Op::CvtIF { .. } | Op::CvtFI { .. } => 4,
+        Op::FCmp { .. } | Op::BranchCC { .. } | Op::Link { .. } => 4,
+        Op::SaveRegs { .. } | Op::RestoreRegs { .. } => 4,
+        Op::Load { .. } | Op::Store { .. } | Op::FLoad { .. } | Op::FStore { .. } => 6,
+        Op::LoadImm { .. } | Op::Jump { .. } | Op::Call { .. } => 6,
+        Op::AluI { .. } => 8,
+        _ => 0,
+    }
+}
+
+/// Encode one operation at `pc` (big-endian).
+///
+/// # Errors
+/// RISC-only operations (`Branch`, `JumpAndLink`, `LoadUpper`) and
+/// out-of-range displacements.
+pub fn encode(op: &Op, pc: u32) -> Result<Vec<u8>, EncodeError> {
+    let mut b: Vec<u8> = Vec::with_capacity(8);
+    let opword = |b: &mut Vec<u8>, w: u16| b.extend_from_slice(&w.to_be_bytes());
+    match *op {
+        Op::Nop => opword(&mut b, NOP),
+        Op::Break(code) => {
+            if code != 0 {
+                return Err(err("the 68020 breakpoint is trap #15 (code 0)"));
+            }
+            opword(&mut b, BREAK);
+        }
+        Op::Syscall(n) => {
+            if n >= 15 {
+                return Err(err("host calls use trap #0..#14"));
+            }
+            opword(&mut b, TRAP_BASE | n as u16);
+        }
+        Op::Ret => opword(&mut b, RTS),
+        Op::Link { fp, size } => {
+            if !(8..16).contains(&fp) {
+                return Err(err("link requires an address register"));
+            }
+            opword(&mut b, LINK_BASE | (fp - 8) as u16);
+            b.extend_from_slice(&size.to_be_bytes());
+        }
+        Op::Unlink { fp } => {
+            if !(8..16).contains(&fp) {
+                return Err(err("unlk requires an address register"));
+            }
+            opword(&mut b, UNLK_BASE | (fp - 8) as u16);
+        }
+        Op::Mov { rd, rs } => b.extend_from_slice(&[C_MOV, pack(rd, rs)]),
+        Op::Alu { op, rd, rs, rt } => {
+            b.extend_from_slice(&[C_ALUR, pack(rd, rs), op.index(), rt]);
+        }
+        Op::AluI { op, rd, rs, imm } => {
+            b.extend_from_slice(&[C_ALUI, pack(rd, rs), op.index(), 0]);
+            b.extend_from_slice(&(imm as i32).to_be_bytes());
+        }
+        Op::LoadImm { rd, imm } => {
+            b.extend_from_slice(&[C_LI, pack(rd, 0)]);
+            b.extend_from_slice(&imm.to_be_bytes());
+        }
+        Op::Load { size, signed, rd, base, off } => {
+            b.extend_from_slice(&[C_LOAD, pack(rd, base), mem_size_code(size, signed), 0]);
+            b.extend_from_slice(&off.to_be_bytes());
+        }
+        Op::Store { size, rs, base, off } => {
+            b.extend_from_slice(&[C_STORE, pack(rs, base), mem_size_code(size, true), 0]);
+            b.extend_from_slice(&off.to_be_bytes());
+        }
+        Op::FLoad { size, fd, base, off } => {
+            b.extend_from_slice(&[C_FLOAD, pack(fd, base), flt_size_code(size), 0]);
+            b.extend_from_slice(&off.to_be_bytes());
+        }
+        Op::FStore { size, fs, base, off } => {
+            b.extend_from_slice(&[C_FSTORE, pack(fs, base), flt_size_code(size), 0]);
+            b.extend_from_slice(&off.to_be_bytes());
+        }
+        Op::FAlu { op, fd, fs, ft } => {
+            b.extend_from_slice(&[C_FALU, pack(fd, fs), op.index(), ft]);
+        }
+        Op::FNeg { fd, fs } => b.extend_from_slice(&[C_FMISC, pack(fd, fs), 0, 0]),
+        Op::FMov { fd, fs } => b.extend_from_slice(&[C_FMISC, pack(fd, fs), 3, 0]),
+        Op::CvtIF { fd, rs } => b.extend_from_slice(&[C_FMISC, pack(fd, rs), 1, 0]),
+        Op::CvtFI { rd, fs } => b.extend_from_slice(&[C_FMISC, pack(rd, fs), 2, 0]),
+        Op::FCmp { cond, rd, fs, ft } => {
+            b.extend_from_slice(&[C_FCMP, pack(rd, fs), cond.index(), ft]);
+        }
+        Op::Cmp { rs, rt } => b.extend_from_slice(&[C_CMP, pack(rs, rt)]),
+        Op::Tst { rs } => b.extend_from_slice(&[C_TST, pack(rs, 0)]),
+        Op::BranchCC { cond, target } => {
+            b.extend_from_slice(&[C_BCC, cond.index()]);
+            let disp = target.wrapping_sub(pc.wrapping_add(4)) as i32;
+            let disp =
+                i16::try_from(disp).map_err(|_| err(format!("branch displacement {disp}")))?;
+            b.extend_from_slice(&disp.to_be_bytes());
+        }
+        Op::Jump { target } => {
+            b.extend_from_slice(&[C_JMP, 0]);
+            b.extend_from_slice(&target.to_be_bytes());
+        }
+        Op::Call { target } => {
+            b.extend_from_slice(&[C_CALL, 0]);
+            b.extend_from_slice(&target.to_be_bytes());
+        }
+        Op::Push { rs } => b.extend_from_slice(&[C_PUSH, pack(rs, 0)]),
+        Op::Pop { rd } => b.extend_from_slice(&[C_POP, pack(rd, 0)]),
+        Op::SaveRegs { mask } => {
+            b.extend_from_slice(&[C_SAVEM, 0]);
+            b.extend_from_slice(&mask.to_be_bytes());
+        }
+        Op::RestoreRegs { mask } => {
+            b.extend_from_slice(&[C_RESTM, 0]);
+            b.extend_from_slice(&mask.to_be_bytes());
+        }
+        Op::JumpReg { rs } => b.extend_from_slice(&[C_JMPR, pack(rs, 0)]),
+        Op::Branch { .. } => return Err(err("the 68020 branches on condition codes")),
+        Op::JumpAndLink { .. } => return Err(err("the 68020 calls push the return address")),
+        Op::LoadUpper { .. } => return Err(err("the 68020 loads 32-bit immediates directly")),
+    }
+    Ok(b)
+}
+
+fn be16(b: &[u8], i: usize) -> Option<i16> {
+    Some(i16::from_be_bytes([*b.get(i)?, *b.get(i + 1)?]))
+}
+
+fn be32(b: &[u8], i: usize) -> Option<u32> {
+    Some(u32::from_be_bytes([*b.get(i)?, *b.get(i + 1)?, *b.get(i + 2)?, *b.get(i + 3)?]))
+}
+
+/// Decode the instruction at `pc`. Returns `None` for illegal instructions.
+pub fn decode(bytes: &[u8], pc: u32) -> Option<(Op, u8)> {
+    let w = u16::from_be_bytes([*bytes.first()?, *bytes.get(1)?]);
+    // Fixed 0x4exx family first (real 68000 opcodes).
+    match w {
+        NOP => return Some((Op::Nop, 2)),
+        BREAK => return Some((Op::Break(0), 2)),
+        RTS => return Some((Op::Ret, 2)),
+        _ => {}
+    }
+    if (TRAP_BASE..TRAP_BASE + 15).contains(&w) {
+        return Some((Op::Syscall((w - TRAP_BASE) as u8), 2));
+    }
+    if (LINK_BASE..LINK_BASE + 8).contains(&w) {
+        let size = be16(bytes, 2)? as u16;
+        return Some((Op::Link { fp: (w - LINK_BASE) as u8 + 8, size }, 4));
+    }
+    if (UNLK_BASE..UNLK_BASE + 8).contains(&w) {
+        return Some((Op::Unlink { fp: (w - UNLK_BASE) as u8 + 8 }, 2));
+    }
+    let class = bytes[0];
+    let hi = bytes[1] >> 4;
+    let lo = bytes[1] & 0xf;
+    let op = match class {
+        C_MOV => (Op::Mov { rd: hi, rs: lo }, 2),
+        C_ALUR => (
+            Op::Alu { op: AluOp::from_index(*bytes.get(2)?)?, rd: hi, rs: lo, rt: *bytes.get(3)? },
+            4,
+        ),
+        C_ALUI => (
+            Op::AluI {
+                op: AluOp::from_index(*bytes.get(2)?)?,
+                rd: hi,
+                rs: lo,
+                imm: i16::try_from(be32(bytes, 4)? as i32).ok()?,
+            },
+            8,
+        ),
+        C_LI => {
+            let imm = be32(bytes, 2)? as i32;
+            (Op::LoadImm { rd: hi, imm }, 6)
+        }
+        C_LOAD => {
+            let (size, signed) = mem_size_from(*bytes.get(2)?)?;
+            (Op::Load { size, signed, rd: hi, base: lo, off: be16(bytes, 4)? }, 6)
+        }
+        C_STORE => {
+            let (size, _) = mem_size_from(*bytes.get(2)?)?;
+            (Op::Store { size, rs: hi, base: lo, off: be16(bytes, 4)? }, 6)
+        }
+        C_FLOAD => (
+            Op::FLoad { size: flt_size_from(*bytes.get(2)?)?, fd: hi, base: lo, off: be16(bytes, 4)? },
+            6,
+        ),
+        C_FSTORE => (
+            Op::FStore { size: flt_size_from(*bytes.get(2)?)?, fs: hi, base: lo, off: be16(bytes, 4)? },
+            6,
+        ),
+        C_FALU => (
+            Op::FAlu { op: FaluOp::from_index(*bytes.get(2)?)?, fd: hi, fs: lo, ft: *bytes.get(3)? },
+            4,
+        ),
+        C_FMISC => match *bytes.get(2)? {
+            0 => (Op::FNeg { fd: hi, fs: lo }, 4),
+            1 => (Op::CvtIF { fd: hi, rs: lo }, 4),
+            2 => (Op::CvtFI { rd: hi, fs: lo }, 4),
+            3 => (Op::FMov { fd: hi, fs: lo }, 4),
+            _ => return None,
+        },
+        C_FCMP => (
+            Op::FCmp { cond: Cond::from_index(*bytes.get(2)?)?, rd: hi, fs: lo, ft: *bytes.get(3)? },
+            4,
+        ),
+        C_CMP => (Op::Cmp { rs: hi, rt: lo }, 2),
+        C_TST => (Op::Tst { rs: hi }, 2),
+        C_BCC => {
+            let cond = Cond::from_index(bytes[1])?;
+            let disp = be16(bytes, 2)? as i32;
+            (Op::BranchCC { cond, target: pc.wrapping_add(4).wrapping_add(disp as u32) }, 4)
+        }
+        C_JMP => (Op::Jump { target: be32(bytes, 2)? }, 6),
+        C_CALL => (Op::Call { target: be32(bytes, 2)? }, 6),
+        C_PUSH => (Op::Push { rs: hi }, 2),
+        C_POP => (Op::Pop { rd: hi }, 2),
+        C_SAVEM => (Op::SaveRegs { mask: be16(bytes, 2)? as u16 }, 4),
+        C_RESTM => (Op::RestoreRegs { mask: be16(bytes, 2)? as u16 }, 4),
+        C_JMPR => (Op::JumpReg { rs: hi }, 2),
+        _ => return None,
+    };
+    Some(op)
+}

@@ -1,0 +1,255 @@
+//! MIPS-like instruction encoding: fixed 4-byte words, MIPS-flavored field
+//! layout (6-bit opcode, 5-bit registers, 16-bit immediates). The canonical
+//! no-op is the all-zero word (`sll zero,zero,0`) and the breakpoint trap is
+//! `0x0000000d` (`break 0`), exactly the patterns ldb's breakpoint data
+//! names for the MIPS. Works in either byte order.
+
+use super::word::*;
+use super::EncodeError;
+use crate::arch::{Arch, ByteOrder};
+use crate::op::{AluOp, Cond, FltSize, MemSize, Op};
+
+fn err(reason: impl Into<String>) -> EncodeError {
+    EncodeError { arch: Arch::Mips, reason: reason.into() }
+}
+
+// Special-opcode (0) funct codes.
+const F_JR: u32 = 0x08;
+const F_SYSCALL: u32 = 0x0c;
+const F_BREAK: u32 = 0x0d;
+const F_MOV: u32 = 0x10;
+const F_FBASE: u32 = 0x30; // FAdd..FDiv, FNeg, CvtIF, CvtFI at 0x30..0x36
+const F_FCMP: u32 = 0x38; // +cond index
+
+fn alu_funct(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0x20,
+        AluOp::Sub => 0x22,
+        AluOp::Mul => 0x18,
+        AluOp::Div => 0x1a,
+        AluOp::Rem => 0x1b,
+        AluOp::And => 0x24,
+        AluOp::Or => 0x25,
+        AluOp::Xor => 0x26,
+        AluOp::Sll => 0x04,
+        AluOp::Srl => 0x06,
+        AluOp::Sra => 0x07,
+        AluOp::Slt => 0x2a,
+        AluOp::Sltu => 0x2b,
+    }
+}
+
+fn alu_from_funct(f: u32) -> Option<AluOp> {
+    Some(match f {
+        0x20 => AluOp::Add,
+        0x22 => AluOp::Sub,
+        0x18 => AluOp::Mul,
+        0x1a => AluOp::Div,
+        0x1b => AluOp::Rem,
+        0x24 => AluOp::And,
+        0x25 => AluOp::Or,
+        0x26 => AluOp::Xor,
+        0x04 => AluOp::Sll,
+        0x06 => AluOp::Srl,
+        0x07 => AluOp::Sra,
+        0x2a => AluOp::Slt,
+        0x2b => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+// Primary opcodes.
+const OP_J: u32 = 2;
+const OP_JAL: u32 = 3;
+const OP_ALUI_BASE: u32 = 9; // +AluOp::index
+const OP_LUI: u32 = 25;
+const OP_LI: u32 = 26;
+const OP_LB: u32 = 32;
+const OP_LH: u32 = 33;
+const OP_LW: u32 = 35;
+const OP_LBU: u32 = 36;
+const OP_LHU: u32 = 37;
+const OP_SB: u32 = 40;
+const OP_SH: u32 = 41;
+const OP_SW: u32 = 43;
+const OP_LWC1: u32 = 49;
+const OP_LDC1: u32 = 53;
+const OP_SWC1: u32 = 57;
+const OP_SDC1: u32 = 61;
+
+fn branch_op(c: Cond) -> u32 {
+    match c {
+        Cond::Eq => 4,
+        Cond::Ne => 5,
+        Cond::Lt => 6,
+        Cond::Ge => 7,
+        Cond::Le => 28,
+        Cond::Gt => 29,
+    }
+}
+
+fn branch_cond(op: u32) -> Option<Cond> {
+    Some(match op {
+        4 => Cond::Eq,
+        5 => Cond::Ne,
+        6 => Cond::Lt,
+        7 => Cond::Ge,
+        28 => Cond::Le,
+        29 => Cond::Gt,
+        _ => return None,
+    })
+}
+
+/// Encode one operation.
+///
+/// # Errors
+/// Operations foreign to a RISC target (`Push`, `Link`, ...), `JumpAndLink`
+/// with a link register other than `ra`, and out-of-range displacements.
+pub fn encode(op: &Op, pc: u32, order: ByteOrder) -> Result<Vec<u8>, EncodeError> {
+    let w = match *op {
+        Op::Nop => 0,
+        Op::Break(code) => ((code as u32) << 6) | F_BREAK,
+        Op::Syscall(n) => ((n as u32) << 6) | F_SYSCALL,
+        Op::JumpReg { rs } => r_type(0, rs, 0, 0, F_JR),
+        Op::Mov { rd, rs } => r_type(0, rs, 0, rd, F_MOV),
+        Op::Alu { op, rd, rs, rt } => r_type(0, rs, rt, rd, alu_funct(op)),
+        Op::FAlu { op, fd, fs, ft } => r_type(0, fs, ft, fd, F_FBASE + op.index() as u32),
+        Op::FNeg { fd, fs } => r_type(0, fs, 0, fd, F_FBASE + 4),
+        Op::FMov { fd, fs } => r_type(0, fs, 0, fd, F_FBASE + 7),
+        Op::CvtIF { fd, rs } => r_type(0, rs, 0, fd, F_FBASE + 5),
+        Op::CvtFI { rd, fs } => r_type(0, fs, 0, rd, F_FBASE + 6),
+        Op::FCmp { cond, rd, fs, ft } => r_type(0, fs, ft, rd, F_FCMP + cond.index() as u32),
+        Op::AluI { op, rd, rs, imm } => i_type(OP_ALUI_BASE + op.index() as u32, rs, rd, imm),
+        Op::LoadImm { rd, imm } => {
+            let imm = i16::try_from(imm).map_err(|_| err(format!("li {imm} needs lui/ori")))?;
+            i_type(OP_LI, 0, rd, imm)
+        }
+        Op::LoadUpper { rd, imm } => i_type(OP_LUI, 0, rd, imm as i16),
+        Op::Load { size, signed, rd, base, off } => {
+            let opc = match (size, signed) {
+                (MemSize::B1, true) => OP_LB,
+                (MemSize::B1, false) => OP_LBU,
+                (MemSize::B2, true) => OP_LH,
+                (MemSize::B2, false) => OP_LHU,
+                (MemSize::B4, _) => OP_LW,
+            };
+            i_type(opc, base, rd, off)
+        }
+        Op::Store { size, rs, base, off } => {
+            let opc = match size {
+                MemSize::B1 => OP_SB,
+                MemSize::B2 => OP_SH,
+                MemSize::B4 => OP_SW,
+            };
+            i_type(opc, base, rs, off)
+        }
+        Op::FLoad { size, fd, base, off } => {
+            let opc = match size {
+                FltSize::F4 => OP_LWC1,
+                FltSize::F8 => OP_LDC1,
+                FltSize::F10 => return Err(err("no 80-bit floats on the MIPS")),
+            };
+            i_type(opc, base, fd, off)
+        }
+        Op::FStore { size, fs, base, off } => {
+            let opc = match size {
+                FltSize::F4 => OP_SWC1,
+                FltSize::F8 => OP_SDC1,
+                FltSize::F10 => return Err(err("no 80-bit floats on the MIPS")),
+            };
+            i_type(opc, base, fs, off)
+        }
+        Op::Branch { cond, rs, rt, target } => {
+            let disp = branch_disp(pc, target).map_err(err)?;
+            i_type(branch_op(cond), rs, rt, disp)
+        }
+        Op::Jump { target } => j_type(OP_J, target),
+        Op::JumpAndLink { target, link } => {
+            if link != 31 {
+                return Err(err("jal links through ra (r31) only"));
+            }
+            j_type(OP_JAL, target)
+        }
+        Op::Cmp { .. } | Op::Tst { .. } | Op::BranchCC { .. } => {
+            return Err(err("the MIPS compares registers in branches, not condition codes"))
+        }
+        Op::Push { .. }
+        | Op::Pop { .. }
+        | Op::Call { .. }
+        | Op::Ret
+        | Op::Link { .. }
+        | Op::Unlink { .. }
+        | Op::SaveRegs { .. }
+        | Op::RestoreRegs { .. } => return Err(err("CISC operation on a RISC target")),
+    };
+    Ok(to_bytes(w, order))
+}
+
+/// Decode the word at `pc`. Returns `None` for illegal instructions.
+pub fn decode(bytes: &[u8], pc: u32, order: ByteOrder) -> Option<(Op, u8)> {
+    let w = from_bytes(bytes, order)?;
+    let (opc, rs, rt, rd, _funct) = fields(w);
+    let op = match opc {
+        0 => {
+            if w == 0 {
+                Op::Nop
+            } else {
+                let funct = w & 0x3f;
+                let code = ((w >> 6) & 0xff) as u8;
+                match funct {
+                    F_BREAK => Op::Break(code),
+                    F_SYSCALL => Op::Syscall(code),
+                    F_JR => Op::JumpReg { rs },
+                    F_MOV => Op::Mov { rd, rs },
+                    f if f == F_FBASE + 4 => Op::FNeg { fd: rd, fs: rs },
+                    f if f == F_FBASE + 7 => Op::FMov { fd: rd, fs: rs },
+                    f if f == F_FBASE + 5 => Op::CvtIF { fd: rd, rs },
+                    f if f == F_FBASE + 6 => Op::CvtFI { rd, fs: rs },
+                    f if (F_FBASE..F_FBASE + 4).contains(&f) => Op::FAlu {
+                        op: crate::op::FaluOp::from_index((f - F_FBASE) as u8)?,
+                        fd: rd,
+                        fs: rs,
+                        ft: rt,
+                    },
+                    f if (F_FCMP..F_FCMP + 6).contains(&f) => Op::FCmp {
+                        cond: Cond::from_index((f - F_FCMP) as u8)?,
+                        rd,
+                        fs: rs,
+                        ft: rt,
+                    },
+                    f => Op::Alu { op: alu_from_funct(f)?, rd, rs, rt },
+                }
+            }
+        }
+        OP_J => Op::Jump { target: jump_target(w) },
+        OP_JAL => Op::JumpAndLink { target: jump_target(w), link: 31 },
+        OP_LUI => Op::LoadUpper { rd: rt, imm: imm16(w) as u16 },
+        OP_LI => Op::LoadImm { rd: rt, imm: imm16(w) as i32 },
+        OP_LB => Op::Load { size: MemSize::B1, signed: true, rd: rt, base: rs, off: imm16(w) },
+        OP_LBU => Op::Load { size: MemSize::B1, signed: false, rd: rt, base: rs, off: imm16(w) },
+        OP_LH => Op::Load { size: MemSize::B2, signed: true, rd: rt, base: rs, off: imm16(w) },
+        OP_LHU => Op::Load { size: MemSize::B2, signed: false, rd: rt, base: rs, off: imm16(w) },
+        OP_LW => Op::Load { size: MemSize::B4, signed: true, rd: rt, base: rs, off: imm16(w) },
+        OP_SB => Op::Store { size: MemSize::B1, rs: rt, base: rs, off: imm16(w) },
+        OP_SH => Op::Store { size: MemSize::B2, rs: rt, base: rs, off: imm16(w) },
+        OP_SW => Op::Store { size: MemSize::B4, rs: rt, base: rs, off: imm16(w) },
+        OP_LWC1 => Op::FLoad { size: FltSize::F4, fd: rt, base: rs, off: imm16(w) },
+        OP_LDC1 => Op::FLoad { size: FltSize::F8, fd: rt, base: rs, off: imm16(w) },
+        OP_SWC1 => Op::FStore { size: FltSize::F4, fs: rt, base: rs, off: imm16(w) },
+        OP_SDC1 => Op::FStore { size: FltSize::F8, fs: rt, base: rs, off: imm16(w) },
+        o if branch_cond(o).is_some() => Op::Branch {
+            cond: branch_cond(o)?,
+            rs,
+            rt,
+            target: branch_target(pc, imm16(w)),
+        },
+        o if (OP_ALUI_BASE..OP_ALUI_BASE + 13).contains(&o) => Op::AluI {
+            op: AluOp::from_index((o - OP_ALUI_BASE) as u8)?,
+            rd: rt,
+            rs,
+            imm: imm16(w),
+        },
+        _ => return None,
+    };
+    Some((op, 4))
+}

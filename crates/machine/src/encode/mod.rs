@@ -1,0 +1,298 @@
+//! Instruction encoding and decoding, one module per target.
+//!
+//! These modules are the machine-dependent heart of the simulated targets:
+//! each defines its own byte format, and only the four bit patterns the
+//! debugger needs (no-op and breakpoint, per architecture) are exported as
+//! data through [`crate::arch::MachineData`]. The encoders are used by the
+//! compiler's assemblers; the decoders by the CPU.
+
+pub mod m68k;
+pub mod mips;
+pub mod sparc;
+pub mod vax;
+
+use crate::arch::{Arch, ByteOrder};
+use crate::op::Op;
+
+/// An encoding failure: the operation does not exist on the target, or an
+/// operand does not fit its field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodeError {
+    /// Which target rejected the operation.
+    pub arch: Arch,
+    /// Why.
+    pub reason: String,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: cannot encode: {}", self.arch, self.reason)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encode `op` at address `pc` for `arch`, in the image byte order.
+///
+/// # Errors
+/// [`EncodeError`] when the target has no encoding for `op` or a field
+/// overflows (e.g. a branch displacement beyond ±32K words).
+pub fn encode(arch: Arch, op: &Op, pc: u32, order: ByteOrder) -> Result<Vec<u8>, EncodeError> {
+    match arch {
+        Arch::Mips => mips::encode(op, pc, order),
+        Arch::Sparc => sparc::encode(op, pc, order),
+        Arch::M68k => m68k::encode(op, pc),
+        Arch::Vax => vax::encode(op, pc),
+    }
+}
+
+/// Decode the instruction at `pc` from `bytes` (which start at `pc`).
+/// Returns the operation and its encoded length. `None` means an illegal
+/// instruction.
+pub fn decode(arch: Arch, bytes: &[u8], pc: u32, order: ByteOrder) -> Option<(Op, u8)> {
+    match arch {
+        Arch::Mips => mips::decode(bytes, pc, order),
+        Arch::Sparc => sparc::decode(bytes, pc, order),
+        Arch::M68k => m68k::decode(bytes, pc),
+        Arch::Vax => vax::decode(bytes, pc),
+    }
+}
+
+/// The encoded length of `op` on `arch`, without needing resolved targets
+/// (lengths are fixed per operation kind; the assembler uses this for
+/// layout before branch targets are known).
+pub fn length(arch: Arch, op: &Op) -> u8 {
+    match arch {
+        Arch::Mips | Arch::Sparc => 4,
+        Arch::M68k => m68k::length(op),
+        Arch::Vax => vax::length(op),
+    }
+}
+
+/// Helpers shared by the two fixed-word targets: 6-bit opcode, 5-bit
+/// register fields, 16-bit immediate, 26-bit jump target.
+pub(crate) mod word {
+    use crate::arch::ByteOrder;
+
+    pub fn r_type(op: u32, rs: u8, rt: u8, rd: u8, funct: u32) -> u32 {
+        (op << 26) | ((rs as u32) << 21) | ((rt as u32) << 16) | ((rd as u32) << 11) | (funct & 0x7ff)
+    }
+
+    pub fn i_type(op: u32, rs: u8, rt: u8, imm: i16) -> u32 {
+        (op << 26) | ((rs as u32) << 21) | ((rt as u32) << 16) | (imm as u16 as u32)
+    }
+
+    pub fn j_type(op: u32, target: u32) -> u32 {
+        debug_assert_eq!(target % 4, 0);
+        (op << 26) | ((target / 4) & 0x03ff_ffff)
+    }
+
+    pub fn fields(w: u32) -> (u32, u8, u8, u8, u32) {
+        (
+            w >> 26,
+            ((w >> 21) & 31) as u8,
+            ((w >> 16) & 31) as u8,
+            ((w >> 11) & 31) as u8,
+            w & 0x7ff,
+        )
+    }
+
+    pub fn imm16(w: u32) -> i16 {
+        (w & 0xffff) as u16 as i16
+    }
+
+    pub fn jump_target(w: u32) -> u32 {
+        (w & 0x03ff_ffff) * 4
+    }
+
+    /// Branch displacement: signed word count relative to the next
+    /// instruction.
+    pub fn branch_disp(pc: u32, target: u32) -> Result<i16, String> {
+        let delta = target.wrapping_sub(pc.wrapping_add(4)) as i32;
+        if delta % 4 != 0 {
+            return Err(format!("misaligned branch target {target:#x}"));
+        }
+        let words = delta / 4;
+        i16::try_from(words).map_err(|_| format!("branch displacement {words} out of range"))
+    }
+
+    pub fn branch_target(pc: u32, imm: i16) -> u32 {
+        pc.wrapping_add(4).wrapping_add((imm as i32 * 4) as u32)
+    }
+
+    pub fn to_bytes(w: u32, order: ByteOrder) -> Vec<u8> {
+        match order {
+            ByteOrder::Big => w.to_be_bytes().to_vec(),
+            ByteOrder::Little => w.to_le_bytes().to_vec(),
+        }
+    }
+
+    pub fn from_bytes(b: &[u8], order: ByteOrder) -> Option<u32> {
+        if b.len() < 4 {
+            return None;
+        }
+        Some(match order {
+            ByteOrder::Big => u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            ByteOrder::Little => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, Cond, FaluOp, FltSize, MemSize, Op};
+
+    /// Every op each backend emits must round-trip through encode/decode on
+    /// the architectures that support it.
+    fn roundtrip(arch: Arch, order: ByteOrder, ops: &[Op]) {
+        let mut pc = 0x1000u32;
+        for op in ops {
+            let bytes = encode(arch, op, pc, order)
+                .unwrap_or_else(|e| panic!("{arch}: encode {op:?}: {e}"));
+            assert_eq!(bytes.len(), length(arch, op) as usize, "{arch}: length of {op:?}");
+            let (dec, len) = decode(arch, &bytes, pc, order)
+                .unwrap_or_else(|| panic!("{arch}: decode {op:?} from {bytes:02x?}"));
+            assert_eq!(len as usize, bytes.len(), "{arch}: {op:?}");
+            assert_eq!(&dec, op, "{arch}: round-trip");
+            pc += len as u32;
+        }
+    }
+
+    fn common_ops() -> Vec<Op> {
+        vec![
+            Op::Nop,
+            Op::Syscall(3),
+            Op::LoadImm { rd: 5, imm: -42 },
+            Op::Mov { rd: 3, rs: 7 },
+            Op::Alu { op: AluOp::Add, rd: 1, rs: 2, rt: 3 },
+            Op::Alu { op: AluOp::Div, rd: 4, rs: 5, rt: 6 },
+            Op::Alu { op: AluOp::Sra, rd: 7, rs: 1, rt: 2 },
+            Op::AluI { op: AluOp::Add, rd: 1, rs: 2, imm: -4 },
+            Op::AluI { op: AluOp::Sll, rd: 1, rs: 2, imm: 3 },
+            Op::Load { size: MemSize::B4, signed: true, rd: 2, base: 14, off: -8 },
+            Op::Load { size: MemSize::B1, signed: false, rd: 2, base: 14, off: 100 },
+            Op::Load { size: MemSize::B2, signed: true, rd: 2, base: 14, off: 2 },
+            Op::Store { size: MemSize::B4, rs: 2, base: 14, off: 12 },
+            Op::Store { size: MemSize::B1, rs: 2, base: 14, off: -1 },
+            Op::FLoad { size: FltSize::F8, fd: 1, base: 14, off: 16 },
+            Op::FStore { size: FltSize::F4, fs: 1, base: 14, off: -16 },
+            Op::FAlu { op: FaluOp::Mul, fd: 1, fs: 2, ft: 3 },
+            Op::FNeg { fd: 1, fs: 2 },
+            Op::CvtIF { fd: 1, rs: 2 },
+            Op::CvtFI { rd: 2, fs: 1 },
+            Op::FCmp { cond: Cond::Lt, rd: 3, fs: 1, ft: 2 },
+            Op::Jump { target: 0x2000 },
+            Op::JumpReg { rs: 9 },
+        ]
+    }
+
+    #[test]
+    fn mips_roundtrip() {
+        let mut ops = common_ops();
+        ops.extend([
+            Op::Break(0),
+            Op::LoadUpper { rd: 3, imm: 0xdead },
+            Op::Branch { cond: Cond::Lt, rs: 1, rt: 2, target: 0x1100 },
+            Op::Branch { cond: Cond::Eq, rs: 0, rt: 2, target: 0xf00 },
+            Op::JumpAndLink { target: 0x3000, link: 31 },
+        ]);
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            roundtrip(Arch::Mips, order, &ops);
+        }
+    }
+
+    #[test]
+    fn sparc_roundtrip() {
+        let mut ops = common_ops();
+        ops.extend([
+            Op::Break(1),
+            Op::LoadUpper { rd: 3, imm: 0xbeef },
+            Op::Cmp { rs: 1, rt: 2 },
+            Op::BranchCC { cond: Cond::Ge, target: 0x1400 },
+            Op::JumpAndLink { target: 0x3000, link: 15 },
+        ]);
+        roundtrip(Arch::Sparc, ByteOrder::Big, &ops);
+    }
+
+    fn cisc_extra() -> Vec<Op> {
+        vec![
+            Op::Break(0),
+            Op::Cmp { rs: 1, rt: 2 },
+            Op::Tst { rs: 3 },
+            Op::BranchCC { cond: Cond::Ne, target: 0x1200 },
+            Op::Push { rs: 5 },
+            Op::Pop { rd: 6 },
+            Op::Call { target: 0x2345 },
+            Op::Ret,
+            Op::Link { fp: 14, size: 24 },
+            Op::Unlink { fp: 14 },
+            Op::SaveRegs { mask: 0b0000_1100_1111_0000 },
+            Op::RestoreRegs { mask: 0b0000_1100_1111_0000 },
+        ]
+    }
+
+    #[test]
+    fn m68k_roundtrip() {
+        let mut ops = common_ops();
+        ops.extend(cisc_extra());
+        ops.push(Op::FLoad { size: FltSize::F10, fd: 2, base: 14, off: -20 });
+        roundtrip(Arch::M68k, ByteOrder::Big, &ops);
+    }
+
+    #[test]
+    fn vax_roundtrip() {
+        let mut ops = common_ops();
+        ops.extend(cisc_extra());
+        roundtrip(Arch::Vax, ByteOrder::Little, &ops);
+    }
+
+    #[test]
+    fn nop_and_break_patterns_match_machine_data() {
+        // The debugger plants breakpoints from MachineData patterns alone;
+        // the decoders must agree with them.
+        for arch in Arch::ALL {
+            let d = arch.data();
+            let order = d.default_order;
+            let nop = d.nop_bytes(order);
+            let (op, len) = decode(arch, &nop, 0x1000, order).expect("nop decodes");
+            assert_eq!(op, Op::Nop, "{arch}");
+            assert_eq!(len, d.insn_unit, "{arch}");
+            let brk = d.break_bytes(order);
+            let (op, _) = decode(arch, &brk, 0x1000, order).expect("break decodes");
+            assert!(matches!(op, Op::Break(_)), "{arch}: {op:?}");
+        }
+    }
+
+    #[test]
+    fn mips_nop_also_decodes_little_endian() {
+        let d = Arch::Mips.data();
+        let nop = d.nop_bytes(ByteOrder::Little);
+        let (op, _) = decode(Arch::Mips, &nop, 0, ByteOrder::Little).unwrap();
+        assert_eq!(op, Op::Nop);
+        let brk = d.break_bytes(ByteOrder::Little);
+        let (op, _) = decode(Arch::Mips, &brk, 0, ByteOrder::Little).unwrap();
+        assert_eq!(op, Op::Break(0));
+    }
+
+    #[test]
+    fn risc_rejects_cisc_ops() {
+        assert!(encode(Arch::Mips, &Op::Push { rs: 1 }, 0, ByteOrder::Big).is_err());
+        assert!(encode(Arch::Sparc, &Op::Ret, 0, ByteOrder::Big).is_err());
+        assert!(encode(Arch::Mips, &Op::Link { fp: 30, size: 8 }, 0, ByteOrder::Big).is_err());
+    }
+
+    #[test]
+    fn branch_displacement_overflow_is_an_error() {
+        let far = Op::Branch { cond: Cond::Eq, rs: 0, rt: 0, target: 0x40_0000 };
+        assert!(encode(Arch::Mips, &far, 0, ByteOrder::Big).is_err());
+    }
+
+    #[test]
+    fn truncated_bytes_decode_to_none() {
+        for arch in Arch::ALL {
+            assert_eq!(decode(arch, &[], 0, arch.data().default_order), None);
+        }
+        assert_eq!(decode(Arch::Mips, &[0, 0], 0, ByteOrder::Big), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! SPARC-like instruction encoding: fixed 4-byte big-endian words with a
+//! SPARC-flavored twist — comparisons set condition codes (`Cmp` + `Bcc`)
+//! rather than comparing registers in the branch. The no-op is
+//! `0x01000000` (`sethi 0,%g0`) and the breakpoint trap is `0x91d02001`
+//! (`ta 1`), the patterns named in ldb's SPARC breakpoint data.
+
+use super::word::*;
+use super::EncodeError;
+use crate::arch::{Arch, ByteOrder};
+use crate::op::{AluOp, Cond, FltSize, MemSize, Op};
+
+fn err(reason: impl Into<String>) -> EncodeError {
+    EncodeError { arch: Arch::Sparc, reason: reason.into() }
+}
+
+const NOP_WORD: u32 = 0x0100_0000;
+const TRAP_BASE: u32 = 0x91d0_2000; // opcode 36 region; +code = ta code
+const OP_TRAP: u32 = 36;
+const SYSCALL_BIT: u32 = 0x100;
+
+const OP_JMP: u32 = 1;
+const OP_CALL: u32 = 2;
+const OP_BCC_BASE: u32 = 3; // +Cond::index, 3..=8
+const OP_CMP: u32 = 9;
+const OP_ALU_BASE: u32 = 10; // +AluOp::index, 10..=22
+const OP_ALUI_BASE: u32 = 23; // +AluOp::index, 23..=35; 36 is the trap region
+const OP_LI: u32 = 37;
+const OP_SETHI: u32 = 38;
+const OP_MOV: u32 = 39;
+const OP_LB: u32 = 40;
+const OP_LBU: u32 = 41;
+const OP_LH: u32 = 42;
+const OP_LHU: u32 = 43;
+const OP_LW: u32 = 44;
+const OP_SB: u32 = 45;
+const OP_SH: u32 = 46;
+const OP_SW: u32 = 47;
+const OP_LDF: u32 = 48;
+const OP_LDDF: u32 = 49;
+const OP_STF: u32 = 50;
+const OP_STDF: u32 = 51;
+const OP_FALU_BASE: u32 = 52; // +FaluOp::index, 52..=55
+const OP_FMISC: u32 = 56; // funct: 0 FNeg, 1 CvtIF, 2 CvtFI
+const OP_FCMP: u32 = 57; // funct: Cond::index
+const OP_JMPL: u32 = 58; // jump register
+
+/// Encode one operation.
+///
+/// # Errors
+/// CISC operations, register-comparing branches (the SPARC uses condition
+/// codes), and out-of-range displacements.
+pub fn encode(op: &Op, pc: u32, order: ByteOrder) -> Result<Vec<u8>, EncodeError> {
+    let w = match *op {
+        Op::Nop => NOP_WORD,
+        Op::Break(code) => TRAP_BASE | code as u32,
+        Op::Syscall(n) => TRAP_BASE | SYSCALL_BIT | n as u32,
+        Op::Jump { target } => j_type(OP_JMP, target),
+        Op::JumpAndLink { target, link } => {
+            if link != 15 {
+                return Err(err("call links through %o7 (r15) only"));
+            }
+            j_type(OP_CALL, target)
+        }
+        Op::JumpReg { rs } => r_type(OP_JMPL, rs, 0, 0, 0),
+        Op::BranchCC { cond, target } => {
+            let disp = branch_disp(pc, target).map_err(err)?;
+            i_type(OP_BCC_BASE + cond.index() as u32, 0, 0, disp)
+        }
+        Op::Cmp { rs, rt } => r_type(OP_CMP, rs, rt, 0, 0),
+        Op::Alu { op, rd, rs, rt } => r_type(OP_ALU_BASE + op.index() as u32, rs, rt, rd, 0),
+        Op::AluI { op, rd, rs, imm } => i_type(OP_ALUI_BASE + op.index() as u32, rs, rd, imm),
+        Op::LoadImm { rd, imm } => {
+            let imm = i16::try_from(imm).map_err(|_| err(format!("set {imm} needs sethi/or")))?;
+            i_type(OP_LI, 0, rd, imm)
+        }
+        Op::LoadUpper { rd, imm } => i_type(OP_SETHI, 0, rd, imm as i16),
+        Op::Mov { rd, rs } => r_type(OP_MOV, rs, 0, rd, 0),
+        Op::Load { size, signed, rd, base, off } => {
+            let opc = match (size, signed) {
+                (MemSize::B1, true) => OP_LB,
+                (MemSize::B1, false) => OP_LBU,
+                (MemSize::B2, true) => OP_LH,
+                (MemSize::B2, false) => OP_LHU,
+                (MemSize::B4, _) => OP_LW,
+            };
+            i_type(opc, base, rd, off)
+        }
+        Op::Store { size, rs, base, off } => {
+            let opc = match size {
+                MemSize::B1 => OP_SB,
+                MemSize::B2 => OP_SH,
+                MemSize::B4 => OP_SW,
+            };
+            i_type(opc, base, rs, off)
+        }
+        Op::FLoad { size, fd, base, off } => {
+            let opc = match size {
+                FltSize::F4 => OP_LDF,
+                FltSize::F8 => OP_LDDF,
+                FltSize::F10 => return Err(err("no 80-bit floats on the SPARC")),
+            };
+            i_type(opc, base, fd, off)
+        }
+        Op::FStore { size, fs, base, off } => {
+            let opc = match size {
+                FltSize::F4 => OP_STF,
+                FltSize::F8 => OP_STDF,
+                FltSize::F10 => return Err(err("no 80-bit floats on the SPARC")),
+            };
+            i_type(opc, base, fs, off)
+        }
+        Op::FAlu { op, fd, fs, ft } => r_type(OP_FALU_BASE + op.index() as u32, fs, ft, fd, 0),
+        Op::FNeg { fd, fs } => r_type(OP_FMISC, fs, 0, fd, 0),
+        Op::FMov { fd, fs } => r_type(OP_FMISC, fs, 0, fd, 3),
+        Op::CvtIF { fd, rs } => r_type(OP_FMISC, rs, 0, fd, 1),
+        Op::CvtFI { rd, fs } => r_type(OP_FMISC, fs, 0, rd, 2),
+        Op::FCmp { cond, rd, fs, ft } => r_type(OP_FCMP, fs, ft, rd, cond.index() as u32),
+        Op::Branch { .. } => {
+            return Err(err("the SPARC branches on condition codes; use Cmp + BranchCC"))
+        }
+        Op::Tst { .. } => return Err(err("use Cmp against %g0 instead of Tst")),
+        Op::Push { .. }
+        | Op::Pop { .. }
+        | Op::Call { .. }
+        | Op::Ret
+        | Op::Link { .. }
+        | Op::Unlink { .. }
+        | Op::SaveRegs { .. }
+        | Op::RestoreRegs { .. } => return Err(err("CISC operation on a RISC target")),
+    };
+    Ok(to_bytes(w, order))
+}
+
+/// Decode the word at `pc`. Returns `None` for illegal instructions.
+pub fn decode(bytes: &[u8], pc: u32, order: ByteOrder) -> Option<(Op, u8)> {
+    let w = from_bytes(bytes, order)?;
+    if w == NOP_WORD {
+        return Some((Op::Nop, 4));
+    }
+    let (opc, rs, rt, rd, funct) = fields(w);
+    let op = match opc {
+        OP_TRAP => {
+            if w & SYSCALL_BIT != 0 {
+                Op::Syscall((w & 0xff) as u8)
+            } else if w & 0xffff_ff00 == TRAP_BASE {
+                Op::Break((w & 0xff) as u8)
+            } else {
+                return None;
+            }
+        }
+        OP_JMP => Op::Jump { target: jump_target(w) },
+        OP_CALL => Op::JumpAndLink { target: jump_target(w), link: 15 },
+        OP_JMPL => Op::JumpReg { rs },
+        OP_CMP => Op::Cmp { rs, rt },
+        OP_LI => Op::LoadImm { rd: rt, imm: imm16(w) as i32 },
+        OP_SETHI => Op::LoadUpper { rd: rt, imm: imm16(w) as u16 },
+        OP_MOV => Op::Mov { rd, rs },
+        OP_LB => Op::Load { size: MemSize::B1, signed: true, rd: rt, base: rs, off: imm16(w) },
+        OP_LBU => Op::Load { size: MemSize::B1, signed: false, rd: rt, base: rs, off: imm16(w) },
+        OP_LH => Op::Load { size: MemSize::B2, signed: true, rd: rt, base: rs, off: imm16(w) },
+        OP_LHU => Op::Load { size: MemSize::B2, signed: false, rd: rt, base: rs, off: imm16(w) },
+        OP_LW => Op::Load { size: MemSize::B4, signed: true, rd: rt, base: rs, off: imm16(w) },
+        OP_SB => Op::Store { size: MemSize::B1, rs: rt, base: rs, off: imm16(w) },
+        OP_SH => Op::Store { size: MemSize::B2, rs: rt, base: rs, off: imm16(w) },
+        OP_SW => Op::Store { size: MemSize::B4, rs: rt, base: rs, off: imm16(w) },
+        OP_LDF => Op::FLoad { size: FltSize::F4, fd: rt, base: rs, off: imm16(w) },
+        OP_LDDF => Op::FLoad { size: FltSize::F8, fd: rt, base: rs, off: imm16(w) },
+        OP_STF => Op::FStore { size: FltSize::F4, fs: rt, base: rs, off: imm16(w) },
+        OP_STDF => Op::FStore { size: FltSize::F8, fs: rt, base: rs, off: imm16(w) },
+        OP_FMISC => match funct {
+            0 => Op::FNeg { fd: rd, fs: rs },
+            1 => Op::CvtIF { fd: rd, rs },
+            2 => Op::CvtFI { rd, fs: rs },
+            3 => Op::FMov { fd: rd, fs: rs },
+            _ => return None,
+        },
+        OP_FCMP => Op::FCmp { cond: Cond::from_index(funct as u8)?, rd, fs: rs, ft: rt },
+        o if (OP_BCC_BASE..OP_BCC_BASE + 6).contains(&o) => Op::BranchCC {
+            cond: Cond::from_index((o - OP_BCC_BASE) as u8)?,
+            target: branch_target(pc, imm16(w)),
+        },
+        o if (OP_ALU_BASE..OP_ALU_BASE + 13).contains(&o) => {
+            Op::Alu { op: AluOp::from_index((o - OP_ALU_BASE) as u8)?, rd, rs, rt }
+        }
+        o if (OP_ALUI_BASE..OP_ALUI_BASE + 13).contains(&o) => Op::AluI {
+            op: AluOp::from_index((o - OP_ALUI_BASE) as u8)?,
+            rd: rt,
+            rs,
+            imm: imm16(w),
+        },
+        o if (OP_FALU_BASE..OP_FALU_BASE + 4).contains(&o) => Op::FAlu {
+            op: crate::op::FaluOp::from_index((o - OP_FALU_BASE) as u8)?,
+            fd: rd,
+            fs: rs,
+            ft: rt,
+        },
+        _ => return None,
+    };
+    Some((op, 4))
+}

@@ -1,0 +1,286 @@
+//! VAX-like instruction encoding: variable-length, little-endian, 1-byte
+//! opcodes. The no-op is the single byte `0x01` and the breakpoint trap is
+//! `0x03` (`bpt`) — the real VAX opcodes, and the reason the VAX is the
+//! target where "the type used to fetch and store instructions" is a byte.
+//! `ret` is the real `0x04`.
+
+use super::EncodeError;
+use crate::arch::Arch;
+use crate::op::{AluOp, Cond, FaluOp, FltSize, MemSize, Op};
+
+fn err(reason: impl Into<String>) -> EncodeError {
+    EncodeError { arch: Arch::Vax, reason: reason.into() }
+}
+
+const O_NOP: u8 = 0x01;
+const O_BPT: u8 = 0x03;
+const O_RET: u8 = 0x04;
+const O_JMP: u8 = 0x05;
+const O_CALL: u8 = 0x06;
+const O_JMPR: u8 = 0x07;
+const O_MOV: u8 = 0x10;
+const O_LI: u8 = 0x11;
+const O_ALUR: u8 = 0x12;
+const O_ALUI: u8 = 0x13;
+const O_LOAD: u8 = 0x14;
+const O_STORE: u8 = 0x15;
+const O_FLOAD: u8 = 0x16;
+const O_FSTORE: u8 = 0x17;
+const O_FALU: u8 = 0x18;
+const O_FMISC: u8 = 0x19;
+const O_FCMP: u8 = 0x1a;
+const O_CMP: u8 = 0x1b;
+const O_TST: u8 = 0x1c;
+const O_BCC_BASE: u8 = 0x20; // +Cond::index, 0x20..=0x25
+const O_PUSH: u8 = 0x30;
+const O_POP: u8 = 0x31;
+const O_LINK: u8 = 0x32;
+const O_UNLINK: u8 = 0x33;
+const O_SAVEM: u8 = 0x34;
+const O_RESTM: u8 = 0x35;
+const O_SYSCALL: u8 = 0x36;
+
+fn mem_size_code(size: MemSize, signed: bool) -> u8 {
+    match (size, signed) {
+        (MemSize::B1, true) => 0,
+        (MemSize::B1, false) => 1,
+        (MemSize::B2, true) => 2,
+        (MemSize::B2, false) => 3,
+        (MemSize::B4, _) => 4,
+    }
+}
+
+fn mem_size_from(code: u8) -> Option<(MemSize, bool)> {
+    Some(match code {
+        0 => (MemSize::B1, true),
+        1 => (MemSize::B1, false),
+        2 => (MemSize::B2, true),
+        3 => (MemSize::B2, false),
+        4 => (MemSize::B4, true),
+        _ => return None,
+    })
+}
+
+/// Encoded length of `op` in bytes.
+pub fn length(op: &Op) -> u8 {
+    match op {
+        Op::Nop | Op::Break(_) | Op::Ret => 1,
+        Op::Syscall(_) | Op::JumpReg { .. } | Op::Tst { .. } => 2,
+        Op::Push { .. } | Op::Pop { .. } | Op::Unlink { .. } => 2,
+        Op::Mov { .. } | Op::Cmp { .. } | Op::BranchCC { .. } => 3,
+        Op::SaveRegs { .. } | Op::RestoreRegs { .. } => 3,
+        Op::Link { .. } | Op::FNeg { .. } | Op::FMov { .. } | Op::CvtIF { .. } | Op::CvtFI { .. } => 4,
+        Op::Jump { .. } | Op::Call { .. } | Op::Alu { .. } | Op::FAlu { .. } => 5,
+        Op::FCmp { .. } => 5,
+        Op::LoadImm { .. } | Op::Load { .. } | Op::Store { .. } => 6,
+        Op::FLoad { .. } | Op::FStore { .. } => 6,
+        Op::AluI { .. } => 8,
+        _ => 0,
+    }
+}
+
+/// Encode one operation at `pc` (little-endian).
+///
+/// # Errors
+/// RISC-only operations and out-of-range displacements.
+pub fn encode(op: &Op, pc: u32) -> Result<Vec<u8>, EncodeError> {
+    let mut b: Vec<u8> = Vec::with_capacity(8);
+    match *op {
+        Op::Nop => b.push(O_NOP),
+        Op::Break(code) => {
+            if code != 0 {
+                return Err(err("bpt carries no code"));
+            }
+            b.push(O_BPT);
+        }
+        Op::Ret => b.push(O_RET),
+        Op::Syscall(n) => b.extend_from_slice(&[O_SYSCALL, n]),
+        Op::Jump { target } => {
+            b.push(O_JMP);
+            b.extend_from_slice(&target.to_le_bytes());
+        }
+        Op::Call { target } => {
+            b.push(O_CALL);
+            b.extend_from_slice(&target.to_le_bytes());
+        }
+        Op::JumpReg { rs } => b.extend_from_slice(&[O_JMPR, rs]),
+        Op::Mov { rd, rs } => b.extend_from_slice(&[O_MOV, rd, rs]),
+        Op::LoadImm { rd, imm } => {
+            b.extend_from_slice(&[O_LI, rd]);
+            b.extend_from_slice(&imm.to_le_bytes());
+        }
+        Op::Alu { op, rd, rs, rt } => b.extend_from_slice(&[O_ALUR, op.index(), rd, rs, rt]),
+        Op::AluI { op, rd, rs, imm } => {
+            b.extend_from_slice(&[O_ALUI, op.index(), rd, rs]);
+            b.extend_from_slice(&(imm as i32).to_le_bytes());
+        }
+        Op::Load { size, signed, rd, base, off } => {
+            b.extend_from_slice(&[O_LOAD, mem_size_code(size, signed), rd, base]);
+            b.extend_from_slice(&off.to_le_bytes());
+        }
+        Op::Store { size, rs, base, off } => {
+            b.extend_from_slice(&[O_STORE, mem_size_code(size, true), rs, base]);
+            b.extend_from_slice(&off.to_le_bytes());
+        }
+        Op::FLoad { size, fd, base, off } => {
+            let sz = match size {
+                FltSize::F4 => 0,
+                FltSize::F8 => 1,
+                FltSize::F10 => return Err(err("no 80-bit floats on the VAX")),
+            };
+            b.extend_from_slice(&[O_FLOAD, sz, fd, base]);
+            b.extend_from_slice(&off.to_le_bytes());
+        }
+        Op::FStore { size, fs, base, off } => {
+            let sz = match size {
+                FltSize::F4 => 0,
+                FltSize::F8 => 1,
+                FltSize::F10 => return Err(err("no 80-bit floats on the VAX")),
+            };
+            b.extend_from_slice(&[O_FSTORE, sz, fs, base]);
+            b.extend_from_slice(&off.to_le_bytes());
+        }
+        Op::FAlu { op, fd, fs, ft } => b.extend_from_slice(&[O_FALU, op.index(), fd, fs, ft]),
+        Op::FNeg { fd, fs } => b.extend_from_slice(&[O_FMISC, 0, fd, fs]),
+        Op::FMov { fd, fs } => b.extend_from_slice(&[O_FMISC, 3, fd, fs]),
+        Op::CvtIF { fd, rs } => b.extend_from_slice(&[O_FMISC, 1, fd, rs]),
+        Op::CvtFI { rd, fs } => b.extend_from_slice(&[O_FMISC, 2, rd, fs]),
+        Op::FCmp { cond, rd, fs, ft } => {
+            b.extend_from_slice(&[O_FCMP, cond.index(), rd, fs, ft]);
+        }
+        Op::Cmp { rs, rt } => b.extend_from_slice(&[O_CMP, rs, rt]),
+        Op::Tst { rs } => b.extend_from_slice(&[O_TST, rs]),
+        Op::BranchCC { cond, target } => {
+            b.push(O_BCC_BASE + cond.index());
+            let disp = target.wrapping_sub(pc.wrapping_add(3)) as i32;
+            let disp =
+                i16::try_from(disp).map_err(|_| err(format!("branch displacement {disp}")))?;
+            b.extend_from_slice(&disp.to_le_bytes());
+        }
+        Op::Push { rs } => b.extend_from_slice(&[O_PUSH, rs]),
+        Op::Pop { rd } => b.extend_from_slice(&[O_POP, rd]),
+        Op::Link { fp, size } => {
+            b.extend_from_slice(&[O_LINK, fp]);
+            b.extend_from_slice(&size.to_le_bytes());
+        }
+        Op::Unlink { fp } => b.extend_from_slice(&[O_UNLINK, fp]),
+        Op::SaveRegs { mask } => {
+            b.push(O_SAVEM);
+            b.extend_from_slice(&mask.to_le_bytes());
+        }
+        Op::RestoreRegs { mask } => {
+            b.push(O_RESTM);
+            b.extend_from_slice(&mask.to_le_bytes());
+        }
+        Op::Branch { .. } => return Err(err("the VAX branches on condition codes")),
+        Op::JumpAndLink { .. } => return Err(err("the VAX calls push the return address")),
+        Op::LoadUpper { .. } => return Err(err("the VAX loads 32-bit immediates directly")),
+    }
+    Ok(b)
+}
+
+fn le16(b: &[u8], i: usize) -> Option<i16> {
+    Some(i16::from_le_bytes([*b.get(i)?, *b.get(i + 1)?]))
+}
+
+fn le32(b: &[u8], i: usize) -> Option<u32> {
+    Some(u32::from_le_bytes([*b.get(i)?, *b.get(i + 1)?, *b.get(i + 2)?, *b.get(i + 3)?]))
+}
+
+/// Decode the instruction at `pc`. Returns `None` for illegal instructions.
+pub fn decode(bytes: &[u8], pc: u32) -> Option<(Op, u8)> {
+    let opc = *bytes.first()?;
+    let op = match opc {
+        O_NOP => (Op::Nop, 1),
+        O_BPT => (Op::Break(0), 1),
+        O_RET => (Op::Ret, 1),
+        O_SYSCALL => (Op::Syscall(*bytes.get(1)?), 2),
+        O_JMP => (Op::Jump { target: le32(bytes, 1)? }, 5),
+        O_CALL => (Op::Call { target: le32(bytes, 1)? }, 5),
+        O_JMPR => (Op::JumpReg { rs: *bytes.get(1)? }, 2),
+        O_MOV => (Op::Mov { rd: *bytes.get(1)?, rs: *bytes.get(2)? }, 3),
+        O_LI => (Op::LoadImm { rd: *bytes.get(1)?, imm: le32(bytes, 2)? as i32 }, 6),
+        O_ALUR => (
+            Op::Alu {
+                op: AluOp::from_index(*bytes.get(1)?)?,
+                rd: *bytes.get(2)?,
+                rs: *bytes.get(3)?,
+                rt: *bytes.get(4)?,
+            },
+            5,
+        ),
+        O_ALUI => (
+            Op::AluI {
+                op: AluOp::from_index(*bytes.get(1)?)?,
+                rd: *bytes.get(2)?,
+                rs: *bytes.get(3)?,
+                imm: i16::try_from(le32(bytes, 4)? as i32).ok()?,
+            },
+            8,
+        ),
+        O_LOAD => {
+            let (size, signed) = mem_size_from(*bytes.get(1)?)?;
+            (
+                Op::Load { size, signed, rd: *bytes.get(2)?, base: *bytes.get(3)?, off: le16(bytes, 4)? },
+                6,
+            )
+        }
+        O_STORE => {
+            let (size, _) = mem_size_from(*bytes.get(1)?)?;
+            (Op::Store { size, rs: *bytes.get(2)?, base: *bytes.get(3)?, off: le16(bytes, 4)? }, 6)
+        }
+        O_FLOAD => {
+            let size = if *bytes.get(1)? == 0 { FltSize::F4 } else { FltSize::F8 };
+            (Op::FLoad { size, fd: *bytes.get(2)?, base: *bytes.get(3)?, off: le16(bytes, 4)? }, 6)
+        }
+        O_FSTORE => {
+            let size = if *bytes.get(1)? == 0 { FltSize::F4 } else { FltSize::F8 };
+            (Op::FStore { size, fs: *bytes.get(2)?, base: *bytes.get(3)?, off: le16(bytes, 4)? }, 6)
+        }
+        O_FALU => (
+            Op::FAlu {
+                op: FaluOp::from_index(*bytes.get(1)?)?,
+                fd: *bytes.get(2)?,
+                fs: *bytes.get(3)?,
+                ft: *bytes.get(4)?,
+            },
+            5,
+        ),
+        O_FMISC => match *bytes.get(1)? {
+            0 => (Op::FNeg { fd: *bytes.get(2)?, fs: *bytes.get(3)? }, 4),
+            1 => (Op::CvtIF { fd: *bytes.get(2)?, rs: *bytes.get(3)? }, 4),
+            2 => (Op::CvtFI { rd: *bytes.get(2)?, fs: *bytes.get(3)? }, 4),
+            3 => (Op::FMov { fd: *bytes.get(2)?, fs: *bytes.get(3)? }, 4),
+            _ => return None,
+        },
+        O_FCMP => (
+            Op::FCmp {
+                cond: Cond::from_index(*bytes.get(1)?)?,
+                rd: *bytes.get(2)?,
+                fs: *bytes.get(3)?,
+                ft: *bytes.get(4)?,
+            },
+            5,
+        ),
+        O_CMP => (Op::Cmp { rs: *bytes.get(1)?, rt: *bytes.get(2)? }, 3),
+        O_TST => (Op::Tst { rs: *bytes.get(1)? }, 2),
+        o if (O_BCC_BASE..O_BCC_BASE + 6).contains(&o) => {
+            let disp = le16(bytes, 1)? as i32;
+            (
+                Op::BranchCC {
+                    cond: Cond::from_index(o - O_BCC_BASE)?,
+                    target: pc.wrapping_add(3).wrapping_add(disp as u32),
+                },
+                3,
+            )
+        }
+        O_PUSH => (Op::Push { rs: *bytes.get(1)? }, 2),
+        O_POP => (Op::Pop { rd: *bytes.get(1)? }, 2),
+        O_LINK => (Op::Link { fp: *bytes.get(1)?, size: le16(bytes, 2)? as u16 }, 4),
+        O_UNLINK => (Op::Unlink { fp: *bytes.get(1)? }, 2),
+        O_SAVEM => (Op::SaveRegs { mask: le16(bytes, 1)? as u16 }, 3),
+        O_RESTM => (Op::RestoreRegs { mask: le16(bytes, 1)? as u16 }, 3),
+        _ => return None,
+    };
+    Some(op)
+}

@@ -1,0 +1,138 @@
+//! 80-bit extended-precision floating point (68020/x87 layout).
+//!
+//! The 68020 nub needs assembly to fetch and store 80-bit floating-point
+//! values (paper, Sec. 4.3); in this reproduction the equivalent is the
+//! conversion between the host's `f64` and the 10-byte extended format:
+//! 1 sign bit, 15 exponent bits (bias 16383), and a 64-bit significand with
+//! an *explicit* integer bit.
+
+/// Encode an `f64` as 10 bytes of 80-bit extended precision, big-endian
+/// (sign/exponent first), as the 68020 stores it.
+pub fn encode(v: f64) -> [u8; 10] {
+    let bits = v.to_bits();
+    let sign = (bits >> 63) as u16;
+    let exp64 = ((bits >> 52) & 0x7ff) as i32;
+    let frac = bits & 0xf_ffff_ffff_ffff;
+
+    let (exp80, mantissa): (u16, u64) = if exp64 == 0x7ff {
+        // Inf / NaN.
+        (0x7fff, (1u64 << 63) | (frac << 11))
+    } else if exp64 == 0 {
+        if frac == 0 {
+            (0, 0) // ±0
+        } else {
+            // Subnormal double: normalize into the explicit-integer-bit form.
+            let shift = frac.leading_zeros() - 11; // bits above the 52-bit field
+            let mant = frac << (shift + 11);
+            let e = -1022 - (shift as i32) + 16383;
+            (e as u16, mant)
+        }
+    } else {
+        // Normal: explicit integer bit 1, then the 52 fraction bits.
+        let e = exp64 - 1023 + 16383;
+        (e as u16, (1u64 << 63) | (frac << 11))
+    };
+
+    let se = (sign << 15) | exp80;
+    let mut out = [0u8; 10];
+    out[0..2].copy_from_slice(&se.to_be_bytes());
+    out[2..10].copy_from_slice(&mantissa.to_be_bytes());
+    out
+}
+
+/// Decode 10 bytes of 80-bit extended precision into an `f64` (rounding by
+/// truncation of the extra significand bits).
+pub fn decode(b: &[u8; 10]) -> f64 {
+    let se = u16::from_be_bytes([b[0], b[1]]);
+    let mantissa = u64::from_be_bytes([b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9]]);
+    let sign = (se >> 15) as u64;
+    let exp80 = (se & 0x7fff) as i32;
+
+    if exp80 == 0 && mantissa == 0 {
+        return f64::from_bits(sign << 63);
+    }
+    if exp80 == 0x7fff {
+        let frac = (mantissa << 1) >> 12; // drop explicit integer bit
+        let bits = (sign << 63) | (0x7ffu64 << 52) | frac;
+        return f64::from_bits(bits);
+    }
+    // Normalize in case the explicit integer bit is 0 (unnormal values).
+    let (exp80, mantissa) = if mantissa >> 63 == 0 {
+        let lz = mantissa.leading_zeros() as i32;
+        (exp80 - lz, mantissa << lz)
+    } else {
+        (exp80, mantissa)
+    };
+    let exp64 = exp80 - 16383 + 1023;
+    if exp64 >= 0x7ff {
+        return f64::from_bits((sign << 63) | (0x7ffu64 << 52)); // overflow -> inf
+    }
+    if exp64 <= 0 {
+        // Would be subnormal (or zero) as a double.
+        let shift = 12 - exp64;
+        if shift >= 64 {
+            return f64::from_bits(sign << 63);
+        }
+        let frac = mantissa >> shift;
+        return f64::from_bits((sign << 63) | frac);
+    }
+    let frac = (mantissa << 1) >> 12;
+    f64::from_bits((sign << 63) | ((exp64 as u64) << 52) | frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_round_trips() {
+        for v in [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            2.5,
+            -std::f64::consts::PI,
+            1e300,
+            -1e-300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            4503599627370495.5,
+        ] {
+            let enc = encode(v);
+            let dec = decode(&enc);
+            assert_eq!(dec.to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_keeps_sign() {
+        let d = decode(&encode(-0.0));
+        assert!(d == 0.0 && d.is_sign_negative());
+    }
+
+    #[test]
+    fn infinities_and_nan() {
+        assert_eq!(decode(&encode(f64::INFINITY)), f64::INFINITY);
+        assert_eq!(decode(&encode(f64::NEG_INFINITY)), f64::NEG_INFINITY);
+        assert!(decode(&encode(f64::NAN)).is_nan());
+    }
+
+    #[test]
+    fn subnormal_doubles_round_trip() {
+        let tiny = f64::from_bits(0x0000_0000_0000_0001);
+        assert_eq!(decode(&encode(tiny)).to_bits(), tiny.to_bits());
+        let sub = f64::from_bits(0x000f_ffff_ffff_ffff);
+        assert_eq!(decode(&encode(sub)).to_bits(), sub.to_bits());
+    }
+
+    #[test]
+    fn explicit_integer_bit_present_for_normals() {
+        let e = encode(1.0);
+        // First mantissa byte must have the top (integer) bit set.
+        assert_eq!(e[2] & 0x80, 0x80);
+        // 1.0: exponent field = 16383.
+        let se = u16::from_be_bytes([e[0], e[1]]);
+        assert_eq!(se, 16383);
+    }
+}

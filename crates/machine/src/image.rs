@@ -1,0 +1,265 @@
+//! Linked executable images and the MIPS runtime procedure table.
+//!
+//! An [`Image`] is what `ldb-cc`'s linker produces and what the nub loads:
+//! code and data segments, an entry point, and a symbol table (the input to
+//! the `nm`-style loader-table generator). On the MIPS, the linker also
+//! serializes a *runtime procedure table* into the data segment — the
+//! structure ldb's MIPS linker interface reads from the target address
+//! space to learn procedure addresses and frame sizes, because the MIPS has
+//! no frame pointer (paper, Sec. 4.3).
+
+use crate::arch::{Arch, ByteOrder};
+use crate::memory::{Fault, Memory};
+
+/// Default load address of the code segment.
+pub const CODE_BASE: u32 = 0x1000;
+/// Default size reserved for the stack.
+pub const STACK_SIZE: u32 = 0x1_0000;
+
+/// Symbol kinds, mirroring what `nm` distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymKind {
+    /// Code (nm `T`).
+    Text,
+    /// Initialized data (nm `D`).
+    Data,
+    /// Zero-initialized data (nm `B`).
+    Bss,
+    /// A private (compilation-unit-local) symbol (nm lowercase).
+    Private,
+}
+
+impl SymKind {
+    /// The letter `nm` prints for this kind.
+    pub fn nm_letter(self) -> char {
+        match self {
+            SymKind::Text => 'T',
+            SymKind::Data => 'D',
+            SymKind::Bss => 'B',
+            SymKind::Private => 'd',
+        }
+    }
+}
+
+/// A linker symbol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Symbol {
+    /// Symbol name (with the leading underscore convention applied by the
+    /// compiler driver).
+    pub name: String,
+    /// Absolute address.
+    pub addr: u32,
+    /// What the symbol labels.
+    pub kind: SymKind,
+}
+
+/// A linked, loadable program.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Byte order the program was compiled for.
+    pub order: ByteOrder,
+    /// Code bytes, loaded at [`Image::code_base`].
+    pub code: Vec<u8>,
+    /// Load address of the code segment.
+    pub code_base: u32,
+    /// Initialized data bytes, loaded at [`Image::data_base`].
+    pub data: Vec<u8>,
+    /// Load address of the data segment.
+    pub data_base: u32,
+    /// Extra zeroed space after the data segment (bss).
+    pub bss_size: u32,
+    /// Entry point (the nub's startup code, which then calls `main`).
+    pub entry: u32,
+    /// Initial stack pointer (top of the address space).
+    pub stack_top: u32,
+    /// The symbol table, as `nm` would list it.
+    pub symbols: Vec<Symbol>,
+}
+
+impl Image {
+    /// Find a symbol's address by name.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.iter().find(|s| s.name == name).map(|s| s.addr)
+    }
+
+    /// Build the target memory for this image: code and data copied in,
+    /// bss zeroed, the rest of the address space available up to
+    /// [`Image::stack_top`].
+    pub fn build_memory(&self) -> Memory {
+        let mut mem = Memory::new(self.code_base, self.stack_top - self.code_base, self.order);
+        mem.write_bytes(self.code_base, &self.code).expect("code fits");
+        mem.write_bytes(self.data_base, &self.data).expect("data fits");
+        mem
+    }
+}
+
+/// One entry of the MIPS runtime procedure table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RptEntry {
+    /// Procedure start address.
+    pub proc_addr: u32,
+    /// Frame size in bytes (the debugger adds this to sp to obtain the
+    /// virtual frame pointer).
+    pub frame_size: u32,
+    /// Offset from the frame top at which the return address was saved
+    /// (`u32::MAX` for leaf procedures that never save it).
+    pub ra_save_offset: u32,
+    /// Mask of callee-saved registers this procedure saves.
+    pub save_mask: u32,
+    /// Offset from the frame top of the first saved register.
+    pub save_offset: u32,
+}
+
+/// The runtime procedure table: serialized into the MIPS data segment at
+/// the `__rpt` symbol, and read back by ldb through the nub.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Rpt {
+    /// Entries sorted by procedure address.
+    pub entries: Vec<RptEntry>,
+}
+
+impl Rpt {
+    /// Serialized size in bytes: a count word plus five words per entry.
+    pub fn byte_size(&self) -> u32 {
+        4 + self.entries.len() as u32 * 20
+    }
+
+    /// Serialize into target memory at `addr`.
+    ///
+    /// # Errors
+    /// Propagates memory faults (the linker sizes the area, so none occur
+    /// in practice).
+    pub fn write_to(&self, mem: &mut Memory, addr: u32) -> Result<(), Fault> {
+        mem.write_u32(addr, self.entries.len() as u32)?;
+        let mut a = addr + 4;
+        for e in &self.entries {
+            mem.write_u32(a, e.proc_addr)?;
+            mem.write_u32(a + 4, e.frame_size)?;
+            mem.write_u32(a + 8, e.ra_save_offset)?;
+            mem.write_u32(a + 12, e.save_mask)?;
+            mem.write_u32(a + 16, e.save_offset)?;
+            a += 20;
+        }
+        Ok(())
+    }
+
+    /// Serialize to bytes in the given order (for the linker, which lays
+    /// out the data segment before memory exists).
+    pub fn to_bytes(&self, order: ByteOrder) -> Vec<u8> {
+        let mut mem = Memory::new(0, self.byte_size(), order);
+        self.write_to(&mut mem, 0).expect("sized exactly");
+        mem.read_bytes(0, self.byte_size()).expect("sized exactly").to_vec()
+    }
+
+    /// Read a table back from target memory (this is what ldb's MIPS linker
+    /// interface does, via nub fetches).
+    ///
+    /// # Errors
+    /// Memory faults, or a count too large to be believable (corrupt
+    /// table).
+    pub fn read_from(
+        read_u32: &mut dyn FnMut(u32) -> Result<u32, Fault>,
+        addr: u32,
+    ) -> Result<Rpt, Fault> {
+        let n = read_u32(addr)?;
+        if n > 100_000 {
+            return Err(Fault::BadAddress { addr, write: false });
+        }
+        let mut entries = Vec::with_capacity(n as usize);
+        let mut a = addr + 4;
+        for _ in 0..n {
+            entries.push(RptEntry {
+                proc_addr: read_u32(a)?,
+                frame_size: read_u32(a + 4)?,
+                ra_save_offset: read_u32(a + 8)?,
+                save_mask: read_u32(a + 12)?,
+                save_offset: read_u32(a + 16)?,
+            });
+            a += 20;
+        }
+        Ok(Rpt { entries })
+    }
+
+    /// The entry covering `pc`: the last entry whose address is `<= pc`.
+    pub fn lookup(&self, pc: u32) -> Option<&RptEntry> {
+        let mut found = None;
+        for e in &self.entries {
+            if e.proc_addr <= pc {
+                found = Some(e);
+            } else {
+                break;
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Rpt {
+        Rpt {
+            entries: vec![
+                RptEntry { proc_addr: 0x1000, frame_size: 32, ra_save_offset: 4, save_mask: 0, save_offset: 0 },
+                RptEntry { proc_addr: 0x1100, frame_size: 64, ra_save_offset: 8, save_mask: 0x30000, save_offset: 16 },
+                RptEntry { proc_addr: 0x1400, frame_size: 0, ra_save_offset: u32::MAX, save_mask: 0, save_offset: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn rpt_round_trips_through_target_memory() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let rpt = sample();
+            let mut mem = Memory::new(0x4000, 0x1000, order);
+            rpt.write_to(&mut mem, 0x4100).unwrap();
+            let back =
+                Rpt::read_from(&mut |a| mem.read_u32(a), 0x4100).unwrap();
+            assert_eq!(back, rpt);
+        }
+    }
+
+    #[test]
+    fn rpt_lookup_by_pc() {
+        let rpt = sample();
+        assert_eq!(rpt.lookup(0x0fff), None);
+        assert_eq!(rpt.lookup(0x1000).unwrap().frame_size, 32);
+        assert_eq!(rpt.lookup(0x10ff).unwrap().frame_size, 32);
+        assert_eq!(rpt.lookup(0x1100).unwrap().frame_size, 64);
+        assert_eq!(rpt.lookup(0x9000).unwrap().frame_size, 0);
+    }
+
+    #[test]
+    fn rpt_rejects_corrupt_count() {
+        let mem = Memory::new(0, 16, ByteOrder::Big);
+        // Count word reads as 0 here; write a huge one.
+        let mut mem2 = mem.clone();
+        mem2.write_u32(0, 999_999_999).unwrap();
+        assert!(Rpt::read_from(&mut |a| mem2.read_u32(a), 0).is_err());
+    }
+
+    #[test]
+    fn image_memory_layout() {
+        let img = Image {
+            arch: Arch::Vax,
+            order: ByteOrder::Little,
+            code: vec![1, 2, 3],
+            code_base: CODE_BASE,
+            data: vec![9, 9],
+            data_base: 0x2000,
+            bss_size: 16,
+            entry: CODE_BASE,
+            stack_top: 0x8000,
+            symbols: vec![Symbol { name: "_main".into(), addr: 0x1004, kind: SymKind::Text }],
+        };
+        let mem = img.build_memory();
+        assert_eq!(mem.read_u8(0x1000).unwrap(), 1);
+        assert_eq!(mem.read_u8(0x2001).unwrap(), 9);
+        assert_eq!(img.symbol("_main"), Some(0x1004));
+        assert_eq!(img.symbol("_none"), None);
+        assert_eq!(SymKind::Text.nm_letter(), 'T');
+    }
+}

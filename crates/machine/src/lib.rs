@@ -1,0 +1,45 @@
+//! Simulated target architectures for the ldb reproduction.
+//!
+//! The paper debugs real MIPS R3000, Motorola 68020, SPARC, and VAX
+//! machines; this crate supplies simulated stand-ins that differ in exactly
+//! the dimensions the paper's retargetability story depends on:
+//!
+//! * **byte order** — VAX (and optionally MIPS) little-endian, the rest
+//!   big-endian;
+//! * **instruction granularity** — 4-byte words (MIPS, SPARC), 2-byte
+//!   halfwords (68020), single bytes (VAX): "the type used to fetch and
+//!   store instructions" in the breakpoint data;
+//! * **no-op and breakpoint patterns** — the real machines' encodings
+//!   (`0x0000000d`, `0x4e4f`, `0x91d02001`, `0x03`);
+//! * **frame conventions** — frame pointers with `link`/`unlk` and save
+//!   masks (68020, VAX), a frame pointer register (SPARC), or *no frame
+//!   pointer at all* plus a runtime procedure table (MIPS);
+//! * **pipeline hazards** — MIPS load delay slots, which the compiler's
+//!   scheduler must fill (or pad with no-ops, the cost the paper measures).
+//!
+//! # Examples
+//! ```
+//! use ldb_machine::{Arch, ByteOrder};
+//!
+//! let d = Arch::Mips.data();
+//! assert_eq!(d.break_bytes(ByteOrder::Big), vec![0, 0, 0, 0x0d]);
+//! assert!(d.fp.is_none()); // the MIPS has no frame pointer
+//! ```
+
+pub mod arch;
+pub mod core;
+pub mod cpu;
+pub mod disas;
+pub mod encode;
+pub mod f80;
+pub mod image;
+pub mod machine;
+pub mod memory;
+pub mod op;
+
+pub use arch::{Arch, ByteOrder, ContextLayout, MachineData};
+pub use cpu::{Cpu, Service, StepEvent};
+pub use image::{Image, Rpt, RptEntry, SymKind, Symbol, CODE_BASE, STACK_SIZE};
+pub use machine::{Machine, RunEvent};
+pub use memory::{Fault, Memory};
+pub use op::{AluOp, Cond, FaluOp, FltSize, MemSize, Op};

@@ -1,0 +1,247 @@
+//! A whole target machine: CPU + loaded image + host services.
+//!
+//! The [`Machine`] is the "hardware plus OS" substrate under the nub: it
+//! runs the program, delivers host calls (our stand-ins for the C library's
+//! output routines), and surfaces breakpoint traps and faults as events —
+//! the "signals" the nub's handler receives.
+
+use crate::arch::Arch;
+use crate::cpu::{Cpu, Service, StepEvent};
+use crate::image::Image;
+use crate::memory::Fault;
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunEvent {
+    /// Hit a breakpoint trap; pc addresses the trap instruction.
+    Breakpoint {
+        /// Address of the trap.
+        pc: u32,
+        /// Trap code.
+        code: u8,
+    },
+    /// A fault (the "signal" the nub catches); pc addresses the faulting
+    /// instruction.
+    Fault(Fault),
+    /// The program called the exit service.
+    Exited(i32),
+    /// The program executed the nub's pause call (before `main`); the pc
+    /// addresses the next instruction.
+    Paused {
+        /// Program counter after the pause.
+        pc: u32,
+    },
+    /// The step budget ran out (probably a runaway loop).
+    StepLimit,
+}
+
+/// A running (or stopped) target machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Processor state and memory.
+    pub cpu: Cpu,
+    /// Everything the program printed through host calls.
+    pub output: String,
+    /// Set once the program exits.
+    pub exited: Option<i32>,
+}
+
+impl Machine {
+    /// Load an image: build memory, point the pc at the entry, set up the
+    /// stack pointer.
+    pub fn load(image: &Image) -> Machine {
+        let mem = image.build_memory();
+        let mut cpu = Cpu::new(image.arch, mem);
+        cpu.pc = image.entry;
+        let sp = image.arch.data().sp;
+        cpu.set_reg(sp, image.stack_top);
+        if let Some(fp) = image.arch.data().fp {
+            cpu.set_reg(fp, image.stack_top);
+        }
+        Machine { cpu, output: String::new(), exited: None }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> Arch {
+        self.cpu.arch
+    }
+
+    /// Execute until a breakpoint, fault, exit, or `max_steps` retired
+    /// instructions. Host calls are serviced internally.
+    pub fn run(&mut self, max_steps: u64) -> RunEvent {
+        if let Some(code) = self.exited {
+            return RunEvent::Exited(code);
+        }
+        for _ in 0..max_steps {
+            match self.cpu.step() {
+                StepEvent::Continue => {}
+                StepEvent::Breakpoint { pc, code } => return RunEvent::Breakpoint { pc, code },
+                StepEvent::Fault(f) => return RunEvent::Fault(f),
+                StepEvent::Syscall { n } => match self.service(n) {
+                    Some(ev) => return ev,
+                    None => continue,
+                },
+            }
+        }
+        RunEvent::StepLimit
+    }
+
+    /// Perform one host call. Returns an event for `exit`, `None` to keep
+    /// running.
+    fn service(&mut self, n: u8) -> Option<RunEvent> {
+        let arg_reg = self.cpu.data().syscall_arg_reg;
+        let arg = self.cpu.reg(arg_reg);
+        match Service::from_number(n) {
+            Some(Service::Exit) => {
+                self.exited = Some(arg as i32);
+                Some(RunEvent::Exited(arg as i32))
+            }
+            Some(Service::PutInt) => {
+                self.output.push_str(&(arg as i32).to_string());
+                None
+            }
+            Some(Service::PutStr) => match self.cpu.mem.read_cstr(arg) {
+                Ok(s) => {
+                    self.output.push_str(&s);
+                    None
+                }
+                Err(f) => Some(RunEvent::Fault(f)),
+            },
+            Some(Service::PutChar) => {
+                self.output.push((arg as u8) as char);
+                None
+            }
+            Some(Service::Pause) => Some(RunEvent::Paused { pc: self.cpu.pc }),
+            Some(Service::PutFlt) => {
+                let v = self.cpu.fregs[0];
+                // %g-style printing, close enough to printf("%g").
+                if v == v.trunc() && v.abs() < 1e15 {
+                    self.output.push_str(&format!("{v:.0}"));
+                } else {
+                    self.output.push_str(&format!("{v}"));
+                }
+                None
+            }
+            None => Some(RunEvent::Fault(Fault::IllegalInstruction {
+                pc: self.cpu.pc.wrapping_sub(self.cpu.data().insn_unit as u32),
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ByteOrder;
+    use crate::encode;
+    use crate::image::{Image, CODE_BASE};
+    use crate::op::Op;
+
+    fn tiny_image(arch: Arch, ops: &[Op]) -> Image {
+        let order = arch.data().default_order;
+        let mut code = Vec::new();
+        let mut pc = CODE_BASE;
+        for op in ops {
+            let b = encode::encode(arch, op, pc, order).unwrap();
+            pc += b.len() as u32;
+            code.extend(b);
+        }
+        Image {
+            arch,
+            order,
+            code,
+            code_base: CODE_BASE,
+            data: b"hi\0".to_vec(),
+            data_base: 0x4000,
+            bss_size: 0,
+            entry: CODE_BASE,
+            stack_top: 0x10000,
+            symbols: vec![],
+        }
+    }
+
+    #[test]
+    fn hello_runs_on_every_target() {
+        for arch in Arch::ALL {
+            let a = arch.data().syscall_arg_reg;
+            let img = tiny_image(
+                arch,
+                &[
+                    Op::LoadImm { rd: a, imm: 0x4000 },
+                    Op::Syscall(Service::PutStr.number()),
+                    Op::LoadImm { rd: a, imm: 0 },
+                    Op::Syscall(Service::Exit.number()),
+                ],
+            );
+            let mut m = Machine::load(&img);
+            assert_eq!(m.run(1000), RunEvent::Exited(0), "{arch}");
+            assert_eq!(m.output, "hi", "{arch}");
+            // A machine that exited stays exited.
+            assert_eq!(m.run(1000), RunEvent::Exited(0), "{arch}");
+        }
+    }
+
+    #[test]
+    fn put_int_formats_signed() {
+        let arch = Arch::Vax;
+        let a = arch.data().syscall_arg_reg;
+        let img = tiny_image(
+            arch,
+            &[
+                Op::LoadImm { rd: a, imm: -7 },
+                Op::Syscall(Service::PutInt.number()),
+                Op::Syscall(Service::Exit.number()),
+            ],
+        );
+        let mut m = Machine::load(&img);
+        m.run(100);
+        assert_eq!(m.output, "-7");
+    }
+
+    #[test]
+    fn runaway_loop_hits_step_limit() {
+        let img = tiny_image(Arch::Mips, &[Op::Jump { target: CODE_BASE }]);
+        let mut m = Machine::load(&img);
+        assert_eq!(m.run(100), RunEvent::StepLimit);
+    }
+
+    #[test]
+    fn unknown_service_faults() {
+        let img = tiny_image(Arch::Vax, &[Op::Syscall(9)]);
+        let mut m = Machine::load(&img);
+        assert!(matches!(m.run(10), RunEvent::Fault(_)));
+    }
+
+    #[test]
+    fn big_and_little_mips_print_the_same() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let arch = Arch::Mips;
+            let a = arch.data().syscall_arg_reg;
+            let mut img = tiny_image(
+                arch,
+                &[
+                    Op::LoadImm { rd: a, imm: 1234 },
+                    Op::Syscall(Service::PutInt.number()),
+                    Op::Syscall(Service::Exit.number()),
+                ],
+            );
+            // Re-encode for the requested order.
+            let mut code = Vec::new();
+            let mut pc = CODE_BASE;
+            for op in [
+                Op::LoadImm { rd: a, imm: 1234 },
+                Op::Syscall(Service::PutInt.number()),
+                Op::Syscall(Service::Exit.number()),
+            ] {
+                let b = encode::encode(arch, &op, pc, order).unwrap();
+                pc += b.len() as u32;
+                code.extend(b);
+            }
+            img.code = code;
+            img.order = order;
+            let mut m = Machine::load(&img);
+            m.run(100);
+            assert_eq!(m.output, "1234");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Target memory: a flat byte array with byte-order-aware accessors.
+//!
+//! Addresses below [`Memory::base`] are unmapped, so null-pointer
+//! dereferences fault — faulting programs are a workload the paper's nub
+//! must handle (it catches the fault and waits for a debugger).
+
+use std::fmt;
+
+use crate::arch::ByteOrder;
+
+/// A memory fault or execution fault raised by the simulated CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Access to an unmapped address.
+    BadAddress {
+        /// The offending address.
+        addr: u32,
+        /// Was this a store?
+        write: bool,
+    },
+    /// Integer division (or remainder) by zero.
+    DivideByZero,
+    /// Undecodable instruction bytes.
+    IllegalInstruction {
+        /// Program counter of the bad instruction.
+        pc: u32,
+    },
+    /// A MIPS load-delay hazard: the instruction after a load read the
+    /// loaded register (the assembler/scheduler must prevent this).
+    LoadDelayHazard {
+        /// Program counter of the offending instruction.
+        pc: u32,
+        /// The register read too early.
+        reg: u8,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::BadAddress { addr, write: true } => write!(f, "bad address (store) {addr:#x}"),
+            Fault::BadAddress { addr, write: false } => write!(f, "bad address (load) {addr:#x}"),
+            Fault::DivideByZero => write!(f, "integer divide by zero"),
+            Fault::IllegalInstruction { pc } => write!(f, "illegal instruction at {pc:#x}"),
+            Fault::LoadDelayHazard { pc, reg } => {
+                write!(f, "load delay hazard at {pc:#x} on register {reg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Flat target memory.
+#[derive(Clone)]
+pub struct Memory {
+    base: u32,
+    bytes: Vec<u8>,
+    order: ByteOrder,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Memory {{ base: {:#x}, size: {:#x}, order: {:?} }}",
+            self.base,
+            self.bytes.len(),
+            self.order
+        )
+    }
+}
+
+impl Memory {
+    /// Memory covering `[base, base + size)`.
+    pub fn new(base: u32, size: u32, order: ByteOrder) -> Memory {
+        Memory { base, bytes: vec![0; size as usize], order }
+    }
+
+    /// Lowest mapped address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// One past the highest mapped address.
+    pub fn limit(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    /// The byte order used for multi-byte accesses.
+    pub fn order(&self) -> ByteOrder {
+        self.order
+    }
+
+    /// The raw contents, `base()`-relative (for core dumps).
+    pub fn contents(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuild a memory from dumped contents.
+    pub fn from_contents(base: u32, bytes: Vec<u8>, order: ByteOrder) -> Memory {
+        Memory { base, bytes, order }
+    }
+
+    fn index(&self, addr: u32, len: u32, write: bool) -> Result<usize, Fault> {
+        if addr < self.base || addr.wrapping_add(len) > self.limit() || addr.checked_add(len).is_none()
+        {
+            return Err(Fault::BadAddress { addr, write });
+        }
+        Ok((addr - self.base) as usize)
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], Fault> {
+        let i = self.index(addr, len, false)?;
+        Ok(&self.bytes[i..i + len as usize])
+    }
+
+    /// Write raw bytes starting at `addr`.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), Fault> {
+        let i = self.index(addr, data.len() as u32, true)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read a byte.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, Fault> {
+        Ok(self.read_bytes(addr, 1)?[0])
+    }
+
+    /// Read a halfword in the target byte order.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn read_u16(&self, addr: u32) -> Result<u16, Fault> {
+        let b = self.read_bytes(addr, 2)?;
+        Ok(match self.order {
+            ByteOrder::Big => u16::from_be_bytes([b[0], b[1]]),
+            ByteOrder::Little => u16::from_le_bytes([b[0], b[1]]),
+        })
+    }
+
+    /// Read a word in the target byte order.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, Fault> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(match self.order {
+            ByteOrder::Big => u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            ByteOrder::Little => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+        })
+    }
+
+    /// Write a byte.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), Fault> {
+        self.write_bytes(addr, &[v])
+    }
+
+    /// Write a halfword in the target byte order.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), Fault> {
+        let b = match self.order {
+            ByteOrder::Big => v.to_be_bytes(),
+            ByteOrder::Little => v.to_le_bytes(),
+        };
+        self.write_bytes(addr, &b)
+    }
+
+    /// Write a word in the target byte order.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), Fault> {
+        let b = match self.order {
+            ByteOrder::Big => v.to_be_bytes(),
+            ByteOrder::Little => v.to_le_bytes(),
+        };
+        self.write_bytes(addr, &b)
+    }
+
+    /// Read an IEEE single.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn read_f32(&self, addr: u32) -> Result<f32, Fault> {
+        Ok(f32::from_bits(self.read_u32(addr)?))
+    }
+
+    /// Read an IEEE double (two words, most significant first in big-endian
+    /// order, least significant first in little-endian order).
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn read_f64(&self, addr: u32) -> Result<f64, Fault> {
+        let b = self.read_bytes(addr, 8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(match self.order {
+            ByteOrder::Big => f64::from_be_bytes(a),
+            ByteOrder::Little => f64::from_le_bytes(a),
+        })
+    }
+
+    /// Write an IEEE single.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn write_f32(&mut self, addr: u32, v: f32) -> Result<(), Fault> {
+        self.write_u32(addr, v.to_bits())
+    }
+
+    /// Write an IEEE double.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] outside the mapped range.
+    pub fn write_f64(&mut self, addr: u32, v: f64) -> Result<(), Fault> {
+        let b = match self.order {
+            ByteOrder::Big => v.to_be_bytes(),
+            ByteOrder::Little => v.to_le_bytes(),
+        };
+        self.write_bytes(addr, &b)
+    }
+
+    /// Read a NUL-terminated string (for host calls like `putstr`).
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] if the string runs off the mapped range.
+    pub fn read_cstr(&self, addr: u32) -> Result<String, Fault> {
+        let mut s = Vec::new();
+        let mut a = addr;
+        loop {
+            let b = self.read_u8(a)?;
+            if b == 0 {
+                break;
+            }
+            s.push(b);
+            a = a.wrapping_add(1);
+        }
+        Ok(String::from_utf8_lossy(&s).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_order_round_trips() {
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let mut m = Memory::new(0x1000, 0x100, order);
+            m.write_u32(0x1000, 0xDEADBEEF).unwrap();
+            assert_eq!(m.read_u32(0x1000).unwrap(), 0xDEADBEEF);
+            m.write_u16(0x1010, 0x1234).unwrap();
+            assert_eq!(m.read_u16(0x1010).unwrap(), 0x1234);
+            m.write_f64(0x1020, -2.5).unwrap();
+            assert_eq!(m.read_f64(0x1020).unwrap(), -2.5);
+            m.write_f32(0x1030, 0.5).unwrap();
+            assert_eq!(m.read_f32(0x1030).unwrap(), 0.5);
+        }
+    }
+
+    #[test]
+    fn byte_orders_differ_in_memory() {
+        let mut be = Memory::new(0, 16, ByteOrder::Big);
+        let mut le = Memory::new(0, 16, ByteOrder::Little);
+        be.write_u32(0, 0x01020304).unwrap();
+        le.write_u32(0, 0x01020304).unwrap();
+        assert_eq!(be.read_bytes(0, 4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(le.read_bytes(0, 4).unwrap(), &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let m = Memory::new(0x1000, 0x100, ByteOrder::Big);
+        assert_eq!(m.read_u32(0), Err(Fault::BadAddress { addr: 0, write: false }));
+        assert_eq!(m.read_u32(0xfff), Err(Fault::BadAddress { addr: 0xfff, write: false }));
+    }
+
+    #[test]
+    fn limit_faults() {
+        let mut m = Memory::new(0x1000, 0x10, ByteOrder::Big);
+        assert!(m.read_u32(0x100c).is_ok());
+        assert!(m.read_u32(0x100d).is_err());
+        assert_eq!(
+            m.write_u32(0x1010, 0),
+            Err(Fault::BadAddress { addr: 0x1010, write: true })
+        );
+        // Wrap-around is a fault, not a panic.
+        assert!(m.read_u32(u32::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut m = Memory::new(0, 32, ByteOrder::Little);
+        m.write_bytes(4, b"fib\0").unwrap();
+        assert_eq!(m.read_cstr(4).unwrap(), "fib");
+        assert_eq!(m.read_cstr(7).unwrap(), "");
+    }
+
+    #[test]
+    fn fault_display() {
+        assert_eq!(Fault::DivideByZero.to_string(), "integer divide by zero");
+        assert!(Fault::BadAddress { addr: 0x10, write: true }.to_string().contains("store"));
+    }
+}

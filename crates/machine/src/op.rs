@@ -1,0 +1,346 @@
+//! The semantic operation set shared by all four simulated targets.
+//!
+//! Every target architecture encodes these operations in its own
+//! machine-dependent byte format (see [`crate::encode`]); the execution
+//! engine interprets decoded [`Op`]s uniformly. This split mirrors how the
+//! reproduction isolates machine dependence: the *encodings*, byte orders,
+//! instruction granularities, and calling conventions differ per target,
+//! while the semantics are shared.
+
+/// ALU operations (integer, register-register or register-immediate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition (wrapping, as hardware does).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Signed multiplication (low 32 bits).
+    Mul,
+    /// Signed division; divide by zero faults.
+    Div,
+    /// Signed remainder; divide by zero faults.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left logical (by rt & 31).
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Set-on-less-than, signed: rd = (rs < rt) as u32.
+    Slt,
+    /// Set-on-less-than, unsigned.
+    Sltu,
+}
+
+/// Branch conditions, comparing two registers as signed 32-bit values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+}
+
+impl Cond {
+    /// A stable small index for encoders.
+    pub fn index(self) -> u8 {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lt => 2,
+            Cond::Ge => 3,
+            Cond::Le => 4,
+            Cond::Gt => 5,
+        }
+    }
+
+    /// Inverse of [`Cond::index`].
+    pub fn from_index(i: u8) -> Option<Cond> {
+        Some(match i {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Ge,
+            4 => Cond::Le,
+            5 => Cond::Gt,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the condition on two signed values.
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+        }
+    }
+
+    /// Evaluate on floats (for `FCmp`).
+    pub fn eval_f(self, a: f64, b: f64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+        }
+    }
+
+    /// The negated condition (used by code generators).
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+        }
+    }
+}
+
+impl AluOp {
+    /// A stable small index for encoders.
+    pub fn index(self) -> u8 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Sub => 1,
+            AluOp::Mul => 2,
+            AluOp::Div => 3,
+            AluOp::Rem => 4,
+            AluOp::And => 5,
+            AluOp::Or => 6,
+            AluOp::Xor => 7,
+            AluOp::Sll => 8,
+            AluOp::Srl => 9,
+            AluOp::Sra => 10,
+            AluOp::Slt => 11,
+            AluOp::Sltu => 12,
+        }
+    }
+
+    /// Inverse of [`AluOp::index`].
+    pub fn from_index(i: u8) -> Option<AluOp> {
+        Some(match i {
+            0 => AluOp::Add,
+            1 => AluOp::Sub,
+            2 => AluOp::Mul,
+            3 => AluOp::Div,
+            4 => AluOp::Rem,
+            5 => AluOp::And,
+            6 => AluOp::Or,
+            7 => AluOp::Xor,
+            8 => AluOp::Sll,
+            9 => AluOp::Srl,
+            10 => AluOp::Sra,
+            11 => AluOp::Slt,
+            12 => AluOp::Sltu,
+            _ => return None,
+        })
+    }
+}
+
+impl FaluOp {
+    /// A stable small index for encoders.
+    pub fn index(self) -> u8 {
+        match self {
+            FaluOp::Add => 0,
+            FaluOp::Sub => 1,
+            FaluOp::Mul => 2,
+            FaluOp::Div => 3,
+        }
+    }
+
+    /// Inverse of [`FaluOp::index`].
+    pub fn from_index(i: u8) -> Option<FaluOp> {
+        Some(match i {
+            0 => FaluOp::Add,
+            1 => FaluOp::Sub,
+            2 => FaluOp::Mul,
+            3 => FaluOp::Div,
+            _ => return None,
+        })
+    }
+}
+
+/// Integer memory-access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemSize {
+    /// 8 bits.
+    B1,
+    /// 16 bits.
+    B2,
+    /// 32 bits.
+    B4,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+        }
+    }
+}
+
+/// Floating-point storage widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FltSize {
+    /// IEEE single (4 bytes).
+    F4,
+    /// IEEE double (8 bytes).
+    F8,
+    /// 80-bit extended, 68020 only (10 bytes, x87 layout).
+    F10,
+}
+
+impl FltSize {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            FltSize::F4 => 4,
+            FltSize::F8 => 8,
+            FltSize::F10 => 10,
+        }
+    }
+}
+
+/// Floating-point ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (IEEE semantics; no fault).
+    Div,
+}
+
+/// A decoded instruction.
+///
+/// Register operands are indices into the integer register file (`rd`, `rs`,
+/// `rt`, `base`) or the floating-point register file (`fd`, `fs`, `ft`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// No operation. The compiler plants one at every stopping point when
+    /// compiling for debugging; the debugger overwrites them with `Break`.
+    Nop,
+    /// Breakpoint trap; `code` distinguishes planted breakpoints (ldb uses
+    /// a single code) from compiled-in traps.
+    Break(u8),
+    /// Host call: `n` selects the service, the argument convention is
+    /// per-architecture (see [`crate::arch::MachineData::syscall_arg_reg`]).
+    Syscall(u8),
+    /// rd = imm. RISC encoders require the value to fit 16 signed bits
+    /// (larger constants pair `LoadUpper` with `AluI Or`); CISC encoders
+    /// take the full 32 bits.
+    LoadImm { rd: u8, imm: i32 },
+    /// rd = imm << 16 (pairs with `AluI Or` to build 32-bit constants).
+    LoadUpper { rd: u8, imm: u16 },
+    /// rd = rs.
+    Mov { rd: u8, rs: u8 },
+    /// rd = rs `op` rt.
+    Alu { op: AluOp, rd: u8, rs: u8, rt: u8 },
+    /// rd = rs `op` imm.
+    AluI { op: AluOp, rd: u8, rs: u8, imm: i16 },
+    /// rd = mem[base + off], sign- or zero-extended from `size`.
+    Load { size: MemSize, signed: bool, rd: u8, base: u8, off: i16 },
+    /// mem[base + off] = rs (low `size` bytes).
+    Store { size: MemSize, rs: u8, base: u8, off: i16 },
+    /// fd = fmem[base + off].
+    FLoad { size: FltSize, fd: u8, base: u8, off: i16 },
+    /// fmem[base + off] = fs.
+    FStore { size: FltSize, fs: u8, base: u8, off: i16 },
+    /// fd = fs `op` ft.
+    FAlu { op: FaluOp, fd: u8, fs: u8, ft: u8 },
+    /// fd = (double) rs (signed int to float).
+    CvtIF { fd: u8, rs: u8 },
+    /// rd = (int) fs (truncating).
+    CvtFI { rd: u8, fs: u8 },
+    /// rd = (fs `cond` ft) as 0/1.
+    FCmp { cond: Cond, rd: u8, fs: u8, ft: u8 },
+    /// Negate: fd = -fs.
+    FNeg { fd: u8, fs: u8 },
+    /// fd = fs.
+    FMov { fd: u8, fs: u8 },
+    /// Conditional branch to absolute byte address `target`, comparing two
+    /// registers directly (MIPS style).
+    Branch { cond: Cond, rs: u8, rt: u8, target: u32 },
+    /// Compare rs with rt, setting the condition codes (SPARC/68020/VAX
+    /// style).
+    Cmp { rs: u8, rt: u8 },
+    /// Compare rs with zero, setting the condition codes.
+    Tst { rs: u8 },
+    /// Branch on the condition codes established by `Cmp`/`Tst`.
+    BranchCC { cond: Cond, target: u32 },
+    /// Unconditional jump to absolute byte address.
+    Jump { target: u32 },
+    /// Call: link register := return address, jump (RISC convention).
+    JumpAndLink { target: u32, link: u8 },
+    /// Indirect jump (returns on RISC; switch tables).
+    JumpReg { rs: u8 },
+    /// Push rs on the stack (CISC convention; sp is per-arch).
+    Push { rs: u8 },
+    /// Pop into rd.
+    Pop { rd: u8 },
+    /// Call: push return address, jump (CISC convention).
+    Call { target: u32 },
+    /// Return: pop return address, jump (CISC convention).
+    Ret,
+    /// `link fp,#size`: push fp; fp := sp; sp -= size (68020/VAX entry).
+    Link { fp: u8, size: u16 },
+    /// `unlk fp`: sp := fp; pop fp.
+    Unlink { fp: u8 },
+    /// Push the registers named in `mask` (bit i = register i), ascending.
+    SaveRegs { mask: u16 },
+    /// Pop the registers named in `mask`, descending.
+    RestoreRegs { mask: u16 },
+}
+
+impl Op {
+    /// Is this the no-op the compiler plants at stopping points?
+    pub fn is_nop(self) -> bool {
+        matches!(self, Op::Nop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(MemSize::B1.bytes(), 1);
+        assert_eq!(MemSize::B4.bytes(), 4);
+        assert_eq!(FltSize::F10.bytes(), 10);
+    }
+
+    #[test]
+    fn nop_detection() {
+        assert!(Op::Nop.is_nop());
+        assert!(!Op::Break(0).is_nop());
+    }
+}

@@ -1,0 +1,43 @@
+//! Robustness: decoders are total over arbitrary bytes, and the CPU
+//! survives executing random memory (faulting, never panicking).
+
+use ldb_machine::{encode, Arch, ByteOrder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 1024, ..ProptestConfig::default() })]
+
+    #[test]
+    fn decoders_are_total(bytes in prop::collection::vec(any::<u8>(), 0..20), pc in 0u32..0x10000) {
+        for arch in Arch::ALL {
+            for order in [ByteOrder::Big, ByteOrder::Little] {
+                if let Some((op, len)) = encode::decode(arch, &bytes, pc, order) {
+                    prop_assert!(len as usize <= bytes.len().max(16));
+                    // Decoded ops re-encode (except pc-relative overflow).
+                    let _ = encode::encode(arch, &op, pc, order);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_step_never_panics_on_random_memory(
+        seedbytes in prop::collection::vec(any::<u8>(), 64..256),
+        steps in 1usize..64,
+    ) {
+        for arch in Arch::ALL {
+            let order = arch.data().default_order;
+            let mut mem = ldb_machine::Memory::new(0x1000, 0x2000, order);
+            mem.write_bytes(0x1000, &seedbytes).unwrap();
+            let mut cpu = ldb_machine::Cpu::new(arch, mem);
+            cpu.pc = 0x1000;
+            cpu.set_reg(arch.data().sp, 0x2f00);
+            for _ in 0..steps {
+                match cpu.step() {
+                    ldb_machine::StepEvent::Continue => {}
+                    _ => break,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Property: every operation an encoder accepts decodes back to itself,
+//! on every architecture and byte order. This pins all four instruction
+//! encodings (MIPS fixed 32-bit fields, SPARC condition-code forms, the
+//! 68020's two-byte opwords, the VAX's one-byte opcodes) against their
+//! decoders at once.
+
+use ldb_machine::op::{AluOp, Cond, FaluOp, FltSize, MemSize, Op};
+use ldb_machine::{encode, Arch, ByteOrder};
+use proptest::prelude::*;
+
+/// Signedness is meaningless for full-width loads (there is nothing to
+/// extend), and decoders canonicalize it: compare modulo that.
+fn canon(op: Op) -> Op {
+    match op {
+        Op::Load { size: MemSize::B4, rd, base, off, .. } => {
+            Op::Load { size: MemSize::B4, signed: true, rd, base, off }
+        }
+        other => other,
+    }
+}
+
+fn reg() -> impl Strategy<Value = u8> {
+    0u8..14 // valid on every register file (sp/fp live higher on some)
+}
+
+fn freg() -> impl Strategy<Value = u8> {
+    0u8..8
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+    ]
+}
+
+fn mem_size() -> impl Strategy<Value = MemSize> {
+    prop_oneof![Just(MemSize::B1), Just(MemSize::B2), Just(MemSize::B4)]
+}
+
+fn flt_size() -> impl Strategy<Value = FltSize> {
+    prop_oneof![Just(FltSize::F4), Just(FltSize::F8)]
+}
+
+/// Branch/jump targets near the pc, 4-aligned, positive.
+fn target() -> impl Strategy<Value = u32> {
+    (0x1000u32..0x5000).prop_map(|t| t & !3)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Nop),
+        (0u8..16).prop_map(Op::Break),
+        Just(Op::Ret),
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs, rt)| Op::Alu { op, rd, rs, rt }),
+        (alu_op(), reg(), reg(), -0x1000i32..0x1000)
+            .prop_map(|(op, rd, rs, imm)| Op::AluI { op, rd, rs, imm: imm as i16 }),
+        (reg(), reg()).prop_map(|(rd, rs)| Op::Mov { rd, rs }),
+        (reg(), -0x4000i32..0x4000).prop_map(|(rd, imm)| Op::LoadImm { rd, imm }),
+        (mem_size(), any::<bool>(), reg(), reg(), -0x200i16..0x200)
+            .prop_map(|(size, signed, rd, base, off)| Op::Load { size, signed, rd, base, off }),
+        (mem_size(), reg(), reg(), -0x200i16..0x200)
+            .prop_map(|(size, rs, base, off)| Op::Store { size, rs, base, off }),
+        (flt_size(), freg(), reg(), -0x200i16..0x200)
+            .prop_map(|(size, fd, base, off)| Op::FLoad { size, fd, base, off }),
+        (flt_size(), freg(), reg(), -0x200i16..0x200)
+            .prop_map(|(size, fs, base, off)| Op::FStore { size, fs, base, off }),
+        (prop_oneof![Just(FaluOp::Add), Just(FaluOp::Sub), Just(FaluOp::Mul), Just(FaluOp::Div)],
+         freg(), freg(), freg())
+            .prop_map(|(op, fd, fs, ft)| Op::FAlu { op, fd, fs, ft }),
+        (freg(), freg()).prop_map(|(fd, fs)| Op::FMov { fd, fs }),
+        (freg(), freg()).prop_map(|(fd, fs)| Op::FNeg { fd, fs }),
+        (freg(), reg()).prop_map(|(fd, rs)| Op::CvtIF { fd, rs }),
+        (reg(), freg()).prop_map(|(rd, fs)| Op::CvtFI { rd, fs }),
+        (cond(), reg(), reg(), target())
+            .prop_map(|(cond, rs, rt, target)| Op::Branch { cond, rs, rt, target }),
+        (reg(), reg()).prop_map(|(rs, rt)| Op::Cmp { rs, rt }),
+        reg().prop_map(|rs| Op::Tst { rs }),
+        (cond(), target()).prop_map(|(cond, target)| Op::BranchCC { cond, target }),
+        target().prop_map(|target| Op::Jump { target }),
+        (target(), reg()).prop_map(|(target, link)| Op::JumpAndLink { target, link }),
+        reg().prop_map(|rs| Op::JumpReg { rs }),
+        reg().prop_map(|rs| Op::Push { rs }),
+        reg().prop_map(|rd| Op::Pop { rd }),
+        target().prop_map(|target| Op::Call { target }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_roundtrips(op in op(), pc in (0x1000u32..0x5000).prop_map(|p| p & !3)) {
+        for arch in Arch::ALL {
+            for order in [ByteOrder::Big, ByteOrder::Little] {
+                // Not every architecture encodes every operation (RISC
+                // has no Push/Pop/Ret; immediates and displacements have
+                // per-format ranges). Whatever the encoder accepts, the
+                // decoder must reproduce exactly.
+                let Ok(bytes) = encode::encode(arch, &op, pc, order) else {
+                    continue;
+                };
+                let decoded = encode::decode(arch, &bytes, pc, order);
+                prop_assert!(
+                    decoded.is_some(),
+                    "{arch} {order:?}: {op:?} encoded to {bytes:02x?} but did not decode"
+                );
+                let (back, len) = decoded.unwrap();
+                prop_assert_eq!(
+                    len as usize, bytes.len(),
+                    "{} {:?}: length mismatch for {:?}", arch, order, op
+                );
+                prop_assert_eq!(
+                    canon(back), canon(op),
+                    "{} {:?}: {:02x?} decoded to {:?}", arch, order, &bytes, &back
+                );
+            }
+        }
+    }
+}
+
+mod core_format {
+    use ldb_machine::core::{read_core, write_core};
+    use ldb_machine::cpu::Cpu;
+    use ldb_machine::machine::Machine;
+    use ldb_machine::memory::Memory;
+    use ldb_machine::{Arch, ByteOrder};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        /// Any machine state survives a dump/load cycle bit-exactly.
+        #[test]
+        fn cores_roundtrip(
+            arch_idx in 0usize..4,
+            regs in prop::array::uniform32(any::<u32>()),
+            fbits in prop::array::uniform16(any::<u64>()),
+            pc in any::<u32>(),
+            cc in (any::<i32>(), any::<i32>()),
+            steps in any::<u64>(),
+            base in 0u32..0x10000,
+            mem in prop::collection::vec(any::<u8>(), 0..2048),
+            output in ".{0,64}",
+            sig in any::<u8>(),
+            code in any::<u32>(),
+            ctx in any::<u32>(),
+            big in any::<bool>(),
+        ) {
+            let order = if big { ByteOrder::Big } else { ByteOrder::Little };
+            let arch = Arch::ALL[arch_idx];
+            let mut cpu = Cpu::new(arch, Memory::from_contents(base, mem.clone(), order));
+            cpu.regs = regs;
+            for (f, b) in cpu.fregs.iter_mut().zip(fbits) {
+                *f = f64::from_bits(b);
+            }
+            cpu.pc = pc;
+            cpu.cc = cc;
+            cpu.steps = steps;
+            let m = Machine { cpu, output: output.clone(), exited: None };
+            let bytes = write_core(&m, sig, code, ctx);
+            let (back, s2, c2, x2) = read_core(&bytes).unwrap();
+            prop_assert_eq!((s2, c2, x2), (sig, code, ctx));
+            prop_assert_eq!(back.cpu.arch, arch);
+            prop_assert_eq!(back.cpu.regs, regs);
+            // NaN-safe comparison: bits, not values.
+            for (a, b) in back.cpu.fregs.iter().zip(fbits) {
+                prop_assert_eq!(a.to_bits(), b);
+            }
+            prop_assert_eq!(back.cpu.pc, pc);
+            prop_assert_eq!(back.cpu.cc, cc);
+            prop_assert_eq!(back.cpu.steps, steps);
+            prop_assert_eq!(back.cpu.mem.base(), base);
+            prop_assert_eq!(back.cpu.mem.contents(), &mem[..]);
+            prop_assert_eq!(back.cpu.mem.order(), order);
+            prop_assert_eq!(back.output, output);
+        }
+
+        /// The reader is total: arbitrary bytes never panic.
+        #[test]
+        fn reader_is_total(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+            let _ = read_core(&bytes);
+        }
+    }
+}

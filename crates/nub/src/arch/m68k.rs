@@ -1,0 +1,61 @@
+//! 68020 nub hooks.
+//!
+//! "The VAX and 68020 require assembly code to save and restore
+//! registers, and the 68020 requires assembly code to fetch and store
+//! 80-bit floating-point values" (paper, Sec. 4.3). The analog here is an
+//! explicit, unrolled save/restore sequence — the shared loop cannot be
+//! used because the 68020's floating registers pass through the 80-bit
+//! extended format on their way to memory (and back), exactly the
+//! conversion the real nub needed assembly for.
+
+use ldb_machine::{f80, Machine};
+
+/// The 68020 nub.
+pub struct M68kNub;
+
+impl super::NubArch for M68kNub {
+    fn write_context(&self, m: &mut Machine, ctx: u32) {
+        let layout = m.cpu.data().ctx;
+        let _ = m.cpu.mem.write_u32(ctx + layout.pc_offset, m.cpu.pc);
+        // d0-d7, then a0-a7, explicitly (the movem analog).
+        for d in 0..8u8 {
+            let v = m.cpu.reg(d);
+            let _ = m.cpu.mem.write_u32(ctx + layout.reg(d), v);
+        }
+        for a in 8..16u8 {
+            let v = m.cpu.reg(a);
+            let _ = m.cpu.mem.write_u32(ctx + layout.reg(a), v);
+        }
+        // fp0-fp7: through the 80-bit extended format. The context slot is
+        // 8 bytes, so the 10-byte image is narrowed back — the round trip
+        // preserves every double exactly.
+        for f in 0..8u8 {
+            let ext = f80::encode(m.cpu.fregs[f as usize]);
+            let narrowed = f80::decode(&ext);
+            let _ = m.cpu.mem.write_f64(ctx + layout.freg(f), narrowed);
+        }
+    }
+
+    fn restore_context(&self, m: &mut Machine, ctx: u32) {
+        let layout = m.cpu.data().ctx;
+        if let Ok(pc) = m.cpu.mem.read_u32(ctx + layout.pc_offset) {
+            m.cpu.pc = pc;
+        }
+        for d in 0..8u8 {
+            if let Ok(v) = m.cpu.mem.read_u32(ctx + layout.reg(d)) {
+                m.cpu.set_reg(d, v);
+            }
+        }
+        for a in 8..16u8 {
+            if let Ok(v) = m.cpu.mem.read_u32(ctx + layout.reg(a)) {
+                m.cpu.set_reg(a, v);
+            }
+        }
+        for f in 0..8u8 {
+            if let Ok(v) = m.cpu.mem.read_f64(ctx + layout.freg(f)) {
+                let ext = f80::encode(v);
+                m.cpu.fregs[f as usize] = f80::decode(&ext);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! MIPS nub hooks.
+//!
+//! The one piece of MIPS dirt is the paper's footnote 3: "On a big-endian
+//! MIPS, doubleword floating-point values are stored with the most
+//! significant word first, except that when the kernel saves
+//! floating-point registers in a struct sigcontext, it stores the least
+//! significant word first." Our simulated kernel (the context writer
+//! below) reproduces the quirk, and the nub's doubleword fetches and
+//! stores of saved floating-point registers swap the words to compensate.
+
+use ldb_machine::{ByteOrder, Machine};
+
+/// The MIPS nub.
+pub struct MipsNub;
+
+/// Is `addr` inside the saved floating-point area of the context at `ctx`?
+fn in_freg_area(m: &Machine, ctx: u32, addr: u32) -> bool {
+    let layout = m.cpu.data().ctx;
+    let lo = ctx + layout.freg_offset;
+    let hi = lo + layout.nfregs as u32 * 8;
+    (lo..hi).contains(&addr)
+}
+
+impl super::NubArch for MipsNub {
+    fn write_context(&self, m: &mut Machine, ctx: u32) {
+        super::generic_write_context(m, ctx);
+        if m.cpu.mem.order() == ByteOrder::Big {
+            // The kernel quirk: re-store each double with the least
+            // significant word first.
+            let layout = m.cpu.data().ctx;
+            for f in 0..layout.nfregs {
+                let a = ctx + layout.freg(f);
+                let bits = m.cpu.fregs[f as usize].to_bits();
+                let _ = m.cpu.mem.write_u32(a, bits as u32); // LSW first
+                let _ = m.cpu.mem.write_u32(a + 4, (bits >> 32) as u32);
+            }
+        }
+    }
+
+    fn restore_context(&self, m: &mut Machine, ctx: u32) {
+        super::generic_restore_context(m, ctx);
+        if m.cpu.mem.order() == ByteOrder::Big {
+            let layout = m.cpu.data().ctx;
+            for f in 0..layout.nfregs {
+                let a = ctx + layout.freg(f);
+                let lsw = m.cpu.mem.read_u32(a).unwrap_or(0) as u64;
+                let msw = m.cpu.mem.read_u32(a + 4).unwrap_or(0) as u64;
+                m.cpu.fregs[f as usize] = f64::from_bits((msw << 32) | lsw);
+            }
+        }
+    }
+
+    fn fetch_fixup8(&self, m: &Machine, ctx: u32, addr: u32, raw: u64) -> u64 {
+        if m.cpu.mem.order() == ByteOrder::Big && in_freg_area(m, ctx, addr) {
+            raw.rotate_left(32)
+        } else {
+            raw
+        }
+    }
+
+    fn store_fixup8(&self, m: &Machine, ctx: u32, addr: u32, raw: u64) -> u64 {
+        if m.cpu.mem.order() == ByteOrder::Big && in_freg_area(m, ctx, addr) {
+            raw.rotate_left(32)
+        } else {
+            raw
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Machine-dependent parts of the nub.
+//!
+//! "Most of the nub is machine-independent, but it has a few machine
+//! dependencies" (Sec. 4.3): how a context is saved and restored, and
+//! byte-order quirks in fetching saved floating-point registers. Each
+//! target's hooks live in its own module; the SPARC needs almost nothing
+//! because the shared code covers it — mirroring the paper's table, where
+//! the SPARC nub is 5 lines.
+
+pub mod m68k;
+pub mod mips;
+pub mod sparc;
+pub mod vax;
+
+use ldb_machine::{Arch, Machine};
+
+/// The nub's machine-dependent hooks.
+pub trait NubArch: Send + Sync {
+    /// Save the stopped program's state (pc, integer registers, floating
+    /// registers) into the context block at `ctx`.
+    fn write_context(&self, m: &mut Machine, ctx: u32) {
+        generic_write_context(m, ctx);
+    }
+
+    /// Restore the program's state from the context block (so register
+    /// stores made by the debugger take effect on continue).
+    fn restore_context(&self, m: &mut Machine, ctx: u32) {
+        generic_restore_context(m, ctx);
+    }
+
+    /// Adjust an 8-byte fetch (see the big-endian MIPS quirk).
+    fn fetch_fixup8(&self, _m: &Machine, _ctx: u32, _addr: u32, raw: u64) -> u64 {
+        raw
+    }
+
+    /// Adjust an 8-byte store, the inverse of [`NubArch::fetch_fixup8`].
+    fn store_fixup8(&self, _m: &Machine, _ctx: u32, _addr: u32, raw: u64) -> u64 {
+        raw
+    }
+}
+
+/// Pick the hooks for a target.
+pub fn nub_arch(arch: Arch) -> &'static dyn NubArch {
+    match arch {
+        Arch::Mips => &mips::MipsNub,
+        Arch::Sparc => &sparc::SparcNub,
+        Arch::M68k => &m68k::M68kNub,
+        Arch::Vax => &vax::VaxNub,
+    }
+}
+
+/// The shared context writer: pc, then integer registers, then doubles,
+/// all in the target byte order, laid out per [`ldb_machine::ContextLayout`].
+pub fn generic_write_context(m: &mut Machine, ctx: u32) {
+    let layout = m.cpu.data().ctx;
+    let _ = m.cpu.mem.write_u32(ctx + layout.pc_offset, m.cpu.pc);
+    for r in 0..layout.nregs {
+        let v = m.cpu.reg(r);
+        let _ = m.cpu.mem.write_u32(ctx + layout.reg(r), v);
+    }
+    for f in 0..layout.nfregs {
+        let v = m.cpu.fregs[f as usize];
+        let _ = m.cpu.mem.write_f64(ctx + layout.freg(f), v);
+    }
+}
+
+/// The shared context restorer.
+pub fn generic_restore_context(m: &mut Machine, ctx: u32) {
+    let layout = m.cpu.data().ctx;
+    if let Ok(pc) = m.cpu.mem.read_u32(ctx + layout.pc_offset) {
+        m.cpu.pc = pc;
+    }
+    for r in 0..layout.nregs {
+        if let Ok(v) = m.cpu.mem.read_u32(ctx + layout.reg(r)) {
+            m.cpu.set_reg(r, v);
+        }
+    }
+    for f in 0..layout.nfregs {
+        if let Ok(v) = m.cpu.mem.read_f64(ctx + layout.freg(f)) {
+            m.cpu.fregs[f as usize] = v;
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! SPARC nub hooks. "There is very little SPARC-dependent code in the nub
+//! because the operating system provides most of the registers and there
+//! is no other machine-dependent dirt" (paper, Sec. 4.3). The shared
+//! context code covers the SPARC completely.
+
+/// The SPARC nub: entirely default behaviour.
+pub struct SparcNub;
+
+impl super::NubArch for SparcNub {}

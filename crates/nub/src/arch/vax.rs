@@ -1,0 +1,46 @@
+//! VAX nub hooks.
+//!
+//! Like the 68020, the VAX "requires assembly code to save and restore
+//! registers" and cannot reuse struct sigcontext as its context (paper,
+//! Sec. 4.3): the VAX context keeps the processor status longword (PSL)
+//! conceptually adjacent, and r15 is the pc itself, so the save sequence
+//! is explicit rather than the shared loop.
+
+use ldb_machine::Machine;
+
+/// The VAX nub.
+pub struct VaxNub;
+
+impl super::NubArch for VaxNub {
+    fn write_context(&self, m: &mut Machine, ctx: u32) {
+        let layout = m.cpu.data().ctx;
+        // r15 mirrors the pc on a real VAX; keep the two consistent.
+        let _ = m.cpu.mem.write_u32(ctx + layout.pc_offset, m.cpu.pc);
+        for r in 0..15u8 {
+            let v = m.cpu.reg(r);
+            let _ = m.cpu.mem.write_u32(ctx + layout.reg(r), v);
+        }
+        let _ = m.cpu.mem.write_u32(ctx + layout.reg(15), m.cpu.pc);
+        for f in 0..8u8 {
+            let v = m.cpu.fregs[f as usize];
+            let _ = m.cpu.mem.write_f64(ctx + layout.freg(f), v);
+        }
+    }
+
+    fn restore_context(&self, m: &mut Machine, ctx: u32) {
+        let layout = m.cpu.data().ctx;
+        if let Ok(pc) = m.cpu.mem.read_u32(ctx + layout.pc_offset) {
+            m.cpu.pc = pc;
+        }
+        for r in 0..15u8 {
+            if let Ok(v) = m.cpu.mem.read_u32(ctx + layout.reg(r)) {
+                m.cpu.set_reg(r, v);
+            }
+        }
+        for f in 0..8u8 {
+            if let Ok(v) = m.cpu.mem.read_f64(ctx + layout.freg(f)) {
+                m.cpu.fregs[f as usize] = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The debugger side of the nub protocol: a small typed stub over a
+//! [`Wire`]. This is the whole interface the debugger has to a target
+//! process — fetch, store, continue, and stop notifications. Keeping the
+//! interface this small is what makes the nub easy to reimplement in
+//! other environments (paper, Sec. 4.2).
+
+use std::io;
+
+use crate::proto::{Reply, Request, Sig};
+use crate::transport::Wire;
+
+/// An event reported by the nub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NubEvent {
+    /// The target stopped.
+    Stopped {
+        /// Why.
+        sig: Sig,
+        /// Auxiliary code (trap pc, fault address...).
+        code: u32,
+        /// Address of the context block in the target's data space.
+        context: u32,
+    },
+    /// The target exited.
+    Exited(i32),
+}
+
+/// Errors from nub operations.
+#[derive(Debug)]
+pub enum NubError {
+    /// The connection failed (the nub may still be alive and will keep the
+    /// target's state; reconnect to resume debugging).
+    Io(io::Error),
+    /// The nub rejected the request.
+    Nub(u8),
+    /// The protocol got out of sync.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NubError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NubError::Io(e) => write!(f, "nub connection: {e}"),
+            NubError::Nub(1) => write!(f, "nub: bad address"),
+            NubError::Nub(2) => write!(f, "nub: bad space"),
+            NubError::Nub(3) => write!(f, "nub: bad size"),
+            NubError::Nub(c) => write!(f, "nub: error {c}"),
+            NubError::Protocol(s) => write!(f, "nub protocol: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NubError {}
+
+impl From<io::Error> for NubError {
+    fn from(e: io::Error) -> Self {
+        NubError::Io(e)
+    }
+}
+
+/// The debugger's connection to one nub.
+pub struct NubClient {
+    wire: Box<dyn Wire>,
+}
+
+impl std::fmt::Debug for NubClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NubClient")
+    }
+}
+
+impl NubClient {
+    /// Wrap a connected wire.
+    pub fn new(wire: Box<dyn Wire>) -> NubClient {
+        NubClient { wire }
+    }
+
+    fn recv_reply(&mut self) -> Result<Reply, NubError> {
+        let frame = self.wire.recv()?;
+        Reply::decode(&frame).ok_or_else(|| NubError::Protocol("undecodable reply".into()))
+    }
+
+    fn transact(&mut self, req: &Request) -> Result<Reply, NubError> {
+        self.wire.send(&req.encode())?;
+        // Skip stray notifications (none expected while stopped, but be
+        // liberal).
+        self.recv_reply()
+    }
+
+    /// Wait for the next stop/exit notification.
+    ///
+    /// # Errors
+    /// Connection loss, protocol corruption.
+    pub fn wait_event(&mut self) -> Result<NubEvent, NubError> {
+        match self.recv_reply()? {
+            Reply::Signal { sig, code, context } => {
+                let sig = Sig::from_number(sig)
+                    .ok_or_else(|| NubError::Protocol(format!("signal {sig}")))?;
+                Ok(NubEvent::Stopped { sig, code, context })
+            }
+            Reply::Exited { status } => Ok(NubEvent::Exited(status)),
+            other => Err(NubError::Protocol(format!("expected a signal, got {other:?}"))),
+        }
+    }
+
+    /// Fetch a value from the code or data space.
+    ///
+    /// # Errors
+    /// Bad addresses and connection loss.
+    pub fn fetch(&mut self, space: char, addr: u32, size: u8) -> Result<u64, NubError> {
+        match self.transact(&Request::Fetch { space: space as u8, addr, size })? {
+            Reply::Fetched { value } => Ok(value),
+            Reply::Error { code } => Err(NubError::Nub(code)),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Store a value into the code or data space.
+    ///
+    /// # Errors
+    /// Bad addresses and connection loss.
+    pub fn store(&mut self, space: char, addr: u32, size: u8, value: u64) -> Result<(), NubError> {
+        match self.transact(&Request::Store { space: space as u8, addr, size, value })? {
+            Reply::Stored => Ok(()),
+            Reply::Error { code } => Err(NubError::Nub(code)),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Plant a breakpoint store; the nub records the original instruction
+    /// so a future debugger can recover it.
+    ///
+    /// # Errors
+    /// Bad addresses and connection loss.
+    pub fn plant(&mut self, addr: u32, size: u8, value: u64) -> Result<(), NubError> {
+        match self.transact(&Request::Plant { addr, size, value })? {
+            Reply::Stored => Ok(()),
+            Reply::Error { code } => Err(NubError::Nub(code)),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// List the nub's recorded plants: (address, size, original value).
+    ///
+    /// # Errors
+    /// Connection loss.
+    pub fn query_plants(&mut self) -> Result<Vec<(u32, u8, u64)>, NubError> {
+        match self.transact(&Request::QueryPlants)? {
+            Reply::Plants(v) => Ok(v),
+            Reply::Error { code } => Err(NubError::Nub(code)),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Resume the target and wait for the next event.
+    ///
+    /// # Errors
+    /// Connection loss.
+    pub fn continue_and_wait(&mut self) -> Result<NubEvent, NubError> {
+        self.wire.send(&Request::Continue.encode())?;
+        self.wait_event()
+    }
+
+    /// Execute one instruction and wait for the resulting stop (requires
+    /// the nub's single-step extension).
+    ///
+    /// # Errors
+    /// Connection loss.
+    pub fn step_and_wait(&mut self) -> Result<NubEvent, NubError> {
+        self.wire.send(&Request::Step.encode())?;
+        self.wait_event()
+    }
+
+    /// Resume the target without waiting.
+    ///
+    /// # Errors
+    /// Connection loss.
+    pub fn continue_only(&mut self) -> Result<(), NubError> {
+        self.wire.send(&Request::Continue.encode())?;
+        Ok(())
+    }
+
+    /// Break the connection; the nub preserves the target's state.
+    ///
+    /// # Errors
+    /// Connection loss (which achieves the same thing).
+    pub fn detach(mut self) -> Result<(), NubError> {
+        self.detach_in_place()
+    }
+
+    /// As [`NubClient::detach`], without consuming the client (the
+    /// connection is dead afterwards).
+    ///
+    /// # Errors
+    /// Connection loss (which achieves the same thing).
+    pub fn detach_in_place(&mut self) -> Result<(), NubError> {
+        self.wire.send(&Request::Detach.encode())?;
+        Ok(())
+    }
+
+    /// Break the connection and let the target continue running free.
+    ///
+    /// # Errors
+    /// Connection loss.
+    pub fn detach_and_run(&mut self) -> Result<(), NubError> {
+        self.wire.send(&Request::DetachRun.encode())?;
+        Ok(())
+    }
+
+    /// Terminate the target.
+    ///
+    /// # Errors
+    /// Connection loss.
+    pub fn kill(mut self) -> Result<i32, NubError> {
+        self.wire.send(&Request::Kill.encode())?;
+        match self.wait_event()? {
+            NubEvent::Exited(s) => Ok(s),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+}

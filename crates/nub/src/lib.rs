@@ -1,0 +1,20 @@
+//! The debug nub and its wire protocol (paper, Sec. 4.2).
+//!
+//! A small stub loaded with every target program. It catches breakpoint
+//! traps and faults, saves a *context* in target memory, and services
+//! little-endian fetch/store requests from the debugger over a [`Wire`]
+//! (in-process channels or TCP). The protocol never mentions breakpoints
+//! or single-stepping: the debugger implements breakpoints entirely with
+//! fetches and stores. If the debugger crashes, the nub preserves the
+//! target's state and waits for a new connection.
+
+pub mod arch;
+pub mod client;
+pub mod nub;
+pub mod proto;
+pub mod transport;
+
+pub use client::{NubClient, NubError, NubEvent};
+pub use nub::{spawn, spawn_machine, NubConfig, NubHandle};
+pub use proto::{Reply, Request, Sig};
+pub use transport::{channel_pair, ChannelWire, TcpWire, Wire};

@@ -1,0 +1,369 @@
+//! The debug nub proper (paper, Sec. 4.2).
+//!
+//! The nub executes "in user space" of the target: here, on the thread
+//! that owns the target [`Machine`]. At startup the program's modified
+//! startup code executes the pause call; when the target faults or hits a
+//! breakpoint trap, the nub gets control, saves a *context*, notifies the
+//! debugger over its wire, and services fetch and store requests until
+//! told to continue, terminate, or break the connection.
+//!
+//! "Normally, when a connection is broken, even by a debugger crash, the
+//! nub preserves the state of the target program and waits for a new
+//! connection from another instance of ldb." The target need not be a
+//! child of the debugger: connections arrive over a channel that anyone
+//! can hand a [`Wire`] to (the network case), and a faulting program with
+//! no debugger simply waits for one.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::arch::{nub_arch, NubArch};
+use crate::proto::{Reply, Request, Sig};
+use crate::transport::Wire;
+use ldb_machine::{Fault, Image, Machine, RunEvent};
+
+/// Nub configuration.
+#[derive(Debug, Clone)]
+pub struct NubConfig {
+    /// Block at the startup pause until a debugger connects (set when the
+    /// program is started *by* a debugger); otherwise the pause is a
+    /// no-op when nobody is attached.
+    pub wait_at_pause: bool,
+    /// Instructions per run slice (between connection polls).
+    pub slice: u64,
+    /// Where to write a core file when the target faults with no
+    /// debugger attached (UNIX `core` semantics). `None` keeps the
+    /// default behavior: preserve state in the stopped nub and wait.
+    pub core_path: Option<std::path::PathBuf>,
+}
+
+impl Default for NubConfig {
+    fn default() -> Self {
+        NubConfig { wait_at_pause: false, slice: 50_000, core_path: None }
+    }
+}
+
+/// A handle to a spawned nub thread.
+pub struct NubHandle {
+    /// Hand a wire here to connect a debugger (the "network" listener).
+    pub connect: Sender<Box<dyn Wire>>,
+    /// Joins to the final machine state (for inspecting program output).
+    pub join: JoinHandle<Machine>,
+}
+
+impl NubHandle {
+    /// Connect a debugger end, returning the debugger's wire.
+    pub fn connect_channel(&self) -> crate::transport::ChannelWire {
+        let (dbg, nub) = crate::transport::channel_pair();
+        self.connect.send(Box::new(nub)).expect("nub alive");
+        dbg
+    }
+}
+
+/// Load `image` and run it under a nub on a new thread.
+pub fn spawn(image: &Image, cfg: NubConfig) -> NubHandle {
+    let machine = Machine::load(image);
+    let context = image.symbol("__nub_context").unwrap_or_else(|| {
+        // Images without a reserved area get a context at the stack base.
+        image.stack_top - image.arch.data().ctx.size - 64
+    });
+    spawn_machine(machine, context, cfg)
+}
+
+/// Run an existing machine under a nub.
+pub fn spawn_machine(machine: Machine, context: u32, cfg: NubConfig) -> NubHandle {
+    let (tx, rx) = unbounded();
+    let arch = machine.arch();
+    let nub = Nub {
+        machine,
+        context,
+        hooks: nub_arch(arch),
+        wire: None,
+        connect_rx: rx,
+        plants: Vec::new(),
+        cfg,
+        last_signal: None,
+        reached_pause: false,
+    };
+    let join = std::thread::spawn(move || nub.serve());
+    NubHandle { connect: tx, join }
+}
+
+struct Nub {
+    machine: Machine,
+    context: u32,
+    hooks: &'static dyn NubArch,
+    wire: Option<Box<dyn Wire>>,
+    connect_rx: Receiver<Box<dyn Wire>>,
+    plants: Vec<(u32, u8, u64)>,
+    cfg: NubConfig,
+    last_signal: Option<(u8, u32)>,
+    /// Set once the startup pause has been reached (before that, a
+    /// debugger-spawned target holds incoming connections for the pause
+    /// handshake instead of announcing an attach).
+    reached_pause: bool,
+}
+
+enum State {
+    Run,
+    Stopped,
+}
+
+impl Nub {
+    fn serve(mut self) -> Machine {
+        let mut state = State::Run;
+        loop {
+            match state {
+                State::Run => {
+                    // Accept a (new) debugger mid-run: stop and announce —
+                    // unless we were started *by* a debugger and have not
+                    // reached the startup pause yet, in which case the
+                    // connection waits for the pause handshake.
+                    let hold_for_pause = self.cfg.wait_at_pause && !self.reached_pause;
+                    if !hold_for_pause {
+                        if let Ok(w) = self.connect_rx.try_recv() {
+                            self.wire = Some(w);
+                            self.stop_with(Sig::Attach.number(), 0);
+                            state = State::Stopped;
+                            continue;
+                        }
+                    }
+                    match self.machine.run(self.cfg.slice) {
+                        RunEvent::StepLimit => {}
+                        RunEvent::Breakpoint { pc, .. } => {
+                            self.stop_with(Sig::Trap.number(), pc);
+                            state = State::Stopped;
+                        }
+                        RunEvent::Fault(f) => {
+                            let (sig, code) = classify_fault(f);
+                            // An undebugged fault with a core path
+                            // configured dies dumping core, like a UNIX
+                            // process without a debugger.
+                            if self.wire.is_none() {
+                                if let Some(path) = &self.cfg.core_path {
+                                    let img = ldb_machine::core::write_core(
+                                        &self.machine,
+                                        sig.number(),
+                                        code,
+                                        self.context,
+                                    );
+                                    let _ = std::fs::write(path, img);
+                                    return self.machine;
+                                }
+                            }
+                            self.stop_with(sig.number(), code);
+                            state = State::Stopped;
+                        }
+                        RunEvent::Paused { .. } => {
+                            self.reached_pause = true;
+                            if let Ok(w) = self.connect_rx.try_recv() {
+                                self.wire = Some(w);
+                            }
+                            if self.wire.is_some() {
+                                self.stop_with(Sig::Pause.number(), 0);
+                                state = State::Stopped;
+                            } else if self.cfg.wait_at_pause {
+                                match self.connect_rx.recv() {
+                                    Ok(w) => {
+                                        self.wire = Some(w);
+                                        self.stop_with(Sig::Pause.number(), 0);
+                                        state = State::Stopped;
+                                    }
+                                    Err(_) => return self.machine, // nobody will ever connect
+                                }
+                            }
+                            // Otherwise: an undebugged run; keep going.
+                        }
+                        RunEvent::Exited(status) => {
+                            self.send(&Reply::Exited { status });
+                            return self.machine;
+                        }
+                    }
+                }
+                State::Stopped => {
+                    if self.wire.is_none() {
+                        // Preserve state and wait for a new debugger
+                        // (survives debugger crashes).
+                        match self.connect_rx.recv() {
+                            Ok(w) => {
+                                self.wire = Some(w);
+                                if let Some((sig, code)) = self.last_signal {
+                                    self.send(&Reply::Signal {
+                                        sig,
+                                        code,
+                                        context: self.context,
+                                    });
+                                }
+                            }
+                            Err(_) => return self.machine,
+                        }
+                        continue;
+                    }
+                    let frame = match self.wire.as_mut().expect("checked").recv() {
+                        Ok(f) => f,
+                        Err(_) => {
+                            // The debugger crashed: drop the wire, keep
+                            // the target's state.
+                            self.wire = None;
+                            continue;
+                        }
+                    };
+                    match Request::decode(&frame) {
+                        None => self.send(&Reply::Error { code: 5 }),
+                        Some(Request::Continue) => {
+                            self.hooks.restore_context(&mut self.machine, self.context);
+                            state = State::Run;
+                        }
+                        Some(Request::Step) => {
+                            // The optional single-step extension: run one
+                            // instruction and stop again.
+                            self.hooks.restore_context(&mut self.machine, self.context);
+                            match self.machine.run(1) {
+                                RunEvent::StepLimit | RunEvent::Paused { .. } => {
+                                    self.stop_with(Sig::Step.number(), 0);
+                                }
+                                RunEvent::Breakpoint { pc, .. } => {
+                                    self.stop_with(Sig::Trap.number(), pc);
+                                }
+                                RunEvent::Fault(f) => {
+                                    let (sig, code) = classify_fault(f);
+                                    self.stop_with(sig.number(), code);
+                                }
+                                RunEvent::Exited(status) => {
+                                    self.send(&Reply::Exited { status });
+                                    return self.machine;
+                                }
+                            }
+                        }
+                        Some(Request::Kill) => {
+                            self.send(&Reply::Exited { status: -9 });
+                            return self.machine;
+                        }
+                        Some(Request::Detach) => {
+                            self.wire = None;
+                            // Stay stopped, preserving state.
+                        }
+                        Some(Request::DetachRun) => {
+                            self.wire = None;
+                            self.last_signal = None;
+                            self.hooks.restore_context(&mut self.machine, self.context);
+                            state = State::Run;
+                        }
+                        Some(req) => {
+                            let reply = self.service(&req);
+                            self.send(&reply);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn stop_with(&mut self, sig: u8, code: u32) {
+        self.hooks.write_context(&mut self.machine, self.context);
+        self.last_signal = Some((sig, code));
+        self.send(&Reply::Signal { sig, code, context: self.context });
+    }
+
+    fn send(&mut self, reply: &Reply) {
+        if let Some(w) = self.wire.as_mut() {
+            if w.send(&reply.encode()).is_err() {
+                self.wire = None;
+            }
+        }
+    }
+
+    fn service(&mut self, req: &Request) -> Reply {
+        match *req {
+            Request::Fetch { space, addr, size } => {
+                if space != b'c' && space != b'd' {
+                    return Reply::Error { code: 2 };
+                }
+                let m = &self.machine;
+                let v = match size {
+                    1 => m.cpu.mem.read_u8(addr).map(|v| v as u64),
+                    2 => m.cpu.mem.read_u16(addr).map(|v| v as u64),
+                    4 => m.cpu.mem.read_u32(addr).map(|v| v as u64),
+                    8 => m.cpu.mem.read_f64(addr).map(|v| {
+                        self.hooks.fetch_fixup8(m, self.context, addr, v.to_bits())
+                    }),
+                    _ => return Reply::Error { code: 3 },
+                };
+                match v {
+                    Ok(value) => Reply::Fetched { value },
+                    Err(_) => Reply::Error { code: 1 },
+                }
+            }
+            Request::Store { space, addr, size, value } => {
+                if space != b'c' && space != b'd' {
+                    return Reply::Error { code: 2 };
+                }
+                // A store that undoes a recorded plant removes the record.
+                if let Some(i) = self
+                    .plants
+                    .iter()
+                    .position(|&(a, s, orig)| a == addr && s == size && orig == value)
+                {
+                    self.plants.remove(i);
+                }
+                let fixed = if size == 8 {
+                    self.hooks.store_fixup8(&self.machine, self.context, addr, value)
+                } else {
+                    value
+                };
+                let m = &mut self.machine;
+                let r = match size {
+                    1 => m.cpu.mem.write_u8(addr, fixed as u8),
+                    2 => m.cpu.mem.write_u16(addr, fixed as u16),
+                    4 => m.cpu.mem.write_u32(addr, fixed as u32),
+                    8 => m.cpu.mem.write_f64(addr, f64::from_bits(fixed)),
+                    _ => return Reply::Error { code: 3 },
+                };
+                match r {
+                    Ok(()) => Reply::Stored,
+                    Err(_) => Reply::Error { code: 1 },
+                }
+            }
+            Request::Plant { addr, size, value } => {
+                let m = &mut self.machine;
+                let orig = match size {
+                    1 => m.cpu.mem.read_u8(addr).map(|v| v as u64),
+                    2 => m.cpu.mem.read_u16(addr).map(|v| v as u64),
+                    4 => m.cpu.mem.read_u32(addr).map(|v| v as u64),
+                    _ => return Reply::Error { code: 3 },
+                };
+                let Ok(orig) = orig else { return Reply::Error { code: 1 } };
+                let r = match size {
+                    1 => m.cpu.mem.write_u8(addr, value as u8),
+                    2 => m.cpu.mem.write_u16(addr, value as u16),
+                    _ => m.cpu.mem.write_u32(addr, value as u32),
+                };
+                if r.is_err() {
+                    return Reply::Error { code: 1 };
+                }
+                if !self.plants.iter().any(|&(a, _, _)| a == addr) {
+                    self.plants.push((addr, size, orig));
+                }
+                Reply::Stored
+            }
+            Request::QueryPlants => Reply::Plants(self.plants.clone()),
+            Request::Continue
+            | Request::Kill
+            | Request::Detach
+            | Request::Step
+            | Request::DetachRun => {
+                unreachable!("handled by the state machine")
+            }
+        }
+    }
+}
+
+fn classify_fault(f: Fault) -> (Sig, u32) {
+    match f {
+        Fault::BadAddress { addr, .. } => (Sig::Segv, addr),
+        Fault::DivideByZero => (Sig::Fpe, 0),
+        Fault::IllegalInstruction { pc } => (Sig::Ill, pc),
+        Fault::LoadDelayHazard { pc, .. } => (Sig::Ill, pc),
+    }
+}

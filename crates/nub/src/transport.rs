@@ -1,0 +1,144 @@
+//! Transports: framed byte pipes between debugger and nub.
+//!
+//! "Using sockets and signal handlers makes it easier to retarget the
+//! nub" (Sec. 4.2). Two transports are provided: an in-process channel
+//! pair, and real TCP sockets for debugging over the network. Both carry
+//! the same little-endian frames, so the choice is invisible to the
+//! protocol layer.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// A bidirectional framed connection.
+pub trait Wire: Send {
+    /// Send one frame.
+    ///
+    /// # Errors
+    /// Connection loss.
+    fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+    /// Receive one frame, blocking.
+    ///
+    /// # Errors
+    /// Connection loss or end of stream.
+    fn recv(&mut self) -> io::Result<Vec<u8>>;
+}
+
+/// In-process channel transport.
+pub struct ChannelWire {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Create a connected pair of channel wires.
+pub fn channel_pair() -> (ChannelWire, ChannelWire) {
+    let (atx, arx) = bounded(256);
+    let (btx, brx) = bounded(256);
+    (ChannelWire { tx: atx, rx: brx }, ChannelWire { tx: btx, rx: arx })
+}
+
+impl Wire for ChannelWire {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "peer gone"))
+    }
+}
+
+/// TCP transport: `[len: u32 LE][body]` frames over a socket.
+pub struct TcpWire {
+    stream: TcpStream,
+}
+
+impl TcpWire {
+    /// Wrap a connected stream.
+    pub fn new(stream: TcpStream) -> TcpWire {
+        let _ = stream.set_nodelay(true);
+        TcpWire { stream }
+    }
+}
+
+impl Wire for TcpWire {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        let len = (frame.len() as u32).to_le_bytes();
+        self.stream.write_all(&len)?;
+        self.stream.write_all(frame)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let n = u32::from_le_bytes(len) as usize;
+        if n > 1 << 20 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+        }
+        let mut body = vec![0u8; n];
+        self.stream.read_exact(&mut body)?;
+        Ok(body)
+    }
+}
+
+/// A wire that fails immediately (used to simulate a crashed debugger).
+pub struct DeadWire;
+
+impl Wire for DeadWire {
+    fn send(&mut self, _frame: &[u8]) -> io::Result<()> {
+        Err(io::Error::new(io::ErrorKind::BrokenPipe, "dead"))
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        Err(io::Error::new(io::ErrorKind::UnexpectedEof, "dead"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_duplex() {
+        let (mut a, mut b) = channel_pair();
+        a.send(b"hello").unwrap();
+        b.send(b"world").unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+        assert_eq!(a.recv().unwrap(), b"world");
+    }
+
+    #[test]
+    fn channel_detects_dropped_peer() {
+        let (mut a, b) = channel_pair();
+        drop(b);
+        assert!(a.send(b"x").is_err());
+        assert!(a.recv().is_err());
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut w = TcpWire::new(s);
+            let f = w.recv().unwrap();
+            w.send(&f).unwrap(); // echo
+        });
+        let mut c = TcpWire::new(TcpStream::connect(addr).unwrap());
+        c.send(b"over the network").unwrap();
+        assert_eq!(c.recv().unwrap(), b"over the network");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dead_wire_errors() {
+        let mut d = DeadWire;
+        assert!(d.send(b"x").is_err());
+        assert!(d.recv().is_err());
+    }
+}

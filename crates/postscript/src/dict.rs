@@ -1,0 +1,213 @@
+//! Dictionaries.
+//!
+//! Dictionaries are the workhorse of the dialect: symbol-table entries, type
+//! descriptors, loader tables, and the per-architecture rebinding
+//! dictionaries are all dictionaries. Iteration order is insertion order so
+//! that `forall` and symbol-table dumps are deterministic.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::{type_check, PsResult};
+use crate::object::{Object, Value};
+
+/// A dictionary key. PostScript allows most objects as keys; in practice the
+/// debugger uses names (string keys convert to names, as in PostScript).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// A name key (also produced by string keys).
+    Name(Rc<str>),
+    /// An integer key.
+    Int(i64),
+    /// A boolean key.
+    Bool(bool),
+}
+
+impl Key {
+    /// Convert an object to a key per PostScript rules.
+    ///
+    /// # Errors
+    /// Typecheck for objects that cannot be keys (arrays, dicts, marks...).
+    pub fn from_object(o: &Object) -> PsResult<Key> {
+        match &o.val {
+            Value::Name(n) => Ok(Key::Name(Rc::clone(n))),
+            Value::String(s) => Ok(Key::Name(Rc::clone(s))),
+            Value::Int(i) => Ok(Key::Int(*i)),
+            Value::Bool(b) => Ok(Key::Bool(*b)),
+            Value::Real(r) if r.fract() == 0.0 => Ok(Key::Int(*r as i64)),
+            other => Err(type_check(format!("invalid dict key: {other:?}"))),
+        }
+    }
+
+    /// Convenience constructor from a `&str`.
+    pub fn name(s: &str) -> Key {
+        Key::Name(Rc::from(s))
+    }
+
+    /// Render the key as an object (names come back as literal names).
+    pub fn to_object(&self) -> Object {
+        match self {
+            Key::Name(n) => Object::name(Rc::clone(n)),
+            Key::Int(i) => Object::int(*i),
+            Key::Bool(b) => Object::bool(*b),
+        }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Key::Name(n) => write!(f, "/{n}"),
+            Key::Int(i) => write!(f, "{i}"),
+            Key::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A dictionary with insertion-ordered iteration.
+#[derive(Default, Clone)]
+pub struct Dict {
+    map: HashMap<Key, usize>,
+    entries: Vec<(Key, Object)>,
+}
+
+impl Dict {
+    /// An empty dictionary. `capacity` is advisory, as in the `dict` operator.
+    pub fn new(capacity: usize) -> Dict {
+        Dict { map: HashMap::with_capacity(capacity), entries: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of key/value pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &Key) -> Option<&Object> {
+        self.map.get(key).map(|&i| &self.entries[i].1)
+    }
+
+    /// Look up by name, the common case.
+    pub fn get_name(&self, name: &str) -> Option<&Object> {
+        // Avoid allocating an Rc for the probe by scanning the map's raw
+        // entry; HashMap requires an owned Key, so probe with a borrowed
+        // equivalent via iteration only when small, else allocate.
+        self.get(&Key::Name(Rc::from(name)))
+    }
+
+    /// Insert or replace.
+    pub fn put(&mut self, key: Key, value: Object) {
+        if let Some(&i) = self.map.get(&key) {
+            self.entries[i].1 = value;
+        } else {
+            self.map.insert(key.clone(), self.entries.len());
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Insert by name.
+    pub fn put_name(&mut self, name: &str, value: Object) {
+        self.put(Key::name(name), value);
+    }
+
+    /// Remove a key (`undef`). Returns the removed value if present.
+    pub fn remove(&mut self, key: &Key) -> Option<Object> {
+        let i = self.map.remove(key)?;
+        let (_, v) = self.entries.remove(i);
+        for idx in self.map.values_mut() {
+            if *idx > i {
+                *idx -= 1;
+            }
+        }
+        Some(v)
+    }
+
+    /// Does the dictionary contain `key`?
+    pub fn contains(&self, key: &Key) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Iterate in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Key, Object)> {
+        self.entries.iter()
+    }
+}
+
+impl fmt::Debug for Dict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<<")?;
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{k} {v:?}")?;
+        }
+        write!(f, ">>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_replace() {
+        let mut d = Dict::new(4);
+        d.put_name("a", Object::int(1));
+        d.put_name("b", Object::int(2));
+        d.put_name("a", Object::int(3));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get_name("a").unwrap().as_int().unwrap(), 3);
+        assert_eq!(d.get_name("b").unwrap().as_int().unwrap(), 2);
+        assert!(d.get_name("c").is_none());
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut d = Dict::new(4);
+        for (i, k) in ["z", "m", "a"].iter().enumerate() {
+            d.put_name(k, Object::int(i as i64));
+        }
+        let keys: Vec<String> = d.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["/z", "/m", "/a"]);
+    }
+
+    #[test]
+    fn remove_keeps_indices_consistent() {
+        let mut d = Dict::new(4);
+        d.put_name("a", Object::int(1));
+        d.put_name("b", Object::int(2));
+        d.put_name("c", Object::int(3));
+        assert!(d.remove(&Key::name("a")).is_some());
+        assert_eq!(d.get_name("b").unwrap().as_int().unwrap(), 2);
+        assert_eq!(d.get_name("c").unwrap().as_int().unwrap(), 3);
+        assert_eq!(d.len(), 2);
+        assert!(d.remove(&Key::name("a")).is_none());
+    }
+
+    #[test]
+    fn string_keys_convert_to_names() {
+        let k1 = Key::from_object(&Object::string("x")).unwrap();
+        let k2 = Key::from_object(&Object::name("x")).unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn invalid_keys_rejected() {
+        assert!(Key::from_object(&Object::mark()).is_err());
+        assert!(Key::from_object(&Object::array(vec![])).is_err());
+    }
+
+    #[test]
+    fn integral_real_keys_fold_to_int() {
+        let k = Key::from_object(&Object::real(4.0)).unwrap();
+        assert_eq!(k, Key::Int(4));
+        assert!(Key::from_object(&Object::real(4.5)).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Interpreter errors.
+//!
+//! The paper's dialect maps interpreter errors onto Modula-3 exceptions; here
+//! they are ordinary Rust [`Result`]s. The `stopped` operator catches both
+//! explicit `stop` and runtime errors, exactly as ldb relies on when it
+//! applies `cvx stopped` to the pipe from the expression server.
+
+use std::fmt;
+
+/// The result type used throughout the interpreter.
+pub type PsResult<T> = Result<T, PsError>;
+
+/// Everything that can abort execution of a PostScript object.
+///
+/// `Exit` and `Stop` are control flow, not errors: `exit` unwinds to the
+/// nearest looping operator, `stop` unwinds to the nearest `stopped`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PsError {
+    /// `exit` executed; caught by `for`, `loop`, `repeat`, `forall`.
+    Exit,
+    /// `stop` executed; caught by `stopped`.
+    Stop,
+    /// `quit` executed; terminates the whole interpretation.
+    Quit,
+    /// A genuine runtime error, caught by `stopped` like `stop` is.
+    Runtime(RuntimeError),
+}
+
+/// Runtime error kinds, named after their PostScript counterparts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeError {
+    /// Which class of error occurred.
+    pub kind: ErrorKind,
+    /// Human-readable context: usually the operator and offending operand.
+    pub detail: String,
+}
+
+/// The PostScript error name under which a [`RuntimeError`] is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Operand of the wrong type.
+    TypeCheck,
+    /// Not enough operands.
+    StackUnderflow,
+    /// Name not found in the dictionary stack.
+    Undefined,
+    /// Operand outside the acceptable range.
+    RangeCheck,
+    /// Write to an immutable object (e.g. a string; strings are immutable
+    /// in this dialect for compatibility with the host language).
+    InvalidAccess,
+    /// Arithmetic result cannot be represented (e.g. division by zero).
+    UndefinedResult,
+    /// Malformed program text.
+    SyntaxError,
+    /// An input/output failure, e.g. the expression-server pipe broke.
+    IoError,
+    /// Resource exhaustion: execution or dictionary stack overflow.
+    LimitCheck,
+    /// `end` with nothing left to pop, or unbalanced `}`/`]`/`>>`.
+    DictStackUnderflow,
+    /// An error raised by a host object (abstract memory, nub connection).
+    HostError,
+}
+
+impl ErrorKind {
+    /// The PostScript name of this error, as `$error /errorname` would hold.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::TypeCheck => "typecheck",
+            ErrorKind::StackUnderflow => "stackunderflow",
+            ErrorKind::Undefined => "undefined",
+            ErrorKind::RangeCheck => "rangecheck",
+            ErrorKind::InvalidAccess => "invalidaccess",
+            ErrorKind::UndefinedResult => "undefinedresult",
+            ErrorKind::SyntaxError => "syntaxerror",
+            ErrorKind::IoError => "ioerror",
+            ErrorKind::LimitCheck => "limitcheck",
+            ErrorKind::DictStackUnderflow => "dictstackunderflow",
+            ErrorKind::HostError => "hosterror",
+        }
+    }
+}
+
+impl PsError {
+    /// Construct a runtime error with a detail message.
+    pub fn runtime(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        PsError::Runtime(RuntimeError { kind, detail: detail.into() })
+    }
+
+    /// Is this a genuine error (as opposed to `exit`/`stop`/`quit` control flow)?
+    pub fn is_runtime(&self) -> bool {
+        matches!(self, PsError::Runtime(_))
+    }
+}
+
+impl fmt::Display for PsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsError::Exit => write!(f, "exit outside a loop"),
+            PsError::Stop => write!(f, "stop outside stopped"),
+            PsError::Quit => write!(f, "quit"),
+            PsError::Runtime(e) => write!(f, "{}: {}", e.kind.name(), e.detail),
+        }
+    }
+}
+
+impl std::error::Error for PsError {}
+
+/// Shorthand constructors used by the operator implementations.
+pub(crate) fn type_check(detail: impl Into<String>) -> PsError {
+    PsError::runtime(ErrorKind::TypeCheck, detail)
+}
+pub(crate) fn range_check(detail: impl Into<String>) -> PsError {
+    PsError::runtime(ErrorKind::RangeCheck, detail)
+}
+pub(crate) fn undefined(detail: impl Into<String>) -> PsError {
+    PsError::runtime(ErrorKind::Undefined, detail)
+}
+pub(crate) fn undefined_result(detail: impl Into<String>) -> PsError {
+    PsError::runtime(ErrorKind::UndefinedResult, detail)
+}
+pub(crate) fn syntax(detail: impl Into<String>) -> PsError {
+    PsError::runtime(ErrorKind::SyntaxError, detail)
+}
+pub(crate) fn invalid_access(detail: impl Into<String>) -> PsError {
+    PsError::runtime(ErrorKind::InvalidAccess, detail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PsError::Exit.to_string(), "exit outside a loop");
+        assert_eq!(
+            PsError::runtime(ErrorKind::TypeCheck, "add: bool").to_string(),
+            "typecheck: add: bool"
+        );
+    }
+
+    #[test]
+    fn runtime_classification() {
+        assert!(PsError::runtime(ErrorKind::Undefined, "x").is_runtime());
+        assert!(!PsError::Stop.is_runtime());
+        assert!(!PsError::Exit.is_runtime());
+        assert!(!PsError::Quit.is_runtime());
+    }
+
+    #[test]
+    fn kind_names_are_postscript_names() {
+        assert_eq!(ErrorKind::StackUnderflow.name(), "stackunderflow");
+        assert_eq!(ErrorKind::UndefinedResult.name(), "undefinedresult");
+        assert_eq!(ErrorKind::HostError.name(), "hosterror");
+    }
+}

@@ -1,0 +1,85 @@
+//! File objects: executable token streams.
+//!
+//! ldb treats the pipe from the expression server as a PostScript file and
+//! applies `cvx stopped` to it: the interpreter executes tokens as they
+//! arrive until the server's trailing `ExpressionServer.result` executes
+//! `stop`. Because a [`PsFile`] owns a persistent [`Scanner`], execution can
+//! resume exactly where it left off for the next expression.
+
+use std::rc::Rc;
+
+use crate::error::PsResult;
+use crate::object::Object;
+use crate::scanner::{CharSource, ReadSource, Scanner, StrSource};
+
+/// An executable token stream.
+pub struct PsFile {
+    scanner: Scanner,
+    /// Set once the underlying source reports end of input.
+    at_eof: bool,
+    name: String,
+}
+
+impl std::fmt::Debug for PsFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "-file:{}-", self.name)
+    }
+}
+
+impl PsFile {
+    /// A file over an arbitrary character source.
+    pub fn new(name: impl Into<String>, src: Box<dyn CharSource>) -> Self {
+        PsFile { scanner: Scanner::new(src), at_eof: false, name: name.into() }
+    }
+
+    /// A file over a byte stream, e.g. a pipe.
+    pub fn from_reader(name: impl Into<String>, r: Box<dyn std::io::Read>) -> Self {
+        PsFile::new(name, Box::new(ReadSource::new(r)))
+    }
+
+    /// A file over a string (useful in tests).
+    pub fn from_str(name: impl Into<String>, s: impl Into<Rc<str>>) -> Self {
+        PsFile::new(name, Box::new(StrSource::new(s.into())))
+    }
+
+    /// The next token, or `None` at end of stream.
+    ///
+    /// # Errors
+    /// Propagates scan and I/O errors.
+    pub fn next_token(&mut self) -> PsResult<Option<Object>> {
+        if self.at_eof {
+            return Ok(None);
+        }
+        let t = self.scanner.next_token()?;
+        if t.is_none() {
+            self.at_eof = true;
+        }
+        Ok(t)
+    }
+
+    /// Has the stream ended?
+    pub fn at_eof(&self) -> bool {
+        self.at_eof
+    }
+
+    /// The name given at construction (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_then_eof() {
+        let mut f = PsFile::from_str("t", "1 2");
+        assert_eq!(f.next_token().unwrap().unwrap().as_int().unwrap(), 1);
+        assert!(!f.at_eof());
+        assert_eq!(f.next_token().unwrap().unwrap().as_int().unwrap(), 2);
+        assert!(f.next_token().unwrap().is_none());
+        assert!(f.at_eof());
+        assert!(f.next_token().unwrap().is_none());
+    }
+}

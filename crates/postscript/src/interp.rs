@@ -1,0 +1,552 @@
+//! The interpreter: operand stack, dictionary stack, and the execution loop.
+//!
+//! The dialect follows the paper (Sec. 5): names are bound dynamically, and
+//! the dictionary stack is distinct from the call stack and explicitly
+//! controlled by the program. When ldb changes target architectures it
+//! pushes a per-architecture dictionary that rebinds the machine-dependent
+//! names (`Regset0`, `&wordsize`, ...) — see [`Interp::push_dict`].
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::rc::Rc;
+
+use crate::dict::{Dict, Key};
+use crate::error::{undefined, ErrorKind, PsError, PsResult, RuntimeError};
+use crate::file::PsFile;
+use crate::object::{Object, Operator, Value};
+use crate::ops;
+use crate::pretty::Pretty;
+use crate::scanner::Scanner;
+
+/// Where `print`, `=`, `==`, and the prettyprinter write.
+#[derive(Clone)]
+pub enum Out {
+    /// Write through to the process's stdout.
+    Stdout,
+    /// Accumulate in a shared buffer (tests, and ldb's client interface).
+    Shared(Rc<RefCell<String>>),
+}
+
+impl Out {
+    /// Append a string to the sink.
+    pub fn write_str(&self, s: &str) {
+        match self {
+            Out::Stdout => {
+                let mut o = std::io::stdout().lock();
+                let _ = o.write_all(s.as_bytes());
+            }
+            Out::Shared(buf) => buf.borrow_mut().push_str(s),
+        }
+    }
+}
+
+impl std::fmt::Debug for Out {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Out::Stdout => write!(f, "Out::Stdout"),
+            Out::Shared(_) => write!(f, "Out::Shared"),
+        }
+    }
+}
+
+/// The embedded PostScript interpreter.
+///
+/// # Examples
+/// ```
+/// use ldb_postscript::Interp;
+/// let mut interp = Interp::new();
+/// interp.run_str("2 3 add").unwrap();
+/// assert_eq!(interp.pop().unwrap().as_int().unwrap(), 5);
+/// ```
+pub struct Interp {
+    stack: Vec<Object>,
+    dicts: Vec<crate::object::DictRef>,
+    systemdict: crate::object::DictRef,
+    out: Out,
+    /// The prettyprinter driven by the `Put`/`Break`/`Begin`/`End` operators.
+    pub pretty: Pretty,
+    depth: usize,
+    max_depth: usize,
+    /// The most recent runtime error caught by `stopped`.
+    pub last_error: Option<RuntimeError>,
+}
+
+impl std::fmt::Debug for Interp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Interp {{ stack: {}, dicts: {} }}", self.stack.len(), self.dicts.len())
+    }
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// A fresh interpreter with the full operator set, writing to stdout.
+    pub fn new() -> Self {
+        let systemdict = Rc::new(RefCell::new(Dict::new(256)));
+        let userdict = Rc::new(RefCell::new(Dict::new(64)));
+        let out = Out::Stdout;
+        let mut interp = Interp {
+            stack: Vec::with_capacity(64),
+            dicts: vec![Rc::clone(&systemdict), Rc::clone(&userdict)],
+            systemdict,
+            out: out.clone(),
+            pretty: Pretty::new(out),
+            depth: 0,
+            max_depth: 400,
+            last_error: None,
+        };
+        ops::register_all(&mut interp);
+        interp
+    }
+
+    /// A fresh interpreter whose output accumulates in the returned buffer.
+    pub fn new_capturing() -> (Self, Rc<RefCell<String>>) {
+        let mut interp = Interp::new();
+        let buf = Rc::new(RefCell::new(String::new()));
+        interp.set_output(Out::Shared(Rc::clone(&buf)));
+        (interp, buf)
+    }
+
+    /// Redirect output (print operators and prettyprinter).
+    pub fn set_output(&mut self, out: Out) {
+        self.out = out.clone();
+        self.pretty.set_output(out);
+    }
+
+    /// The current output sink.
+    pub fn output(&self) -> Out {
+        self.out.clone()
+    }
+
+    /// Change the execution nesting limit. The default (400) is
+    /// conservative so deep PostScript recursion fails cleanly with a
+    /// `limitcheck` instead of exhausting a small host thread stack.
+    pub fn set_max_depth(&mut self, depth: usize) {
+        self.max_depth = depth;
+    }
+
+    // ----- operand stack -----
+
+    /// Push an object.
+    pub fn push(&mut self, o: impl Into<Object>) {
+        self.stack.push(o.into());
+    }
+
+    /// Pop an object.
+    ///
+    /// # Errors
+    /// Stackunderflow when the stack is empty.
+    pub fn pop(&mut self) -> PsResult<Object> {
+        self.stack
+            .pop()
+            .ok_or_else(|| PsError::runtime(ErrorKind::StackUnderflow, "operand stack empty"))
+    }
+
+    /// Pop `n` objects; the result is in stack order (deepest first).
+    ///
+    /// # Errors
+    /// Stackunderflow when fewer than `n` operands are available.
+    pub fn popn(&mut self, n: usize) -> PsResult<Vec<Object>> {
+        if self.stack.len() < n {
+            return Err(PsError::runtime(
+                ErrorKind::StackUnderflow,
+                format!("need {n} operands, have {}", self.stack.len()),
+            ));
+        }
+        Ok(self.stack.split_off(self.stack.len() - n))
+    }
+
+    /// Reference the object `i` positions below the top (0 = top).
+    ///
+    /// # Errors
+    /// Stackunderflow when the stack is too shallow.
+    pub fn peek(&self, i: usize) -> PsResult<&Object> {
+        let len = self.stack.len();
+        if i >= len {
+            return Err(PsError::runtime(ErrorKind::StackUnderflow, "peek past stack bottom"));
+        }
+        Ok(&self.stack[len - 1 - i])
+    }
+
+    /// Number of operands on the stack.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Direct access to the operand stack (bottom first).
+    pub fn stack(&self) -> &[Object] {
+        &self.stack
+    }
+
+    /// Remove all operands.
+    pub fn clear_stack(&mut self) {
+        self.stack.clear();
+    }
+
+    /// Truncate the stack to `n` entries (used by mark-based operators).
+    pub(crate) fn truncate_stack(&mut self, n: usize) {
+        self.stack.truncate(n);
+    }
+
+    /// Find the topmost mark; returns the number of objects above it.
+    ///
+    /// # Errors
+    /// `unmatchedmark` (reported as rangecheck) when no mark is present.
+    pub fn count_to_mark(&self) -> PsResult<usize> {
+        for (i, o) in self.stack.iter().rev().enumerate() {
+            if matches!(o.val, Value::Mark) {
+                return Ok(i);
+            }
+        }
+        Err(PsError::runtime(ErrorKind::RangeCheck, "no mark on stack"))
+    }
+
+    // ----- dictionary stack -----
+
+    /// The system dictionary (operators are registered here).
+    pub fn systemdict(&self) -> crate::object::DictRef {
+        Rc::clone(&self.systemdict)
+    }
+
+    /// Push a dictionary (the `begin` operator; also how ldb installs a
+    /// per-architecture rebinding dictionary).
+    pub fn push_dict(&mut self, d: crate::object::DictRef) {
+        self.dicts.push(d);
+    }
+
+    /// Pop the top dictionary (`end`).
+    ///
+    /// # Errors
+    /// Dictstackunderflow when only systemdict and userdict remain.
+    pub fn pop_dict(&mut self) -> PsResult<crate::object::DictRef> {
+        if self.dicts.len() <= 2 {
+            return Err(PsError::runtime(
+                ErrorKind::DictStackUnderflow,
+                "end: dictionary stack at minimum",
+            ));
+        }
+        Ok(self.dicts.pop().expect("len checked"))
+    }
+
+    /// The current (topmost) dictionary.
+    pub fn currentdict(&self) -> crate::object::DictRef {
+        Rc::clone(self.dicts.last().expect("dict stack never empty"))
+    }
+
+    /// Number of dictionaries on the dictionary stack.
+    pub fn dict_stack_len(&self) -> usize {
+        self.dicts.len()
+    }
+
+    /// Look up a name through the dictionary stack, topmost first.
+    ///
+    /// # Errors
+    /// Undefined when no dictionary binds the name.
+    pub fn lookup(&self, name: &str) -> PsResult<Object> {
+        let key = Key::name(name);
+        for d in self.dicts.iter().rev() {
+            if let Some(v) = d.borrow().get(&key) {
+                return Ok(v.clone());
+            }
+        }
+        Err(undefined(name.to_string()))
+    }
+
+    /// Find the dictionary that binds `name`, topmost first (`where`).
+    pub fn find_dict(&self, name: &str) -> Option<crate::object::DictRef> {
+        let key = Key::name(name);
+        for d in self.dicts.iter().rev() {
+            if d.borrow().contains(&key) {
+                return Some(Rc::clone(d));
+            }
+        }
+        None
+    }
+
+    /// Define `name` in the current dictionary (`def` from Rust).
+    pub fn def(&mut self, name: &str, value: Object) {
+        self.currentdict().borrow_mut().put_name(name, value);
+    }
+
+    /// Register an operator in systemdict.
+    pub fn register(&mut self, name: &str, f: impl Fn(&mut Interp) -> PsResult<()> + 'static) {
+        let op = Operator { name: Rc::from(name), f: Rc::new(f) };
+        self.systemdict
+            .borrow_mut()
+            .put_name(name, Object::ex(Value::Operator(op)));
+    }
+
+    /// Register an operator in an arbitrary dictionary (per-architecture
+    /// dictionaries use this).
+    pub fn register_in(
+        dict: &crate::object::DictRef,
+        name: &str,
+        f: impl Fn(&mut Interp) -> PsResult<()> + 'static,
+    ) {
+        let op = Operator { name: Rc::from(name), f: Rc::new(f) };
+        dict.borrow_mut().put_name(name, Object::ex(Value::Operator(op)));
+    }
+
+    // ----- execution -----
+
+    fn enter(&mut self) -> PsResult<()> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            self.depth -= 1;
+            return Err(PsError::runtime(ErrorKind::LimitCheck, "execution nesting too deep"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Fully execute an object: executable arrays run, executable names are
+    /// loaded and executed, executable strings are scanned and run,
+    /// executable files run token by token. Literal objects are pushed.
+    ///
+    /// # Errors
+    /// Propagates runtime errors and `exit`/`stop`/`quit` control transfers.
+    pub fn exec_object(&mut self, o: &Object) -> PsResult<()> {
+        if !o.exec {
+            self.stack.push(o.clone());
+            return Ok(());
+        }
+        match &o.val {
+            Value::Name(n) => {
+                let found = self.lookup(n)?;
+                self.enter()?;
+                let r = self.exec_object(&found);
+                self.leave();
+                r
+            }
+            Value::Operator(op) => {
+                let f = Rc::clone(&op.f);
+                self.enter()?;
+                let r = f(self);
+                self.leave();
+                r
+            }
+            Value::Array(a) => {
+                self.enter()?;
+                let r = self.run_proc_elements(&Rc::clone(a));
+                self.leave();
+                r
+            }
+            Value::String(s) => {
+                self.enter()?;
+                let r = self.run_scanner(&mut Scanner::from_str(Rc::clone(s)));
+                self.leave();
+                r
+            }
+            Value::File(f) => {
+                self.enter()?;
+                let r = self.run_file(&Rc::clone(f));
+                self.leave();
+                r
+            }
+            // Executable versions of other types behave like literals.
+            _ => {
+                self.stack.push(o.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// Execute a procedure body: nested procedures are *pushed*, everything
+    /// else executes. This is the rule that makes `{...}` inside a procedure
+    /// a deferred body rather than immediate execution.
+    fn run_proc_elements(&mut self, a: &crate::object::Arr) -> PsResult<()> {
+        let len = a.borrow().len();
+        for i in 0..len {
+            let el = a.borrow()[i].clone();
+            if el.is_proc() {
+                self.stack.push(el);
+            } else {
+                self.exec_object(&el)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Call an object the way `if`/`ifelse`/`for`/`exec` do: procedures run,
+    /// other executables execute, literals push.
+    pub fn call(&mut self, o: &Object) -> PsResult<()> {
+        if o.is_proc() {
+            let a = o.as_array().expect("is_proc checked");
+            self.enter()?;
+            let r = self.run_proc_elements(&a);
+            self.leave();
+            r
+        } else {
+            self.exec_object(o)
+        }
+    }
+
+    /// Run every token from a scanner. Procedure tokens are pushed; all
+    /// other tokens execute immediately.
+    pub fn run_scanner(&mut self, sc: &mut Scanner) -> PsResult<()> {
+        while let Some(tok) = sc.next_token()? {
+            self.run_token(&tok)?;
+        }
+        Ok(())
+    }
+
+    /// Execute one scanned token.
+    pub fn run_token(&mut self, tok: &Object) -> PsResult<()> {
+        if tok.is_proc() {
+            self.stack.push(tok.clone());
+            Ok(())
+        } else {
+            self.exec_object(tok)
+        }
+    }
+
+    /// Run tokens from a file object until end of stream (or an error /
+    /// `stop` propagates out). The file's position persists, so a later
+    /// execution resumes after the point where `stop` fired — exactly the
+    /// behaviour ldb needs on the expression-server pipe.
+    pub fn run_file(&mut self, f: &Rc<RefCell<PsFile>>) -> PsResult<()> {
+        loop {
+            let tok = f.borrow_mut().next_token()?;
+            match tok {
+                None => return Ok(()),
+                Some(t) => self.run_token(&t)?,
+            }
+        }
+    }
+
+    /// Scan and run a program given as text.
+    ///
+    /// # Errors
+    /// Syntax and runtime errors; `stop` outside `stopped` surfaces as
+    /// [`PsError::Stop`].
+    pub fn run_str(&mut self, program: &str) -> PsResult<()> {
+        self.run_scanner(&mut Scanner::from_str(program))
+    }
+
+    /// Run a program, catching errors the way `stopped` does. Returns
+    /// `Ok(true)` if the program stopped or errored, `Ok(false)` on success.
+    ///
+    /// # Errors
+    /// Only `quit` propagates.
+    pub fn run_stopped(&mut self, program: &str) -> PsResult<bool> {
+        match self.run_str(program) {
+            Ok(()) => Ok(false),
+            Err(PsError::Quit) => Err(PsError::Quit),
+            Err(PsError::Runtime(e)) => {
+                self.last_error = Some(e);
+                Ok(true)
+            }
+            Err(_) => Ok(true),
+        }
+    }
+
+    /// Write to the interpreter's output sink.
+    pub fn write_output(&mut self, s: &str) {
+        self.out.write_str(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_stack() {
+        let mut i = Interp::new();
+        i.run_str("1 2 add 3 mul").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 9);
+        assert_eq!(i.depth(), 0);
+    }
+
+    #[test]
+    fn def_and_lookup() {
+        let mut i = Interp::new();
+        i.run_str("/x 42 def x x add").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 84);
+    }
+
+    #[test]
+    fn procedures_defer() {
+        let mut i = Interp::new();
+        i.run_str("/double {2 mul} def 21 double").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 42);
+    }
+
+    #[test]
+    fn nested_procedures_push() {
+        let mut i = Interp::new();
+        i.run_str("/f {true {1} {2} ifelse} def f").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 1);
+    }
+
+    #[test]
+    fn executable_string_scans_on_demand() {
+        let mut i = Interp::new();
+        i.run_str("(3 4 add) cvx exec").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 7);
+    }
+
+    #[test]
+    fn undefined_name_errors() {
+        let mut i = Interp::new();
+        let e = i.run_str("no_such_name").unwrap_err();
+        assert!(matches!(e, PsError::Runtime(r) if r.kind == ErrorKind::Undefined));
+    }
+
+    #[test]
+    fn run_stopped_catches() {
+        let mut i = Interp::new();
+        assert!(!i.run_stopped("1 2 add").unwrap());
+        assert!(i.run_stopped("no_such_name").unwrap());
+        assert_eq!(i.last_error.as_ref().unwrap().kind, ErrorKind::Undefined);
+        assert!(i.run_stopped("stop").unwrap());
+    }
+
+    #[test]
+    fn recursion_limit_guards() {
+        let mut i = Interp::new();
+        let e = i.run_str("/f {f} def f").unwrap_err();
+        assert!(matches!(e, PsError::Runtime(r) if r.kind == ErrorKind::LimitCheck));
+    }
+
+    #[test]
+    fn recursive_postscript_fib() {
+        let mut i = Interp::new();
+        i.run_str("/fib {dup 2 lt {pop 1} {dup 1 sub fib exch 2 sub fib add} ifelse} def 10 fib")
+            .unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 89);
+    }
+
+    #[test]
+    fn dict_stack_rebinding_like_architectures() {
+        // Per-architecture dictionaries rebind machine-dependent names.
+        let mut i = Interp::new();
+        i.run_str("/Regset0 {(generic)} def").unwrap();
+        i.run_str("/mips 4 dict def mips /Regset0 {(mips r)} put").unwrap();
+        i.run_str("mips begin Regset0 end Regset0").unwrap();
+        assert_eq!(i.pop().unwrap().as_string().unwrap().as_ref(), "generic");
+        assert_eq!(i.pop().unwrap().as_string().unwrap().as_ref(), "mips r");
+    }
+
+    #[test]
+    fn file_execution_resumes_after_stop() {
+        use std::cell::RefCell;
+        let f = Rc::new(RefCell::new(PsFile::from_str("pipe", "1 stop 2 3")));
+        let mut i = Interp::new();
+        // First execution runs until `stop`.
+        let e = i.run_file(&f).unwrap_err();
+        assert_eq!(e, PsError::Stop);
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 1);
+        // Second execution resumes where we left off.
+        i.run_file(&f).unwrap();
+        assert_eq!(i.depth(), 2);
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 3);
+    }
+}

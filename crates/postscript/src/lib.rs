@@ -1,0 +1,44 @@
+//! An embedded PostScript dialect for debugging, after Ramsey & Hanson,
+//! *A Retargetable Debugger* (PLDI 1992), Sec. 2 and 5.
+//!
+//! The dialect omits fonts and imaging and adds types and operators for
+//! debugging. Deviations from Adobe PostScript follow the paper:
+//!
+//! * strings are immutable,
+//! * no `save`/`restore` (host garbage collection),
+//! * no substrings or subarrays,
+//! * interpreter errors surface as host-language errors ([`PsError`]),
+//!   caught by `stopped`,
+//! * files are plain token streams (the expression-server pipe is one).
+//!
+//! New types: **locations** ([`Location`]) and **host objects**
+//! ([`HostObject`]) through which the debugger hands abstract memories to
+//! PostScript code. New operators include location constructors
+//! (`Absolute`, `Immediate`, `Shifted`) and a prettyprinter interface
+//! (`Put`, `Break`, `Begin`, `End`) used by the value-printing procedures
+//! in symbol tables.
+//!
+//! # Examples
+//! ```
+//! use ldb_postscript::Interp;
+//!
+//! let mut ps = Interp::new();
+//! ps.run_str("/S10 << /name (i) /sourcey 6 >> def S10 /sourcey get").unwrap();
+//! assert_eq!(ps.pop().unwrap().as_int().unwrap(), 6);
+//! ```
+
+pub mod dict;
+pub mod error;
+pub mod file;
+pub mod interp;
+pub mod object;
+mod ops;
+pub mod pretty;
+pub mod scanner;
+
+pub use dict::{Dict, Key};
+pub use error::{ErrorKind, PsError, PsResult, RuntimeError};
+pub use file::PsFile;
+pub use interp::{Interp, Out};
+pub use object::{downcast_host, Arr, DictRef, HostObject, Location, Object, Operator, Value};
+pub use scanner::{CharSource, ReadSource, Scanner, StrSource};

@@ -1,0 +1,578 @@
+//! The PostScript object model.
+//!
+//! Every object carries a *literal/executable* attribute, exactly as in
+//! PostScript: "Every PostScript object has an attribute that tells
+//! explicitly whether the object is literal or executable; the distinction
+//! need not be inferred from context" (paper, Sec. 5). The dialect follows
+//! the paper's deviations from Adobe PostScript:
+//!
+//! * strings are **immutable** (no `put`/`putinterval` on strings),
+//! * there are no `save`/`restore` operators (the host GC reclaims memory),
+//! * there are no substrings or subarrays (`getinterval` is absent),
+//! * fonts and imaging types are absent,
+//! * new types support debugging: **locations** and **host objects**
+//!   (abstract memories, nub connections, prettyprinters).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::dict::Dict;
+use crate::error::{type_check, PsResult};
+use crate::file::PsFile;
+use crate::interp::Interp;
+
+/// A shared, mutable PostScript array.
+pub type Arr = Rc<RefCell<Vec<Object>>>;
+/// A shared, mutable PostScript dictionary.
+pub type DictRef = Rc<RefCell<Dict>>;
+
+/// The function implementing an operator.
+pub type OpFn = Rc<dyn Fn(&mut Interp) -> PsResult<()>>;
+
+/// A named operator. Built-in operators and host-registered closures (the
+/// debugging operators ldb adds, such as `Fetch32` or `LazyData`) share this
+/// representation.
+#[derive(Clone)]
+pub struct Operator {
+    /// The name under which the operator was registered.
+    pub name: Rc<str>,
+    /// The implementation.
+    pub f: OpFn,
+}
+
+impl fmt::Debug for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "--{}--", self.name)
+    }
+}
+
+impl PartialEq for Operator {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.f, &other.f)
+    }
+}
+
+/// Objects supplied by the embedding application (the debugger).
+///
+/// ldb registers abstract memories, target handles, and the prettyprinter as
+/// host objects; its debugging operators downcast via [`HostObject::as_any`].
+pub trait HostObject: fmt::Debug {
+    /// A short type tag, reported by the `type` operator as `/<tag>type`.
+    fn type_name(&self) -> &'static str;
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// An addressing mode plus coordinates: the dialect's machine-independent
+/// representation of "where a value lives" (paper, Sec. 4.1).
+///
+/// A location either names an offset within a *space* of an abstract memory
+/// (spaces are single letters: `d` data, `c` code, `r` registers, `f`
+/// floating-point registers, `x` extra registers), or holds an immediate
+/// value outright — fetches from immediate locations return the value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Location {
+    /// An absolute offset within a named space.
+    Addr {
+        /// The space letter.
+        space: char,
+        /// Byte offset (register spaces: register index).
+        offset: i64,
+    },
+    /// An immediate value; `Fetch*` returns it unchanged.
+    Immediate(Box<Object>),
+}
+
+impl Location {
+    /// The location `offset` bytes beyond `self`.
+    ///
+    /// # Errors
+    /// Returns a typecheck error when applied to an immediate location.
+    pub fn shifted(&self, delta: i64) -> PsResult<Location> {
+        match self {
+            Location::Addr { space, offset } => Ok(Location::Addr {
+                space: *space,
+                offset: offset.wrapping_add(delta),
+            }),
+            Location::Immediate(_) => Err(type_check("Shifted: immediate location")),
+        }
+    }
+}
+
+/// The value part of an object.
+#[derive(Clone)]
+pub enum Value {
+    /// The distinguished null value.
+    Null,
+    /// A stack mark, as pushed by `mark`, `[`, and `<<`.
+    Mark,
+    /// Booleans `true` / `false`.
+    Bool(bool),
+    /// Integers. The dialect uses 64-bit host integers; target values are
+    /// 8/16/32-bit and are widened on fetch.
+    Int(i64),
+    /// Reals.
+    Real(f64),
+    /// An immutable string.
+    String(Rc<str>),
+    /// An (interned-by-content) name.
+    Name(Rc<str>),
+    /// An array; procedures are arrays with the executable attribute.
+    Array(Arr),
+    /// A dictionary.
+    Dict(DictRef),
+    /// An operator.
+    Operator(Operator),
+    /// A token stream (the expression-server pipe is one of these).
+    File(Rc<RefCell<PsFile>>),
+    /// A location within an abstract memory.
+    Location(Location),
+    /// A host (debugger-supplied) object.
+    Host(Rc<dyn HostObject>),
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Mark => write!(f, "-mark-"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r:?}"),
+            Value::String(s) => write!(f, "({s})"),
+            Value::Name(n) => write!(f, "/{n}"),
+            Value::Array(a) => write!(f, "-array:{}-", a.borrow().len()),
+            Value::Dict(d) => write!(f, "-dict:{}-", d.borrow().len()),
+            Value::Operator(op) => write!(f, "{op:?}"),
+            Value::File(_) => write!(f, "-file-"),
+            Value::Location(l) => write!(f, "{l:?}"),
+            Value::Host(h) => write!(f, "-host:{}-", h.type_name()),
+        }
+    }
+}
+
+/// A PostScript object: a value plus the executable attribute.
+///
+/// Equality combines [`Object::ps_eq`] (the `eq` operator's rules) with the
+/// executable attribute; it exists mainly so [`Location`]s can be compared.
+#[derive(Clone, Debug)]
+pub struct Object {
+    /// The payload.
+    pub val: Value,
+    /// `true` when the object is executable (`cvx`), `false` when literal.
+    pub exec: bool,
+}
+
+impl PartialEq for Object {
+    fn eq(&self, other: &Self) -> bool {
+        self.exec == other.exec && self.ps_eq(other)
+    }
+}
+
+impl Object {
+    /// A literal object.
+    pub fn lit(val: Value) -> Self {
+        Object { val, exec: false }
+    }
+
+    /// An executable object.
+    pub fn ex(val: Value) -> Self {
+        Object { val, exec: true }
+    }
+
+    /// Literal integer.
+    pub fn int(i: i64) -> Self {
+        Object::lit(Value::Int(i))
+    }
+
+    /// Literal real.
+    pub fn real(r: f64) -> Self {
+        Object::lit(Value::Real(r))
+    }
+
+    /// Literal boolean.
+    pub fn bool(b: bool) -> Self {
+        Object::lit(Value::Bool(b))
+    }
+
+    /// Literal string.
+    pub fn string(s: impl Into<Rc<str>>) -> Self {
+        Object::lit(Value::String(s.into()))
+    }
+
+    /// Literal name (`/name`).
+    pub fn name(s: impl Into<Rc<str>>) -> Self {
+        Object::lit(Value::Name(s.into()))
+    }
+
+    /// Executable name (`name`).
+    pub fn exec_name(s: impl Into<Rc<str>>) -> Self {
+        Object::ex(Value::Name(s.into()))
+    }
+
+    /// Literal null.
+    pub fn null() -> Self {
+        Object::lit(Value::Null)
+    }
+
+    /// The mark object.
+    pub fn mark() -> Self {
+        Object::lit(Value::Mark)
+    }
+
+    /// A new literal array from a vector.
+    pub fn array(v: Vec<Object>) -> Self {
+        Object::lit(Value::Array(Rc::new(RefCell::new(v))))
+    }
+
+    /// A new procedure (executable array) from a vector.
+    pub fn proc(v: Vec<Object>) -> Self {
+        Object::ex(Value::Array(Rc::new(RefCell::new(v))))
+    }
+
+    /// A new literal dictionary object.
+    pub fn dict(d: Dict) -> Self {
+        Object::lit(Value::Dict(Rc::new(RefCell::new(d))))
+    }
+
+    /// A literal location.
+    pub fn location(l: Location) -> Self {
+        Object::lit(Value::Location(l))
+    }
+
+    /// A literal host object.
+    pub fn host(h: Rc<dyn HostObject>) -> Self {
+        Object::lit(Value::Host(h))
+    }
+
+    /// The `type` operator's name for this object.
+    pub fn type_name(&self) -> String {
+        match &self.val {
+            Value::Null => "nulltype".to_string(),
+            Value::Mark => "marktype".to_string(),
+            Value::Bool(_) => "booleantype".to_string(),
+            Value::Int(_) => "integertype".to_string(),
+            Value::Real(_) => "realtype".to_string(),
+            Value::String(_) => "stringtype".to_string(),
+            Value::Name(_) => "nametype".to_string(),
+            Value::Array(_) => "arraytype".to_string(),
+            Value::Dict(_) => "dicttype".to_string(),
+            Value::Operator(_) => "operatortype".to_string(),
+            Value::File(_) => "filetype".to_string(),
+            Value::Location(_) => "locationtype".to_string(),
+            Value::Host(h) => format!("{}type", h.type_name()),
+        }
+    }
+
+    /// Is this a procedure (executable array)?
+    pub fn is_proc(&self) -> bool {
+        self.exec && matches!(self.val, Value::Array(_))
+    }
+
+    /// Extract an integer operand.
+    ///
+    /// # Errors
+    /// Typecheck unless the value is an integer.
+    pub fn as_int(&self) -> PsResult<i64> {
+        match self.val {
+            Value::Int(i) => Ok(i),
+            _ => Err(type_check(format!("expected integer, got {:?}", self.val))),
+        }
+    }
+
+    /// Extract a numeric operand, widening integers to reals.
+    ///
+    /// # Errors
+    /// Typecheck unless the value is numeric.
+    pub fn as_real(&self) -> PsResult<f64> {
+        match self.val {
+            Value::Int(i) => Ok(i as f64),
+            Value::Real(r) => Ok(r),
+            _ => Err(type_check(format!("expected number, got {:?}", self.val))),
+        }
+    }
+
+    /// Extract a boolean operand.
+    ///
+    /// # Errors
+    /// Typecheck unless the value is a boolean.
+    pub fn as_bool(&self) -> PsResult<bool> {
+        match self.val {
+            Value::Bool(b) => Ok(b),
+            _ => Err(type_check(format!("expected boolean, got {:?}", self.val))),
+        }
+    }
+
+    /// Extract a string operand.
+    ///
+    /// # Errors
+    /// Typecheck unless the value is a string.
+    pub fn as_string(&self) -> PsResult<Rc<str>> {
+        match &self.val {
+            Value::String(s) => Ok(Rc::clone(s)),
+            _ => Err(type_check(format!("expected string, got {:?}", self.val))),
+        }
+    }
+
+    /// Extract a name operand.
+    ///
+    /// # Errors
+    /// Typecheck unless the value is a name.
+    pub fn as_name(&self) -> PsResult<Rc<str>> {
+        match &self.val {
+            Value::Name(n) => Ok(Rc::clone(n)),
+            _ => Err(type_check(format!("expected name, got {:?}", self.val))),
+        }
+    }
+
+    /// Extract an array operand.
+    ///
+    /// # Errors
+    /// Typecheck unless the value is an array.
+    pub fn as_array(&self) -> PsResult<Arr> {
+        match &self.val {
+            Value::Array(a) => Ok(Rc::clone(a)),
+            _ => Err(type_check(format!("expected array, got {:?}", self.val))),
+        }
+    }
+
+    /// Extract a dictionary operand.
+    ///
+    /// # Errors
+    /// Typecheck unless the value is a dictionary.
+    pub fn as_dict(&self) -> PsResult<DictRef> {
+        match &self.val {
+            Value::Dict(d) => Ok(Rc::clone(d)),
+            _ => Err(type_check(format!("expected dict, got {:?}", self.val))),
+        }
+    }
+
+    /// Extract a location operand.
+    ///
+    /// # Errors
+    /// Typecheck unless the value is a location.
+    pub fn as_location(&self) -> PsResult<Location> {
+        match &self.val {
+            Value::Location(l) => Ok(l.clone()),
+            _ => Err(type_check(format!("expected location, got {:?}", self.val))),
+        }
+    }
+
+    /// Extract a host object and downcast it to `T`.
+    ///
+    /// # Errors
+    /// Typecheck unless the value is a host object of dynamic type `T`.
+    pub fn as_host<T: 'static>(&self) -> PsResult<Rc<dyn HostObject>> {
+        match &self.val {
+            Value::Host(h) if h.as_any().is::<T>() => Ok(Rc::clone(h)),
+            Value::Host(h) => Err(type_check(format!(
+                "expected host object of a different kind, got {}",
+                h.type_name()
+            ))),
+            _ => Err(type_check(format!("expected host object, got {:?}", self.val))),
+        }
+    }
+
+    /// Structural equality as the `eq` operator defines it: numbers compare
+    /// by value across int/real, strings and names compare by content
+    /// (including with each other), composites compare by identity.
+    pub fn ps_eq(&self, other: &Object) -> bool {
+        use Value::*;
+        match (&self.val, &other.val) {
+            (Null, Null) | (Mark, Mark) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Real(a), Real(b)) => a == b,
+            (Int(a), Real(b)) | (Real(b), Int(a)) => (*a as f64) == *b,
+            (String(a), String(b)) => a == b,
+            (Name(a), Name(b)) => a == b,
+            (String(a), Name(b)) | (Name(a), String(b)) => a == b,
+            (Array(a), Array(b)) => Rc::ptr_eq(a, b),
+            (Dict(a), Dict(b)) => Rc::ptr_eq(a, b),
+            (Operator(a), Operator(b)) => a == b,
+            (File(a), File(b)) => Rc::ptr_eq(a, b),
+            (Location(a), Location(b)) => a == b,
+            (Host(a), Host(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Render the object the way `cvs` does (value only, no syntax).
+    pub fn to_text(&self) -> String {
+        match &self.val {
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Real(r) => format_real(*r),
+            Value::String(s) => s.to_string(),
+            Value::Name(n) => n.to_string(),
+            Value::Operator(op) => op.name.to_string(),
+            _ => "--nostringval--".to_string(),
+        }
+    }
+
+    /// Render the object the way `==` does (with syntax: `(str)`, `/name`,
+    /// `[...]`, `{...}`). Dictionaries print as `-dict:N-` as in most
+    /// interpreters; recursion is depth-limited.
+    pub fn to_syntactic(&self) -> String {
+        self.syntactic(4)
+    }
+
+    fn syntactic(&self, depth: usize) -> String {
+        match &self.val {
+            Value::String(s) => format!("({s})"),
+            Value::Name(n) => {
+                if self.exec {
+                    n.to_string()
+                } else {
+                    format!("/{n}")
+                }
+            }
+            Value::Array(a) => {
+                let (open, close) = if self.exec { ("{", "}") } else { ("[", "]") };
+                if depth == 0 {
+                    return format!("{open}...{close}");
+                }
+                let inner: Vec<String> =
+                    a.borrow().iter().map(|o| o.syntactic(depth - 1)).collect();
+                format!("{open}{}{close}", inner.join(" "))
+            }
+            Value::Null => "null".to_string(),
+            Value::Mark => "-mark-".to_string(),
+            Value::Dict(d) => format!("-dict:{}-", d.borrow().len()),
+            Value::Location(Location::Addr { space, offset }) => {
+                format!("<loc {space}:{offset}>")
+            }
+            Value::Location(Location::Immediate(v)) => {
+                format!("<imm {}>", v.syntactic(depth.saturating_sub(1)))
+            }
+            _ => self.to_text(),
+        }
+    }
+}
+
+/// Format a real the way PostScript writes them: always with a decimal
+/// point or exponent so it re-reads as a real.
+pub fn format_real(r: f64) -> String {
+    if r.is_nan() {
+        return "nan".to_string();
+    }
+    if r.is_infinite() {
+        return if r > 0.0 { "inf" } else { "-inf" }.to_string();
+    }
+    let s = format!("{r}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Convenience conversion for building operand-stack values from Rust.
+impl From<i64> for Object {
+    fn from(i: i64) -> Self {
+        Object::int(i)
+    }
+}
+impl From<f64> for Object {
+    fn from(r: f64) -> Self {
+        Object::real(r)
+    }
+}
+impl From<bool> for Object {
+    fn from(b: bool) -> Self {
+        Object::bool(b)
+    }
+}
+impl From<&str> for Object {
+    fn from(s: &str) -> Self {
+        Object::string(s)
+    }
+}
+impl From<Location> for Object {
+    fn from(l: Location) -> Self {
+        Object::location(l)
+    }
+}
+
+/// Helper: downcast a host object to a concrete type.
+///
+/// # Errors
+/// Typecheck when the dynamic type does not match.
+pub fn downcast_host<T: 'static>(h: &Rc<dyn HostObject>) -> PsResult<&T> {
+    h.as_any()
+        .downcast_ref::<T>()
+        .ok_or_else(|| type_check(format!("host object is {}, not the expected kind", h.type_name())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_executable() {
+        let n = Object::name("x");
+        assert!(!n.exec);
+        let e = Object::exec_name("x");
+        assert!(e.exec);
+        assert!(Object::proc(vec![]).is_proc());
+        assert!(!Object::array(vec![]).is_proc());
+    }
+
+    #[test]
+    fn ps_eq_numbers_cross_type() {
+        assert!(Object::int(3).ps_eq(&Object::real(3.0)));
+        assert!(!Object::int(3).ps_eq(&Object::real(3.5)));
+    }
+
+    #[test]
+    fn ps_eq_strings_and_names() {
+        assert!(Object::string("abc").ps_eq(&Object::name("abc")));
+        assert!(!Object::string("abc").ps_eq(&Object::name("abd")));
+    }
+
+    #[test]
+    fn ps_eq_composites_by_identity() {
+        let a = Object::array(vec![Object::int(1)]);
+        let b = Object::array(vec![Object::int(1)]);
+        assert!(a.ps_eq(&a.clone()));
+        assert!(!a.ps_eq(&b));
+    }
+
+    #[test]
+    fn location_shift() {
+        let l = Location::Addr { space: 'd', offset: 100 };
+        assert_eq!(l.shifted(8).unwrap(), Location::Addr { space: 'd', offset: 108 });
+        let imm = Location::Immediate(Box::new(Object::int(1)));
+        assert!(imm.shifted(4).is_err());
+    }
+
+    #[test]
+    fn syntactic_rendering() {
+        assert_eq!(Object::string("hi").to_syntactic(), "(hi)");
+        assert_eq!(Object::name("n").to_syntactic(), "/n");
+        assert_eq!(Object::exec_name("n").to_syntactic(), "n");
+        let p = Object::proc(vec![Object::int(1), Object::exec_name("add")]);
+        assert_eq!(p.to_syntactic(), "{1 add}");
+        let a = Object::array(vec![Object::int(1), Object::int(2)]);
+        assert_eq!(a.to_syntactic(), "[1 2]");
+    }
+
+    #[test]
+    fn real_formatting_roundtrips_as_real() {
+        assert_eq!(format_real(1.0), "1.0");
+        assert_eq!(format_real(1.5), "1.5");
+        assert_eq!(format_real(-0.25), "-0.25");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Object::int(1).type_name(), "integertype");
+        assert_eq!(Object::mark().type_name(), "marktype");
+        assert_eq!(
+            Object::location(Location::Addr { space: 'r', offset: 30 }).type_name(),
+            "locationtype"
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Arithmetic, bit/boolean, and relational operators.
+
+use crate::error::{range_check, type_check, undefined_result, PsResult};
+use crate::interp::Interp;
+use crate::object::{Object, Value};
+
+/// Pop two numeric operands `(a, b)` with `b` on top.
+fn num2(i: &mut Interp) -> PsResult<(Object, Object)> {
+    let b = i.pop()?;
+    let a = i.pop()?;
+    Ok((a, b))
+}
+
+fn both_int(a: &Object, b: &Object) -> bool {
+    matches!((&a.val, &b.val), (Value::Int(_), Value::Int(_)))
+}
+
+/// int op int stays int unless it overflows (then widen to real, as
+/// PostScript does); anything else is real arithmetic.
+fn arith(
+    i: &mut Interp,
+    int_op: fn(i64, i64) -> Option<i64>,
+    real_op: fn(f64, f64) -> f64,
+) -> PsResult<()> {
+    let (a, b) = num2(i)?;
+    if both_int(&a, &b) {
+        let (x, y) = (a.as_int()?, b.as_int()?);
+        match int_op(x, y) {
+            Some(v) => i.push(v),
+            None => i.push(real_op(x as f64, y as f64)),
+        }
+    } else {
+        i.push(real_op(a.as_real()?, b.as_real()?));
+    }
+    Ok(())
+}
+
+fn unary_real(i: &mut Interp, f: fn(f64) -> f64) -> PsResult<()> {
+    let a = i.pop()?.as_real()?;
+    i.push(f(a));
+    Ok(())
+}
+
+/// Round-to-integer family: int operands pass through unchanged.
+fn rounding(i: &mut Interp, f: fn(f64) -> f64) -> PsResult<()> {
+    let a = i.pop()?;
+    match a.val {
+        Value::Int(_) => i.push(a),
+        Value::Real(r) => i.push(f(r)),
+        _ => return Err(type_check("expected number")),
+    }
+    Ok(())
+}
+
+pub(crate) fn register(i: &mut Interp) {
+    i.register("add", |i| arith(i, i64::checked_add, |a, b| a + b));
+    i.register("sub", |i| arith(i, i64::checked_sub, |a, b| a - b));
+    i.register("mul", |i| arith(i, i64::checked_mul, |a, b| a * b));
+    i.register("div", |i| {
+        let (a, b) = num2(i)?;
+        let (x, y) = (a.as_real()?, b.as_real()?);
+        if y == 0.0 {
+            return Err(undefined_result("div: division by zero"));
+        }
+        i.push(x / y);
+        Ok(())
+    });
+    i.register("idiv", |i| {
+        let (a, b) = num2(i)?;
+        let (x, y) = (a.as_int()?, b.as_int()?);
+        if y == 0 {
+            return Err(undefined_result("idiv: division by zero"));
+        }
+        i.push(x.wrapping_div(y));
+        Ok(())
+    });
+    i.register("mod", |i| {
+        let (a, b) = num2(i)?;
+        let (x, y) = (a.as_int()?, b.as_int()?);
+        if y == 0 {
+            return Err(undefined_result("mod: division by zero"));
+        }
+        i.push(x.wrapping_rem(y));
+        Ok(())
+    });
+    i.register("neg", |i| {
+        let a = i.pop()?;
+        match a.val {
+            Value::Int(v) => i.push(v.checked_neg().map(Object::int).unwrap_or(Object::real(-(v as f64)))),
+            Value::Real(r) => i.push(-r),
+            _ => return Err(type_check("neg: expected number")),
+        }
+        Ok(())
+    });
+    i.register("abs", |i| {
+        let a = i.pop()?;
+        match a.val {
+            Value::Int(v) => {
+                i.push(v.checked_abs().map(Object::int).unwrap_or(Object::real((v as f64).abs())))
+            }
+            Value::Real(r) => i.push(r.abs()),
+            _ => return Err(type_check("abs: expected number")),
+        }
+        Ok(())
+    });
+    i.register("ceiling", |i| rounding(i, f64::ceil));
+    i.register("floor", |i| rounding(i, f64::floor));
+    i.register("round", |i| rounding(i, f64::round));
+    i.register("truncate", |i| rounding(i, f64::trunc));
+    i.register("sqrt", |i| {
+        let a = i.pop()?.as_real()?;
+        if a < 0.0 {
+            return Err(range_check("sqrt: negative"));
+        }
+        i.push(a.sqrt());
+        Ok(())
+    });
+    i.register("exp", |i| {
+        let (a, b) = num2(i)?;
+        i.push(a.as_real()?.powf(b.as_real()?));
+        Ok(())
+    });
+    i.register("ln", |i| unary_real(i, f64::ln));
+    i.register("log", |i| unary_real(i, f64::log10));
+    i.register("sin", |i| unary_real(i, |d| d.to_radians().sin()));
+    i.register("cos", |i| unary_real(i, |d| d.to_radians().cos()));
+    i.register("atan", |i| {
+        let (a, b) = num2(i)?;
+        let mut deg = a.as_real()?.atan2(b.as_real()?).to_degrees();
+        if deg < 0.0 {
+            deg += 360.0;
+        }
+        i.push(deg);
+        Ok(())
+    });
+
+    // --- boolean / bitwise (polymorphic over bool and int, as in PostScript) ---
+    i.register("and", |i| bitbool(i, |a, b| a & b, |a, b| a && b));
+    i.register("or", |i| bitbool(i, |a, b| a | b, |a, b| a || b));
+    i.register("xor", |i| bitbool(i, |a, b| a ^ b, |a, b| a ^ b));
+    i.register("not", |i| {
+        let a = i.pop()?;
+        match a.val {
+            Value::Bool(b) => i.push(!b),
+            Value::Int(v) => i.push(!v),
+            _ => return Err(type_check("not: expected bool or int")),
+        }
+        Ok(())
+    });
+    i.register("bitshift", |i| {
+        let (a, b) = num2(i)?;
+        let (x, s) = (a.as_int()?, b.as_int()?);
+        let v = if s >= 64 || s <= -64 {
+            0
+        } else if s >= 0 {
+            ((x as u64) << s) as i64
+        } else {
+            ((x as u64) >> (-s)) as i64
+        };
+        i.push(v);
+        Ok(())
+    });
+
+    // --- relational ---
+    i.register("eq", |i| {
+        let (a, b) = num2(i)?;
+        let r = a.ps_eq(&b);
+        i.push(r);
+        Ok(())
+    });
+    i.register("ne", |i| {
+        let (a, b) = num2(i)?;
+        let r = !a.ps_eq(&b);
+        i.push(r);
+        Ok(())
+    });
+    i.register("gt", |i| compare(i, |o| o == std::cmp::Ordering::Greater));
+    i.register("ge", |i| compare(i, |o| o != std::cmp::Ordering::Less));
+    i.register("lt", |i| compare(i, |o| o == std::cmp::Ordering::Less));
+    i.register("le", |i| compare(i, |o| o != std::cmp::Ordering::Greater));
+
+    i.register("true", |i| {
+        i.push(true);
+        Ok(())
+    });
+    i.register("false", |i| {
+        i.push(false);
+        Ok(())
+    });
+    i.register("null", |i| {
+        i.push(Object::null());
+        Ok(())
+    });
+}
+
+fn bitbool(i: &mut Interp, fi: fn(i64, i64) -> i64, fb: fn(bool, bool) -> bool) -> PsResult<()> {
+    let (a, b) = num2(i)?;
+    match (&a.val, &b.val) {
+        (Value::Int(x), Value::Int(y)) => i.push(fi(*x, *y)),
+        (Value::Bool(x), Value::Bool(y)) => i.push(fb(*x, *y)),
+        _ => return Err(type_check("logical op: expected two ints or two bools")),
+    }
+    Ok(())
+}
+
+fn compare(i: &mut Interp, pred: fn(std::cmp::Ordering) -> bool) -> PsResult<()> {
+    let b = i.pop()?;
+    let a = i.pop()?;
+    let ord = match (&a.val, &b.val) {
+        (Value::String(x), Value::String(y)) => x.as_ref().cmp(y.as_ref()),
+        _ => {
+            let (x, y) = (a.as_real()?, b.as_real()?);
+            x.partial_cmp(&y).ok_or_else(|| range_check("comparison of NaN"))?
+        }
+    };
+    i.push(pred(ord));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+    use crate::object::Value;
+
+    fn top(src: &str) -> crate::object::Object {
+        let mut i = Interp::new();
+        i.run_str(src).unwrap();
+        i.pop().unwrap()
+    }
+
+    #[test]
+    fn int_arithmetic() {
+        assert_eq!(top("7 3 sub").as_int().unwrap(), 4);
+        assert_eq!(top("7 3 idiv").as_int().unwrap(), 2);
+        assert_eq!(top("-7 3 idiv").as_int().unwrap(), -2);
+        assert_eq!(top("7 3 mod").as_int().unwrap(), 1);
+        assert_eq!(top("-7 3 mod").as_int().unwrap(), -1);
+    }
+
+    #[test]
+    fn div_is_always_real() {
+        assert_eq!(top("7 2 div").as_real().unwrap(), 3.5);
+        assert_eq!(top("6 2 div").as_real().unwrap(), 3.0);
+        assert!(matches!(top("6 2 div").val, Value::Real(_)));
+    }
+
+    #[test]
+    fn overflow_widens_to_real() {
+        let v = top("9223372036854775807 1 add");
+        assert!(matches!(v.val, Value::Real(_)));
+    }
+
+    #[test]
+    fn mixed_arithmetic_is_real() {
+        assert_eq!(top("1 2.5 add").as_real().unwrap(), 3.5);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let mut i = Interp::new();
+        assert!(i.run_str("1 0 div").is_err());
+        assert!(i.run_str("1 0 idiv").is_err());
+        assert!(i.run_str("1 0 mod").is_err());
+    }
+
+    #[test]
+    fn rounding_family() {
+        assert_eq!(top("3.2 ceiling").as_real().unwrap(), 4.0);
+        assert_eq!(top("3.8 floor").as_real().unwrap(), 3.0);
+        assert_eq!(top("-3.5 truncate").as_real().unwrap(), -3.0);
+        assert_eq!(top("5 round").as_int().unwrap(), 5);
+    }
+
+    #[test]
+    fn transcendental() {
+        assert!((top("2 ln").as_real().unwrap() - 2f64.ln()).abs() < 1e-12);
+        assert!((top("100 log").as_real().unwrap() - 2.0).abs() < 1e-12);
+        assert!((top("2 10 exp").as_real().unwrap() - 1024.0).abs() < 1e-9);
+        assert!((top("90 sin").as_real().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bool_and_bit_ops() {
+        assert!(top("true false or").as_bool().unwrap());
+        assert!(!top("true false and").as_bool().unwrap());
+        assert!(top("true false xor").as_bool().unwrap());
+        assert_eq!(top("12 10 and").as_int().unwrap(), 8);
+        assert_eq!(top("12 10 or").as_int().unwrap(), 14);
+        assert_eq!(top("1 not").as_int().unwrap(), -2);
+        assert_eq!(top("1 4 bitshift").as_int().unwrap(), 16);
+        assert_eq!(top("16 -4 bitshift").as_int().unwrap(), 1);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(top("1 2 lt").as_bool().unwrap());
+        assert!(top("2 2 le").as_bool().unwrap());
+        assert!(top("3 2 gt").as_bool().unwrap());
+        assert!(top("(abc) (abd) lt").as_bool().unwrap());
+        assert!(top("1 1.0 eq").as_bool().unwrap());
+        assert!(top("(a) (b) ne").as_bool().unwrap());
+    }
+}

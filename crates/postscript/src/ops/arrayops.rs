@@ -1,0 +1,93 @@
+//! Array operators. There are deliberately no subarray operators
+//! (`getinterval`/`putinterval`): the dialect omits them (paper, Sec. 5).
+
+use crate::error::range_check;
+use crate::interp::Interp;
+use crate::object::Object;
+
+pub(crate) fn register(i: &mut Interp) {
+    i.register("array", |i| {
+        let n = i.pop()?.as_int()?;
+        if n < 0 {
+            return Err(range_check("array: negative length"));
+        }
+        i.push(Object::array(vec![Object::null(); n as usize]));
+        Ok(())
+    });
+    i.register("[", |i| {
+        i.push(Object::mark());
+        Ok(())
+    });
+    i.register("]", |i| {
+        let n = i.count_to_mark()?;
+        let items = i.popn(n)?;
+        i.pop()?; // the mark
+        i.push(Object::array(items));
+        Ok(())
+    });
+    i.register("aload", |i| {
+        let o = i.pop()?;
+        let a = o.as_array()?;
+        let items: Vec<Object> = a.borrow().clone();
+        for it in items {
+            i.push(it);
+        }
+        i.push(o);
+        Ok(())
+    });
+    i.register("astore", |i| {
+        let o = i.pop()?;
+        let a = o.as_array()?;
+        let n = a.borrow().len();
+        let items = i.popn(n)?;
+        *a.borrow_mut() = items;
+        i.push(o);
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    #[test]
+    fn literal_array_and_aload() {
+        let mut i = Interp::new();
+        i.run_str("[10 20 30] aload pop add add").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 60);
+    }
+
+    #[test]
+    fn array_of_nulls() {
+        let mut i = Interp::new();
+        i.run_str("2 array 0 get").unwrap();
+        assert!(matches!(i.pop().unwrap().val, crate::object::Value::Null));
+    }
+
+    #[test]
+    fn astore_fills_from_stack() {
+        let mut i = Interp::new();
+        i.run_str("1 2 3 3 array astore 1 get").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 2);
+    }
+
+    #[test]
+    fn nested_array_literals() {
+        let mut i = Interp::new();
+        i.run_str("[[1 2] [3 4]] 1 get 0 get").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 3);
+    }
+
+    #[test]
+    fn procs_inside_array_literal_stay_procs() {
+        let mut i = Interp::new();
+        i.run_str("[{1 add} {2 add}] 1 get 10 exch exec").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 12);
+    }
+
+    #[test]
+    fn unmatched_bracket_errors() {
+        let mut i = Interp::new();
+        assert!(i.run_str("1 2 ]").is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Control operators: `exec`, conditionals, loops, and the `stop`/`stopped`
+//! pair that ldb uses to interpret the expression-server pipe "until told to
+//! stop".
+
+use crate::error::{range_check, type_check, PsError};
+use crate::interp::Interp;
+use crate::object::Value;
+
+pub(crate) fn register(i: &mut Interp) {
+    i.register("exec", |i| {
+        let o = i.pop()?;
+        i.call(&o)
+    });
+    i.register("if", |i| {
+        let proc = i.pop()?;
+        let cond = i.pop()?.as_bool()?;
+        if cond {
+            i.call(&proc)?;
+        }
+        Ok(())
+    });
+    i.register("ifelse", |i| {
+        let pelse = i.pop()?;
+        let pthen = i.pop()?;
+        let cond = i.pop()?.as_bool()?;
+        i.call(if cond { &pthen } else { &pelse })
+    });
+    i.register("repeat", |i| {
+        let proc = i.pop()?;
+        let n = i.pop()?.as_int()?;
+        if n < 0 {
+            return Err(range_check("repeat: negative count"));
+        }
+        for _ in 0..n {
+            match i.call(&proc) {
+                Err(PsError::Exit) => break,
+                r => r?,
+            }
+        }
+        Ok(())
+    });
+    i.register("loop", |i| {
+        let proc = i.pop()?;
+        loop {
+            match i.call(&proc) {
+                Err(PsError::Exit) => break,
+                r => r?,
+            }
+        }
+        Ok(())
+    });
+    i.register("for", |i| {
+        let proc = i.pop()?;
+        let limit = i.pop()?;
+        let incr = i.pop()?;
+        let init = i.pop()?;
+        let int_mode = matches!(
+            (&init.val, &incr.val, &limit.val),
+            (Value::Int(_), Value::Int(_), Value::Int(_))
+        );
+        if int_mode {
+            let (mut v, step, lim) = (init.as_int()?, incr.as_int()?, limit.as_int()?);
+            if step == 0 {
+                return Err(range_check("for: zero increment"));
+            }
+            while (step > 0 && v <= lim) || (step < 0 && v >= lim) {
+                i.push(v);
+                match i.call(&proc) {
+                    Err(PsError::Exit) => break,
+                    r => r?,
+                }
+                v += step;
+            }
+        } else {
+            let (mut v, step, lim) = (init.as_real()?, incr.as_real()?, limit.as_real()?);
+            if step == 0.0 {
+                return Err(range_check("for: zero increment"));
+            }
+            while (step > 0.0 && v <= lim) || (step < 0.0 && v >= lim) {
+                i.push(v);
+                match i.call(&proc) {
+                    Err(PsError::Exit) => break,
+                    r => r?,
+                }
+                v += step;
+            }
+        }
+        Ok(())
+    });
+    i.register("forall", |i| {
+        let proc = i.pop()?;
+        let coll = i.pop()?;
+        match &coll.val {
+            Value::Array(a) => {
+                let len = a.borrow().len();
+                for idx in 0..len {
+                    let el = a.borrow().get(idx).cloned();
+                    let el = match el {
+                        Some(e) => e,
+                        None => break, // array shrank during iteration
+                    };
+                    i.push(el);
+                    match i.call(&proc) {
+                        Err(PsError::Exit) => break,
+                        r => r?,
+                    }
+                }
+                Ok(())
+            }
+            Value::Dict(d) => {
+                let pairs: Vec<_> =
+                    d.borrow().iter().map(|(k, v)| (k.to_object(), v.clone())).collect();
+                for (k, v) in pairs {
+                    i.push(k);
+                    i.push(v);
+                    match i.call(&proc) {
+                        Err(PsError::Exit) => break,
+                        r => r?,
+                    }
+                }
+                Ok(())
+            }
+            Value::String(s) => {
+                for b in s.bytes() {
+                    i.push(b as i64);
+                    match i.call(&proc) {
+                        Err(PsError::Exit) => break,
+                        r => r?,
+                    }
+                }
+                Ok(())
+            }
+            other => Err(type_check(format!("forall: {other:?}"))),
+        }
+    });
+    i.register("exit", |_| Err(PsError::Exit));
+    i.register("stop", |_| Err(PsError::Stop));
+    i.register("quit", |_| Err(PsError::Quit));
+    i.register("stopped", |i| {
+        let o = i.pop()?;
+        match i.call(&o) {
+            Ok(()) => {
+                i.push(false);
+                Ok(())
+            }
+            Err(PsError::Quit) => Err(PsError::Quit),
+            Err(PsError::Exit) => Err(PsError::Exit),
+            Err(PsError::Stop) => {
+                i.push(true);
+                Ok(())
+            }
+            Err(PsError::Runtime(e)) => {
+                i.last_error = Some(e);
+                i.push(true);
+                Ok(())
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn top_int(src: &str) -> i64 {
+        let mut i = Interp::new();
+        i.run_str(src).unwrap();
+        i.pop().unwrap().as_int().unwrap()
+    }
+
+    #[test]
+    fn if_and_ifelse() {
+        assert_eq!(top_int("0 true {1 add} if"), 1);
+        assert_eq!(top_int("0 false {1 add} if"), 0);
+        assert_eq!(top_int("false {1} {2} ifelse"), 2);
+    }
+
+    #[test]
+    fn for_counts_up_and_down() {
+        assert_eq!(top_int("0 1 1 10 {add} for"), 55);
+        assert_eq!(top_int("0 10 -1 1 {add} for"), 55);
+        assert_eq!(top_int("0 0 2 6 {add} for"), 12); // 0+2+4+6
+    }
+
+    #[test]
+    fn for_with_reals() {
+        let mut i = Interp::new();
+        i.run_str("0.0 0.0 0.5 1.0 {add} for").unwrap();
+        assert_eq!(i.pop().unwrap().as_real().unwrap(), 1.5);
+    }
+
+    #[test]
+    fn repeat_and_loop_exit() {
+        assert_eq!(top_int("0 5 {1 add} repeat"), 5);
+        assert_eq!(top_int("0 {1 add dup 7 ge {exit} if} loop"), 7);
+    }
+
+    #[test]
+    fn exit_breaks_for() {
+        // The paper's ARRAY printer uses exactly this shape for its
+        // ellipsis limit.
+        assert_eq!(top_int("0 1 1 100 {dup 5 ge {pop exit} if add} for"), 10);
+    }
+
+    #[test]
+    fn forall_array_dict_string() {
+        assert_eq!(top_int("0 [1 2 3] {add} forall"), 6);
+        assert_eq!(top_int("0 << /a 1 /b 2 >> {exch pop add} forall"), 3);
+        assert_eq!(top_int("0 (AB) {add} forall"), 131); // 65+66
+    }
+
+    #[test]
+    fn stopped_catches_stop_and_errors() {
+        let mut i = Interp::new();
+        i.run_str("{stop} stopped").unwrap();
+        assert!(i.pop().unwrap().as_bool().unwrap());
+        i.run_str("{no_such} stopped").unwrap();
+        assert!(i.pop().unwrap().as_bool().unwrap());
+        i.run_str("{42} stopped").unwrap();
+        assert!(!i.pop().unwrap().as_bool().unwrap());
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 42);
+    }
+
+    #[test]
+    fn exit_propagates_through_stopped() {
+        // `exit` is control flow, not an error; it unwinds past stopped to
+        // the enclosing loop.
+        assert_eq!(top_int("0 {1 add {exit} stopped pop} loop"), 1);
+    }
+
+    #[test]
+    fn exec_runs_procs_and_pushes_literals() {
+        assert_eq!(top_int("{1 2 add} exec"), 3);
+        assert_eq!(top_int("42 exec"), 42);
+    }
+}

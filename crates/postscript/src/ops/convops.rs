@@ -1,0 +1,191 @@
+//! Type conversion and inspection operators, including `cvx` — the key to
+//! both deferred lexing (executable strings) and the literal/executable
+//! machinery the paper highlights.
+
+use std::rc::Rc;
+
+use crate::error::{range_check, type_check};
+use crate::interp::Interp;
+use crate::object::{Object, Value};
+
+pub(crate) fn register(i: &mut Interp) {
+    i.register("cvx", |i| {
+        let mut o = i.pop()?;
+        o.exec = true;
+        i.push(o);
+        Ok(())
+    });
+    i.register("cvlit", |i| {
+        let mut o = i.pop()?;
+        o.exec = false;
+        i.push(o);
+        Ok(())
+    });
+    i.register("xcheck", |i| {
+        let o = i.pop()?;
+        i.push(o.exec);
+        Ok(())
+    });
+    i.register("type", |i| {
+        let o = i.pop()?;
+        i.push(Object::name(o.type_name()));
+        Ok(())
+    });
+    i.register("cvi", |i| {
+        let o = i.pop()?;
+        let v = match &o.val {
+            Value::Int(x) => *x,
+            Value::Real(r) => {
+                if !r.is_finite() || r.abs() >= i64::MAX as f64 {
+                    return Err(range_check("cvi: out of range"));
+                }
+                r.trunc() as i64
+            }
+            Value::String(s) => match crate::scanner::parse_number(s.trim()) {
+                Some(n) => match n.val {
+                    Value::Int(x) => x,
+                    Value::Real(r) => r.trunc() as i64,
+                    _ => return Err(type_check("cvi: not a number")),
+                },
+                None => return Err(type_check(format!("cvi: ({s})"))),
+            },
+            other => return Err(type_check(format!("cvi: {other:?}"))),
+        };
+        i.push(v);
+        Ok(())
+    });
+    i.register("cvr", |i| {
+        let o = i.pop()?;
+        let v = match &o.val {
+            Value::Int(x) => *x as f64,
+            Value::Real(r) => *r,
+            Value::String(s) => match crate::scanner::parse_number(s.trim()) {
+                Some(n) => n.as_real()?,
+                None => return Err(type_check(format!("cvr: ({s})"))),
+            },
+            other => return Err(type_check(format!("cvr: {other:?}"))),
+        };
+        i.push(v);
+        Ok(())
+    });
+    i.register("cvn", |i| {
+        let o = i.pop()?;
+        let s = o.as_string()?;
+        let mut n = Object::lit(Value::Name(Rc::clone(&s)));
+        n.exec = o.exec;
+        i.push(n);
+        Ok(())
+    });
+    // In this dialect strings are immutable, so `cvs` takes no buffer
+    // operand: it simply produces a fresh string (documented deviation).
+    i.register("cvs", |i| {
+        let o = i.pop()?;
+        i.push(Object::string(o.to_text()));
+        Ok(())
+    });
+    i.register("bind", |i| {
+        let o = i.pop()?;
+        if let Ok(a) = o.as_array() {
+            bind_body(i, &a);
+        }
+        i.push(o);
+        Ok(())
+    });
+    i.register("noop", |_| Ok(()));
+    i.register("version", |i| {
+        i.push(Object::string("ldb-dialect-1.0"));
+        Ok(())
+    });
+}
+
+/// Replace executable names currently bound to operators with the operators
+/// themselves; recurse into nested procedures.
+fn bind_body(i: &Interp, a: &crate::object::Arr) {
+    let len = a.borrow().len();
+    for idx in 0..len {
+        let el = a.borrow()[idx].clone();
+        if el.is_proc() {
+            if let Ok(inner) = el.as_array() {
+                bind_body(i, &inner);
+            }
+        } else if el.exec {
+            if let Value::Name(n) = &el.val {
+                if let Ok(found) = i.lookup(n) {
+                    if matches!(found.val, Value::Operator(_)) {
+                        a.borrow_mut()[idx] = found;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+    use crate::object::Value;
+
+    fn top(src: &str) -> crate::object::Object {
+        let mut i = Interp::new();
+        i.run_str(src).unwrap();
+        i.pop().unwrap()
+    }
+
+    #[test]
+    fn cvx_makes_strings_executable() {
+        assert_eq!(top("(1 2 add) cvx exec").as_int().unwrap(), 3);
+    }
+
+    #[test]
+    fn cvx_cvlit_roundtrip() {
+        assert!(top("/x cvx xcheck").as_bool().unwrap());
+        assert!(!top("/x cvx cvlit xcheck").as_bool().unwrap());
+    }
+
+    #[test]
+    fn cvi_and_cvr() {
+        assert_eq!(top("3.9 cvi").as_int().unwrap(), 3);
+        assert_eq!(top("-3.9 cvi").as_int().unwrap(), -3);
+        assert_eq!(top("(42) cvi").as_int().unwrap(), 42);
+        assert_eq!(top("(16#ff) cvi").as_int().unwrap(), 255);
+        assert_eq!(top("7 cvr").as_real().unwrap(), 7.0);
+        assert_eq!(top("(2.5) cvr").as_real().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn cvn_preserves_exec_attr() {
+        assert!(matches!(top("(abc) cvn").val, Value::Name(_)));
+        assert!(top("(abc) cvx cvn xcheck").as_bool().unwrap());
+    }
+
+    #[test]
+    fn cvs_renders_values() {
+        assert_eq!(top("42 cvs").as_string().unwrap().as_ref(), "42");
+        assert_eq!(top("true cvs").as_string().unwrap().as_ref(), "true");
+        assert_eq!(top("/nm cvs").as_string().unwrap().as_ref(), "nm");
+        assert_eq!(top("1.5 cvs").as_string().unwrap().as_ref(), "1.5");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(top("1 type").as_name().unwrap().as_ref(), "integertype");
+        assert_eq!(top("(x) type").as_name().unwrap().as_ref(), "stringtype");
+        assert_eq!(top("{1} type").as_name().unwrap().as_ref(), "arraytype");
+    }
+
+    #[test]
+    fn bind_replaces_operator_names() {
+        let mut i = Interp::new();
+        i.run_str("/p {1 2 add {3 mul} exec} bind def").unwrap();
+        // Rebinding add later does not affect the bound procedure.
+        i.run_str("/add {sub} def p").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 9);
+    }
+
+    #[test]
+    fn cvi_errors() {
+        let mut i = Interp::new();
+        assert!(i.run_str("(zz) cvi").is_err());
+        assert!(i.run_str("[1] cvi").is_err());
+    }
+}

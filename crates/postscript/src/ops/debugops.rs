@@ -1,0 +1,116 @@
+//! Machine-independent debugging operators: location construction.
+//!
+//! Symbol tables compute `where` values with these, e.g. `30 Regset0
+//! Absolute` for a register, where `Regset0` is *machine-dependent*
+//! PostScript installed per architecture (it maps a register-set index to
+//! the architecture's space letter). The machine-dependent operators that
+//! touch target state (`Fetch32`, `Store32`, `LazyData`, ...) are
+//! registered by the debugger, not here, because they need a target.
+
+use crate::error::{range_check, type_check, PsResult};
+use crate::interp::Interp;
+use crate::object::{Location, Object, Value};
+
+pub(crate) fn register(i: &mut Interp) {
+    // space-name offset Absolute -> location
+    i.register("Absolute", |i| {
+        let offset = i.pop()?.as_int()?;
+        let space = i.pop()?;
+        let space = space_letter(&space)?;
+        i.push(Object::location(Location::Addr { space, offset }));
+        Ok(())
+    });
+    // value Immediate -> location
+    i.register("Immediate", |i| {
+        let v = i.pop()?;
+        i.push(Object::location(Location::Immediate(Box::new(v))));
+        Ok(())
+    });
+    // location delta Shifted -> location
+    i.register("Shifted", |i| {
+        let delta = i.pop()?.as_int()?;
+        let loc = i.pop()?.as_location()?;
+        i.push(Object::location(loc.shifted(delta)?));
+        Ok(())
+    });
+    // location LocOffset -> int
+    i.register("LocOffset", |i| {
+        let loc = i.pop()?.as_location()?;
+        match loc {
+            Location::Addr { offset, .. } => i.push(offset),
+            Location::Immediate(_) => return Err(type_check("LocOffset: immediate")),
+        }
+        Ok(())
+    });
+    // location LocSpace -> name
+    i.register("LocSpace", |i| {
+        let loc = i.pop()?.as_location()?;
+        match loc {
+            Location::Addr { space, .. } => i.push(Object::name(space.to_string())),
+            Location::Immediate(_) => return Err(type_check("LocSpace: immediate")),
+        }
+        Ok(())
+    });
+}
+
+/// Interpret an operand as a space letter: a one-character name or string.
+fn space_letter(o: &Object) -> PsResult<char> {
+    let s = match &o.val {
+        Value::Name(n) => n.as_ref(),
+        Value::String(s) => s.as_ref(),
+        other => return Err(type_check(format!("space: {other:?}"))),
+    };
+    let mut chars = s.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) => Ok(c),
+        _ => Err(range_check(format!("space must be one letter, got ({s})"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+    use crate::object::Location;
+
+    #[test]
+    fn absolute_builds_location() {
+        let mut i = Interp::new();
+        // The paper's MIPS Regset0 maps to the r space.
+        i.run_str("/Regset0 {/r exch} def 30 Regset0 Absolute").unwrap();
+        let loc = i.pop().unwrap().as_location().unwrap();
+        assert_eq!(loc, Location::Addr { space: 'r', offset: 30 });
+    }
+
+    #[test]
+    fn shifted_moves_offset() {
+        let mut i = Interp::new();
+        i.run_str("/d 100 Absolute 8 Shifted LocOffset").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 108);
+    }
+
+    #[test]
+    fn immediate_location_roundtrip() {
+        let mut i = Interp::new();
+        i.run_str("42 Immediate").unwrap();
+        let loc = i.pop().unwrap().as_location().unwrap();
+        match loc {
+            Location::Immediate(v) => assert_eq!(v.as_int().unwrap(), 42),
+            other => panic!("expected immediate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn space_accessor() {
+        let mut i = Interp::new();
+        i.run_str("/x 2 Absolute LocSpace").unwrap();
+        assert_eq!(i.pop().unwrap().as_name().unwrap().as_ref(), "x");
+    }
+
+    #[test]
+    fn bad_space_errors() {
+        let mut i = Interp::new();
+        assert!(i.run_str("/toolong 0 Absolute").is_err());
+        assert!(i.run_str("3 0 Absolute").is_err());
+        assert!(i.run_str("7 Immediate 4 Shifted").is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Dictionary operators, including `<<`/`>>` which the symbol tables lean on.
+
+use crate::dict::{Dict, Key};
+use crate::error::{range_check, type_check, undefined};
+use crate::interp::Interp;
+use crate::object::{Object, Value};
+
+pub(crate) fn register(i: &mut Interp) {
+    i.register("dict", |i| {
+        let n = i.pop()?.as_int()?;
+        if n < 0 {
+            return Err(range_check("dict: negative capacity"));
+        }
+        i.push(Object::dict(Dict::new(n as usize)));
+        Ok(())
+    });
+    i.register("begin", |i| {
+        let d = i.pop()?.as_dict()?;
+        i.push_dict(d);
+        Ok(())
+    });
+    i.register("end", |i| {
+        i.pop_dict()?;
+        Ok(())
+    });
+    i.register("def", |i| {
+        let v = i.pop()?;
+        let k = i.pop()?;
+        let key = Key::from_object(&k)?;
+        i.currentdict().borrow_mut().put(key, v);
+        Ok(())
+    });
+    i.register("load", |i| {
+        let k = i.pop()?.as_name()?;
+        let v = i.lookup(&k)?;
+        i.push(v);
+        Ok(())
+    });
+    i.register("store", |i| {
+        let v = i.pop()?;
+        let k = i.pop()?.as_name()?;
+        let dict = i.find_dict(&k).unwrap_or_else(|| i.currentdict());
+        dict.borrow_mut().put_name(&k, v);
+        Ok(())
+    });
+    i.register("known", |i| {
+        let k = i.pop()?;
+        let d = i.pop()?.as_dict()?;
+        let key = Key::from_object(&k)?;
+        let known = d.borrow().contains(&key);
+        i.push(known);
+        Ok(())
+    });
+    i.register("where", |i| {
+        let k = i.pop()?.as_name()?;
+        match i.find_dict(&k) {
+            Some(d) => {
+                i.push(Object::lit(Value::Dict(d)));
+                i.push(true);
+            }
+            None => i.push(false),
+        }
+        Ok(())
+    });
+    i.register("currentdict", |i| {
+        let d = i.currentdict();
+        i.push(Object::lit(Value::Dict(d)));
+        Ok(())
+    });
+    i.register("countdictstack", |i| {
+        let n = i.dict_stack_len() as i64;
+        i.push(n);
+        Ok(())
+    });
+    i.register("undef", |i| {
+        let k = i.pop()?;
+        let d = i.pop()?.as_dict()?;
+        let key = Key::from_object(&k)?;
+        d.borrow_mut().remove(&key);
+        Ok(())
+    });
+    i.register("<<", |i| {
+        i.push(Object::mark());
+        Ok(())
+    });
+    i.register(">>", |i| {
+        let n = i.count_to_mark()?;
+        if n % 2 != 0 {
+            return Err(range_check(">>: odd number of operands"));
+        }
+        let mut items = i.popn(n)?;
+        i.pop()?; // the mark
+        let mut d = Dict::new(n / 2);
+        let mut it = items.drain(..);
+        while let (Some(k), Some(v)) = (it.next(), it.next()) {
+            d.put(Key::from_object(&k)?, v);
+        }
+        i.push(Object::dict(d));
+        Ok(())
+    });
+
+    // Polymorphic length/get/put live here.
+    i.register("length", |i| {
+        let o = i.pop()?;
+        let n = match &o.val {
+            Value::Array(a) => a.borrow().len(),
+            Value::Dict(d) => d.borrow().len(),
+            Value::String(s) => s.len(),
+            Value::Name(n) => n.len(),
+            other => return Err(type_check(format!("length: {other:?}"))),
+        };
+        i.push(n as i64);
+        Ok(())
+    });
+    i.register("maxlength", |i| {
+        let o = i.pop()?;
+        let d = o.as_dict()?;
+        let n = d.borrow().len().max(1) as i64;
+        i.push(n);
+        Ok(())
+    });
+    i.register("get", |i| {
+        let k = i.pop()?;
+        let c = i.pop()?;
+        match &c.val {
+            Value::Array(a) => {
+                let idx = k.as_int()?;
+                let a = a.borrow();
+                let v = a
+                    .get(usize::try_from(idx).map_err(|_| range_check("get: negative index"))?)
+                    .ok_or_else(|| range_check(format!("get: index {idx} out of range")))?
+                    .clone();
+                drop(a);
+                i.push(v);
+            }
+            Value::Dict(d) => {
+                let key = Key::from_object(&k)?;
+                let v = d
+                    .borrow()
+                    .get(&key)
+                    .cloned()
+                    .ok_or_else(|| undefined(format!("get: {key}")))?;
+                i.push(v);
+            }
+            Value::String(s) => {
+                let idx = k.as_int()?;
+                let b = s
+                    .as_bytes()
+                    .get(usize::try_from(idx).map_err(|_| range_check("get: negative index"))?)
+                    .copied()
+                    .ok_or_else(|| range_check("get: index out of range"))?;
+                i.push(b as i64);
+            }
+            other => return Err(type_check(format!("get: {other:?}"))),
+        }
+        Ok(())
+    });
+    i.register("put", |i| {
+        let v = i.pop()?;
+        let k = i.pop()?;
+        let c = i.pop()?;
+        match &c.val {
+            Value::Array(a) => {
+                let idx = k.as_int()?;
+                let idx = usize::try_from(idx).map_err(|_| range_check("put: negative index"))?;
+                let mut a = a.borrow_mut();
+                if idx >= a.len() {
+                    return Err(range_check("put: index out of range"));
+                }
+                a[idx] = v;
+            }
+            Value::Dict(d) => {
+                d.borrow_mut().put(Key::from_object(&k)?, v);
+            }
+            Value::String(_) => {
+                // Strings are immutable in this dialect (paper, Sec. 5).
+                return Err(crate::error::invalid_access("put: strings are immutable"));
+            }
+            other => return Err(type_check(format!("put: {other:?}"))),
+        }
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn top_int(src: &str) -> i64 {
+        let mut i = Interp::new();
+        i.run_str(src).unwrap();
+        i.pop().unwrap().as_int().unwrap()
+    }
+
+    #[test]
+    fn dict_literal_and_get() {
+        assert_eq!(top_int("<< /a 1 /b 2 >> /b get"), 2);
+    }
+
+    #[test]
+    fn nested_dicts_like_symbol_entries() {
+        // Shape of a symbol-table entry from the paper.
+        let src = r#"
+            /S10 << /name (i) /type << /decl (int %s) >> /sourcey 6 >> def
+            S10 /type get /decl get length
+        "#;
+        assert_eq!(top_int(src), 6);
+    }
+
+    #[test]
+    fn begin_end_scoping() {
+        let src = "/d 4 dict def d begin /x 1 def end d /x get";
+        assert_eq!(top_int(src), 1);
+    }
+
+    #[test]
+    fn def_goes_to_current_dict() {
+        let mut i = Interp::new();
+        i.run_str("/d 2 dict def d begin /x 5 def x end").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 5);
+        // x is not visible once d is popped.
+        assert!(i.run_str("x").is_err());
+    }
+
+    #[test]
+    fn store_updates_where_found() {
+        let src = "/x 1 def /d 2 dict def d begin /x 2 store end x";
+        assert_eq!(top_int(src), 2);
+    }
+
+    #[test]
+    fn known_and_where() {
+        let mut i = Interp::new();
+        i.run_str("<< /a 1 >> /a known").unwrap();
+        assert!(i.pop().unwrap().as_bool().unwrap());
+        i.run_str("<< /a 1 >> /b known").unwrap();
+        assert!(!i.pop().unwrap().as_bool().unwrap());
+        i.run_str("/zz where").unwrap();
+        assert!(!i.pop().unwrap().as_bool().unwrap());
+        i.run_str("/zz 9 def /zz where").unwrap();
+        assert!(i.pop().unwrap().as_bool().unwrap());
+        i.pop().unwrap().as_dict().unwrap();
+    }
+
+    #[test]
+    fn undef_removes() {
+        assert_eq!(top_int("/d << /a 1 /b 2 >> def d /a undef d length"), 1);
+    }
+
+    #[test]
+    fn array_put_get() {
+        assert_eq!(top_int("/a 3 array def a 1 42 put a 1 get"), 42);
+    }
+
+    #[test]
+    fn string_put_is_invalid_access() {
+        let mut i = Interp::new();
+        assert!(i.run_str("(abc) 0 65 put").is_err());
+    }
+
+    #[test]
+    fn string_get_returns_byte() {
+        assert_eq!(top_int("(A) 0 get"), 65);
+    }
+
+    #[test]
+    fn odd_dict_literal_errors() {
+        let mut i = Interp::new();
+        assert!(i.run_str("<< /a >>").is_err());
+    }
+
+    #[test]
+    fn end_at_bottom_errors() {
+        let mut i = Interp::new();
+        assert!(i.run_str("end").is_err());
+    }
+
+    #[test]
+    fn length_polymorphic() {
+        assert_eq!(top_int("[1 2 3] length"), 3);
+        assert_eq!(top_int("(hello) length"), 5);
+        assert_eq!(top_int("/abc length"), 3);
+        assert_eq!(top_int("<< /a 1 >> length"), 1);
+    }
+}

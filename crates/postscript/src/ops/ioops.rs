@@ -1,0 +1,127 @@
+//! Output operators and the prettyprinter interface.
+//!
+//! `Put`, `Break`, `Begin`, and `End` drive the prettyprinter the debugger's
+//! printing procedures use (the ARRAY printer in the paper's Sec. 2 calls
+//! all four). `print`, `=`, `==`, `stack`, and `pstack` are the standard
+//! PostScript output operators; ldb's debugging dictionary later *rebinds*
+//! `print` to the value printer, demonstrating dictionary-stack rebinding.
+
+use crate::error::range_check;
+use crate::interp::Interp;
+
+pub(crate) fn register(i: &mut Interp) {
+    i.register("print", |i| {
+        let s = i.pop()?.as_string()?;
+        i.write_output(&s);
+        Ok(())
+    });
+    i.register("=", |i| {
+        let o = i.pop()?;
+        let s = o.to_text();
+        i.write_output(&s);
+        i.write_output("\n");
+        Ok(())
+    });
+    i.register("==", |i| {
+        let o = i.pop()?;
+        let s = o.to_syntactic();
+        i.write_output(&s);
+        i.write_output("\n");
+        Ok(())
+    });
+    i.register("stack", |i| {
+        let items: Vec<String> = i.stack().iter().rev().map(|o| o.to_text()).collect();
+        for s in items {
+            i.write_output(&s);
+            i.write_output("\n");
+        }
+        Ok(())
+    });
+    i.register("pstack", |i| {
+        let items: Vec<String> = i.stack().iter().rev().map(|o| o.to_syntactic()).collect();
+        for s in items {
+            i.write_output(&s);
+            i.write_output("\n");
+        }
+        Ok(())
+    });
+    i.register("flush", |_| Ok(()));
+
+    // --- prettyprinter interface ---
+    i.register("Put", |i| {
+        let s = i.pop()?.as_string()?;
+        i.pretty.put(&s);
+        Ok(())
+    });
+    i.register("Break", |i| {
+        let n = i.pop()?.as_int()?;
+        if n < 0 {
+            return Err(range_check("Break: negative indent"));
+        }
+        i.pretty.brk(n as usize);
+        Ok(())
+    });
+    i.register("Begin", |i| {
+        let n = i.pop()?.as_int()?;
+        if n < 0 {
+            return Err(range_check("Begin: negative indent"));
+        }
+        i.pretty.begin(n as usize);
+        Ok(())
+    });
+    i.register("End", |i| {
+        i.pretty.end();
+        Ok(())
+    });
+    i.register("Newline", |i| {
+        i.pretty.newline();
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn output_of(src: &str) -> String {
+        let (mut i, buf) = Interp::new_capturing();
+        i.run_str(src).unwrap();
+        let s = buf.borrow().clone();
+        s
+    }
+
+    #[test]
+    fn print_and_equals() {
+        assert_eq!(output_of("(hi) print"), "hi");
+        assert_eq!(output_of("42 ="), "42\n");
+        assert_eq!(output_of("(s) =="), "(s)\n");
+        assert_eq!(output_of("/n =="), "/n\n");
+    }
+
+    #[test]
+    fn stack_prints_top_first() {
+        assert_eq!(output_of("1 2 3 stack"), "3\n2\n1\n");
+    }
+
+    #[test]
+    fn prettyprinter_ops_drive_pretty() {
+        let out = output_of("({) Put 0 Begin (a) Put (, ) Put 0 Break (b) Put End (}) Put");
+        assert_eq!(out, "{a, b}");
+    }
+
+    #[test]
+    fn array_printer_shape_from_paper() {
+        // The structure of the paper's ARRAY printer, with Put/Break/
+        // Begin/End and an exit-on-limit, printing offsets directly.
+        let src = r#"
+            ({) Put 0 Begin
+            0 4 12 {
+                dup 0 ne { (, ) Put 0 Break } if
+                dup 100 ge { (...) Put pop exit } if
+                cvs Put
+            } for
+            (}) Put End
+        "#;
+        assert_eq!(output_of(src), "{0, 4, 8, 12}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Operator implementations, grouped by chapter.
+
+mod arith;
+mod arrayops;
+mod control;
+mod convops;
+mod debugops;
+mod dictops;
+mod ioops;
+mod stackops;
+
+use crate::interp::Interp;
+
+/// Register the full dialect into an interpreter's systemdict.
+pub fn register_all(interp: &mut Interp) {
+    stackops::register(interp);
+    arith::register(interp);
+    control::register(interp);
+    dictops::register(interp);
+    arrayops::register(interp);
+    convops::register(interp);
+    ioops::register(interp);
+    debugops::register(interp);
+}

@@ -1,0 +1,155 @@
+//! Operand-stack manipulation operators.
+
+use crate::error::range_check;
+use crate::interp::Interp;
+use crate::object::Object;
+
+pub(crate) fn register(i: &mut Interp) {
+    i.register("pop", |i| {
+        i.pop()?;
+        Ok(())
+    });
+    i.register("exch", |i| {
+        let b = i.pop()?;
+        let a = i.pop()?;
+        i.push(b);
+        i.push(a);
+        Ok(())
+    });
+    i.register("dup", |i| {
+        let a = i.peek(0)?.clone();
+        i.push(a);
+        Ok(())
+    });
+    i.register("copy", |i| {
+        let n = i.pop()?.as_int()?;
+        if n < 0 {
+            return Err(range_check("copy: negative count"));
+        }
+        let n = n as usize;
+        if n > 0 {
+            let start = i
+                .depth()
+                .checked_sub(n)
+                .ok_or_else(|| range_check("copy: not enough operands"))?;
+            let copies: Vec<Object> = i.stack()[start..].to_vec();
+            for c in copies {
+                i.push(c);
+            }
+        }
+        Ok(())
+    });
+    i.register("index", |i| {
+        let n = i.pop()?.as_int()?;
+        if n < 0 {
+            return Err(range_check("index: negative"));
+        }
+        let o = i.peek(n as usize)?.clone();
+        i.push(o);
+        Ok(())
+    });
+    i.register("roll", |i| {
+        let j = i.pop()?.as_int()?;
+        let n = i.pop()?.as_int()?;
+        if n < 0 {
+            return Err(range_check("roll: negative count"));
+        }
+        let n = n as usize;
+        if n == 0 {
+            return Ok(());
+        }
+        let mut window = i.popn(n)?;
+        let j = j.rem_euclid(n as i64) as usize;
+        window.rotate_right(j);
+        for o in window {
+            i.push(o);
+        }
+        Ok(())
+    });
+    i.register("clear", |i| {
+        i.clear_stack();
+        Ok(())
+    });
+    i.register("count", |i| {
+        let d = i.depth() as i64;
+        i.push(d);
+        Ok(())
+    });
+    i.register("mark", |i| {
+        i.push(Object::mark());
+        Ok(())
+    });
+    i.register("counttomark", |i| {
+        let n = i.count_to_mark()? as i64;
+        i.push(n);
+        Ok(())
+    });
+    i.register("cleartomark", |i| {
+        let n = i.count_to_mark()?;
+        i.truncate_stack(i.depth() - n - 1);
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> Interp {
+        let mut i = Interp::new();
+        i.run_str(src).unwrap();
+        i
+    }
+
+    fn ints(i: &Interp) -> Vec<i64> {
+        i.stack().iter().map(|o| o.as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn exch_dup_pop() {
+        assert_eq!(ints(&run("1 2 exch")), vec![2, 1]);
+        assert_eq!(ints(&run("1 dup")), vec![1, 1]);
+        assert_eq!(ints(&run("1 2 pop")), vec![1]);
+    }
+
+    #[test]
+    fn copy_duplicates_top_n() {
+        assert_eq!(ints(&run("1 2 3 2 copy")), vec![1, 2, 3, 2, 3]);
+        assert_eq!(ints(&run("1 2 0 copy")), vec![1, 2]);
+    }
+
+    #[test]
+    fn index_counts_from_top() {
+        assert_eq!(ints(&run("10 20 30 2 index")), vec![10, 20, 30, 10]);
+        assert_eq!(ints(&run("10 20 0 index")), vec![10, 20, 20]);
+    }
+
+    #[test]
+    fn roll_positive_and_negative() {
+        // The paper's ARRAY printer uses `3 -1 roll`.
+        assert_eq!(ints(&run("1 2 3 3 -1 roll")), vec![2, 3, 1]);
+        assert_eq!(ints(&run("1 2 3 3 1 roll")), vec![3, 1, 2]);
+        assert_eq!(ints(&run("1 2 3 3 4 roll")), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn marks_and_counting() {
+        let i = run("1 mark 2 3 counttomark");
+        assert_eq!(i.peek(0).unwrap().as_int().unwrap(), 2);
+        assert_eq!(ints(&run("1 mark 2 3 cleartomark")), vec![1]);
+    }
+
+    #[test]
+    fn count_reports_depth() {
+        assert_eq!(ints(&run("count 5 count")), vec![0, 5, 2]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut i = Interp::new();
+        assert!(i.run_str("pop").is_err());
+        assert!(i.run_str("1 2 -1 copy").is_err());
+        assert!(i.run_str("cleartomark").is_err());
+        assert!(i.run_str("1 5 index").is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! The prettyprinter behind the `Put`, `Break`, `Begin`, and `End` operators.
+//!
+//! The paper's dialect includes "an interface to a prettyprinter supplied
+//! with Modula-3; the prettyprinter procedures are called by the PostScript
+//! code that prints structured data" (Sec. 5). The ARRAY printer, for
+//! instance, emits `({) Put ... (, ) Put 0 Break ... (}) Put` so long arrays
+//! wrap at sensible points.
+//!
+//! The algorithm is a simple one-lookahead line filler: `Break n` records a
+//! *potential* break with extra indent `n`; the next `Put` decides whether
+//! to take it, based on whether the text fits the line width.
+
+use crate::interp::Out;
+
+/// Prettyprinter state.
+#[derive(Debug)]
+pub struct Pretty {
+    out: Out,
+    width: usize,
+    col: usize,
+    indents: Vec<usize>,
+    pending_break: Option<usize>,
+}
+
+impl Pretty {
+    /// A prettyprinter writing to `out` with the default 72-column width.
+    pub fn new(out: Out) -> Self {
+        Pretty { out, width: 72, col: 0, indents: vec![0], pending_break: None }
+    }
+
+    /// Redirect output.
+    pub fn set_output(&mut self, out: Out) {
+        self.out = out;
+    }
+
+    /// Change the line width.
+    pub fn set_width(&mut self, width: usize) {
+        self.width = width.max(8);
+    }
+
+    fn base_indent(&self) -> usize {
+        *self.indents.last().expect("indent stack never empty")
+    }
+
+    /// `Put`: emit a string, honouring a pending break if the string would
+    /// overflow the line.
+    pub fn put(&mut self, s: &str) {
+        if let Some(extra) = self.pending_break.take() {
+            let first_line_len = s.split('\n').next().map_or(0, str::len);
+            if self.col + first_line_len > self.width {
+                let indent = self.base_indent() + extra;
+                self.out.write_str("\n");
+                self.out.write_str(&" ".repeat(indent));
+                self.col = indent;
+            }
+        }
+        for (i, piece) in s.split('\n').enumerate() {
+            if i > 0 {
+                self.out.write_str("\n");
+                self.col = 0;
+            }
+            self.out.write_str(piece);
+            self.col += piece.len();
+        }
+    }
+
+    /// `Break n`: a potential line break with extra indent `n`.
+    pub fn brk(&mut self, extra_indent: usize) {
+        self.pending_break = Some(extra_indent);
+    }
+
+    /// `Begin n`: open a group whose continuation lines indent by `n` beyond
+    /// the current group.
+    pub fn begin(&mut self, extra_indent: usize) {
+        let base = self.base_indent();
+        self.indents.push(base + extra_indent);
+    }
+
+    /// `End`: close the innermost group.
+    pub fn end(&mut self) {
+        if self.indents.len() > 1 {
+            self.indents.pop();
+        }
+    }
+
+    /// Emit an unconditional newline and reset the column.
+    pub fn newline(&mut self) {
+        self.out.write_str("\n");
+        self.col = 0;
+        self.pending_break = None;
+    }
+
+    /// Current output column (for tests).
+    pub fn column(&self) -> usize {
+        self.col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn capture() -> (Pretty, Rc<RefCell<String>>) {
+        let buf = Rc::new(RefCell::new(String::new()));
+        (Pretty::new(Out::Shared(Rc::clone(&buf))), buf)
+    }
+
+    #[test]
+    fn fits_on_one_line() {
+        let (mut p, buf) = capture();
+        p.set_width(20);
+        p.put("{");
+        p.begin(2);
+        for i in 0..3 {
+            if i > 0 {
+                p.put(", ");
+                p.brk(0);
+            }
+            p.put(&i.to_string());
+        }
+        p.end();
+        p.put("}");
+        assert_eq!(buf.borrow().as_str(), "{0, 1, 2}");
+    }
+
+    #[test]
+    fn wraps_with_group_indent() {
+        let (mut p, buf) = capture();
+        p.set_width(10);
+        p.put("{");
+        p.begin(2);
+        for i in 0..6 {
+            if i > 0 {
+                p.put(", ");
+                p.brk(0);
+            }
+            p.put(&format!("{}", i * 111));
+        }
+        p.end();
+        p.put("}");
+        let s = buf.borrow();
+        assert!(s.contains('\n'), "should wrap: {s:?}");
+        for line in s.lines().skip(1) {
+            assert!(line.starts_with("  "), "continuation indented: {line:?}");
+        }
+    }
+
+    #[test]
+    fn newline_resets_column() {
+        let (mut p, _buf) = capture();
+        p.put("abc");
+        assert_eq!(p.column(), 3);
+        p.newline();
+        assert_eq!(p.column(), 0);
+    }
+
+    #[test]
+    fn end_never_underflows() {
+        let (mut p, _buf) = capture();
+        p.end();
+        p.end();
+        p.put("x"); // still works
+    }
+}

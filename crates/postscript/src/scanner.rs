@@ -1,0 +1,489 @@
+//! The lexical scanner.
+//!
+//! The scanner turns program text into [`Object`]s: numbers (including
+//! radix forms like `16#000023d8`), strings `(...)` with nesting and
+//! escapes, literal names `/name`, executable names, procedures `{...}`
+//! (scanned whole, recursively), and the punctuation names `[`, `]`, `<<`,
+//! `>>` which are handled by ordinary operators.
+//!
+//! Deferred lexing (paper, Sec. 5): a symbol-table emitter can quote
+//! PostScript code in parentheses; the scanner then reads it as a plain
+//! string — *fast* — and the code is only scanned for real when the string
+//! is later executed (`cvx exec`). The paper measured a 40% reduction in
+//! symbol-table reading time from this technique; `ldb-bench`'s `e4_deferral`
+//! binary reproduces the measurement.
+
+use std::rc::Rc;
+
+use crate::error::{syntax, ErrorKind, PsError, PsResult};
+use crate::object::Object;
+
+/// A source of characters for the scanner. Strings and byte streams (pipes
+/// from the expression server) both implement this.
+pub trait CharSource {
+    /// The next character, `None` at end of input.
+    ///
+    /// # Errors
+    /// I/O errors from stream-backed sources.
+    fn next_char(&mut self) -> PsResult<Option<char>>;
+}
+
+/// A [`CharSource`] over an owned immutable string.
+#[derive(Debug)]
+pub struct StrSource {
+    s: Rc<str>,
+    pos: usize,
+}
+
+impl StrSource {
+    /// Scan from the given string.
+    pub fn new(s: Rc<str>) -> Self {
+        StrSource { s, pos: 0 }
+    }
+}
+
+impl CharSource for StrSource {
+    fn next_char(&mut self) -> PsResult<Option<char>> {
+        match self.s[self.pos..].chars().next() {
+            Some(c) => {
+                self.pos += c.len_utf8();
+                Ok(Some(c))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// A [`CharSource`] over a byte stream (e.g. the expression-server pipe).
+/// Bytes are interpreted as Latin-1; the debugger's streams are ASCII.
+pub struct ReadSource {
+    inner: Box<dyn std::io::Read>,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+}
+
+impl std::fmt::Debug for ReadSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReadSource {{ buffered: {} }}", self.len - self.pos)
+    }
+}
+
+impl ReadSource {
+    /// Scan from a reader. Reads are done in small chunks so that pipe-backed
+    /// readers do not block waiting to fill a large buffer.
+    pub fn new(inner: Box<dyn std::io::Read>) -> Self {
+        ReadSource { inner, buf: vec![0; 512], pos: 0, len: 0 }
+    }
+}
+
+impl CharSource for ReadSource {
+    fn next_char(&mut self) -> PsResult<Option<char>> {
+        if self.pos == self.len {
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => {
+                    self.len = n;
+                    self.pos = 0;
+                }
+                Err(e) => return Err(PsError::runtime(ErrorKind::IoError, e.to_string())),
+            }
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(Some(b as char))
+    }
+}
+
+/// Is `c` a PostScript delimiter (self-delimiting punctuation)?
+fn is_delim(c: char) -> bool {
+    matches!(c, '(' | ')' | '<' | '>' | '[' | ']' | '{' | '}' | '/' | '%')
+}
+
+/// Is `c` PostScript whitespace?
+fn is_space(c: char) -> bool {
+    matches!(c, ' ' | '\t' | '\r' | '\n' | '\x0c' | '\0')
+}
+
+/// The scanner: pulls tokens one at a time from a [`CharSource`].
+///
+/// The scanner keeps its state between calls, so a single scanner can sit on
+/// an open pipe and deliver tokens as they arrive — this is how ldb applies
+/// `cvx stopped` to the expression-server connection.
+pub struct Scanner {
+    src: Box<dyn CharSource>,
+    peeked: Option<char>,
+    /// Count of string tokens scanned (used by the deferral benchmark).
+    pub strings_scanned: u64,
+    /// Count of procedure tokens scanned eagerly.
+    pub procs_scanned: u64,
+}
+
+impl std::fmt::Debug for Scanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Scanner {{ strings: {}, procs: {} }}", self.strings_scanned, self.procs_scanned)
+    }
+}
+
+impl Scanner {
+    /// A scanner over any character source.
+    pub fn new(src: Box<dyn CharSource>) -> Self {
+        Scanner { src, peeked: None, strings_scanned: 0, procs_scanned: 0 }
+    }
+
+    /// A scanner over a string.
+    #[allow(clippy::should_implement_trait)] // fallible trait impl does not fit
+    pub fn from_str(s: impl Into<Rc<str>>) -> Self {
+        Scanner::new(Box::new(StrSource::new(s.into())))
+    }
+
+    fn next_char(&mut self) -> PsResult<Option<char>> {
+        if let Some(c) = self.peeked.take() {
+            return Ok(Some(c));
+        }
+        self.src.next_char()
+    }
+
+    fn unread(&mut self, c: char) {
+        debug_assert!(self.peeked.is_none());
+        self.peeked = Some(c);
+    }
+
+    /// Scan the next token. `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    /// Syntax errors (unterminated strings/procedures, malformed numbers
+    /// fall back to names as in PostScript, so they do not error) and I/O
+    /// errors from the underlying source.
+    pub fn next_token(&mut self) -> PsResult<Option<Object>> {
+        loop {
+            let c = match self.next_char()? {
+                None => return Ok(None),
+                Some(c) => c,
+            };
+            if is_space(c) {
+                continue;
+            }
+            match c {
+                '%' => {
+                    // Comment to end of line.
+                    while let Some(c) = self.next_char()? {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                '(' => return Ok(Some(self.scan_string()?)),
+                ')' => return Err(syntax("unmatched )")),
+                '{' => return Ok(Some(self.scan_proc(0)?)),
+                '}' => return Err(syntax("unmatched }")),
+                '[' => return Ok(Some(Object::exec_name("["))),
+                ']' => return Ok(Some(Object::exec_name("]"))),
+                '<' => {
+                    match self.next_char()? {
+                        Some('<') => return Ok(Some(Object::exec_name("<<"))),
+                        _ => return Err(syntax("hex strings are not in this dialect")),
+                    }
+                }
+                '>' => {
+                    match self.next_char()? {
+                        Some('>') => return Ok(Some(Object::exec_name(">>"))),
+                        _ => return Err(syntax("unmatched >")),
+                    }
+                }
+                '/' => {
+                    let name = self.scan_name_chars()?;
+                    return Ok(Some(Object::name(name)));
+                }
+                _ => {
+                    let mut word = String::new();
+                    word.push(c);
+                    word.push_str(&self.scan_name_chars()?);
+                    return Ok(Some(classify_word(&word)));
+                }
+            }
+        }
+    }
+
+    /// Scan the remaining characters of a name (after the first).
+    fn scan_name_chars(&mut self) -> PsResult<String> {
+        let mut s = String::new();
+        while let Some(c) = self.next_char()? {
+            if is_space(c) || is_delim(c) {
+                self.unread(c);
+                break;
+            }
+            s.push(c);
+        }
+        Ok(s)
+    }
+
+    /// Scan a string body; the opening `(` has been consumed.
+    fn scan_string(&mut self) -> PsResult<Object> {
+        self.strings_scanned += 1;
+        let mut s = String::new();
+        let mut depth = 1usize;
+        loop {
+            let c = self.next_char()?.ok_or_else(|| syntax("unterminated string"))?;
+            match c {
+                '(' => {
+                    depth += 1;
+                    s.push(c);
+                }
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(Object::string(s));
+                    }
+                    s.push(c);
+                }
+                '\\' => {
+                    let e = self.next_char()?.ok_or_else(|| syntax("unterminated escape"))?;
+                    match e {
+                        'n' => s.push('\n'),
+                        'r' => s.push('\r'),
+                        't' => s.push('\t'),
+                        'b' => s.push('\u{8}'),
+                        'f' => s.push('\u{c}'),
+                        '\\' => s.push('\\'),
+                        '(' => s.push('('),
+                        ')' => s.push(')'),
+                        '\n' => {} // line continuation
+                        '0'..='7' => {
+                            let mut v = e as u32 - '0' as u32;
+                            for _ in 0..2 {
+                                match self.next_char()? {
+                                    Some(d @ '0'..='7') => v = v * 8 + (d as u32 - '0' as u32),
+                                    Some(other) => {
+                                        self.unread(other);
+                                        break;
+                                    }
+                                    None => break,
+                                }
+                            }
+                            s.push((v as u8) as char);
+                        }
+                        other => s.push(other),
+                    }
+                }
+                _ => s.push(c),
+            }
+        }
+    }
+
+    /// Scan a procedure body; the opening `{` has been consumed. `depth`
+    /// guards against pathological nesting (the scanner recurses per
+    /// level).
+    fn scan_proc(&mut self, depth: u32) -> PsResult<Object> {
+        if depth > 120 {
+            return Err(syntax("procedure nesting too deep"));
+        }
+        self.procs_scanned += 1;
+        let mut body = Vec::new();
+        loop {
+            let c = match self.next_char()? {
+                None => return Err(syntax("unterminated procedure")),
+                Some(c) => c,
+            };
+            if is_space(c) {
+                continue;
+            }
+            match c {
+                '}' => return Ok(Object::proc(body)),
+                '%' => {
+                    while let Some(c) = self.next_char()? {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                '{' => body.push(self.scan_proc(depth + 1)?),
+                '(' => body.push(self.scan_string()?),
+                '[' => body.push(Object::exec_name("[")),
+                ']' => body.push(Object::exec_name("]")),
+                '<' => match self.next_char()? {
+                    Some('<') => body.push(Object::exec_name("<<")),
+                    _ => return Err(syntax("hex strings are not in this dialect")),
+                },
+                '>' => match self.next_char()? {
+                    Some('>') => body.push(Object::exec_name(">>")),
+                    _ => return Err(syntax("unmatched >")),
+                },
+                ')' => return Err(syntax("unmatched ) in procedure")),
+                '/' => {
+                    let name = self.scan_name_chars()?;
+                    body.push(Object::name(name));
+                }
+                _ => {
+                    let mut word = String::new();
+                    word.push(c);
+                    word.push_str(&self.scan_name_chars()?);
+                    body.push(classify_word(&word));
+                }
+            }
+        }
+    }
+}
+
+/// Classify a bare word: integer, radix integer, real, or executable name.
+fn classify_word(word: &str) -> Object {
+    if let Some(o) = parse_number(word) {
+        return o;
+    }
+    Object::exec_name(word)
+}
+
+/// Parse a PostScript number: decimal integer, `base#digits` radix integer,
+/// or real (with optional exponent). Returns `None` when `word` is a name.
+pub fn parse_number(word: &str) -> Option<Object> {
+    if word.is_empty() {
+        return None;
+    }
+    // Radix form: base#digits, base in 2..=36.
+    if let Some(hash) = word.find('#') {
+        let (base_s, digits) = (&word[..hash], &word[hash + 1..]);
+        let base: u32 = base_s.parse().ok()?;
+        if !(2..=36).contains(&base) || digits.is_empty() {
+            return None;
+        }
+        let v = i64::from_str_radix(digits, base).ok()?;
+        return Some(Object::int(v));
+    }
+    let bytes = word.as_bytes();
+    let rest = match bytes[0] {
+        b'+' | b'-' => &word[1..],
+        _ => word,
+    };
+    if rest.is_empty() {
+        return None;
+    }
+    if !rest.bytes().next().map(|b| b.is_ascii_digit() || b == b'.').unwrap_or(false) {
+        return None;
+    }
+    if let Ok(i) = word.parse::<i64>() {
+        return Some(Object::int(i));
+    }
+    // Reals must consist only of digits, '.', 'e'/'E', and sign characters.
+    if word
+        .bytes()
+        .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        if let Ok(r) = word.parse::<f64>() {
+            return Some(Object::real(r));
+        }
+        // ".5" and "-.5" are valid PostScript but also valid for Rust parse;
+        // bare "." is not a number.
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Value;
+
+    fn scan_all(s: &str) -> Vec<Object> {
+        let mut sc = Scanner::from_str(s);
+        let mut v = Vec::new();
+        while let Some(t) = sc.next_token().unwrap() {
+            v.push(t);
+        }
+        v
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = scan_all("1 -7 +42 3.14 -.5 1e3 16#ff 2#1010 8#777");
+        let vals: Vec<_> = ts.iter().map(|o| o.to_text()).collect();
+        assert_eq!(vals, vec!["1", "-7", "42", "3.14", "-0.5", "1000.0", "255", "10", "511"]);
+    }
+
+    #[test]
+    fn names_and_literal_names() {
+        let ts = scan_all("/foo bar /S10 a-b &elemsize");
+        assert!(!ts[0].exec);
+        assert!(ts[1].exec);
+        assert_eq!(ts[2].as_name().unwrap().as_ref(), "S10");
+        assert_eq!(ts[3].to_text(), "a-b");
+        assert_eq!(ts[4].to_text(), "&elemsize");
+    }
+
+    #[test]
+    fn minus_alone_is_a_name() {
+        let ts = scan_all("- -- 4#");
+        assert!(matches!(ts[0].val, Value::Name(_)));
+        assert!(matches!(ts[1].val, Value::Name(_)));
+        assert!(matches!(ts[2].val, Value::Name(_)));
+    }
+
+    #[test]
+    fn strings_with_nesting_and_escapes() {
+        let ts = scan_all(r"(hello (nested) world) (a\nb) (oct\101al) (paren\))");
+        assert_eq!(ts[0].as_string().unwrap().as_ref(), "hello (nested) world");
+        assert_eq!(ts[1].as_string().unwrap().as_ref(), "a\nb");
+        assert_eq!(ts[2].as_string().unwrap().as_ref(), "octAal");
+        assert_eq!(ts[3].as_string().unwrap().as_ref(), "paren)");
+    }
+
+    #[test]
+    fn procedures_scan_recursively() {
+        let ts = scan_all("{1 2 add {3} if}");
+        assert!(ts[0].is_proc());
+        let body = ts[0].as_array().unwrap();
+        let body = body.borrow();
+        assert_eq!(body.len(), 5);
+        assert!(body[3].is_proc());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ts = scan_all("1 % a comment\n2");
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn dict_brackets() {
+        let ts = scan_all("<< /a 1 >> [ ]");
+        assert_eq!(ts[0].to_text(), "<<");
+        assert_eq!(ts[3].to_text(), ">>");
+        assert_eq!(ts[4].to_text(), "[");
+        assert_eq!(ts[5].to_text(), "]");
+    }
+
+    #[test]
+    fn unterminated_string_is_syntax_error() {
+        let mut sc = Scanner::from_str("(abc");
+        assert!(sc.next_token().is_err());
+    }
+
+    #[test]
+    fn unterminated_proc_is_syntax_error() {
+        let mut sc = Scanner::from_str("{1 2");
+        assert!(sc.next_token().is_err());
+    }
+
+    #[test]
+    fn deferral_counts_strings_not_procs() {
+        let mut sc = Scanner::from_str("(1 2 add) {1 2 add}");
+        sc.next_token().unwrap();
+        sc.next_token().unwrap();
+        assert_eq!(sc.strings_scanned, 1);
+        assert_eq!(sc.procs_scanned, 1);
+    }
+
+    #[test]
+    fn radix_16_loader_table_addresses() {
+        let ts = scan_all("16#00002270 16#000023d8");
+        assert_eq!(ts[0].as_int().unwrap(), 0x2270);
+        assert_eq!(ts[1].as_int().unwrap(), 0x23d8);
+    }
+
+    #[test]
+    fn names_with_delimiters_split() {
+        let ts = scan_all("foo(bar)baz");
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].to_text(), "foo");
+        assert_eq!(ts[1].as_string().unwrap().as_ref(), "bar");
+        assert_eq!(ts[2].to_text(), "baz");
+    }
+}

@@ -1,0 +1,72 @@
+//! Robustness: the scanner and interpreter must never panic, whatever the
+//! input — errors are the contract (`stopped` relies on it).
+
+use ldb_postscript::{Interp, Scanner};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scanner_is_total(src in "\\PC{0,200}") {
+        let mut sc = Scanner::from_str(src.as_str());
+        for _ in 0..1000 {
+            match sc.next_token() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn interpreter_never_panics_on_text(src in "\\PC{0,120}") {
+        let mut i = Interp::new();
+        let _ = i.run_stopped(&src);
+    }
+
+    #[test]
+    fn interpreter_never_panics_on_tokeny_soup(
+        src in "(?:[0-9]{1,3}|add|sub|mul|idiv|dup|pop|exch|roll|index|copy|def|begin|end|dict|get|put|exec|if|ifelse|for|repeat|exit|stop|stopped|cvx|cvs|array|aload|astore|forall|\\[|\\]|<<|>>|\\{|\\}|\\(x\\)|/nm| ){1,60}"
+    ) {
+        let mut i = Interp::new();
+        let _ = i.run_stopped(&src);
+    }
+
+    #[test]
+    fn scanned_numbers_roundtrip(n in any::<i32>()) {
+        let mut sc = Scanner::from_str(format!("{n}"));
+        let t = sc.next_token().unwrap().unwrap();
+        prop_assert_eq!(t.as_int().unwrap(), n as i64);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip(s in "[a-z()\\\\ \n\t]{0,40}") {
+        // Emit with the emitter's escaping rules, scan back.
+        let mut quoted = String::from("(");
+        for c in s.chars() {
+            match c {
+                '(' => quoted.push_str("\\("),
+                ')' => quoted.push_str("\\)"),
+                '\\' => quoted.push_str("\\\\"),
+                '\n' => quoted.push_str("\\n"),
+                '\t' => quoted.push_str("\\t"),
+                other => quoted.push(other),
+            }
+        }
+        quoted.push(')');
+        let mut sc = Scanner::from_str(quoted);
+        let t = sc.next_token().unwrap().unwrap();
+        let got = t.as_string().unwrap();
+        prop_assert_eq!(got.as_ref(), s.as_str());
+    }
+}
+
+/// Deep but bounded recursion errors cleanly.
+#[test]
+fn deep_nesting_is_a_clean_error() {
+    let mut i = Interp::new();
+    let src = format!("{}1{}", "{".repeat(3000), "}".repeat(3000));
+    let _ = i.run_stopped(&src);
+    let deep = format!("{}1", "[ ".repeat(5000));
+    let _ = i.run_stopped(&deep);
+}

@@ -1,0 +1,212 @@
+//! A dbx/gdb-style baseline debugger front end.
+//!
+//! The paper's Table 2 times "dbx: start and read a.out for lcc" and "gdb:
+//! start and read a.out for lcc" against ldb's phases, and Sec. 7 compares
+//! symbol-table sizes against binary stabs. This crate is that baseline: a
+//! conventional debugger front end that reads the compiler's *binary*
+//! stabs (see [`ldb_cc::stabs`]) into machine-level lookup structures —
+//! no embedded interpreter, no PostScript, and correspondingly
+//! machine-dependent knowledge baked in.
+
+use std::collections::HashMap;
+
+use ldb_cc::stabs::{decode, n_type, Stab};
+
+/// A function, as the baseline debugger models it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncSym {
+    /// Name with type descriptor stripped.
+    pub name: String,
+    /// Entry address.
+    pub addr: u32,
+    /// Line-number table: (line, address).
+    pub lines: Vec<(u16, u32)>,
+    /// Variables: (name, kind letter, value) where kind is `r`egister,
+    /// `p`arameter, `l`ocal, or `s`tatic.
+    pub vars: Vec<(String, char, u32)>,
+}
+
+/// The baseline debugger's symbol tables.
+#[derive(Debug, Default, Clone)]
+pub struct StabsDebugger {
+    /// Source file name.
+    pub source: String,
+    /// Functions by name.
+    pub funcs: Vec<FuncSym>,
+    /// Global/static data symbols: name → address.
+    pub globals: HashMap<String, u32>,
+    func_index: HashMap<String, usize>,
+}
+
+/// Errors reading stabs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StabsError {
+    /// The blob did not parse.
+    Malformed,
+}
+
+impl std::fmt::Display for StabsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed stabs")
+    }
+}
+
+impl std::error::Error for StabsError {}
+
+impl StabsDebugger {
+    /// "Start and read a.out": parse the stabs blob into lookup
+    /// structures. This is the phase the paper times for dbx and gdb.
+    ///
+    /// # Errors
+    /// [`StabsError::Malformed`] when the blob does not decode.
+    pub fn read(blob: &[u8]) -> Result<StabsDebugger, StabsError> {
+        let stabs = decode(blob).ok_or(StabsError::Malformed)?;
+        let mut dbg = StabsDebugger::default();
+        let mut cur: Option<FuncSym> = None;
+        for s in &stabs {
+            match s.typ {
+                n_type::N_SO => dbg.source = s.string.clone(),
+                n_type::N_FUN => {
+                    if let Some(f) = cur.take() {
+                        dbg.push_func(f);
+                    }
+                    cur = Some(FuncSym {
+                        name: base_name(&s.string),
+                        addr: s.value,
+                        lines: Vec::new(),
+                        vars: Vec::new(),
+                    });
+                }
+                n_type::N_SLINE => {
+                    if let Some(f) = cur.as_mut() {
+                        f.lines.push((s.desc, s.value));
+                    }
+                }
+                n_type::N_RSYM | n_type::N_PSYM | n_type::N_LSYM => {
+                    if let Some(f) = cur.as_mut() {
+                        let kind = match s.typ {
+                            n_type::N_RSYM => 'r',
+                            n_type::N_PSYM => 'p',
+                            _ => 'l',
+                        };
+                        f.vars.push((base_name(&s.string), kind, s.value));
+                    }
+                }
+                n_type::N_GSYM | n_type::N_STSYM => {
+                    if let Some(f) = cur.as_mut() {
+                        f.vars.push((base_name(&s.string), 's', s.value));
+                    } else {
+                        dbg.globals.insert(base_name(&s.string), s.value);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(f) = cur.take() {
+            dbg.push_func(f);
+        }
+        Ok(dbg)
+    }
+
+    fn push_func(&mut self, f: FuncSym) {
+        self.func_index.insert(f.name.clone(), self.funcs.len());
+        self.funcs.push(f);
+    }
+
+    /// Find a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncSym> {
+        self.func_index.get(name).map(|&i| &self.funcs[i])
+    }
+
+    /// The address of the first stopping point on `line` (any function).
+    pub fn addr_of_line(&self, line: u16) -> Option<u32> {
+        for f in &self.funcs {
+            for &(l, a) in &f.lines {
+                if l == line {
+                    return Some(a);
+                }
+            }
+        }
+        None
+    }
+
+    /// The function containing `pc`.
+    pub fn func_containing(&self, pc: u32) -> Option<&FuncSym> {
+        self.funcs
+            .iter()
+            .filter(|f| f.addr <= pc)
+            .max_by_key(|f| f.addr)
+    }
+
+    /// Total number of symbols loaded (for startup statistics).
+    pub fn symbol_count(&self) -> usize {
+        self.funcs.iter().map(|f| 1 + f.vars.len() + f.lines.len()).sum::<usize>()
+            + self.globals.len()
+    }
+}
+
+/// Strip the `:type` descriptor from a stab string.
+fn base_name(s: &str) -> String {
+    s.split(':').next().unwrap_or(s).to_string()
+}
+
+/// Re-export of the raw stab decoder, for benches.
+pub fn parse_raw(blob: &[u8]) -> Option<Vec<Stab>> {
+    decode(blob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldb_cc::driver::{compile, CompileOpts};
+    use ldb_machine::Arch;
+
+    const SRC: &str = r#"
+        static int tbl[4] = {1,2,3,4};
+        int add(int a, int b) { int s; s = a + b; return s; }
+        int main(void) { return add(2, 3); }
+    "#;
+
+    fn build() -> (ldb_cc::driver::Compiled, Vec<u8>) {
+        let c = compile("t.c", SRC, Arch::Mips, CompileOpts::default()).unwrap();
+        let blob = ldb_cc::stabs::emit(&c);
+        (c, blob)
+    }
+
+    #[test]
+    fn reads_functions_lines_and_vars() {
+        let (c, blob) = build();
+        let dbg = StabsDebugger::read(&blob).unwrap();
+        assert_eq!(dbg.source, "t.c");
+        let add = dbg.func("add").unwrap();
+        assert_eq!(add.addr, c.linked.func_addrs[0].1);
+        assert!(!add.lines.is_empty());
+        assert!(add.vars.iter().any(|(n, k, _)| n == "a" && *k == 'p'));
+        assert!(add.vars.iter().any(|(n, k, _)| n == "s" && *k == 'r'));
+        assert!(dbg.globals.contains_key("tbl"));
+    }
+
+    #[test]
+    fn line_and_pc_lookup() {
+        let (c, blob) = build();
+        let dbg = StabsDebugger::read(&blob).unwrap();
+        // Function entry stopping point address matches the linker's.
+        let add = dbg.func("add").unwrap();
+        assert_eq!(add.lines[0].1, c.linked.stop_addrs[0][0]);
+        assert_eq!(dbg.func_containing(add.addr + 2).unwrap().name, "add");
+        assert!(dbg.addr_of_line(3).is_some());
+        assert!(dbg.addr_of_line(999).is_none());
+    }
+
+    #[test]
+    fn symbol_count_is_plausible() {
+        let (_, blob) = build();
+        let dbg = StabsDebugger::read(&blob).unwrap();
+        assert!(dbg.symbol_count() > 10, "{}", dbg.symbol_count());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(matches!(StabsDebugger::read(&[1, 2, 3]), Err(StabsError::Malformed)));
+    }
+}

@@ -1,0 +1,529 @@
+//! The `ldb` command-line debugger: compile a C file for a simulated
+//! target and debug it interactively.
+//!
+//! ```text
+//! Usage: ldb <file.c>... [--arch ...] [--order big|little] [--tcp]
+//!        ldb <file.c>... --run [--core <path>]   run undebugged; fault dumps core
+//!        ldb <file.c>... --core <path>           post-mortem on a core file
+//!
+//! Commands:
+//!   b <func> [n] [if <expr>]  breakpoint, optionally conditional
+//!   bl <line>        breakpoint at the first stopping point on a line
+//!   ba <addr>        single-step breakpoint at a raw code address
+//!   d <addr>         delete the breakpoint at addr
+//!   w <name>         watch a variable (single-steps; stops on change)
+//!   dw <name>        delete the watchpoint on name
+//!   info b           list breakpoints, watchpoints, displays
+//!   c | run          continue
+//!   s                single-step one instruction
+//!   n                run to the next stopping point in this frame
+//!   fin              run until the selected frame returns
+//!   display <expr>   re-evaluate and print expr at every stop
+//!   undisplay <n>    remove display n
+//!   x <addr> [n]     hex dump of target data memory
+//!   pc <addr>        set the program counter (repair-and-resume)
+//!   p <name>         print a variable via its type's printer
+//!   e <expr>         evaluate a C expression (assignments allowed)
+//!   call <f>(<args>) call a target function, print its return value
+//!   bt               backtrace
+//!   f <n>            select frame n
+//!   regs             registers (machine-dependent names)
+//!   disas [n]        disassemble n bytes around the current pc
+//!   list             source annotated with stopping points
+//!   ps <code>        run raw PostScript in the embedded interpreter
+//!   detach           detach, preserving target state in the nub
+//!   attach           reconnect to the detached target
+//!   h | help         this list
+//!   q                quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use ldb_cc::driver::{compile_many, program_loader_ps, CompileOpts, CompiledProgram};
+use ldb_cc::pssym;
+use ldb_core::{Ldb, StopEvent};
+use ldb_machine::{Arch, ByteOrder};
+use ldb_machine::core::read_core;
+use ldb_nub::{spawn_machine, NubConfig, NubHandle, TcpWire};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ldb: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut arch = Arch::Mips;
+    let mut order = None;
+    let mut tcp = false;
+    let mut run_only = false;
+    let mut core: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--arch" => {
+                i += 1;
+                arch = Arch::from_name(args.get(i).map(String::as_str).unwrap_or(""))
+                    .ok_or("unknown architecture")?;
+            }
+            "--tcp" => tcp = true,
+            "--run" => run_only = true,
+            "--core" => {
+                i += 1;
+                core = Some(args.get(i).ok_or("--core needs a path")?.clone());
+            }
+            "--order" => {
+                i += 1;
+                order = Some(match args.get(i).map(String::as_str) {
+                    Some("big") => ByteOrder::Big,
+                    Some("little") => ByteOrder::Little,
+                    _ => return Err("order must be big or little".into()),
+                });
+            }
+            other => files.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        eprintln!("usage: ldb <file.c>... [--arch mips|m68k|sparc|vax] [--order big|little]");
+        std::process::exit(2);
+    }
+    // Post-mortem: the core file fixes the architecture; the sources are
+    // recompiled (deterministically) for the symbol tables.
+    let loaded_core = match (&core, run_only) {
+        (Some(path), false) => {
+            let bytes = std::fs::read(path)?;
+            let (machine, sig, code, context) = read_core(&bytes)?;
+            arch = machine.cpu.arch;
+            Some((machine, sig, code, context))
+        }
+        _ => None,
+    };
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|f| Ok::<_, std::io::Error>((f.clone(), std::fs::read_to_string(f)?)))
+        .collect::<Result<_, _>>()?;
+    let src = sources.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>().join("
+");
+    let parts: Vec<(&str, &str)> =
+        sources.iter().map(|(f, s)| (f.as_str(), s.as_str())).collect();
+    let c: CompiledProgram =
+        compile_many(&parts, arch, CompileOpts { order, ..Default::default() })
+            .map_err(|e| format!("{e}"))?;
+    let loader = program_loader_ps(&c, pssym::PsMode::Deferred);
+    if run_only {
+        // Run undebugged; a fault dumps core (UNIX semantics) when
+        // --core names a path.
+        let cfg = NubConfig {
+            core_path: core.clone().map(std::path::PathBuf::from),
+            ..Default::default()
+        };
+        let handle = ldb_nub::spawn(&c.linked.image, cfg);
+        let m = handle.join.join().expect("nub thread");
+        print!("{}", m.output);
+        match m.exited {
+            Some(status) => println!("exited with status {status}"),
+            None => match &core {
+                Some(p) if std::path::Path::new(p).exists() => {
+                    println!("faulted; core dumped to {p}");
+                }
+                Some(p) => println!("faulted; could not write core to {p}"),
+                None => println!("faulted (no --core path; state discarded)"),
+            },
+        }
+        return Ok(());
+    }
+    let mut ldb = Ldb::new();
+    if let Some((machine, sig, code, context)) = loaded_core {
+        let pc = machine.cpu.pc;
+        let handle = spawn_machine(machine, context, NubConfig::default());
+        let wire = handle.connect_channel();
+        ldb.attach(Box::new(wire), &loader, Some(handle))?;
+        println!(
+            "core: signal {sig} (code {code:#x}) at pc {pc:#x}; post-mortem session"
+        );
+    } else if tcp {
+        // Debug over a real socket: the nub thread is the "remote
+        // machine"; an acceptor plays inetd and hands it the connection.
+        let handle =
+            ldb_nub::spawn(&c.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let connect = handle.connect.clone();
+        std::thread::spawn(move || {
+            if let Ok((s, _)) = listener.accept() {
+                let _ = connect.send(Box::new(TcpWire::new(s)));
+            }
+        });
+        let stream = std::net::TcpStream::connect(addr)?;
+        ldb.attach(Box::new(TcpWire::new(stream)), &loader, Some(handle))?;
+        println!("connected over tcp://{addr}");
+    } else {
+        ldb.spawn_program(&c.linked.image, &loader)?;
+    }
+    println!(
+        "ldb: {} for {arch} ({} instructions)",
+        files.join(" "),
+        c.linked.stats.insn_count
+    );
+
+    let mut sess = Session::default();
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("(ldb) ");
+        std::io::stdout().flush()?;
+        let Some(Ok(line)) = lines.next() else { break };
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        let result = dispatch(&mut ldb, &mut sess, &c, &src, cmd, &rest);
+        match result {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Per-session CLI state layered over the library: auto-display
+/// expressions (breakpoint conditions live in the library, so every
+/// resume path honors them).
+#[derive(Default)]
+struct Session {
+    /// Expressions re-evaluated and printed at every stop.
+    displays: Vec<String>,
+    /// A detached target: the nub handle keeps the program's thread (and
+    /// preserved state) alive for a later `attach`.
+    parked: Option<(NubHandle, String)>,
+}
+
+/// Print the auto-display expressions after a stop.
+fn show_displays(ldb: &mut Ldb, sess: &Session) {
+    for (k, expr) in sess.displays.iter().enumerate() {
+        match ldb.eval(expr) {
+            Ok(v) => println!("{k}: {expr} = {v}"),
+            Err(e) => println!("{k}: {expr} = <{e}>"),
+        }
+    }
+}
+
+/// The loader-table PostScript for the compiled program (regenerated on
+/// demand; it is deterministic).
+fn c_loader(c: &CompiledProgram) -> String {
+    program_loader_ps(c, pssym::PsMode::Deferred)
+}
+
+fn dispatch(
+    ldb: &mut Ldb,
+    sess: &mut Session,
+    c: &CompiledProgram,
+    src: &str,
+    cmd: &str,
+    rest: &[&str],
+) -> Result<bool, Box<dyn std::error::Error>> {
+    match cmd {
+        "" => {}
+        "q" | "quit" => return Ok(true),
+        "h" | "help" => {
+            println!(
+                "\
+b <func> [n] [if <expr>]  breakpoint at stopping point n (default 0), optionally conditional
+bl <line> | ba <addr>     breakpoint by line / raw address (single-step scheme)
+d <addr>                  delete breakpoint        info   list breakpoints/watches/displays
+w <name> | dw <name>      watch a variable / stop watching
+c                         continue                 s      step one instruction
+n                         step over (same frame)   fin    run until this frame returns
+p <name>                  print via the type's printer
+e <expr>                  evaluate (assignments and calls allowed)
+call <f>(<args>)          call a target function
+display <expr> | undisplay <k>   re-evaluate at every stop / remove
+x <addr> [n]              hex dump data memory     pc <addr>  set the program counter
+bt | f <n>                backtrace / select frame
+regs | list | disas [a]   registers / annotated source / disassembly
+ps <code>                 run PostScript in the embedded interpreter
+detach | attach           park the target in the nub / reconnect
+q                         quit"
+            );
+        }
+        "b" | "break" => {
+            let func = rest.first().ok_or("usage: b <func> [n] [if <expr>]")?;
+            // `b f 3 if i > 2` — everything after `if` is the condition.
+            let if_pos = rest.iter().position(|w| *w == "if");
+            let args = &rest[1..if_pos.unwrap_or(rest.len())];
+            let idx: usize = args.first().map(|s| s.parse()).transpose()?.unwrap_or(0);
+            let cond = if_pos.map(|p| rest[p + 1..].join(" "));
+            if cond.as_deref() == Some("") {
+                return Err("usage: b <func> [n] if <expr>".into());
+            }
+            let addr = ldb.break_at(func, idx)?;
+            match &cond {
+                Some(c) => println!("breakpoint at {addr:#x} ({func} stop {idx}) if {c}"),
+                None => println!("breakpoint at {addr:#x} ({func} stop {idx})"),
+            }
+            ldb.set_break_condition(addr, cond)?;
+        }
+        "bl" => {
+            let line: u32 = rest.first().ok_or("usage: bl <line>")?.parse()?;
+            let addr = ldb.break_at_line(line)?;
+            println!("breakpoint at {addr:#x} (line {line})");
+        }
+        "ba" => {
+            let a = rest.first().ok_or("usage: ba <hex-addr>")?;
+            let addr = u32::from_str_radix(a.trim_start_matches("0x"), 16)?;
+            ldb.break_at_pc(addr)?;
+            println!("single-step breakpoint at {addr:#x}");
+        }
+        "d" | "delete" => {
+            let a = rest.first().ok_or("usage: d <hex-addr>")?;
+            let addr = u32::from_str_radix(a.trim_start_matches("0x"), 16)?;
+            ldb.clear_breakpoint(addr)?;
+        }
+        "w" | "watch" => {
+            let name = rest.first().ok_or("usage: w <name>")?;
+            let val = ldb.watch_var(name)?;
+            println!("watching {name} (currently {val})");
+        }
+        "dw" => {
+            let name = rest.first().ok_or("usage: dw <name>")?;
+            ldb.clear_watch(name)?;
+        }
+        "info" => {
+            if let Some(id) = ldb.current() {
+                for a in ldb.target(id).breakpoints.addresses() {
+                    match ldb.target(id).conds.get(&a) {
+                        Some(cond) => println!("breakpoint at {a:#x} if {cond}"),
+                        None => println!("breakpoint at {a:#x}"),
+                    }
+                }
+            }
+            for (name, val) in ldb.watchpoints() {
+                println!("watchpoint on {name} (last {val})");
+            }
+            for (k, expr) in sess.displays.iter().enumerate() {
+                println!("display {k}: {expr}");
+            }
+        }
+        "c" | "cont" | "run" | "r" => {
+            let ev = ldb.cont_watch()?;
+            let exited = matches!(ev, StopEvent::Exited(_));
+            report(ev);
+            if !exited {
+                show_displays(ldb, sess);
+            }
+        }
+        "n" | "next" => {
+            let ev = ldb.step_over()?;
+            let exited = matches!(ev, StopEvent::Exited(_));
+            report(ev);
+            if !exited {
+                show_displays(ldb, sess);
+            }
+        }
+        "fin" | "finish" => {
+            let (ev, rv) = ldb.finish()?;
+            let exited = matches!(ev, StopEvent::Exited(_));
+            report(ev);
+            if let Some(rv) = rv {
+                println!("value returned: {rv}");
+            }
+            if !exited {
+                show_displays(ldb, sess);
+            }
+        }
+        "s" | "step" => {
+            let ev = ldb.step_insn()?;
+            let exited = matches!(ev, StopEvent::Exited(_));
+            report(ev);
+            if !exited {
+                show_displays(ldb, sess);
+            }
+        }
+        "display" => {
+            let expr = rest.join(" ");
+            if expr.is_empty() {
+                return Err("usage: display <expr>".into());
+            }
+            // Evaluate once now for immediate feedback; an expression
+            // that is not yet in scope still arms (it will print once
+            // the target reaches a scope where it evaluates).
+            match ldb.eval(&expr) {
+                Ok(v) => println!("{}: {expr} = {v}", sess.displays.len()),
+                Err(e) => println!("{}: {expr} = <{e}>", sess.displays.len()),
+            }
+            sess.displays.push(expr);
+        }
+        "undisplay" => {
+            let k: usize = rest.first().ok_or("usage: undisplay <n>")?.parse()?;
+            if k >= sess.displays.len() {
+                return Err(format!("no display {k}").into());
+            }
+            sess.displays.remove(k);
+        }
+        "x" | "examine" => {
+            // x <hex-addr> [n-bytes] — hex dump of target data memory.
+            let a = rest.first().ok_or("usage: x <hex-addr> [nbytes]")?;
+            let addr = u32::from_str_radix(a.trim_start_matches("0x"), 16)?;
+            let n: u32 = rest.get(1).map(|s| s.parse()).transpose()?.unwrap_or(64);
+            let id = ldb.current().ok_or("no target")?;
+            let client = std::rc::Rc::clone(&ldb.target(id).client);
+            let mut client = client.borrow_mut();
+            for row in 0..n.div_ceil(16) {
+                let base = addr + row * 16;
+                let mut hex = String::new();
+                let mut ascii = String::new();
+                for b in 0..16.min(n - row * 16) {
+                    let byte = client.fetch('d', base + b, 1)? as u8;
+                    hex.push_str(&format!("{byte:02x} "));
+                    ascii.push(if byte.is_ascii_graphic() || byte == b' ' {
+                        byte as char
+                    } else {
+                        '.'
+                    });
+                }
+                println!("{base:#010x}  {hex:<48} {ascii}");
+            }
+        }
+        "pc" => {
+            // Redirect execution: `pc <hex-addr>` (repair-and-resume).
+            let a = rest.first().ok_or("usage: pc <hex-addr>")?;
+            let addr = u32::from_str_radix(a.trim_start_matches("0x"), 16)?;
+            ldb.set_pc(addr)?;
+            println!("pc set to {addr:#x}");
+        }
+        "detach" => {
+            let loader_ps = c_loader(c);
+            let handle = ldb
+                .detach_current()?
+                .ok_or("this target has no local nub handle (already taken)")?;
+            sess.parked = Some((handle, loader_ps));
+            println!("detached; program state preserved in the nub (reconnect with `attach`)");
+        }
+        "attach" => {
+            let (handle, loader_ps) =
+                sess.parked.take().ok_or("nothing detached in this session")?;
+            let wire = handle.connect_channel();
+            match ldb.attach(Box::new(wire), &loader_ps, Some(handle)) {
+                Ok(_) => println!("reattached; breakpoints recovered from the nub"),
+                Err(e) => {
+                    // The handle went into the failed target; nothing to
+                    // re-park, but say so rather than dropping silently.
+                    return Err(format!("reattach failed: {e}").into());
+                }
+            }
+        }
+        "call" => {
+            // call f(expr, expr, ...) — each argument is evaluated by the
+            // expression server, so variables and arithmetic work.
+            let joined = rest.join(" ");
+            if !joined.contains('(') || !joined.trim_end().ends_with(')') {
+                return Err("usage: call <func>(<args>)".into());
+            }
+            // The library's expression evaluator handles the whole call
+            // (including float arguments and the return type recorded in
+            // the symbol table), so just hand it the text.
+            println!("{}", ldb.eval(&joined)?);
+        }
+        "p" | "print" => {
+            let name = rest.first().ok_or("usage: p <name>")?;
+            println!("{} = {}", name, ldb.print_var(name)?);
+        }
+        "e" | "eval" => {
+            let expr = rest.join(" ");
+            println!("{}", ldb.eval(&expr)?);
+        }
+        "bt" | "where" => {
+            for (lvl, name, pc, vfp) in ldb.backtrace() {
+                println!("#{lvl}  {name}  pc={pc:#x}  frame={vfp:#x}");
+            }
+        }
+        "f" | "frame" => {
+            let n: usize = rest.first().ok_or("usage: f <n>")?.parse()?;
+            ldb.select_frame(n)?;
+            println!("frame {n} selected");
+        }
+        "regs" => {
+            for (chunkno, chunk) in ldb.registers()?.chunks(4).enumerate() {
+                let _ = chunkno;
+                let row: Vec<String> =
+                    chunk.iter().map(|(n, v)| format!("{n:>5} = {v:08x}")).collect();
+                println!("  {}", row.join("   "));
+            }
+        }
+        "list" | "l" => {
+            let fib: Vec<&ldb_cc::ir::FuncIr> =
+                c.units.iter().flat_map(|(u, _)| u.funcs.iter()).collect();
+            for (lineno, line) in src.lines().enumerate() {
+                let lineno = lineno as u32 + 1;
+                let marks: Vec<String> = fib
+                    .iter()
+                    .flat_map(|f| f.stops.iter())
+                    .filter(|s| s.line == lineno)
+                    .map(|s| s.index.to_string())
+                    .collect();
+                let tag = if marks.is_empty() {
+                    String::new()
+                } else {
+                    format!("  % stops {}", marks.join(","))
+                };
+                println!("{lineno:>4}  {line}{tag}");
+            }
+        }
+        "disas" | "di" => {
+            let id = ldb.current().ok_or("no target")?;
+            let t = ldb.target(id);
+            let f = t.frames.get(t.cur_frame).ok_or("not stopped")?;
+            let pc = f.pc;
+            let n: u32 = rest.first().map(|s| s.parse()).transpose()?.unwrap_or(32);
+            // Disassemble forward from the pc: backing up is unreliable on
+            // the variable-length targets.
+            let start = pc;
+            let mut bytes = Vec::new();
+            for a in start..start + n {
+                bytes.push(t.client.borrow_mut().fetch('c', a, 1)? as u8);
+            }
+            let arch = t.arch;
+            let order = c.order;
+            for (addr, _, text) in ldb_machine::disas::disassemble(arch, order, &bytes, start) {
+                let mark = if addr == pc { "=>" } else { "  " };
+                println!("{mark} {addr:#07x}  {text}");
+            }
+        }
+        "ps" => {
+            let code = rest.join(" ");
+            match ldb.interp.run_str(&code) {
+                Ok(()) => {
+                    while ldb.interp.depth() > 0 {
+                        let o = ldb.interp.pop()?;
+                        println!("{}", o.to_syntactic());
+                    }
+                }
+                Err(e) => println!("postscript error: {e}"),
+            }
+        }
+        other => println!("unknown command `{other}` (q quits)"),
+    }
+    Ok(false)
+}
+
+fn report(ev: StopEvent) {
+    match ev {
+        StopEvent::Paused => println!("paused before main"),
+        StopEvent::Attached => println!("attached"),
+        StopEvent::Breakpoint { func, line, addr } => {
+            println!("breakpoint in {func} at line {line} ({addr:#x})")
+        }
+        StopEvent::Stepped { func, line, addr } => {
+            println!("stepped: {func} line {line} ({addr:#x})")
+        }
+        StopEvent::Watchpoint { name, old, new, func, line, addr } => {
+            println!("watchpoint: {name} changed {old} -> {new} in {func} at line {line} ({addr:#x})");
+        }
+        StopEvent::Fault { sig, code } => println!("fault: {sig} (code {code:#x})"),
+        StopEvent::Exited(status) => println!("target exited with status {status}"),
+    }
+}

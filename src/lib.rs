@@ -1,0 +1,10 @@
+//! Umbrella crate for the ldb reproduction: re-exports every subsystem so the
+//! examples and integration tests can reach the whole stack through one name.
+pub use ldb_cc as cc;
+pub use ldb_compress as compress;
+pub use ldb_core as core;
+pub use ldb_exprserver as exprserver;
+pub use ldb_machine as machine;
+pub use ldb_nub as nub;
+pub use ldb_postscript as postscript;
+pub use ldb_stabs as stabs;

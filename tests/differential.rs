@@ -1,0 +1,199 @@
+//! Differential testing: randomly generated programs must print exactly
+//! the same output on all four simulated targets, debug and release, both
+//! MIPS byte orders. Any divergence points at a back end, encoder,
+//! scheduler, or simulator bug.
+
+use ldb_suite::cc::driver::{compile, CompileOpts};
+use ldb_suite::machine::{Arch, ByteOrder, Machine, RunEvent};
+use proptest::prelude::*;
+
+/// A tiny expression grammar over variables a..e (always initialized).
+#[derive(Debug, Clone)]
+enum E {
+    Var(u8),
+    Lit(i8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    DivSafe(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, u8),
+    Neg(Box<E>),
+    Cmp(Box<E>, Box<E>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (0u8..5).prop_map(E::Var),
+        any::<i8>().prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::DivSafe(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..8).prop_map(|(a, s)| E::Shl(Box::new(a), s)),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Cmp(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn emit(e: &E) -> String {
+    match e {
+        E::Var(v) => format!("{}", (b'a' + v % 5) as char),
+        E::Lit(n) => format!("({n})"),
+        E::Add(a, b) => format!("({} + {})", emit(a), emit(b)),
+        E::Sub(a, b) => format!("({} - {})", emit(a), emit(b)),
+        E::Mul(a, b) => format!("({} * {})", emit(a), emit(b)),
+        // Guarded division: positive denominator, positive numerator
+        // (C89 negative division rounding was implementation-defined, so
+        // stick to the well-defined case).
+        E::DivSafe(a, b) => format!(
+            "((({} & 4095) + 7) / ((({}) & 63) + 3))",
+            emit(a),
+            emit(b)
+        ),
+        E::And(a, b) => format!("({} & {})", emit(a), emit(b)),
+        E::Xor(a, b) => format!("({} ^ {})", emit(a), emit(b)),
+        E::Shl(a, s) => format!("(({} & 65535) << {s})", emit(a)),
+        E::Neg(a) => format!("(-{})", emit(a)),
+        E::Cmp(a, b) => format!("({} < {})", emit(a), emit(b)),
+    }
+}
+
+/// One random statement.
+#[derive(Debug, Clone)]
+enum S {
+    Assign(u8, E),
+    IfElse(E, u8, E, E),
+    Loop(u8, u8, E),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = S> {
+    prop_oneof![
+        (0u8..5, expr_strategy()).prop_map(|(v, e)| S::Assign(v, e)),
+        (expr_strategy(), 0u8..5, expr_strategy(), expr_strategy())
+            .prop_map(|(c, v, t, f)| S::IfElse(c, v, t, f)),
+        (0u8..5, 1u8..6, expr_strategy()).prop_map(|(v, n, e)| S::Loop(v, n, e)),
+    ]
+}
+
+fn program(stmts: &[S]) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        match s {
+            S::Assign(v, e) => {
+                body.push_str(&format!("    {} = {};\n", (b'a' + v % 5) as char, emit(e)))
+            }
+            S::IfElse(c, v, t, f) => body.push_str(&format!(
+                "    if ({}) {} = {}; else {} = {};\n",
+                emit(c),
+                (b'a' + v % 5) as char,
+                emit(t),
+                (b'a' + v % 5) as char,
+                emit(f)
+            )),
+            S::Loop(v, n, e) => body.push_str(&format!(
+                "    for (t = 0; t < {n}; t++) {} = {} + ({}) % 97;\n",
+                (b'a' + v % 5) as char,
+                (b'a' + v % 5) as char,
+                emit(e)
+            )),
+        }
+    }
+    format!(
+        "int main(void) {{\n    int a; int b; int c; int d; int e; int t;\n    \
+         a = 1; b = 2; c = 3; d = 4; e = 5;\n{body}    \
+         printf(\"%d %d %d %d %d\\n\", a, b, c, d, e);\n    return 0;\n}}\n"
+    )
+}
+
+fn run_on(src: &str, arch: Arch, order: Option<ByteOrder>, debug: bool) -> String {
+    run_opts(src, arch, CompileOpts { debug, order, ..Default::default() })
+}
+
+fn run_opts(src: &str, arch: Arch, opts: CompileOpts) -> String {
+    let c = compile("rand.c", src, arch, opts)
+    .unwrap_or_else(|e| panic!("{arch}: {e}\n{src}"));
+    let mut m = Machine::load(&c.linked.image);
+    loop {
+        match m.run(20_000_000) {
+            RunEvent::Paused { .. } => continue,
+            RunEvent::Exited(0) => return m.output,
+            other => panic!("{arch}: {other:?}\noutput: {:?}\n{src}", m.output),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_targets_agree(stmts in prop::collection::vec(stmt_strategy(), 1..8)) {
+        let src = program(&stmts);
+        let reference = run_on(&src, Arch::Mips, Some(ByteOrder::Big), true);
+        for arch in Arch::ALL {
+            for debug in [true, false] {
+                let out = run_on(&src, arch, None, debug);
+                prop_assert_eq!(&out, &reference, "{} debug={} diverged\n{}", arch, debug, &src);
+            }
+        }
+        let le = run_on(&src, Arch::Mips, Some(ByteOrder::Little), true);
+        prop_assert_eq!(&le, &reference, "little-endian MIPS diverged\n{}", &src);
+        // The naive-operand-order ablation mode must agree too when it
+        // can compile the program at all (deep expressions exceed its
+        // register capacity by design -- that is what SU ordering buys).
+        if let Ok(c) = compile(
+            "rand.c",
+            &src,
+            Arch::Vax,
+            CompileOpts { naive_order: true, ..Default::default() },
+        ) {
+            let mut m = Machine::load(&c.linked.image);
+            let naive = loop {
+                match m.run(20_000_000) {
+                    RunEvent::Paused { .. } => continue,
+                    RunEvent::Exited(0) => break m.output.clone(),
+                    other => panic!("naive vax: {other:?}\n{src}"),
+                }
+            };
+            prop_assert_eq!(&naive, &reference, "naive ordering diverged\n{}", &src);
+        }
+    }
+}
+
+/// The Sethi-Ullman ablation mode still produces correct code: both
+/// orderings print identical output (evaluation order is unobservable
+/// for these side-effect-free expressions).
+#[test]
+fn naive_ordering_agrees_with_su() {
+    let src = program(&[
+        S::Assign(0, E::Add(Box::new(E::Var(1)), Box::new(E::Mul(Box::new(E::Var(2)), Box::new(E::Lit(7)))))),
+        S::Loop(3, 4, E::Xor(Box::new(E::Var(0)), Box::new(E::Lit(29)))),
+    ]);
+    for arch in Arch::ALL {
+        let su = run_on(&src, arch, None, true);
+        let c = compile(
+            "rand.c",
+            &src,
+            arch,
+            CompileOpts { naive_order: true, ..Default::default() },
+        )
+        .unwrap();
+        let mut m = Machine::load(&c.linked.image);
+        let naive = loop {
+            match m.run(20_000_000) {
+                RunEvent::Paused { .. } => continue,
+                RunEvent::Exited(0) => break m.output.clone(),
+                other => panic!("{arch}: {other:?}"),
+            }
+        };
+        assert_eq!(naive, su, "{arch}");
+    }
+}

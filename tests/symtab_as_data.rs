@@ -1,0 +1,123 @@
+//! "ldb's PostScript symbol tables can be manipulated by PostScript
+//! programs. For example, we wrote PostScript code that reads the
+//! top-level dictionary for the nub and constructs a Modula-3 description
+//! of one of the nub's machine-dependent data structures." (paper, Sec. 7)
+//!
+//! The analog here: PostScript programs that walk a loaded symbol table
+//! and generate (a) C extern declarations — a header file — and (b) a
+//! summary report, exercising the tables as plain data.
+
+use ldb_suite::cc::driver::{compile, CompileOpts};
+use ldb_suite::cc::pssym::{emit, PsMode};
+use ldb_suite::machine::Arch;
+use ldb_suite::postscript::Interp;
+
+const SRC: &str = r#"
+struct pair { int lo; int hi; };
+double ratio;
+int counts[8];
+static int hidden;
+int bump(int by) { hidden += by; return hidden; }
+int main(void) { return bump(1); }
+"#;
+
+/// PostScript that regenerates a C header from /externs: for every
+/// variable entry, substitute the name into the type's %s declaration
+/// pattern and print `extern <decl>;`.
+const HEADER_GEN: &str = r#"
+/emit-decl {                 % name entry -> (prints one line)
+    dup /kind get (variable) eq {
+        /type get /decl get  % name declpattern
+        exch                 % declpattern name
+        % Substitute the name for %s by scanning the pattern.
+        (extern ) Put
+        2 dict begin /&name exch def /&pat exch def
+        /&i 0 def
+        {
+            &i &pat length ge { exit } if
+            &pat &i get 37 eq               % '%'
+            &i 1 add &pat length lt and
+            { &pat &i 1 add get 115 eq } { false } ifelse  % 's'
+            {
+                &name Put
+                /&i &i 2 add def
+            } {
+                &pat &i get CvChar Put
+                /&i &i 1 add def
+            } ifelse
+        } loop
+        end
+        (;) Put Newline
+    } { pop pop } ifelse
+} def
+/externs get { exch cvs exch emit-decl } forall
+"#;
+
+fn load_table(interp: &mut Interp, arch: Arch) {
+    let c = compile("mix.c", SRC, arch, CompileOpts::default()).unwrap();
+    let ps = emit(&c.unit, &c.funcs, arch, PsMode::Eager);
+    interp.run_str(&ps).unwrap();
+    // The top-level dictionary is left on the stack.
+}
+
+fn debug_interp() -> (Interp, std::rc::Rc<std::cell::RefCell<String>>) {
+    let mut interp = Interp::new();
+    let ctx = std::rc::Rc::new(std::cell::RefCell::new(ldb_suite::core::EvalCtx::new()));
+    let dict = ldb_suite::core::psops::make_debug_dict(&mut interp, ctx);
+    interp.push_dict(dict);
+    let buf = std::rc::Rc::new(std::cell::RefCell::new(String::new()));
+    interp.set_output(ldb_suite::postscript::Out::Shared(std::rc::Rc::clone(&buf)));
+    (interp, buf)
+}
+
+#[test]
+fn postscript_regenerates_a_c_header_from_the_symbol_table() {
+    let (mut interp, buf) = debug_interp();
+    load_table(&mut interp, Arch::Vax);
+    interp
+        .run_str(HEADER_GEN)
+        .unwrap_or_else(|e| panic!("{e}\noutput so far: {}", buf.borrow()));
+    let header = buf.borrow().clone();
+    assert!(header.contains("extern double ratio;"), "{header}");
+    assert!(header.contains("extern int counts[8];"), "{header}");
+    // Statics are unit-private: not in /externs, so not in the header.
+    assert!(!header.contains("hidden"), "{header}");
+}
+
+/// A second manipulation: count stopping points per procedure straight
+/// from the tables.
+#[test]
+fn postscript_summarizes_stopping_points() {
+    let (mut interp, buf) = debug_interp();
+    load_table(&mut interp, Arch::Mips);
+    interp
+        .run_str(
+            r#"/procs get {
+                 dup /name get Put (: ) Put
+                 /loci get length cvs Put ( stopping points) Put Newline
+               } forall"#,
+        )
+        .unwrap();
+    let report = buf.borrow().clone();
+    assert!(report.contains("bump: 4 stopping points"), "{report}");
+    assert!(report.contains("main: "), "{report}");
+}
+
+/// And a third: machine-dependent extras are ordinary dictionary data
+/// (the 68020's register-save masks, paper Sec. 5).
+#[test]
+fn postscript_reads_save_masks() {
+    let (mut interp, buf) = debug_interp();
+    load_table(&mut interp, Arch::M68k);
+    interp
+        .run_str(
+            r#"/externs get /bump get
+               dup /framesize get cvs Put ( ) Put /savemask get cvs Put"#,
+        )
+        .unwrap();
+    let out = buf.borrow().clone();
+    let parts: Vec<&str> = out.split_whitespace().collect();
+    assert_eq!(parts.len(), 2, "{out}");
+    let framesize: u32 = parts[0].parse().unwrap();
+    assert!(framesize > 0, "{out}");
+}
