@@ -204,6 +204,13 @@ pub struct Target {
     /// Breakpoint conditions: address -> C expression; resume paths skip
     /// the stop while the expression evaluates to zero.
     pub conds: HashMap<u32, String>,
+    /// The wire to the nub was lost (debugger-side view). The nub itself
+    /// preserves the target; cached queries still answer, mutating
+    /// operations refuse until [`Ldb::reconnect`].
+    pub disconnected: bool,
+    /// Register snapshot from the last successful [`Ldb::registers`]
+    /// call, answered while disconnected.
+    reg_cache: Vec<(String, u32)>,
 }
 
 impl std::fmt::Debug for Target {
@@ -291,7 +298,23 @@ impl Ldb {
         loader_ps: &str,
         nub: Option<NubHandle>,
     ) -> Result<usize, LdbError> {
-        let mut client = NubClient::new(wire);
+        self.attach_with_config(wire, loader_ps, nub, ldb_nub::ClientConfig::default())
+    }
+
+    /// As [`Ldb::attach`], with an explicit resilience policy for the nub
+    /// client (lossy wires want shorter timeouts and bigger retry
+    /// budgets than the defaults).
+    ///
+    /// # Errors
+    /// As [`Ldb::attach`].
+    pub fn attach_with_config(
+        &mut self,
+        wire: Box<dyn Wire>,
+        loader_ps: &str,
+        nub: Option<NubHandle>,
+        cfg: ldb_nub::ClientConfig,
+    ) -> Result<usize, LdbError> {
+        let mut client = NubClient::with_config(wire, cfg);
         let ev = client.wait_event()?;
         let stop = match ev {
             NubEvent::Stopped { sig, code, context } => Stop { sig, code, context },
@@ -326,6 +349,8 @@ impl Ldb {
             nub,
             watches: Vec::new(),
             conds: HashMap::new(),
+            disconnected: false,
+            reg_cache: Vec::new(),
         };
         // Recover any breakpoints a crashed predecessor left planted.
         let _ = target.breakpoints.recover(&target.client);
@@ -347,8 +372,55 @@ impl Ldb {
         loader_ps: &str,
     ) -> Result<usize, LdbError> {
         let handle = ldb_nub::spawn(image, NubConfig { wait_at_pause: true, ..Default::default() });
-        let wire = handle.connect_channel();
+        let wire = handle
+            .connect_channel()
+            .map_err(|e| LdbError::Nub(ldb_nub::NubError::Io(e)))?;
         self.attach(Box::new(wire), loader_ps, Some(handle))
+    }
+
+    /// Reattach target `id` over a fresh wire after the old connection
+    /// died (or the previous debugger instance crashed): swaps the
+    /// client's transport without losing debugger-side state, waits for
+    /// the nub to (re-)announce the current stop, re-runs plant recovery
+    /// so breakpoints planted before the loss are known again, and
+    /// rebuilds the frame view.
+    ///
+    /// # Errors
+    /// Unknown target id; nub failures on the fresh wire.
+    pub fn reconnect(&mut self, id: usize, wire: Box<dyn Wire>) -> Result<StopEvent, LdbError> {
+        if id >= self.targets.len() {
+            return Err(LdbError::msg(format!("no target {id}")));
+        }
+        self.targets[id].client.borrow_mut().reconnect(wire);
+        let ev = self.targets[id].client.borrow_mut().wait_event()?;
+        self.targets[id].disconnected = false;
+        let t = &mut self.targets[id];
+        let recovered = t.breakpoints.recover(&t.client)?;
+        let _ = recovered;
+        self.handle_event(id, ev)
+    }
+
+    /// Refuse a wire-touching mutation while the target is disconnected.
+    fn ensure_connected(&self, id: usize) -> Result<(), LdbError> {
+        if self.targets[id].disconnected {
+            return Err(LdbError::msg(
+                "target is disconnected (connection to the nub was lost); \
+                 the nub preserves the target's state — reconnect to resume",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Pass a result through, switching the target to the disconnected
+    /// state when it reports a lost or unresponsive wire.
+    fn guard_wire<T>(&mut self, id: usize, r: Result<T, LdbError>) -> Result<T, LdbError> {
+        if let Err(LdbError::Nub(
+            ldb_nub::NubError::Io(_) | ldb_nub::NubError::Timeout(_),
+        )) = &r
+        {
+            self.targets[id].disconnected = true;
+        }
+        r
     }
 
     /// Switch the session to target `id`: pops the old architecture
@@ -439,8 +511,13 @@ impl Ldb {
             (frames, ())
         };
         let t = &mut self.targets[id];
-        t.frames = frames;
-        t.cur_frame = 0;
+        if !frames.is_empty() {
+            t.frames = frames;
+            t.cur_frame = 0;
+        }
+        // An empty walk means the wire died before the top frame could be
+        // read (a real stop always yields at least one frame): keep the
+        // view of the last coherent stop so cached queries still answer.
         self.sync_ctx(id);
         Ok(())
     }
@@ -453,6 +530,7 @@ impl Ldb {
     /// Unknown procedure, missing stopping point, nub failures.
     pub fn break_at(&mut self, func: &str, index: usize) -> Result<u32, LdbError> {
         let id = self.cur_id()?;
+        self.ensure_connected(id)?;
         let entry = self.targets[id]
             .loader
             .proc_entry_by_name(func)
@@ -469,6 +547,7 @@ impl Ldb {
     /// No stopping point on the line; nub failures.
     pub fn break_at_line(&mut self, line: u32) -> Result<u32, LdbError> {
         let id = self.cur_id()?;
+        self.ensure_connected(id)?;
         let loader = Rc::clone(&self.targets[id].loader);
         let stops = symtab::stops_at_line(&mut self.interp, &loader, line)?;
         let Some((entry, index)) = stops.first().cloned() else {
@@ -487,6 +566,7 @@ impl Ldb {
     /// Nub failures.
     pub fn break_at_pc(&mut self, addr: u32) -> Result<(), LdbError> {
         let id = self.cur_id()?;
+        self.ensure_connected(id)?;
         let t = &mut self.targets[id];
         t.breakpoints.plant_anywhere(&t.client, addr)
     }
@@ -498,6 +578,12 @@ impl Ldb {
     /// Nub failures.
     pub fn step_insn(&mut self) -> Result<StopEvent, LdbError> {
         let id = self.cur_id()?;
+        self.ensure_connected(id)?;
+        let r = self.step_insn_inner(id);
+        self.guard_wire(id, r)
+    }
+
+    fn step_insn_inner(&mut self, id: usize) -> Result<StopEvent, LdbError> {
         self.prepare_resume(id)?;
         let ev = self.targets[id].client.borrow_mut().step_and_wait()?;
         self.handle_event(id, ev)
@@ -528,6 +614,7 @@ impl Ldb {
     /// Nub failures.
     pub fn clear_breakpoint(&mut self, addr: u32) -> Result<(), LdbError> {
         let id = self.cur_id()?;
+        self.ensure_connected(id)?;
         let t = &mut self.targets[id];
         t.conds.remove(&addr);
         t.breakpoints.remove(&t.client, addr)
@@ -539,6 +626,12 @@ impl Ldb {
     /// Nub failures.
     pub fn cont(&mut self) -> Result<StopEvent, LdbError> {
         let id = self.cur_id()?;
+        self.ensure_connected(id)?;
+        let r = self.cont_inner(id);
+        self.guard_wire(id, r)
+    }
+
+    fn cont_inner(&mut self, id: usize) -> Result<StopEvent, LdbError> {
         self.prepare_resume(id)?;
         let ev = self.targets[id].client.borrow_mut().continue_and_wait()?;
         self.handle_event(id, ev)
@@ -968,6 +1061,7 @@ impl Ldb {
         /// faults, which is how the debugger regains control.
         const SENTINEL: u32 = 0x0fff_fff0;
         let id = self.cur_id()?;
+        self.ensure_connected(id)?;
         let entry_pc = {
             let t = &self.targets[id];
             // Externs carry a leading underscore in the loader table.
@@ -1182,6 +1276,7 @@ impl Ldb {
     /// Target not stopped; nub failures.
     pub fn set_pc(&mut self, pc: u32) -> Result<(), LdbError> {
         let id = self.cur_id()?;
+        self.ensure_connected(id)?;
         let t = &self.targets[id];
         let stop = t.stop.ok_or_else(|| LdbError::msg("target is not stopped (running or exited)"))?;
         t.client
@@ -1604,6 +1699,16 @@ impl Ldb {
     /// No stopped frame.
     pub fn registers(&mut self) -> Result<Vec<(String, u32)>, LdbError> {
         let id = self.cur_id()?;
+        if self.targets[id].disconnected {
+            // Answer from the last snapshot: the wire is gone, but what
+            // the target looked like at the last stop is still known.
+            if !self.targets[id].reg_cache.is_empty() {
+                return Ok(self.targets[id].reg_cache.clone());
+            }
+            return Err(LdbError::msg(
+                "target is disconnected and no register snapshot is cached",
+            ));
+        }
         let t = &self.targets[id];
         let f = t
             .frames
@@ -1617,6 +1722,7 @@ impl Ldb {
             let v = mem.fetch('r', i as i64, 4).unwrap_or(0);
             out.push((n.as_string()?.to_string(), v as u32));
         }
+        self.targets[id].reg_cache = out.clone();
         Ok(out)
     }
 

@@ -3,10 +3,24 @@
 //! process — fetch, store, continue, and stop notifications. Keeping the
 //! interface this small is what makes the nub easy to reimplement in
 //! other environments (paper, Sec. 4.2).
+//!
+//! The client speaks the *enveloped* session layer (see
+//! [`crate::proto::Envelope`]): every request carries a sequence number
+//! and a checksum, replies are matched to their request, and asynchronous
+//! stop notifications are deduplicated by generation. On top of that sit
+//! the resilience policies: a per-transaction reply timeout, bounded
+//! retransmission with exponential backoff (safe for every request — the
+//! nub executes each sequence number at most once), and [`Request::Ping`]
+//! probing while waiting for events, so a dead wire is distinguished from
+//! a target that is simply still running. [`NubClient::reconnect`] swaps
+//! the transport under a live client without losing any debugger-side
+//! state, which is what lets a session survive a severed connection.
 
+use std::collections::VecDeque;
 use std::io;
+use std::time::{Duration, Instant};
 
-use crate::proto::{Reply, Request, Sig};
+use crate::proto::{Envelope, Reply, Request, Sig};
 use crate::transport::Wire;
 
 /// An event reported by the nub.
@@ -35,6 +49,9 @@ pub enum NubError {
     Nub(u8),
     /// The protocol got out of sync.
     Protocol(String),
+    /// The nub stopped answering within the retry budget; the wire may be
+    /// dead or the peer wedged. Reconnect (or retry) to find out.
+    Timeout(String),
 }
 
 impl std::fmt::Display for NubError {
@@ -44,8 +61,10 @@ impl std::fmt::Display for NubError {
             NubError::Nub(1) => write!(f, "nub: bad address"),
             NubError::Nub(2) => write!(f, "nub: bad space"),
             NubError::Nub(3) => write!(f, "nub: bad size"),
+            NubError::Nub(4) => write!(f, "nub: target is not stopped"),
             NubError::Nub(c) => write!(f, "nub: error {c}"),
             NubError::Protocol(s) => write!(f, "nub protocol: {s}"),
+            NubError::Timeout(s) => write!(f, "nub timeout: {s}"),
         }
     }
 }
@@ -58,48 +77,190 @@ impl From<io::Error> for NubError {
     }
 }
 
+/// Resilience policy knobs for a [`NubClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// How long one transaction attempt waits for its reply before
+    /// retransmitting.
+    pub reply_timeout: Duration,
+    /// Retransmissions allowed per transaction (on top of the first
+    /// attempt). Safe for every request: the nub deduplicates by
+    /// sequence number, so a retransmission is never executed twice.
+    pub retries: u32,
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub backoff: Duration,
+    /// How often to probe with [`Request::Ping`] while waiting for a
+    /// stop notification.
+    pub event_poll: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            reply_timeout: Duration::from_millis(150),
+            retries: 10,
+            backoff: Duration::from_millis(1),
+            event_poll: Duration::from_millis(10),
+        }
+    }
+}
+
 /// The debugger's connection to one nub.
 pub struct NubClient {
     wire: Box<dyn Wire>,
+    cfg: ClientConfig,
+    /// Last sequence number used; each transaction takes the next one.
+    seq: u32,
+    /// Generation of the newest accepted event (duplicate suppression).
+    last_event_gen: Option<u32>,
+    /// Events noticed while a transaction was in flight.
+    pending_events: VecDeque<NubEvent>,
 }
 
 impl std::fmt::Debug for NubClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "NubClient")
+        write!(f, "NubClient(seq {})", self.seq)
     }
 }
 
 impl NubClient {
-    /// Wrap a connected wire.
+    /// Wrap a connected wire with default resilience policy.
     pub fn new(wire: Box<dyn Wire>) -> NubClient {
-        NubClient { wire }
+        NubClient::with_config(wire, ClientConfig::default())
     }
 
-    fn recv_reply(&mut self) -> Result<Reply, NubError> {
-        let frame = self.wire.recv()?;
-        Reply::decode(&frame).ok_or_else(|| NubError::Protocol("undecodable reply".into()))
+    /// Wrap a connected wire with an explicit policy (tests shrink the
+    /// timeouts; lossy links may want a larger retry budget).
+    pub fn with_config(wire: Box<dyn Wire>, cfg: ClientConfig) -> NubClient {
+        NubClient { wire, cfg, seq: 0, last_event_gen: None, pending_events: VecDeque::new() }
     }
 
+    /// The active policy.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
+    /// Swap the transport under the client, e.g. after the old wire died.
+    ///
+    /// Debugger-side state survives; session-side state resets: event
+    /// deduplication forgets the old connection (the nub re-announces the
+    /// current stop on a fresh wire, and that announcement must be
+    /// delivered, not deduplicated) and buffered events from the dead
+    /// wire are discarded. Sequence numbers keep counting — the nub's
+    /// duplicate suppression is per-connection.
+    pub fn reconnect(&mut self, wire: Box<dyn Wire>) {
+        self.wire = wire;
+        self.last_event_gen = None;
+        self.pending_events.clear();
+    }
+
+    /// Record an event frame, deduplicating by generation.
+    fn note_event(&mut self, generation: u32, reply: Reply) {
+        if self.last_event_gen.is_some_and(|g| generation <= g) {
+            return; // duplicated or stale notification
+        }
+        let event = match reply {
+            Reply::Signal { sig, code, context } => match Sig::from_number(sig) {
+                Some(sig) => NubEvent::Stopped { sig, code, context },
+                None => return, // unknown signal in a checksummed frame: drop
+            },
+            Reply::Exited { status } => NubEvent::Exited(status),
+            _ => return,
+        };
+        self.last_event_gen = Some(generation);
+        self.pending_events.push_back(event);
+    }
+
+    /// One at-most-once transaction: send the sequenced request, collect
+    /// its reply, retransmitting within the configured budget. Corrupted,
+    /// stale, and duplicated inbound frames are discarded; events that
+    /// arrive meanwhile are queued for [`NubClient::wait_event`].
     fn transact(&mut self, req: &Request) -> Result<Reply, NubError> {
-        self.wire.send(&req.encode())?;
-        // Skip stray notifications (none expected while stopped, but be
-        // liberal).
-        self.recv_reply()
+        self.seq = self.seq.wrapping_add(1);
+        let seq = self.seq;
+        let frame = Envelope::Req { seq, req: req.clone() }.encode();
+        let mut backoff = self.cfg.backoff;
+        let mut corrupt_seen = false;
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(80));
+            }
+            self.wire.send(&frame)?;
+            let deadline = Instant::now() + self.cfg.reply_timeout;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break; // this attempt's budget is spent: retransmit
+                }
+                let Some(raw) = self.wire.recv_timeout(left)? else { break };
+                match Envelope::decode(&raw) {
+                    Some(Envelope::Reply { seq: s, reply }) if s == seq => return Ok(reply),
+                    Some(Envelope::Reply { .. }) => {
+                        // A stale reply to an earlier retransmission of a
+                        // finished transaction; the sequence check drops it.
+                    }
+                    Some(Envelope::Event { generation, reply }) => {
+                        self.note_event(generation, reply);
+                    }
+                    Some(Envelope::Req { .. }) | None => {
+                        // Corruption (or a legacy bare frame, which an
+                        // enveloped session does not trust).
+                        corrupt_seen = true;
+                    }
+                }
+            }
+        }
+        let what = format!(
+            "no reply to {req:?} after {} attempts of {:?}",
+            self.cfg.retries + 1,
+            self.cfg.reply_timeout
+        );
+        if corrupt_seen {
+            Err(NubError::Protocol(format!("{what} (corrupted frames seen)")))
+        } else {
+            Err(NubError::Timeout(what))
+        }
     }
 
     /// Wait for the next stop/exit notification.
     ///
+    /// While the target runs, the client probes the nub with pings at the
+    /// configured poll interval; `Running` answers keep the wait alive
+    /// indefinitely (a busy target is not an error), while a dead wire
+    /// surfaces as [`NubError::Io`]/[`NubError::Timeout`] from the probe.
+    ///
     /// # Errors
-    /// Connection loss, protocol corruption.
+    /// Connection loss, protocol corruption past the retry budget.
     pub fn wait_event(&mut self) -> Result<NubEvent, NubError> {
-        match self.recv_reply()? {
-            Reply::Signal { sig, code, context } => {
-                let sig = Sig::from_number(sig)
-                    .ok_or_else(|| NubError::Protocol(format!("signal {sig}")))?;
-                Ok(NubEvent::Stopped { sig, code, context })
+        loop {
+            if let Some(e) = self.pending_events.pop_front() {
+                return Ok(e);
             }
-            Reply::Exited { status } => Ok(NubEvent::Exited(status)),
-            other => Err(NubError::Protocol(format!("expected a signal, got {other:?}"))),
+            match self.wire.recv_timeout(self.cfg.event_poll)? {
+                Some(raw) => {
+                    if let Some(Envelope::Event { generation, reply }) = Envelope::decode(&raw) {
+                        self.note_event(generation, reply);
+                    }
+                    // Anything else here is a stale reply, corruption, or
+                    // an untrusted bare frame: drop it and keep waiting.
+                }
+                None => {
+                    // Quiet wire: probe. A stopped nub answers by
+                    // re-sending the stop notification as an event (picked
+                    // up by the next loop turn); a running target answers
+                    // `Running`; a dead wire errors out of the probe.
+                    match self.transact(&Request::Ping)? {
+                        Reply::Running | Reply::Ack => {}
+                        Reply::Error { code } => return Err(NubError::Nub(code)),
+                        other => {
+                            return Err(NubError::Protocol(format!(
+                                "ping answered with {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -152,12 +313,36 @@ impl NubClient {
         }
     }
 
+    /// Probe the nub. Returns true if the target is currently executing,
+    /// false if it is stopped (in which case the stop notification is
+    /// also on its way to [`NubClient::wait_event`]).
+    ///
+    /// # Errors
+    /// Connection loss.
+    pub fn ping(&mut self) -> Result<bool, NubError> {
+        match self.transact(&Request::Ping)? {
+            Reply::Running => Ok(true),
+            Reply::Ack => Ok(false),
+            Reply::Error { code } => Err(NubError::Nub(code)),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Send a resume-class request and collect its acknowledgement.
+    fn resume(&mut self, req: Request) -> Result<(), NubError> {
+        match self.transact(&req)? {
+            Reply::Ack => Ok(()),
+            Reply::Error { code } => Err(NubError::Nub(code)),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+
     /// Resume the target and wait for the next event.
     ///
     /// # Errors
     /// Connection loss.
     pub fn continue_and_wait(&mut self) -> Result<NubEvent, NubError> {
-        self.wire.send(&Request::Continue.encode())?;
+        self.resume(Request::Continue)?;
         self.wait_event()
     }
 
@@ -167,7 +352,7 @@ impl NubClient {
     /// # Errors
     /// Connection loss.
     pub fn step_and_wait(&mut self) -> Result<NubEvent, NubError> {
-        self.wire.send(&Request::Step.encode())?;
+        self.resume(Request::Step)?;
         self.wait_event()
     }
 
@@ -176,14 +361,13 @@ impl NubClient {
     /// # Errors
     /// Connection loss.
     pub fn continue_only(&mut self) -> Result<(), NubError> {
-        self.wire.send(&Request::Continue.encode())?;
-        Ok(())
+        self.resume(Request::Continue)
     }
 
     /// Break the connection; the nub preserves the target's state.
     ///
     /// # Errors
-    /// Connection loss (which achieves the same thing).
+    /// Currently infallible: a dead wire achieves the same thing.
     pub fn detach(mut self) -> Result<(), NubError> {
         self.detach_in_place()
     }
@@ -192,18 +376,20 @@ impl NubClient {
     /// connection is dead afterwards).
     ///
     /// # Errors
-    /// Connection loss (which achieves the same thing).
+    /// Currently infallible: a dead wire achieves the same thing.
     pub fn detach_in_place(&mut self) -> Result<(), NubError> {
-        self.wire.send(&Request::Detach.encode())?;
+        // Best effort: if the acknowledgement is lost because the nub
+        // already dropped the connection, the detach still happened.
+        let _ = self.transact(&Request::Detach);
         Ok(())
     }
 
     /// Break the connection and let the target continue running free.
     ///
     /// # Errors
-    /// Connection loss.
+    /// Currently infallible: a dead wire achieves the same thing.
     pub fn detach_and_run(&mut self) -> Result<(), NubError> {
-        self.wire.send(&Request::DetachRun.encode())?;
+        let _ = self.transact(&Request::DetachRun);
         Ok(())
     }
 
@@ -212,7 +398,12 @@ impl NubClient {
     /// # Errors
     /// Connection loss.
     pub fn kill(mut self) -> Result<i32, NubError> {
-        self.wire.send(&Request::Kill.encode())?;
+        match self.transact(&Request::Kill)? {
+            Reply::Ack => {}
+            Reply::Exited { status } => return Ok(status),
+            Reply::Error { code } => return Err(NubError::Nub(code)),
+            other => return Err(NubError::Protocol(format!("{other:?}"))),
+        }
         match self.wait_event()? {
             NubEvent::Exited(s) => Ok(s),
             other => Err(NubError::Protocol(format!("{other:?}"))),

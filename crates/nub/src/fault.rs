@@ -1,0 +1,412 @@
+//! Deterministic fault injection for nub wires.
+//!
+//! [`FaultyWire`] wraps any [`Wire`] and injects the failures a remote
+//! debugging session actually meets: dropped frames, flipped bytes,
+//! truncation, duplicated frames, artificial latency, and a hard
+//! disconnect after a set number of frames. Every decision comes from a
+//! small seeded PRNG — the same seed always yields the same fault
+//! schedule, so a stress run that fails once fails the same way forever.
+//! There is no wall-clock or OS entropy anywhere in the schedule.
+//!
+//! The wrapper lives on the debugger's side of the connection. A hard
+//! disconnect *drops the inner wire*, which the nub's end observes as a
+//! vanished peer — exactly what a debugger crash looks like from the
+//! target, so the nub's state-preservation path (Sec. 4.2: "If the
+//! debugger crashes, the nub preserves the target's state and waits for a
+//! new connection") is exercised for real.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use crate::transport::Wire;
+
+/// splitmix64: small, seedable, and plenty random for fault schedules.
+#[derive(Debug, Clone)]
+struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    fn new(seed: u64) -> FaultRng {
+        FaultRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `p`.
+    fn hit(&mut self, p: f64) -> bool {
+        p > 0.0 && ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// What to inject, and how often. All probabilities are per frame, in
+/// `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// PRNG seed; the whole fault schedule is a pure function of it.
+    pub seed: u64,
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability one byte of a frame is flipped.
+    pub corrupt: f64,
+    /// Probability a frame loses its tail.
+    pub truncate: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Maximum artificial latency per frame, in milliseconds (actual
+    /// delay is drawn uniformly from `0..=delay_ms`).
+    pub delay_ms: u64,
+    /// Hard-disconnect after this many frames have crossed the wire.
+    pub disconnect_after: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop: 0.0,
+            corrupt: 0.0,
+            truncate: 0.0,
+            duplicate: 0.0,
+            delay_ms: 0,
+            disconnect_after: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Parse a `key=value,…` spec, e.g.
+    /// `seed=42,drop=0.1,corrupt=0.05,dup=0.02,truncate=0.01,delay=2,disconnect=400`.
+    ///
+    /// # Errors
+    /// Unknown keys, malformed numbers, or probabilities outside `[0, 1]`.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item `{part}` is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 =
+                    v.parse().map_err(|_| format!("bad number `{v}` for fault `{key}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault probability `{key}={v}` outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    cfg.seed =
+                        value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+                }
+                "drop" => cfg.drop = prob(value)?,
+                "corrupt" => cfg.corrupt = prob(value)?,
+                "truncate" => cfg.truncate = prob(value)?,
+                "dup" | "duplicate" => cfg.duplicate = prob(value)?,
+                "delay" | "delay_ms" => {
+                    cfg.delay_ms =
+                        value.parse().map_err(|_| format!("bad delay `{value}`"))?;
+                }
+                "disconnect" | "disconnect_after" => {
+                    cfg.disconnect_after = Some(
+                        value.parse().map_err(|_| format!("bad disconnect `{value}`"))?,
+                    );
+                }
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// True if this config can never perturb a frame.
+    pub fn is_benign(&self) -> bool {
+        self.drop == 0.0
+            && self.corrupt == 0.0
+            && self.truncate == 0.0
+            && self.duplicate == 0.0
+            && self.delay_ms == 0
+            && self.disconnect_after.is_none()
+    }
+}
+
+/// Running tally of injected faults (useful for logs and assertions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames that crossed the wire (both directions), pre-fault.
+    pub frames: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames with a flipped byte.
+    pub corrupted: u64,
+    /// Frames truncated.
+    pub truncated: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Whether the hard disconnect has fired.
+    pub disconnected: bool,
+}
+
+/// A [`Wire`] that injects deterministic faults around an inner wire.
+pub struct FaultyWire {
+    inner: Option<Box<dyn Wire>>,
+    cfg: FaultConfig,
+    rng: FaultRng,
+    stats: FaultStats,
+    /// A duplicated inbound frame waiting to be delivered again.
+    pending_dup: Option<Vec<u8>>,
+}
+
+impl FaultyWire {
+    /// Wrap `inner` with the fault schedule seeded by `cfg`.
+    pub fn new(inner: Box<dyn Wire>, cfg: FaultConfig) -> FaultyWire {
+        FaultyWire {
+            inner: Some(inner),
+            rng: FaultRng::new(cfg.seed),
+            cfg,
+            stats: FaultStats::default(),
+            pending_dup: None,
+        }
+    }
+
+    /// Convenience wrapper for a concrete wire.
+    pub fn wrap<W: Wire + 'static>(inner: W, cfg: FaultConfig) -> FaultyWire {
+        FaultyWire::new(Box::new(inner), cfg)
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn severed() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "fault injection: hard disconnect")
+    }
+
+    /// Count a frame; sever the wire if the disconnect budget is spent.
+    fn tick(&mut self) -> io::Result<&mut Box<dyn Wire>> {
+        if let Some(limit) = self.cfg.disconnect_after {
+            if self.stats.frames >= limit {
+                // Dropping the inner wire is the crash: the peer's next
+                // operation sees a vanished endpoint.
+                self.inner = None;
+                self.stats.disconnected = true;
+            }
+        }
+        self.stats.frames += 1;
+        self.inner.as_mut().ok_or_else(Self::severed)
+    }
+
+    fn delay(&mut self) {
+        if self.cfg.delay_ms > 0 {
+            let ms = self.rng.below(self.cfg.delay_ms + 1);
+            if ms > 0 {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+    }
+
+    /// Apply payload faults; `None` means the frame was dropped.
+    fn mangle(&mut self, frame: &[u8]) -> Option<Vec<u8>> {
+        if self.rng.hit(self.cfg.drop) {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let mut out = frame.to_vec();
+        if self.rng.hit(self.cfg.corrupt) && !out.is_empty() {
+            let i = self.rng.below(out.len() as u64) as usize;
+            let flip = (self.rng.below(255) + 1) as u8;
+            out[i] ^= flip;
+            self.stats.corrupted += 1;
+        }
+        if self.rng.hit(self.cfg.truncate) && !out.is_empty() {
+            let keep = self.rng.below(out.len() as u64) as usize;
+            out.truncate(keep);
+            self.stats.truncated += 1;
+        }
+        Some(out)
+    }
+}
+
+impl Wire for FaultyWire {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.delay();
+        let dup = self.rng.hit(self.cfg.duplicate);
+        let mangled = self.mangle(frame);
+        let wire = self.tick()?;
+        match mangled {
+            None => Ok(()), // dropped: swallowed without a trace
+            Some(out) => {
+                wire.send(&out)?;
+                if dup {
+                    self.stats.duplicated += 1;
+                    let wire = self.inner.as_mut().ok_or_else(Self::severed)?;
+                    wire.send(&out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        loop {
+            if let Some(f) = self.pending_dup.take() {
+                return Ok(f);
+            }
+            self.delay();
+            let frame = {
+                let wire = self.tick()?;
+                wire.recv()?
+            };
+            if self.rng.hit(self.cfg.duplicate) {
+                self.stats.duplicated += 1;
+                self.pending_dup = Some(frame.clone());
+            }
+            match self.mangle(&frame) {
+                Some(out) => return Ok(out),
+                None => continue, // dropped: keep waiting, as a real loss would look
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(f) = self.pending_dup.take() {
+                return Ok(Some(f));
+            }
+            self.delay();
+            let left = deadline.saturating_duration_since(Instant::now());
+            let frame = {
+                let wire = self.tick()?;
+                match wire.recv_timeout(left)? {
+                    Some(f) => f,
+                    None => return Ok(None),
+                }
+            };
+            if self.rng.hit(self.cfg.duplicate) {
+                self.stats.duplicated += 1;
+                self.pending_dup = Some(frame.clone());
+            }
+            match self.mangle(&frame) {
+                Some(out) => return Ok(Some(out)),
+                None => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::channel_pair;
+
+    fn lossy(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            drop: 0.3,
+            corrupt: 0.2,
+            truncate: 0.1,
+            duplicate: 0.2,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let cfg = FaultConfig::parse(
+            "seed=42, drop=0.1, corrupt=0.05, truncate=0.01, dup=0.02, delay=3, disconnect=400",
+        )
+        .unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.drop, 0.1);
+        assert_eq!(cfg.corrupt, 0.05);
+        assert_eq!(cfg.truncate, 0.01);
+        assert_eq!(cfg.duplicate, 0.02);
+        assert_eq!(cfg.delay_ms, 3);
+        assert_eq!(cfg.disconnect_after, Some(400));
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(FaultConfig::parse("drop").is_err());
+        assert!(FaultConfig::parse("drop=2.0").is_err());
+        assert!(FaultConfig::parse("bogus=1").is_err());
+        assert!(FaultConfig::parse("seed=abc").is_err());
+        assert!(FaultConfig::parse("").unwrap().is_benign());
+    }
+
+    #[test]
+    fn benign_config_is_transparent() {
+        let (a, mut b) = channel_pair();
+        let mut f = FaultyWire::wrap(a, FaultConfig::default());
+        for i in 0..50u8 {
+            f.send(&[i; 8]).unwrap();
+            assert_eq!(b.recv().unwrap(), [i; 8]);
+        }
+        assert_eq!(f.stats().dropped + f.stats().corrupted, 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        // Two runs with one seed inject identical faults; a different
+        // seed gives a different schedule.
+        let run = |seed| {
+            let (a, mut b) = channel_pair();
+            let mut f = FaultyWire::wrap(a, lossy(seed));
+            let mut delivered = Vec::new();
+            for i in 0..100u8 {
+                f.send(&[i, i, i]).unwrap();
+                while let Ok(Some(frame)) =
+                    b.recv_timeout(Duration::from_millis(1))
+                {
+                    delivered.push(frame);
+                }
+            }
+            (delivered, f.stats())
+        };
+        let (d1, s1) = run(7);
+        let (d2, s2) = run(7);
+        assert_eq!(d1, d2);
+        assert_eq!(s1, s2);
+        assert!(s1.dropped > 0 && s1.corrupted > 0, "{s1:?}");
+        let (d3, _) = run(8);
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn disconnect_after_severs_both_ends() {
+        let (a, mut b) = channel_pair();
+        let cfg = FaultConfig { disconnect_after: Some(3), ..FaultConfig::default() };
+        let mut f = FaultyWire::wrap(a, cfg);
+        f.send(b"1").unwrap();
+        f.send(b"2").unwrap();
+        f.send(b"3").unwrap();
+        assert_eq!(f.send(b"4").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert!(f.stats().disconnected);
+        // The peer drains what was sent, then sees the dead wire.
+        assert_eq!(b.recv().unwrap(), b"1");
+        assert_eq!(b.recv().unwrap(), b"2");
+        assert_eq!(b.recv().unwrap(), b"3");
+        assert!(b.recv().is_err());
+    }
+
+    #[test]
+    fn recv_applies_inbound_faults() {
+        let (a, mut b) = channel_pair();
+        let cfg = FaultConfig { seed: 3, duplicate: 1.0, ..FaultConfig::default() };
+        let mut f = FaultyWire::wrap(a, cfg);
+        b.send(b"once").unwrap();
+        assert_eq!(f.recv().unwrap(), b"once");
+        assert_eq!(f.recv().unwrap(), b"once", "duplicate delivered on next recv");
+    }
+}

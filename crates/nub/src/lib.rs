@@ -7,14 +7,23 @@
 //! or single-stepping: the debugger implements breakpoints entirely with
 //! fetches and stores. If the debugger crashes, the nub preserves the
 //! target's state and waits for a new connection.
+//!
+//! On top of the bare request/reply frames sits an optional *session
+//! layer* ([`proto::Envelope`]): checksummed, sequence-numbered frames
+//! with at-most-once execution on the nub and bounded retransmission in
+//! the client, so the protocol survives lossy or corrupting transports.
+//! [`fault::FaultyWire`] injects exactly those faults, deterministically,
+//! for testing.
 
 pub mod arch;
 pub mod client;
+pub mod fault;
 pub mod nub;
 pub mod proto;
 pub mod transport;
 
-pub use client::{NubClient, NubError, NubEvent};
+pub use client::{ClientConfig, NubClient, NubError, NubEvent};
+pub use fault::{FaultConfig, FaultStats, FaultyWire};
 pub use nub::{spawn, spawn_machine, NubConfig, NubHandle};
-pub use proto::{Reply, Request, Sig};
-pub use transport::{channel_pair, ChannelWire, TcpWire, Wire};
+pub use proto::{Envelope, Reply, Request, Sig};
+pub use transport::{channel_pair, ChannelWire, DeadWire, TcpWire, Wire, MAX_FRAME};

@@ -13,15 +13,32 @@
 //! child of the debugger: connections arrive over a channel that anyone
 //! can hand a [`Wire`] to (the network case), and a faulting program with
 //! no debugger simply waits for one.
+//!
+//! Two request framings are served on the same wire. Legacy peers send
+//! bare [`Request`] frames and get bare replies, exactly as before. Peers
+//! that send [`Envelope`] frames (checksummed, sequence-numbered) switch
+//! the session to enveloped mode: each sequence number is executed at
+//! most once — a retransmitted request gets the cached reply frame, not a
+//! second execution — resume-class requests are acknowledged with
+//! [`Reply::Ack`], stop notifications go out as generation-numbered
+//! events, and while the target is running the nub polls its wire each
+//! slice so a [`Request::Ping`] is answered with [`Reply::Running`]
+//! instead of silence. That at-most-once discipline is what makes blind
+//! retransmission over a lossy wire safe.
 
+use std::io;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::arch::{nub_arch, NubArch};
-use crate::proto::{Reply, Request, Sig};
+use crate::proto::{Envelope, Reply, Request, Sig};
 use crate::transport::Wire;
 use ldb_machine::{Fault, Image, Machine, RunEvent};
+
+/// How long the run loop listens on the wire between slices.
+const RUN_POLL: Duration = Duration::from_micros(500);
 
 /// Nub configuration.
 #[derive(Debug, Clone)]
@@ -54,10 +71,16 @@ pub struct NubHandle {
 
 impl NubHandle {
     /// Connect a debugger end, returning the debugger's wire.
-    pub fn connect_channel(&self) -> crate::transport::ChannelWire {
+    ///
+    /// # Errors
+    /// The nub thread has already exited (the target finished or was
+    /// killed), so nobody will ever service the connection.
+    pub fn connect_channel(&self) -> io::Result<crate::transport::ChannelWire> {
         let (dbg, nub) = crate::transport::channel_pair();
-        self.connect.send(Box::new(nub)).expect("nub alive");
-        dbg
+        self.connect
+            .send(Box::new(nub))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "nub thread exited"))?;
+        Ok(dbg)
     }
 }
 
@@ -85,6 +108,10 @@ pub fn spawn_machine(machine: Machine, context: u32, cfg: NubConfig) -> NubHandl
         cfg,
         last_signal: None,
         reached_pause: false,
+        enveloped: false,
+        last_seq: None,
+        reply_cache: None,
+        event_gen: 0,
     };
     let join = std::thread::spawn(move || nub.serve());
     NubHandle { connect: tx, join }
@@ -103,6 +130,18 @@ struct Nub {
     /// debugger-spawned target holds incoming connections for the pause
     /// handshake instead of announcing an attach).
     reached_pause: bool,
+    /// The connected peer has sent at least one [`Envelope`] frame; reply
+    /// and notify in envelopes from then on. Reset per connection.
+    enveloped: bool,
+    /// Sequence number of the last executed enveloped request, with its
+    /// encoded reply frame: a retransmission of `last_seq` resends the
+    /// cached frame instead of executing twice. Reset per connection.
+    last_seq: Option<u32>,
+    reply_cache: Option<Vec<u8>>,
+    /// Generation number of the newest stop/exit notification; clients
+    /// deduplicate re-sent notifications by it. Monotonic for the nub's
+    /// whole lifetime.
+    event_gen: u32,
 }
 
 enum State {
@@ -123,11 +162,17 @@ impl Nub {
                     let hold_for_pause = self.cfg.wait_at_pause && !self.reached_pause;
                     if !hold_for_pause {
                         if let Ok(w) = self.connect_rx.try_recv() {
-                            self.wire = Some(w);
+                            self.accept(w);
                             self.stop_with(Sig::Attach.number(), 0);
                             state = State::Stopped;
                             continue;
                         }
+                    }
+                    // Service the wire between slices so a client can tell
+                    // a busy target from a dead connection.
+                    if let Some(status) = self.poll_running() {
+                        self.announce_exit(status);
+                        return self.machine;
                     }
                     match self.machine.run(self.cfg.slice) {
                         RunEvent::StepLimit => {}
@@ -158,7 +203,7 @@ impl Nub {
                         RunEvent::Paused { .. } => {
                             self.reached_pause = true;
                             if let Ok(w) = self.connect_rx.try_recv() {
-                                self.wire = Some(w);
+                                self.accept(w);
                             }
                             if self.wire.is_some() {
                                 self.stop_with(Sig::Pause.number(), 0);
@@ -166,7 +211,7 @@ impl Nub {
                             } else if self.cfg.wait_at_pause {
                                 match self.connect_rx.recv() {
                                     Ok(w) => {
-                                        self.wire = Some(w);
+                                        self.accept(w);
                                         self.stop_with(Sig::Pause.number(), 0);
                                         state = State::Stopped;
                                     }
@@ -176,20 +221,23 @@ impl Nub {
                             // Otherwise: an undebugged run; keep going.
                         }
                         RunEvent::Exited(status) => {
-                            self.send(&Reply::Exited { status });
+                            self.announce_exit(status);
                             return self.machine;
                         }
                     }
                 }
                 State::Stopped => {
-                    if self.wire.is_none() {
+                    let Some(w) = self.wire.as_mut() else {
                         // Preserve state and wait for a new debugger
                         // (survives debugger crashes).
                         match self.connect_rx.recv() {
                             Ok(w) => {
-                                self.wire = Some(w);
+                                self.accept(w);
                                 if let Some((sig, code)) = self.last_signal {
-                                    self.send(&Reply::Signal {
+                                    // Re-announce the current stop to the
+                                    // fresh peer (bare: its dialect is
+                                    // unknown until it sends something).
+                                    self.emit_event(&Reply::Signal {
                                         sig,
                                         code,
                                         context: self.context,
@@ -199,8 +247,8 @@ impl Nub {
                             Err(_) => return self.machine,
                         }
                         continue;
-                    }
-                    let frame = match self.wire.as_mut().expect("checked").recv() {
+                    };
+                    let frame = match w.recv() {
                         Ok(f) => f,
                         Err(_) => {
                             // The debugger crashed: drop the wire, keep
@@ -209,8 +257,95 @@ impl Nub {
                             continue;
                         }
                     };
+                    if let Some(env) = Envelope::decode(&frame) {
+                        let Envelope::Req { seq, req } = env else { continue };
+                        self.enveloped = true;
+                        if self.last_seq == Some(seq) {
+                            // A retransmission: the reply was lost, not
+                            // the request. Resend, never re-execute.
+                            if let Some(cached) = self.reply_cache.clone() {
+                                self.send_frame(&cached);
+                            }
+                            continue;
+                        }
+                        match req {
+                            Request::Ping => {
+                                self.reply(seq, &Reply::Ack);
+                                // The probe usually means the client lost
+                                // our stop notification: re-send it (same
+                                // generation, so a client that did get it
+                                // drops the duplicate).
+                                if let Some((sig, code)) = self.last_signal {
+                                    self.emit_event(&Reply::Signal {
+                                        sig,
+                                        code,
+                                        context: self.context,
+                                    });
+                                }
+                            }
+                            Request::Continue => {
+                                self.reply(seq, &Reply::Ack);
+                                self.hooks.restore_context(&mut self.machine, self.context);
+                                state = State::Run;
+                            }
+                            Request::Step => {
+                                self.reply(seq, &Reply::Ack);
+                                self.hooks.restore_context(&mut self.machine, self.context);
+                                match self.machine.run(1) {
+                                    RunEvent::StepLimit | RunEvent::Paused { .. } => {
+                                        self.stop_with(Sig::Step.number(), 0);
+                                    }
+                                    RunEvent::Breakpoint { pc, .. } => {
+                                        self.stop_with(Sig::Trap.number(), pc);
+                                    }
+                                    RunEvent::Fault(f) => {
+                                        let (sig, code) = classify_fault(f);
+                                        self.stop_with(sig.number(), code);
+                                    }
+                                    RunEvent::Exited(status) => {
+                                        self.announce_exit(status);
+                                        return self.machine;
+                                    }
+                                }
+                            }
+                            Request::Kill => {
+                                self.reply(seq, &Reply::Ack);
+                                self.announce_exit(-9);
+                                return self.machine;
+                            }
+                            Request::Detach => {
+                                self.reply(seq, &Reply::Ack);
+                                self.wire = None;
+                                // Stay stopped, preserving state.
+                            }
+                            Request::DetachRun => {
+                                self.reply(seq, &Reply::Ack);
+                                self.wire = None;
+                                self.last_signal = None;
+                                self.hooks.restore_context(&mut self.machine, self.context);
+                                state = State::Run;
+                            }
+                            req => {
+                                let r = self.service(&req);
+                                self.reply(seq, &r);
+                            }
+                        }
+                        continue;
+                    }
+                    if self.enveloped {
+                        // A corrupted envelope can pass for a well-formed
+                        // bare request — never honour bare frames once the
+                        // peer speaks envelopes, or line noise could
+                        // execute as a detach, kill, or store. Drop it;
+                        // the client retransmits.
+                        continue;
+                    }
                     match Request::decode(&frame) {
-                        None => self.send(&Reply::Error { code: 5 }),
+                        None => {
+                            // Undecodable: a legacy peer deserves the
+                            // legacy error.
+                            self.send(&Reply::Error { code: 5 });
+                        }
                         Some(Request::Continue) => {
                             self.hooks.restore_context(&mut self.machine, self.context);
                             state = State::Run;
@@ -260,15 +395,119 @@ impl Nub {
         }
     }
 
+    /// Adopt a fresh connection, resetting per-connection session state.
+    fn accept(&mut self, w: Box<dyn Wire>) {
+        self.wire = Some(w);
+        self.enveloped = false;
+        self.last_seq = None;
+        self.reply_cache = None;
+    }
+
+    /// Service the wire while the target runs. Returns `Some(status)` when
+    /// a kill arrived and the nub should exit with that status.
+    fn poll_running(&mut self) -> Option<i32> {
+        loop {
+            let w = self.wire.as_mut()?;
+            let frame = match w.recv_timeout(RUN_POLL) {
+                Ok(Some(f)) => f,
+                Ok(None) => return None,
+                Err(_) => {
+                    self.wire = None;
+                    return None;
+                }
+            };
+            if let Some(env) = Envelope::decode(&frame) {
+                let Envelope::Req { seq, req } = env else { continue };
+                self.enveloped = true;
+                if self.last_seq == Some(seq) {
+                    if let Some(cached) = self.reply_cache.clone() {
+                        self.send_frame(&cached);
+                    }
+                    continue;
+                }
+                match req {
+                    Request::Ping => self.reply(seq, &Reply::Running),
+                    Request::Kill => {
+                        self.reply(seq, &Reply::Ack);
+                        return Some(-9);
+                    }
+                    Request::Detach => {
+                        self.reply(seq, &Reply::Ack);
+                        self.wire = None;
+                    }
+                    Request::DetachRun => {
+                        self.reply(seq, &Reply::Ack);
+                        self.last_signal = None;
+                        self.wire = None;
+                    }
+                    // Everything else needs a stopped target.
+                    _ => self.reply(seq, &Reply::Error { code: 4 }),
+                }
+            } else if self.enveloped {
+                // A corrupted frame on an enveloped session can look like
+                // a well-formed bare request — never honour it, or line
+                // noise could detach or kill the target. Drop it; the
+                // client retransmits.
+            } else if let Some(req) = Request::decode(&frame) {
+                match req {
+                    Request::Kill => return Some(-9),
+                    Request::Detach => self.wire = None,
+                    Request::DetachRun => {
+                        self.last_signal = None;
+                        self.wire = None;
+                    }
+                    _ => self.send(&Reply::Error { code: 4 }),
+                }
+            }
+            // Undecodable frames mid-run are dropped: enveloped clients
+            // retransmit, legacy clients never send mid-run.
+        }
+    }
+
     fn stop_with(&mut self, sig: u8, code: u32) {
         self.hooks.write_context(&mut self.machine, self.context);
         self.last_signal = Some((sig, code));
-        self.send(&Reply::Signal { sig, code, context: self.context });
+        self.announce(&Reply::Signal { sig, code, context: self.context });
     }
 
+    fn announce_exit(&mut self, status: i32) {
+        self.announce(&Reply::Exited { status });
+    }
+
+    /// Send a *new* stop/exit notification (advances the generation).
+    fn announce(&mut self, reply: &Reply) {
+        self.event_gen += 1;
+        self.emit_event(reply);
+    }
+
+    /// (Re-)send a notification under the current generation, enveloped
+    /// if the peer speaks envelopes, bare otherwise.
+    fn emit_event(&mut self, reply: &Reply) {
+        let frame = if self.enveloped {
+            Envelope::Event { generation: self.event_gen, reply: reply.clone() }.encode()
+        } else {
+            reply.encode()
+        };
+        self.send_frame(&frame);
+    }
+
+    /// Send a sequenced reply and cache it for duplicate suppression.
+    fn reply(&mut self, seq: u32, reply: &Reply) {
+        let frame = Envelope::Reply { seq, reply: reply.clone() }.encode();
+        self.last_seq = Some(seq);
+        self.reply_cache = Some(frame.clone());
+        self.send_frame(&frame);
+    }
+
+    /// Send a bare (legacy) reply.
     fn send(&mut self, reply: &Reply) {
+        let frame = reply.encode();
+        self.send_frame(&frame);
+    }
+
+    fn send_frame(&mut self, frame: &[u8]) {
         if let Some(w) = self.wire.as_mut() {
-            if w.send(&reply.encode()).is_err() {
+            if w.send(frame).is_err() {
                 self.wire = None;
             }
         }
@@ -348,13 +587,14 @@ impl Nub {
                 Reply::Stored
             }
             Request::QueryPlants => Reply::Plants(self.plants.clone()),
-            Request::Continue
+            // State-machine requests reaching here means the peer sent
+            // them at the wrong time; say "not stopped" rather than panic.
+            Request::Ping
+            | Request::Continue
             | Request::Kill
             | Request::Detach
             | Request::Step
-            | Request::DetachRun => {
-                unreachable!("handled by the state machine")
-            }
+            | Request::DetachRun => Reply::Error { code: 4 },
         }
     }
 }

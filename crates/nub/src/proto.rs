@@ -111,6 +111,10 @@ pub enum Request {
     /// Break the connection and let the target run free ("the nub may be
     /// told to continue execution instead", Sec. 4.2).
     DetachRun,
+    /// Liveness probe: answered immediately with [`Reply::Running`] while
+    /// the target executes, or re-announces the current stop. Lets a
+    /// client distinguish a slow target from a dead wire.
+    Ping,
 }
 
 /// Replies and notifications the nub sends.
@@ -146,6 +150,12 @@ pub enum Reply {
         /// 4 = not stopped.
         code: u8,
     },
+    /// The request was received and acted on, with nothing to report yet
+    /// (Continue/Step acknowledgement in enveloped sessions, so a client
+    /// can tell a lost resume request from a long-running target).
+    Ack,
+    /// Answer to [`Request::Ping`] while the target is executing.
+    Running,
 }
 
 fn put_u32(v: &mut Vec<u8>, x: u32) {
@@ -194,6 +204,7 @@ impl Request {
             Request::Detach => v.push(7),
             Request::Step => v.push(8),
             Request::DetachRun => v.push(9),
+            Request::Ping => v.push(10),
         }
         v
     }
@@ -223,6 +234,7 @@ impl Request {
             7 => Some(Request::Detach),
             8 => Some(Request::Step),
             9 => Some(Request::DetachRun),
+            10 => Some(Request::Ping),
             _ => None,
         }
     }
@@ -261,6 +273,8 @@ impl Reply {
                 v.push(0x86);
                 v.push(*code);
             }
+            Reply::Ack => v.push(0x87),
+            Reply::Running => v.push(0x88),
         }
         v
     }
@@ -295,6 +309,113 @@ impl Reply {
             }
             0x85 => Some(Reply::Exited { status: get_u32(b, 1)? as i32 }),
             0x86 => Some(Reply::Error { code: *b.get(1)? }),
+            0x87 => Some(Reply::Ack),
+            0x88 => Some(Reply::Running),
+            _ => None,
+        }
+    }
+}
+
+/// Frame tag opening an enveloped request.
+pub const ENV_REQ: u8 = 0x10;
+/// Frame tag opening an enveloped reply.
+pub const ENV_REPLY: u8 = 0x11;
+/// Frame tag opening an enveloped asynchronous notification.
+pub const ENV_EVENT: u8 = 0x12;
+
+/// FNV-1a over a frame, the envelope's integrity check. Not
+/// cryptographic — it guards against wire corruption, not an adversary.
+fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// The resilient session layer over bare protocol bodies.
+///
+/// A bare frame (`[tag][payload]`, tag 1–10 or 0x81–0x88) is the paper's
+/// original protocol and remains valid. An *enveloped* frame wraps a bare
+/// body as `[env-tag][n: u32 LE][body][fnv1a: u32 LE]` where `n` is a
+/// request sequence number (requests and their replies) or an event
+/// generation number (notifications). The envelope is what makes the
+/// session safe on a faulty wire:
+///
+/// * the checksum turns corruption into a detectable decode failure,
+/// * the sequence number pairs replies with requests, so duplicates and
+///   stale retransmissions are recognized instead of desynchronizing the
+///   stream, and
+/// * the generation number deduplicates re-sent stop notifications.
+///
+/// Envelope tags 0x10–0x12 never collide with bare tags, so both framings
+/// coexist on one wire and a nub can serve old and new clients alike.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// A sequenced request.
+    Req {
+        /// Sequence number, increasing per transaction.
+        seq: u32,
+        /// The request proper.
+        req: Request,
+    },
+    /// The reply to the request with the same `seq`.
+    Reply {
+        /// Sequence number copied from the request.
+        seq: u32,
+        /// The reply proper.
+        reply: Reply,
+    },
+    /// An asynchronous notification (stop/exit), deduplicated by
+    /// generation.
+    Event {
+        /// Generation number, increasing per distinct event.
+        generation: u32,
+        /// The notification payload.
+        reply: Reply,
+    },
+}
+
+fn seal(tag: u8, n: u32, body: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(body.len() + 9);
+    v.push(tag);
+    put_u32(&mut v, n);
+    v.extend_from_slice(body);
+    let crc = fnv32(&v);
+    put_u32(&mut v, crc);
+    v
+}
+
+impl Envelope {
+    /// Encode as a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Envelope::Req { seq, req } => seal(ENV_REQ, *seq, &req.encode()),
+            Envelope::Reply { seq, reply } => seal(ENV_REPLY, *seq, &reply.encode()),
+            Envelope::Event { generation, reply } => seal(ENV_EVENT, *generation, &reply.encode()),
+        }
+    }
+
+    /// Decode a frame body. Returns `None` for non-envelope tags, short
+    /// frames, checksum mismatches, and undecodable inner bodies — all of
+    /// which a resilient peer treats as wire corruption.
+    pub fn decode(b: &[u8]) -> Option<Envelope> {
+        let tag = *b.first()?;
+        if !(ENV_REQ..=ENV_EVENT).contains(&tag) || b.len() < 9 {
+            return None;
+        }
+        let (payload, crc_bytes) = b.split_at(b.len() - 4);
+        let crc = u32::from_le_bytes(crc_bytes.try_into().ok()?);
+        if fnv32(payload) != crc {
+            return None;
+        }
+        let n = get_u32(payload, 1)?;
+        let body = &payload[5..];
+        match tag {
+            ENV_REQ => Some(Envelope::Req { seq: n, req: Request::decode(body)? }),
+            ENV_REPLY => Some(Envelope::Reply { seq: n, reply: Reply::decode(body)? }),
+            ENV_EVENT => Some(Envelope::Event { generation: n, reply: Reply::decode(body)? }),
             _ => None,
         }
     }
@@ -384,6 +505,65 @@ mod tests {
         fn prop_decoder_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
             let _ = Request::decode(&bytes);
             let _ = Reply::decode(&bytes);
+            let _ = Envelope::decode(&bytes);
         }
+
+        /// Envelopes survive the codec with their numbering intact.
+        #[test]
+        fn prop_envelope_roundtrip(seq: u32, addr: u32, value: u64,
+                                   size in prop::sample::select(vec![1u8,2,4,8])) {
+            let req = Envelope::Req { seq, req: Request::Fetch { space: b'd', addr, size } };
+            prop_assert_eq!(Envelope::decode(&req.encode()), Some(req));
+            let rep = Envelope::Reply { seq, reply: Reply::Fetched { value } };
+            prop_assert_eq!(Envelope::decode(&rep.encode()), Some(rep));
+            let ev = Envelope::Event {
+                generation: seq,
+                reply: Reply::Signal { sig: 5, code: addr, context: addr ^ 0xffff },
+            };
+            prop_assert_eq!(Envelope::decode(&ev.encode()), Some(ev));
+        }
+
+        /// Any single flipped byte in an envelope is caught by the
+        /// checksum: the frame decodes to `None`, never to a different
+        /// well-formed envelope.
+        #[test]
+        fn prop_envelope_detects_corruption(seq: u32, value: u64, pos: usize, flip in 1u8..=255) {
+            let frame = Envelope::Reply { seq, reply: Reply::Fetched { value } }.encode();
+            let mut bad = frame.clone();
+            let i = pos % bad.len();
+            bad[i] ^= flip;
+            prop_assert_eq!(Envelope::decode(&bad), None);
+        }
+    }
+
+    #[test]
+    fn every_request_and_reply_round_trips() {
+        let reqs = [
+            Request::QueryPlants,
+            Request::Continue,
+            Request::Kill,
+            Request::Detach,
+            Request::Step,
+            Request::DetachRun,
+            Request::Ping,
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()), Some(r));
+        }
+        for r in [Reply::Ack, Reply::Running] {
+            assert_eq!(Reply::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn envelope_tags_never_collide_with_bare_frames() {
+        // A bare request/reply body must not parse as an envelope and
+        // vice versa, so both framings can share one wire.
+        for r in [Request::Fetch { space: b'd', addr: 0x10, size: 4 }, Request::Ping] {
+            assert_eq!(Envelope::decode(&r.encode()), None);
+        }
+        let env = Envelope::Req { seq: 7, req: Request::Continue }.encode();
+        assert_eq!(Request::decode(&env), None);
+        assert_eq!(Reply::decode(&env), None);
     }
 }

@@ -29,7 +29,7 @@ fn compiled(arch: Arch) -> ldb_cc::driver::Compiled {
 
 fn attach(c: &ldb_cc::driver::Compiled) -> (ldb_nub::NubHandle, NubClient) {
     let h = spawn(&c.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
-    let wire = h.connect_channel();
+    let wire = h.connect_channel().unwrap();
     let client = NubClient::new(Box::new(wire));
     (h, client)
 }
@@ -124,7 +124,7 @@ fn faulting_program_waits_for_a_debugger() {
     // Give it time to fault with nobody attached.
     std::thread::sleep(std::time::Duration::from_millis(30));
     // Now a debugger connects — and learns about the segfault.
-    let wire = h.connect_channel();
+    let wire = h.connect_channel().unwrap();
     let mut client = NubClient::new(Box::new(wire));
     let ev = client.wait_event().unwrap();
     let NubEvent::Stopped { sig: Sig::Segv, code, .. } = ev else { panic!("{ev:?}") };
@@ -142,7 +142,7 @@ fn nub_survives_debugger_crash_and_reports_plants() {
     // First debugger: attach, plant a breakpoint, then "crash" (drop).
     let stop5 = c.linked.stop_addrs[0][5];
     {
-        let wire = h.connect_channel();
+        let wire = h.connect_channel().unwrap();
         let mut client = NubClient::new(Box::new(wire));
         client.wait_event().unwrap();
         client.plant(stop5, d.insn_unit, d.break_pattern as u64).unwrap();
@@ -152,7 +152,7 @@ fn nub_survives_debugger_crash_and_reports_plants() {
 
     // Second debugger: reconnect. The nub re-announces the stop and can
     // report the planted instruction so we can recover it.
-    let wire = h.connect_channel();
+    let wire = h.connect_channel().unwrap();
     let mut client = NubClient::new(Box::new(wire));
     let ev = client.wait_event().unwrap();
     assert!(matches!(ev, NubEvent::Stopped { sig: Sig::Pause, .. }), "{ev:?}");
@@ -180,7 +180,7 @@ fn detach_preserves_state_for_reattach() {
     client.store('d', state_addr, 4, 0xCAFE).unwrap();
     NubClient::detach(client).unwrap();
     std::thread::sleep(std::time::Duration::from_millis(20));
-    let wire = h.connect_channel();
+    let wire = h.connect_channel().unwrap();
     let mut client = NubClient::new(Box::new(wire));
     let ev = client.wait_event().unwrap();
     assert!(matches!(ev, NubEvent::Stopped { .. }), "{ev:?}");

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A debugger connects to the faulted process (the "network" path).
     let mut ldb = Ldb::new();
-    let wire = nub.connect_channel();
+    let wire = nub.connect_channel().unwrap();
     ldb.attach(Box::new(wire), &loader, None)?;
     let t = ldb.target(0);
     let stop = t.stop.expect("stopped at the fault");
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A second ldb picks the target up where the first left it.
     let mut ldb2 = Ldb::new();
-    let wire = nub.connect_channel();
+    let wire = nub.connect_channel().unwrap();
     ldb2.attach(Box::new(wire), &loader, None)?;
     println!("new debugger attached; k is still {}", {
         ldb2.select_frame(1)?;

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Repo-wide check: what CI runs, runnable locally too.
+#
+#   build (release)  — the tier-1 build
+#   clippy           — lint gate; the wire/protocol crate denies all warnings
+#   test             — workspace suite, incl. tests/fault_injection.rs
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo clippy -p ldb-nub --all-targets -- -D warnings
+cargo test --workspace -q

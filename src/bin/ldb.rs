@@ -3,8 +3,14 @@
 //!
 //! ```text
 //! Usage: ldb <file.c>... [--arch ...] [--order big|little] [--tcp]
+//!        ldb <file.c>... --fault seed=1,drop=0.05,corrupt=0.02   lossy-wire drill
 //!        ldb <file.c>... --run [--core <path>]   run undebugged; fault dumps core
 //!        ldb <file.c>... --core <path>           post-mortem on a core file
+//!
+//! `--fault` wraps the debugger's wire in a deterministic fault injector
+//! (keys: seed, drop, corrupt, truncate, dup, delay, disconnect); the
+//! hardened protocol retries through drops and corruption, and after a
+//! `disconnect=N` severance the `reconnect` command resumes the session.
 //!
 //! Commands:
 //!   b <func> [n] [if <expr>]  breakpoint, optionally conditional
@@ -33,6 +39,7 @@
 //!   ps <code>        run raw PostScript in the embedded interpreter
 //!   detach           detach, preserving target state in the nub
 //!   attach           reconnect to the detached target
+//!   reconnect        replace a lost/faulty wire with a fresh one
 //!   h | help         this list
 //!   q                quit
 //! ```
@@ -44,7 +51,7 @@ use ldb_cc::pssym;
 use ldb_core::{Ldb, StopEvent};
 use ldb_machine::{Arch, ByteOrder};
 use ldb_machine::core::read_core;
-use ldb_nub::{spawn_machine, NubConfig, NubHandle, TcpWire};
+use ldb_nub::{spawn_machine, FaultConfig, FaultyWire, NubConfig, NubHandle, TcpWire, Wire};
 
 fn main() {
     if let Err(e) = run() {
@@ -61,9 +68,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut tcp = false;
     let mut run_only = false;
     let mut core: Option<String> = None;
+    let mut fault: Option<FaultConfig> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--fault" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--fault needs a spec (e.g. seed=1,drop=0.05)")?;
+                fault = Some(FaultConfig::parse(spec)?);
+            }
             "--arch" => {
                 i += 1;
                 arch = Arch::from_name(args.get(i).map(String::as_str).unwrap_or(""))
@@ -140,8 +153,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if let Some((machine, sig, code, context)) = loaded_core {
         let pc = machine.cpu.pc;
         let handle = spawn_machine(machine, context, NubConfig::default());
-        let wire = handle.connect_channel();
-        ldb.attach(Box::new(wire), &loader, Some(handle))?;
+        let wire = handle.connect_channel()?;
+        ldb.attach(maybe_faulty(wire, &fault), &loader, Some(handle))?;
         println!(
             "core: signal {sig} (code {code:#x}) at pc {pc:#x}; post-mortem session"
         );
@@ -159,10 +172,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
         });
         let stream = std::net::TcpStream::connect(addr)?;
-        ldb.attach(Box::new(TcpWire::new(stream)), &loader, Some(handle))?;
+        ldb.attach(maybe_faulty(TcpWire::new(stream), &fault), &loader, Some(handle))?;
         println!("connected over tcp://{addr}");
     } else {
-        ldb.spawn_program(&c.linked.image, &loader)?;
+        let handle =
+            ldb_nub::spawn(&c.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
+        let wire = handle.connect_channel()?;
+        ldb.attach(maybe_faulty(wire, &fault), &loader, Some(handle))?;
+    }
+    if let Some(f) = &fault {
+        println!("fault injection active on the wire: {f:?}");
     }
     println!(
         "ldb: {} for {arch} ({} instructions)",
@@ -170,7 +189,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         c.linked.stats.insn_count
     );
 
-    let mut sess = Session::default();
+    let mut sess = Session { fault, ..Session::default() };
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
     loop {
@@ -200,6 +219,17 @@ struct Session {
     /// A detached target: the nub handle keeps the program's thread (and
     /// preserved state) alive for a later `attach`.
     parked: Option<(NubHandle, String)>,
+    /// Active fault-injection spec; fresh wires (attach, reconnect) are
+    /// wrapped with it too, so the drill follows the session.
+    fault: Option<FaultConfig>,
+}
+
+/// Wrap a wire in the session's fault injector, if one is configured.
+fn maybe_faulty<W: Wire + 'static>(wire: W, fault: &Option<FaultConfig>) -> Box<dyn Wire> {
+    match fault {
+        Some(cfg) => Box::new(FaultyWire::wrap(wire, cfg.clone())),
+        None => Box::new(wire),
+    }
 }
 
 /// Print the auto-display expressions after a stop.
@@ -247,6 +277,7 @@ bt | f <n>                backtrace / select frame
 regs | list | disas [a]   registers / annotated source / disassembly
 ps <code>                 run PostScript in the embedded interpreter
 detach | attach           park the target in the nub / reconnect
+reconnect                 replace a lost/faulty wire with a fresh one
 q                         quit"
             );
         }
@@ -406,8 +437,8 @@ q                         quit"
         "attach" => {
             let (handle, loader_ps) =
                 sess.parked.take().ok_or("nothing detached in this session")?;
-            let wire = handle.connect_channel();
-            match ldb.attach(Box::new(wire), &loader_ps, Some(handle)) {
+            let wire = handle.connect_channel()?;
+            match ldb.attach(maybe_faulty(wire, &sess.fault), &loader_ps, Some(handle)) {
                 Ok(_) => println!("reattached; breakpoints recovered from the nub"),
                 Err(e) => {
                     // The handle went into the failed target; nothing to
@@ -415,6 +446,24 @@ q                         quit"
                     return Err(format!("reattach failed: {e}").into());
                 }
             }
+        }
+        "reconnect" => {
+            // Replace the current target's wire with a fresh one — the
+            // recovery move after a lost or fault-severed connection. The
+            // nub kept the target's state; planted breakpoints are
+            // re-learned from its plant records.
+            let id = ldb.current().ok_or("no target")?;
+            let wire = {
+                let t = ldb.target(id);
+                let handle = t
+                    .nub
+                    .as_ref()
+                    .ok_or("this target has no local nub handle to reconnect through")?;
+                handle.connect_channel()?
+            };
+            let ev = ldb.reconnect(id, maybe_faulty(wire, &sess.fault))?;
+            report(ev);
+            println!("reconnected; breakpoints recovered from the nub");
         }
         "call" => {
             // call f(expr, expr, ...) — each argument is evaluated by the

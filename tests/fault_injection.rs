@@ -1,0 +1,292 @@
+//! Fault injection: the whole debugger stack driven over a wire that
+//! drops, corrupts, truncates, duplicates, delays, and severs frames —
+//! deterministically, from a seed. The session layer (sequence numbers,
+//! checksums, retransmission, at-most-once execution on the nub) must
+//! make every fault invisible to the breakpoint marathon, and a severed
+//! wire must degrade gracefully: the nub preserves the target, cached
+//! queries still answer, and a reconnect over a fresh wire recovers the
+//! planted breakpoints and carries on from the exact same stop.
+
+use ldb_suite::cc::driver::{compile, CompileOpts};
+use ldb_suite::cc::{nm, pssym};
+use ldb_suite::core::{Ldb, LdbError, StopEvent};
+use ldb_suite::machine::Arch;
+use ldb_suite::nub::{spawn, ClientConfig, FaultConfig, FaultyWire, NubConfig};
+use std::time::Duration;
+
+/// The stress-suite collatz marathon, parameterised by starting value so
+/// fault runs (which pay per-frame latency and retransmission costs) can
+/// use a shorter trajectory than the clean stress test.
+fn program(start: i64) -> String {
+    format!(
+        r#"
+int history[64];
+int steps;
+
+int collatz(int n) {{
+    int here;
+    here = n;
+    history[steps % 64] = here;
+    steps++;
+    if (n == 1) return 1;
+    if (n % 2 == 0) return collatz(n / 2);
+    return collatz(3 * n + 1);
+}}
+
+int main(void) {{
+    int r;
+    r = collatz({start});
+    printf("%d %d\n", r, steps);
+    return 0;
+}}
+"#
+    )
+}
+
+/// Ground truth: the collatz trajectory from `start`.
+fn trajectory(start: i64) -> Vec<i64> {
+    let mut v = vec![start];
+    while *v.last().unwrap() != 1 {
+        let n = *v.last().unwrap();
+        v.push(if n % 2 == 0 { n / 2 } else { 3 * n + 1 });
+    }
+    v
+}
+
+/// Resilience policy for lossy wires: short attempt timeouts and a deep
+/// retry budget, so a dropped frame costs milliseconds instead of the
+/// interactive-scale defaults.
+fn lossy_client() -> ClientConfig {
+    ClientConfig {
+        reply_timeout: Duration::from_millis(25),
+        retries: 12,
+        backoff: Duration::from_millis(1),
+        event_poll: Duration::from_millis(5),
+    }
+}
+
+/// Compile the marathon program for `arch`, spawn a nub, and attach a
+/// debugger over a [`FaultyWire`] configured by `spec`, with the
+/// breakpoint already planted at the `steps++` line.
+fn attach_faulty(arch: Arch, start: i64, spec: &str) -> Ldb {
+    let src = program(start);
+    let c = compile("c.c", &src, arch, CompileOpts::default()).unwrap();
+    let symtab = pssym::emit(&c.unit, &c.funcs, arch, pssym::PsMode::Deferred);
+    let loader = nm::loader_table_for(&c.linked.image, &symtab);
+    let handle = spawn(&c.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
+    let wire = handle.connect_channel().unwrap();
+    let faulty = FaultyWire::wrap(wire, FaultConfig::parse(spec).unwrap());
+    let mut ldb = Ldb::new();
+    ldb.attach_with_config(Box::new(faulty), &loader, Some(handle), lossy_client())
+        .unwrap_or_else(|e| panic!("{arch}: attach over faulty wire: {e}"));
+    ldb.break_at("collatz", 3).unwrap_or_else(|e| panic!("{arch}: {e}"));
+    ldb
+}
+
+/// After a severed wire: verify degraded-mode behaviour, reattach over a
+/// fresh (still lossy) wire from the same nub, and resync the hit count
+/// from the program's own `steps` counter. Returns the next hit index.
+fn reconnect_and_resync(
+    arch: Arch,
+    ldb: &mut Ldb,
+    truth: &[i64],
+    spec: &str,
+    cause: &LdbError,
+) -> usize {
+    if !ldb.target(0).disconnected {
+        // The loss surfaced through the expression pipeline (a PostScript
+        // error, not a wire error); poke the wire directly so the
+        // debugger-side state notices it.
+        let _ = ldb.cont();
+    }
+    assert!(ldb.target(0).disconnected, "{arch}: not flagged disconnected after: {cause}");
+    // Degraded mode: the frame and register views from the last stop
+    // still answer from cache...
+    assert!(!ldb.backtrace().is_empty(), "{arch}: cached backtrace while disconnected");
+    let regs = ldb.registers().unwrap_or_else(|e| panic!("{arch}: cached registers: {e}"));
+    assert!(!regs.is_empty(), "{arch}");
+    // ...while mutating operations refuse with a clear diagnosis.
+    let err = ldb.break_at("collatz", 3).unwrap_err().to_string();
+    assert!(err.contains("disconnected"), "{arch}: {err}");
+    // The nub preserved the target: reattach over a fresh wire (also
+    // lossy, but without the scheduled severance) and recover.
+    let wire = {
+        let t = ldb.target(0);
+        t.nub.as_ref().expect("nub handle").connect_channel().unwrap()
+    };
+    let faulty = FaultyWire::wrap(wire, FaultConfig::parse(spec).unwrap());
+    let ev = ldb
+        .reconnect(0, Box::new(faulty))
+        .unwrap_or_else(|e| panic!("{arch}: reconnect: {e}"));
+    assert!(matches!(ev, StopEvent::Breakpoint { .. }), "{arch}: reconnect stop: {ev:?}");
+    // The breakpoint sits before `steps++`, so at any collatz stop the
+    // counter equals the number of fully completed hits — use it to
+    // resync regardless of whether the failed continue reached the nub.
+    let k: usize = ldb.print_var("steps").unwrap().parse().unwrap();
+    assert!(k < truth.len(), "{arch}: resynced past the trajectory");
+    assert_eq!(ldb.print_var("n").unwrap(), truth[k].to_string(), "{arch}: post-reconnect");
+    k + 1
+}
+
+/// Drive the breakpoint marathon, checking every stop against the
+/// trajectory. With `recon_spec`, a wire failure is treated as the
+/// scheduled severance: degrade, reconnect, resync, carry on. Without
+/// it, any failure is a real protocol bug. Returns the reconnect count.
+fn marathon(
+    arch: Arch,
+    ldb: &mut Ldb,
+    truth: &[i64],
+    recon_spec: Option<&str>,
+    use_eval: bool,
+) -> usize {
+    let mut reconnects = 0usize;
+    let mut k = 0usize;
+    while k < truth.len() {
+        let expect = truth[k];
+        let r = (|| -> Result<(), LdbError> {
+            let ev = ldb.cont()?;
+            assert!(matches!(ev, StopEvent::Breakpoint { .. }), "{arch} hit {k}: {ev:?}");
+            assert_eq!(ldb.print_var("n")?, expect.to_string(), "{arch} hit {k}");
+            assert_eq!(ldb.print_var("here")?, expect.to_string(), "{arch} hit {k}");
+            assert_eq!(ldb.print_var("steps")?, k.to_string(), "{arch} hit {k}");
+            let depth = ldb.backtrace().iter().filter(|(_, n, _, _)| n == "collatz").count();
+            assert_eq!(depth, (k + 1).min(64), "{arch} hit {k}: depth");
+            if use_eval && k % 5 == 0 {
+                // The expression pipeline (nub fetches through the
+                // PostScript interpreter) over the same lossy wire.
+                assert_eq!(ldb.eval("steps + 1000")?, (k + 1000).to_string(), "{arch} hit {k}");
+            }
+            Ok(())
+        })();
+        match r {
+            Ok(()) => k += 1,
+            Err(e) => {
+                let Some(spec) = recon_spec else {
+                    panic!("{arch} hit {k}: wire fault leaked through the session layer: {e}")
+                };
+                reconnects += 1;
+                assert!(reconnects < 8, "{arch}: reconnect storm");
+                eprintln!("{arch}: wire lost at hit {k}: {e}");
+                k = reconnect_and_resync(arch, ldb, truth, spec, &e);
+            }
+        }
+    }
+    reconnects
+}
+
+/// Clear the breakpoint, run to exit, and check the program's own output
+/// via the joined machine. Under a lossy wire the final exit
+/// notification itself can be lost (the nub is gone by the time the
+/// client retransmits), so a wire error on the last continue is
+/// acceptable — the joined machine is the ground truth either way.
+fn finish(arch: Arch, ldb: &mut Ldb, truth: &[i64], lossy: bool) {
+    let addr = ldb.target(0).breakpoints.addresses()[0];
+    ldb.clear_breakpoint(addr).unwrap_or_else(|e| panic!("{arch}: {e}"));
+    match ldb.cont() {
+        Ok(StopEvent::Exited(0)) => {}
+        Ok(ev) => panic!("{arch}: expected exit, got {ev:?}"),
+        Err(e) => assert!(lossy, "{arch}: exit over a clean wire failed: {e}"),
+    }
+    let out = ldb.take_nub_handle(0).unwrap().join.join().unwrap().output;
+    assert_eq!(out, format!("1 {}\n", truth.len()), "{arch}");
+}
+
+#[test]
+fn latency_only_marathon_is_undisturbed() {
+    // Pure delay: no loss, no corruption. Everything behaves exactly as
+    // on a perfect wire, just slower.
+    let start = 5;
+    let truth = trajectory(start);
+    for arch in Arch::ALL {
+        let mut ldb = attach_faulty(arch, start, "seed=11,delay=1");
+        let n = marathon(arch, &mut ldb, &truth, None, true);
+        assert_eq!(n, 0, "{arch}");
+        finish(arch, &mut ldb, &truth, false);
+    }
+}
+
+#[test]
+fn drop_corrupt_duplicate_marathon_retries_through() {
+    // Lossy and corrupting: the retransmission budget and the nub's
+    // duplicate suppression must absorb every fault — the marathon sees
+    // no errors at all.
+    let start = 7;
+    let truth = trajectory(start);
+    for arch in Arch::ALL {
+        let mut ldb =
+            attach_faulty(arch, start, "seed=7,drop=0.03,corrupt=0.03,dup=0.05");
+        let n = marathon(arch, &mut ldb, &truth, None, true);
+        assert_eq!(n, 0, "{arch}");
+        finish(arch, &mut ldb, &truth, true);
+    }
+}
+
+#[test]
+fn severed_wire_degrades_and_reconnects() {
+    // Lossy wire with a scheduled hard severance mid-marathon. The
+    // debugger must flag the target disconnected, keep answering cached
+    // queries, refuse mutations with a clear error, and then recover
+    // completely over a fresh wire — breakpoints replanted from the
+    // nub's plant table, trajectory resynced from target memory.
+    let start = 7;
+    let truth = trajectory(start);
+    let recon = "seed=103,drop=0.01,corrupt=0.01";
+    for arch in Arch::ALL {
+        let mut ldb =
+            attach_faulty(arch, start, "seed=3,drop=0.01,corrupt=0.01,disconnect=350");
+        // Populate the register snapshot the degraded mode answers from.
+        ldb.registers().unwrap_or_else(|e| panic!("{arch}: {e}"));
+        let n = marathon(arch, &mut ldb, &truth, Some(recon), false);
+        assert!(n >= 1, "{arch}: severance never fired");
+        finish(arch, &mut ldb, &truth, true);
+    }
+}
+
+#[test]
+fn debugger_crash_reattach_recovers_plants() {
+    // Kill the debugger (drop the whole Ldb mid-session), then attach a
+    // brand-new one over a fresh wire. The nub preserved the stopped
+    // target and its planted breakpoint; the new session recovers the
+    // plant, resyncs, and finishes the marathon — no target restart.
+    let start = 7;
+    let truth = trajectory(start);
+    for arch in Arch::ALL {
+        let src = program(start);
+        let c = compile("c.c", &src, arch, CompileOpts::default()).unwrap();
+        let symtab = pssym::emit(&c.unit, &c.funcs, arch, pssym::PsMode::Deferred);
+        let loader = nm::loader_table_for(&c.linked.image, &symtab);
+        let handle = spawn(&c.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
+
+        // First debugger: plant, advance five hits, then "crash".
+        let mut ldb1 = Ldb::new();
+        ldb1.attach(Box::new(handle.connect_channel().unwrap()), &loader, None).unwrap();
+        let addr = ldb1.break_at("collatz", 3).unwrap();
+        for k in 0..5 {
+            let ev = ldb1.cont().unwrap();
+            assert!(matches!(ev, StopEvent::Breakpoint { .. }), "{arch} hit {k}: {ev:?}");
+        }
+        drop(ldb1);
+
+        // Second debugger: fresh session, fresh wire, same nub.
+        let mut ldb2 = Ldb::new();
+        ldb2.attach(Box::new(handle.connect_channel().unwrap()), &loader, None)
+            .unwrap_or_else(|e| panic!("{arch}: reattach: {e}"));
+        let t = ldb2.target(0);
+        assert!(t.breakpoints.is_planted(addr), "{arch}: plant not recovered");
+        assert_eq!(t.breakpoints.addresses(), vec![addr], "{arch}");
+        // Still stopped at hit 4, before its `steps++`.
+        assert_eq!(ldb2.print_var("steps").unwrap(), "4", "{arch}");
+        assert_eq!(ldb2.print_var("n").unwrap(), truth[4].to_string(), "{arch}");
+        // The recovered plant keeps firing: finish the marathon.
+        for (k, &expect) in truth.iter().enumerate().skip(5) {
+            let ev = ldb2.cont().unwrap();
+            assert!(matches!(ev, StopEvent::Breakpoint { .. }), "{arch} hit {k}: {ev:?}");
+            assert_eq!(ldb2.print_var("n").unwrap(), expect.to_string(), "{arch} hit {k}");
+            assert_eq!(ldb2.print_var("steps").unwrap(), k.to_string(), "{arch} hit {k}");
+        }
+        ldb2.clear_breakpoint(addr).unwrap();
+        assert_eq!(ldb2.cont().unwrap(), StopEvent::Exited(0), "{arch}");
+        let out = handle.join.join().unwrap().output;
+        assert_eq!(out, format!("1 {}\n", truth.len()), "{arch}");
+    }
+}

@@ -143,7 +143,7 @@ fn detach_and_reattach_from_a_new_session() {
     // A brand-new session (fresh interpreter, fresh everything) attaches,
     // recovers the planted breakpoint from the nub, and carries on.
     let mut ldb2 = Ldb::new();
-    let wire = nub.connect_channel();
+    let wire = nub.connect_channel().unwrap();
     ldb2.attach(Box::new(wire), &loader, None).unwrap();
     assert_eq!(
         ldb2.target(0).breakpoints.addresses().len(),

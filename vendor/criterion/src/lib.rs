@@ -1,0 +1,156 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! criterion API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — backed
+//! by a simple wall-clock timer. It reports a mean time per iteration (and
+//! throughput when configured) instead of criterion's full statistics; good
+//! enough to compare hot paths run-over-run in this offline environment.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting a group's throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { name, throughput: None, sample_size: 10 }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Report throughput alongside time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        // Warm-up pass, then the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        f(&mut b);
+        let mean = b.mean();
+        let mut line = format!("{}/{}: {}", self.name, id, fmt_duration(mean));
+        if let Some(t) = self.throughput {
+            let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
+            match t {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  ({:.1} MiB/s)", per_sec(n) / (1 << 20) as f64))
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.0} elem/s)", per_sec(n)))
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (report separator only; timing is printed per bench).
+    pub fn finish(self) {}
+}
+
+/// Hands the closure under measurement to the timer.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, averaging over enough runs to exceed the timer resolution.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.sample_size {
+            // Batch runs so sub-microsecond bodies still get a stable read.
+            let start = Instant::now();
+            let mut iters = 0u32;
+            loop {
+                black_box(f());
+                iters += 1;
+                if iters >= 16 || start.elapsed() > Duration::from_millis(2) {
+                    break;
+                }
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
+/// Collect benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the tiny slice of crossbeam it actually uses: MPMC
+//! channels with `bounded`/`unbounded` constructors, cloneable senders and
+//! receivers, and blocking/non-blocking/timed receives. Semantics match
+//! crossbeam's for the operations provided: a send to a channel with no
+//! receivers fails, a receive from an empty channel with no senders fails,
+//! and bounded sends block while the queue is full.
+
+pub mod channel;

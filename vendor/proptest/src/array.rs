@@ -1,0 +1,21 @@
+//! Fixed-size array strategies (`prop::array::uniform16` / `uniform32`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+macro_rules! uniform {
+    ($name:ident, $n:literal) => {
+        /// An array whose elements are each drawn from `s`.
+        pub fn $name<S>(s: S) -> BoxedStrategy<[S::Value; $n]>
+        where
+            S: Strategy + 'static,
+            S::Value: 'static,
+        {
+            BoxedStrategy::new(move |rng| std::array::from_fn(|_| s.generate(rng)))
+        }
+    };
+}
+
+uniform!(uniform4, 4);
+uniform!(uniform8, 8);
+uniform!(uniform16, 16);
+uniform!(uniform32, 32);

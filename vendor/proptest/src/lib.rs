@@ -1,0 +1,191 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the proptest API subset its tests use: the `proptest!` test macro,
+//! `prop_oneof!`, `prop_assert*`, `Strategy` with `prop_map`/`boxed`/
+//! `prop_recursive`, `any::<T>()`, integer-range and tuple strategies,
+//! `Just`, `prop::collection::vec`, `prop::array::uniform*`,
+//! `prop::sample::select`, and regex-shaped string strategies.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case reports the panic for that generated
+//!   input, seeds are derived from the test name so failures reproduce
+//!   exactly on re-run;
+//! * no persistence — `*.proptest-regressions` files are ignored;
+//! * `prop_assert*` panic (like `assert*`) instead of returning `Err`.
+
+pub mod array;
+pub mod collection;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod string_regex;
+
+pub use rng::TestRng;
+pub use strategy::{any, union, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+
+/// Per-`proptest!` block configuration (only `cases` is meaningful here;
+/// struct-update syntax against `default()` works as in real proptest).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor matching real proptest's API.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a property-test module needs; also exposes the crate itself
+/// as `prop` (for `prop::collection::vec` etc.), as real proptest does.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn` runs `cases` times over fresh inputs
+/// drawn from its parameter strategies; `name in strategy` and `name: Type`
+/// (shorthand for `any::<Type>()`) parameter forms may be mixed freely.
+#[macro_export]
+macro_rules! proptest {
+    // Leading inner attribute selects the config for the whole block.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+
+    (@fns ($cfg:expr);) => {};
+    (@fns ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __base = $crate::rng::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::rng::TestRng::from_seed(
+                    __base ^ (__case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                $crate::proptest!(@bind __rng; $($params)*);
+                $body
+            }
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+
+    (@bind $rng:ident;) => {};
+    (@bind $rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $var:ident : $ty:ty) => {
+        let $var = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    (@bind $rng:ident; $var:ident : $ty:ty, $($rest:tt)*) => {
+        let $var = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+
+    // No inner attribute: run with the default configuration.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assertion macros: panic like their `std` counterparts (no shrink pass).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u8..5, b in -10i64..10, c in 1usize..=3) {
+            prop_assert!(a < 5);
+            prop_assert!((-10..10).contains(&b));
+            prop_assert!((1..=3).contains(&c));
+        }
+
+        #[test]
+        fn mixed_binding_forms(x: u32, v in prop::collection::vec(any::<u8>(), 0..16),
+                               pick in prop::sample::select(vec![2u8, 4, 8])) {
+            let _ = x;
+            prop_assert!(v.len() < 16);
+            prop_assert!([2u8, 4, 8].contains(&pick));
+        }
+
+        #[test]
+        fn oneof_and_recursive(t in prop_oneof![
+            any::<u8>().prop_map(Tree::Leaf),
+        ].prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        })) {
+            prop_assert!(depth(&t) <= 3);
+        }
+
+        #[test]
+        fn arrays_and_tuples(regs in prop::array::uniform16(any::<u32>()),
+                             pair in (any::<bool>(), 0u8..9)) {
+            prop_assert_eq!(regs.len(), 16);
+            prop_assert!(pair.1 < 9);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::TestRng::from_seed(42);
+        let mut b = crate::TestRng::from_seed(42);
+        let s = crate::collection::vec(crate::any::<u64>(), 0..32);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,20 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Uniformly select one of the given values.
+pub fn select<T, I>(items: I) -> BoxedStrategy<T>
+where
+    T: Clone + 'static,
+    I: Into<Vec<T>>,
+{
+    let items: Vec<T> = items.into();
+    assert!(!items.is_empty(), "select() over an empty list");
+    BoxedStrategy::new(move |rng| items[rng.below(items.len() as u64) as usize].clone())
+}
+
+/// A strategy picking an index in `[0, len)`.
+pub fn index(len: usize) -> BoxedStrategy<usize> {
+    assert!(len > 0, "index() over an empty domain");
+    (0..len).boxed()
+}

@@ -1,0 +1,240 @@
+//! The `Strategy` trait and core combinators.
+//!
+//! A strategy is just a deterministic value generator over a [`TestRng`];
+//! there is no shrinking. `BoxedStrategy` is a cloneable, type-erased
+//! strategy — every combinator returns one, which keeps the API surface
+//! (`prop_map`, `prop_recursive`, `prop_oneof!`, tuples, ranges) compatible
+//! with how the workspace's tests use real proptest.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::rng::TestRng;
+
+/// Generates values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.generate(rng)))
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.generate(rng))
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case and `f` wraps an
+    /// inner strategy into composite cases. `depth` bounds the nesting; the
+    /// `_desired_size`/`_expected_branch` hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<F, S2>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        S2: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let composite = f(cur).boxed();
+            let l = leaf.clone();
+            // Mix the leaf back in so inner levels bottom out early and the
+            // generated sizes vary instead of always hitting max depth.
+            cur = BoxedStrategy::new(move |rng| {
+                if rng.below(4) == 0 {
+                    l.generate(rng)
+                } else {
+                    composite.generate(rng)
+                }
+            });
+        }
+        cur
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a generator closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: self.gen.clone() }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased alternatives (backs `prop_oneof!`).
+pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one alternative");
+    BoxedStrategy::new(move |rng| {
+        let i = rng.below(arms.len() as u64) as usize;
+        arms[i].generate(rng)
+    })
+}
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary {
+    /// Produce an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for any value of `T` (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally something wider.
+        if rng.below(8) == 0 {
+            char::from_u32(rng.range_inclusive(0xa1, 0x2fff) as u32).unwrap_or('\u{fffd}')
+        } else {
+            (rng.range_inclusive(0x20, 0x7e) as u8) as char
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                (lo + rng.range_inclusive(0, (hi - lo) as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// String literals act as regex-shaped string strategies (a subset of real
+/// proptest's string syntax — see [`crate::string_regex`]).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string_regex::generate(self, rng)
+    }
+}

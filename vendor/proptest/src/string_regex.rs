@@ -1,0 +1,335 @@
+//! String generation from a regex-shaped pattern.
+//!
+//! Supports the subset of regex syntax the workspace's tests use as string
+//! strategies: literals, escapes, `.` and `\PC` wildcards, `[...]` classes
+//! (ranges, escapes, leading `^` negation over printable ASCII), groups
+//! `(?:...)`/`(...)` with `|` alternation, and the quantifiers `{n}`,
+//! `{n,m}`, `*`, `+`, `?`. Generated characters for wildcards stay in
+//! printable ASCII, which is a valid subset of both `.` and `\P{C}`.
+
+use crate::rng::TestRng;
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Lit(char),
+    /// `.` or `\PC`: any printable character.
+    AnyPrintable,
+    Class { neg: bool, ranges: Vec<(char, char)> },
+    Seq(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Rep { inner: Box<Ast>, min: u32, max: u32 },
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Ast {
+        let mut arms = vec![self.sequence()];
+        while self.eat('|') {
+            arms.push(self.sequence());
+        }
+        if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Ast::Alt(arms)
+        }
+    }
+
+    fn sequence(&mut self) -> Ast {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            items.push(self.quantified(atom));
+        }
+        if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Ast::Seq(items)
+        }
+    }
+
+    fn quantified(&mut self, atom: Ast) -> Ast {
+        match self.peek() {
+            Some('{') => {
+                self.bump();
+                let min = self.number();
+                let max = if self.eat(',') {
+                    if self.peek() == Some('}') {
+                        min + 8
+                    } else {
+                        self.number()
+                    }
+                } else {
+                    min
+                };
+                assert!(self.eat('}'), "unterminated {{n,m}} quantifier");
+                Ast::Rep { inner: Box::new(atom), min, max: max.max(min) }
+            }
+            Some('*') => {
+                self.bump();
+                Ast::Rep { inner: Box::new(atom), min: 0, max: 8 }
+            }
+            Some('+') => {
+                self.bump();
+                Ast::Rep { inner: Box::new(atom), min: 1, max: 8 }
+            }
+            Some('?') => {
+                self.bump();
+                Ast::Rep { inner: Box::new(atom), min: 0, max: 1 }
+            }
+            _ => atom,
+        }
+    }
+
+    fn number(&mut self) -> u32 {
+        let mut n = 0u32;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            n = n * 10 + self.bump().unwrap().to_digit(10).unwrap();
+        }
+        n
+    }
+
+    fn atom(&mut self) -> Ast {
+        match self.bump().expect("unexpected end of pattern") {
+            '(' => {
+                // Swallow group modifiers like `?:` (we capture nothing).
+                if self.eat('?') {
+                    self.eat(':');
+                }
+                let inner = self.alternation();
+                assert!(self.eat(')'), "unterminated group");
+                inner
+            }
+            '[' => self.class(),
+            '.' => Ast::AnyPrintable,
+            '\\' => self.escape(),
+            c => Ast::Lit(c),
+        }
+    }
+
+    fn escape(&mut self) -> Ast {
+        match self.bump().expect("dangling backslash") {
+            'n' => Ast::Lit('\n'),
+            't' => Ast::Lit('\t'),
+            'r' => Ast::Lit('\r'),
+            '0' => Ast::Lit('\0'),
+            // `\PC` / `\P{C}`: anything outside Unicode category C
+            // (control & friends). We generate from printable ASCII.
+            'P' | 'p' => {
+                if self.eat('{') {
+                    while let Some(c) = self.bump() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                } else {
+                    self.bump();
+                }
+                Ast::AnyPrintable
+            }
+            'd' => Ast::Class { neg: false, ranges: vec![('0', '9')] },
+            'w' => Ast::Class {
+                neg: false,
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+            },
+            's' => Ast::Class { neg: false, ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')] },
+            c => Ast::Lit(c),
+        }
+    }
+
+    fn class(&mut self) -> Ast {
+        let neg = self.eat('^');
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.bump().expect("unterminated character class") {
+                ']' => break,
+                '\\' => match self.escape() {
+                    Ast::Lit(c) => c,
+                    Ast::Class { ranges: r, .. } => {
+                        ranges.extend(r);
+                        continue;
+                    }
+                    _ => '\u{fffd}',
+                },
+                c => c,
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = match self.bump().expect("unterminated range") {
+                    '\\' => match self.escape() {
+                        Ast::Lit(c) => c,
+                        _ => c,
+                    },
+                    h => h,
+                };
+                ranges.push((c, hi.max(c)));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Ast::Class { neg, ranges }
+    }
+}
+
+fn parse(pattern: &str) -> Ast {
+    let mut p = Parser { chars: pattern.chars().collect(), pos: 0 };
+    let ast = p.alternation();
+    assert!(p.peek().is_none(), "trailing junk in pattern {pattern:?} at {}", p.pos);
+    ast
+}
+
+fn pick_printable(rng: &mut TestRng) -> char {
+    (rng.range_inclusive(0x20, 0x7e) as u8) as char
+}
+
+fn emit(ast: &Ast, rng: &mut TestRng, out: &mut String) {
+    match ast {
+        Ast::Lit(c) => out.push(*c),
+        Ast::AnyPrintable => out.push(pick_printable(rng)),
+        Ast::Class { neg, ranges } => {
+            if *neg {
+                // Rejection-sample printable ASCII outside the ranges.
+                for _ in 0..64 {
+                    let c = pick_printable(rng);
+                    if !ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi) {
+                        out.push(c);
+                        return;
+                    }
+                }
+                out.push('\u{fffd}');
+            } else {
+                let total: u64 =
+                    ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+                assert!(total > 0, "empty character class");
+                let mut idx = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u64 - lo as u64 + 1;
+                    if idx < span {
+                        out.push(char::from_u32(lo as u32 + idx as u32).unwrap_or('\u{fffd}'));
+                        return;
+                    }
+                    idx -= span;
+                }
+            }
+        }
+        Ast::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Ast::Alt(arms) => {
+            let i = rng.below(arms.len() as u64) as usize;
+            emit(&arms[i], rng, out);
+        }
+        Ast::Rep { inner, min, max } => {
+            let n = rng.range_inclusive(*min as u64, *max as u64);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let ast = parse(pattern);
+    let mut out = String::new();
+    emit(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, seed: u64) -> String {
+        generate(pattern, &mut TestRng::from_seed(seed))
+    }
+
+    #[test]
+    fn literal_and_repetition() {
+        for s in (0..20).map(|i| sample("ab{2,4}", i)) {
+            assert!(s.starts_with('a'));
+            assert!((3..=5).contains(&s.len()), "{s:?}");
+            assert!(s[1..].chars().all(|c| c == 'b'));
+        }
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        for s in (0..50).map(|i| sample("[a-f0-9]{8}", i)) {
+            assert_eq!(s.len(), 8);
+            assert!(s.chars().all(|c| c.is_ascii_hexdigit() && !c.is_uppercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_groups() {
+        for s in (0..50).map(|i| sample("(?:add|sub|\\[|\\]){1,3}", i)) {
+            assert!(!s.is_empty());
+            let mut rest = s.as_str();
+            while !rest.is_empty() {
+                let ok = ["add", "sub", "[", "]"]
+                    .iter()
+                    .find(|p| rest.starts_with(**p))
+                    .map(|p| p.len());
+                let n = ok.unwrap_or_else(|| panic!("bad token in {s:?}"));
+                rest = &rest[n..];
+            }
+        }
+    }
+
+    #[test]
+    fn wildcards_are_printable() {
+        for s in (0..20).map(|i| sample("\\PC{0,40}", i)) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+        for s in (0..20).map(|i| sample(".{0,64}", i)) {
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        for s in (0..30).map(|i| sample("[a-z()\\\\ \n\t]{0,40}", i)) {
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()
+                    || "()\\ \n\t".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(sample("[0-9a-f]{16}", 7), sample("[0-9a-f]{16}", 7));
+    }
+}
