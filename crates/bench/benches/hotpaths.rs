@@ -119,6 +119,52 @@ fn compiler(c: &mut Criterion) {
     g.finish();
 }
 
+fn wire_cache(c: &mut Criterion) {
+    use ldb_core::CachedMemory;
+    use std::rc::Rc;
+    let mut g = c.benchmark_group("wire_cache");
+    let cc = compile("fib.c", FIB_C, Arch::Mips, CompileOpts::default()).unwrap();
+    let symtab = pssym::emit(&cc.unit, &cc.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let loader = nm::loader_table_for(&cc.linked.image, &symtab);
+    let mut ldb = Ldb::new();
+    ldb.spawn_program(&cc.linked.image, &loader).unwrap();
+    let client = ldb.target(0).client.clone();
+    // A line-aligned kilobyte at the quiet bottom of the stack region,
+    // above the saved context and far below the live frames.
+    let base = (cc.linked.context_addr + 4096) & !63;
+    g.bench_function("sweep_1k_uncached", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..256u32 {
+                acc ^= client.borrow_mut().fetch('d', base + i * 4, 4).unwrap();
+            }
+            acc
+        })
+    });
+    let cache = Rc::new(CachedMemory::new(client.clone()));
+    g.bench_function("sweep_1k_cached_cold", |b| {
+        b.iter(|| {
+            cache.flush();
+            let mut acc = 0u64;
+            for i in 0..256u32 {
+                acc ^= cache.fetch('d', i64::from(base + i * 4), 4).unwrap();
+            }
+            acc
+        })
+    });
+    g.bench_function("sweep_1k_cached_warm", |b| {
+        cache.flush();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..256u32 {
+                acc ^= cache.fetch('d', i64::from(base + i * 4), 4).unwrap();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
 fn lzw(c: &mut Criterion) {
     let data = synth_program(100).into_bytes();
     let mut g = c.benchmark_group("compress");
@@ -129,5 +175,5 @@ fn lzw(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, lzw);
+criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, wire_cache, lzw);
 criterion_main!(benches);

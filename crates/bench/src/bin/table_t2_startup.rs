@@ -102,6 +102,18 @@ fn main() {
         ldb
     });
 
+    // Wire round trips for the big-unit connect, block cache on vs off
+    // (the T2 time barely moves in-process, but over a real wire each
+    // transaction is a latency-bound round trip).
+    let conn_txns = |cache: bool| -> u64 {
+        let mut ldb = Ldb::new();
+        ldb.set_wire_cache(cache);
+        ldb.spawn_program(&big.linked.image, &big_loader).unwrap();
+        let txns = ldb.target(0).client.borrow().metrics().transactions;
+        txns
+    };
+    let (txn_cached, txn_plain) = (conn_txns(true), conn_txns(false));
+
     // Baselines: dbx/gdb reading binary stabs for the big program.
     let hello_stabs = stabs::emit(&hello);
     let big_stabs = stabs::emit(&big);
@@ -138,5 +150,8 @@ fn main() {
         t_conn_big,
         (t_big_sym / t_dbx.max(0.001)) as u32,
         dbg.symbol_count(),
+    );
+    println!(
+        "wire round trips, big-unit connect: {txn_cached} with block cache, {txn_plain} without"
     );
 }

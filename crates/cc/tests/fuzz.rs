@@ -7,7 +7,7 @@ use ldb_machine::Arch;
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 256 })]
 
     #[test]
     fn frontend_is_total(src in "\\PC{0,200}") {

@@ -20,7 +20,7 @@
 //! aliases); no machine-dependent code is involved, so cross-architecture
 //! debugging is free.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -38,6 +38,10 @@ pub enum MemError {
     ImmutableLocation,
     /// Unsupported access width.
     BadSize(u8),
+    /// The offset does not fit the target's 32-bit address space (a
+    /// negative or > 4 GiB offset used to wrap silently into a
+    /// valid-looking address).
+    BadOffset(i64),
 }
 
 impl fmt::Display for MemError {
@@ -47,6 +51,9 @@ impl fmt::Display for MemError {
             MemError::NoSpace(s) => write!(f, "no `{s}` space in this memory"),
             MemError::ImmutableLocation => write!(f, "store to an immediate location"),
             MemError::BadSize(n) => write!(f, "unsupported access width {n}"),
+            MemError::BadOffset(o) => {
+                write!(f, "offset {o:#x} is outside the target's 32-bit address space")
+            }
         }
     }
 }
@@ -85,6 +92,12 @@ pub trait AbstractMemory {
 /// A shared abstract memory.
 pub type MemRef = Rc<dyn AbstractMemory>;
 
+/// Check a debugger-side `i64` offset against the target's 32-bit
+/// address space before it goes near the wire.
+fn wire_addr(offset: i64) -> MemResult<u32> {
+    u32::try_from(offset).map_err(|_| MemError::BadOffset(offset))
+}
+
 /// The wire: forwards everything to the nub. The nub serves only the code
 /// and data spaces.
 pub struct WireMemory {
@@ -103,18 +116,223 @@ impl AbstractMemory for WireMemory {
         if space != 'c' && space != 'd' {
             return Err(MemError::NoSpace(space));
         }
-        Ok(self.client.borrow_mut().fetch(space, offset as u32, size)?)
+        Ok(self.client.borrow_mut().fetch(space, wire_addr(offset)?, size)?)
     }
 
     fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
         if space != 'c' && space != 'd' {
             return Err(MemError::NoSpace(space));
         }
-        Ok(self.client.borrow_mut().store(space, offset as u32, size, value)?)
+        Ok(self.client.borrow_mut().store(space, wire_addr(offset)?, size, value)?)
     }
 
     fn name(&self) -> &'static str {
         "wire"
+    }
+}
+
+/// Cache line size in bytes. Lines are aligned to this.
+const LINE: u32 = 64;
+
+/// Running counters for one [`CachedMemory`] (see `info wire`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fetches served entirely from resident lines.
+    pub hits: u64,
+    /// Fetches that needed at least one line fill (or an uncached
+    /// fallback at the edge of target memory).
+    pub misses: u64,
+    /// Lines filled over the wire with a block fetch.
+    pub fills: u64,
+    /// Lines dropped by stores and invalidation calls.
+    pub invalidated: u64,
+}
+
+/// A read-through, block-granular cache in front of the wire.
+///
+/// Fills 64-byte aligned lines with one `FetchBlock` round trip and
+/// serves 1-, 2-, and 4-byte fetches from them, assembling values in the
+/// target's byte order (learned from the block reply) so results are
+/// bit-identical to individual wire fetches. Stores write through to the
+/// wire and invalidate the touched line(s).
+///
+/// Two deliberate gaps in coverage:
+///
+/// * **8-byte fetches go to the wire uncached.** The nub applies
+///   machine-dependent fixups to doubleword accesses (on big-endian MIPS
+///   the kernel saves floating doubles word-swapped in the context, and
+///   the nub compensates); assembling 8 raw bytes client-side would
+///   bypass that.
+/// * **The cache is policy-free.** It never guesses when target memory
+///   changed behind its back; the debugger calls
+///   [`CachedMemory::invalidate_space`]/[`CachedMemory::flush`] at every
+///   resume, stop, plant, and direct-store boundary.
+pub struct CachedMemory {
+    client: Rc<RefCell<NubClient>>,
+    lines: RefCell<HashMap<(char, u32), Vec<u8>>>,
+    /// Target byte order per the nub's block replies (0 little, 1 big);
+    /// learned on the first fill.
+    order: Cell<u8>,
+    stats: Cell<CacheStats>,
+}
+
+impl CachedMemory {
+    /// An empty cache over a nub connection.
+    pub fn new(client: Rc<RefCell<NubClient>>) -> CachedMemory {
+        CachedMemory {
+            client,
+            lines: RefCell::new(HashMap::new()),
+            order: Cell::new(0),
+            stats: Cell::new(CacheStats::default()),
+        }
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.get()
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.borrow().len()
+    }
+
+    /// Drop every resident line of `space`.
+    pub fn invalidate_space(&self, space: char) {
+        let mut lines = self.lines.borrow_mut();
+        let before = lines.len();
+        lines.retain(|(s, _), _| *s != space);
+        let dropped = (before - lines.len()) as u64;
+        drop(lines);
+        self.bump(|s| s.invalidated += dropped);
+    }
+
+    /// Drop every resident line (e.g. after a reconnect, when another
+    /// debugger may have touched anything).
+    pub fn flush(&self) {
+        let mut lines = self.lines.borrow_mut();
+        let dropped = lines.len() as u64;
+        lines.clear();
+        drop(lines);
+        self.bump(|s| s.invalidated += dropped);
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut CacheStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    /// Drop the line(s) overlapping `[addr, addr + size)` in `space`.
+    fn invalidate_range(&self, space: char, addr: u32, size: u8) {
+        let first = addr & !(LINE - 1);
+        let last = addr.saturating_add(u32::from(size.max(1)) - 1) & !(LINE - 1);
+        let mut lines = self.lines.borrow_mut();
+        let mut dropped = 0u64;
+        let mut base = first;
+        loop {
+            if lines.remove(&(space, base)).is_some() {
+                dropped += 1;
+            }
+            if base >= last {
+                break;
+            }
+            base += LINE;
+        }
+        drop(lines);
+        self.bump(|s| s.invalidated += dropped);
+    }
+
+    /// Fill the line at `base` (aligned) over the wire.
+    fn fill(&self, space: char, base: u32) -> MemResult<()> {
+        let (order, bytes) = self.client.borrow_mut().fetch_block(space, base, LINE)?;
+        self.order.set(order);
+        self.lines.borrow_mut().insert((space, base), bytes);
+        self.bump(|s| s.fills += 1);
+        Ok(())
+    }
+}
+
+/// Assemble a value from raw target-memory bytes in the given order
+/// (0 little, 1 big) — exactly what the nub's word reads would produce.
+fn assemble(bytes: &[u8], order: u8) -> u64 {
+    let mut v = 0u64;
+    if order == 1 {
+        for &b in bytes {
+            v = (v << 8) | u64::from(b);
+        }
+    } else {
+        for (i, &b) in bytes.iter().enumerate() {
+            v |= u64::from(b) << (8 * i);
+        }
+    }
+    v
+}
+
+impl AbstractMemory for CachedMemory {
+    fn fetch(&self, space: char, offset: i64, size: u8) -> MemResult<u64> {
+        if space != 'c' && space != 'd' {
+            return Err(MemError::NoSpace(space));
+        }
+        if !matches!(size, 1 | 2 | 4 | 8) {
+            return Err(MemError::BadSize(size));
+        }
+        let addr = wire_addr(offset)?;
+        // Doubleword fetches bypass the cache (see the type docs); so do
+        // accesses that would wrap the address space — let the nub rule.
+        let Some(end) = addr.checked_add(u32::from(size) - 1) else {
+            return Ok(self.client.borrow_mut().fetch(space, addr, size)?);
+        };
+        if size == 8 {
+            return Ok(self.client.borrow_mut().fetch(space, addr, size)?);
+        }
+        // Make every line covering the access resident.
+        let first = addr & !(LINE - 1);
+        let last = end & !(LINE - 1);
+        let mut missed = false;
+        let mut base = first;
+        loop {
+            if !self.lines.borrow().contains_key(&(space, base)) {
+                missed = true;
+                if self.fill(space, base).is_err() {
+                    // The whole line may be unreadable (end of target
+                    // memory) even when the access itself is fine: fall
+                    // back to an uncached fetch so edge semantics stay
+                    // identical to the plain wire.
+                    self.bump(|s| s.misses += 1);
+                    return Ok(self.client.borrow_mut().fetch(space, addr, size)?);
+                }
+            }
+            if base == last {
+                break;
+            }
+            base += LINE;
+        }
+        self.bump(|s| if missed { s.misses += 1 } else { s.hits += 1 });
+        let lines = self.lines.borrow();
+        let mut bytes = [0u8; 8];
+        for (i, slot) in bytes.iter_mut().take(usize::from(size)).enumerate() {
+            let a = addr + i as u32;
+            let line = &lines[&(space, a & !(LINE - 1))];
+            *slot = line[(a % LINE) as usize];
+        }
+        Ok(assemble(&bytes[..usize::from(size)], self.order.get()))
+    }
+
+    fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
+        if space != 'c' && space != 'd' {
+            return Err(MemError::NoSpace(space));
+        }
+        let addr = wire_addr(offset)?;
+        self.client.borrow_mut().store(space, addr, size, value)?;
+        // Write through, then drop the touched line(s): the wire owns the
+        // truth (the nub may transform the store, e.g. doubleword fixups).
+        self.invalidate_range(space, addr, size);
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "cache"
     }
 }
 
@@ -224,7 +442,9 @@ impl AbstractMemory for RegisterMemory {
     fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
         match self.widths.get(&space) {
             None => self.under.store(space, offset, size, value),
-            Some(&w) if size >= w => self.under.store(space, offset, w, value),
+            // Mask to the register width: backends are entitled to assume
+            // the value of a w-byte store fits in w bytes.
+            Some(&w) if size >= w => self.under.store(space, offset, w, truncate(value, w)),
             Some(&w) => {
                 // Read-modify-write the full register.
                 let full = self.under.fetch(space, offset, w)?;
@@ -296,22 +516,34 @@ impl AbstractMemory for JoinedMemory {
 }
 
 /// An in-memory test double (also used by unit tests higher up).
+///
+/// Byte-granular: a store scatters its value into little-endian bytes and
+/// a fetch gathers exactly `size` of them back, so overlapping and
+/// mixed-width accesses behave like a real memory and width bugs surface
+/// in unit tests instead of only on the wire. Byte order questions remain
+/// the wire's business, not this fake's.
 #[derive(Default)]
 pub struct FakeMemory {
-    /// (space, offset) → byte. Multi-byte values live little-endian here;
-    /// byte order questions are the wire's business, not this fake's.
-    pub cells: RefCell<HashMap<(char, i64), u64>>,
+    /// (space, byte offset) → byte. Unwritten bytes read as zero.
+    pub cells: RefCell<HashMap<(char, i64), u8>>,
 }
 
 impl AbstractMemory for FakeMemory {
     fn fetch(&self, space: char, offset: i64, size: u8) -> MemResult<u64> {
-        let _ = size;
-        Ok(*self.cells.borrow().get(&(space, offset)).unwrap_or(&0))
+        let cells = self.cells.borrow();
+        let mut v = 0u64;
+        for i in 0..i64::from(size) {
+            let b = *cells.get(&(space, offset + i)).unwrap_or(&0);
+            v |= u64::from(b) << (8 * i);
+        }
+        Ok(v)
     }
 
     fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
-        let _ = size;
-        self.cells.borrow_mut().insert((space, offset), value);
+        let mut cells = self.cells.borrow_mut();
+        for i in 0..i64::from(size) {
+            cells.insert((space, offset + i), (value >> (8 * i)) as u8);
+        }
         Ok(())
     }
 
@@ -435,5 +667,88 @@ mod tests {
         assert_eq!(sign_extend(0x7f, 1), 127);
         assert_eq!(sign_extend(0xffff_ffff, 4), -1);
         assert_eq!(sign_extend(5, 8), 5);
+    }
+
+    /// A client over a dead wire: any request that actually reaches the
+    /// transport errors out, so a `BadOffset` result proves the guard
+    /// fired *before* the wire was touched.
+    fn dead_client() -> Rc<RefCell<NubClient>> {
+        Rc::new(RefCell::new(NubClient::new(Box::new(ldb_nub::DeadWire))))
+    }
+
+    #[test]
+    fn wire_memory_rejects_out_of_range_offsets() {
+        let wire = WireMemory::new(dead_client());
+        for bad in [-1i64, i64::MIN, 1 << 32, i64::MAX] {
+            assert!(matches!(wire.fetch('d', bad, 4), Err(MemError::BadOffset(o)) if o == bad));
+            assert!(matches!(wire.store('d', bad, 4, 0), Err(MemError::BadOffset(o)) if o == bad));
+        }
+    }
+
+    #[test]
+    fn cached_memory_rejects_out_of_range_offsets() {
+        let cache = CachedMemory::new(dead_client());
+        for bad in [-1i64, i64::MIN, 1 << 32, i64::MAX] {
+            assert!(matches!(cache.fetch('d', bad, 4), Err(MemError::BadOffset(o)) if o == bad));
+            assert!(matches!(cache.store('d', bad, 4, 0), Err(MemError::BadOffset(o)) if o == bad));
+        }
+        assert!(matches!(cache.fetch('r', 0, 4), Err(MemError::NoSpace('r'))));
+        assert!(matches!(cache.fetch('d', 0, 3), Err(MemError::BadSize(3))));
+    }
+
+    /// Records the widths and values its backend actually receives.
+    #[derive(Default)]
+    struct RecordingMemory {
+        last: RefCell<Option<(u8, u64)>>,
+    }
+
+    impl AbstractMemory for RecordingMemory {
+        fn fetch(&self, _space: char, _offset: i64, _size: u8) -> MemResult<u64> {
+            Ok(0)
+        }
+        fn store(&self, _space: char, _offset: i64, size: u8, value: u64) -> MemResult<()> {
+            *self.last.borrow_mut() = Some((size, value));
+            Ok(())
+        }
+        fn name(&self) -> &'static str {
+            "recording"
+        }
+    }
+
+    #[test]
+    fn register_store_masks_value_to_register_width() {
+        // An 8-byte store into a 4-byte register space must not leak the
+        // high 32 bits into a backend that trusts w-byte stores to carry
+        // w-byte values.
+        let under = Rc::new(RecordingMemory::default());
+        let reg = RegisterMemory::new(under.clone(), &[('r', 4)]);
+        reg.store('r', 5, 8, 0xdead_beef_1122_3344).unwrap();
+        assert_eq!(*under.last.borrow(), Some((4, 0x1122_3344)));
+    }
+
+    #[test]
+    fn fake_memory_is_byte_granular() {
+        let fake = FakeMemory::default();
+        fake.store('d', 0x100, 4, 0x0403_0201).unwrap();
+        // Interior bytes and straddling reads see the little-endian bytes.
+        assert_eq!(fake.fetch('d', 0x100, 1).unwrap(), 0x01);
+        assert_eq!(fake.fetch('d', 0x103, 1).unwrap(), 0x04);
+        assert_eq!(fake.fetch('d', 0x101, 2).unwrap(), 0x0302);
+        // An overlapping narrower store only clobbers its own bytes.
+        fake.store('d', 0x102, 1, 0xaa).unwrap();
+        assert_eq!(fake.fetch('d', 0x100, 4).unwrap(), 0x04aa_0201);
+        // Unwritten bytes read as zero, even adjacent to written ones.
+        assert_eq!(fake.fetch('d', 0x103, 4).unwrap(), 0x0000_0004);
+    }
+
+    #[test]
+    fn assemble_matches_both_byte_orders() {
+        let bytes = [0x11, 0x22, 0x33, 0x44];
+        assert_eq!(assemble(&bytes, 0), 0x4433_2211);
+        assert_eq!(assemble(&bytes, 1), 0x1122_3344);
+        assert_eq!(assemble(&bytes[..2], 0), 0x2211);
+        assert_eq!(assemble(&bytes[..2], 1), 0x1122);
+        assert_eq!(assemble(&bytes[..1], 0), 0x11);
+        assert_eq!(assemble(&bytes[..1], 1), 0x11);
     }
 }

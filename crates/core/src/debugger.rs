@@ -16,7 +16,7 @@ use ldb_machine::{Arch, MachineData};
 use ldb_nub::{NubClient, NubConfig, NubEvent, NubHandle, Sig, Wire};
 use ldb_postscript::{DictRef, Interp, Location, Object, Out, PsError, PsFile, Value};
 
-use crate::amemory::{JoinedMemory, MemRef, WireMemory};
+use crate::amemory::{CachedMemory, JoinedMemory, MemRef, WireMemory};
 use crate::breakpoint::Breakpoints;
 use crate::frame::{frame_walker, Frame, WalkCtx};
 use crate::loader::Loader;
@@ -187,8 +187,12 @@ pub struct Target {
     /// The unit dictionary holding this target's symbol-table entries
     /// (`S0`, `S1`, ... and the type dictionaries).
     pub unit_dict: DictRef,
-    /// The wire memory (c/d spaces).
+    /// The wire memory (c/d spaces), possibly behind the block cache.
     pub wire: MemRef,
+    /// The block cache in front of the wire, when enabled: `wire` is then
+    /// this same object. Held separately so the debugger can invalidate
+    /// at resume/stop/plant boundaries and the CLI can report stats.
+    pub cache: Option<Rc<CachedMemory>>,
     /// Planted breakpoints.
     pub breakpoints: Breakpoints,
     /// Current stop, if stopped.
@@ -213,6 +217,26 @@ pub struct Target {
     reg_cache: Vec<(String, u32)>,
 }
 
+impl Target {
+    /// Drop cached `d`-space lines. Data memory is cached per-stop: any
+    /// boundary where the target may run, or where the debugger stores
+    /// into data behind the cache's back, lands here.
+    pub fn invalidate_data_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.invalidate_space('d');
+        }
+    }
+
+    /// Drop cached `c`-space lines. Code is read-only to the *target*, so
+    /// it is cached for the whole session — but the debugger itself
+    /// patches it when planting and unplanting breakpoints.
+    pub fn invalidate_code_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.invalidate_space('c');
+        }
+    }
+}
+
 impl std::fmt::Debug for Target {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Target {{ arch: {}, stopped: {} }}", self.arch, self.stop.is_some())
@@ -234,6 +258,9 @@ pub struct Ldb {
     expr: Option<ExprSession>,
     expr_state: Rc<RefCell<ExprState>>,
     handles: u32,
+    /// Put the block cache in front of the wire of targets attached from
+    /// now on (on by default; `--no-wire-cache` turns it off).
+    wire_cache: bool,
 }
 
 struct ExprSession {
@@ -280,9 +307,16 @@ impl Ldb {
             expr: None,
             expr_state,
             handles: 0,
+            wire_cache: true,
         };
         ldb.register_expr_ops();
         ldb
+    }
+
+    /// Enable or disable the wire cache for *future* attaches (existing
+    /// targets keep whatever they were attached with).
+    pub fn set_wire_cache(&mut self, on: bool) {
+        self.wire_cache = on;
     }
 
     // ----- targets -----
@@ -333,7 +367,12 @@ impl Ldb {
         let arch = loader.arch;
         let arch_dict = make_arch_dict(&mut self.interp, arch);
         let client = Rc::new(RefCell::new(client));
-        let wire: MemRef = Rc::new(WireMemory::new(Rc::clone(&client)));
+        let (wire, cache): (MemRef, Option<Rc<CachedMemory>>) = if self.wire_cache {
+            let c = Rc::new(CachedMemory::new(Rc::clone(&client)));
+            (Rc::clone(&c) as MemRef, Some(c))
+        } else {
+            (Rc::new(WireMemory::new(Rc::clone(&client))), None)
+        };
         let mut target = Target {
             arch,
             data: arch.data(),
@@ -342,6 +381,7 @@ impl Ldb {
             arch_dict,
             unit_dict,
             wire,
+            cache,
             breakpoints: Breakpoints::new(arch.data()),
             stop: Some(stop),
             frames: Vec::new(),
@@ -397,6 +437,11 @@ impl Ldb {
         let t = &mut self.targets[id];
         let recovered = t.breakpoints.recover(&t.client)?;
         let _ = recovered;
+        // Another debugger may have touched anything while we were away:
+        // nothing cached before the loss can be trusted.
+        if let Some(c) = &self.targets[id].cache {
+            c.flush();
+        }
         self.handle_event(id, ev)
     }
 
@@ -538,6 +583,7 @@ impl Ldb {
         let addr = symtab::stop_addr(&mut self.interp, &entry, index)?;
         let t = &mut self.targets[id];
         t.breakpoints.plant(&t.client, addr)?;
+        t.invalidate_code_cache();
         Ok(addr)
     }
 
@@ -556,6 +602,7 @@ impl Ldb {
         let addr = symtab::stop_addr(&mut self.interp, &entry, index)?;
         let t = &mut self.targets[id];
         t.breakpoints.plant(&t.client, addr)?;
+        t.invalidate_code_cache();
         Ok(addr)
     }
 
@@ -568,7 +615,9 @@ impl Ldb {
         let id = self.cur_id()?;
         self.ensure_connected(id)?;
         let t = &mut self.targets[id];
-        t.breakpoints.plant_anywhere(&t.client, addr)
+        t.breakpoints.plant_anywhere(&t.client, addr)?;
+        t.invalidate_code_cache();
+        Ok(())
     }
 
     /// Single-step one target instruction (requires the nub's step
@@ -605,6 +654,7 @@ impl Ldb {
         let addr = symtab::stop_addr(&mut self.interp, &entry, index)?;
         let t = &mut self.targets[id];
         t.breakpoints.plant(&t.client, addr)?;
+        t.invalidate_code_cache();
         Ok(addr)
     }
 
@@ -617,7 +667,9 @@ impl Ldb {
         self.ensure_connected(id)?;
         let t = &mut self.targets[id];
         t.conds.remove(&addr);
-        t.breakpoints.remove(&t.client, addr)
+        t.breakpoints.remove(&t.client, addr)?;
+        t.invalidate_code_cache();
+        Ok(())
     }
 
     /// Continue the current target until the next stop.
@@ -851,6 +903,7 @@ impl Ldb {
                 temps.push(ret_pc);
             }
         }
+        self.targets[id].invalidate_code_cache();
         let result = self.run_to_frame(id, &temps, my_vfp, parent);
         self.cleanup_temps(id, &temps, &result)?;
         result
@@ -876,6 +929,7 @@ impl Ldb {
             t.breakpoints.plant_anywhere(&t.client, parent.0)?;
             temps.push(parent.0);
         }
+        self.targets[id].invalidate_code_cache();
         let result = self.run_to_frame(id, &temps, None, Some(parent));
         self.cleanup_temps(id, &temps, &result)?;
         let ev = result?;
@@ -952,6 +1006,7 @@ impl Ldb {
                 t.breakpoints.remove(&t.client, *a)?;
             }
         }
+        t.invalidate_code_cache();
         Ok(())
     }
 
@@ -1081,6 +1136,9 @@ impl Ldb {
         for (i, word) in saved.iter().enumerate() {
             t.client.borrow_mut().store('d', stop.context + i as u32 * 4, 4, *word)?;
         }
+        // The restore stores went around the cache; drop stale data lines
+        // before the frame view is rebuilt from the restored context.
+        t.invalidate_data_cache();
         self.after_stop(id)?;
         result
     }
@@ -1232,8 +1290,14 @@ impl Ldb {
                     }
                     NubEvent::Exited(_) => {}
                 }
+                // The restore/replant patched code behind the cache's back.
+                t.invalidate_code_cache();
             }
         }
+        // Resume paths store the saved pc (and may have stepped the
+        // target) through the bare client: nothing cached from data
+        // memory survives the boundary.
+        self.targets[id].invalidate_data_cache();
         Ok(())
     }
 
@@ -1245,6 +1309,11 @@ impl Ldb {
                 Ok(StopEvent::Exited(c))
             }
             NubEvent::Stopped { sig, code, context } => {
+                // The target ran: every cached data line is stale. Code
+                // lines survive — the target cannot write its own text,
+                // and the debugger's own patches invalidate at the plant
+                // sites.
+                self.targets[id].invalidate_data_cache();
                 self.targets[id].stop = Some(Stop { sig, code, context });
                 self.after_stop(id)?;
                 Ok(match sig {
@@ -1282,6 +1351,7 @@ impl Ldb {
         t.client
             .borrow_mut()
             .store('d', stop.context + t.data.ctx.pc_offset, 4, pc as u64)?;
+        t.invalidate_data_cache();
         Ok(())
     }
 

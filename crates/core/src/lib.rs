@@ -40,7 +40,7 @@ pub mod loader;
 pub mod psops;
 pub mod symtab;
 
-pub use amemory::{AbstractMemory, AliasMemory, JoinedMemory, MemError, MemRef, RegisterMemory, WireMemory};
+pub use amemory::{AbstractMemory, AliasMemory, CachedMemory, CacheStats, JoinedMemory, MemError, MemRef, RegisterMemory, WireMemory};
 pub use breakpoint::Breakpoints;
 pub use debugger::{CallArg, CallReturn, Ldb, StopEvent, Target};
 pub use event::{Events, Outcome};

@@ -5,7 +5,7 @@ use ldb_machine::{encode, Arch, ByteOrder};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 1024, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 1024 })]
 
     #[test]
     fn decoders_are_total(bytes in prop::collection::vec(any::<u8>(), 0..20), pc in 0u32..0x10000) {

@@ -108,7 +108,7 @@ fn op() -> impl Strategy<Value = Op> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 512 })]
 
     #[test]
     fn encode_decode_roundtrips(op in op(), pc in (0x1000u32..0x5000).prop_map(|p| p & !3)) {
@@ -149,7 +149,7 @@ mod core_format {
     use proptest::prelude::*;
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig { cases: 256 })]
 
         /// Any machine state survives a dump/load cycle bit-exactly.
         #[test]

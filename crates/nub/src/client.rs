@@ -105,6 +105,21 @@ impl Default for ClientConfig {
     }
 }
 
+/// Running traffic counters for one client, kept since connect (or the
+/// last [`NubClient::reset_metrics`]). Frame byte counts are wire-level:
+/// envelope overhead included, transport length prefix excluded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// Transactions started (one per request, however many attempts).
+    pub transactions: u64,
+    /// Extra attempts beyond the first send of a transaction.
+    pub retransmits: u64,
+    /// Bytes put on the wire (every attempt counts).
+    pub bytes_sent: u64,
+    /// Bytes received off the wire (replies, events, noise alike).
+    pub bytes_received: u64,
+}
+
 /// The debugger's connection to one nub.
 pub struct NubClient {
     wire: Box<dyn Wire>,
@@ -115,6 +130,8 @@ pub struct NubClient {
     last_event_gen: Option<u32>,
     /// Events noticed while a transaction was in flight.
     pending_events: VecDeque<NubEvent>,
+    /// Traffic counters, surfaced by `info wire`.
+    metrics: WireMetrics,
 }
 
 impl std::fmt::Debug for NubClient {
@@ -132,12 +149,29 @@ impl NubClient {
     /// Wrap a connected wire with an explicit policy (tests shrink the
     /// timeouts; lossy links may want a larger retry budget).
     pub fn with_config(wire: Box<dyn Wire>, cfg: ClientConfig) -> NubClient {
-        NubClient { wire, cfg, seq: 0, last_event_gen: None, pending_events: VecDeque::new() }
+        NubClient {
+            wire,
+            cfg,
+            seq: 0,
+            last_event_gen: None,
+            pending_events: VecDeque::new(),
+            metrics: WireMetrics::default(),
+        }
     }
 
     /// The active policy.
     pub fn config(&self) -> &ClientConfig {
         &self.cfg
+    }
+
+    /// Traffic counters since connect or the last reset.
+    pub fn metrics(&self) -> WireMetrics {
+        self.metrics
+    }
+
+    /// Zero the traffic counters (e.g. to meter one command).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = WireMetrics::default();
     }
 
     /// Swap the transport under the client, e.g. after the old wire died.
@@ -181,12 +215,15 @@ impl NubClient {
         let frame = Envelope::Req { seq, req: req.clone() }.encode();
         let mut backoff = self.cfg.backoff;
         let mut corrupt_seen = false;
+        self.metrics.transactions += 1;
         for attempt in 0..=self.cfg.retries {
             if attempt > 0 {
+                self.metrics.retransmits += 1;
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(Duration::from_millis(80));
             }
             self.wire.send(&frame)?;
+            self.metrics.bytes_sent += frame.len() as u64;
             let deadline = Instant::now() + self.cfg.reply_timeout;
             loop {
                 let left = deadline.saturating_duration_since(Instant::now());
@@ -194,6 +231,7 @@ impl NubClient {
                     break; // this attempt's budget is spent: retransmit
                 }
                 let Some(raw) = self.wire.recv_timeout(left)? else { break };
+                self.metrics.bytes_received += raw.len() as u64;
                 match Envelope::decode(&raw) {
                     Some(Envelope::Reply { seq: s, reply }) if s == seq => return Ok(reply),
                     Some(Envelope::Reply { .. }) => {
@@ -239,6 +277,7 @@ impl NubClient {
             }
             match self.wire.recv_timeout(self.cfg.event_poll)? {
                 Some(raw) => {
+                    self.metrics.bytes_received += raw.len() as u64;
                     if let Some(Envelope::Event { generation, reply }) = Envelope::decode(&raw) {
                         self.note_event(generation, reply);
                     }
@@ -283,6 +322,35 @@ impl NubClient {
     pub fn store(&mut self, space: char, addr: u32, size: u8, value: u64) -> Result<(), NubError> {
         match self.transact(&Request::Store { space: space as u8, addr, size, value })? {
             Reply::Stored => Ok(()),
+            Reply::Error { code } => Err(NubError::Nub(code)),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch `len` raw bytes from the code or data space in one round
+    /// trip (the cache layer's line fill). Returns the target's byte
+    /// order (0 = little, 1 = big) alongside the bytes, so callers can
+    /// assemble multi-byte values exactly as [`NubClient::fetch`] would.
+    ///
+    /// # Errors
+    /// Bad addresses (the fetch is all-or-nothing), bad lengths
+    /// (`0` or above [`crate::proto::MAX_BLOCK`]), connection loss.
+    pub fn fetch_block(
+        &mut self,
+        space: char,
+        addr: u32,
+        len: u32,
+    ) -> Result<(u8, Vec<u8>), NubError> {
+        match self.transact(&Request::FetchBlock { space: space as u8, addr, len })? {
+            Reply::Block { order, bytes } => {
+                if bytes.len() != len as usize {
+                    return Err(NubError::Protocol(format!(
+                        "block reply carries {} bytes, requested {len}",
+                        bytes.len()
+                    )));
+                }
+                Ok((order, bytes))
+            }
             Reply::Error { code } => Err(NubError::Nub(code)),
             other => Err(NubError::Protocol(format!("{other:?}"))),
         }

@@ -22,8 +22,8 @@ pub mod nub;
 pub mod proto;
 pub mod transport;
 
-pub use client::{ClientConfig, NubClient, NubError, NubEvent};
+pub use client::{ClientConfig, NubClient, NubError, NubEvent, WireMetrics};
 pub use fault::{FaultConfig, FaultStats, FaultyWire};
 pub use nub::{spawn, spawn_machine, NubConfig, NubHandle};
-pub use proto::{Envelope, Reply, Request, Sig};
+pub use proto::{Envelope, Reply, Request, Sig, MAX_BLOCK};
 pub use transport::{channel_pair, ChannelWire, DeadWire, TcpWire, Wire, MAX_FRAME};

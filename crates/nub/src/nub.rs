@@ -35,7 +35,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use crate::arch::{nub_arch, NubArch};
 use crate::proto::{Envelope, Reply, Request, Sig};
 use crate::transport::Wire;
-use ldb_machine::{Fault, Image, Machine, RunEvent};
+use ldb_machine::{ByteOrder, Fault, Image, Machine, RunEvent};
 
 /// How long the run loop listens on the wire between slices.
 const RUN_POLL: Duration = Duration::from_micros(500);
@@ -585,6 +585,33 @@ impl Nub {
                     self.plants.push((addr, size, orig));
                 }
                 Reply::Stored
+            }
+            Request::FetchBlock { space, addr, len } => {
+                if space != b'c' && space != b'd' {
+                    return Reply::Error { code: 2 };
+                }
+                if len == 0 || len > crate::proto::MAX_BLOCK {
+                    return Reply::Error { code: 3 };
+                }
+                let m = &self.machine;
+                let mut bytes = Vec::with_capacity(len as usize);
+                for i in 0..len {
+                    let Some(a) = addr.checked_add(i) else {
+                        return Reply::Error { code: 1 };
+                    };
+                    match m.cpu.mem.read_u8(a) {
+                        Ok(b) => bytes.push(b),
+                        // All-or-nothing: a block fetch never returns a
+                        // short read, so a client can cache the whole line
+                        // or fall back to word fetches at the edge.
+                        Err(_) => return Reply::Error { code: 1 },
+                    }
+                }
+                let order = match m.cpu.mem.order() {
+                    ByteOrder::Little => 0,
+                    ByteOrder::Big => 1,
+                };
+                Reply::Block { order, bytes }
             }
             Request::QueryPlants => Reply::Plants(self.plants.clone()),
             // State-machine requests reaching here means the peer sent

@@ -14,6 +14,12 @@
 //! debugger can recover the overwritten instructions after a debugger
 //! crash.
 
+/// The largest block a [`Request::FetchBlock`] may ask for, in bytes.
+/// Keeps a block reply comfortably inside the 1 MiB frame cap even after
+/// envelope overhead, and bounds what a corrupted length field can make a
+/// decoder allocate.
+pub const MAX_BLOCK: u32 = 64 * 1024;
+
 /// Signals the nub reports. Numbers follow UNIX conventions loosely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sig {
@@ -115,6 +121,19 @@ pub enum Request {
     /// the target executes, or re-announces the current stop. Lets a
     /// client distinguish a slow target from a dead wire.
     Ping,
+    /// Fetch `len` raw bytes starting at `addr` in space `space`, in one
+    /// round trip. The bulk-transfer counterpart of [`Request::Fetch`]:
+    /// the debugger's cache layer fills whole lines with this instead of
+    /// paying one transaction per word. `len` must be in
+    /// `1..=`[`MAX_BLOCK`].
+    FetchBlock {
+        /// Space letter (`b'c'` or `b'd'`).
+        space: u8,
+        /// Target address of the first byte.
+        addr: u32,
+        /// Number of bytes to fetch.
+        len: u32,
+    },
 }
 
 /// Replies and notifications the nub sends.
@@ -156,6 +175,16 @@ pub enum Reply {
     Ack,
     /// Answer to [`Request::Ping`] while the target is executing.
     Running,
+    /// Bytes fetched by [`Request::FetchBlock`]. Unlike [`Reply::Fetched`],
+    /// the bytes are *raw target memory*, not a little-endian value; the
+    /// `order` byte tells the client how the target assembles multi-byte
+    /// values so it can reproduce word fetches bit-for-bit.
+    Block {
+        /// Target byte order: 0 = little-endian, 1 = big-endian.
+        order: u8,
+        /// The requested bytes, in target memory order.
+        bytes: Vec<u8>,
+    },
 }
 
 fn put_u32(v: &mut Vec<u8>, x: u32) {
@@ -205,6 +234,12 @@ impl Request {
             Request::Step => v.push(8),
             Request::DetachRun => v.push(9),
             Request::Ping => v.push(10),
+            Request::FetchBlock { space, addr, len } => {
+                v.push(11);
+                v.push(*space);
+                put_u32(&mut v, *addr);
+                put_u32(&mut v, *len);
+            }
         }
         v
     }
@@ -235,6 +270,11 @@ impl Request {
             8 => Some(Request::Step),
             9 => Some(Request::DetachRun),
             10 => Some(Request::Ping),
+            11 => Some(Request::FetchBlock {
+                space: *b.get(1)?,
+                addr: get_u32(b, 2)?,
+                len: get_u32(b, 6)?,
+            }),
             _ => None,
         }
     }
@@ -275,6 +315,12 @@ impl Reply {
             }
             Reply::Ack => v.push(0x87),
             Reply::Running => v.push(0x88),
+            Reply::Block { order, bytes } => {
+                v.push(0x89);
+                v.push(*order);
+                put_u32(&mut v, bytes.len() as u32);
+                v.extend_from_slice(bytes);
+            }
         }
         v
     }
@@ -311,6 +357,16 @@ impl Reply {
             0x86 => Some(Reply::Error { code: *b.get(1)? }),
             0x87 => Some(Reply::Ack),
             0x88 => Some(Reply::Running),
+            0x89 => {
+                let order = *b.get(1)?;
+                let n = get_u32(b, 2)? as usize;
+                // Never trust a length field: cap it and require the body
+                // to actually hold n bytes before anything is allocated.
+                if n > MAX_BLOCK as usize || b.len() < 6 + n {
+                    return None;
+                }
+                Some(Reply::Block { order, bytes: b[6..6 + n].to_vec() })
+            }
             _ => None,
         }
     }
@@ -467,6 +523,41 @@ mod tests {
     }
 
     #[test]
+    fn block_frames_round_trip() {
+        let req = Request::FetchBlock { space: b'd', addr: 0x4000, len: 64 };
+        assert_eq!(Request::decode(&req.encode()), Some(req));
+        for order in [0u8, 1] {
+            let rep = Reply::Block { order, bytes: (0..64u8).collect() };
+            assert_eq!(Reply::decode(&rep.encode()), Some(rep.clone()));
+            let env = Envelope::Reply { seq: 9, reply: rep };
+            assert_eq!(Envelope::decode(&env.encode()), Some(env));
+        }
+        // Empty blocks survive the codec too; the nub rejects len == 0 at
+        // the service layer, not the codec.
+        let empty = Reply::Block { order: 0, bytes: vec![] };
+        assert_eq!(Reply::decode(&empty.encode()), Some(empty));
+    }
+
+    #[test]
+    fn block_decode_rejects_lying_lengths() {
+        // Claims 16 bytes but carries 4: must not decode (and must not
+        // allocate for the claimed length first).
+        let mut b = vec![0x89, 0, 16, 0, 0, 0];
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(Reply::decode(&b), None);
+        // Claims more than MAX_BLOCK: rejected outright even if a
+        // malicious frame were long enough.
+        let mut huge = vec![0x89, 0];
+        huge.extend_from_slice(&(MAX_BLOCK + 1).to_le_bytes());
+        assert_eq!(Reply::decode(&huge), None);
+        // A full-size block at exactly MAX_BLOCK still fits in a frame.
+        let max = Reply::Block { order: 1, bytes: vec![0xab; MAX_BLOCK as usize] };
+        let frame = max.encode();
+        assert!(frame.len() < 1 << 20);
+        assert_eq!(Reply::decode(&frame), Some(max));
+    }
+
+    #[test]
     fn sig_numbers_round_trip() {
         for s in [Sig::Pause, Sig::Trap, Sig::Segv, Sig::Fpe, Sig::Ill, Sig::Attach, Sig::Step] {
             assert_eq!(Sig::from_number(s.number()), Some(s));
@@ -498,6 +589,21 @@ mod tests {
         fn prop_plants_roundtrip(list in prop::collection::vec((any::<u32>(), prop::sample::select(vec![1u8,2,4]), any::<u64>()), 0..8)) {
             let r = Reply::Plants(list);
             prop_assert_eq!(Reply::decode(&r.encode()), Some(r.clone()));
+        }
+
+        /// Block frames survive the codec for arbitrary contents, bare and
+        /// enveloped alike.
+        #[test]
+        fn prop_block_roundtrip(space in prop::sample::select(vec![b'c', b'd']),
+                                addr: u32, len in 1u32..=MAX_BLOCK, seq: u32,
+                                order in 0u8..=1,
+                                bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            let req = Request::FetchBlock { space, addr, len };
+            prop_assert_eq!(Request::decode(&req.encode()), Some(req.clone()));
+            let env = Envelope::Req { seq, req };
+            prop_assert_eq!(Envelope::decode(&env.encode()), Some(env));
+            let rep = Reply::Block { order, bytes };
+            prop_assert_eq!(Reply::decode(&rep.encode()), Some(rep));
         }
 
         /// The decoder never panics on arbitrary bytes.

@@ -5,7 +5,7 @@ use ldb_postscript::{Interp, Scanner};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 512 })]
 
     #[test]
     fn scanner_is_total(src in "\\PC{0,200}") {

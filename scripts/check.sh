@@ -2,11 +2,11 @@
 # Repo-wide check: what CI runs, runnable locally too.
 #
 #   build (release)  — the tier-1 build
-#   clippy           — lint gate; the wire/protocol crate denies all warnings
+#   clippy           — lint gate; the whole workspace denies all warnings
 #   test             — workspace suite, incl. tests/fault_injection.rs
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo clippy -p ldb-nub --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q

@@ -6,6 +6,7 @@
 //!        ldb <file.c>... --fault seed=1,drop=0.05,corrupt=0.02   lossy-wire drill
 //!        ldb <file.c>... --run [--core <path>]   run undebugged; fault dumps core
 //!        ldb <file.c>... --core <path>           post-mortem on a core file
+//!        ldb <file.c>... --no-wire-cache         word-at-a-time wire (no block cache)
 //!
 //! `--fault` wraps the debugger's wire in a deterministic fault injector
 //! (keys: seed, drop, corrupt, truncate, dup, delay, disconnect); the
@@ -20,6 +21,7 @@
 //!   w <name>         watch a variable (single-steps; stops on change)
 //!   dw <name>        delete the watchpoint on name
 //!   info b           list breakpoints, watchpoints, displays
+//!   info wire        wire transaction counters and cache statistics
 //!   c | run          continue
 //!   s                single-step one instruction
 //!   n                run to the next stopping point in this frame
@@ -69,9 +71,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut run_only = false;
     let mut core: Option<String> = None;
     let mut fault: Option<FaultConfig> = None;
+    let mut wire_cache = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--no-wire-cache" => wire_cache = false,
             "--fault" => {
                 i += 1;
                 let spec = args.get(i).ok_or("--fault needs a spec (e.g. seed=1,drop=0.05)")?;
@@ -150,6 +154,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let mut ldb = Ldb::new();
+    ldb.set_wire_cache(wire_cache);
     if let Some((machine, sig, code, context)) = loaded_core {
         let pc = machine.cpu.pc;
         let handle = spawn_machine(machine, context, NubConfig::default());
@@ -265,6 +270,7 @@ fn dispatch(
 b <func> [n] [if <expr>]  breakpoint at stopping point n (default 0), optionally conditional
 bl <line> | ba <addr>     breakpoint by line / raw address (single-step scheme)
 d <addr>                  delete breakpoint        info   list breakpoints/watches/displays
+info wire                 wire transaction counters and cache statistics
 w <name> | dw <name>      watch a variable / stop watching
 c                         continue                 s      step one instruction
 n                         step over (same frame)   fin    run until this frame returns
@@ -322,6 +328,25 @@ q                         quit"
         "dw" => {
             let name = rest.first().ok_or("usage: dw <name>")?;
             ldb.clear_watch(name)?;
+        }
+        "info" if rest.first() == Some(&"wire") => {
+            let id = ldb.current().ok_or("no target")?;
+            let t = ldb.target(id);
+            let m = t.client.borrow().metrics();
+            println!(
+                "wire:  {} transactions, {} retransmits, {} bytes sent, {} bytes received",
+                m.transactions, m.retransmits, m.bytes_sent, m.bytes_received
+            );
+            match &t.cache {
+                Some(cache) => {
+                    let s = cache.stats();
+                    println!(
+                        "cache: {} hits, {} misses, {} line fills, {} lines invalidated, {} resident",
+                        s.hits, s.misses, s.fills, s.invalidated, cache.resident_lines()
+                    );
+                }
+                None => println!("cache: disabled (--no-wire-cache)"),
+            }
         }
         "info" => {
             if let Some(id) = ldb.current() {

@@ -132,7 +132,7 @@ fn run_opts(src: &str, arch: Arch, opts: CompileOpts) -> String {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 32 })]
 
     #[test]
     fn all_targets_agree(stmts in prop::collection::vec(stmt_strategy(), 1..8)) {

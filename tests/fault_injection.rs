@@ -151,7 +151,7 @@ fn marathon(
             assert_eq!(ldb.print_var("steps")?, k.to_string(), "{arch} hit {k}");
             let depth = ldb.backtrace().iter().filter(|(_, n, _, _)| n == "collatz").count();
             assert_eq!(depth, (k + 1).min(64), "{arch} hit {k}: depth");
-            if use_eval && k % 5 == 0 {
+            if use_eval && k.is_multiple_of(5) {
                 // The expression pipeline (nub fetches through the
                 // PostScript interpreter) over the same lossy wire.
                 assert_eq!(ldb.eval("steps + 1000")?, (k + 1000).to_string(), "{arch} hit {k}");

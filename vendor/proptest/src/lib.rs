@@ -147,7 +147,7 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig { cases: 64 })]
 
         #[test]
         fn ranges_stay_in_bounds(a in 0u8..5, b in -10i64..10, c in 1usize..=3) {
