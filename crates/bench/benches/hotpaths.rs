@@ -165,6 +165,41 @@ fn wire_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn sandbox(c: &mut Criterion) {
+    use ldb_postscript::{Budget, Interp};
+    let mut g = c.benchmark_group("sandbox");
+    g.sample_size(30);
+    let cc =
+        compile("synth.c", &synth_program(200), Arch::Mips, CompileOpts::default()).unwrap();
+    let symtab = pssym::emit(&cc.unit, &cc.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let table = nm::loader_table_for(&cc.linked.image, &symtab);
+    g.throughput(Throughput::Bytes(table.len() as u64));
+    // Deferred tables execute machine-dependent names at load time; the
+    // debugger binds the real ones from its per-architecture dictionary.
+    const STUBS: &str = "/Regset0 {/r exch} def /Frameoff {/l exch} def";
+    // The table-load hot path with the execution sandbox off vs on: the
+    // fuel/allocation accounting must cost <5% (pinned in EXPERIMENTS.md).
+    g.bench_function("table_load_unbudgeted", |b| {
+        b.iter(|| {
+            let mut i = Interp::new();
+            i.run_str(STUBS).unwrap();
+            i.run_str(&table).unwrap();
+            i.pop().unwrap()
+        })
+    });
+    g.bench_function("table_load_budgeted", |b| {
+        b.iter(|| {
+            let mut i = Interp::new();
+            i.run_str(STUBS).unwrap();
+            let save = i.push_budget(Budget::LOAD);
+            i.run_str(&table).unwrap();
+            i.pop_budget(save);
+            i.pop().unwrap()
+        })
+    });
+    g.finish();
+}
+
 fn lzw(c: &mut Criterion) {
     let data = synth_program(100).into_bytes();
     let mut g = c.benchmark_group("compress");
@@ -175,5 +210,5 @@ fn lzw(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, wire_cache, lzw);
+criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, wire_cache, sandbox, lzw);
 criterion_main!(benches);

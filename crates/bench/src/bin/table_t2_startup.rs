@@ -102,6 +102,19 @@ fn main() {
         ldb
     });
 
+    // Sandbox overhead on the dominant phase: symbol-table reading runs
+    // under the PR 3 execution budget (fuel + allocation accounting) by
+    // default; compare against an unlimited budget on the big table.
+    let (t_big_sym_unbudgeted, _) = time(|| {
+        let mut ldb = Ldb::new();
+        ldb_core::Loader::load_budgeted(
+            &mut ldb.interp,
+            &big_loader,
+            ldb_postscript::Budget::UNLIMITED,
+        )
+        .unwrap()
+    });
+
     // Wire round trips for the big-unit connect, block cache on vs off
     // (the T2 time barely moves in-process, but over a real wire each
     // transaction is a latency-bound round trip).
@@ -153,5 +166,11 @@ fn main() {
     );
     println!(
         "wire round trips, big-unit connect: {txn_cached} with block cache, {txn_plain} without"
+    );
+    println!(
+        "sandbox overhead, big symbol table: {:.2} ms budgeted vs {:.2} ms unbudgeted ({:+.1}%)",
+        t_big_sym,
+        t_big_sym_unbudgeted,
+        (t_big_sym / t_big_sym_unbudgeted.max(0.001) - 1.0) * 100.0
     );
 }

@@ -171,6 +171,28 @@ pub fn program_loader_ps(p: &CompiledProgram, mode: crate::pssym::PsMode) -> Str
     crate::nm::loader_table_for_units(&p.linked.image, &unit_ps)
 }
 
+/// The loader table split for sandboxed loading: the trusted frame from
+/// the linker (anchor map and proctable, with a `null` symbol-table slot)
+/// plus each unit's symbol-table PostScript, named by source file. The
+/// debugger runs each module under its own resource budget and
+/// quarantines the ones that fault, instead of letting one corrupt table
+/// poison the whole load (ldb-core's `Loader::load_plan`).
+pub fn program_load_plan(
+    p: &CompiledProgram,
+    mode: crate::pssym::PsMode,
+) -> (String, Vec<(String, String)>) {
+    let frame = crate::nm::loader_table_for(&p.linked.image, "null");
+    let modules = p
+        .units
+        .iter()
+        .enumerate()
+        .map(|(i, (u, f))| {
+            (u.file.clone(), crate::pssym::emit_prefixed(u, f, p.arch, mode, &format!("U{i}_")))
+        })
+        .collect();
+    (frame, modules)
+}
+
 /// Fill each symbol's `where_` from the storage codegen assigned and from
 /// the anchor plan.
 fn fill_where(unit: &mut UnitIr) {

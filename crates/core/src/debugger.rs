@@ -14,12 +14,12 @@ use std::rc::Rc;
 
 use ldb_machine::{Arch, MachineData};
 use ldb_nub::{NubClient, NubConfig, NubEvent, NubHandle, Sig, Wire};
-use ldb_postscript::{DictRef, Interp, Location, Object, Out, PsError, PsFile, Value};
+use ldb_postscript::{Budget, DictRef, Interp, Location, Object, Out, PsError, PsFile, Value};
 
 use crate::amemory::{CachedMemory, JoinedMemory, MemRef, WireMemory};
 use crate::breakpoint::Breakpoints;
 use crate::frame::{frame_walker, Frame, WalkCtx};
-use crate::loader::Loader;
+use crate::loader::{Loader, ModuleTable};
 use crate::psops::{make_arch_dict, make_debug_dict, CtxRef, EvalCtx, MemHandle};
 use crate::symtab;
 use crate::LdbError;
@@ -243,6 +243,40 @@ impl std::fmt::Debug for Target {
     }
 }
 
+/// Per-call resource-budget profiles for untrusted PostScript: symbol
+/// tables load under the generous `load` profile; interactive printing
+/// and expression evaluation run under the tight `interactive` profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsBudgets {
+    /// Budget for `Loader::load`/`Loader::load_plan` (per module).
+    pub load: Budget,
+    /// Budget for printing and expression evaluation.
+    pub interactive: Budget,
+}
+
+impl Default for PsBudgets {
+    fn default() -> Self {
+        PsBudgets { load: Budget::LOAD, interactive: Budget::INTERACTIVE }
+    }
+}
+
+/// One row of a [`Ldb::reload_modules`] report: the module name and its
+/// outcome — `Ok(())` reloaded, `Err(reason)` still quarantined.
+pub type ReloadRow = (String, Result<(), String>);
+
+/// Where an attach gets its loader table from.
+enum TableSource<'a> {
+    /// One combined loader-table program (the classic path).
+    Whole(&'a str),
+    /// Trusted frame plus per-module tables, sandboxed individually.
+    Plan {
+        /// Linker frame: anchor map and proctable, `/symtab null`.
+        frame: &'a str,
+        /// Per-module symbol tables.
+        modules: &'a [ModuleTable],
+    },
+}
+
 /// The debugger session.
 pub struct Ldb {
     /// The embedded PostScript interpreter.
@@ -261,6 +295,8 @@ pub struct Ldb {
     /// Put the block cache in front of the wire of targets attached from
     /// now on (on by default; `--no-wire-cache` turns it off).
     wire_cache: bool,
+    /// Resource budgets for untrusted PostScript (the artifact sandbox).
+    budgets: PsBudgets,
 }
 
 struct ExprSession {
@@ -308,6 +344,7 @@ impl Ldb {
             expr_state,
             handles: 0,
             wire_cache: true,
+            budgets: PsBudgets::default(),
         };
         ldb.register_expr_ops();
         ldb
@@ -317,6 +354,31 @@ impl Ldb {
     /// targets keep whatever they were attached with).
     pub fn set_wire_cache(&mut self, on: bool) {
         self.wire_cache = on;
+    }
+
+    /// The budget profiles in force.
+    pub fn ps_budgets(&self) -> PsBudgets {
+        self.budgets
+    }
+
+    /// Replace the budget profiles (`--ps-fuel`/`--ps-mem` land here).
+    pub fn set_ps_budgets(&mut self, budgets: PsBudgets) {
+        self.budgets = budgets;
+    }
+
+    /// Override the sandbox limits from the command line: `fuel` and
+    /// `mem` (bytes) apply to the load profile; the interactive profile
+    /// gets a tenth of each (at least one) so a stuck printer still dies
+    /// quickly.
+    pub fn set_ps_limits(&mut self, fuel: Option<u64>, mem: Option<u64>) {
+        if let Some(f) = fuel {
+            self.budgets.load.max_fuel = f.max(1);
+            self.budgets.interactive.max_fuel = (f / 10).max(1);
+        }
+        if let Some(m) = mem {
+            self.budgets.load.max_alloc = m.max(1);
+            self.budgets.interactive.max_alloc = (m / 10).max(1);
+        }
     }
 
     // ----- targets -----
@@ -348,6 +410,54 @@ impl Ldb {
         nub: Option<NubHandle>,
         cfg: ldb_nub::ClientConfig,
     ) -> Result<usize, LdbError> {
+        self.attach_source(wire, TableSource::Whole(loader_ps), nub, cfg)
+    }
+
+    /// Attach from a *load plan*: the trusted loader frame plus one
+    /// symbol table per module, each sandboxed under the load budget.
+    /// Modules that fault, exhaust their budget, or fail validation are
+    /// quarantined (see `Loader::load_plan`); the attach succeeds as long
+    /// as at least one module survives.
+    ///
+    /// # Errors
+    /// As [`Ldb::attach`], or every module quarantined.
+    pub fn attach_plan(
+        &mut self,
+        wire: Box<dyn Wire>,
+        frame_ps: &str,
+        modules: &[ModuleTable],
+        nub: Option<NubHandle>,
+    ) -> Result<usize, LdbError> {
+        self.attach_source(
+            wire,
+            TableSource::Plan { frame: frame_ps, modules },
+            nub,
+            ldb_nub::ClientConfig::default(),
+        )
+    }
+
+    /// As [`Ldb::attach_plan`], with an explicit nub client policy.
+    ///
+    /// # Errors
+    /// As [`Ldb::attach_plan`].
+    pub fn attach_plan_with_config(
+        &mut self,
+        wire: Box<dyn Wire>,
+        frame_ps: &str,
+        modules: &[ModuleTable],
+        nub: Option<NubHandle>,
+        cfg: ldb_nub::ClientConfig,
+    ) -> Result<usize, LdbError> {
+        self.attach_source(wire, TableSource::Plan { frame: frame_ps, modules }, nub, cfg)
+    }
+
+    fn attach_source(
+        &mut self,
+        wire: Box<dyn Wire>,
+        source: TableSource<'_>,
+        nub: Option<NubHandle>,
+        cfg: ldb_nub::ClientConfig,
+    ) -> Result<usize, LdbError> {
         let mut client = NubClient::with_config(wire, cfg);
         let ev = client.wait_event()?;
         let stop = match ev {
@@ -361,7 +471,14 @@ impl Ldb {
             Rc::new(std::cell::RefCell::new(ldb_postscript::Dict::new(256)));
         self.pop_target_dicts();
         self.interp.push_dict(Rc::clone(&unit_dict));
-        let loaded = Loader::load(&mut self.interp, loader_ps);
+        let loaded = match source {
+            TableSource::Whole(ps) => {
+                Loader::load_budgeted(&mut self.interp, ps, self.budgets.load)
+            }
+            TableSource::Plan { frame, modules } => {
+                Loader::load_plan(&mut self.interp, frame, modules, self.budgets.load)
+            }
+        };
         let _ = self.interp.pop_dict();
         let loader = Rc::new(loaded?);
         let arch = loader.arch;
@@ -579,7 +696,10 @@ impl Ldb {
         let entry = self.targets[id]
             .loader
             .proc_entry_by_name(func)
-            .ok_or_else(|| LdbError::msg(format!("no procedure `{func}`")))?;
+            .ok_or_else(|| match self.targets[id].loader.quarantine_note() {
+                Some(note) => LdbError::msg(format!("no procedure `{func}` ({note})")),
+                None => LdbError::msg(format!("no procedure `{func}`")),
+            })?;
         let addr = symtab::stop_addr(&mut self.interp, &entry, index)?;
         let t = &mut self.targets[id];
         t.breakpoints.plant(&t.client, addr)?;
@@ -1364,7 +1484,10 @@ impl Ldb {
         let entry = self.targets[id]
             .loader
             .proc_entry_by_name(func)
-            .ok_or_else(|| LdbError::msg(format!("no procedure `{func}`")))?;
+            .ok_or_else(|| match self.targets[id].loader.quarantine_note() {
+                Some(note) => LdbError::msg(format!("no procedure `{func}` ({note})")),
+                None => LdbError::msg(format!("no procedure `{func}`")),
+            })?;
         Ok(symtab::stop_addr(&mut self.interp, &entry, index)?)
     }
 
@@ -1452,9 +1575,13 @@ impl Ldb {
             .ok_or_else(|| LdbError::msg(format!("pc {pc:#x} is in no known procedure")))?;
         let name = name.to_string();
         let entry = loader.proc_entry_by_link_name(&name).ok_or_else(|| {
+            let note = match loader.quarantine_note() {
+                Some(note) => format!("; {note}"),
+                None => String::new(),
+            };
             LdbError::msg(format!(
                 "stopped in `{name}`, which has no symbol-table entry \
-                 (startup code or a procedure compiled without -g)"
+                 (startup code or a procedure compiled without -g{note})"
             ))
         })?;
         // The innermost stopping point at or before pc.
@@ -1479,8 +1606,42 @@ impl Ldb {
         let (entry, stop) = self.scope()?;
         let id = self.cur_id()?;
         let loader = Rc::clone(&self.targets[id].loader);
-        symtab::resolve_name(&mut self.interp, &loader, &entry, stop, name)?
-            .ok_or_else(|| LdbError::msg(format!("`{name}` is not visible here")))
+        symtab::resolve_name(&mut self.interp, &loader, &entry, stop, name)?.ok_or_else(|| {
+            // The name may live in a module whose table was quarantined;
+            // say so, instead of a bare "not visible".
+            match loader.quarantine_note() {
+                Some(note) => {
+                    LdbError::msg(format!("`{name}` is not visible here ({note})"))
+                }
+                None => LdbError::msg(format!("`{name}` is not visible here")),
+            }
+        })
+    }
+
+    /// Retry the current target's quarantined modules under the load
+    /// budget. Returns one `(module, outcome)` row per retried module.
+    ///
+    /// # Errors
+    /// No current target.
+    pub fn reload_modules(&mut self) -> Result<Vec<ReloadRow>, LdbError> {
+        let id = self.cur_id()?;
+        let loader = Rc::clone(&self.targets[id].loader);
+        let unit_dict = Rc::clone(&self.targets[id].unit_dict);
+        // Definitions a retried table makes must land in the target's
+        // unit dictionary, exactly as they would have at attach time.
+        self.interp.push_dict(unit_dict);
+        let rows = loader.reload_quarantined(&mut self.interp, self.budgets.load);
+        let _ = self.interp.pop_dict();
+        Ok(rows)
+    }
+
+    /// The current target's quarantined modules (empty when none, or no
+    /// target is selected).
+    pub fn quarantined_modules(&self) -> Vec<(String, String)> {
+        match self.cur {
+            Some(id) => self.targets[id].loader.quarantined(),
+            None => Vec::new(),
+        }
     }
 
     /// Print the value of `name` (the paper's worked example: the fetch
@@ -1511,9 +1672,15 @@ impl Ldb {
         let before = self.out.borrow().len();
         self.interp.push(Object::host(Rc::new(MemHandle(mem))));
         self.interp.push(entry.clone());
-        self.interp.run_str("SymLoc")?;
-        self.interp.push(typedict);
-        self.interp.run_str("print")?;
+        // Printers come from the symbol table (untrusted): run them under
+        // the tight interactive budget so a looping or allocating printer
+        // dies with `timeout`/`vmerror` instead of wedging the session.
+        let budget = self.budgets.interactive;
+        self.interp.with_budget(budget, |i| {
+            i.run_str("SymLoc")?;
+            i.push(typedict);
+            i.run_str("print")
+        })?;
         self.interp.pretty.newline();
         let all = self.out.borrow();
         let mut s = all[before..].to_string();
@@ -1666,7 +1833,10 @@ impl Ldb {
         self.expr_state.borrow_mut().outcome = None;
         // "The operation of interpreting until told to stop is implemented
         // by applying cvx stopped to the open pipe from the server."
-        match self.interp.run_file(&pipe) {
+        // The rewritten expression executes symbol-table code (SymLoc,
+        // printers), so it runs under the interactive budget.
+        let budget = self.budgets.interactive;
+        match self.interp.with_budget(budget, |i| i.run_file(&pipe)) {
             Ok(()) => return Err(LdbError::msg("expression server closed the pipe")),
             Err(PsError::Stop) => {}
             Err(e) => return Err(e.into()),
@@ -1683,7 +1853,7 @@ impl Ldb {
                 // Stack: procedure, result-type decl string.
                 let decl = self.interp.pop()?.as_string()?;
                 let proc = self.interp.pop()?;
-                self.interp.call(&proc)?;
+                self.interp.with_budget(budget, |i| i.call(&proc))?;
                 let value = self.interp.pop()?;
                 Ok(render_value(&value, &decl))
             }

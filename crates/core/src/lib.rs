@@ -42,10 +42,10 @@ pub mod symtab;
 
 pub use amemory::{AbstractMemory, AliasMemory, CachedMemory, CacheStats, JoinedMemory, MemError, MemRef, RegisterMemory, WireMemory};
 pub use breakpoint::Breakpoints;
-pub use debugger::{CallArg, CallReturn, Ldb, StopEvent, Target};
+pub use debugger::{CallArg, CallReturn, Ldb, PsBudgets, ReloadRow, StopEvent, Target};
 pub use event::{Events, Outcome};
 pub use frame::{Frame, FrameWalker};
-pub use loader::{FrameMeta, Loader};
+pub use loader::{FrameMeta, Loader, ModuleTable, Quarantined};
 pub use psops::{CtxRef, EvalCtx, MemHandle};
 
 /// Errors from debugger operations.

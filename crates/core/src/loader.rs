@@ -13,9 +13,32 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use ldb_machine::{Arch, Rpt};
-use ldb_postscript::{DictRef, Interp, Object, PsResult};
+use ldb_postscript::{Budget, Dict, DictRef, Interp, Object, PsResult, Scanner, Value};
 
 use crate::amemory::MemRef;
+
+/// One module's symbol-table PostScript, named for provenance and
+/// quarantine reports (see [`Loader::load_plan`]).
+#[derive(Debug, Clone)]
+pub struct ModuleTable {
+    /// The module (source file) name, e.g. `t2.c`.
+    pub name: String,
+    /// The symbol-table PostScript emitted for this unit.
+    pub ps: String,
+}
+
+/// A module whose symbol table was rejected by the sandbox: it faulted,
+/// exhausted its budget, or failed shape validation. The table text is
+/// kept so `reload` can retry it.
+#[derive(Debug, Clone)]
+pub struct Quarantined {
+    /// The module name.
+    pub module: String,
+    /// Why it was quarantined (the rendered error).
+    pub reason: String,
+    /// The rejected PostScript, kept for retry.
+    ps: String,
+}
 
 /// Frame metadata for one procedure, as the stack walkers need it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +70,8 @@ pub struct Loader {
     pub arch: Arch,
     /// Cached MIPS runtime procedure table.
     rpt: RefCell<Option<Rpt>>,
+    /// Modules rejected by the sandbox, awaiting `reload`.
+    quarantined: RefCell<Vec<Quarantined>>,
 }
 
 impl std::fmt::Debug for Loader {
@@ -61,11 +86,113 @@ impl Loader {
     /// (symbol tables execute `Regset0` etc. while loading).
     ///
     /// # Errors
-    /// PostScript errors and malformed tables.
+    /// PostScript errors (wrapped with byte-offset provenance) and
+    /// malformed tables. The whole table runs under [`Budget::LOAD`]: an
+    /// unbounded loop or allocation bomb in it surfaces as a `timeout` or
+    /// `vmerror` instead of hanging the debugger. For per-module fault
+    /// isolation use [`Loader::load_plan`].
     pub fn load(interp: &mut Interp, loader_ps: &str) -> PsResult<Loader> {
-        interp.run_str(loader_ps)?;
+        Loader::load_budgeted(interp, loader_ps, Budget::LOAD)
+    }
+
+    /// As [`Loader::load`], under an explicit budget.
+    ///
+    /// # Errors
+    /// As [`Loader::load`].
+    pub fn load_budgeted(
+        interp: &mut Interp,
+        loader_ps: &str,
+        budget: Budget,
+    ) -> PsResult<Loader> {
+        let save = interp.push_budget(budget);
+        let r = run_with_provenance(interp, "<loader table>", loader_ps);
+        interp.pop_budget(save);
+        r?;
         let table_obj = interp.pop()?;
         let table = table_obj.as_dict()?;
+        Loader::from_table(table, Vec::new())
+    }
+
+    /// Load a program from a *plan*: the trusted loader frame (anchor map
+    /// and proctable from the linker, `/symtab null`) plus one symbol
+    /// table per module. Each module runs under its own fresh `budget`;
+    /// a module that faults, runs out of fuel, or fails validation is
+    /// **quarantined** — recorded with its error and skipped — and the
+    /// healthy modules' tables are merged so debugging proceeds. The load
+    /// fails only when no module survives (the architecture would be
+    /// unknowable).
+    ///
+    /// # Errors
+    /// Frame errors, or every module quarantined.
+    pub fn load_plan(
+        interp: &mut Interp,
+        frame_ps: &str,
+        modules: &[ModuleTable],
+        budget: Budget,
+    ) -> PsResult<Loader> {
+        let save = interp.push_budget(budget);
+        let r = run_with_provenance(interp, "<loader frame>", frame_ps);
+        interp.pop_budget(save);
+        r?;
+        let table = interp.pop()?.as_dict()?;
+
+        let top: DictRef = Rc::new(RefCell::new(Dict::new(64)));
+        let mut quarantined = Vec::new();
+        let mut arch: Option<Arch> = None;
+        for m in modules {
+            match run_module(interp, &m.name, &m.ps, budget) {
+                Ok(unit) => {
+                    let a = unit_arch(&unit);
+                    match (arch, a) {
+                        (_, None) => {
+                            // Validation guarantees a known architecture;
+                            // defend anyway.
+                            quarantined.push(Quarantined {
+                                module: m.name.clone(),
+                                reason: "unknown architecture".into(),
+                                ps: m.ps.clone(),
+                            });
+                            continue;
+                        }
+                        (None, Some(a)) => arch = Some(a),
+                        (Some(prev), Some(a)) if prev != a => {
+                            quarantined.push(Quarantined {
+                                module: m.name.clone(),
+                                reason: format!(
+                                    "architecture mismatch ({a} table in a {prev} program)"
+                                ),
+                                ps: m.ps.clone(),
+                            });
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    merge_unit_into(&top, &unit);
+                }
+                Err(reason) => {
+                    quarantined.push(Quarantined {
+                        module: m.name.clone(),
+                        reason,
+                        ps: m.ps.clone(),
+                    });
+                }
+            }
+        }
+        if arch.is_none() && !modules.is_empty() {
+            let reasons: Vec<String> =
+                quarantined.iter().map(|q| format!("{}: {}", q.module, q.reason)).collect();
+            return Err(bad(format!(
+                "all {} modules quarantined: {}",
+                modules.len(),
+                reasons.join("; ")
+            )));
+        }
+        table.borrow_mut().put_name("symtab", Object::lit(Value::Dict(Rc::clone(&top))));
+        Loader::from_table(table, quarantined)
+    }
+
+    /// Extract the pieces ldb needs from an already-interpreted table.
+    fn from_table(table: DictRef, quarantined: Vec<Quarantined>) -> PsResult<Loader> {
         let (top, anchors, proctable, arch);
         {
             let t = table.borrow();
@@ -107,7 +234,73 @@ impl Loader {
             arch = Arch::from_name(&arch_name)
                 .ok_or_else(|| bad(format!("unknown architecture ({arch_name})")))?;
         }
-        Ok(Loader { table, top, anchors, proctable, arch, rpt: RefCell::new(None) })
+        Ok(Loader {
+            table,
+            top,
+            anchors,
+            proctable,
+            arch,
+            rpt: RefCell::new(None),
+            quarantined: RefCell::new(quarantined),
+        })
+    }
+
+    /// The quarantined modules, as (module, reason) pairs.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        self.quarantined.borrow().iter().map(|q| (q.module.clone(), q.reason.clone())).collect()
+    }
+
+    /// If `name` looks like it belongs to a quarantined module, the
+    /// quarantine notice to append to a resolution failure.
+    pub fn quarantine_note(&self) -> Option<String> {
+        let q = self.quarantined.borrow();
+        if q.is_empty() {
+            return None;
+        }
+        let rows: Vec<String> =
+            q.iter().map(|e| format!("module {} quarantined: {}", e.module, e.reason)).collect();
+        Some(rows.join("; "))
+    }
+
+    /// Retry every quarantined module under `budget`, merging the tables
+    /// that now load cleanly. Returns one `(module, outcome)` row per
+    /// retried module; modules that fail again stay quarantined with the
+    /// fresh error.
+    pub fn reload_quarantined(
+        &self,
+        interp: &mut Interp,
+        budget: Budget,
+    ) -> Vec<(String, Result<(), String>)> {
+        let pending = std::mem::take(&mut *self.quarantined.borrow_mut());
+        let mut out = Vec::new();
+        let mut keep = Vec::new();
+        for q in pending {
+            match run_module(interp, &q.module, &q.ps, budget) {
+                Ok(unit) => match unit_arch(&unit) {
+                    Some(a) if a == self.arch => {
+                        merge_unit_into(&self.top, &unit);
+                        out.push((q.module, Ok(())));
+                    }
+                    other => {
+                        let reason = match other {
+                            Some(a) => format!(
+                                "architecture mismatch ({a} table in a {} program)",
+                                self.arch
+                            ),
+                            None => "unknown architecture".into(),
+                        };
+                        out.push((q.module.clone(), Err(reason.clone())));
+                        keep.push(Quarantined { reason, ..q });
+                    }
+                },
+                Err(reason) => {
+                    out.push((q.module.clone(), Err(reason.clone())));
+                    keep.push(Quarantined { reason, ..q });
+                }
+            }
+        }
+        *self.quarantined.borrow_mut() = keep;
+        out
     }
 
     /// The procedure containing `pc`: the proctable pair with the largest
@@ -225,4 +418,128 @@ pub type LoaderRef = Rc<Loader>;
 
 fn bad(msg: impl Into<String>) -> ldb_postscript::PsError {
     ldb_postscript::PsError::runtime(ldb_postscript::ErrorKind::HostError, msg)
+}
+
+/// Run `ps` token by token so errors carry the module name and the byte
+/// offset the scanner had reached when they were raised.
+fn run_with_provenance(interp: &mut Interp, name: &str, ps: &str) -> PsResult<()> {
+    let mut sc = Scanner::from_str(ps);
+    loop {
+        match sc.next_token() {
+            Ok(Some(tok)) => {
+                if let Err(e) = interp.run_token(&tok) {
+                    return Err(e.with_context(name, Some(sc.position())));
+                }
+            }
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(e.with_context(name, Some(sc.position()))),
+        }
+    }
+}
+
+/// Run one module's symbol table under `budget`, fully sandboxed: on any
+/// failure the operand and dictionary stacks are restored, so a hostile
+/// table cannot leave junk behind or `end` the host's dictionaries away.
+/// The table must leave exactly one dictionary of the expected shape.
+fn run_module(interp: &mut Interp, name: &str, ps: &str, budget: Budget) -> Result<DictRef, String> {
+    let depth = interp.depth();
+    let dicts = interp.dict_stack_snapshot();
+    let save = interp.push_budget(budget);
+    let ran = run_with_provenance(interp, name, ps);
+    interp.pop_budget(save);
+    let r = ran.map_err(|e| e.to_string()).and_then(|()| {
+        if interp.depth() != depth + 1 {
+            return Err(format!(
+                "module {name}: table left {} values on the stack (expected 1)",
+                interp.depth() as i64 - depth as i64
+            ));
+        }
+        let d = interp
+            .pop()
+            .and_then(|o| o.as_dict())
+            .map_err(|e| format!("module {name}: {e}"))?;
+        validate_unit_dict(name, &d)?;
+        Ok(d)
+    });
+    if r.is_err() {
+        while interp.depth() > depth {
+            let _ = interp.pop();
+        }
+    }
+    interp.restore_dict_stack(dicts);
+    r
+}
+
+/// Shape-check a unit's top-level dictionary before trusting it.
+fn validate_unit_dict(name: &str, d: &DictRef) -> Result<(), String> {
+    let d = d.borrow();
+    let arch_name = d
+        .get_name("architecture")
+        .ok_or_else(|| format!("module {name}: table has no /architecture"))?
+        .as_string()
+        .map_err(|_| format!("module {name}: /architecture is not a string"))?;
+    Arch::from_name(&arch_name)
+        .ok_or_else(|| format!("module {name}: unknown architecture ({arch_name})"))?;
+    for (field, kind) in [("procs", "array"), ("externs", "dict"), ("statics", "dict")] {
+        let o = d.get_name(field).ok_or_else(|| format!("module {name}: table has no /{field}"))?;
+        let ok = match kind {
+            "array" => o.as_array().is_ok(),
+            _ => o.as_dict().is_ok(),
+        };
+        if !ok {
+            return Err(format!("module {name}: /{field} is not a {kind}"));
+        }
+    }
+    Ok(())
+}
+
+/// The architecture a validated unit dictionary names.
+fn unit_arch(d: &DictRef) -> Option<Arch> {
+    let d = d.borrow();
+    let name = d.get_name("architecture")?.as_string().ok()?;
+    Arch::from_name(&name)
+}
+
+/// Merge one healthy unit dictionary into the combined top-level symbol
+/// dictionary: `procs`/`anchors` arrays concatenate, `externs`/`statics`/
+/// `sourcemap` dictionaries union (later units win on collision, as in
+/// the PostScript merge), `architecture` comes from the first unit.
+fn merge_unit_into(top: &DictRef, unit: &DictRef) {
+    let u = unit.borrow();
+    let mut t = top.borrow_mut();
+    for field in ["procs", "anchors"] {
+        if let Some(src) = u.get_name(field).and_then(|o| o.as_array().ok()) {
+            let dst = match t.get_name(field).and_then(|o| o.as_array().ok()) {
+                Some(a) => a,
+                None => {
+                    let a = Rc::new(RefCell::new(Vec::new()));
+                    t.put_name(field, Object::lit(Value::Array(Rc::clone(&a))));
+                    a
+                }
+            };
+            dst.borrow_mut().extend(src.borrow().iter().cloned());
+        }
+    }
+    for field in ["externs", "statics", "sourcemap"] {
+        if let Some(src) = u.get_name(field).and_then(|o| o.as_dict().ok()) {
+            let dst = match t.get_name(field).and_then(|o| o.as_dict().ok()) {
+                Some(d) => d,
+                None => {
+                    let d = Rc::new(RefCell::new(Dict::new(64)));
+                    t.put_name(field, Object::lit(Value::Dict(Rc::clone(&d))));
+                    d
+                }
+            };
+            let mut dd = dst.borrow_mut();
+            for (k, v) in src.borrow().iter() {
+                dd.put(k.clone(), v.clone());
+            }
+        }
+    }
+    if t.get_name("architecture").is_none() {
+        if let Some(a) = u.get_name("architecture") {
+            let a = a.clone();
+            t.put_name("architecture", a);
+        }
+    }
 }

@@ -227,12 +227,15 @@ pub fn make_debug_dict(interp: &mut Interp, ctx: CtxRef) -> ldb_postscript::Dict
         } else {
             format!("\\{:03o}", c as u8)
         };
+        i.charge_alloc(s.len() as u64 + 16)?;
         i.push(Object::string(s));
         Ok(())
     });
     interp.register("CvHex", |i| {
         let v = i.pop()?.as_int()?;
-        i.push(Object::string(format!("0x{:x}", v as u32)));
+        let s = format!("0x{:x}", v as u32);
+        i.charge_alloc(s.len() as u64 + 16)?;
+        i.push(Object::string(s));
         Ok(())
     });
 

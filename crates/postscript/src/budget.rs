@@ -1,0 +1,103 @@
+//! Resource budgets for sandboxed execution.
+//!
+//! Symbol tables, type printers, and compiled expressions are *programs*
+//! the debugger executes; their producers are not always trustworthy
+//! (Hanson, *A Machine-Independent Debugger—Revisited*). A [`Budget`]
+//! bounds what one execution may consume: **fuel** (execution steps,
+//! charged at every operator call, name execution, procedure body, and
+//! scanned token), **allocation** (approximate bytes charged by the
+//! array/string/dict constructors), and **operand-stack depth**. Fuel
+//! exhaustion surfaces as a `timeout` error, allocation exhaustion as
+//! `vmerror`, and stack overflow as `limitcheck` — all typed
+//! [`PsError`](crate::PsError)s that `stopped` can observe but, being
+//! sticky until the budget is reset, cannot mask.
+
+/// Resource limits for one execution. The default is [`Budget::UNLIMITED`]
+/// — budgets are opt-in so trusted internal code (preludes, the debug
+/// dictionary) runs unmetered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum execution steps (`u64::MAX` = unlimited).
+    pub max_fuel: u64,
+    /// Maximum bytes of charged allocation (`u64::MAX` = unlimited).
+    pub max_alloc: u64,
+    /// Maximum operand-stack depth. Operators that push many objects in
+    /// one call (e.g. `copy`, `aload`) may overshoot by one call's worth;
+    /// the check at the next execution step bounds the excess.
+    pub max_operands: usize,
+}
+
+impl Budget {
+    /// No limits (the interpreter's initial state).
+    pub const UNLIMITED: Budget =
+        Budget { max_fuel: u64::MAX, max_alloc: u64::MAX, max_operands: usize::MAX };
+
+    /// A generous profile for loading symbol tables: large tables are
+    /// legitimate, runaway ones are not.
+    pub const LOAD: Budget =
+        Budget { max_fuel: 50_000_000, max_alloc: 256 << 20, max_operands: 1 << 20 };
+
+    /// A tight profile for interactive work (printing a value, one
+    /// expression): anything that needs more than this is stuck.
+    pub const INTERACTIVE: Budget =
+        Budget { max_fuel: 5_000_000, max_alloc: 32 << 20, max_operands: 1 << 16 };
+
+    /// Is any limit actually set?
+    pub fn is_limited(&self) -> bool {
+        *self != Budget::UNLIMITED
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::UNLIMITED
+    }
+}
+
+/// Saved budget state, returned by
+/// [`Interp::push_budget`](crate::Interp::push_budget) and consumed by
+/// [`Interp::pop_budget`](crate::Interp::pop_budget).
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetSave {
+    pub(crate) budget: Budget,
+    pub(crate) fuel_used: u64,
+    pub(crate) alloc_used: u64,
+}
+
+/// Cumulative sandbox statistics for one interpreter (the `info ps`
+/// report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetStats {
+    /// Execution steps charged over the interpreter's lifetime.
+    pub fuel_spent_total: u64,
+    /// Bytes of allocation charged over the interpreter's lifetime.
+    pub alloc_charged_total: u64,
+    /// The largest allocation balance observed within any single budgeted
+    /// run (peak, not cumulative).
+    pub alloc_peak: u64,
+    /// How many times a budget limit fired.
+    pub budget_trips: u64,
+    /// Fuel used under the currently installed budget.
+    pub fuel_used: u64,
+    /// Allocation used under the currently installed budget.
+    pub alloc_used: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_is_default_and_unlimited() {
+        assert_eq!(Budget::default(), Budget::UNLIMITED);
+        assert!(!Budget::UNLIMITED.is_limited());
+        assert!(Budget::LOAD.is_limited());
+        assert!(Budget::INTERACTIVE.is_limited());
+    }
+
+    #[test]
+    fn interactive_is_tighter_than_load() {
+        const { assert!(Budget::INTERACTIVE.max_fuel < Budget::LOAD.max_fuel) }
+        const { assert!(Budget::INTERACTIVE.max_alloc < Budget::LOAD.max_alloc) }
+    }
+}

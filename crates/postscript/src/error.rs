@@ -61,6 +61,10 @@ pub enum ErrorKind {
     DictStackUnderflow,
     /// An error raised by a host object (abstract memory, nub connection).
     HostError,
+    /// Execution fuel exhausted (the sandbox's step budget ran out).
+    Timeout,
+    /// Allocation budget exhausted (the sandbox's byte budget ran out).
+    VmError,
 }
 
 impl ErrorKind {
@@ -78,7 +82,17 @@ impl ErrorKind {
             ErrorKind::LimitCheck => "limitcheck",
             ErrorKind::DictStackUnderflow => "dictstackunderflow",
             ErrorKind::HostError => "hosterror",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::VmError => "vmerror",
         }
+    }
+
+    /// Is this a resource-budget error (fuel or allocation)? Budget errors
+    /// are *sticky*: once raised, the interpreter re-raises on the next
+    /// execution step until the budget is reset, so hostile code cannot
+    /// absorb them with `stopped` and keep running.
+    pub fn is_budget(self) -> bool {
+        matches!(self, ErrorKind::Timeout | ErrorKind::VmError)
     }
 }
 
@@ -91,6 +105,27 @@ impl PsError {
     /// Is this a genuine error (as opposed to `exit`/`stop`/`quit` control flow)?
     pub fn is_runtime(&self) -> bool {
         matches!(self, PsError::Runtime(_))
+    }
+
+    /// Wrap a runtime error with artifact provenance: which module's
+    /// PostScript raised it, and how far into the text the scanner was.
+    /// Control-flow transfers (`exit`/`stop`/`quit`) pass through
+    /// unchanged.
+    #[must_use]
+    pub fn with_context(self, module: &str, byte_offset: Option<u64>) -> Self {
+        match self {
+            PsError::Runtime(e) => {
+                let at = match byte_offset {
+                    Some(off) => format!(" near byte {off}"),
+                    None => String::new(),
+                };
+                PsError::Runtime(RuntimeError {
+                    kind: e.kind,
+                    detail: format!("module {module}{at}: {}", e.detail),
+                })
+            }
+            other => other,
+        }
     }
 }
 
@@ -126,6 +161,9 @@ pub(crate) fn syntax(detail: impl Into<String>) -> PsError {
 pub(crate) fn invalid_access(detail: impl Into<String>) -> PsError {
     PsError::runtime(ErrorKind::InvalidAccess, detail)
 }
+pub(crate) fn limit_check(detail: impl Into<String>) -> PsError {
+    PsError::runtime(ErrorKind::LimitCheck, detail)
+}
 
 #[cfg(test)]
 mod tests {
@@ -153,5 +191,24 @@ mod tests {
         assert_eq!(ErrorKind::StackUnderflow.name(), "stackunderflow");
         assert_eq!(ErrorKind::UndefinedResult.name(), "undefinedresult");
         assert_eq!(ErrorKind::HostError.name(), "hosterror");
+        assert_eq!(ErrorKind::Timeout.name(), "timeout");
+        assert_eq!(ErrorKind::VmError.name(), "vmerror");
+        assert!(ErrorKind::Timeout.is_budget());
+        assert!(ErrorKind::VmError.is_budget());
+        assert!(!ErrorKind::LimitCheck.is_budget());
+    }
+
+    #[test]
+    fn context_wrapping_preserves_kind_and_adds_provenance() {
+        let e = PsError::runtime(ErrorKind::Undefined, "no_such").with_context("t2.c", Some(128));
+        match e {
+            PsError::Runtime(r) => {
+                assert_eq!(r.kind, ErrorKind::Undefined);
+                assert_eq!(r.detail, "module t2.c near byte 128: no_such");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Control flow passes through untouched.
+        assert_eq!(PsError::Stop.with_context("x", None), PsError::Stop);
     }
 }

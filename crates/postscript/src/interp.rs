@@ -10,6 +10,7 @@ use std::cell::RefCell;
 use std::io::Write as _;
 use std::rc::Rc;
 
+use crate::budget::{Budget, BudgetSave, BudgetStats};
 use crate::dict::{Dict, Key};
 use crate::error::{undefined, ErrorKind, PsError, PsResult, RuntimeError};
 use crate::file::PsFile;
@@ -69,6 +70,14 @@ pub struct Interp {
     max_depth: usize,
     /// The most recent runtime error caught by `stopped`.
     pub last_error: Option<RuntimeError>,
+    /// The resource budget in force (UNLIMITED unless installed).
+    budget: Budget,
+    /// Fuel charged against the current budget.
+    fuel_used: u64,
+    /// Bytes charged against the current budget.
+    alloc_used: u64,
+    /// Lifetime sandbox statistics (`info ps`).
+    stats: BudgetStats,
 }
 
 impl std::fmt::Debug for Interp {
@@ -98,6 +107,10 @@ impl Interp {
             depth: 0,
             max_depth: 400,
             last_error: None,
+            budget: Budget::UNLIMITED,
+            fuel_used: 0,
+            alloc_used: 0,
+            stats: BudgetStats::default(),
         };
         ops::register_all(&mut interp);
         interp
@@ -127,6 +140,123 @@ impl Interp {
     /// `limitcheck` instead of exhausting a small host thread stack.
     pub fn set_max_depth(&mut self, depth: usize) {
         self.max_depth = depth;
+    }
+
+    // ----- resource budgets (the artifact sandbox) -----
+
+    /// Install `budget` as the ambient budget and reset the used counters.
+    /// Trusted code should leave the default ([`Budget::UNLIMITED`]);
+    /// untrusted executions install a per-call budget via
+    /// [`Interp::push_budget`] or [`Interp::with_budget`].
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+        self.fuel_used = 0;
+        self.alloc_used = 0;
+    }
+
+    /// The budget currently in force.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Begin a budgeted region: installs `budget` with fresh counters and
+    /// returns the outer state for [`Interp::pop_budget`].
+    pub fn push_budget(&mut self, budget: Budget) -> BudgetSave {
+        let save = BudgetSave {
+            budget: self.budget,
+            fuel_used: self.fuel_used,
+            alloc_used: self.alloc_used,
+        };
+        self.budget = budget;
+        self.fuel_used = 0;
+        self.alloc_used = 0;
+        save
+    }
+
+    /// End a budgeted region: restores the outer budget, and charges the
+    /// inner region's consumption against it so nesting cannot launder
+    /// resource use past an outer limit.
+    pub fn pop_budget(&mut self, save: BudgetSave) {
+        let (inner_fuel, inner_alloc) = (self.fuel_used, self.alloc_used);
+        self.budget = save.budget;
+        self.fuel_used = save.fuel_used.saturating_add(inner_fuel);
+        self.alloc_used = save.alloc_used.saturating_add(inner_alloc);
+    }
+
+    /// Run `f` under `budget`, then restore the outer budget (charging the
+    /// inner consumption against it).
+    ///
+    /// # Errors
+    /// Whatever `f` returns, including budget errors.
+    pub fn with_budget<T>(
+        &mut self,
+        budget: Budget,
+        f: impl FnOnce(&mut Self) -> PsResult<T>,
+    ) -> PsResult<T> {
+        let save = self.push_budget(budget);
+        let r = f(self);
+        self.pop_budget(save);
+        r
+    }
+
+    /// Charge `bytes` of allocation against the budget. Public so host
+    /// operators that build large objects (e.g. the debugger's string
+    /// converters) participate in accounting.
+    ///
+    /// # Errors
+    /// `vmerror` when the charge exceeds the budget.
+    pub fn charge_alloc(&mut self, bytes: u64) -> PsResult<()> {
+        self.alloc_used = self.alloc_used.saturating_add(bytes);
+        self.stats.alloc_charged_total = self.stats.alloc_charged_total.saturating_add(bytes);
+        if self.alloc_used > self.stats.alloc_peak {
+            self.stats.alloc_peak = self.alloc_used;
+        }
+        if self.alloc_used > self.budget.max_alloc {
+            self.stats.budget_trips += 1;
+            return Err(PsError::runtime(
+                ErrorKind::VmError,
+                format!("allocation budget exhausted ({} bytes)", self.budget.max_alloc),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fuel consumed under the current budget.
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used
+    }
+
+    /// Allocation charged under the current budget.
+    pub fn alloc_used(&self) -> u64 {
+        self.alloc_used
+    }
+
+    /// Lifetime sandbox statistics.
+    pub fn budget_stats(&self) -> BudgetStats {
+        BudgetStats { fuel_used: self.fuel_used, alloc_used: self.alloc_used, ..self.stats }
+    }
+
+    /// Charge one execution step and enforce the fuel and operand-stack
+    /// limits. One increment and two compares on the dispatch hot path.
+    #[inline]
+    fn charge_step(&mut self) -> PsResult<()> {
+        self.fuel_used += 1;
+        self.stats.fuel_spent_total += 1;
+        if self.fuel_used > self.budget.max_fuel {
+            self.stats.budget_trips += 1;
+            return Err(PsError::runtime(
+                ErrorKind::Timeout,
+                format!("execution fuel exhausted ({} steps)", self.budget.max_fuel),
+            ));
+        }
+        if self.stack.len() > self.budget.max_operands {
+            self.stats.budget_trips += 1;
+            return Err(PsError::runtime(
+                ErrorKind::LimitCheck,
+                format!("operand stack exceeds budget ({} entries)", self.budget.max_operands),
+            ));
+        }
+        Ok(())
     }
 
     // ----- operand stack -----
@@ -229,17 +359,38 @@ impl Interp {
                 "end: dictionary stack at minimum",
             ));
         }
-        Ok(self.dicts.pop().expect("len checked"))
+        self.dicts.pop().ok_or_else(|| {
+            PsError::runtime(ErrorKind::DictStackUnderflow, "end: dictionary stack empty")
+        })
     }
 
-    /// The current (topmost) dictionary.
+    /// The current (topmost) dictionary (systemdict if the dictionary
+    /// stack were ever empty, which `pop_dict` prevents).
     pub fn currentdict(&self) -> crate::object::DictRef {
-        Rc::clone(self.dicts.last().expect("dict stack never empty"))
+        match self.dicts.last() {
+            Some(d) => Rc::clone(d),
+            None => Rc::clone(&self.systemdict),
+        }
     }
 
     /// Number of dictionaries on the dictionary stack.
     pub fn dict_stack_len(&self) -> usize {
         self.dicts.len()
+    }
+
+    /// Snapshot the dictionary stack, so a sandboxed run of untrusted
+    /// code can be undone: stray `begin`s (or `end`s popping the host's
+    /// dictionaries) are reverted by [`Interp::restore_dict_stack`].
+    pub fn dict_stack_snapshot(&self) -> Vec<crate::object::DictRef> {
+        self.dicts.clone()
+    }
+
+    /// Restore a dictionary stack taken by [`Interp::dict_stack_snapshot`].
+    /// Empty snapshots are ignored (the stack always keeps systemdict).
+    pub fn restore_dict_stack(&mut self, dicts: Vec<crate::object::DictRef>) {
+        if !dicts.is_empty() {
+            self.dicts = dicts;
+        }
     }
 
     /// Look up a name through the dictionary stack, topmost first.
@@ -294,6 +445,7 @@ impl Interp {
     // ----- execution -----
 
     fn enter(&mut self) -> PsResult<()> {
+        self.charge_step()?;
         self.depth += 1;
         if self.depth > self.max_depth {
             self.depth -= 1;
@@ -377,14 +529,17 @@ impl Interp {
     /// Call an object the way `if`/`ifelse`/`for`/`exec` do: procedures run,
     /// other executables execute, literals push.
     pub fn call(&mut self, o: &Object) -> PsResult<()> {
-        if o.is_proc() {
-            let a = o.as_array().expect("is_proc checked");
-            self.enter()?;
-            let r = self.run_proc_elements(&a);
-            self.leave();
-            r
-        } else {
-            self.exec_object(o)
+        // `is_proc` implies the object is an array; fall through to
+        // `exec_object` rather than asserting, so a host-constructed
+        // oddity cannot panic the interpreter.
+        match (o.is_proc(), o.as_array()) {
+            (true, Ok(a)) => {
+                self.enter()?;
+                let r = self.run_proc_elements(&a);
+                self.leave();
+                r
+            }
+            _ => self.exec_object(o),
         }
     }
 
@@ -397,8 +552,20 @@ impl Interp {
         Ok(())
     }
 
-    /// Execute one scanned token.
+    /// Execute one scanned token. Charges one step of fuel per token (so
+    /// token streams terminate under a budget even when every token is a
+    /// literal push) plus the approximate size of freshly scanned string
+    /// and procedure tokens.
     pub fn run_token(&mut self, tok: &Object) -> PsResult<()> {
+        self.charge_step()?;
+        let cost = match &tok.val {
+            Value::String(s) => s.len() as u64 + 16,
+            Value::Array(a) => 32 * a.borrow().len() as u64 + 16,
+            _ => 0,
+        };
+        if cost > 0 {
+            self.charge_alloc(cost)?;
+        }
         if tok.is_proc() {
             self.stack.push(tok.clone());
             Ok(())
@@ -533,6 +700,80 @@ mod tests {
         i.run_str("mips begin Regset0 end Regset0").unwrap();
         assert_eq!(i.pop().unwrap().as_string().unwrap().as_ref(), "generic");
         assert_eq!(i.pop().unwrap().as_string().unwrap().as_ref(), "mips r");
+    }
+
+    #[test]
+    fn fuel_cuts_off_an_infinite_loop() {
+        let mut i = Interp::new();
+        let b = Budget { max_fuel: 10_000, ..Budget::UNLIMITED };
+        let e = i.with_budget(b, |i| i.run_str("{} loop")).unwrap_err();
+        assert!(matches!(&e, PsError::Runtime(r) if r.kind == ErrorKind::Timeout), "{e}");
+        // The budget error is sticky: further execution re-raises until
+        // the budget is reset, so `stopped` cannot mask exhaustion.
+        let e = i.with_budget(b, |i| i.run_str("{{} loop} stopped pop 1 2 add")).unwrap_err();
+        assert!(matches!(&e, PsError::Runtime(r) if r.kind == ErrorKind::Timeout), "{e}");
+        // A fresh ambient budget clears the balance.
+        i.set_budget(Budget::UNLIMITED);
+        i.run_str("1 2 add").unwrap();
+        assert_eq!(i.pop().unwrap().as_int().unwrap(), 3);
+    }
+
+    #[test]
+    fn allocation_bomb_trips_vmerror() {
+        let mut i = Interp::new();
+        let b = Budget { max_alloc: 1 << 20, ..Budget::UNLIMITED };
+        // Doubling the stack with `copy` inside `loop` grows without bound.
+        let e = i.with_budget(b, |i| i.run_str("1 { count copy } loop")).unwrap_err();
+        assert!(matches!(&e, PsError::Runtime(r) if r.kind == ErrorKind::VmError), "{e}");
+        i.set_budget(Budget::UNLIMITED);
+        i.clear_stack();
+    }
+
+    #[test]
+    fn operand_stack_budget_bounds_literal_floods() {
+        let mut i = Interp::new();
+        let b = Budget { max_operands: 100, ..Budget::UNLIMITED };
+        let e = i.with_budget(b, |i| i.run_str("{1} loop")).unwrap_err();
+        assert!(matches!(&e, PsError::Runtime(r) if r.kind == ErrorKind::LimitCheck), "{e}");
+        assert!(i.depth() <= 200, "stack overshoot bounded: {}", i.depth());
+        i.set_budget(Budget::UNLIMITED);
+        i.clear_stack();
+    }
+
+    #[test]
+    fn nested_budgets_charge_the_outer_region() {
+        let mut i = Interp::new();
+        let outer = Budget { max_fuel: 1_000, ..Budget::UNLIMITED };
+        let save = i.push_budget(outer);
+        let inner = Budget { max_fuel: 900, ..Budget::UNLIMITED };
+        i.with_budget(inner, |i| i.run_str("1 1 200 {pop} for")).unwrap();
+        // The inner run's fuel shows up on the outer meter.
+        assert!(i.fuel_used() >= 300, "inner fuel charged outward: {}", i.fuel_used());
+        let e = i.run_str("1 1 600 {pop} for").unwrap_err();
+        assert!(matches!(&e, PsError::Runtime(r) if r.kind == ErrorKind::Timeout), "{e}");
+        i.pop_budget(save);
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs() {
+        let mut i = Interp::new();
+        i.run_str("1 2 add pop").unwrap();
+        let s1 = i.budget_stats();
+        assert!(s1.fuel_spent_total > 0);
+        i.run_str("(abc) cvs pop").unwrap();
+        let s2 = i.budget_stats();
+        assert!(s2.fuel_spent_total > s1.fuel_spent_total);
+        assert!(s2.alloc_charged_total > s1.alloc_charged_total);
+        assert_eq!(s2.budget_trips, 0);
+    }
+
+    #[test]
+    fn huge_composite_requests_are_limitchecks_even_unbudgeted() {
+        let mut i = Interp::new();
+        let e = i.run_str("16#40000000 array").unwrap_err();
+        assert!(matches!(&e, PsError::Runtime(r) if r.kind == ErrorKind::LimitCheck), "{e}");
+        let e = i.run_str("16#40000000 dict").unwrap_err();
+        assert!(matches!(&e, PsError::Runtime(r) if r.kind == ErrorKind::LimitCheck), "{e}");
     }
 
     #[test]

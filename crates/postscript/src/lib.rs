@@ -27,6 +27,7 @@
 //! assert_eq!(ps.pop().unwrap().as_int().unwrap(), 6);
 //! ```
 
+pub mod budget;
 pub mod dict;
 pub mod error;
 pub mod file;
@@ -36,6 +37,7 @@ mod ops;
 pub mod pretty;
 pub mod scanner;
 
+pub use budget::{Budget, BudgetSave, BudgetStats};
 pub use dict::{Dict, Key};
 pub use error::{ErrorKind, PsError, PsResult, RuntimeError};
 pub use file::PsFile;

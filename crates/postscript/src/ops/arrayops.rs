@@ -1,9 +1,14 @@
 //! Array operators. There are deliberately no subarray operators
 //! (`getinterval`/`putinterval`): the dialect omits them (paper, Sec. 5).
 
-use crate::error::range_check;
+use crate::error::{limit_check, range_check};
 use crate::interp::Interp;
 use crate::object::Object;
+
+/// Hard element cap on `array`/`dict` construction, enforced even with no
+/// budget installed: one hostile operand must not be able to commit the
+/// host to gigabytes before the allocation accounting sees it.
+pub(crate) const MAX_COMPOSITE: i64 = 1 << 22;
 
 pub(crate) fn register(i: &mut Interp) {
     i.register("array", |i| {
@@ -11,6 +16,10 @@ pub(crate) fn register(i: &mut Interp) {
         if n < 0 {
             return Err(range_check("array: negative length"));
         }
+        if n > MAX_COMPOSITE {
+            return Err(limit_check(format!("array: length {n} over implementation limit")));
+        }
+        i.charge_alloc(32 * n as u64 + 16)?;
         i.push(Object::array(vec![Object::null(); n as usize]));
         Ok(())
     });
@@ -20,6 +29,7 @@ pub(crate) fn register(i: &mut Interp) {
     });
     i.register("]", |i| {
         let n = i.count_to_mark()?;
+        i.charge_alloc(32 * n as u64 + 16)?;
         let items = i.popn(n)?;
         i.pop()?; // the mark
         i.push(Object::array(items));

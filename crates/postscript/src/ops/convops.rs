@@ -80,7 +80,9 @@ pub(crate) fn register(i: &mut Interp) {
     // operand: it simply produces a fresh string (documented deviation).
     i.register("cvs", |i| {
         let o = i.pop()?;
-        i.push(Object::string(o.to_text()));
+        let s = o.to_text();
+        i.charge_alloc(s.len() as u64 + 16)?;
+        i.push(Object::string(s));
         Ok(())
     });
     i.register("bind", |i| {

@@ -1,7 +1,7 @@
 //! Dictionary operators, including `<<`/`>>` which the symbol tables lean on.
 
 use crate::dict::{Dict, Key};
-use crate::error::{range_check, type_check, undefined};
+use crate::error::{limit_check, range_check, type_check, undefined};
 use crate::interp::Interp;
 use crate::object::{Object, Value};
 
@@ -11,6 +11,10 @@ pub(crate) fn register(i: &mut Interp) {
         if n < 0 {
             return Err(range_check("dict: negative capacity"));
         }
+        if n > crate::ops::arrayops::MAX_COMPOSITE {
+            return Err(limit_check(format!("dict: capacity {n} over implementation limit")));
+        }
+        i.charge_alloc(64 * n as u64 + 32)?;
         i.push(Object::dict(Dict::new(n as usize)));
         Ok(())
     });
@@ -88,6 +92,7 @@ pub(crate) fn register(i: &mut Interp) {
         if n % 2 != 0 {
             return Err(range_check(">>: odd number of operands"));
         }
+        i.charge_alloc(64 * n as u64 / 2 + 32)?;
         let mut items = i.popn(n)?;
         i.pop()?; // the mark
         let mut d = Dict::new(n / 2);

@@ -1,7 +1,7 @@
 //! Operator implementations, grouped by chapter.
 
 mod arith;
-mod arrayops;
+pub(crate) mod arrayops;
 mod control;
 mod convops;
 mod debugops;

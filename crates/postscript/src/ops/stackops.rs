@@ -28,6 +28,7 @@ pub(crate) fn register(i: &mut Interp) {
         }
         let n = n as usize;
         if n > 0 {
+            i.charge_alloc(32 * n as u64)?;
             let start = i
                 .depth()
                 .checked_sub(n)

@@ -18,6 +18,20 @@ use std::rc::Rc;
 use crate::error::{syntax, ErrorKind, PsError, PsResult};
 use crate::object::Object;
 
+/// Longest string or name token the scanner will build, in bytes. Deferred
+/// symbol tables quote whole procedure bodies in parentheses, so the cap
+/// is generous — but finite, so an unterminated string on an endless pipe
+/// cannot wedge the scanner or exhaust memory.
+pub const MAX_TOKEN_BYTES: usize = 8 << 20;
+
+/// Most elements one scanned procedure may hold (nesting is capped
+/// separately at 120 levels).
+pub const MAX_PROC_ELEMS: usize = 1 << 20;
+
+fn limit(detail: impl Into<String>) -> PsError {
+    PsError::runtime(ErrorKind::LimitCheck, detail)
+}
+
 /// A source of characters for the scanner. Strings and byte streams (pipes
 /// from the expression server) both implement this.
 pub trait CharSource {
@@ -113,6 +127,10 @@ fn is_space(c: char) -> bool {
 pub struct Scanner {
     src: Box<dyn CharSource>,
     peeked: Option<char>,
+    /// Bytes consumed from the source (token provenance: "module X near
+    /// byte N"). Counts UTF-8 lengths for string sources, raw bytes for
+    /// stream sources.
+    consumed: u64,
     /// Count of string tokens scanned (used by the deferral benchmark).
     pub strings_scanned: u64,
     /// Count of procedure tokens scanned eagerly.
@@ -128,7 +146,7 @@ impl std::fmt::Debug for Scanner {
 impl Scanner {
     /// A scanner over any character source.
     pub fn new(src: Box<dyn CharSource>) -> Self {
-        Scanner { src, peeked: None, strings_scanned: 0, procs_scanned: 0 }
+        Scanner { src, peeked: None, consumed: 0, strings_scanned: 0, procs_scanned: 0 }
     }
 
     /// A scanner over a string.
@@ -137,11 +155,22 @@ impl Scanner {
         Scanner::new(Box::new(StrSource::new(s.into())))
     }
 
+    /// Bytes consumed from the source so far — where in an artifact the
+    /// scanner is, for error provenance. At a token boundary this may sit
+    /// one delimiter character past the token just returned.
+    pub fn position(&self) -> u64 {
+        self.consumed
+    }
+
     fn next_char(&mut self) -> PsResult<Option<char>> {
         if let Some(c) = self.peeked.take() {
             return Ok(Some(c));
         }
-        self.src.next_char()
+        let c = self.src.next_char()?;
+        if let Some(c) = c {
+            self.consumed += c.len_utf8() as u64;
+        }
+        Ok(c)
     }
 
     fn unread(&mut self, c: char) {
@@ -214,6 +243,9 @@ impl Scanner {
                 break;
             }
             s.push(c);
+            if s.len() > MAX_TOKEN_BYTES {
+                return Err(limit("name token too long"));
+            }
         }
         Ok(s)
     }
@@ -224,6 +256,9 @@ impl Scanner {
         let mut s = String::new();
         let mut depth = 1usize;
         loop {
+            if s.len() > MAX_TOKEN_BYTES {
+                return Err(limit("string token too long"));
+            }
             let c = self.next_char()?.ok_or_else(|| syntax("unterminated string"))?;
             match c {
                 '(' => {
@@ -281,6 +316,9 @@ impl Scanner {
         self.procs_scanned += 1;
         let mut body = Vec::new();
         loop {
+            if body.len() > MAX_PROC_ELEMS {
+                return Err(limit("procedure has too many elements"));
+            }
             let c = match self.next_char()? {
                 None => return Err(syntax("unterminated procedure")),
                 Some(c) => c,

@@ -1,8 +1,43 @@
 //! Robustness: the scanner and interpreter must never panic, whatever the
 //! input — errors are the contract (`stopped` relies on it).
 
-use ldb_postscript::{Interp, Scanner};
+use ldb_postscript::{Budget, Interp, Scanner};
 use proptest::prelude::*;
+
+/// A real cc-emitted symbol table (the artifact the debugger actually
+/// consumes), generated once and shared by the mutation targets below.
+fn real_table() -> &'static str {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<String> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let src = "static int calls;\nint clamp(int v) { calls++; if (v > 9) return 9; return v; }\nint main(void) { int i; for (i = 0; i < 5; i++) printf(\"%d \", clamp(i * 3)); return 0; }\n";
+        let c = ldb_cc::driver::compile(
+            "fuzz.c",
+            src,
+            ldb_machine::Arch::Mips,
+            ldb_cc::driver::CompileOpts::default(),
+        )
+        .expect("fuzz corpus compiles");
+        let symtab =
+            ldb_cc::pssym::emit(&c.unit, &c.funcs, c.arch, ldb_cc::pssym::PsMode::Deferred);
+        ldb_cc::nm::loader_table_for(&c.linked.image, &symtab)
+    })
+}
+
+/// The budget every mutated table runs under. Tight enough that runaway
+/// mutants die in milliseconds, loose enough that many mutants still get
+/// deep into the table before faulting.
+const FUZZ_BUDGET: Budget =
+    Budget { max_fuel: 200_000, max_alloc: 8 << 20, max_operands: 1 << 16 };
+
+/// An interpreter with the machine-dependent names the tables execute at
+/// load time stubbed in (the debugger provides the real ones from its
+/// per-architecture dictionary).
+fn interp_for_tables() -> Interp {
+    let mut i = Interp::new();
+    i.run_str("/Regset0 {/r exch} def /Frameoff {/l exch} def").unwrap();
+    i
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 512 })]
@@ -59,6 +94,93 @@ proptest! {
         let got = t.as_string().unwrap();
         prop_assert_eq!(got.as_ref(), s.as_str());
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// Flip bits in a real compiler-emitted table and run it budgeted:
+    /// whatever comes out, the interpreter must not panic, and the
+    /// resources it consumes must stay within the budget (allowing one
+    /// operation's bounded overshoot before the trip is detected).
+    #[test]
+    fn mutated_real_tables_respect_budgets(
+        seed in any::<u64>(),
+        flips in 1usize..24,
+    ) {
+        let table = real_table();
+        let mut bytes = table.as_bytes().to_vec();
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for _ in 0..flips {
+            let i = (next() % bytes.len() as u64) as usize;
+            // Tables are ASCII; flipping bits 0-4 keeps them ASCII.
+            bytes[i] ^= 1 << (next() % 5);
+        }
+        let mutant = String::from_utf8(bytes).expect("ascii stays utf-8");
+        let mut i = interp_for_tables();
+        let save = i.push_budget(FUZZ_BUDGET);
+        let _ = i.run_stopped(&mutant);
+        prop_assert!(i.fuel_used() <= FUZZ_BUDGET.max_fuel + 1);
+        // Allocation may overshoot by at most one charge; a single
+        // charge for these tables is far below 1 MiB.
+        prop_assert!(i.alloc_used() <= FUZZ_BUDGET.max_alloc + (1 << 20));
+        prop_assert!(i.depth() <= FUZZ_BUDGET.max_operands + 256);
+        i.pop_budget(save);
+    }
+
+    /// Truncate the real table at an arbitrary point: the scanner and
+    /// interpreter must fail cleanly (or succeed), never hang or panic.
+    #[test]
+    fn truncated_real_tables_fail_cleanly(cut in 0usize..4096) {
+        let table = real_table();
+        let cut = cut % table.len();
+        let mut i = interp_for_tables();
+        let save = i.push_budget(FUZZ_BUDGET);
+        let _ = i.run_stopped(&table[..cut]);
+        prop_assert!(i.fuel_used() <= FUZZ_BUDGET.max_fuel + 1);
+        i.pop_budget(save);
+    }
+
+    /// Splice a random slice of the table into itself (lexically valid,
+    /// structurally wrong) and run budgeted.
+    #[test]
+    fn spliced_real_tables_respect_budgets(at in any::<u64>(), from in any::<u64>(), n in 1usize..64) {
+        let table = real_table();
+        let words: Vec<&str> = table.split_whitespace().collect();
+        let at = (at % words.len() as u64) as usize;
+        let from = (from % words.len() as u64) as usize;
+        let end = (from + n).min(words.len());
+        let mut spliced: Vec<&str> = Vec::with_capacity(words.len() + n);
+        spliced.extend_from_slice(&words[..at]);
+        spliced.extend_from_slice(&words[from..end]);
+        spliced.extend_from_slice(&words[at..]);
+        let mutant = spliced.join(" ");
+        let mut i = interp_for_tables();
+        let save = i.push_budget(FUZZ_BUDGET);
+        let _ = i.run_stopped(&mutant);
+        prop_assert!(i.fuel_used() <= FUZZ_BUDGET.max_fuel + 1);
+        prop_assert!(i.alloc_used() <= FUZZ_BUDGET.max_alloc + (1 << 20));
+        i.pop_budget(save);
+    }
+}
+
+/// The unmutated table loads within the fuzz budget — so any mutant that
+/// trips a budget did so because of the mutation, not the corpus.
+#[test]
+fn pristine_real_table_loads_within_budget() {
+    let mut i = interp_for_tables();
+    let save = i.push_budget(FUZZ_BUDGET);
+    i.run_str(real_table()).expect("pristine table loads");
+    assert!(i.fuel_used() < FUZZ_BUDGET.max_fuel / 2, "fuel: {}", i.fuel_used());
+    i.pop_budget(save);
+    let table = i.pop().unwrap();
+    table.as_dict().unwrap();
 }
 
 /// Deep but bounded recursion errors cleanly.

@@ -4,9 +4,13 @@
 #   build (release)  — the tier-1 build
 #   clippy           — lint gate; the whole workspace denies all warnings
 #   test             — workspace suite, incl. tests/fault_injection.rs
+#   robustness gate  — the artifact-corruption suite and the fuzz smoke,
+#                      run by name so a filter can never silently drop them
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+cargo test -q --test artifact_corruption
+cargo test -q -p ldb-postscript --test fuzz

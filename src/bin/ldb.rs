@@ -48,9 +48,9 @@
 
 use std::io::{BufRead, Write};
 
-use ldb_cc::driver::{compile_many, program_loader_ps, CompileOpts, CompiledProgram};
+use ldb_cc::driver::{compile_many, program_load_plan, CompileOpts, CompiledProgram};
 use ldb_cc::pssym;
-use ldb_core::{Ldb, StopEvent};
+use ldb_core::{Ldb, ModuleTable, StopEvent};
 use ldb_machine::{Arch, ByteOrder};
 use ldb_machine::core::read_core;
 use ldb_nub::{spawn_machine, FaultConfig, FaultyWire, NubConfig, NubHandle, TcpWire, Wire};
@@ -72,10 +72,21 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut core: Option<String> = None;
     let mut fault: Option<FaultConfig> = None;
     let mut wire_cache = true;
+    let mut ps_fuel: Option<u64> = None;
+    let mut ps_mem: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--no-wire-cache" => wire_cache = false,
+            "--ps-fuel" => {
+                i += 1;
+                ps_fuel =
+                    Some(args.get(i).ok_or("--ps-fuel needs a step count")?.parse::<u64>()?);
+            }
+            "--ps-mem" => {
+                i += 1;
+                ps_mem = Some(args.get(i).ok_or("--ps-mem needs a byte count")?.parse::<u64>()?);
+            }
             "--fault" => {
                 i += 1;
                 let spec = args.get(i).ok_or("--fault needs a spec (e.g. seed=1,drop=0.05)")?;
@@ -105,7 +116,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         i += 1;
     }
     if files.is_empty() {
-        eprintln!("usage: ldb <file.c>... [--arch mips|m68k|sparc|vax] [--order big|little]");
+        eprintln!(
+            "usage: ldb <file.c>... [--arch mips|m68k|sparc|vax] [--order big|little] \
+             [--ps-fuel <steps>] [--ps-mem <bytes>]"
+        );
         std::process::exit(2);
     }
     // Post-mortem: the core file fixes the architecture; the sources are
@@ -130,7 +144,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let c: CompiledProgram =
         compile_many(&parts, arch, CompileOpts { order, ..Default::default() })
             .map_err(|e| format!("{e}"))?;
-    let loader = program_loader_ps(&c, pssym::PsMode::Deferred);
+    let (frame_ps, modules) = c_plan(&c);
     if run_only {
         // Run undebugged; a fault dumps core (UNIX semantics) when
         // --core names a path.
@@ -155,11 +169,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut ldb = Ldb::new();
     ldb.set_wire_cache(wire_cache);
+    ldb.set_ps_limits(ps_fuel, ps_mem);
     if let Some((machine, sig, code, context)) = loaded_core {
         let pc = machine.cpu.pc;
         let handle = spawn_machine(machine, context, NubConfig::default());
         let wire = handle.connect_channel()?;
-        ldb.attach(maybe_faulty(wire, &fault), &loader, Some(handle))?;
+        ldb.attach_plan(maybe_faulty(wire, &fault), &frame_ps, &modules, Some(handle))?;
         println!(
             "core: signal {sig} (code {code:#x}) at pc {pc:#x}; post-mortem session"
         );
@@ -177,14 +192,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
         });
         let stream = std::net::TcpStream::connect(addr)?;
-        ldb.attach(maybe_faulty(TcpWire::new(stream), &fault), &loader, Some(handle))?;
+        ldb.attach_plan(maybe_faulty(TcpWire::new(stream), &fault), &frame_ps, &modules, Some(handle))?;
         println!("connected over tcp://{addr}");
     } else {
         let handle =
             ldb_nub::spawn(&c.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
         let wire = handle.connect_channel()?;
-        ldb.attach(maybe_faulty(wire, &fault), &loader, Some(handle))?;
+        ldb.attach_plan(maybe_faulty(wire, &fault), &frame_ps, &modules, Some(handle))?;
     }
+    warn_quarantined(&ldb);
     if let Some(f) = &fault {
         println!("fault injection active on the wire: {f:?}");
     }
@@ -222,8 +238,9 @@ struct Session {
     /// Expressions re-evaluated and printed at every stop.
     displays: Vec<String>,
     /// A detached target: the nub handle keeps the program's thread (and
-    /// preserved state) alive for a later `attach`.
-    parked: Option<(NubHandle, String)>,
+    /// preserved state) alive for a later `attach` (the load plan is
+    /// regenerated from the compiled program).
+    parked: Option<NubHandle>,
     /// Active fault-injection spec; fresh wires (attach, reconnect) are
     /// wrapped with it too, so the drill follows the session.
     fault: Option<FaultConfig>,
@@ -247,10 +264,22 @@ fn show_displays(ldb: &mut Ldb, sess: &Session) {
     }
 }
 
-/// The loader-table PostScript for the compiled program (regenerated on
-/// demand; it is deterministic).
-fn c_loader(c: &CompiledProgram) -> String {
-    program_loader_ps(c, pssym::PsMode::Deferred)
+/// The load plan for the compiled program (regenerated on demand; it is
+/// deterministic): the trusted linker frame plus named per-module symbol
+/// tables, each sandboxed and quarantinable on its own.
+fn c_plan(c: &CompiledProgram) -> (String, Vec<ModuleTable>) {
+    let (frame, modules) = program_load_plan(c, pssym::PsMode::Deferred);
+    let modules =
+        modules.into_iter().map(|(name, ps)| ModuleTable { name, ps }).collect();
+    (frame, modules)
+}
+
+/// Report any modules the sandbox quarantined during a load.
+fn warn_quarantined(ldb: &Ldb) {
+    for (module, reason) in ldb.quarantined_modules() {
+        println!("warning: module {module} quarantined: {reason}");
+        println!("         (its symbols are unavailable; `reload` retries)");
+    }
 }
 
 fn dispatch(
@@ -271,6 +300,8 @@ b <func> [n] [if <expr>]  breakpoint at stopping point n (default 0), optionally
 bl <line> | ba <addr>     breakpoint by line / raw address (single-step scheme)
 d <addr>                  delete breakpoint        info   list breakpoints/watches/displays
 info wire                 wire transaction counters and cache statistics
+info ps                   sandbox budgets, fuel/allocation spent, quarantined modules
+reload                    retry quarantined symbol tables
 w <name> | dw <name>      watch a variable / stop watching
 c                         continue                 s      step one instruction
 n                         step over (same frame)   fin    run until this frame returns
@@ -328,6 +359,38 @@ q                         quit"
         "dw" => {
             let name = rest.first().ok_or("usage: dw <name>")?;
             ldb.clear_watch(name)?;
+        }
+        "info" if rest.first() == Some(&"ps") => {
+            let b = ldb.ps_budgets();
+            let s = ldb.interp.budget_stats();
+            println!(
+                "budgets: load {} steps / {} bytes; interactive {} steps / {} bytes",
+                b.load.max_fuel, b.load.max_alloc, b.interactive.max_fuel, b.interactive.max_alloc
+            );
+            println!(
+                "sandbox: {} steps spent, {} bytes charged ({} peak), {} budget trips",
+                s.fuel_spent_total, s.alloc_charged_total, s.alloc_peak, s.budget_trips
+            );
+            let q = ldb.quarantined_modules();
+            if q.is_empty() {
+                println!("quarantine: empty");
+            } else {
+                for (module, reason) in q {
+                    println!("quarantine: module {module}: {reason}");
+                }
+            }
+        }
+        "reload" => {
+            let rows = ldb.reload_modules()?;
+            if rows.is_empty() {
+                println!("nothing quarantined");
+            }
+            for (module, outcome) in rows {
+                match outcome {
+                    Ok(()) => println!("module {module}: reloaded"),
+                    Err(reason) => println!("module {module}: still quarantined: {reason}"),
+                }
+            }
         }
         "info" if rest.first() == Some(&"wire") => {
             let id = ldb.current().ok_or("no target")?;
@@ -452,19 +515,22 @@ q                         quit"
             println!("pc set to {addr:#x}");
         }
         "detach" => {
-            let loader_ps = c_loader(c);
             let handle = ldb
                 .detach_current()?
                 .ok_or("this target has no local nub handle (already taken)")?;
-            sess.parked = Some((handle, loader_ps));
+            sess.parked = Some(handle);
             println!("detached; program state preserved in the nub (reconnect with `attach`)");
         }
         "attach" => {
-            let (handle, loader_ps) =
-                sess.parked.take().ok_or("nothing detached in this session")?;
+            let handle = sess.parked.take().ok_or("nothing detached in this session")?;
+            let (frame_ps, modules) = c_plan(c);
             let wire = handle.connect_channel()?;
-            match ldb.attach(maybe_faulty(wire, &sess.fault), &loader_ps, Some(handle)) {
-                Ok(_) => println!("reattached; breakpoints recovered from the nub"),
+            match ldb.attach_plan(maybe_faulty(wire, &sess.fault), &frame_ps, &modules, Some(handle))
+            {
+                Ok(_) => {
+                    warn_quarantined(ldb);
+                    println!("reattached; breakpoints recovered from the nub");
+                }
                 Err(e) => {
                     // The handle went into the failed target; nothing to
                     // re-park, but say so rather than dropping silently.
