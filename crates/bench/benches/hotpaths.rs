@@ -200,6 +200,90 @@ fn sandbox(c: &mut Criterion) {
     g.finish();
 }
 
+fn trace_overhead(c: &mut Criterion) {
+    use ldb_postscript::{Budget, Interp};
+    use ldb_trace::{Layer, Severity, Trace};
+    let mut g = c.benchmark_group("trace");
+    g.sample_size(30);
+
+    // The recorder itself, isolated: one wire-shaped record (four fields)
+    // into a saturated ring, and the same call against the disabled
+    // handle. These are the numbers the end-to-end pins below derive
+    // from — the fetch round trip is scheduler-noisy at the ~100 ns
+    // scale, so the per-record cost is what EXPERIMENTS.md cites.
+    let ring = Trace::ring(4096);
+    for i in 0..5000u64 {
+        ring.emit(Layer::Wire, Severity::Debug, "send", &[("seq", i.into())]);
+    }
+    let mut seq = 0u64;
+    g.bench_function("emit_record", |b| {
+        b.iter(|| {
+            seq += 1;
+            ring.emit(
+                Layer::Wire,
+                Severity::Debug,
+                "send",
+                &[("seq", seq.into()), ("req", "Fetch".into()), ("attempt", 0u64.into()), ("len", 18u64.into())],
+            );
+        })
+    });
+    let off = Trace::off();
+    g.bench_function("emit_record_disabled", |b| {
+        b.iter(|| {
+            seq += 1;
+            off.emit(
+                Layer::Wire,
+                Severity::Debug,
+                "send",
+                &[("seq", seq.into()), ("req", "Fetch".into()), ("attempt", 0u64.into()), ("len", 18u64.into())],
+            );
+        })
+    });
+
+    // The wire hot path (same live fetch round trip as the `nub` group)
+    // with the flight recorder disabled — the Trace::off() fast path must
+    // cost nothing — and enabled with the in-memory ring, where the two
+    // records per round trip (send + recv) are pinned at <3% overhead in
+    // EXPERIMENTS.md.
+    let cc = compile("fib.c", FIB_C, Arch::Mips, CompileOpts::default()).unwrap();
+    let symtab = pssym::emit(&cc.unit, &cc.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let loader = nm::loader_table_for(&cc.linked.image, &symtab);
+    let mut ldb = Ldb::new();
+    ldb.spawn_program(&cc.linked.image, &loader).unwrap();
+    let client = ldb.target(0).client.clone();
+    g.bench_function("live_fetch_recorder_off", |b| {
+        b.iter(|| client.borrow_mut().fetch('d', cc.linked.context_addr, 4).unwrap())
+    });
+    ldb.set_trace(Trace::ring(4096));
+    g.bench_function("live_fetch_recorder_on", |b| {
+        b.iter(|| client.borrow_mut().fetch('d', cc.linked.context_addr, 4).unwrap())
+    });
+
+    // The table-load hot path (same budgeted load as the `sandbox` group)
+    // with and without the recorder: the interpreter journals budget
+    // consumption only at scope exit, so the load itself must not slow.
+    let big =
+        compile("synth.c", &synth_program(200), Arch::Mips, CompileOpts::default()).unwrap();
+    let big_ps = pssym::emit(&big.unit, &big.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let table = nm::loader_table_for(&big.linked.image, &big_ps);
+    const STUBS: &str = "/Regset0 {/r exch} def /Frameoff {/l exch} def";
+    let load = |trace: &Trace| {
+        let mut i = Interp::new();
+        i.set_trace(trace.clone());
+        i.run_str(STUBS).unwrap();
+        let save = i.push_budget(Budget::LOAD);
+        i.run_str(&table).unwrap();
+        i.pop_budget(save);
+        i.pop().unwrap()
+    };
+    g.throughput(Throughput::Bytes(table.len() as u64));
+    let off = Trace::off();
+    g.bench_function("table_load_recorder_off", |b| b.iter(|| load(&off)));
+    let on = Trace::ring(4096);
+    g.bench_function("table_load_recorder_on", |b| b.iter(|| load(&on)));
+    g.finish();
+}
+
 fn lzw(c: &mut Criterion) {
     let data = synth_program(100).into_bytes();
     let mut g = c.benchmark_group("compress");
@@ -210,5 +294,5 @@ fn lzw(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, wire_cache, sandbox, lzw);
+criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, wire_cache, sandbox, trace_overhead, lzw);
 criterion_main!(benches);

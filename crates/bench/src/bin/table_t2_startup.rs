@@ -115,6 +115,22 @@ fn main() {
         .unwrap()
     });
 
+    // Flight-recorder overhead on the connect phase: the same big-unit
+    // connect with the recorder journaling every wire frame, module
+    // load, and stop into the in-memory ring (the `info trace` default)
+    // versus the disabled Trace::off() fast path.
+    let conn_with = |trace: ldb_trace::Trace| -> f64 {
+        let (t, _) = time(|| {
+            let mut ldb = Ldb::new();
+            ldb.set_trace(trace.clone());
+            ldb.spawn_program(&big.linked.image, &big_loader).unwrap();
+            ldb
+        });
+        t
+    };
+    let t_conn_untraced = conn_with(ldb_trace::Trace::off());
+    let t_conn_traced = conn_with(ldb_trace::Trace::ring(4096));
+
     // Wire round trips for the big-unit connect, block cache on vs off
     // (the T2 time barely moves in-process, but over a real wire each
     // transaction is a latency-bound round trip).
@@ -172,5 +188,11 @@ fn main() {
         t_big_sym,
         t_big_sym_unbudgeted,
         (t_big_sym / t_big_sym_unbudgeted.max(0.001) - 1.0) * 100.0
+    );
+    println!(
+        "flight recorder, big-unit connect: {:.2} ms traced vs {:.2} ms untraced ({:+.1}%)",
+        t_conn_traced,
+        t_conn_untraced,
+        (t_conn_traced / t_conn_untraced.max(0.001) - 1.0) * 100.0
     );
 }

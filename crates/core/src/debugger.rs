@@ -15,6 +15,7 @@ use std::rc::Rc;
 use ldb_machine::{Arch, MachineData};
 use ldb_nub::{NubClient, NubConfig, NubEvent, NubHandle, Sig, Wire};
 use ldb_postscript::{Budget, DictRef, Interp, Location, Object, Out, PsError, PsFile, Value};
+use ldb_trace::{Layer, Severity, Trace};
 
 use crate::amemory::{CachedMemory, JoinedMemory, MemRef, WireMemory};
 use crate::breakpoint::Breakpoints;
@@ -74,6 +75,21 @@ pub enum StopEvent {
     },
     /// The target exited.
     Exited(i32),
+}
+
+impl StopEvent {
+    /// A short stable name for logs and trace journals.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            StopEvent::Paused => "paused",
+            StopEvent::Attached => "attached",
+            StopEvent::Breakpoint { .. } => "breakpoint",
+            StopEvent::Stepped { .. } => "stepped",
+            StopEvent::Watchpoint { .. } => "watchpoint",
+            StopEvent::Fault { .. } => "fault",
+            StopEvent::Exited(_) => "exited",
+        }
+    }
 }
 
 /// The current stop state of a target.
@@ -297,6 +313,9 @@ pub struct Ldb {
     wire_cache: bool,
     /// Resource budgets for untrusted PostScript (the artifact sandbox).
     budgets: PsBudgets,
+    /// Flight-recorder handle, propagated to the interpreter and to every
+    /// nub client ([`Ldb::set_trace`]).
+    trace: Trace,
 }
 
 struct ExprSession {
@@ -345,9 +364,29 @@ impl Ldb {
             handles: 0,
             wire_cache: true,
             budgets: PsBudgets::default(),
+            trace: Trace::off(),
         };
         ldb.register_expr_ops();
         ldb
+    }
+
+    /// Attach the flight recorder to the whole session: the debugger
+    /// command loop ([`Layer::Dbg`]), the embedded interpreter
+    /// ([`Layer::Ps`]), and every nub client — targets already attached
+    /// and targets attached from now on ([`Layer::Wire`]). Pass
+    /// [`Trace::off`] to detach everywhere.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace.clone();
+        self.interp.set_trace(trace.clone());
+        for t in &self.targets {
+            t.client.borrow_mut().set_trace(trace.clone());
+        }
+    }
+
+    /// The session's flight-recorder handle (`info trace` reads its
+    /// counters and ring).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Enable or disable the wire cache for *future* attaches (existing
@@ -459,6 +498,7 @@ impl Ldb {
         cfg: ldb_nub::ClientConfig,
     ) -> Result<usize, LdbError> {
         let mut client = NubClient::with_config(wire, cfg);
+        client.set_trace(self.trace.clone());
         let ev = client.wait_event()?;
         let stop = match ev {
             NubEvent::Stopped { sig, code, context } => Stop { sig, code, context },
@@ -513,6 +553,19 @@ impl Ldb {
         let _ = target.breakpoints.recover(&target.client);
         self.targets.push(target);
         let id = self.targets.len() - 1;
+        if self.trace.is_on() {
+            let t = &self.targets[id];
+            self.trace.emit(
+                Layer::Dbg,
+                Severity::Info,
+                "attach",
+                &[
+                    ("target", id.into()),
+                    ("arch", format!("{arch}").into()),
+                    ("quarantined", t.loader.quarantined().len().into()),
+                ],
+            );
+        }
         self.select_target(id)?;
         self.after_stop(id)?;
         Ok(id)
@@ -548,6 +601,7 @@ impl Ldb {
         if id >= self.targets.len() {
             return Err(LdbError::msg(format!("no target {id}")));
         }
+        self.trace.emit(Layer::Dbg, Severity::Info, "reconnect", &[("target", id.into())]);
         self.targets[id].client.borrow_mut().reconnect(wire);
         let ev = self.targets[id].client.borrow_mut().wait_event()?;
         self.targets[id].disconnected = false;
@@ -672,6 +726,14 @@ impl Ldb {
             }
             (frames, ())
         };
+        if !frames.is_empty() && self.trace.is_on() {
+            self.trace.emit(
+                Layer::Dbg,
+                Severity::Debug,
+                "frames",
+                &[("target", id.into()), ("depth", frames.len().into())],
+            );
+        }
         let t = &mut self.targets[id];
         if !frames.is_empty() {
             t.frames = frames;
@@ -704,6 +766,12 @@ impl Ldb {
         let t = &mut self.targets[id];
         t.breakpoints.plant(&t.client, addr)?;
         t.invalidate_code_cache();
+        self.trace.emit(
+            Layer::Dbg,
+            Severity::Info,
+            "plant",
+            &[("target", id.into()), ("addr", addr.into())],
+        );
         Ok(addr)
     }
 
@@ -723,6 +791,12 @@ impl Ldb {
         let t = &mut self.targets[id];
         t.breakpoints.plant(&t.client, addr)?;
         t.invalidate_code_cache();
+        self.trace.emit(
+            Layer::Dbg,
+            Severity::Info,
+            "plant",
+            &[("target", id.into()), ("addr", addr.into())],
+        );
         Ok(addr)
     }
 
@@ -737,6 +811,12 @@ impl Ldb {
         let t = &mut self.targets[id];
         t.breakpoints.plant_anywhere(&t.client, addr)?;
         t.invalidate_code_cache();
+        self.trace.emit(
+            Layer::Dbg,
+            Severity::Info,
+            "plant",
+            &[("target", id.into()), ("addr", addr.into())],
+        );
         Ok(())
     }
 
@@ -775,6 +855,12 @@ impl Ldb {
         let t = &mut self.targets[id];
         t.breakpoints.plant(&t.client, addr)?;
         t.invalidate_code_cache();
+        self.trace.emit(
+            Layer::Dbg,
+            Severity::Info,
+            "plant",
+            &[("target", id.into()), ("addr", addr.into())],
+        );
         Ok(addr)
     }
 
@@ -789,6 +875,12 @@ impl Ldb {
         t.conds.remove(&addr);
         t.breakpoints.remove(&t.client, addr)?;
         t.invalidate_code_cache();
+        self.trace.emit(
+            Layer::Dbg,
+            Severity::Info,
+            "unplant",
+            &[("target", id.into()), ("addr", addr.into())],
+        );
         Ok(())
     }
 
@@ -1422,6 +1514,38 @@ impl Ldb {
     }
 
     fn handle_event(&mut self, id: usize, ev: NubEvent) -> Result<StopEvent, LdbError> {
+        let out = self.handle_event_inner(id, ev);
+        if self.trace.is_on() {
+            if let Ok(ev) = &out {
+                let mut fields: Vec<(&'static str, ldb_trace::Value)> =
+                    vec![("target", id.into()), ("kind", ev.kind_name().into())];
+                match ev {
+                    StopEvent::Breakpoint { func, line, addr }
+                    | StopEvent::Stepped { func, line, addr } => {
+                        fields.push(("func", func.clone().into()));
+                        fields.push(("line", (*line).into()));
+                        fields.push(("addr", (*addr).into()));
+                    }
+                    StopEvent::Watchpoint { name, func, line, addr, .. } => {
+                        fields.push(("name", name.clone().into()));
+                        fields.push(("func", func.clone().into()));
+                        fields.push(("line", (*line).into()));
+                        fields.push(("addr", (*addr).into()));
+                    }
+                    StopEvent::Fault { sig, code } => {
+                        fields.push(("sig", sig.clone().into()));
+                        fields.push(("code", (*code).into()));
+                    }
+                    StopEvent::Exited(status) => fields.push(("status", (*status).into())),
+                    StopEvent::Paused | StopEvent::Attached => {}
+                }
+                self.trace.emit(Layer::Dbg, Severity::Info, "stop", &fields);
+            }
+        }
+        out
+    }
+
+    fn handle_event_inner(&mut self, id: usize, ev: NubEvent) -> Result<StopEvent, LdbError> {
         match ev {
             NubEvent::Exited(c) => {
                 self.targets[id].stop = None;

@@ -38,6 +38,7 @@ pub mod event;
 pub mod frame;
 pub mod loader;
 pub mod psops;
+pub mod script;
 pub mod symtab;
 
 pub use amemory::{AbstractMemory, AliasMemory, CachedMemory, CacheStats, JoinedMemory, MemError, MemRef, RegisterMemory, WireMemory};
@@ -47,6 +48,7 @@ pub use event::{Events, Outcome};
 pub use frame::{Frame, FrameWalker};
 pub use loader::{FrameMeta, Loader, ModuleTable, Quarantined};
 pub use psops::{CtxRef, EvalCtx, MemHandle};
+pub use script::{run_script, trace_report};
 
 /// Errors from debugger operations.
 #[derive(Debug)]

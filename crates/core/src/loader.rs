@@ -14,8 +14,34 @@ use std::rc::Rc;
 
 use ldb_machine::{Arch, Rpt};
 use ldb_postscript::{Budget, Dict, DictRef, Interp, Object, PsResult, Scanner, Value};
+use ldb_trace::{Layer, Severity};
 
 use crate::amemory::MemRef;
+
+/// Journal one module-load outcome ([`Layer::Ps`]) through the
+/// interpreter's flight-recorder handle.
+fn trace_module(
+    interp: &Interp,
+    kind: &'static str,
+    sev: Severity,
+    module: &str,
+    reason: Option<&str>,
+) {
+    let t = interp.trace();
+    if t.is_on() {
+        match reason {
+            None => t.emit(Layer::Ps, sev, kind, &[("module", module.to_string().into())]),
+            Some(r) => {
+                t.emit(
+                    Layer::Ps,
+                    sev,
+                    kind,
+                    &[("module", module.to_string().into()), ("reason", r.to_string().into())],
+                );
+            }
+        }
+    }
+}
 
 /// One module's symbol-table PostScript, named for provenance and
 /// quarantine reports (see [`Loader::load_plan`]).
@@ -147,29 +173,46 @@ impl Loader {
                         (_, None) => {
                             // Validation guarantees a known architecture;
                             // defend anyway.
+                            let reason = "unknown architecture".to_string();
+                            trace_module(
+                                interp,
+                                "quarantine",
+                                Severity::Warn,
+                                &m.name,
+                                Some(&reason),
+                            );
                             quarantined.push(Quarantined {
                                 module: m.name.clone(),
-                                reason: "unknown architecture".into(),
+                                reason,
                                 ps: m.ps.clone(),
                             });
                             continue;
                         }
                         (None, Some(a)) => arch = Some(a),
                         (Some(prev), Some(a)) if prev != a => {
+                            let reason =
+                                format!("architecture mismatch ({a} table in a {prev} program)");
+                            trace_module(
+                                interp,
+                                "quarantine",
+                                Severity::Warn,
+                                &m.name,
+                                Some(&reason),
+                            );
                             quarantined.push(Quarantined {
                                 module: m.name.clone(),
-                                reason: format!(
-                                    "architecture mismatch ({a} table in a {prev} program)"
-                                ),
+                                reason,
                                 ps: m.ps.clone(),
                             });
                             continue;
                         }
                         _ => {}
                     }
+                    trace_module(interp, "module_load", Severity::Info, &m.name, None);
                     merge_unit_into(&top, &unit);
                 }
                 Err(reason) => {
+                    trace_module(interp, "quarantine", Severity::Warn, &m.name, Some(&reason));
                     quarantined.push(Quarantined {
                         module: m.name.clone(),
                         reason,
@@ -278,6 +321,7 @@ impl Loader {
             match run_module(interp, &q.module, &q.ps, budget) {
                 Ok(unit) => match unit_arch(&unit) {
                     Some(a) if a == self.arch => {
+                        trace_module(interp, "module_reload", Severity::Info, &q.module, None);
                         merge_unit_into(&self.top, &unit);
                         out.push((q.module, Ok(())));
                     }
@@ -289,11 +333,13 @@ impl Loader {
                             ),
                             None => "unknown architecture".into(),
                         };
+                        trace_module(interp, "quarantine", Severity::Warn, &q.module, Some(&reason));
                         out.push((q.module.clone(), Err(reason.clone())));
                         keep.push(Quarantined { reason, ..q });
                     }
                 },
                 Err(reason) => {
+                    trace_module(interp, "quarantine", Severity::Warn, &q.module, Some(&reason));
                     out.push((q.module.clone(), Err(reason.clone())));
                     keep.push(Quarantined { reason, ..q });
                 }

@@ -1,0 +1,204 @@
+//! A deterministic command-script runner over [`Ldb`] — the replay half
+//! of the flight recorder.
+//!
+//! A recorded session is a command script plus the seeds that make the
+//! simulated machines, the compiler, and any injected faults
+//! deterministic. Replaying is therefore just running the script again:
+//! [`run_script`] executes a newline-separated command list against a
+//! live session and returns the transcript it produced, journaling every
+//! command as a [`Layer::Dbg`] `cmd` record on the way. With the
+//! recorder in logical-clock mode, running the same script twice against
+//! identically-seeded targets yields byte-identical transcripts *and*
+//! byte-identical journals — which is exactly what the
+//! `tests/replay_golden.rs` harness checks on all four architectures.
+//!
+//! The command set mirrors the interactive CLI's core (`b`/`bl`/`c`/`s`/
+//! `n`/`fin`/`p`/`e`/`bt`/`f`/`regs`/`info wire`/`info trace`), with
+//! output formats chosen to be stable and machine-diffable rather than
+//! chatty.
+
+use ldb_trace::{Layer, Severity, Trace};
+
+use crate::debugger::{Ldb, StopEvent};
+use crate::LdbError;
+
+/// Render a stop event as one transcript line (the script runner's
+/// analog of the CLI's stop report).
+pub fn report_stop(ev: &StopEvent) -> String {
+    match ev {
+        StopEvent::Paused => "paused before main".to_string(),
+        StopEvent::Attached => "attached".to_string(),
+        StopEvent::Breakpoint { func, line, addr } => {
+            format!("breakpoint in {func} at line {line} ({addr:#x})")
+        }
+        StopEvent::Stepped { func, line, addr } => {
+            format!("stepped: {func} line {line} ({addr:#x})")
+        }
+        StopEvent::Watchpoint { name, old, new, func, line, addr } => {
+            format!("watchpoint: {name} changed {old} -> {new} in {func} at line {line} ({addr:#x})")
+        }
+        StopEvent::Fault { sig, code } => format!("fault: {sig} (code {code:#x})"),
+        StopEvent::Exited(status) => format!("target exited with status {status}"),
+    }
+}
+
+/// Summed wire metrics over every attached target.
+fn total_metrics(ldb: &Ldb) -> ldb_nub::WireMetrics {
+    let mut m = ldb_nub::WireMetrics::default();
+    for id in 0..ldb.target_count() {
+        let t = ldb.target(id).client.borrow().metrics();
+        m.transactions += t.transactions;
+        m.retransmits += t.retransmits;
+        m.bytes_sent += t.bytes_sent;
+        m.bytes_received += t.bytes_received;
+    }
+    m
+}
+
+/// The `info trace` report: per-layer record counts, per-kind counts,
+/// and the journal-vs-[`WireMetrics`](ldb_nub::WireMetrics) consistency
+/// check. Every frame the client puts on the wire appears in the journal
+/// as a `send` (or `send_err`) record and every retransmission as a
+/// `retx`, so `transactions = send + send_err - retx` must hold exactly.
+pub fn trace_report(ldb: &Ldb) -> String {
+    let trace = ldb.trace();
+    if !trace.is_on() {
+        return "trace: off (start with --trace FILE, or Ldb::set_trace)".to_string();
+    }
+    let c = trace.counts();
+    let mut out = format!(
+        "trace: {} records (wire {}, ps {}, dbg {})\n",
+        c.total(),
+        c.wire,
+        c.ps,
+        c.dbg
+    );
+    for (layer, kind, n) in trace.kind_counts() {
+        out.push_str(&format!("  {}/{kind} {n}\n", layer.name()));
+    }
+    let m = total_metrics(ldb);
+    let sends = trace.kind_count(Layer::Wire, "send");
+    let send_errs = trace.kind_count(Layer::Wire, "send_err");
+    let retx = trace.kind_count(Layer::Wire, "retx");
+    let txns = (sends + send_errs).saturating_sub(retx);
+    let ok = txns == m.transactions && retx == m.retransmits;
+    out.push_str(&format!(
+        "wire cross-check: journal {txns} txns / {retx} retx, metrics {} txns / {} retx ({})",
+        m.transactions,
+        m.retransmits,
+        if ok { "consistent" } else { "MISMATCH" }
+    ));
+    out
+}
+
+/// The `info wire` report over every attached target.
+fn wire_report(ldb: &Ldb) -> String {
+    let m = total_metrics(ldb);
+    format!(
+        "wire: {} transactions, {} retransmits, {} bytes out, {} bytes in",
+        m.transactions, m.retransmits, m.bytes_sent, m.bytes_received
+    )
+}
+
+fn run_command(ldb: &mut Ldb, cmd: &str, rest: &str) -> Result<String, LdbError> {
+    Ok(match cmd {
+        "b" => {
+            let mut it = rest.split_whitespace();
+            let func = it.next().ok_or_else(|| LdbError::msg("usage: b <func> [stop]"))?;
+            let index: usize = it
+                .next()
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| LdbError::msg("bad stopping-point index"))?;
+            let addr = ldb.break_at(func, index)?;
+            format!("breakpoint at {addr:#x}")
+        }
+        "bl" => {
+            let line: u32 =
+                rest.trim().parse().map_err(|_| LdbError::msg("usage: bl <line>"))?;
+            let addr = ldb.break_at_line(line)?;
+            format!("breakpoint at {addr:#x}")
+        }
+        "c" => report_stop(&ldb.cont_watch()?),
+        "s" => report_stop(&ldb.step_insn()?),
+        "n" => report_stop(&ldb.step_over()?),
+        "fin" => {
+            let (ev, ret) = ldb.finish()?;
+            match ret {
+                Some(v) => format!("{}\nreturn value: {v}", report_stop(&ev)),
+                None => report_stop(&ev),
+            }
+        }
+        "p" => {
+            let name = rest.trim();
+            format!("{name} = {}", ldb.print_var(name)?)
+        }
+        "e" => ldb.eval(rest.trim())?,
+        "bt" => {
+            let rows = ldb.backtrace();
+            if rows.is_empty() {
+                "no stack".to_string()
+            } else {
+                rows.iter()
+                    .map(|(level, name, pc, _vfp)| format!("#{level} {name} at {pc:#x}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            }
+        }
+        "f" => {
+            let level: usize =
+                rest.trim().parse().map_err(|_| LdbError::msg("usage: f <frame>"))?;
+            ldb.select_frame(level)?;
+            format!("frame {level}")
+        }
+        "regs" => {
+            let regs = ldb.registers()?;
+            regs.iter()
+                .map(|(name, v)| format!("{name}={v:#010x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        "info" => match rest.trim() {
+            "wire" => wire_report(ldb),
+            "trace" => trace_report(ldb),
+            other => return Err(LdbError::msg(format!("no `info {other}` in scripts"))),
+        },
+        other => return Err(LdbError::msg(format!("unknown script command `{other}`"))),
+    })
+}
+
+/// Run a newline-separated command script against `ldb`, returning the
+/// transcript: each command echoed as `(ldb) <cmd>` followed by its
+/// output. Blank lines and `#` comments are skipped. Errors become
+/// `error: …` transcript lines rather than aborting the script — a
+/// replayed session must reproduce its failures too.
+pub fn run_script(ldb: &mut Ldb, script: &str) -> String {
+    let trace: Trace = ldb.trace().clone();
+    let mut out = String::new();
+    for line in script.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        trace.emit(Layer::Dbg, Severity::Info, "cmd", &[("text", line.to_string().into())]);
+        out.push_str("(ldb) ");
+        out.push_str(line);
+        out.push('\n');
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r),
+            None => (line, ""),
+        };
+        match run_command(ldb, cmd, rest) {
+            Ok(text) => {
+                if !text.is_empty() {
+                    out.push_str(&text);
+                    out.push('\n');
+                }
+            }
+            Err(e) => {
+                out.push_str(&format!("error: {e}\n"));
+            }
+        }
+    }
+    out
+}

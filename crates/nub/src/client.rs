@@ -20,6 +20,8 @@ use std::collections::VecDeque;
 use std::io;
 use std::time::{Duration, Instant};
 
+use ldb_trace::{Layer, Severity, Trace};
+
 use crate::proto::{Envelope, Reply, Request, Sig};
 use crate::transport::Wire;
 
@@ -132,6 +134,9 @@ pub struct NubClient {
     pending_events: VecDeque<NubEvent>,
     /// Traffic counters, surfaced by `info wire`.
     metrics: WireMetrics,
+    /// Flight-recorder handle; [`Trace::off`] (the default) costs one
+    /// branch per frame. Every record it emits is [`Layer::Wire`].
+    trace: Trace,
 }
 
 impl std::fmt::Debug for NubClient {
@@ -156,7 +161,17 @@ impl NubClient {
             last_event_gen: None,
             pending_events: VecDeque::new(),
             metrics: WireMetrics::default(),
+            trace: Trace::off(),
         }
+    }
+
+    /// Attach (or detach, with [`Trace::off`]) the flight recorder. The
+    /// journal invariants the schema tests rely on: one `send` record per
+    /// frame put on the wire, one `recv` per frame taken off it, `retx`
+    /// exactly where [`WireMetrics::retransmits`] increments, so the
+    /// journal and the metrics always agree.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The active policy.
@@ -186,11 +201,25 @@ impl NubClient {
         self.wire = wire;
         self.last_event_gen = None;
         self.pending_events.clear();
+        self.trace.emit(
+            Layer::Wire,
+            Severity::Info,
+            "reconnect",
+            &[("next_seq", (self.seq.wrapping_add(1)).into())],
+        );
     }
 
     /// Record an event frame, deduplicating by generation.
     fn note_event(&mut self, generation: u32, reply: Reply) {
         if self.last_event_gen.is_some_and(|g| generation <= g) {
+            if self.trace.is_on() {
+                self.trace.emit(
+                    Layer::Wire,
+                    Severity::Debug,
+                    "event",
+                    &[("gen", generation.into()), ("accepted", false.into())],
+                );
+            }
             return; // duplicated or stale notification
         }
         let event = match reply {
@@ -201,6 +230,22 @@ impl NubClient {
             Reply::Exited { status } => NubEvent::Exited(status),
             _ => return,
         };
+        if self.trace.is_on() {
+            let what = match event {
+                NubEvent::Stopped { sig, .. } => format!("stop:{sig:?}"),
+                NubEvent::Exited(s) => format!("exit:{s}"),
+            };
+            self.trace.emit(
+                Layer::Wire,
+                Severity::Info,
+                "event",
+                &[
+                    ("gen", generation.into()),
+                    ("accepted", true.into()),
+                    ("what", what.into()),
+                ],
+            );
+        }
         self.last_event_gen = Some(generation);
         self.pending_events.push_back(event);
     }
@@ -219,11 +264,42 @@ impl NubClient {
         for attempt in 0..=self.cfg.retries {
             if attempt > 0 {
                 self.metrics.retransmits += 1;
+                self.trace.emit(
+                    Layer::Wire,
+                    Severity::Warn,
+                    "retx",
+                    &[("seq", seq.into()), ("attempt", attempt.into())],
+                );
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(Duration::from_millis(80));
             }
-            self.wire.send(&frame)?;
+            if let Err(e) = self.wire.send(&frame) {
+                self.trace.emit(
+                    Layer::Wire,
+                    Severity::Warn,
+                    "send_err",
+                    &[
+                        ("seq", seq.into()),
+                        ("attempt", attempt.into()),
+                        ("err", e.to_string().into()),
+                    ],
+                );
+                return Err(e.into());
+            }
             self.metrics.bytes_sent += frame.len() as u64;
+            if self.trace.is_on() {
+                self.trace.emit(
+                    Layer::Wire,
+                    Severity::Debug,
+                    "send",
+                    &[
+                        ("seq", seq.into()),
+                        ("req", req.kind_name().into()),
+                        ("attempt", attempt.into()),
+                        ("len", frame.len().into()),
+                    ],
+                );
+            }
             let deadline = Instant::now() + self.cfg.reply_timeout;
             loop {
                 let left = deadline.saturating_duration_since(Instant::now());
@@ -233,21 +309,81 @@ impl NubClient {
                 let Some(raw) = self.wire.recv_timeout(left)? else { break };
                 self.metrics.bytes_received += raw.len() as u64;
                 match Envelope::decode(&raw) {
-                    Some(Envelope::Reply { seq: s, reply }) if s == seq => return Ok(reply),
-                    Some(Envelope::Reply { .. }) => {
+                    Some(Envelope::Reply { seq: s, reply }) if s == seq => {
+                        if self.trace.is_on() {
+                            self.trace.emit(
+                                Layer::Wire,
+                                Severity::Debug,
+                                "recv",
+                                &[
+                                    ("disp", "reply".into()),
+                                    ("seq", s.into()),
+                                    ("reply", reply.kind_name().into()),
+                                    ("len", raw.len().into()),
+                                ],
+                            );
+                        }
+                        return Ok(reply);
+                    }
+                    Some(Envelope::Reply { seq: s, .. }) => {
                         // A stale reply to an earlier retransmission of a
                         // finished transaction; the sequence check drops it.
+                        if self.trace.is_on() {
+                            self.trace.emit(
+                                Layer::Wire,
+                                Severity::Debug,
+                                "recv",
+                                &[
+                                    ("disp", "stale".into()),
+                                    ("seq", s.into()),
+                                    ("len", raw.len().into()),
+                                ],
+                            );
+                        }
                     }
                     Some(Envelope::Event { generation, reply }) => {
+                        if self.trace.is_on() {
+                            self.trace.emit(
+                                Layer::Wire,
+                                Severity::Debug,
+                                "recv",
+                                &[
+                                    ("disp", "event".into()),
+                                    ("gen", generation.into()),
+                                    ("len", raw.len().into()),
+                                ],
+                            );
+                        }
                         self.note_event(generation, reply);
                     }
                     Some(Envelope::Req { .. }) | None => {
                         // Corruption (or a legacy bare frame, which an
                         // enveloped session does not trust).
                         corrupt_seen = true;
+                        if self.trace.is_on() {
+                            self.trace.emit(
+                                Layer::Wire,
+                                Severity::Warn,
+                                "recv",
+                                &[("disp", "junk".into()), ("len", raw.len().into())],
+                            );
+                        }
                     }
                 }
             }
+        }
+        if self.trace.is_on() {
+            self.trace.emit(
+                Layer::Wire,
+                Severity::Warn,
+                "timeout",
+                &[
+                    ("seq", seq.into()),
+                    ("req", req.kind_name().into()),
+                    ("attempts", (self.cfg.retries + 1).into()),
+                    ("corrupt", corrupt_seen.into()),
+                ],
+            );
         }
         let what = format!(
             "no reply to {req:?} after {} attempts of {:?}",
@@ -278,11 +414,50 @@ impl NubClient {
             match self.wire.recv_timeout(self.cfg.event_poll)? {
                 Some(raw) => {
                     self.metrics.bytes_received += raw.len() as u64;
-                    if let Some(Envelope::Event { generation, reply }) = Envelope::decode(&raw) {
-                        self.note_event(generation, reply);
+                    match Envelope::decode(&raw) {
+                        Some(Envelope::Event { generation, reply }) => {
+                            if self.trace.is_on() {
+                                self.trace.emit(
+                                    Layer::Wire,
+                                    Severity::Debug,
+                                    "recv",
+                                    &[
+                                        ("disp", "event".into()),
+                                        ("gen", generation.into()),
+                                        ("len", raw.len().into()),
+                                    ],
+                                );
+                            }
+                            self.note_event(generation, reply);
+                        }
+                        // Anything else here is a stale reply, corruption,
+                        // or an untrusted bare frame: drop it and keep
+                        // waiting.
+                        Some(Envelope::Reply { seq, .. }) => {
+                            if self.trace.is_on() {
+                                self.trace.emit(
+                                    Layer::Wire,
+                                    Severity::Debug,
+                                    "recv",
+                                    &[
+                                        ("disp", "stale".into()),
+                                        ("seq", seq.into()),
+                                        ("len", raw.len().into()),
+                                    ],
+                                );
+                            }
+                        }
+                        Some(Envelope::Req { .. }) | None => {
+                            if self.trace.is_on() {
+                                self.trace.emit(
+                                    Layer::Wire,
+                                    Severity::Warn,
+                                    "recv",
+                                    &[("disp", "junk".into()), ("len", raw.len().into())],
+                                );
+                            }
+                        }
                     }
-                    // Anything else here is a stale reply, corruption, or
-                    // an untrusted bare frame: drop it and keep waiting.
                 }
                 None => {
                     // Quiet wire: probe. A stopped nub answers by

@@ -16,7 +16,10 @@
 //! new connection") is exercised for real.
 
 use std::io;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use ldb_trace::{Layer, Severity, Trace};
 
 use crate::transport::Wire;
 
@@ -161,9 +164,14 @@ pub struct FaultyWire {
     inner: Option<Box<dyn Wire>>,
     cfg: FaultConfig,
     rng: FaultRng,
-    stats: FaultStats,
+    /// Shared so callers can keep reading the tally after the wire is
+    /// boxed into a client (see [`FaultyWire::stats_handle`]).
+    stats: Arc<Mutex<FaultStats>>,
     /// A duplicated inbound frame waiting to be delivered again.
     pending_dup: Option<Vec<u8>>,
+    /// Flight-recorder handle; every injected fault becomes a
+    /// [`Layer::Wire`] `fault` record.
+    trace: Trace,
 }
 
 impl FaultyWire {
@@ -173,8 +181,9 @@ impl FaultyWire {
             inner: Some(inner),
             rng: FaultRng::new(cfg.seed),
             cfg,
-            stats: FaultStats::default(),
+            stats: Arc::new(Mutex::new(FaultStats::default())),
             pending_dup: None,
+            trace: Trace::off(),
         }
     }
 
@@ -183,26 +192,63 @@ impl FaultyWire {
         FaultyWire::new(Box::new(inner), cfg)
     }
 
+    /// Attach (or detach, with [`Trace::off`]) the flight recorder.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
     /// Fault counters so far.
+    ///
+    /// # Panics
+    /// If a previous holder of the stats lock panicked.
     pub fn stats(&self) -> FaultStats {
-        self.stats
+        *self.stats.lock().unwrap()
+    }
+
+    /// A handle onto the live fault counters, usable after the wire has
+    /// been boxed into a [`crate::NubClient`] (the trace-vs-ground-truth
+    /// cross-checks in the fault-injection tests read it).
+    pub fn stats_handle(&self) -> Arc<Mutex<FaultStats>> {
+        Arc::clone(&self.stats)
     }
 
     fn severed() -> io::Error {
         io::Error::new(io::ErrorKind::BrokenPipe, "fault injection: hard disconnect")
     }
 
+    /// Record one injected fault in the journal.
+    fn emit_fault(&self, op: &'static str, dir: &'static str) {
+        if self.trace.is_on() {
+            let frame = self.stats.lock().unwrap().frames;
+            self.trace.emit(
+                Layer::Wire,
+                Severity::Warn,
+                "fault",
+                &[("op", op.into()), ("dir", dir.into()), ("frame", frame.into())],
+            );
+        }
+    }
+
     /// Count a frame; sever the wire if the disconnect budget is spent.
     fn tick(&mut self) -> io::Result<&mut Box<dyn Wire>> {
+        let mut stats = self.stats.lock().unwrap();
         if let Some(limit) = self.cfg.disconnect_after {
-            if self.stats.frames >= limit {
+            if stats.frames >= limit && self.inner.is_some() {
                 // Dropping the inner wire is the crash: the peer's next
                 // operation sees a vanished endpoint.
                 self.inner = None;
-                self.stats.disconnected = true;
+                stats.disconnected = true;
+                let frame = stats.frames;
+                self.trace.emit(
+                    Layer::Wire,
+                    Severity::Warn,
+                    "fault",
+                    &[("op", "disconnect".into()), ("frame", frame.into())],
+                );
             }
         }
-        self.stats.frames += 1;
+        stats.frames += 1;
+        drop(stats);
         self.inner.as_mut().ok_or_else(Self::severed)
     }
 
@@ -216,9 +262,10 @@ impl FaultyWire {
     }
 
     /// Apply payload faults; `None` means the frame was dropped.
-    fn mangle(&mut self, frame: &[u8]) -> Option<Vec<u8>> {
+    fn mangle(&mut self, frame: &[u8], dir: &'static str) -> Option<Vec<u8>> {
         if self.rng.hit(self.cfg.drop) {
-            self.stats.dropped += 1;
+            self.stats.lock().unwrap().dropped += 1;
+            self.emit_fault("drop", dir);
             return None;
         }
         let mut out = frame.to_vec();
@@ -226,12 +273,14 @@ impl FaultyWire {
             let i = self.rng.below(out.len() as u64) as usize;
             let flip = (self.rng.below(255) + 1) as u8;
             out[i] ^= flip;
-            self.stats.corrupted += 1;
+            self.stats.lock().unwrap().corrupted += 1;
+            self.emit_fault("corrupt", dir);
         }
         if self.rng.hit(self.cfg.truncate) && !out.is_empty() {
             let keep = self.rng.below(out.len() as u64) as usize;
             out.truncate(keep);
-            self.stats.truncated += 1;
+            self.stats.lock().unwrap().truncated += 1;
+            self.emit_fault("truncate", dir);
         }
         Some(out)
     }
@@ -241,14 +290,15 @@ impl Wire for FaultyWire {
     fn send(&mut self, frame: &[u8]) -> io::Result<()> {
         self.delay();
         let dup = self.rng.hit(self.cfg.duplicate);
-        let mangled = self.mangle(frame);
+        let mangled = self.mangle(frame, "tx");
         let wire = self.tick()?;
         match mangled {
             None => Ok(()), // dropped: swallowed without a trace
             Some(out) => {
                 wire.send(&out)?;
                 if dup {
-                    self.stats.duplicated += 1;
+                    self.stats.lock().unwrap().duplicated += 1;
+                    self.emit_fault("dup", "tx");
                     let wire = self.inner.as_mut().ok_or_else(Self::severed)?;
                     wire.send(&out)?;
                 }
@@ -268,10 +318,11 @@ impl Wire for FaultyWire {
                 wire.recv()?
             };
             if self.rng.hit(self.cfg.duplicate) {
-                self.stats.duplicated += 1;
+                self.stats.lock().unwrap().duplicated += 1;
+                self.emit_fault("dup", "rx");
                 self.pending_dup = Some(frame.clone());
             }
-            match self.mangle(&frame) {
+            match self.mangle(&frame, "rx") {
                 Some(out) => return Ok(out),
                 None => continue, // dropped: keep waiting, as a real loss would look
             }
@@ -294,10 +345,11 @@ impl Wire for FaultyWire {
                 }
             };
             if self.rng.hit(self.cfg.duplicate) {
-                self.stats.duplicated += 1;
+                self.stats.lock().unwrap().duplicated += 1;
+                self.emit_fault("dup", "rx");
                 self.pending_dup = Some(frame.clone());
             }
-            match self.mangle(&frame) {
+            match self.mangle(&frame, "rx") {
                 Some(out) => return Ok(Some(out)),
                 None => continue,
             }

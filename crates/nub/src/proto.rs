@@ -204,6 +204,23 @@ fn get_u64(b: &[u8], i: usize) -> Option<u64> {
 }
 
 impl Request {
+    /// A short stable name for logs and trace journals.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Fetch { .. } => "Fetch",
+            Request::Store { .. } => "Store",
+            Request::Plant { .. } => "Plant",
+            Request::QueryPlants => "QueryPlants",
+            Request::Continue => "Continue",
+            Request::Kill => "Kill",
+            Request::Detach => "Detach",
+            Request::Step => "Step",
+            Request::DetachRun => "DetachRun",
+            Request::Ping => "Ping",
+            Request::FetchBlock { .. } => "FetchBlock",
+        }
+    }
+
     /// Encode as a frame body (tag + payload).
     pub fn encode(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(16);
@@ -281,6 +298,21 @@ impl Request {
 }
 
 impl Reply {
+    /// A short stable name for logs and trace journals.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Reply::Signal { .. } => "Signal",
+            Reply::Fetched { .. } => "Fetched",
+            Reply::Stored => "Stored",
+            Reply::Plants(_) => "Plants",
+            Reply::Exited { .. } => "Exited",
+            Reply::Error { .. } => "Error",
+            Reply::Ack => "Ack",
+            Reply::Running => "Running",
+            Reply::Block { .. } => "Block",
+        }
+    }
+
     /// Encode as a frame body (tag + payload).
     pub fn encode(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(16);

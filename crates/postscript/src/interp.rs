@@ -10,6 +10,8 @@ use std::cell::RefCell;
 use std::io::Write as _;
 use std::rc::Rc;
 
+use ldb_trace::{Layer, Severity, Trace};
+
 use crate::budget::{Budget, BudgetSave, BudgetStats};
 use crate::dict::{Dict, Key};
 use crate::error::{undefined, ErrorKind, PsError, PsResult, RuntimeError};
@@ -78,6 +80,10 @@ pub struct Interp {
     alloc_used: u64,
     /// Lifetime sandbox statistics (`info ps`).
     stats: BudgetStats,
+    /// Flight-recorder handle ([`Layer::Ps`] records: budgeted-region
+    /// consumption, budget trips; the loader adds module loads and
+    /// quarantines through [`Interp::trace`]).
+    trace: Trace,
 }
 
 impl std::fmt::Debug for Interp {
@@ -111,6 +117,7 @@ impl Interp {
             fuel_used: 0,
             alloc_used: 0,
             stats: BudgetStats::default(),
+            trace: Trace::off(),
         };
         ops::register_all(&mut interp);
         interp
@@ -140,6 +147,17 @@ impl Interp {
     /// `limitcheck` instead of exhausting a small host thread stack.
     pub fn set_max_depth(&mut self, depth: usize) {
         self.max_depth = depth;
+    }
+
+    /// Attach (or detach, with [`Trace::off`]) the flight recorder.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// The flight-recorder handle (cheap to clone; hosts like the loader
+    /// emit their own [`Layer::Ps`] records through it).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     // ----- resource budgets (the artifact sandbox) -----
@@ -178,6 +196,14 @@ impl Interp {
     /// resource use past an outer limit.
     pub fn pop_budget(&mut self, save: BudgetSave) {
         let (inner_fuel, inner_alloc) = (self.fuel_used, self.alloc_used);
+        if self.trace.is_on() && self.budget.is_limited() {
+            self.trace.emit(
+                Layer::Ps,
+                Severity::Debug,
+                "budget",
+                &[("fuel", inner_fuel.into()), ("alloc", inner_alloc.into())],
+            );
+        }
         self.budget = save.budget;
         self.fuel_used = save.fuel_used.saturating_add(inner_fuel);
         self.alloc_used = save.alloc_used.saturating_add(inner_alloc);
@@ -213,6 +239,12 @@ impl Interp {
         }
         if self.alloc_used > self.budget.max_alloc {
             self.stats.budget_trips += 1;
+            self.trace.emit(
+                Layer::Ps,
+                Severity::Warn,
+                "budget_trip",
+                &[("what", "alloc".into()), ("limit", self.budget.max_alloc.into())],
+            );
             return Err(PsError::runtime(
                 ErrorKind::VmError,
                 format!("allocation budget exhausted ({} bytes)", self.budget.max_alloc),
@@ -244,6 +276,12 @@ impl Interp {
         self.stats.fuel_spent_total += 1;
         if self.fuel_used > self.budget.max_fuel {
             self.stats.budget_trips += 1;
+            self.trace.emit(
+                Layer::Ps,
+                Severity::Warn,
+                "budget_trip",
+                &[("what", "fuel".into()), ("limit", self.budget.max_fuel.into())],
+            );
             return Err(PsError::runtime(
                 ErrorKind::Timeout,
                 format!("execution fuel exhausted ({} steps)", self.budget.max_fuel),
@@ -251,6 +289,12 @@ impl Interp {
         }
         if self.stack.len() > self.budget.max_operands {
             self.stats.budget_trips += 1;
+            self.trace.emit(
+                Layer::Ps,
+                Severity::Warn,
+                "budget_trip",
+                &[("what", "operands".into()), ("limit", self.budget.max_operands.into())],
+            );
             return Err(PsError::runtime(
                 ErrorKind::LimitCheck,
                 format!("operand stack exceeds budget ({} entries)", self.budget.max_operands),

@@ -6,6 +6,8 @@
 #   test             — workspace suite, incl. tests/fault_injection.rs
 #   robustness gate  — the artifact-corruption suite and the fuzz smoke,
 #                      run by name so a filter can never silently drop them
+#   replay-golden    — deterministic record/replay against the checked-in
+#                      golden transcripts and journals, all architectures
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,3 +16,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo test -q --test artifact_corruption
 cargo test -q -p ldb-postscript --test fuzz
+cargo test -q --test replay_golden

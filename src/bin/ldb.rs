@@ -7,6 +7,7 @@
 //!        ldb <file.c>... --run [--core <path>]   run undebugged; fault dumps core
 //!        ldb <file.c>... --core <path>           post-mortem on a core file
 //!        ldb <file.c>... --no-wire-cache         word-at-a-time wire (no block cache)
+//!        ldb <file.c>... --trace <path>          flight recorder: JSONL journal to path
 //!
 //! `--fault` wraps the debugger's wire in a deterministic fault injector
 //! (keys: seed, drop, corrupt, truncate, dup, delay, disconnect); the
@@ -22,6 +23,7 @@
 //!   dw <name>        delete the watchpoint on name
 //!   info b           list breakpoints, watchpoints, displays
 //!   info wire        wire transaction counters and cache statistics
+//!   info trace       flight-recorder record counts and recent journal tail
 //!   c | run          continue
 //!   s                single-step one instruction
 //!   n                run to the next stopping point in this frame
@@ -54,6 +56,7 @@ use ldb_core::{Ldb, ModuleTable, StopEvent};
 use ldb_machine::{Arch, ByteOrder};
 use ldb_machine::core::read_core;
 use ldb_nub::{spawn_machine, FaultConfig, FaultyWire, NubConfig, NubHandle, TcpWire, Wire};
+use ldb_trace::{Trace, TraceConfig};
 
 fn main() {
     if let Err(e) = run() {
@@ -71,6 +74,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut run_only = false;
     let mut core: Option<String> = None;
     let mut fault: Option<FaultConfig> = None;
+    let mut trace_path: Option<String> = None;
     let mut wire_cache = true;
     let mut ps_fuel: Option<u64> = None;
     let mut ps_mem: Option<u64> = None;
@@ -91,6 +95,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 i += 1;
                 let spec = args.get(i).ok_or("--fault needs a spec (e.g. seed=1,drop=0.05)")?;
                 fault = Some(FaultConfig::parse(spec)?);
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).ok_or("--trace needs a path")?.clone());
             }
             "--arch" => {
                 i += 1;
@@ -170,11 +178,25 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut ldb = Ldb::new();
     ldb.set_wire_cache(wire_cache);
     ldb.set_ps_limits(ps_fuel, ps_mem);
+    // The flight recorder always keeps an in-memory ring for `info trace`;
+    // `--trace` additionally streams every record to a JSONL journal with
+    // wall-clock timestamps.
+    let trace = match &trace_path {
+        Some(path) => {
+            let file = std::fs::File::create(path)?;
+            Trace::with_writer(
+                TraceConfig { wall_clock: true, ..TraceConfig::default() },
+                Box::new(std::io::BufWriter::new(file)),
+            )
+        }
+        None => Trace::ring(4096),
+    };
+    ldb.set_trace(trace.clone());
     if let Some((machine, sig, code, context)) = loaded_core {
         let pc = machine.cpu.pc;
         let handle = spawn_machine(machine, context, NubConfig::default());
         let wire = handle.connect_channel()?;
-        ldb.attach_plan(maybe_faulty(wire, &fault), &frame_ps, &modules, Some(handle))?;
+        ldb.attach_plan(maybe_faulty(wire, &fault, &trace), &frame_ps, &modules, Some(handle))?;
         println!(
             "core: signal {sig} (code {code:#x}) at pc {pc:#x}; post-mortem session"
         );
@@ -192,13 +214,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
         });
         let stream = std::net::TcpStream::connect(addr)?;
-        ldb.attach_plan(maybe_faulty(TcpWire::new(stream), &fault), &frame_ps, &modules, Some(handle))?;
+        ldb.attach_plan(maybe_faulty(TcpWire::new(stream), &fault, &trace), &frame_ps, &modules, Some(handle))?;
         println!("connected over tcp://{addr}");
     } else {
         let handle =
             ldb_nub::spawn(&c.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
         let wire = handle.connect_channel()?;
-        ldb.attach_plan(maybe_faulty(wire, &fault), &frame_ps, &modules, Some(handle))?;
+        ldb.attach_plan(maybe_faulty(wire, &fault, &trace), &frame_ps, &modules, Some(handle))?;
     }
     warn_quarantined(&ldb);
     if let Some(f) = &fault {
@@ -210,7 +232,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         c.linked.stats.insn_count
     );
 
-    let mut sess = Session { fault, ..Session::default() };
+    let mut sess = Session { fault, trace: trace.clone(), ..Session::default() };
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
     loop {
@@ -226,6 +248,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             Ok(false) => {}
             Err(e) => println!("error: {e}"),
         }
+        // Keep the on-disk journal current between commands so a crashed
+        // session still leaves a usable trace behind.
+        trace.flush();
+    }
+    trace.flush();
+    if trace.write_failed() {
+        eprintln!("ldb: warning: trace journal write failed; the file is incomplete");
     }
     Ok(())
 }
@@ -244,12 +273,23 @@ struct Session {
     /// Active fault-injection spec; fresh wires (attach, reconnect) are
     /// wrapped with it too, so the drill follows the session.
     fault: Option<FaultConfig>,
+    /// The session flight recorder; fresh fault injectors journal into it.
+    trace: Trace,
 }
 
-/// Wrap a wire in the session's fault injector, if one is configured.
-fn maybe_faulty<W: Wire + 'static>(wire: W, fault: &Option<FaultConfig>) -> Box<dyn Wire> {
+/// Wrap a wire in the session's fault injector, if one is configured; the
+/// injector journals every injected fault into the flight recorder.
+fn maybe_faulty<W: Wire + 'static>(
+    wire: W,
+    fault: &Option<FaultConfig>,
+    trace: &Trace,
+) -> Box<dyn Wire> {
     match fault {
-        Some(cfg) => Box::new(FaultyWire::wrap(wire, cfg.clone())),
+        Some(cfg) => {
+            let mut fw = FaultyWire::wrap(wire, cfg.clone());
+            fw.set_trace(trace.clone());
+            Box::new(fw)
+        }
         None => Box::new(wire),
     }
 }
@@ -301,6 +341,7 @@ bl <line> | ba <addr>     breakpoint by line / raw address (single-step scheme)
 d <addr>                  delete breakpoint        info   list breakpoints/watches/displays
 info wire                 wire transaction counters and cache statistics
 info ps                   sandbox budgets, fuel/allocation spent, quarantined modules
+info trace                flight-recorder counts, cross-checks, recent journal records
 reload                    retry quarantined symbol tables
 w <name> | dw <name>      watch a variable / stop watching
 c                         continue                 s      step one instruction
@@ -390,6 +431,19 @@ q                         quit"
                     Ok(()) => println!("module {module}: reloaded"),
                     Err(reason) => println!("module {module}: still quarantined: {reason}"),
                 }
+            }
+        }
+        "info" if rest.first() == Some(&"trace") => {
+            println!("{}", ldb_core::trace_report(ldb));
+            let tail = ldb.trace().tail(8);
+            if !tail.is_empty() {
+                println!("recent:");
+                for r in &tail {
+                    println!("  {}", r.to_json());
+                }
+            }
+            if ldb.trace().write_failed() {
+                println!("warning: journal write failed; records are missing from the file");
             }
         }
         "info" if rest.first() == Some(&"wire") => {
@@ -525,7 +579,7 @@ q                         quit"
             let handle = sess.parked.take().ok_or("nothing detached in this session")?;
             let (frame_ps, modules) = c_plan(c);
             let wire = handle.connect_channel()?;
-            match ldb.attach_plan(maybe_faulty(wire, &sess.fault), &frame_ps, &modules, Some(handle))
+            match ldb.attach_plan(maybe_faulty(wire, &sess.fault, &sess.trace), &frame_ps, &modules, Some(handle))
             {
                 Ok(_) => {
                     warn_quarantined(ldb);
@@ -552,7 +606,7 @@ q                         quit"
                     .ok_or("this target has no local nub handle to reconnect through")?;
                 handle.connect_channel()?
             };
-            let ev = ldb.reconnect(id, maybe_faulty(wire, &sess.fault))?;
+            let ev = ldb.reconnect(id, maybe_faulty(wire, &sess.fault, &sess.trace))?;
             report(ev);
             println!("reconnected; breakpoints recovered from the nub");
         }

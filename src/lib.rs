@@ -8,3 +8,4 @@ pub use ldb_machine as machine;
 pub use ldb_nub as nub;
 pub use ldb_postscript as postscript;
 pub use ldb_stabs as stabs;
+pub use ldb_trace as trace;

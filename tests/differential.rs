@@ -131,41 +131,91 @@ fn run_opts(src: &str, arch: Arch, opts: CompileOpts) -> String {
     }
 }
 
+/// The full differential check for one statement list: identical output
+/// on all four targets, debug and release, both MIPS byte orders, and
+/// (where it compiles) the naive-operand-order ablation. Shared between
+/// the proptest driver and the named regression tests promoted from
+/// `differential.proptest-regressions`.
+fn check_all_targets_agree(stmts: &[S]) {
+    let src = program(stmts);
+    let reference = run_on(&src, Arch::Mips, Some(ByteOrder::Big), true);
+    for arch in Arch::ALL {
+        for debug in [true, false] {
+            let out = run_on(&src, arch, None, debug);
+            assert_eq!(&out, &reference, "{arch} debug={debug} diverged\n{src}");
+        }
+    }
+    let le = run_on(&src, Arch::Mips, Some(ByteOrder::Little), true);
+    assert_eq!(&le, &reference, "little-endian MIPS diverged\n{src}");
+    // The naive-operand-order ablation mode must agree too when it
+    // can compile the program at all (deep expressions exceed its
+    // register capacity by design -- that is what SU ordering buys).
+    if let Ok(c) = compile(
+        "rand.c",
+        &src,
+        Arch::Vax,
+        CompileOpts { naive_order: true, ..Default::default() },
+    ) {
+        let mut m = Machine::load(&c.linked.image);
+        let naive = loop {
+            match m.run(20_000_000) {
+                RunEvent::Paused { .. } => continue,
+                RunEvent::Exited(0) => break m.output.clone(),
+                other => panic!("naive vax: {other:?}\n{src}"),
+            }
+        };
+        assert_eq!(&naive, &reference, "naive ordering diverged\n{src}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32 })]
 
     #[test]
     fn all_targets_agree(stmts in prop::collection::vec(stmt_strategy(), 1..8)) {
-        let src = program(&stmts);
-        let reference = run_on(&src, Arch::Mips, Some(ByteOrder::Big), true);
-        for arch in Arch::ALL {
-            for debug in [true, false] {
-                let out = run_on(&src, arch, None, debug);
-                prop_assert_eq!(&out, &reference, "{} debug={} diverged\n{}", arch, debug, &src);
-            }
-        }
-        let le = run_on(&src, Arch::Mips, Some(ByteOrder::Little), true);
-        prop_assert_eq!(&le, &reference, "little-endian MIPS diverged\n{}", &src);
-        // The naive-operand-order ablation mode must agree too when it
-        // can compile the program at all (deep expressions exceed its
-        // register capacity by design -- that is what SU ordering buys).
-        if let Ok(c) = compile(
-            "rand.c",
-            &src,
-            Arch::Vax,
-            CompileOpts { naive_order: true, ..Default::default() },
-        ) {
-            let mut m = Machine::load(&c.linked.image);
-            let naive = loop {
-                match m.run(20_000_000) {
-                    RunEvent::Paused { .. } => continue,
-                    RunEvent::Exited(0) => break m.output.clone(),
-                    other => panic!("naive vax: {other:?}\n{src}"),
-                }
-            };
-            prop_assert_eq!(&naive, &reference, "naive ordering diverged\n{}", &src);
-        }
+        check_all_targets_agree(&stmts);
     }
+}
+
+/// Promoted regression (shrunk by proptest, kept as a named case so the
+/// exact program is pinned even if the strategy or seed file changes):
+/// a single-iteration loop folding `a` through nested subtractions with
+/// a negative literal — `a = a + (a + (a - (a - (-1)))) % 97`. Stresses
+/// temporaries that reuse the destination register across a subtraction
+/// chain where the inner `- (-1)` must not collapse to the wrong sign.
+#[test]
+fn regression_loop_nested_self_subtraction_with_negative_literal() {
+    check_all_targets_agree(&[S::Loop(
+        0,
+        1,
+        E::Add(
+            Box::new(E::Var(0)),
+            Box::new(E::Sub(
+                Box::new(E::Var(0)),
+                Box::new(E::Sub(Box::new(E::Var(0)), Box::new(E::Lit(-1)))),
+            )),
+        ),
+    )]);
+}
+
+/// Promoted regression (shrunk by proptest): a single-iteration loop
+/// multiplying `a` by a comparison result masked into it — `a * (a &
+/// (a < a))`. The `<` produces a 0/1 flag value; the bug class here is
+/// flag materialization feeding an `and`/`mul` chain on targets where
+/// comparisons set condition codes rather than registers.
+#[test]
+fn regression_loop_multiply_by_comparison_mask() {
+    check_all_targets_agree(&[S::Loop(
+        0,
+        1,
+        E::Mul(
+            Box::new(E::Var(0)),
+            Box::new(E::And(
+                Box::new(E::Var(0)),
+                Box::new(E::Cmp(Box::new(E::Var(0)), Box::new(E::Var(0)))),
+            )),
+        ),
+    )]);
 }
 
 /// The Sethi-Ullman ablation mode still produces correct code: both

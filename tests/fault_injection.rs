@@ -11,7 +11,8 @@ use ldb_suite::cc::driver::{compile, CompileOpts};
 use ldb_suite::cc::{nm, pssym};
 use ldb_suite::core::{Ldb, LdbError, StopEvent};
 use ldb_suite::machine::Arch;
-use ldb_suite::nub::{spawn, ClientConfig, FaultConfig, FaultyWire, NubConfig};
+use ldb_suite::nub::{spawn, ClientConfig, FaultConfig, FaultStats, FaultyWire, NubConfig};
+use ldb_suite::trace::{validate, Layer, Record, Trace, TraceConfig, Value};
 use std::time::Duration;
 
 /// The stress-suite collatz marathon, parameterised by starting value so
@@ -239,6 +240,176 @@ fn severed_wire_degrades_and_reconnects() {
         let n = marathon(arch, &mut ldb, &truth, Some(recon), false);
         assert!(n >= 1, "{arch}: severance never fired");
         finish(arch, &mut ldb, &truth, true);
+    }
+}
+
+/// A named field from a parsed journal record.
+fn field_u64(rec: &Record, name: &str) -> Option<u64> {
+    rec.fields.iter().find(|(k, _)| k.as_ref() == name).and_then(|(_, v)| match v {
+        Value::U64(n) => Some(*n),
+        _ => None,
+    })
+}
+
+fn field_str<'a>(rec: &'a Record, name: &str) -> Option<&'a str> {
+    rec.fields.iter().find(|(k, _)| k.as_ref() == name).and_then(|(_, v)| match v {
+        Value::Str(s) => Some(s.as_ref()),
+        _ => None,
+    })
+}
+
+#[test]
+fn journal_cross_checks_wire_metrics_and_fault_stats() {
+    // A lossy marathon with a scheduled severance, recorded by the flight
+    // recorder. Afterwards the journal must agree *exactly* with the two
+    // independent tallies kept below it: the client's `WireMetrics` and
+    // the injector's `FaultStats`. Every transaction is a first-attempt
+    // `send` (or `send_err`), every retransmission a `retx`, every
+    // injected fault a `fault` record, every byte accounted for.
+    let start = 27; // 111-step trajectory: plenty of frames past the severance
+    let truth = trajectory(start);
+    let arch = Arch::Mips;
+    let src = program(start);
+    let c = compile("c.c", &src, arch, CompileOpts::default()).unwrap();
+    let symtab = pssym::emit(&c.unit, &c.funcs, arch, pssym::PsMode::Deferred);
+    let loader = nm::loader_table_for(&c.linked.image, &symtab);
+    let handle = spawn(&c.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
+
+    let (trace, journal) = Trace::to_shared_buffer(TraceConfig::default());
+    let wire = handle.connect_channel().unwrap();
+    let spec = "seed=3,drop=0.01,corrupt=0.01,truncate=0.005,dup=0.02,disconnect=350";
+    let mut faulty = FaultyWire::wrap(wire, FaultConfig::parse(spec).unwrap());
+    faulty.set_trace(trace.clone());
+    let mut injectors = vec![faulty.stats_handle()];
+
+    let mut ldb = Ldb::new();
+    ldb.set_trace(trace.clone());
+    ldb.attach_with_config(Box::new(faulty), &loader, Some(handle), lossy_client()).unwrap();
+    ldb.break_at("collatz", 3).unwrap();
+    ldb.registers().unwrap(); // register snapshot for the degraded window
+
+    let mut reconnects = 0usize;
+    let mut k = 0usize;
+    while k < truth.len() {
+        let r = (|| -> Result<(), LdbError> {
+            let ev = ldb.cont()?;
+            assert!(matches!(ev, StopEvent::Breakpoint { .. }), "hit {k}: {ev:?}");
+            assert_eq!(ldb.print_var("n")?, truth[k].to_string(), "hit {k}");
+            Ok(())
+        })();
+        match r {
+            Ok(()) => k += 1,
+            Err(e) => {
+                reconnects += 1;
+                assert!(reconnects < 8, "reconnect storm: {e}");
+                if !ldb.target(0).disconnected {
+                    let _ = ldb.cont();
+                }
+                assert!(ldb.target(0).disconnected, "not disconnected after: {e}");
+                let wire = {
+                    let t = ldb.target(0);
+                    t.nub.as_ref().expect("nub handle").connect_channel().unwrap()
+                };
+                let mut fresh = FaultyWire::wrap(
+                    wire,
+                    FaultConfig::parse("seed=103,drop=0.01,corrupt=0.01").unwrap(),
+                );
+                fresh.set_trace(trace.clone());
+                injectors.push(fresh.stats_handle());
+                let ev = ldb.reconnect(0, Box::new(fresh)).unwrap();
+                assert!(matches!(ev, StopEvent::Breakpoint { .. }), "reconnect stop: {ev:?}");
+                k = ldb.print_var("steps").unwrap().parse::<usize>().unwrap() + 1;
+            }
+        }
+    }
+    assert!(reconnects >= 1, "the scheduled severance never fired");
+
+    trace.flush();
+    let text = journal.text();
+    let records: Vec<Record> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| validate(l).unwrap_or_else(|e| panic!("journal line {i}: {e}\n  {l}")))
+        .collect();
+
+    // Sequence numbers are dense from 1 — nothing lost, nothing reordered.
+    for (i, rec) in records.iter().enumerate() {
+        assert_eq!(rec.seq, i as u64 + 1, "journal seq gap at line {i}");
+    }
+
+    // Journal vs WireMetrics. The client survives reconnects, so its
+    // counters span the whole session, exactly like the journal.
+    let m = ldb.target(0).client.borrow().metrics();
+    let count = |kind: &str| records.iter().filter(|r| r.kind == kind).count() as u64;
+    let first_attempt = |kind: &str| {
+        records.iter().filter(|r| r.kind == kind && field_u64(r, "attempt") == Some(0)).count()
+            as u64
+    };
+    let len_sum = |kind: &str| {
+        records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| field_u64(r, "len").expect("len field"))
+            .sum::<u64>()
+    };
+    assert_eq!(
+        first_attempt("send") + first_attempt("send_err"),
+        m.transactions,
+        "every transaction must journal exactly one first-attempt send"
+    );
+    assert_eq!(count("retx"), m.retransmits, "journal vs retransmit counter");
+    assert!(m.retransmits > 0, "a lossy wire must force retransmissions");
+    assert_eq!(len_sum("send"), m.bytes_sent, "journal vs bytes_sent");
+    assert_eq!(len_sum("recv"), m.bytes_received, "journal vs bytes_received");
+
+    // Journal vs FaultStats, summed over every injector the session wore.
+    let stats: FaultStats = injectors.iter().fold(FaultStats::default(), |mut acc, h| {
+        let s = *h.lock().unwrap();
+        acc.dropped += s.dropped;
+        acc.corrupted += s.corrupted;
+        acc.truncated += s.truncated;
+        acc.duplicated += s.duplicated;
+        if s.disconnected {
+            acc.frames += 1; // reuse: count of severed injectors
+        }
+        acc
+    });
+    let fault_ops = |op: &str| {
+        records.iter().filter(|r| r.kind == "fault" && field_str(r, "op") == Some(op)).count()
+            as u64
+    };
+    assert_eq!(fault_ops("drop"), stats.dropped, "journal vs dropped frames");
+    assert_eq!(fault_ops("corrupt"), stats.corrupted, "journal vs corrupted frames");
+    assert_eq!(fault_ops("truncate"), stats.truncated, "journal vs truncated frames");
+    assert_eq!(fault_ops("dup"), stats.duplicated, "journal vs duplicated frames");
+    assert_eq!(fault_ops("disconnect"), stats.frames, "journal vs severances");
+    assert!(fault_ops("drop") + fault_ops("corrupt") > 0, "no faults journaled");
+
+    // The recovery story is journaled at both layers: the client's wire
+    // reconnect and the debugger's session reconnect, one pair per
+    // severance handled.
+    let wire_recon =
+        records.iter().filter(|r| r.layer == Layer::Wire && r.kind == "reconnect").count();
+    let dbg_recon =
+        records.iter().filter(|r| r.layer == Layer::Dbg && r.kind == "reconnect").count();
+    assert_eq!(wire_recon, reconnects, "wire-layer reconnect records");
+    assert_eq!(dbg_recon, reconnects, "debugger-layer reconnect records");
+
+    // Accepted event generations are strictly increasing; duplicates are
+    // journaled as rejected, never accepted twice.
+    let mut last_gen = 0u64;
+    for rec in records.iter().filter(|r| r.kind == "event") {
+        let gen = field_u64(rec, "gen").expect("gen field");
+        if field_str(rec, "what").is_some() {
+            // Accepted: carries the decoded stop/exit description. Gens
+            // are non-decreasing (a reconnected client re-accepts the
+            // re-announced stop under its unchanged generation), never
+            // backwards.
+            assert!(gen >= last_gen, "accepted event gen {gen} after {last_gen}");
+            last_gen = gen;
+        } else {
+            assert!(gen <= last_gen, "rejected event gen {gen} beyond {last_gen}");
+        }
     }
 }
 
