@@ -211,6 +211,17 @@ impl NubClient {
 
     /// Record an event frame, deduplicating by generation.
     fn note_event(&mut self, generation: u32, reply: Reply) {
+        // Decode first: an envelope whose reply isn't event-shaped is
+        // silently ignored whatever its generation, so it must not be
+        // journaled as a rejected event either.
+        let event = match reply {
+            Reply::Signal { sig, code, context } => match Sig::from_number(sig) {
+                Some(sig) => NubEvent::Stopped { sig, code, context },
+                None => return, // unknown signal in a checksummed frame: drop
+            },
+            Reply::Exited { status } => NubEvent::Exited(status),
+            _ => return,
+        };
         if self.last_event_gen.is_some_and(|g| generation <= g) {
             if self.trace.is_on() {
                 self.trace.emit(
@@ -222,14 +233,6 @@ impl NubClient {
             }
             return; // duplicated or stale notification
         }
-        let event = match reply {
-            Reply::Signal { sig, code, context } => match Sig::from_number(sig) {
-                Some(sig) => NubEvent::Stopped { sig, code, context },
-                None => return, // unknown signal in a checksummed frame: drop
-            },
-            Reply::Exited { status } => NubEvent::Exited(status),
-            _ => return,
-        };
         if self.trace.is_on() {
             let what = match event {
                 NubEvent::Stopped { sig, .. } => format!("stop:{sig:?}"),

@@ -708,6 +708,14 @@ impl Trace {
         }
     }
 
+    /// The layer's configured minimum severity, or `None` when disabled.
+    /// Consumers that cross-check kind counts against external counters
+    /// (e.g. `info trace` vs `WireMetrics`) use this to notice that
+    /// Debug-level records were filtered out rather than never emitted.
+    pub fn min_sev(&self, layer: Layer) -> Option<Severity> {
+        self.inner.as_ref().map(|inner| inner.lock().unwrap().cfg.min_sev[layer.idx()])
+    }
+
     /// How many records of `kind` the given layer has produced.
     pub fn kind_count(&self, layer: Layer, kind: &str) -> u64 {
         match &self.inner {

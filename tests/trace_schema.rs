@@ -77,6 +77,32 @@ fn every_record_from_a_real_session_round_trips() {
 }
 
 #[test]
+fn cross_check_is_not_applicable_when_wire_debug_is_filtered() {
+    // The info-trace cross-check counts Debug-level `send`/`retx` wire
+    // records; with the wire layer's minimum severity above Debug those
+    // are filtered, and the report must say so rather than compare the
+    // truncated journal against WireMetrics and cry MISMATCH.
+    let arch = Arch::Mips;
+    let p = compile_many(&[("t.c", SRC)], arch, CompileOpts::default()).unwrap();
+    let (frame_ps, modules) = program_load_plan(&p, PsMode::Deferred);
+    let modules: Vec<ModuleTable> =
+        modules.into_iter().map(|(name, ps)| ModuleTable { name, ps }).collect();
+    let handle = spawn(&p.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
+    let wire = handle.connect_channel().unwrap();
+    let trace = Trace::new(TraceConfig {
+        min_sev: [Severity::Info, Severity::Debug, Severity::Debug],
+        ..TraceConfig::default()
+    });
+    let mut ldb = Ldb::new();
+    ldb.set_trace(trace.clone());
+    ldb.attach_plan(Box::new(wire), &frame_ps, &modules, Some(handle)).unwrap();
+    script::run_script(&mut ldb, "b square\nc\n");
+    let report = script::trace_report(&ldb);
+    assert!(report.contains("wire cross-check: n/a"), "unexpected report:\n{report}");
+    assert!(!report.contains("MISMATCH"), "spurious mismatch:\n{report}");
+}
+
+#[test]
 fn hand_built_records_encode_canonically() {
     let trace = Trace::ring(16);
     trace.emit(
