@@ -1,0 +1,291 @@
+//! Deterministic target-memory corruption — the hostile-target layer.
+//!
+//! [`ChaosMemory`] wraps the abstract memory a target's frame walkers and
+//! printers read through and corrupts what comes back: saved frame
+//! pointers, return addresses, saved-register areas, and pointed-to data
+//! are all just `d`-space fetches, so a single corrupting layer above the
+//! wire (and its cache) makes the *whole* inspection path hostile. Run
+//! control is untouched — the nub client talks to the wire directly, so
+//! breakpoints, stepping, and continues stay reliable while everything
+//! the debugger believes about the stopped target may be a lie. That is
+//! exactly the trust boundary of a corrupted target: the process still
+//! runs, its memory is garbage.
+//!
+//! Like PR 1's `FaultyWire`, every decision comes from a small seeded
+//! PRNG: the same seed yields the same corruption schedule forever, so a
+//! chaos run that breaks the debugger once breaks it the same way under
+//! `--chaos SEED` until the bug is fixed. No wall clock, no OS entropy.
+
+use std::cell::RefCell;
+
+use ldb_trace::{Layer, Severity, Trace};
+
+use crate::amemory::{AbstractMemory, MemRef, MemResult};
+
+/// splitmix64, same as the wire fault injector: small, seedable, plenty
+/// random for a corruption schedule.
+#[derive(Debug, Clone)]
+struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    fn new(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `p`.
+    fn hit(&mut self, p: f64) -> bool {
+        p > 0.0 && ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// How to corrupt, and how often.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// PRNG seed; the whole corruption schedule is a pure function of it.
+    pub seed: u64,
+    /// Probability any one `d`-space fetch result is corrupted.
+    pub rate: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig { seed: 0, rate: 0.05 }
+    }
+}
+
+impl ChaosConfig {
+    /// Parse a `--chaos` spec: a bare seed (`--chaos 42`), a `key=value,…`
+    /// list (`--chaos seed=42,rate=0.1`), or a bare seed followed by
+    /// `key=value` items (`--chaos 42,rate=0.1`).
+    ///
+    /// # Errors
+    /// Unknown keys, malformed numbers, or a rate outside `[0, 1]`.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::default();
+        for (i, part) in spec.split(',').map(str::trim).filter(|p| !p.is_empty()).enumerate() {
+            if i == 0 {
+                if let Ok(seed) = part.parse::<u64>() {
+                    cfg.seed = seed;
+                    continue;
+                }
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec item `{part}` is not key=value"))?;
+            match key {
+                "seed" => {
+                    cfg.seed = value.parse().map_err(|_| format!("bad chaos seed `{value}`"))?;
+                }
+                "rate" => {
+                    let r: f64 =
+                        value.parse().map_err(|_| format!("bad chaos rate `{value}`"))?;
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(format!("chaos rate `{value}` outside [0, 1]"));
+                    }
+                    cfg.rate = r;
+                }
+                other => return Err(format!("unknown chaos key `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// What the chaos layer did so far (`info health` sums this across
+/// targets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Fetch results corrupted.
+    pub corruptions: u64,
+    /// Fetches inspected (corrupted or not).
+    pub fetches: u64,
+}
+
+/// The corruption modes, weighted equally. Self-pointing is listed first
+/// because it is the nastiest: a saved frame pointer that points at its
+/// own slot is an instant frame-chain cycle, and a `next` field that
+/// points at its own node is an instant list cycle.
+const MODES: [&str; 4] = ["selfpoint", "bitflip", "zero", "garbage"];
+
+struct ChaosState {
+    rng: ChaosRng,
+    stats: ChaosStats,
+}
+
+/// An [`AbstractMemory`] layer that corrupts `d`-space fetch results.
+/// Stores and code fetches pass through untouched — the debugger's own
+/// mutations (plants, patches) must land, and the corruption target is
+/// the *data* a walker or printer trusts.
+pub struct ChaosMemory {
+    inner: MemRef,
+    cfg: ChaosConfig,
+    state: RefCell<ChaosState>,
+    trace: Trace,
+}
+
+impl ChaosMemory {
+    /// Wrap `inner` with the given corruption policy, journaling every
+    /// corruption as a [`Layer::Dbg`] `chaos` record.
+    pub fn new(inner: MemRef, cfg: ChaosConfig, trace: Trace) -> ChaosMemory {
+        let state = RefCell::new(ChaosState { rng: ChaosRng::new(cfg.seed), stats: ChaosStats::default() });
+        ChaosMemory { inner, cfg, state, trace }
+    }
+
+    /// The corruption counters so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.state.borrow().stats
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+}
+
+impl AbstractMemory for ChaosMemory {
+    fn fetch(&self, space: char, offset: i64, size: u8) -> MemResult<u64> {
+        let v = self.inner.fetch(space, offset, size)?;
+        if space != 'd' {
+            return Ok(v);
+        }
+        let mut st = self.state.borrow_mut();
+        st.stats.fetches += 1;
+        if !st.rng.hit(self.cfg.rate) {
+            return Ok(v);
+        }
+        let bits = u64::from(size.min(8)) * 8;
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mode = st.rng.below(MODES.len() as u64) as usize;
+        let corrupted = match mode {
+            0 => offset as u64,                        // self-point
+            1 => v ^ (1u64 << st.rng.below(bits.max(1))), // bitflip
+            2 => 0,                                    // zero
+            _ => st.rng.next_u64(),                    // garbage
+        } & mask;
+        st.stats.corruptions += 1;
+        drop(st);
+        self.trace.emit(
+            Layer::Dbg,
+            Severity::Debug,
+            "chaos",
+            &[
+                ("addr", offset.into()),
+                ("size", i64::from(size).into()),
+                ("mode", MODES[mode].into()),
+                ("was", (v as i64).into()),
+                ("now", (corrupted as i64).into()),
+            ],
+        );
+        Ok(corrupted)
+    }
+
+    fn store(&self, space: char, offset: i64, size: u8, value: u64) -> MemResult<()> {
+        self.inner.store(space, offset, size, value)
+    }
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use super::*;
+    use crate::amemory::FakeMemory;
+
+    fn filled_fake() -> Rc<FakeMemory> {
+        let fake = FakeMemory::default();
+        for a in 0..64i64 {
+            fake.store('d', a, 1, 0xAB).unwrap();
+            fake.store('c', a, 1, 0xCD).unwrap();
+        }
+        Rc::new(fake)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let runs: Vec<Vec<u64>> = (0..2)
+            .map(|_| {
+                let chaos = ChaosMemory::new(
+                    filled_fake(),
+                    ChaosConfig { seed: 7, rate: 0.5 },
+                    Trace::off(),
+                );
+                (0..32).map(|a| chaos.fetch('d', a, 1).unwrap()).collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        // And the schedule really corrupts something at rate 0.5.
+        assert!(runs[0].iter().any(|&v| v != 0xAB));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let read = |seed| -> Vec<u64> {
+            let chaos = ChaosMemory::new(
+                filled_fake(),
+                ChaosConfig { seed, rate: 0.5 },
+                Trace::off(),
+            );
+            (0..32).map(|a| chaos.fetch('d', a, 1).unwrap()).collect()
+        };
+        assert_ne!(read(1), read(2));
+    }
+
+    #[test]
+    fn code_space_and_stores_pass_through() {
+        let fake = filled_fake();
+        let chaos =
+            ChaosMemory::new(fake.clone(), ChaosConfig { seed: 3, rate: 1.0 }, Trace::off());
+        for a in 0..32 {
+            assert_eq!(chaos.fetch('c', a, 1).unwrap(), 0xCD);
+        }
+        chaos.store('d', 5, 1, 0x11).unwrap();
+        assert_eq!(fake.fetch('d', 5, 1).unwrap(), 0x11);
+        // Every d fetch at rate 1.0 is corrupted and counted.
+        let _ = chaos.fetch('d', 5, 1).unwrap();
+        assert_eq!(chaos.stats().corruptions, 1);
+    }
+
+    #[test]
+    fn rate_zero_is_a_no_op() {
+        let chaos =
+            ChaosMemory::new(filled_fake(), ChaosConfig { seed: 9, rate: 0.0 }, Trace::off());
+        for a in 0..32 {
+            assert_eq!(chaos.fetch('d', a, 1).unwrap(), 0xAB);
+        }
+        assert_eq!(chaos.stats().corruptions, 0);
+        assert_eq!(chaos.stats().fetches, 32);
+    }
+
+    #[test]
+    fn parse_accepts_bare_seed_and_key_values() {
+        assert_eq!(ChaosConfig::parse("42").unwrap().seed, 42);
+        let cfg = ChaosConfig::parse("seed=7,rate=0.25").unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert!((cfg.rate - 0.25).abs() < 1e-12);
+        // The documented short form: bare seed, then key=value items.
+        let cfg = ChaosConfig::parse("9,rate=0.5").unwrap();
+        assert_eq!(cfg.seed, 9);
+        assert!((cfg.rate - 0.5).abs() < 1e-12);
+        assert!(ChaosConfig::parse("rate=2").is_err());
+        assert!(ChaosConfig::parse("bogus=1").is_err());
+        assert!(ChaosConfig::parse("0.5").is_err(), "a bare non-integer is not a seed");
+    }
+}

@@ -19,7 +19,8 @@ use ldb_trace::{Layer, Severity, Trace};
 
 use crate::amemory::{CachedMemory, JoinedMemory, MemRef, WireMemory};
 use crate::breakpoint::Breakpoints;
-use crate::frame::{frame_walker, Frame, WalkCtx};
+use crate::chaos::{ChaosConfig, ChaosMemory};
+use crate::frame::{frame_walker, walk_stack, Frame, WalkCtx, WalkStop};
 use crate::loader::{Loader, ModuleTable};
 use crate::psops::{make_arch_dict, make_debug_dict, CtxRef, EvalCtx, MemHandle};
 use crate::symtab;
@@ -209,12 +210,19 @@ pub struct Target {
     /// this same object. Held separately so the debugger can invalidate
     /// at resume/stop/plant boundaries and the CLI can report stats.
     pub cache: Option<Rc<CachedMemory>>,
+    /// The chaos layer corrupting this target's data fetches, when the
+    /// session was started with `--chaos`: `wire` is then this object,
+    /// wrapping the cache (or raw wire). Held separately for stats.
+    pub chaos: Option<Rc<ChaosMemory>>,
     /// Planted breakpoints.
     pub breakpoints: Breakpoints,
     /// Current stop, if stopped.
     pub stop: Option<Stop>,
     /// The call stack at the current stop (0 = top).
     pub frames: Vec<Rc<Frame>>,
+    /// Why the last stack walk stopped ([`WalkStop::StackBase`] for a
+    /// complete walk; anything else means `frames` is truncated).
+    pub walk_stop: WalkStop,
     /// The selected frame.
     pub cur_frame: usize,
     /// Keep the spawned nub alive (when we spawned it).
@@ -316,6 +324,50 @@ pub struct Ldb {
     /// Flight-recorder handle, propagated to the interpreter and to every
     /// nub client ([`Ldb::set_trace`]).
     trace: Trace,
+    /// Chaos-injection policy for targets attached from now on (`--chaos
+    /// SEED`): hostile-target testing, off by default.
+    chaos: Option<ChaosConfig>,
+    /// Session-wide robustness counters (`info health`).
+    health: Health,
+    /// The dictionary stack as of session construction (systemdict …
+    /// debug dict): the known-good base [`Ldb::recover_session`] restores
+    /// after a quarantined command.
+    base_dicts: Vec<DictRef>,
+}
+
+/// Session-wide robustness counters: how often the defensive layers
+/// fired. `info health` renders this; the chaos soak asserts over it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Health {
+    /// Stack walks that ended in anything but
+    /// [`WalkStop::StackBase`](crate::frame::WalkStop::StackBase).
+    pub walks_truncated: u64,
+    /// Of those, walks stopped by cycle detection.
+    pub walk_cycles: u64,
+    /// `<cycle>` diagnostics emitted while printing pointer-linked data.
+    pub print_cycles: u64,
+    /// Prints truncated by the pointer-follow cap.
+    pub print_follow_caps: u64,
+    /// Commands quarantined by the crash-proof command loop.
+    pub quarantined_commands: u64,
+    /// Fetches the chaos layer corrupted (0 without `--chaos`).
+    pub chaos_corruptions: u64,
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "health: {} truncated walks ({} cycles), {} print cycles, \
+             {} follow caps, {} quarantined commands, {} chaos corruptions",
+            self.walks_truncated,
+            self.walk_cycles,
+            self.print_cycles,
+            self.print_follow_caps,
+            self.quarantined_commands,
+            self.chaos_corruptions
+        )
+    }
 }
 
 struct ExprSession {
@@ -350,6 +402,7 @@ impl Ldb {
         let ctx: CtxRef = Rc::new(RefCell::new(EvalCtx::new()));
         let debug_dict = make_debug_dict(&mut interp, ctx.clone());
         interp.push_dict(Rc::clone(&debug_dict));
+        let base_dicts = interp.dict_stack_snapshot();
         let expr_state = Rc::new(RefCell::new(ExprState { outcome: None }));
         let mut ldb = Ldb {
             interp,
@@ -365,6 +418,9 @@ impl Ldb {
             wire_cache: true,
             budgets: PsBudgets::default(),
             trace: Trace::off(),
+            chaos: None,
+            health: Health::default(),
+            base_dicts,
         };
         ldb.register_expr_ops();
         ldb
@@ -393,6 +449,61 @@ impl Ldb {
     /// targets keep whatever they were attached with).
     pub fn set_wire_cache(&mut self, on: bool) {
         self.wire_cache = on;
+    }
+
+    /// Inject seeded target-memory corruption into targets attached from
+    /// now on (`--chaos SEED`); `None` turns injection off. The chaos
+    /// layer sits on the inspection path only — above the wire cache,
+    /// below the frame walkers and printers — so run control stays
+    /// reliable while everything the debugger *reads* is hostile.
+    pub fn set_chaos(&mut self, chaos: Option<ChaosConfig>) {
+        self.chaos = chaos;
+    }
+
+    /// Session robustness counters, merged from the walk, print, and
+    /// chaos layers.
+    pub fn health(&self) -> Health {
+        let mut h = self.health.clone();
+        {
+            let c = self.ctx.borrow();
+            h.print_cycles = c.print_cycle_hits;
+            h.print_follow_caps = c.follow_cap_trips;
+        }
+        for t in &self.targets {
+            if let Some(chaos) = &t.chaos {
+                h.chaos_corruptions += chaos.stats().corruptions;
+            }
+        }
+        h
+    }
+
+    /// Record a command quarantined by the crash-proof loop (the CLI and
+    /// script runner call this from their `catch_unwind` handlers).
+    pub fn note_quarantined(&mut self) {
+        self.health.quarantined_commands += 1;
+    }
+
+    /// Put the session back into a coherent state after a panicking
+    /// command was caught: clear the operand stack, drop any inner budget
+    /// the unwound code left in force, restore the known-good base
+    /// dictionary stack, re-select the current target (re-pushing its
+    /// dictionaries and re-syncing the frame context), and retire the
+    /// expression server — a panic may have left it mid-protocol, and it
+    /// respawns cleanly on the next evaluation.
+    pub fn recover_session(&mut self) {
+        self.interp.clear_stack();
+        self.interp.set_budget(Budget::default());
+        self.interp.restore_dict_stack(self.base_dicts.clone());
+        self.dicts_pushed = 0;
+        if let Some(s) = self.expr.take() {
+            // Ask it to exit, but do not join: the server may be blocked
+            // on the pipe the unwound command abandoned.
+            let _ = s.to_server.send(ldb_exprserver::ToServer::Shutdown);
+        }
+        self.expr_state.borrow_mut().outcome = None;
+        if let Some(id) = self.cur {
+            let _ = self.select_target(id);
+        }
     }
 
     /// The budget profiles in force.
@@ -530,6 +641,16 @@ impl Ldb {
         } else {
             (Rc::new(WireMemory::new(Rc::clone(&client))), None)
         };
+        // The chaos layer wraps the cached view: everything the walkers
+        // and printers read is corruptible, while the nub client (run
+        // control, plants) bypasses it.
+        let (wire, chaos): (MemRef, Option<Rc<ChaosMemory>>) = match &self.chaos {
+            Some(cfg) => {
+                let c = Rc::new(ChaosMemory::new(wire, cfg.clone(), self.trace.clone()));
+                (Rc::clone(&c) as MemRef, Some(c))
+            }
+            None => (wire, None),
+        };
         let mut target = Target {
             arch,
             data: arch.data(),
@@ -539,9 +660,11 @@ impl Ldb {
             unit_dict,
             wire,
             cache,
+            chaos,
             breakpoints: Breakpoints::new(arch.data()),
             stop: Some(stop),
             frames: Vec::new(),
+            walk_stop: WalkStop::StackBase,
             cur_frame: 0,
             nub,
             watches: Vec::new(),
@@ -695,9 +818,12 @@ impl Ldb {
         });
     }
 
-    /// Rebuild the frame list after a stop.
+    /// Rebuild the frame list after a stop. The walk is guarded (depth
+    /// cap, cycle detection, per-arch sanity checks): it always
+    /// terminates, and the typed reason it stopped lands in
+    /// [`Target::walk_stop`] for `bt` to render.
     fn after_stop(&mut self, id: usize) -> Result<(), LdbError> {
-        let (frames, _) = {
+        let (frames, stop_reason) = {
             let t = &self.targets[id];
             let Some(stop) = t.stop else {
                 return Ok(());
@@ -709,39 +835,33 @@ impl Ldb {
                 data: t.data,
                 loader: &t.loader,
             };
-            let mut frames = Vec::new();
-            if let Ok(top) = walker.top(&wctx) {
-                let mut cur = Rc::new(top);
-                frames.push(Rc::clone(&cur));
-                while frames.len() < 64 {
-                    match walker.down(&wctx, &cur) {
-                        Ok(Some(next)) => {
-                            cur = Rc::new(next);
-                            frames.push(Rc::clone(&cur));
-                        }
-                        Ok(None) => break,
-                        Err(_) => break,
-                    }
-                }
-            }
-            (frames, ())
+            walk_stack(walker, &wctx)
         };
-        if !frames.is_empty() && self.trace.is_on() {
-            self.trace.emit(
-                Layer::Dbg,
-                Severity::Debug,
-                "frames",
-                &[("target", id.into()), ("depth", frames.len().into())],
-            );
+        if self.trace.is_on() && (!frames.is_empty() || !stop_reason.is_clean()) {
+            let mut fields: Vec<(&'static str, ldb_trace::Value)> =
+                vec![("target", id.into()), ("depth", frames.len().into())];
+            if !stop_reason.is_clean() {
+                fields.push(("stop", stop_reason.to_string().into()));
+            }
+            let sev = if stop_reason.is_clean() { Severity::Debug } else { Severity::Warn };
+            self.trace.emit(Layer::Dbg, sev, "frames", &fields);
+        }
+        if !stop_reason.is_clean() {
+            self.health.walks_truncated += 1;
+            if matches!(stop_reason, WalkStop::Cycle { .. }) {
+                self.health.walk_cycles += 1;
+            }
         }
         let t = &mut self.targets[id];
+        t.walk_stop = stop_reason;
         if !frames.is_empty() {
             t.frames = frames;
             t.cur_frame = 0;
         }
-        // An empty walk means the wire died before the top frame could be
-        // read (a real stop always yields at least one frame): keep the
-        // view of the last coherent stop so cached queries still answer.
+        // An empty walk means the wire died (or lied) before the top frame
+        // could be read (a real stop always yields at least one frame):
+        // keep the view of the last coherent stop so cached queries still
+        // answer; `walk_stop` records why the fresh walk produced nothing.
         self.sync_ctx(id);
         Ok(())
     }
@@ -1651,11 +1771,15 @@ impl Ldb {
 
     // ----- frames -----
 
-    /// The current backtrace, top first: (level, func, pc, vfp).
-    pub fn backtrace(&self) -> Vec<(u32, String, u32, u32)> {
-        let Some(id) = self.cur else { return Vec::new() };
+    /// The current backtrace, top first: (level, func, pc, vfp), plus why
+    /// the walk stopped — anything but [`WalkStop::StackBase`] means the
+    /// rows are a truncated view of a stack the debugger could not fully
+    /// trust, and the caller should say so.
+    pub fn backtrace(&self) -> (Vec<(u32, String, u32, u32)>, WalkStop) {
+        let Some(id) = self.cur else { return (Vec::new(), WalkStop::StackBase) };
         let t = &self.targets[id];
-        t.frames
+        let rows = t
+            .frames
             .iter()
             .map(|f| {
                 let name = t
@@ -1665,7 +1789,8 @@ impl Ldb {
                     .unwrap_or_else(|| format!("{:#x}", f.pc));
                 (f.level, name, f.pc, f.vfp)
             })
-            .collect()
+            .collect();
+        (rows, t.walk_stop.clone())
     }
 
     /// Select frame `level` (0 = top); name resolution and printing then
@@ -1793,6 +1918,8 @@ impl Ldb {
         let mem = f.mem.clone();
         let typedict = symtab::entry_type(entry)
             .ok_or_else(|| LdbError::msg("symbol has no type"))?;
+        // Fresh pointer-chase guard for this print (cycle-safe printing).
+        self.ctx.borrow_mut().begin_print();
         let before = self.out.borrow().len();
         self.interp.push(Object::host(Rc::new(MemHandle(mem))));
         self.interp.push(entry.clone());
@@ -1850,6 +1977,9 @@ impl Ldb {
     /// Parse/type errors from the server, unknown identifiers, nub
     /// failures.
     pub fn eval(&mut self, expr: &str) -> Result<String, LdbError> {
+        // Fresh pointer-chase guard for this evaluation (the fetchP deref
+        // path charges against it).
+        self.ctx.borrow_mut().begin_print();
         let expanded = self.expand_calls(expr, 0)?;
         self.eval_expr(&expanded)
     }
@@ -1948,12 +2078,17 @@ impl Ldb {
         self.ensure_server();
         // Register the lookup operator against the *current* scope.
         self.install_lookup()?;
-        let session = self.expr.as_ref().expect("ensured");
+        let session = self
+            .expr
+            .as_ref()
+            .ok_or_else(|| LdbError::msg("expression server is not running"))?;
         let pipe = Rc::clone(&session.pipe);
-        session
-            .to_server
-            .send(ldb_exprserver::ToServer::Expr(expr.to_string()))
-            .map_err(|_| LdbError::msg("expression server is gone"))?;
+        if session.to_server.send(ldb_exprserver::ToServer::Expr(expr.to_string())).is_err() {
+            // The server thread died: drop the session so the next
+            // evaluation respawns it instead of failing forever.
+            self.expr = None;
+            return Err(LdbError::msg("expression server is gone (will respawn on next use)"));
+        }
         self.expr_state.borrow_mut().outcome = None;
         // "The operation of interpreting until told to stop is implemented
         // by applying cvx stopped to the open pipe from the server."
@@ -1991,7 +2126,11 @@ impl Ldb {
         let loader = Rc::clone(&self.targets[id].loader);
         let session = {
             self.ensure_server();
-            self.expr.as_ref().expect("ensured").to_server.clone()
+            self.expr
+                .as_ref()
+                .ok_or_else(|| LdbError::msg("expression server is not running"))?
+                .to_server
+                .clone()
         };
         let handles = Rc::new(RefCell::new(self.handles));
         let outer = Rc::new(RefCell::new(HashMap::<String, String>::new()));

@@ -4,14 +4,16 @@
 //! the compiler — paper, Sec. 5) locates the `movem` save area below the
 //! link region: saved register of rank k lives at fp - framesize - 4(k+1).
 
-use crate::amemory::MemResult;
-use crate::frame::{assemble_dag, parent_aliases, top_aliases, wire_word, Frame, FrameWalker, WalkCtx};
+use crate::frame::{
+    assemble_dag, parent_aliases, top_aliases, wire_word, Frame, FrameWalker, WalkCtx, WalkError,
+    WalkGuard,
+};
 
 /// The 68020 frame methods.
 pub struct M68kFrame;
 
 impl FrameWalker for M68kFrame {
-    fn top(&self, t: &WalkCtx) -> MemResult<Frame> {
+    fn top(&self, t: &WalkCtx) -> Result<Frame, WalkError> {
         let layout = t.data.ctx;
         let ctx = t.context as i64;
         let pc = wire_word(&t.wire, ctx + layout.pc_offset as i64)?;
@@ -22,15 +24,26 @@ impl FrameWalker for M68kFrame {
         Ok(Frame { pc, vfp: fp, level: 0, mem, alias, meta })
     }
 
-    fn down(&self, t: &WalkCtx, f: &Frame) -> MemResult<Option<Frame>> {
+    fn down(&self, t: &WalkCtx, g: &mut WalkGuard, f: &Frame) -> Result<Option<Frame>, WalkError> {
         if f.vfp == 0 {
+            return Ok(None);
+        }
+        // A frame in unknown code (the pre-main pause stub) has no meta:
+        // its fp is not a frame link we can interpret, so the walk ends
+        // cleanly here rather than chasing a register that may point
+        // anywhere. (MIPS gets the same semantic from its meta lookup.)
+        if f.meta.is_none() {
             return Ok(None);
         }
         let parent_fp = wire_word(&t.wire, f.vfp as i64)?;
         let parent_pc = wire_word(&t.wire, f.vfp as i64 + 4)?;
+        if parent_fp == 0 {
+            return Ok(None); // crt0 zeroes fp: the stack base
+        }
         let Some(parent_meta) = t.loader.frame_meta(parent_pc, &t.wire) else {
             return Ok(None);
         };
+        g.check(f, parent_fp, parent_pc)?;
         // movem pushed below the link area: rank k at fp - size - 4(k+1).
         let size = f.meta.map(|m| m.frame_size).unwrap_or(0) as i64;
         let base = f.vfp as i64 - size;
@@ -46,5 +59,10 @@ impl FrameWalker for M68kFrame {
             alias,
             meta: Some(parent_meta),
         }))
+    }
+
+    // 68020 instructions are word-aligned.
+    fn pc_align(&self) -> u32 {
+        2
     }
 }

@@ -7,14 +7,17 @@
 //! implementation of ldb's linker interface" — which reads the runtime
 //! procedure table out of the target address space.
 
-use crate::amemory::{MemError, MemResult};
-use crate::frame::{assemble_dag, parent_aliases, top_aliases, wire_word, Frame, FrameWalker, WalkCtx};
+use crate::amemory::MemError;
+use crate::frame::{
+    assemble_dag, parent_aliases, top_aliases, wire_word, Frame, FrameWalker, WalkCtx, WalkError,
+    WalkGuard,
+};
 
 /// The MIPS frame methods.
 pub struct MipsFrame;
 
 impl FrameWalker for MipsFrame {
-    fn top(&self, t: &WalkCtx) -> MemResult<Frame> {
+    fn top(&self, t: &WalkCtx) -> Result<Frame, WalkError> {
         let layout = t.data.ctx;
         let ctx = t.context as i64;
         let pc = wire_word(&t.wire, ctx + layout.pc_offset as i64)?;
@@ -27,7 +30,7 @@ impl FrameWalker for MipsFrame {
         Ok(Frame { pc, vfp, level: 0, mem, alias, meta })
     }
 
-    fn down(&self, t: &WalkCtx, f: &Frame) -> MemResult<Option<Frame>> {
+    fn down(&self, t: &WalkCtx, g: &mut WalkGuard, f: &Frame) -> Result<Option<Frame>, WalkError> {
         let Some(meta) = f.meta else { return Ok(None) };
         let Some(ra_off) = meta.ra_offset else { return Ok(None) };
         let parent_pc = wire_word(&t.wire, f.vfp as i64 - ra_off as i64)?;
@@ -37,6 +40,7 @@ impl FrameWalker for MipsFrame {
         // The caller's sp at the call was our vfp; its own frame sits
         // above it.
         let parent_vfp = f.vfp.wrapping_add(parent_meta.frame_size);
+        g.check(f, parent_vfp, parent_pc)?;
         let save_base = f.vfp as i64 - meta.save_offset as i64;
         let alias = parent_aliases(t, f, parent_pc, parent_vfp, |rank| {
             save_base + 4 * rank as i64

@@ -11,11 +11,14 @@ pub mod mips;
 pub mod sparc;
 pub mod vax;
 
+use std::collections::HashSet;
 use std::rc::Rc;
 
 use ldb_machine::{Arch, MachineData};
 
-use crate::amemory::{AliasMemory, AliasTarget, JoinedMemory, MemRef, MemResult, RegisterMemory};
+use crate::amemory::{
+    AliasMemory, AliasTarget, JoinedMemory, MemError, MemRef, MemResult, RegisterMemory,
+};
 use crate::loader::{FrameMeta, Loader};
 
 /// One procedure activation.
@@ -55,19 +58,191 @@ pub struct WalkCtx<'a> {
     pub loader: &'a Loader,
 }
 
+/// Why a stack walk stopped. Anything but [`WalkStop::StackBase`] means
+/// the backtrace is truncated, and the variant says why — the walkers
+/// never trust a saved frame pointer or return address enough to loop on
+/// it (the target may be arbitrarily corrupted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkStop {
+    /// Reached the stack base: the normal, complete walk.
+    StackBase,
+    /// The frame chain revisited a virtual frame pointer.
+    Cycle {
+        /// The vfp seen twice.
+        vfp: u32,
+    },
+    /// The walk hit the hard depth cap without reaching the base.
+    DepthCap {
+        /// The cap that fired.
+        cap: u32,
+    },
+    /// A candidate caller frame failed a sanity check (non-monotonic or
+    /// misaligned chain).
+    BadFrame {
+        /// What looked wrong.
+        reason: String,
+    },
+    /// The wire failed mid-walk (dead nub, fetch fault).
+    WireError {
+        /// The underlying memory error.
+        detail: String,
+    },
+}
+
+impl WalkStop {
+    /// True for a complete, untruncated walk.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, WalkStop::StackBase)
+    }
+}
+
+impl std::fmt::Display for WalkStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkStop::StackBase => write!(f, "StackBase"),
+            WalkStop::Cycle { vfp } => write!(f, "Cycle (vfp {vfp:#x} already visited)"),
+            WalkStop::DepthCap { cap } => write!(f, "DepthCap ({cap} frames)"),
+            WalkStop::BadFrame { reason } => write!(f, "BadFrame ({reason})"),
+            WalkStop::WireError { detail } => write!(f, "WireError ({detail})"),
+        }
+    }
+}
+
+/// A walker-level failure; converted to a [`WalkStop`] by [`walk_stack`].
+#[derive(Debug)]
+pub enum WalkError {
+    /// The wire refused a fetch.
+    Wire(MemError),
+    /// A sanity check on a candidate frame failed.
+    Bad(String),
+    /// The candidate frame's vfp was already visited.
+    Cycle(u32),
+}
+
+impl From<MemError> for WalkError {
+    fn from(e: MemError) -> Self {
+        WalkError::Wire(e)
+    }
+}
+
+impl WalkError {
+    fn into_stop(self) -> WalkStop {
+        match self {
+            WalkError::Wire(e) => WalkStop::WireError { detail: e.to_string() },
+            WalkError::Bad(reason) => WalkStop::BadFrame { reason },
+            WalkError::Cycle(vfp) => WalkStop::Cycle { vfp },
+        }
+    }
+}
+
+/// Hard cap on walk depth: far above any stack this suite produces, far
+/// below anything that would make a corrupted-but-acyclic chain feel like
+/// a hang.
+pub const WALK_DEPTH_CAP: u32 = 64;
+
+/// The defensive state threaded through a stack walk: the set of frame
+/// pointers already visited plus the per-architecture sanity checks every
+/// candidate caller frame must pass before the walk follows it.
+pub struct WalkGuard {
+    visited: HashSet<u32>,
+    cap: u32,
+    pc_align: u32,
+}
+
+impl WalkGuard {
+    /// A fresh guard; `pc_align` is the architecture's instruction
+    /// alignment (from [`FrameWalker::pc_align`]).
+    pub fn new(cap: u32, pc_align: u32) -> Self {
+        WalkGuard { visited: HashSet::new(), cap, pc_align }
+    }
+
+    /// The depth cap this guard enforces.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Record the top frame's vfp as visited.
+    pub fn admit_top(&mut self, top: &Frame) {
+        self.visited.insert(top.vfp);
+    }
+
+    /// Vet a candidate caller frame before the walker builds it: reject
+    /// revisited vfps (a cycle), non-monotonic chains (stacks grow down,
+    /// so a caller's frame sits at a higher address than its callee's on
+    /// every supported architecture), and misaligned frame pointers or
+    /// return addresses. Admitted vfps join the visited set.
+    ///
+    /// # Errors
+    /// [`WalkError::Cycle`] or [`WalkError::Bad`] as above.
+    pub fn check(&mut self, child: &Frame, parent_vfp: u32, parent_pc: u32) -> Result<(), WalkError> {
+        if self.visited.contains(&parent_vfp) {
+            return Err(WalkError::Cycle(parent_vfp));
+        }
+        if parent_vfp < child.vfp {
+            return Err(WalkError::Bad(format!(
+                "frame chain not monotonic: caller vfp {parent_vfp:#x} below callee vfp {:#x}",
+                child.vfp
+            )));
+        }
+        if !parent_vfp.is_multiple_of(4) {
+            return Err(WalkError::Bad(format!("misaligned caller vfp {parent_vfp:#x}")));
+        }
+        if self.pc_align > 1 && !parent_pc.is_multiple_of(self.pc_align) {
+            return Err(WalkError::Bad(format!("misaligned return address {parent_pc:#x}")));
+        }
+        self.visited.insert(parent_vfp);
+        Ok(())
+    }
+}
+
 /// The machine-dependent stack-walking methods.
 pub trait FrameWalker {
     /// Build the topmost frame from the context the nub saved.
     ///
     /// # Errors
     /// Wire failures; missing frame metadata.
-    fn top(&self, t: &WalkCtx) -> MemResult<Frame>;
+    fn top(&self, t: &WalkCtx) -> Result<Frame, WalkError>;
 
     /// Walk down one frame (to the caller); `None` at the stack base.
+    /// Every candidate caller must pass `g.check` before it is built.
     ///
     /// # Errors
-    /// Wire failures.
-    fn down(&self, t: &WalkCtx, f: &Frame) -> MemResult<Option<Frame>>;
+    /// Wire failures; guard rejections.
+    fn down(&self, t: &WalkCtx, g: &mut WalkGuard, f: &Frame) -> Result<Option<Frame>, WalkError>;
+
+    /// Instruction alignment for return-address sanity checks.
+    fn pc_align(&self) -> u32 {
+        4
+    }
+}
+
+/// The guarded walk shared by every architecture: build the top frame,
+/// then walk down until the base, an error, or the guard objects. Returns
+/// whatever frames were recovered plus the typed reason the walk stopped
+/// — a truncated backtrace is still a backtrace.
+pub fn walk_stack(walker: &dyn FrameWalker, t: &WalkCtx) -> (Vec<Rc<Frame>>, WalkStop) {
+    let mut guard = WalkGuard::new(WALK_DEPTH_CAP, walker.pc_align());
+    let mut frames: Vec<Rc<Frame>> = Vec::new();
+    let top = match walker.top(t) {
+        Ok(f) => f,
+        Err(e) => return (frames, e.into_stop()),
+    };
+    guard.admit_top(&top);
+    let mut cur = Rc::new(top);
+    frames.push(Rc::clone(&cur));
+    loop {
+        if frames.len() as u32 >= guard.cap() {
+            return (frames, WalkStop::DepthCap { cap: guard.cap() });
+        }
+        match walker.down(t, &mut guard, &cur) {
+            Ok(Some(next)) => {
+                cur = Rc::new(next);
+                frames.push(Rc::clone(&cur));
+            }
+            Ok(None) => return (frames, WalkStop::StackBase),
+            Err(e) => return (frames, e.into_stop()),
+        }
+    }
 }
 
 /// The walker for an architecture.

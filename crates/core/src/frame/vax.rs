@@ -3,14 +3,16 @@
 //! area established at procedure entry sits below the locals, rank k at
 //! fp - framesize - 4(k+1).
 
-use crate::amemory::MemResult;
-use crate::frame::{assemble_dag, parent_aliases, top_aliases, wire_word, Frame, FrameWalker, WalkCtx};
+use crate::frame::{
+    assemble_dag, parent_aliases, top_aliases, wire_word, Frame, FrameWalker, WalkCtx, WalkError,
+    WalkGuard,
+};
 
 /// The VAX frame methods.
 pub struct VaxFrame;
 
 impl FrameWalker for VaxFrame {
-    fn top(&self, t: &WalkCtx) -> MemResult<Frame> {
+    fn top(&self, t: &WalkCtx) -> Result<Frame, WalkError> {
         let layout = t.data.ctx;
         let ctx = t.context as i64;
         let pc = wire_word(&t.wire, ctx + layout.pc_offset as i64)?;
@@ -21,15 +23,24 @@ impl FrameWalker for VaxFrame {
         Ok(Frame { pc, vfp: fp, level: 0, mem, alias, meta })
     }
 
-    fn down(&self, t: &WalkCtx, f: &Frame) -> MemResult<Option<Frame>> {
+    fn down(&self, t: &WalkCtx, g: &mut WalkGuard, f: &Frame) -> Result<Option<Frame>, WalkError> {
         if f.vfp == 0 {
+            return Ok(None);
+        }
+        // No meta means unknown code (the pre-main pause stub): fp is not
+        // a frame link we can interpret, so the walk ends cleanly here.
+        if f.meta.is_none() {
             return Ok(None);
         }
         let parent_fp = wire_word(&t.wire, f.vfp as i64)?;
         let parent_pc = wire_word(&t.wire, f.vfp as i64 + 4)?;
+        if parent_fp == 0 {
+            return Ok(None); // crt0 zeroes fp: the stack base
+        }
         let Some(parent_meta) = t.loader.frame_meta(parent_pc, &t.wire) else {
             return Ok(None);
         };
+        g.check(f, parent_fp, parent_pc)?;
         let size = f.meta.map(|m| m.frame_size).unwrap_or(0) as i64;
         let base = f.vfp as i64 - size;
         let alias = parent_aliases(t, f, parent_pc, parent_fp, |rank| {
@@ -44,5 +55,10 @@ impl FrameWalker for VaxFrame {
             alias,
             meta: Some(parent_meta),
         }))
+    }
+
+    // VAX instructions are byte-aligned: no return-address check.
+    fn pc_align(&self) -> u32 {
+        1
     }
 }

@@ -33,6 +33,7 @@
 
 pub mod amemory;
 pub mod breakpoint;
+pub mod chaos;
 pub mod debugger;
 pub mod event;
 pub mod frame;
@@ -43,12 +44,13 @@ pub mod symtab;
 
 pub use amemory::{AbstractMemory, AliasMemory, CachedMemory, CacheStats, JoinedMemory, MemError, MemRef, RegisterMemory, WireMemory};
 pub use breakpoint::Breakpoints;
-pub use debugger::{CallArg, CallReturn, Ldb, PsBudgets, ReloadRow, StopEvent, Target};
+pub use chaos::{ChaosConfig, ChaosMemory, ChaosStats};
+pub use debugger::{CallArg, CallReturn, Health, Ldb, PsBudgets, ReloadRow, StopEvent, Target};
 pub use event::{Events, Outcome};
-pub use frame::{Frame, FrameWalker};
+pub use frame::{walk_stack, Frame, FrameWalker, WalkCtx, WalkError, WalkGuard, WalkStop, WALK_DEPTH_CAP};
 pub use loader::{FrameMeta, Loader, ModuleTable, Quarantined};
 pub use psops::{CtxRef, EvalCtx, MemHandle};
-pub use script::{run_script, trace_report};
+pub use script::{panic_text, run_command_guarded, run_script, trace_report};
 
 /// Errors from debugger operations.
 #[derive(Debug)]

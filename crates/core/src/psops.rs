@@ -11,7 +11,7 @@
 //! debugging dictionary *rebinds* over the standard `print`.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use ldb_postscript::{
@@ -37,7 +37,27 @@ pub struct EvalCtx {
     pub target_nonce: usize,
     /// Count of anchor fetches actually performed (tests observe this).
     pub anchor_fetches: u64,
+    /// Addresses the current print has already followed a pointer
+    /// through (`PtrVisit`); reset by [`EvalCtx::begin_print`]. Keeps a
+    /// cyclic list printing `<cycle>` instead of recursing to a budget
+    /// trip.
+    pub ptr_seen: HashSet<i64>,
+    /// Pointer follows charged against [`EvalCtx::follow_cap`] in the
+    /// current print/evaluation; reset by [`EvalCtx::begin_print`].
+    pub ptr_follows: u64,
+    /// Per-print/per-expression cap on pointer follows.
+    pub follow_cap: u64,
+    /// Cumulative `<cycle>` diagnostics emitted (never reset; `info
+    /// health` reads this).
+    pub print_cycle_hits: u64,
+    /// Cumulative follow-cap trips (never reset).
+    pub follow_cap_trips: u64,
 }
+
+/// Default per-print pointer-follow cap: generous for real data (a
+/// healthy print follows a handful of pointers), tiny next to the fuel a
+/// runaway chase would otherwise burn.
+pub const FOLLOW_CAP: u64 = 128;
 
 impl EvalCtx {
     /// An empty context.
@@ -48,7 +68,20 @@ impl EvalCtx {
             anchor_cache: HashMap::new(),
             target_nonce: 0,
             anchor_fetches: 0,
+            ptr_seen: HashSet::new(),
+            ptr_follows: 0,
+            follow_cap: FOLLOW_CAP,
+            print_cycle_hits: 0,
+            follow_cap_trips: 0,
         }
+    }
+
+    /// Reset the per-print pointer guard. Every top-level print or
+    /// expression evaluation starts here; the cumulative counters are
+    /// untouched.
+    pub fn begin_print(&mut self) {
+        self.ptr_seen.clear();
+        self.ptr_follows = 0;
     }
 }
 
@@ -249,6 +282,32 @@ pub fn make_debug_dict(interp: &mut Interp, ctx: CtxRef) -> ldb_postscript::Dict
         });
     }
 
+    // --- the pointer-chase guard: addr PtrVisit -> 0|1|2 ---
+    // 0 = fresh, follow it; 1 = already visited this print (a cycle);
+    // 2 = the per-print follow cap tripped. Printers that chase pointers
+    // (PPTR) consult this before recursing, so hostile pointer graphs
+    // print `<cycle>`/`<...>` instead of burning fuel to a budget trip.
+    {
+        let ctx = ctx.clone();
+        interp.register("PtrVisit", move |i| {
+            let addr = i.pop()?.as_int()?;
+            let mut c = ctx.borrow_mut();
+            let verdict = if c.ptr_follows >= c.follow_cap {
+                c.follow_cap_trips += 1;
+                2
+            } else if !c.ptr_seen.insert(addr) {
+                c.print_cycle_hits += 1;
+                1
+            } else {
+                c.ptr_follows += 1;
+                0
+            };
+            drop(c);
+            i.push(verdict);
+            Ok(())
+        });
+    }
+
     // --- lazy anchor resolution ---
     for (name, as_location) in [("LazyData", true), ("LazyAddr", false)] {
         let ctx = ctx.clone();
@@ -338,6 +397,20 @@ pub fn make_debug_dict(interp: &mut Interp, ctx: CtxRef) -> ldb_postscript::Dict
         interp.register("fetchP", move |i| {
             let loc = i.pop()?.as_location()?;
             let mem = ctx_mem(&ctx)?;
+            // The deref path shares the per-evaluation follow cap: a
+            // rewritten expression chasing a corrupted pointer chain
+            // fails with a diagnostic instead of exhausting its budget.
+            {
+                let mut c = ctx.borrow_mut();
+                if c.ptr_follows >= c.follow_cap {
+                    c.follow_cap_trips += 1;
+                    return Err(host_err(format!(
+                        "pointer-follow cap ({}) exceeded — cyclic or corrupted pointer chain?",
+                        c.follow_cap
+                    )));
+                }
+                c.ptr_follows += 1;
+            }
             match loc_fetch(&mem, &loc, 4)? {
                 Object { val: Value::Int(addr), .. } => {
                     i.push(Object::location(Location::Addr { space: 'd', offset: addr }));
@@ -586,6 +659,69 @@ mod tests {
         i.push(Object::host(Rc::new(MemHandle(mem))));
         i.run_str("/d 0 Absolute << /printer {CHAR} >> print").unwrap();
         assert_eq!(buf.borrow().as_str(), "'A'");
+    }
+
+    #[test]
+    fn pptr_cyclic_list_prints_cycle() {
+        let (mut i, ctx, fake) = setup();
+        let buf = Rc::new(RefCell::new(String::new()));
+        i.set_output(ldb_postscript::Out::Shared(Rc::clone(&buf)));
+        // Two pointer cells aimed at each other: a two-node cyclic list.
+        fake.store('d', 0x100, 4, 0x200).unwrap();
+        fake.store('d', 0x200, 4, 0x100).unwrap();
+        ctx.borrow_mut().begin_print();
+        let mem = ctx.borrow().mem.clone().unwrap();
+        i.push(Object::host(Rc::new(MemHandle(mem))));
+        // A self-referential pointer type: its pointee is itself.
+        i.run_str(
+            "/nodeP << /printer {PPTR} >> def nodeP /&pointee nodeP put \
+             /d 16#100 Absolute nodeP print",
+        )
+        .unwrap();
+        assert_eq!(buf.borrow().as_str(), "0x200 -> 0x100 -> 0x200 -> <cycle>");
+        assert_eq!(ctx.borrow().print_cycle_hits, 1);
+    }
+
+    #[test]
+    fn pptr_runaway_chain_stops_at_follow_cap() {
+        let (mut i, ctx, fake) = setup();
+        let buf = Rc::new(RefCell::new(String::new()));
+        i.set_output(ldb_postscript::Out::Shared(Rc::clone(&buf)));
+        // An acyclic chain longer than the cap: cell k points to cell k+1.
+        for k in 0..16i64 {
+            fake.store('d', 0x100 + 4 * k, 4, (0x104 + 4 * k) as u64).unwrap();
+        }
+        ctx.borrow_mut().begin_print();
+        ctx.borrow_mut().follow_cap = 4;
+        let mem = ctx.borrow().mem.clone().unwrap();
+        i.push(Object::host(Rc::new(MemHandle(mem))));
+        i.run_str(
+            "/chainP << /printer {PPTR} >> def chainP /&pointee chainP put \
+             /d 16#100 Absolute chainP print",
+        )
+        .unwrap();
+        assert_eq!(buf.borrow().as_str(), "0x104 -> 0x108 -> 0x10c -> 0x110 -> 0x114 -> <...>");
+        assert_eq!(ctx.borrow().follow_cap_trips, 1);
+        assert_eq!(ctx.borrow().print_cycle_hits, 0);
+        // A fresh print starts a fresh budget.
+        ctx.borrow_mut().begin_print();
+        assert_eq!(ctx.borrow().ptr_follows, 0);
+    }
+
+    #[test]
+    fn pptr_null_pointer_prints_bare_address() {
+        let (mut i, ctx, _fake) = setup();
+        let buf = Rc::new(RefCell::new(String::new()));
+        i.set_output(ldb_postscript::Out::Shared(Rc::clone(&buf)));
+        ctx.borrow_mut().begin_print();
+        let mem = ctx.borrow().mem.clone().unwrap();
+        i.push(Object::host(Rc::new(MemHandle(mem))));
+        i.run_str(
+            "/nullP << /printer {PPTR} >> def nullP /&pointee nullP put \
+             /d 16#300 Absolute nullP print",
+        )
+        .unwrap();
+        assert_eq!(buf.borrow().as_str(), "0x0");
     }
 
     #[test]

@@ -143,15 +143,18 @@ fn run_command(ldb: &mut Ldb, cmd: &str, rest: &str) -> Result<String, LdbError>
         }
         "e" => ldb.eval(rest.trim())?,
         "bt" => {
-            let rows = ldb.backtrace();
-            if rows.is_empty() {
-                "no stack".to_string()
-            } else {
-                rows.iter()
-                    .map(|(level, name, pc, _vfp)| format!("#{level} {name} at {pc:#x}"))
-                    .collect::<Vec<_>>()
-                    .join("\n")
+            let (rows, stop) = ldb.backtrace();
+            let mut lines: Vec<String> = rows
+                .iter()
+                .map(|(level, name, pc, _vfp)| format!("#{level} {name} at {pc:#x}"))
+                .collect();
+            if lines.is_empty() {
+                lines.push("no stack".to_string());
             }
+            if !stop.is_clean() {
+                lines.push(format!("walk truncated: {stop}"));
+            }
+            lines.join("\n")
         }
         "f" => {
             let level: usize =
@@ -169,10 +172,43 @@ fn run_command(ldb: &mut Ldb, cmd: &str, rest: &str) -> Result<String, LdbError>
         "info" => match rest.trim() {
             "wire" => wire_report(ldb),
             "trace" => trace_report(ldb),
+            "health" => ldb.health().to_string(),
             other => return Err(LdbError::msg(format!("no `info {other}` in scripts"))),
         },
         other => return Err(LdbError::msg(format!("unknown script command `{other}`"))),
     })
+}
+
+/// A short rendering of a caught panic payload.
+pub fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Run one command under `catch_unwind`: a residual panic anywhere in the
+/// command's implementation quarantines that one command — journaled,
+/// counted in `info health`, the session state re-validated — instead of
+/// killing the loop. The CLI wraps its dispatcher the same way.
+pub fn run_command_guarded(ldb: &mut Ldb, cmd: &str, rest: &str) -> Result<String, LdbError> {
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_command(ldb, cmd, rest)));
+    match r {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = panic_text(payload.as_ref());
+            ldb.trace().emit(
+                Layer::Dbg,
+                Severity::Warn,
+                "panic",
+                &[("cmd", cmd.to_string().into()), ("msg", msg.clone().into())],
+            );
+            ldb.note_quarantined();
+            ldb.recover_session();
+            Err(LdbError::msg(format!("command quarantined (internal panic: {msg})")))
+        }
+    }
 }
 
 /// Run a newline-separated command script against `ldb`, returning the
@@ -196,7 +232,7 @@ pub fn run_script(ldb: &mut Ldb, script: &str) -> String {
             Some((c, r)) => (c, r),
             None => (line, ""),
         };
-        match run_command(ldb, cmd, rest) {
+        match run_command_guarded(ldb, cmd, rest) {
             Ok(text) => {
                 if !text.is_empty() {
                     out.push_str(&text);

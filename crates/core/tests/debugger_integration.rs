@@ -63,7 +63,7 @@ fn break_print_and_continue_on_all_four_targets() {
         assert!(a.ends_with("...}"), "{arch}: array limit: {a}");
 
         // Backtrace: fib called from main.
-        let bt = ldb.backtrace();
+        let (bt, _) = ldb.backtrace();
         let names: Vec<&str> = bt.iter().map(|(_, n, _, _)| n.as_str()).collect();
         assert!(names.starts_with(&["fib", "main"]), "{arch}: {names:?}");
 
@@ -159,7 +159,7 @@ fn deep_recursion_backtrace_and_frame_selection() {
             assert!(matches!(ev, StopEvent::Breakpoint { .. }), "{arch}: {ev:?}");
         }
         // Five `down` activations above main.
-        let bt = ldb.backtrace();
+        let (bt, _) = ldb.backtrace();
         let names: Vec<&str> = bt.iter().map(|(_, n, _, _)| n.as_str()).collect();
         assert_eq!(
             names,
@@ -239,7 +239,7 @@ fn faulting_program_reports_signal_and_stack() {
     let StopEvent::Fault { sig, code } = ev else { panic!("{ev:?}") };
     assert_eq!(sig, "SIGSEGV");
     assert_eq!(code, 0, "the faulting address");
-    let bt = ldb.backtrace();
+    let (bt, _) = ldb.backtrace();
     let names: Vec<&str> = bt.iter().map(|(_, n, _, _)| n.as_str()).collect();
     assert_eq!(names, vec!["trouble", "main"], "{names:?}");
 }

@@ -164,7 +164,11 @@ impl Rpt {
         addr: u32,
     ) -> Result<Rpt, Fault> {
         let n = read_u32(addr)?;
-        if n > 100_000 {
+        // The count word comes from target memory, which may be corrupt:
+        // a believable table has at most a few thousand procedures, and
+        // rejecting early keeps a hostile count from turning one lookup
+        // into hundreds of thousands of wire fetches.
+        if n > 4096 {
             return Err(Fault::BadAddress { addr, write: false });
         }
         let mut entries = Vec::with_capacity(n as usize);
@@ -178,6 +182,11 @@ impl Rpt {
                 save_offset: read_u32(a + 16)?,
             });
             a += 20;
+        }
+        // `lookup` assumes the entries are sorted by address; a table
+        // read out of hostile memory must prove it.
+        if entries.windows(2).any(|w| w[0].proc_addr > w[1].proc_addr) {
+            return Err(Fault::BadAddress { addr, write: false });
         }
         Ok(Rpt { entries })
     }

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("attached: signal {:?}, faulting address {:#x}", stop.sig, stop.code);
 
     print!("backtrace:");
-    for (lvl, name, pc, _) in ldb.backtrace() {
+    for (lvl, name, pc, _) in ldb.backtrace().0 {
         print!("  #{lvl} {name} (pc={pc:#x})");
     }
     println!();

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  n = {}", ldb.print_var("n")?);
         println!("  a = {}", ldb.print_var("a")?);
         print!("  backtrace:");
-        for (lvl, name, pc, _) in ldb.backtrace() {
+        for (lvl, name, pc, _) in ldb.backtrace().0 {
             print!("  #{lvl} {name} (pc={pc:#x})");
         }
         println!();

@@ -8,6 +8,9 @@
 #                      run by name so a filter can never silently drop them
 #   replay-golden    — deterministic record/replay against the checked-in
 #                      golden transcripts and journals, all architectures
+#   chaos soak       — 200 seeded target-memory-corruption sessions across
+#                      all architectures (MIPS both byte orders): no
+#                      panics, typed truncation reasons, health accounting
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,3 +20,4 @@ cargo test --workspace -q
 cargo test -q --test artifact_corruption
 cargo test -q -p ldb-postscript --test fuzz
 cargo test -q --test replay_golden
+cargo test -q --test chaos_soak

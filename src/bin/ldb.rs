@@ -4,6 +4,7 @@
 //! ```text
 //! Usage: ldb <file.c>... [--arch ...] [--order big|little] [--tcp]
 //!        ldb <file.c>... --fault seed=1,drop=0.05,corrupt=0.02   lossy-wire drill
+//!        ldb <file.c>... --chaos <seed>          hostile-target drill (seed, or seed=N,rate=R)
 //!        ldb <file.c>... --run [--core <path>]   run undebugged; fault dumps core
 //!        ldb <file.c>... --core <path>           post-mortem on a core file
 //!        ldb <file.c>... --no-wire-cache         word-at-a-time wire (no block cache)
@@ -13,6 +14,13 @@
 //! (keys: seed, drop, corrupt, truncate, dup, delay, disconnect); the
 //! hardened protocol retries through drops and corruption, and after a
 //! `disconnect=N` severance the `reconnect` command resumes the session.
+//!
+//! `--chaos` corrupts what the debugger *reads* from target data memory —
+//! saved frame pointers, return addresses, pointed-to data — with a
+//! deterministic seeded schedule. Run control stays reliable; every
+//! inspection result is suspect. `info health` reports how often the
+//! defensive layers (guarded stack walks, cycle-safe printing, the
+//! crash-proof command loop) fired.
 //!
 //! Commands:
 //!   b <func> [n] [if <expr>]  breakpoint, optionally conditional
@@ -52,7 +60,7 @@ use std::io::{BufRead, Write};
 
 use ldb_cc::driver::{compile_many, program_load_plan, CompileOpts, CompiledProgram};
 use ldb_cc::pssym;
-use ldb_core::{Ldb, ModuleTable, StopEvent};
+use ldb_core::{ChaosConfig, Ldb, ModuleTable, StopEvent};
 use ldb_machine::{Arch, ByteOrder};
 use ldb_machine::core::read_core;
 use ldb_nub::{spawn_machine, FaultConfig, FaultyWire, NubConfig, NubHandle, TcpWire, Wire};
@@ -74,6 +82,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut run_only = false;
     let mut core: Option<String> = None;
     let mut fault: Option<FaultConfig> = None;
+    let mut chaos: Option<ChaosConfig> = None;
     let mut trace_path: Option<String> = None;
     let mut wire_cache = true;
     let mut ps_fuel: Option<u64> = None;
@@ -95,6 +104,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 i += 1;
                 let spec = args.get(i).ok_or("--fault needs a spec (e.g. seed=1,drop=0.05)")?;
                 fault = Some(FaultConfig::parse(spec)?);
+            }
+            "--chaos" => {
+                i += 1;
+                let spec =
+                    args.get(i).ok_or("--chaos needs a seed (e.g. 7, or seed=7,rate=0.1)")?;
+                chaos = Some(ChaosConfig::parse(spec)?);
             }
             "--trace" => {
                 i += 1;
@@ -178,6 +193,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut ldb = Ldb::new();
     ldb.set_wire_cache(wire_cache);
     ldb.set_ps_limits(ps_fuel, ps_mem);
+    ldb.set_chaos(chaos.clone());
     // The flight recorder always keeps an in-memory ring for `info trace`;
     // `--trace` additionally streams every record to a JSONL journal with
     // wall-clock timestamps.
@@ -226,6 +242,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(f) = &fault {
         println!("fault injection active on the wire: {f:?}");
     }
+    if let Some(cfg) = &chaos {
+        println!(
+            "chaos injection active on target data memory: seed={} rate={} \
+             (run control is reliable; inspection results are suspect)",
+            cfg.seed, cfg.rate
+        );
+    }
     println!(
         "ldb: {} for {arch} ({} instructions)",
         files.join(" "),
@@ -242,11 +265,29 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         let mut parts = line.split_whitespace();
         let cmd = parts.next().unwrap_or("");
         let rest: Vec<&str> = parts.collect();
-        let result = dispatch(&mut ldb, &mut sess, &c, &src, cmd, &rest);
+        // One hostile command must not take the session down: a residual
+        // panic anywhere in dispatch quarantines that command (journaled,
+        // counted by `info health`), re-validates session state, and the
+        // loop keeps going.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatch(&mut ldb, &mut sess, &c, &src, cmd, &rest)
+        }));
         match result {
-            Ok(true) => break,
-            Ok(false) => {}
-            Err(e) => println!("error: {e}"),
+            Ok(Ok(true)) => break,
+            Ok(Ok(false)) => {}
+            Ok(Err(e)) => println!("error: {e}"),
+            Err(payload) => {
+                let msg = ldb_core::panic_text(payload.as_ref());
+                trace.emit(
+                    ldb_trace::Layer::Dbg,
+                    ldb_trace::Severity::Warn,
+                    "panic",
+                    &[("cmd", cmd.to_string().into()), ("msg", msg.clone().into())],
+                );
+                ldb.note_quarantined();
+                ldb.recover_session();
+                println!("error: command quarantined (internal panic: {msg})");
+            }
         }
         // Keep the on-disk journal current between commands so a crashed
         // session still leaves a usable trace behind.
@@ -342,6 +383,7 @@ d <addr>                  delete breakpoint        info   list breakpoints/watch
 info wire                 wire transaction counters and cache statistics
 info ps                   sandbox budgets, fuel/allocation spent, quarantined modules
 info trace                flight-recorder counts, cross-checks, recent journal records
+info health               defensive-layer counters (truncated walks, cycles, quarantines)
 reload                    retry quarantined symbol tables
 w <name> | dw <name>      watch a variable / stop watching
 c                         continue                 s      step one instruction
@@ -445,6 +487,9 @@ q                         quit"
             if ldb.trace().write_failed() {
                 println!("warning: journal write failed; records are missing from the file");
             }
+        }
+        "info" if rest.first() == Some(&"health") => {
+            println!("{}", ldb.health());
         }
         "info" if rest.first() == Some(&"wire") => {
             let id = ldb.current().ok_or("no target")?;
@@ -631,8 +676,15 @@ q                         quit"
             println!("{}", ldb.eval(&expr)?);
         }
         "bt" | "where" => {
-            for (lvl, name, pc, vfp) in ldb.backtrace() {
+            let (rows, stop) = ldb.backtrace();
+            if rows.is_empty() {
+                println!("no stack");
+            }
+            for (lvl, name, pc, vfp) in rows {
                 println!("#{lvl}  {name}  pc={pc:#x}  frame={vfp:#x}");
+            }
+            if !stop.is_clean() {
+                println!("walk truncated: {stop}");
             }
         }
         "f" | "frame" => {

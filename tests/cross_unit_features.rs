@@ -103,6 +103,6 @@ fn step_over_a_cross_unit_call() {
     // next over `total += clamp(...)`: the callee is in the other unit.
     ldb.step_over().unwrap();
     assert_eq!(ldb.eval("total").unwrap(), "5"); // clamp(0,5,25) = 5
-    let bt = ldb.backtrace();
+    let (bt, _) = ldb.backtrace();
     assert_eq!(bt[0].1, "main");
 }

@@ -103,7 +103,7 @@ fn reconnect_and_resync(
     assert!(ldb.target(0).disconnected, "{arch}: not flagged disconnected after: {cause}");
     // Degraded mode: the frame and register views from the last stop
     // still answer from cache...
-    assert!(!ldb.backtrace().is_empty(), "{arch}: cached backtrace while disconnected");
+    assert!(!ldb.backtrace().0.is_empty(), "{arch}: cached backtrace while disconnected");
     let regs = ldb.registers().unwrap_or_else(|e| panic!("{arch}: cached registers: {e}"));
     assert!(!regs.is_empty(), "{arch}");
     // ...while mutating operations refuse with a clear diagnosis.
@@ -150,7 +150,7 @@ fn marathon(
             assert_eq!(ldb.print_var("n")?, expect.to_string(), "{arch} hit {k}");
             assert_eq!(ldb.print_var("here")?, expect.to_string(), "{arch} hit {k}");
             assert_eq!(ldb.print_var("steps")?, k.to_string(), "{arch} hit {k}");
-            let depth = ldb.backtrace().iter().filter(|(_, n, _, _)| n == "collatz").count();
+            let depth = ldb.backtrace().0.iter().filter(|(_, n, _, _)| n == "collatz").count();
             assert_eq!(depth, (k + 1).min(64), "{arch} hit {k}: depth");
             if use_eval && k.is_multiple_of(5) {
                 // The expression pipeline (nub fetches through the

@@ -94,7 +94,7 @@ fn debugging_across_units_with_a_combined_dictionary() {
         assert_eq!(ldb.eval("v").unwrap(), "90", "{arch}");
         // Walk into main's frame: its own static `calls` is 8 (2 per
         // iteration, 4 iterations).
-        let bt = ldb.backtrace();
+        let (bt, _) = ldb.backtrace();
         let names: Vec<&str> = bt.iter().map(|(_, n, _, _)| n.as_str()).collect();
         assert_eq!(names, vec!["clamp", "main"], "{arch}");
         ldb.select_frame(1).unwrap();

@@ -107,7 +107,7 @@ fn registers_and_frames_agree_with_machine_data() {
         assert!(regs[sp].1 > 0x2000, "{arch}: sp = {:#x}", regs[sp].1);
         // Frames: record <- main.
         let names: Vec<String> =
-            ldb.backtrace().into_iter().map(|(_, n, _, _)| n).collect();
+            ldb.backtrace().0.into_iter().map(|(_, n, _, _)| n).collect();
         assert_eq!(names, vec!["record", "main"], "{arch}");
     }
 }

@@ -112,7 +112,7 @@ fn finish_from_the_outermost_frame_errors() {
     ldb.select_frame(0).unwrap();
     // main's caller is the startup shim, which has no symbols — but it
     // does exist as a frame; go one deeper than the walk provides.
-    let frames = ldb.backtrace().len();
+    let frames = ldb.backtrace().0.len();
     ldb.select_frame(frames - 1).unwrap();
     assert!(ldb.finish().is_err());
 }

@@ -62,7 +62,7 @@ fn breakpoint_marathon_tracks_ground_truth() {
             assert_eq!(ldb.eval("steps").unwrap(), k.to_string(), "{arch} hit {k}");
             // The stack is k+1 collatz frames deep (capped by the frame
             // walker's 64-frame limit) plus main.
-            let bt = ldb.backtrace();
+            let (bt, _) = ldb.backtrace();
             let depth = bt.iter().filter(|(_, n, _, _)| n == "collatz").count();
             assert_eq!(depth, (k + 1).min(64), "{arch} hit {k}: depth");
             // Spot-check a parent frame every few hits.

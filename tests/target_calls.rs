@@ -59,7 +59,7 @@ fn side_effects_persist_but_context_is_restored() {
         assert_eq!(ldb.print_var("counter").unwrap(), "4", "{arch}");
         // But the stopped program is where it was, and resumes cleanly.
         assert_eq!(ldb.print_var("x").unwrap(), "0", "{arch}");
-        let bt = ldb.backtrace();
+        let (bt, _) = ldb.backtrace();
         assert_eq!(bt[0].1, "main", "{arch}: {bt:?}");
         let _ = pc_before; // the breakpoint report below proves the pc
         match ldb.cont().unwrap() {

@@ -195,7 +195,7 @@ fn transcript(arch: Arch, ldb: &mut Ldb, hits: usize) -> Vec<String> {
         for var in ["n", "here", "steps", "ratio"] {
             out.push(format!("{var}={}", ldb.print_var(var).unwrap()));
         }
-        out.push(format!("bt={:?}", ldb.backtrace()));
+        out.push(format!("bt={:?}", ldb.backtrace().0));
         out.push(format!("regs={:?}", ldb.registers().unwrap()));
     }
     out
@@ -257,7 +257,7 @@ fn deep_inspection(handle_wire: Box<dyn ldb_suite::nub::Wire>, loader: &str, cac
     let mut ldb = Ldb::new();
     ldb.set_wire_cache(cache);
     ldb.attach(handle_wire, loader, None).unwrap();
-    let bt = ldb.backtrace();
+    let (bt, _) = ldb.backtrace();
     assert!(bt.len() >= 20, "cache={cache}: only {} frames", bt.len());
     for _ in 0..2 {
         for j in 0..32 {
