@@ -329,6 +329,10 @@ pub struct Ldb {
     chaos: Option<ChaosConfig>,
     /// Session-wide robustness counters (`info health`).
     health: Health,
+    /// Cross-thread cancellation token ([`Ldb::set_cancel`]): the daemon's
+    /// per-session watchdog sets it to abort a wedged command. Propagated
+    /// to the interpreter and to every nub client, like the trace handle.
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     /// The dictionary stack as of session construction (systemdict …
     /// debug dict): the known-good base [`Ldb::recover_session`] restores
     /// after a quarantined command.
@@ -352,6 +356,31 @@ pub struct Health {
     pub quarantined_commands: u64,
     /// Fetches the chaos layer corrupted (0 without `--chaos`).
     pub chaos_corruptions: u64,
+    /// Wedged commands a session watchdog cancelled (0 outside a
+    /// watchdog-supervised session — the daemon's per-tenant deadline).
+    pub watchdog_timeouts: u64,
+}
+
+impl Health {
+    /// The counters as one machine-readable JSON object (`info health
+    /// --json`): what the daemon and fleet runner aggregate per tenant
+    /// without screen-scraping the human format. Keys are the field
+    /// names; all values are unsigned integers, so the encoding needs no
+    /// escaping machinery.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"walks_truncated\":{},\"walk_cycles\":{},\"print_cycles\":{},\
+             \"print_follow_caps\":{},\"quarantined_commands\":{},\
+             \"chaos_corruptions\":{},\"watchdog_timeouts\":{}}}",
+            self.walks_truncated,
+            self.walk_cycles,
+            self.print_cycles,
+            self.print_follow_caps,
+            self.quarantined_commands,
+            self.chaos_corruptions,
+            self.watchdog_timeouts
+        )
+    }
 }
 
 impl std::fmt::Display for Health {
@@ -359,13 +388,15 @@ impl std::fmt::Display for Health {
         write!(
             f,
             "health: {} truncated walks ({} cycles), {} print cycles, \
-             {} follow caps, {} quarantined commands, {} chaos corruptions",
+             {} follow caps, {} quarantined commands, {} chaos corruptions, \
+             {} watchdog timeouts",
             self.walks_truncated,
             self.walk_cycles,
             self.print_cycles,
             self.print_follow_caps,
             self.quarantined_commands,
-            self.chaos_corruptions
+            self.chaos_corruptions,
+            self.watchdog_timeouts
         )
     }
 }
@@ -420,6 +451,7 @@ impl Ldb {
             trace: Trace::off(),
             chaos: None,
             health: Health::default(),
+            cancel: None,
             base_dicts,
         };
         ldb.register_expr_ops();
@@ -443,6 +475,45 @@ impl Ldb {
     /// counters and ring).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Attach a cross-thread cancellation token to the whole session: the
+    /// interpreter's dispatch loop and every nub client — targets already
+    /// attached and targets attached from now on — poll it and abort with
+    /// a timeout error once it is set. The daemon's per-session watchdog
+    /// owns the other end; `None` detaches everywhere.
+    pub fn set_cancel(
+        &mut self,
+        cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    ) {
+        self.cancel = cancel.clone();
+        self.interp.set_cancel(cancel.clone());
+        for t in &self.targets {
+            t.client.borrow_mut().set_cancel(cancel.clone());
+        }
+    }
+
+    /// Record a wedged command the session watchdog had to cancel (the
+    /// daemon's session worker calls this before `recover_session`).
+    pub fn note_watchdog_timeout(&mut self) {
+        self.health.watchdog_timeouts += 1;
+    }
+
+    /// Best-effort detach of every live target with a hard per-target
+    /// deadline: the teardown path for watchdog kills, idle eviction, and
+    /// daemon shutdown, where relying on drop order would leave the
+    /// simulated target running with breakpoints planted. Detach failures
+    /// are swallowed — the target may already be gone — but each attempt
+    /// is bounded so teardown cannot wedge behind a dead wire.
+    pub fn detach_all_with_deadline(&mut self, deadline: std::time::Duration) {
+        for t in self.targets.drain(..) {
+            if !t.disconnected {
+                t.client.borrow_mut().detach_with_deadline(deadline);
+            }
+            drop(t.nub);
+        }
+        self.pop_target_dicts();
+        self.cur = None;
     }
 
     /// Enable or disable the wire cache for *future* attaches (existing
@@ -610,6 +681,7 @@ impl Ldb {
     ) -> Result<usize, LdbError> {
         let mut client = NubClient::with_config(wire, cfg);
         client.set_trace(self.trace.clone());
+        client.set_cancel(self.cancel.clone());
         let ev = client.wait_event()?;
         let stop = match ev {
             NubEvent::Stopped { sig, code, context } => Stop { sig, code, context },

@@ -40,6 +40,7 @@ pub mod frame;
 pub mod loader;
 pub mod psops;
 pub mod script;
+pub mod session;
 pub mod symtab;
 
 pub use amemory::{AbstractMemory, AliasMemory, CachedMemory, CacheStats, JoinedMemory, MemError, MemRef, RegisterMemory, WireMemory};
@@ -51,6 +52,9 @@ pub use frame::{walk_stack, Frame, FrameWalker, WalkCtx, WalkError, WalkGuard, W
 pub use loader::{FrameMeta, Loader, ModuleTable, Quarantined};
 pub use psops::{CtxRef, EvalCtx, MemHandle};
 pub use script::{panic_text, run_command_guarded, run_script, trace_report};
+pub use session::{
+    CloseReason, Session, SessionBuilder, SessionConfig, SessionError, SessionRegistry,
+};
 
 /// Errors from debugger operations.
 #[derive(Debug)]

@@ -173,6 +173,7 @@ fn run_command(ldb: &mut Ldb, cmd: &str, rest: &str) -> Result<String, LdbError>
             "wire" => wire_report(ldb),
             "trace" => trace_report(ldb),
             "health" => ldb.health().to_string(),
+            "health --json" => ldb.health().to_json(),
             other => return Err(LdbError::msg(format!("no `info {other}` in scripts"))),
         },
         other => return Err(LdbError::msg(format!("unknown script command `{other}`"))),

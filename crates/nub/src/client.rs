@@ -18,6 +18,8 @@
 
 use std::collections::VecDeque;
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ldb_trace::{Layer, Severity, Trace};
@@ -54,6 +56,10 @@ pub enum NubError {
     /// The nub stopped answering within the retry budget; the wire may be
     /// dead or the peer wedged. Reconnect (or retry) to find out.
     Timeout(String),
+    /// The operation was aborted by the session's cancellation token
+    /// (see [`NubClient::set_cancel`]). The wire is fine — a watchdog
+    /// cut the command short, nothing more.
+    Cancelled,
 }
 
 impl std::fmt::Display for NubError {
@@ -67,6 +73,7 @@ impl std::fmt::Display for NubError {
             NubError::Nub(c) => write!(f, "nub: error {c}"),
             NubError::Protocol(s) => write!(f, "nub protocol: {s}"),
             NubError::Timeout(s) => write!(f, "nub timeout: {s}"),
+            NubError::Cancelled => f.write_str("cancelled by session watchdog"),
         }
     }
 }
@@ -94,6 +101,13 @@ pub struct ClientConfig {
     /// How often to probe with [`Request::Ping`] while waiting for a
     /// stop notification.
     pub event_poll: Duration,
+    /// Seed for deterministic retransmission jitter. `0` (the default)
+    /// keeps the exact exponential schedule; any other value spreads each
+    /// backoff sleep over `[backoff/2, backoff]` with a per-client
+    /// xorshift sequence, so N clients sharing a lossy link do not
+    /// retransmit in lockstep. Jitter only ever *shortens* a sleep, so a
+    /// transaction always stays within the configured retry budget.
+    pub jitter_seed: u64,
 }
 
 impl Default for ClientConfig {
@@ -103,6 +117,36 @@ impl Default for ClientConfig {
             retries: 10,
             backoff: Duration::from_millis(1),
             event_poll: Duration::from_millis(10),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// One step of the xorshift64* sequence the jittered backoff draws from.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// The sleep before a retransmission: exactly `base` without jitter
+/// (`rng == None`), otherwise a deterministic draw from
+/// `[base/2, base]` — never longer than `base`, so the total retry
+/// budget is an upper bound in both modes.
+fn jittered_backoff(base: Duration, rng: Option<&mut u64>) -> Duration {
+    match rng {
+        None => base,
+        Some(state) => {
+            let half = base / 2;
+            let span = base.saturating_sub(half);
+            let span_us = span.as_micros() as u64;
+            if span_us == 0 {
+                return base;
+            }
+            half + Duration::from_micros(xorshift64(state) % (span_us + 1))
         }
     }
 }
@@ -137,6 +181,12 @@ pub struct NubClient {
     /// Flight-recorder handle; [`Trace::off`] (the default) costs one
     /// branch per frame. Every record it emits is [`Layer::Wire`].
     trace: Trace,
+    /// Jitter RNG state (`None` when [`ClientConfig::jitter_seed`] is 0).
+    jitter: Option<u64>,
+    /// Cross-thread cancellation token: a session watchdog sets it to
+    /// abort a wedged transaction or event wait from outside the owning
+    /// thread (polled once per attempt and once per poll interval).
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl std::fmt::Debug for NubClient {
@@ -154,6 +204,7 @@ impl NubClient {
     /// Wrap a connected wire with an explicit policy (tests shrink the
     /// timeouts; lossy links may want a larger retry budget).
     pub fn with_config(wire: Box<dyn Wire>, cfg: ClientConfig) -> NubClient {
+        let jitter = (cfg.jitter_seed != 0).then_some(cfg.jitter_seed);
         NubClient {
             wire,
             cfg,
@@ -162,7 +213,29 @@ impl NubClient {
             pending_events: VecDeque::new(),
             metrics: WireMetrics::default(),
             trace: Trace::off(),
+            jitter,
+            cancel: None,
         }
+    }
+
+    /// Install (or remove, with `None`) a cross-thread cancellation
+    /// token. A set token makes the next transaction attempt or event
+    /// poll return [`NubError::Cancelled`] — how a session watchdog
+    /// unblocks a command wedged waiting on a target that never stops.
+    pub fn set_cancel(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.cancel = cancel;
+    }
+
+    /// Whether the installed cancellation token has been set.
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// The typed cancellation error: distinct from [`NubError::Timeout`]
+    /// because the wire is still good — callers must not treat a
+    /// watchdog kill as a lost connection.
+    fn cancel_error(&self) -> NubError {
+        NubError::Cancelled
     }
 
     /// Attach (or detach, with [`Trace::off`]) the flight recorder. The
@@ -265,6 +338,9 @@ impl NubClient {
         let mut corrupt_seen = false;
         self.metrics.transactions += 1;
         for attempt in 0..=self.cfg.retries {
+            if self.cancelled() {
+                return Err(self.cancel_error());
+            }
             if attempt > 0 {
                 self.metrics.retransmits += 1;
                 self.trace.emit(
@@ -273,7 +349,7 @@ impl NubClient {
                     "retx",
                     &[("seq", seq.into()), ("attempt", attempt.into())],
                 );
-                std::thread::sleep(backoff);
+                std::thread::sleep(jittered_backoff(backoff, self.jitter.as_mut()));
                 backoff = (backoff * 2).min(Duration::from_millis(80));
             }
             if let Err(e) = self.wire.send(&frame) {
@@ -413,6 +489,9 @@ impl NubClient {
         loop {
             if let Some(e) = self.pending_events.pop_front() {
                 return Ok(e);
+            }
+            if self.cancelled() {
+                return Err(self.cancel_error());
             }
             match self.wire.recv_timeout(self.cfg.event_poll)? {
                 Some(raw) => {
@@ -639,6 +718,22 @@ impl NubClient {
         Ok(())
     }
 
+    /// Best-effort [`Request::Detach`] bounded by `deadline`: one attempt,
+    /// no retransmissions, and any installed cancellation token is
+    /// ignored for its duration. Teardown paths (session watchdog kill,
+    /// idle eviction, daemon shutdown) use this so an abandoned session
+    /// never leaves the target running with breakpoints planted — and
+    /// never wedges the teardown on a dead wire either.
+    pub fn detach_with_deadline(&mut self, deadline: Duration) {
+        let saved_cfg = self.cfg.clone();
+        let saved_cancel = self.cancel.take();
+        self.cfg.reply_timeout = deadline;
+        self.cfg.retries = 0;
+        let _ = self.transact(&Request::Detach);
+        self.cfg = saved_cfg;
+        self.cancel = saved_cancel;
+    }
+
     /// Terminate the target.
     ///
     /// # Errors
@@ -653,6 +748,70 @@ impl NubClient {
         match self.wait_event()? {
             NubEvent::Exited(s) => Ok(s),
             other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The backoff schedule a client with `seed` would sleep through for
+    /// `attempts` retransmissions, mirroring the doubling in `transact`.
+    fn schedule(seed: u64, attempts: u32) -> Vec<Duration> {
+        let cfg = ClientConfig { backoff: Duration::from_millis(8), jitter_seed: seed, ..ClientConfig::default() };
+        let mut rng = (cfg.jitter_seed != 0).then_some(cfg.jitter_seed);
+        let mut backoff = cfg.backoff;
+        let mut out = Vec::new();
+        for _ in 0..attempts {
+            out.push(jittered_backoff(backoff, rng.as_mut()));
+            backoff = (backoff * 2).min(Duration::from_millis(80));
+        }
+        out
+    }
+
+    #[test]
+    fn zero_seed_keeps_exact_exponential_backoff() {
+        let s = schedule(0, 4);
+        assert_eq!(
+            s,
+            vec![
+                Duration::from_millis(8),
+                Duration::from_millis(16),
+                Duration::from_millis(32),
+                Duration::from_millis(64)
+            ]
+        );
+    }
+
+    #[test]
+    fn different_seeds_desynchronize() {
+        let a = schedule(1, 6);
+        let b = schedule(2, 6);
+        assert_ne!(a, b, "two seeds produced the same retransmission schedule");
+        // Not a single retransmission instant coincides once jitter is on
+        // (the point of the exercise: no lockstep on a shared link).
+        let coincide = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(coincide <= 1, "schedules still mostly in lockstep: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        assert_eq!(schedule(7, 8), schedule(7, 8), "same seed must replay the same schedule");
+    }
+
+    #[test]
+    fn jitter_never_exceeds_the_retry_budget() {
+        // Every jittered sleep stays within [base/2, base], so the total
+        // is bounded by the unjittered schedule — the retry budget a
+        // caller planned for without jitter still holds.
+        for seed in 1..64u64 {
+            let jittered = schedule(seed, 8);
+            let exact = schedule(0, 8);
+            for (j, e) in jittered.iter().zip(&exact) {
+                assert!(*j <= *e, "seed {seed}: jittered sleep {j:?} over base {e:?}");
+                assert!(*j >= *e / 2, "seed {seed}: jittered sleep {j:?} under half of {e:?}");
+            }
         }
     }
 }

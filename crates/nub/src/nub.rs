@@ -30,7 +30,7 @@ use std::io;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
 use crate::arch::{nub_arch, NubArch};
 use crate::proto::{Envelope, Reply, Request, Sig};
@@ -161,11 +161,24 @@ impl Nub {
                     // connection waits for the pause handshake.
                     let hold_for_pause = self.cfg.wait_at_pause && !self.reached_pause;
                     if !hold_for_pause {
-                        if let Ok(w) = self.connect_rx.try_recv() {
-                            self.accept(w);
-                            self.stop_with(Sig::Attach.number(), 0);
-                            state = State::Stopped;
-                            continue;
+                        match self.connect_rx.try_recv() {
+                            Ok(w) => {
+                                self.accept(w);
+                                self.stop_with(Sig::Attach.number(), 0);
+                                state = State::Stopped;
+                                continue;
+                            }
+                            // No debugger attached and every connect
+                            // handle is gone: nobody can ever reach this
+                            // target again, so a non-terminating program
+                            // would pin this thread forever. The host
+                            // reclaims the machine instead (a daemon
+                            // tearing down a detached-but-running tenant
+                            // relies on this).
+                            Err(TryRecvError::Disconnected) if self.wire.is_none() => {
+                                return self.machine;
+                            }
+                            Err(_) => {}
                         }
                     }
                     // Service the wire between slices so a client can tell

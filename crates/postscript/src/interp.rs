@@ -84,7 +84,16 @@ pub struct Interp {
     /// consumption, budget trips; the loader adds module loads and
     /// quarantines through [`Interp::trace`]).
     trace: Trace,
+    /// Cross-thread cancellation token (a session watchdog sets it from
+    /// outside the owning thread). Polled every [`CANCEL_POLL_MASK`]+1
+    /// execution steps; a set token aborts the run with `timeout`.
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
+
+/// How often [`Interp::charge_step`] polls the cancellation token: every
+/// `CANCEL_POLL_MASK + 1` steps (one atomic load amortized over 1024
+/// dispatches keeps the hot path unchanged for the common case).
+const CANCEL_POLL_MASK: u64 = 0x3ff;
 
 impl std::fmt::Debug for Interp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -118,6 +127,7 @@ impl Interp {
             alloc_used: 0,
             stats: BudgetStats::default(),
             trace: Trace::off(),
+            cancel: None,
         };
         ops::register_all(&mut interp);
         interp
@@ -152,6 +162,15 @@ impl Interp {
     /// Attach (or detach, with [`Trace::off`]) the flight recorder.
     pub fn set_trace(&mut self, trace: Trace) {
         self.trace = trace;
+    }
+
+    /// Install (or remove, with `None`) a cross-thread cancellation token.
+    /// When another thread sets the token, the interpreter aborts the
+    /// current run with a `timeout` error at the next poll (within 1024
+    /// execution steps) — how a session watchdog kills a wedged command
+    /// that is spinning inside untrusted PostScript.
+    pub fn set_cancel(&mut self, cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) {
+        self.cancel = cancel;
     }
 
     /// The flight-recorder handle (cheap to clone; hosts like the loader
@@ -274,6 +293,22 @@ impl Interp {
     fn charge_step(&mut self) -> PsResult<()> {
         self.fuel_used += 1;
         self.stats.fuel_spent_total += 1;
+        if self.fuel_used & CANCEL_POLL_MASK == 0 {
+            if let Some(c) = &self.cancel {
+                if c.load(std::sync::atomic::Ordering::Relaxed) {
+                    self.trace.emit(
+                        Layer::Ps,
+                        Severity::Warn,
+                        "cancelled",
+                        &[("fuel_used", self.fuel_used.into())],
+                    );
+                    return Err(PsError::runtime(
+                        ErrorKind::Timeout,
+                        "execution cancelled by session watchdog",
+                    ));
+                }
+            }
+        }
         if self.fuel_used > self.budget.max_fuel {
             self.stats.budget_trips += 1;
             self.trace.emit(

@@ -11,6 +11,11 @@
 #   chaos soak       — 200 seeded target-memory-corruption sessions across
 #                      all architectures (MIPS both byte orders): no
 #                      panics, typed truncation reasons, health accounting
+#   daemon marathon  — ldbd with 104 simultaneous sessions (healthy +
+#                      chaos + fault + wedged): zero cross-session
+#                      interference, per-tenant health, graceful cap
+#   daemon shutdown  — teardown mid-command: typed close reasons, idle
+#                      eviction, no leaked threads, TCP quickstart
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,3 +26,5 @@ cargo test -q --test artifact_corruption
 cargo test -q -p ldb-postscript --test fuzz
 cargo test -q --test replay_golden
 cargo test -q --test chaos_soak
+cargo test -q --test daemon_marathon
+cargo test -q --test daemon_shutdown

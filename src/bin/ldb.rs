@@ -383,7 +383,7 @@ d <addr>                  delete breakpoint        info   list breakpoints/watch
 info wire                 wire transaction counters and cache statistics
 info ps                   sandbox budgets, fuel/allocation spent, quarantined modules
 info trace                flight-recorder counts, cross-checks, recent journal records
-info health               defensive-layer counters (truncated walks, cycles, quarantines)
+info health [--json]      defensive-layer counters (truncated walks, cycles, quarantines)
 reload                    retry quarantined symbol tables
 w <name> | dw <name>      watch a variable / stop watching
 c                         continue                 s      step one instruction
@@ -489,7 +489,11 @@ q                         quit"
             }
         }
         "info" if rest.first() == Some(&"health") => {
-            println!("{}", ldb.health());
+            if rest.get(1) == Some(&"--json") {
+                println!("{}", ldb.health().to_json());
+            } else {
+                println!("{}", ldb.health());
+            }
         }
         "info" if rest.first() == Some(&"wire") => {
             let id = ldb.current().ok_or("no target")?;

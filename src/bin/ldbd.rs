@@ -1,0 +1,72 @@
+//! ldbd — the multi-session debug daemon.
+//!
+//! Usage: ldbd [--listen ADDR] [--max-sessions N] [--watchdog-ms N]
+//!             [--idle-ms N]
+//!
+//! Serves the ldb line protocol over TCP (see [`ldb_suite::daemon`]):
+//! each `open` builds a whole debugger session (compiler, nub,
+//! interpreter, health counters) on its own worker thread; `cmd` runs
+//! script-runner commands against a tenant; `health` returns the
+//! tenant's counters as JSON; `close` detaches its target with a typed
+//! reason; `shutdown` closes every tenant and exits.
+//!
+//!     $ ldbd --listen 127.0.0.1:7180 &
+//!     $ printf 'open mips\n' | nc 127.0.0.1 7180
+//!     ok 1
+//!     $ printf 'cmd 1 b clamp\ncmd 1 c\nhealth 1\n' | nc 127.0.0.1 7180
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ldb_suite::daemon::{Daemon, DaemonConfig};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ldbd: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:7180".to_string();
+    let mut cfg = DaemonConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                listen = args.get(i).ok_or("--listen needs an address")?.clone();
+            }
+            "--max-sessions" => {
+                i += 1;
+                cfg.max_sessions =
+                    args.get(i).ok_or("--max-sessions needs a count")?.parse::<usize>()?;
+            }
+            "--watchdog-ms" => {
+                i += 1;
+                let ms: u64 = args.get(i).ok_or("--watchdog-ms needs a count")?.parse()?;
+                cfg.watchdog = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--idle-ms" => {
+                i += 1;
+                let ms: u64 = args.get(i).ok_or("--idle-ms needs a count")?.parse()?;
+                cfg.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (usage: ldbd [--listen ADDR] \
+                     [--max-sessions N] [--watchdog-ms N] [--idle-ms N])"
+                )
+                .into())
+            }
+        }
+        i += 1;
+    }
+    let listener = std::net::TcpListener::bind(&listen)?;
+    println!("ldbd: listening on {} (max {} sessions)", listener.local_addr()?, cfg.max_sessions);
+    let daemon = Arc::new(Daemon::new(cfg));
+    daemon.serve(listener)?;
+    println!("ldbd: shut down; all sessions closed and targets detached");
+    Ok(())
+}

@@ -1,0 +1,437 @@
+//! `ldbd`: the multi-session debug daemon — many tenants, one process,
+//! per-tenant fault containment.
+//!
+//! The paper's machine-independent core was designed so "the debugger
+//! need not run on the target machine"; `ldbd` takes the next step and
+//! detaches the debugger from the *client* too. Each tenant's whole
+//! debugger (interpreter, compiled target, nub, cache, chaos, trace,
+//! health counters) lives on its own worker thread behind an
+//! [`ldb_core::Session`]; the daemon multiplexes them through an
+//! [`ldb_core::SessionRegistry`] with a hard session cap, per-command
+//! watchdog deadlines, idle eviction, and bounded best-effort `Detach`
+//! on every teardown path.
+//!
+//! The front end is a line protocol over TCP, one request per line, one
+//! reply per line (payloads are newline-escaped, see [`escape_line`]):
+//!
+//! ```text
+//! open <arch> [prog=count|spin] [chaos=SPEC] [fault=SPEC] [watchdog_ms=N] [jitter=N]
+//!     -> ok <session-id>
+//! cmd <id> <command line>      -> ok <transcript>     (run_script format)
+//! health <id>                  -> ok <health json>
+//! close <id>                   -> ok closed <reason>
+//! ping                         -> ok pong
+//! shutdown                     -> ok shutdown <n-closed>
+//! anything else                -> err <message>
+//! ```
+//!
+//! Targets are built-in programs compiled in the session's own worker
+//! (compilation is deterministic, so a tenant's transcript matches a
+//! solo run byte for byte): `count`, a healthy compute loop with
+//! breakpoint-friendly structure, and `spin`, which never stops — the
+//! wedge that demonstrates watchdog recovery.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ldb_cc::driver::{compile_many, program_load_plan, CompileOpts};
+use ldb_cc::pssym::PsMode;
+use ldb_core::{
+    ChaosConfig, CloseReason, SessionBuilder, SessionConfig, SessionError, SessionRegistry,
+};
+use ldb_machine::Arch;
+use ldb_nub::{spawn, ClientConfig, FaultConfig, FaultyWire, NubConfig, Wire};
+
+/// The healthy built-in target: enough structure for breakpoints, stack
+/// walks, typed prints, and expression evaluation.
+pub const PROG_COUNT: &str = r#"
+char msg[16] = "hi there";
+char *p;
+static int calls;
+static int limit = 100;
+int clamp(int v) {
+    calls++;
+    if (v > limit) return limit;
+    return v;
+}
+int main(void) {
+    int i; int s;
+    s = 0;
+    p = msg;
+    for (i = 0; i < 10; i++) s += clamp(i * 30);
+    printf("%d\n", s);
+    return 0;
+}
+"#;
+
+/// The wedge built-in: never stops, never exits. A `c` against it blocks
+/// until the tenant's watchdog cancels the command.
+pub const PROG_SPIN: &str = r#"
+int main(void) {
+    int i;
+    i = 0;
+    while (1) i = i + 1;
+    return 0;
+}
+"#;
+
+/// Look up a built-in target program by protocol name.
+pub fn builtin_program(name: &str) -> Option<&'static str> {
+    match name {
+        "count" => Some(PROG_COUNT),
+        "spin" => Some(PROG_SPIN),
+        _ => None,
+    }
+}
+
+/// Escape a payload onto one protocol line: `\` → `\\`, newline → `\n`.
+pub fn escape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_line`].
+pub fn unescape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some(c) => out.push(c),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Daemon-wide policy.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Hard cap on simultaneous sessions; opens beyond it are rejected
+    /// with `err`, never a crash.
+    pub max_sessions: usize,
+    /// Default per-command watchdog for tenants that don't pass
+    /// `watchdog_ms` at open.
+    pub watchdog: Option<Duration>,
+    /// Grace after a watchdog cancellation before a tenant is declared
+    /// wedged.
+    pub grace: Duration,
+    /// Per-target deadline for the best-effort `Detach` on teardown.
+    pub detach_deadline: Duration,
+    /// Evict sessions idle at least this long (`None` disables the
+    /// reaper).
+    pub idle_timeout: Option<Duration>,
+    /// How often the idle reaper sweeps.
+    pub reap_every: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            max_sessions: 128,
+            watchdog: Some(Duration::from_secs(10)),
+            grace: Duration::from_secs(2),
+            detach_deadline: Duration::from_millis(200),
+            idle_timeout: None,
+            reap_every: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Build the [`SessionBuilder`] for one tenant: compile `src` for
+/// `arch`, spawn a fresh nub, optionally wrap the wire in a fault
+/// injector, optionally arm the chaos layer, and attach — all of it on
+/// the session's worker thread.
+pub fn session_builder(
+    arch: Arch,
+    src: &str,
+    chaos: Option<ChaosConfig>,
+    fault: Option<FaultConfig>,
+    jitter_seed: u64,
+) -> SessionBuilder {
+    let src = src.to_string();
+    Box::new(move |ldb| {
+        let p = compile_many(&[("target.c", src.as_str())], arch, CompileOpts::default())
+            .map_err(|e| ldb_core::LdbError::msg(format!("compile: {e}")))?;
+        let (frame_ps, modules) = program_load_plan(&p, PsMode::Deferred);
+        let modules: Vec<ldb_core::ModuleTable> = modules
+            .into_iter()
+            .map(|(name, ps)| ldb_core::ModuleTable { name, ps })
+            .collect();
+        let handle = spawn(&p.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
+        let wire = handle
+            .connect_channel()
+            .map_err(|e| ldb_core::LdbError::msg(format!("connect: {e}")))?;
+        let wire: Box<dyn Wire> = match fault {
+            Some(cfg) => {
+                let mut fw = FaultyWire::wrap(wire, cfg);
+                fw.set_trace(ldb.trace().clone());
+                Box::new(fw)
+            }
+            None => Box::new(wire),
+        };
+        ldb.set_chaos(chaos);
+        let client = ClientConfig {
+            reply_timeout: Duration::from_secs(2),
+            retries: 4,
+            backoff: Duration::from_millis(1),
+            event_poll: Duration::from_millis(100),
+            jitter_seed,
+        };
+        ldb.attach_plan_with_config(wire, &frame_ps, &modules, Some(handle), client)?;
+        Ok(format!("{arch}"))
+    })
+}
+
+/// The daemon proper: a [`SessionRegistry`] plus the line-protocol front
+/// end. [`Daemon::handle_line`] is the whole protocol — the TCP layer
+/// ([`Daemon::serve`]) and tests drive the same entry point.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    registry: Arc<SessionRegistry>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// A daemon with an empty registry.
+    pub fn new(cfg: DaemonConfig) -> Daemon {
+        let registry = Arc::new(SessionRegistry::new(cfg.max_sessions));
+        Daemon { cfg, registry, shutdown: Arc::new(AtomicBool::new(false)) }
+    }
+
+    /// The tenant table (tests aggregate per-tenant health through it).
+    pub fn registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
+    /// Whether `shutdown` has been processed.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Execute one protocol request and produce one reply line (without
+    /// the trailing newline). Never panics a caller: every failure is an
+    /// `err …` reply.
+    pub fn handle_line(&self, line: &str) -> String {
+        match self.dispatch(line.trim()) {
+            Ok(reply) => format!("ok {}", escape_line(&reply)),
+            Err(msg) => format!("err {}", escape_line(&msg)),
+        }
+    }
+
+    fn dispatch(&self, line: &str) -> Result<String, String> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err("daemon is shutting down".to_string());
+        }
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb {
+            "ping" => Ok("pong".to_string()),
+            "open" => self.open(rest),
+            "cmd" => {
+                let (id, commands) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| "usage: cmd <id> <command>".to_string())?;
+                let id = parse_id(id)?;
+                let commands = unescape_line(commands.trim());
+                self.registry.run(id, &commands).map_err(|e| self.after_error(id, e))
+            }
+            "health" => {
+                let id = parse_id(rest)?;
+                self.registry
+                    .health(id)
+                    .map(|h| h.to_json())
+                    .map_err(|e| self.after_error(id, e))
+            }
+            "close" => {
+                let id = parse_id(rest)?;
+                match self.registry.close(id, CloseReason::ClientRequest) {
+                    Ok(reason) => Ok(format!("closed {reason}")),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::Relaxed);
+                let closed = self.registry.close_all(CloseReason::Shutdown);
+                Ok(format!("shutdown {closed}"))
+            }
+            "" => Err("empty request".to_string()),
+            other => Err(format!("unknown verb `{other}`")),
+        }
+    }
+
+    /// A wedged tenant is unusable: close it (typed) so the id stops
+    /// answering and its worker tears down once it unwedges.
+    fn after_error(&self, id: u64, e: SessionError) -> String {
+        if matches!(e, SessionError::Wedged) {
+            let _ = self.registry.close(id, CloseReason::Wedged);
+        }
+        e.to_string()
+    }
+
+    fn open(&self, rest: &str) -> Result<String, String> {
+        let mut words = rest.split_whitespace();
+        let arch_name = words.next().ok_or("usage: open <arch> [k=v]...")?;
+        let arch = Arch::from_name(arch_name).ok_or_else(|| format!("unknown arch `{arch_name}`"))?;
+        let mut prog = PROG_COUNT;
+        let mut chaos = None;
+        let mut fault = None;
+        let mut jitter = 0u64;
+        let mut cfg = SessionConfig {
+            watchdog: self.cfg.watchdog,
+            grace: self.cfg.grace,
+            detach_deadline: self.cfg.detach_deadline,
+        };
+        for word in words {
+            let (key, value) = word
+                .split_once('=')
+                .ok_or_else(|| format!("bad open option `{word}` (want k=v)"))?;
+            match key {
+                "prog" => {
+                    prog = builtin_program(value)
+                        .ok_or_else(|| format!("unknown program `{value}` (count|spin)"))?;
+                }
+                "chaos" => chaos = Some(ChaosConfig::parse(value)?),
+                "fault" => fault = Some(FaultConfig::parse(value)?),
+                "watchdog_ms" => {
+                    let ms: u64 = value.parse().map_err(|_| "bad watchdog_ms".to_string())?;
+                    cfg.watchdog = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                "jitter" => {
+                    jitter = value.parse().map_err(|_| "bad jitter seed".to_string())?;
+                }
+                other => return Err(format!("unknown open option `{other}`")),
+            }
+        }
+        let builder = session_builder(arch, prog, chaos, fault, jitter);
+        match self.registry.open(cfg, builder) {
+            Ok(id) => Ok(format!("{id}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Serve the line protocol on `listener` until a client sends
+    /// `shutdown`: one thread per connection, a reaper sweeping idle
+    /// sessions, and on the way out a registry close that detaches every
+    /// live target. Returns once shutdown completes.
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut clients: Vec<(std::thread::JoinHandle<()>, TcpStream)> = Vec::new();
+        let reaper = self.cfg.idle_timeout.map(|idle| {
+            let daemon = Arc::clone(self);
+            std::thread::spawn(move || {
+                while !daemon.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(daemon.cfg.reap_every.min(Duration::from_millis(100)));
+                    daemon.registry.evict_idle(idle);
+                }
+            })
+        });
+        while !self.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let daemon = Arc::clone(self);
+                    // Keep a handle to the socket: a handler blocked in a
+                    // read only notices shutdown when its client speaks,
+                    // so the serve loop must be able to hang up for it.
+                    let sock = stream.try_clone()?;
+                    clients.push((
+                        std::thread::spawn(move || daemon.serve_client(stream)),
+                        sock,
+                    ));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for (handle, sock) in clients {
+            let _ = sock.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+        if let Some(r) = reaper {
+            let _ = r.join();
+        }
+        // Belt and braces: `shutdown` already closed the registry, but a
+        // serve loop ending any other way must still detach every target.
+        self.registry.close_all(CloseReason::Shutdown);
+        Ok(())
+    }
+
+    fn serve_client(&self, stream: TcpStream) {
+        let Ok(peer) = stream.try_clone() else { return };
+        let mut writer = peer;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            let reply = self.handle_line(&line);
+            if writeln!(writer, "{reply}").is_err() {
+                break;
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+    }
+}
+
+fn parse_id(s: &str) -> Result<u64, String> {
+    s.trim().parse::<u64>().map_err(|_| format!("bad session id `{s}`"))
+}
+
+/// A line-protocol client for tests and tools: connects, sends one
+/// request per call, reads one reply.
+pub struct DaemonClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl DaemonClient {
+    /// Connect to a serving daemon.
+    ///
+    /// # Errors
+    /// Socket failures.
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<DaemonClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(DaemonClient { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request line, read one reply line. Returns
+    /// `Ok(payload)` for `ok …` replies and `Err(message)` for `err …`
+    /// (payloads unescaped).
+    ///
+    /// # Errors
+    /// Socket failures surface as `Err` with an `io:` prefix.
+    pub fn request(&mut self, line: &str) -> Result<String, String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("io: {e}"))?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).map_err(|e| format!("io: {e}"))?;
+        let reply = reply.trim_end_matches('\n');
+        if let Some(payload) = reply.strip_prefix("ok ") {
+            Ok(unescape_line(payload))
+        } else if let Some(payload) = reply.strip_prefix("err ") {
+            Err(unescape_line(payload))
+        } else if reply.is_empty() {
+            Err("io: connection closed".to_string())
+        } else {
+            Err(format!("malformed reply `{reply}`"))
+        }
+    }
+}

@@ -1,5 +1,7 @@
 //! Umbrella crate for the ldb reproduction: re-exports every subsystem so the
 //! examples and integration tests can reach the whole stack through one name.
+pub mod daemon;
+
 pub use ldb_cc as cc;
 pub use ldb_compress as compress;
 pub use ldb_core as core;

@@ -63,6 +63,7 @@ fn quiet_client() -> ClientConfig {
         retries: 4,
         backoff: Duration::from_millis(1),
         event_poll: Duration::from_millis(300),
+        jitter_seed: 0,
     }
 }
 

@@ -1,0 +1,286 @@
+//! The concurrent marathon: ≥100 simultaneous `ldbd` sessions — healthy,
+//! chaos-corrupted, fault-injected, and deliberately wedged tenants
+//! mixed across all four architectures — asserting the daemon's whole
+//! robustness contract at once:
+//!
+//! - zero cross-session interference: every healthy tenant's transcript
+//!   is byte-identical to a solo run of the same session;
+//! - per-tenant health: the daemon's `health <id>` JSON matches the
+//!   `info health --json` the tenant itself reported;
+//! - watchdog recovery: wedged tenants (a target that never stops) have
+//!   their command cancelled, the kill lands in *their* health counters,
+//!   and the session keeps answering;
+//! - the hard session cap rejects the 105th open gracefully;
+//! - shutdown closes whatever is left.
+
+use std::sync::{Arc, Barrier};
+
+use ldb_suite::core::Ldb;
+use ldb_suite::daemon::{self, Daemon, DaemonConfig};
+use ldb_suite::machine::Arch;
+
+/// Inspection-heavy script (the chaos-soak workload), ending with the
+/// tenant's own machine-readable health report so the test can hold the
+/// daemon's `health` reply against it.
+const SCRIPT: &str = "\
+b clamp
+c
+bt
+p calls
+p p
+e v * 2 + 1
+s
+bt
+regs
+c
+info health --json
+";
+
+const N_SPIN: usize = 4;
+const N_CHAOS: usize = 20;
+const N_FAULT: usize = 20;
+const N_HEALTHY: usize = 60;
+const N_TOTAL: usize = N_SPIN + N_CHAOS + N_FAULT + N_HEALTHY; // 104 ≥ 100
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Kind {
+    Healthy,
+    Chaos,
+    Fault,
+    Spin,
+}
+
+fn plan(i: usize) -> (Kind, Arch) {
+    let arch = Arch::ALL[i % Arch::ALL.len()];
+    let kind = match i {
+        _ if i < N_SPIN => Kind::Spin,
+        _ if i < N_SPIN + N_CHAOS => Kind::Chaos,
+        _ if i < N_SPIN + N_CHAOS + N_FAULT => Kind::Fault,
+        _ => Kind::Healthy,
+    };
+    (kind, arch)
+}
+
+fn open_request(i: usize) -> String {
+    let (kind, arch) = plan(i);
+    match kind {
+        // Wedge tenants: a target that never stops and a tight watchdog.
+        Kind::Spin => format!("open {arch} prog=spin watchdog_ms=400"),
+        Kind::Chaos => format!("open {arch} chaos=seed={},rate=0.05", i as u64 + 1),
+        Kind::Fault => {
+            format!("open {arch} fault=seed={},drop=0.03,corrupt=0.01", i as u64 + 1)
+        }
+        Kind::Healthy => format!("open {arch}"),
+    }
+}
+
+/// Unwrap an `ok …` protocol reply into its unescaped payload.
+fn ok(reply: &str) -> String {
+    let payload = reply
+        .strip_prefix("ok ")
+        .unwrap_or_else(|| panic!("expected ok reply, got `{reply}`"));
+    daemon::unescape_line(payload)
+}
+
+/// The tenant's own final health report: the last `{…}` transcript line.
+fn embedded_health(transcript: &str) -> String {
+    transcript
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no health json in transcript:\n{transcript}"))
+        .to_string()
+}
+
+/// A solo (single-session, single-thread) run of the healthy workload:
+/// the interference baseline. Uses the daemon's own session builder, so
+/// the construction is identical down to the client config.
+fn solo_healthy(arch: Arch) -> String {
+    let mut ldb = Ldb::new();
+    let build = daemon::session_builder(arch, daemon::PROG_COUNT, None, None, 0);
+    build(&mut ldb).unwrap_or_else(|e| panic!("{arch}: solo build: {e}"));
+    ldb_suite::core::script::run_script(&mut ldb, SCRIPT)
+}
+
+struct TenantReport {
+    i: usize,
+    transcript: String,
+    health_reply: String,
+    close_reply: String,
+}
+
+#[test]
+fn marathon_100_sessions_with_fault_containment() {
+    // Interference baselines first (solo by construction).
+    let baselines: Vec<(Arch, String)> =
+        Arch::ALL.iter().map(|&a| (a, solo_healthy(a))).collect();
+    let baseline = |arch: Arch| -> &str {
+        baselines.iter().find(|(a, _)| *a == arch).map(|(_, t)| t.as_str()).unwrap()
+    };
+
+    let daemon = Arc::new(Daemon::new(DaemonConfig {
+        max_sessions: N_TOTAL,
+        // Healthy/chaos/fault tenants run un-deadlined (the marathon's
+        // point is load, and load makes wall-clock deadlines flaky);
+        // the spin tenants opt into a tight watchdog per open.
+        watchdog: None,
+        ..Default::default()
+    }));
+    // Everyone opens, then holds until the whole fleet is live, so the
+    // cap check and the runs really see N_TOTAL simultaneous sessions.
+    let all_open = Arc::new(Barrier::new(N_TOTAL + 1));
+    let all_ran = Arc::new(Barrier::new(N_TOTAL + 1));
+
+    let tenants: Vec<std::thread::JoinHandle<TenantReport>> = (0..N_TOTAL)
+        .map(|i| {
+            let daemon = Arc::clone(&daemon);
+            let all_open = Arc::clone(&all_open);
+            let all_ran = Arc::clone(&all_ran);
+            std::thread::spawn(move || {
+                let (kind, _) = plan(i);
+                let id = ok(&daemon.handle_line(&open_request(i)));
+                all_open.wait();
+                let transcript = match kind {
+                    Kind::Spin => {
+                        // The wedge: `c` on a target that never stops.
+                        // The watchdog cancels it; the session must keep
+                        // answering afterwards.
+                        let cancelled =
+                            ok(&daemon.handle_line(&format!("cmd {id} c")));
+                        let after = ok(&daemon
+                            .handle_line(&format!("cmd {id} info health --json")));
+                        cancelled + &after
+                    }
+                    _ => ok(&daemon.handle_line(&format!(
+                        "cmd {id} {}",
+                        daemon::escape_line(SCRIPT)
+                    ))),
+                };
+                let health_reply = ok(&daemon.handle_line(&format!("health {id}")));
+                all_ran.wait();
+                let close_reply = ok(&daemon.handle_line(&format!("close {id}")));
+                TenantReport { i, transcript, health_reply, close_reply }
+            })
+        })
+        .collect();
+
+    // The whole fleet is live: the cap must reject the next open, as an
+    // error reply, not a crash.
+    all_open.wait();
+    assert_eq!(daemon.registry().len(), N_TOTAL);
+    let over = daemon.handle_line("open mips");
+    assert!(
+        over.starts_with("err ") && over.contains("session limit reached"),
+        "over-cap open got `{over}`"
+    );
+    all_ran.wait();
+
+    let mut corruptions_total = 0u64;
+    for t in tenants {
+        let r = t.join().expect("tenant driver panicked");
+        let (kind, arch) = plan(r.i);
+        // Per-tenant health: the daemon's aggregation endpoint returns
+        // exactly what the tenant itself reported last.
+        assert_eq!(
+            r.health_reply.trim(),
+            embedded_health(&r.transcript),
+            "tenant {} ({kind:?} {arch}): daemon health diverges from the \
+             tenant's own report\n{}",
+            r.i,
+            r.transcript
+        );
+        assert_eq!(
+            r.close_reply.trim(),
+            "closed client-request",
+            "tenant {}: {}",
+            r.i,
+            r.close_reply
+        );
+        // No tenant ever needed the crash-proof loop: zero quarantines
+        // fleet-wide.
+        assert!(
+            r.health_reply.contains("\"quarantined_commands\":0"),
+            "tenant {} ({kind:?} {arch}): a command panicked\n{}",
+            r.i,
+            r.transcript
+        );
+        match kind {
+            Kind::Healthy => {
+                // Zero cross-session interference: byte-identical to the
+                // solo run.
+                assert_eq!(
+                    r.transcript,
+                    baseline(arch),
+                    "tenant {} ({arch}): healthy transcript diverged from solo run",
+                    r.i
+                );
+            }
+            Kind::Spin => {
+                assert!(
+                    r.transcript.contains("cancelled by session watchdog"),
+                    "tenant {}: watchdog never fired\n{}",
+                    r.i,
+                    r.transcript
+                );
+                assert!(
+                    r.health_reply.contains("\"watchdog_timeouts\":1"),
+                    "tenant {}: kill not booked in health: {}",
+                    r.i,
+                    r.health_reply
+                );
+            }
+            Kind::Chaos => {
+                let counters = r.health_reply.clone();
+                let corruptions = counters
+                    .split("\"chaos_corruptions\":")
+                    .nth(1)
+                    .and_then(|s| s.split(['}', ',']).next())
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| panic!("bad health json: {counters}"));
+                corruptions_total += corruptions;
+            }
+            Kind::Fault => {
+                // The lossy wire is survivable: every command terminated
+                // (the reply arrived) and none panicked (asserted above).
+                assert!(
+                    r.transcript.contains("health"),
+                    "tenant {}: script never finished\n{}",
+                    r.i,
+                    r.transcript
+                );
+            }
+        }
+    }
+    // The chaos fleet actually exercised the defensive layers.
+    assert!(corruptions_total > 0, "chaos layer never fired across {N_CHAOS} tenants");
+
+    // Everyone closed themselves; shutdown finds an empty registry.
+    assert_eq!(daemon.registry().len(), 0);
+    assert_eq!(ok(&daemon.handle_line("shutdown")).trim(), "shutdown 0");
+}
+
+/// Watchdog cancellation must not poison the tenant: after the kill the
+/// same session still answers queries, and only *its* counters moved.
+#[test]
+fn wedged_tenant_recovers_and_stays_isolated() {
+    let daemon = Arc::new(Daemon::new(DaemonConfig::default()));
+    let spin = ok(&daemon.handle_line("open m68k prog=spin watchdog_ms=300"));
+    let healthy = ok(&daemon.handle_line("open m68k"));
+
+    let cancelled = ok(&daemon.handle_line(&format!("cmd {spin} c")));
+    assert!(cancelled.contains("cancelled by session watchdog"), "{cancelled}");
+    // The wedged tenant keeps answering…
+    let wire = ok(&daemon.handle_line(&format!("cmd {spin} info wire")));
+    assert!(wire.contains("wire: "), "{wire}");
+    // …its kill is booked in its own ledger…
+    let h = ok(&daemon.handle_line(&format!("health {spin}")));
+    assert!(h.contains("\"watchdog_timeouts\":1"), "{h}");
+    // …and the neighbor never noticed.
+    let h = ok(&daemon.handle_line(&format!("health {healthy}")));
+    assert!(h.contains("\"watchdog_timeouts\":0"), "{h}");
+    let t = ok(&daemon.handle_line(&format!("cmd {healthy} b clamp\\nc\\np calls")));
+    assert!(t.contains("breakpoint in clamp"), "{t}");
+
+    assert_eq!(ok(&daemon.handle_line(&format!("close {spin}"))).trim(), "closed client-request");
+    assert_eq!(ok(&daemon.handle_line("shutdown")).trim(), "shutdown 1");
+}

@@ -63,6 +63,7 @@ fn lossy_client() -> ClientConfig {
         retries: 12,
         backoff: Duration::from_millis(1),
         event_poll: Duration::from_millis(5),
+        jitter_seed: 0,
     }
 }
 

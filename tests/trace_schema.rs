@@ -49,6 +49,7 @@ fn record_session(arch: Arch) -> String {
         retries: 4,
         backoff: Duration::from_millis(1),
         event_poll: Duration::from_millis(300),
+        jitter_seed: 0,
     };
     ldb.attach_plan_with_config(Box::new(wire), &frame_ps, &modules, Some(handle), cfg)
         .unwrap_or_else(|e| panic!("{arch}: attach: {e}"));
