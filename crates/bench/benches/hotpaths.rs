@@ -284,6 +284,82 @@ fn trace_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn symtab_compile(c: &mut Criterion) {
+    use ldb_cc::driver::{compile_many, program_load_plan};
+    use ldb_core::{CompiledTable, ModuleCache, ModuleTable};
+    use ldb_postscript::compile_module;
+
+    let mut g = c.benchmark_group("symtab_compile");
+    g.sample_size(20);
+    let src = synth_program(200);
+    let p = compile_many(&[("synth.c", src.as_str())], Arch::Mips, CompileOpts::default())
+        .unwrap();
+    let (frame_ps, modules) = program_load_plan(&p, pssym::PsMode::Deferred);
+    let module_ps = modules[0].1.as_str();
+    g.throughput(Throughput::Bytes(module_ps.len() as u64));
+
+    // The one-time cost a daemon's first tenant pays into the shared
+    // cache: scan + compile a 200-function module table to bytecode.
+    g.bench_function("compile_module_200fn", |b| {
+        b.iter(|| compile_module(module_ps).unwrap())
+    });
+    // The steady-state cost every later same-binary tenant pays: a hash
+    // of the source and an `Arc` clone out of the cache.
+    g.bench_function("cache_hit_200fn", |b| {
+        let cache = ModuleCache::new();
+        cache.get_or_compile(module_ps).unwrap();
+        b.iter(|| cache.get_or_compile(module_ps).unwrap())
+    });
+
+    // The whole connect, eager plan vs compiled lazy (headers only) —
+    // the ≥5x big-unit connect claim pinned in EXPERIMENTS.md.
+    let tables: Vec<ModuleTable> = modules
+        .iter()
+        .cloned()
+        .map(|(name, ps)| ModuleTable { name, ps })
+        .collect();
+    let cache = ModuleCache::new();
+    let frame = cache.get_or_compile(&frame_ps).unwrap().0;
+    let compiled: Vec<CompiledTable> = modules
+        .iter()
+        .map(|(name, ps)| CompiledTable {
+            name: name.clone(),
+            module: cache.get_or_compile(ps).unwrap().0,
+        })
+        .collect();
+    let spawn_wire = || {
+        let handle = ldb_nub::spawn(
+            &p.linked.image,
+            ldb_nub::NubConfig { wait_at_pause: true, ..Default::default() },
+        );
+        let wire = handle.connect_channel().unwrap();
+        (Box::new(wire) as Box<dyn ldb_nub::Wire>, handle)
+    };
+    // Both connects poll at the daemon's 1 ms so the numbers measure
+    // table loading, not the default config's 10 ms first event poll.
+    let tight = || ldb_nub::ClientConfig {
+        event_poll: std::time::Duration::from_millis(1),
+        ..Default::default()
+    };
+    g.bench_function("connect_eager_200fn", |b| {
+        b.iter(|| {
+            let mut ldb = Ldb::new();
+            let (wire, handle) = spawn_wire();
+            ldb.attach_plan_with_config(wire, &frame_ps, &tables, Some(handle), tight())
+                .unwrap()
+        })
+    });
+    g.bench_function("connect_lazy_200fn", |b| {
+        b.iter(|| {
+            let mut ldb = Ldb::new();
+            let (wire, handle) = spawn_wire();
+            ldb.attach_compiled_with_config(wire, &frame, &compiled, Some(handle), tight())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
 fn lzw(c: &mut Criterion) {
     let data = synth_program(100).into_bytes();
     let mut g = c.benchmark_group("compress");
@@ -294,5 +370,5 @@ fn lzw(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, wire_cache, sandbox, trace_overhead, lzw);
+criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, wire_cache, sandbox, trace_overhead, symtab_compile, lzw);
 criterion_main!(benches);

@@ -195,4 +195,68 @@ fn main() {
         t_conn_untraced,
         (t_conn_traced / t_conn_untraced.max(0.001) - 1.0) * 100.0
     );
+
+    // Compiled lazy connect: precompile the big unit's symbol table into
+    // shared bytecode once, then connect headers-only. First measure the
+    // classic eager plan connect on the same program, then the one-time
+    // bytecode compile (what a daemon's first tenant pays into the
+    // shared cache), then the steady-state connect every later tenant
+    // gets.
+    use ldb_cc::driver::{compile_many, program_load_plan};
+    use ldb_core::{CompiledTable, ModuleCache, ModuleTable};
+    let plan_prog =
+        compile_many(&[("synth.c", big_src.as_str())], Arch::Mips, CompileOpts::default())
+            .unwrap();
+    let (frame_ps, raw_modules) = program_load_plan(&plan_prog, pssym::PsMode::Deferred);
+    let tables: Vec<ModuleTable> = raw_modules
+        .iter()
+        .cloned()
+        .map(|(name, ps)| ModuleTable { name, ps })
+        .collect();
+    let spawn_wire = || {
+        let handle = ldb_nub::spawn(
+            &plan_prog.linked.image,
+            ldb_nub::NubConfig { wait_at_pause: true, ..Default::default() },
+        );
+        let wire = handle.connect_channel().unwrap();
+        (Box::new(wire) as Box<dyn ldb_nub::Wire>, handle)
+    };
+    // Both connects use the daemon's tight event poll so the comparison
+    // measures table loading, not the default 10 ms first-poll latency.
+    let tight = || ldb_nub::ClientConfig {
+        event_poll: std::time::Duration::from_millis(1),
+        ..Default::default()
+    };
+    let (t_conn_plan, _) = time(|| {
+        let mut ldb = Ldb::new();
+        let (wire, handle) = spawn_wire();
+        ldb.attach_plan_with_config(wire, &frame_ps, &tables, Some(handle), tight()).unwrap();
+        ldb
+    });
+    let cache = ModuleCache::new();
+    let (t_compile_tables, (frame, compiled)) = time(|| {
+        let frame = cache.get_or_compile(&frame_ps).unwrap().0;
+        let compiled = raw_modules
+            .iter()
+            .map(|(name, ps)| CompiledTable {
+                name: name.clone(),
+                module: cache.get_or_compile(ps).unwrap().0,
+            })
+            .collect::<Vec<_>>();
+        (frame, compiled)
+    });
+    let (t_conn_compiled, _) = time(|| {
+        let mut ldb = Ldb::new();
+        let (wire, handle) = spawn_wire();
+        ldb.attach_compiled_with_config(wire, &frame, &compiled, Some(handle), tight()).unwrap();
+        ldb
+    });
+    println!(
+        "compiled lazy connect, big unit: {:.2} ms eager plan vs {:.2} ms lazy \
+         ({:.1}x; one-time bytecode compile {:.2} ms, shared across tenants)",
+        t_conn_plan,
+        t_conn_compiled,
+        t_conn_plan / t_conn_compiled.max(0.001),
+        t_compile_tables
+    );
 }

@@ -21,7 +21,7 @@ use crate::amemory::{CachedMemory, JoinedMemory, MemRef, WireMemory};
 use crate::breakpoint::Breakpoints;
 use crate::chaos::{ChaosConfig, ChaosMemory};
 use crate::frame::{frame_walker, walk_stack, Frame, WalkCtx, WalkStop};
-use crate::loader::{Loader, ModuleTable};
+use crate::loader::{CompiledTable, Loader, ModuleTable};
 use crate::psops::{make_arch_dict, make_debug_dict, CtxRef, EvalCtx, MemHandle};
 use crate::symtab;
 use crate::LdbError;
@@ -298,6 +298,14 @@ enum TableSource<'a> {
         frame: &'a str,
         /// Per-module symbol tables.
         modules: &'a [ModuleTable],
+    },
+    /// Trusted frame plus pre-compiled per-module tables; module bodies
+    /// run lazily on first demand (breakpoint, walk, or print).
+    Compiled {
+        /// Linker frame, precompiled: anchor map and proctable.
+        frame: &'a ldb_postscript::CompiledModule,
+        /// Per-module compiled symbol tables.
+        modules: &'a [CompiledTable],
     },
 }
 
@@ -672,6 +680,49 @@ impl Ldb {
         self.attach_source(wire, TableSource::Plan { frame: frame_ps, modules }, nub, cfg)
     }
 
+    /// Attach from pre-compiled symbol tables (see
+    /// [`ldb_postscript::compile_module`]): the trusted loader frame runs
+    /// from bytecode eagerly, while module bodies are *deferred* — only
+    /// their headers are checked at attach time, and each body runs
+    /// (sandboxed, under the load budget) the first time a breakpoint,
+    /// stack walk, or print needs that module's entries. Compiled tables
+    /// are immutable and shareable, so N sessions attached to the same
+    /// binary can reuse one [`ldb_postscript::ModuleCache`] entry per
+    /// table (and one for the frame).
+    ///
+    /// # Errors
+    /// As [`Ldb::attach_plan`], or every module quarantined at admission.
+    pub fn attach_compiled_with_config(
+        &mut self,
+        wire: Box<dyn Wire>,
+        frame: &ldb_postscript::CompiledModule,
+        modules: &[CompiledTable],
+        nub: Option<NubHandle>,
+        cfg: ldb_nub::ClientConfig,
+    ) -> Result<usize, LdbError> {
+        self.attach_source(wire, TableSource::Compiled { frame, modules }, nub, cfg)
+    }
+
+    /// As [`Ldb::attach_compiled_with_config`] with the default nub
+    /// client policy.
+    ///
+    /// # Errors
+    /// As [`Ldb::attach_compiled_with_config`].
+    pub fn attach_compiled(
+        &mut self,
+        wire: Box<dyn Wire>,
+        frame: &ldb_postscript::CompiledModule,
+        modules: &[CompiledTable],
+        nub: Option<NubHandle>,
+    ) -> Result<usize, LdbError> {
+        self.attach_source(
+            wire,
+            TableSource::Compiled { frame, modules },
+            nub,
+            ldb_nub::ClientConfig::default(),
+        )
+    }
+
     fn attach_source(
         &mut self,
         wire: Box<dyn Wire>,
@@ -700,6 +751,9 @@ impl Ldb {
             }
             TableSource::Plan { frame, modules } => {
                 Loader::load_plan(&mut self.interp, frame, modules, self.budgets.load)
+            }
+            TableSource::Compiled { frame, modules } => {
+                Loader::load_plan_compiled(&mut self.interp, frame, modules, self.budgets.load)
             }
         };
         let _ = self.interp.pop_dict();
@@ -890,11 +944,51 @@ impl Ldb {
         });
     }
 
+    /// Run every pending lazily-loaded symbol-table module of target
+    /// `id` (see [`Ldb::attach_compiled_with_config`]). Definitions land
+    /// in the target's unit dictionary under the same sandbox discipline
+    /// as at attach time; failures quarantine the module (visible in
+    /// `info modules`, recoverable via `reload`).
+    fn force_all_pending(&mut self, id: usize) {
+        let loader = Rc::clone(&self.targets[id].loader);
+        if !loader.has_pending() {
+            return;
+        }
+        let unit_dict = Rc::clone(&self.targets[id].unit_dict);
+        self.interp.push_dict(unit_dict);
+        let _ = loader.force_pending(&mut self.interp, self.budgets.load);
+        let _ = self.interp.pop_dict();
+    }
+
+    /// Run pending modules until one defines procedure `name` (or the
+    /// queue drains). Keeps single-procedure operations (`b f`,
+    /// `stop f.addr`) from paying for every module in the program.
+    fn force_pending_for(&mut self, id: usize, name: &str) {
+        let loader = Rc::clone(&self.targets[id].loader);
+        if !loader.has_pending() {
+            return;
+        }
+        let unit_dict = Rc::clone(&self.targets[id].unit_dict);
+        self.interp.push_dict(unit_dict);
+        let _ = loader.force_pending_for_name(&mut self.interp, self.budgets.load, name);
+        let _ = self.interp.pop_dict();
+    }
+
     /// Rebuild the frame list after a stop. The walk is guarded (depth
     /// cap, cycle detection, per-arch sanity checks): it always
     /// terminates, and the typed reason it stopped lands in
     /// [`Target::walk_stop`] for `bt` to render.
     fn after_stop(&mut self, id: usize) -> Result<(), LdbError> {
+        // Any stop past the startup pause / attach announcement is about
+        // to be walked and described, and both need symbol-table entries
+        // (frame metadata, procedure names) — so pending lazily-loaded
+        // modules must materialize before the walk. The initial pause
+        // stays lazy: that is what makes connect headers-only.
+        if let Some(stop) = self.targets[id].stop {
+            if !matches!(stop.sig, Sig::Pause | Sig::Attach) {
+                self.force_all_pending(id);
+            }
+        }
         let (frames, stop_reason) = {
             let t = &self.targets[id];
             let Some(stop) = t.stop else {
@@ -947,6 +1041,7 @@ impl Ldb {
     pub fn break_at(&mut self, func: &str, index: usize) -> Result<u32, LdbError> {
         let id = self.cur_id()?;
         self.ensure_connected(id)?;
+        self.force_pending_for(id, func);
         let entry = self.targets[id]
             .loader
             .proc_entry_by_name(func)
@@ -974,6 +1069,9 @@ impl Ldb {
     pub fn break_at_line(&mut self, line: u32) -> Result<u32, LdbError> {
         let id = self.cur_id()?;
         self.ensure_connected(id)?;
+        // Line lookups scan every procedure's sourcemap, so all pending
+        // modules must be in.
+        self.force_all_pending(id);
         let loader = Rc::clone(&self.targets[id].loader);
         let stops = symtab::stops_at_line(&mut self.interp, &loader, line)?;
         let Some((entry, index)) = stops.first().cloned() else {
@@ -1038,6 +1136,7 @@ impl Ldb {
     /// No stopping point there; nub failures.
     pub fn break_at_file_line(&mut self, file: &str, line: u32) -> Result<u32, LdbError> {
         let id = self.cur_id()?;
+        self.force_all_pending(id);
         let loader = Rc::clone(&self.targets[id].loader);
         let stops = symtab::stops_at_file_line(&mut self.interp, &loader, file, line)?;
         let Some((entry, index)) = stops.first().cloned() else {
@@ -1497,6 +1596,7 @@ impl Ldb {
     /// Whether the symbol table says `func` returns a floating value.
     fn callee_returns_float(&mut self, func: &str) -> bool {
         let Ok(id) = self.cur_id() else { return false };
+        self.force_pending_for(id, func);
         let Some(entry) = self.targets[id].loader.proc_entry_by_name(func) else {
             return false;
         };
@@ -1521,6 +1621,9 @@ impl Ldb {
         const SENTINEL: u32 = 0x0fff_fff0;
         let id = self.cur_id()?;
         self.ensure_connected(id)?;
+        // Argument coercion and the return-type probe read the callee's
+        // symbol-table entry; force its module in if still pending.
+        self.force_pending_for(id, func);
         let entry_pc = {
             let t = &self.targets[id];
             // Externs carry a leading underscore in the loader table.
@@ -1797,6 +1900,7 @@ impl Ldb {
     /// Unknown procedure or stopping point.
     pub fn stop_address(&mut self, func: &str, index: usize) -> Result<u32, LdbError> {
         let id = self.cur_id()?;
+        self.force_pending_for(id, func);
         let entry = self.targets[id]
             .loader
             .proc_entry_by_name(func)
@@ -1884,6 +1988,10 @@ impl Ldb {
     /// frame's pc.
     fn scope(&mut self) -> Result<(Object, usize), LdbError> {
         let id = self.cur_id()?;
+        // A scope query is a demand for symbol-table entries: materialize
+        // any pending lazily-loaded modules (no-op after the first real
+        // stop, which already forced them).
+        self.force_all_pending(id);
         let t = &self.targets[id];
         let f = t
             .frames

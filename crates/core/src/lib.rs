@@ -49,7 +49,11 @@ pub use chaos::{ChaosConfig, ChaosMemory, ChaosStats};
 pub use debugger::{CallArg, CallReturn, Health, Ldb, PsBudgets, ReloadRow, StopEvent, Target};
 pub use event::{Events, Outcome};
 pub use frame::{walk_stack, Frame, FrameWalker, WalkCtx, WalkError, WalkGuard, WalkStop, WALK_DEPTH_CAP};
-pub use loader::{FrameMeta, Loader, ModuleTable, Quarantined};
+pub use loader::{CompiledTable, FrameMeta, Loader, ModuleTable, Quarantined};
+// The compiled-module machinery sessions share across tenants; the stats
+// struct is renamed to dodge the amemory::CacheStats export above.
+pub use ldb_postscript::{compile_module, CompiledModule, ModuleCache};
+pub use ldb_postscript::CacheStats as ModuleCacheStats;
 pub use psops::{CtxRef, EvalCtx, MemHandle};
 pub use script::{panic_text, run_command_guarded, run_script, trace_report};
 pub use session::{

@@ -11,9 +11,10 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use ldb_machine::{Arch, Rpt};
-use ldb_postscript::{Budget, Dict, DictRef, Interp, Object, PsResult, Scanner, Value};
+use ldb_postscript::{Budget, CompiledModule, Dict, DictRef, Interp, Object, PsResult, Scanner, Value};
 use ldb_trace::{Layer, Severity};
 
 use crate::amemory::MemRef;
@@ -51,6 +52,18 @@ pub struct ModuleTable {
     pub name: String,
     /// The symbol-table PostScript emitted for this unit.
     pub ps: String,
+}
+
+/// One module's symbol table in compiled form (see
+/// [`ldb_postscript::compile_module`]): the unit of the lazy load plan
+/// ([`Loader::load_plan_compiled`]) and of the cross-session module
+/// cache. The `Arc` is shared read-only — possibly with other sessions.
+#[derive(Debug, Clone)]
+pub struct CompiledTable {
+    /// The module (source file) name, e.g. `t2.c`.
+    pub name: String,
+    /// The compiled symbol table.
+    pub module: Arc<CompiledModule>,
 }
 
 /// A module whose symbol table was rejected by the sandbox: it faulted,
@@ -98,6 +111,10 @@ pub struct Loader {
     rpt: RefCell<Option<Rpt>>,
     /// Modules rejected by the sandbox, awaiting `reload`.
     quarantined: RefCell<Vec<Quarantined>>,
+    /// Compiled modules admitted at connect (headers type-checked) but
+    /// not yet executed: their debug info materializes on first touch
+    /// (see [`Loader::force_pending`]).
+    pending: RefCell<Vec<CompiledTable>>,
 }
 
 impl std::fmt::Debug for Loader {
@@ -234,6 +251,164 @@ impl Loader {
         Loader::from_table(table, quarantined)
     }
 
+    /// Load a program from a *compiled* plan, lazily: the trusted frame
+    /// runs eagerly (anchors and the proctable must exist to plant
+    /// breakpoints and walk stacks), but the per-module symbol tables are
+    /// only *admitted* — their compile-time `/architecture` headers are
+    /// type-checked, and execution is deferred until the first
+    /// breakpoint, stack walk, or print touches debug info
+    /// ([`Loader::force_pending`]). Connect therefore scans nothing at
+    /// all (the frame bytecode is shareable and cacheable like any
+    /// module's); a module whose header is missing or names the wrong
+    /// architecture is quarantined immediately, exactly as the eager
+    /// plan would have quarantined it after running.
+    ///
+    /// # Errors
+    /// Frame errors, or every module quarantined at admission.
+    pub fn load_plan_compiled(
+        interp: &mut Interp,
+        frame: &CompiledModule,
+        modules: &[CompiledTable],
+        budget: Budget,
+    ) -> PsResult<Loader> {
+        let save = interp.push_budget(budget);
+        let r = frame.run_with_provenance(interp, "<loader frame>");
+        interp.pop_budget(save);
+        r?;
+        let table = interp.pop()?.as_dict()?;
+
+        let top: DictRef = Rc::new(RefCell::new(Dict::new(64)));
+        let mut quarantined = Vec::new();
+        let mut pending = Vec::new();
+        let mut arch: Option<Arch> = None;
+        for m in modules {
+            let header = m.module.architecture().and_then(Arch::from_name);
+            let reason = match (arch, header) {
+                (_, None) => Some(match m.module.architecture() {
+                    None => format!("module {}: table has no /architecture", m.name),
+                    Some(a) => format!("module {}: unknown architecture ({a})", m.name),
+                }),
+                (Some(prev), Some(a)) if prev != a => {
+                    Some(format!("architecture mismatch ({a} table in a {prev} program)"))
+                }
+                (None, Some(a)) => {
+                    arch = Some(a);
+                    None
+                }
+                _ => None,
+            };
+            match reason {
+                Some(reason) => {
+                    trace_module(interp, "quarantine", Severity::Warn, &m.name, Some(&reason));
+                    quarantined.push(Quarantined {
+                        module: m.name.clone(),
+                        reason,
+                        ps: m.module.source().to_string(),
+                    });
+                }
+                None => pending.push(m.clone()),
+            }
+        }
+        if arch.is_none() && !modules.is_empty() {
+            let reasons: Vec<String> =
+                quarantined.iter().map(|q| format!("{}: {}", q.module, q.reason)).collect();
+            return Err(bad(format!(
+                "all {} modules quarantined: {}",
+                modules.len(),
+                reasons.join("; ")
+            )));
+        }
+        if let Some(a) = arch {
+            top.borrow_mut().put_name("architecture", Object::string(a.name()));
+        }
+        table.borrow_mut().put_name("symtab", Object::lit(Value::Dict(Rc::clone(&top))));
+        let loader = Loader::from_table(table, quarantined)?;
+        *loader.pending.borrow_mut() = pending;
+        Ok(loader)
+    }
+
+    /// Are any admitted modules still unloaded?
+    pub fn has_pending(&self) -> bool {
+        !self.pending.borrow().is_empty()
+    }
+
+    /// Execute every still-pending compiled module under `budget`,
+    /// merging the healthy tables and quarantining the rest — the lazy
+    /// plan's deferred half of [`Loader::load_plan`]. Returns how many
+    /// modules loaded cleanly. Idempotent once the queue is drained.
+    pub fn force_pending(&self, interp: &mut Interp, budget: Budget) -> usize {
+        let pending = std::mem::take(&mut *self.pending.borrow_mut());
+        let mut loaded = 0;
+        for ct in pending {
+            if self.force_one(interp, budget, &ct) {
+                loaded += 1;
+            }
+        }
+        loaded
+    }
+
+    /// Force pending modules one at a time until the symbol table binds
+    /// procedure `name` (externs or statics). Returns whether the name
+    /// resolved; modules admitted but not needed stay pending.
+    pub fn force_pending_for_name(
+        &self,
+        interp: &mut Interp,
+        budget: Budget,
+        name: &str,
+    ) -> bool {
+        loop {
+            if self.proc_entry_by_name(name).is_some() {
+                return true;
+            }
+            let next = {
+                let mut p = self.pending.borrow_mut();
+                if p.is_empty() {
+                    return false;
+                }
+                p.remove(0)
+            };
+            self.force_one(interp, budget, &next);
+        }
+    }
+
+    /// Run one admitted module and merge or quarantine it.
+    fn force_one(&self, interp: &mut Interp, budget: Budget, ct: &CompiledTable) -> bool {
+        match run_compiled_module(interp, &ct.name, &ct.module, budget) {
+            Ok(unit) => match unit_arch(&unit) {
+                Some(a) if a == self.arch => {
+                    trace_module(interp, "module_load", Severity::Info, &ct.name, None);
+                    merge_unit_into(&self.top, &unit);
+                    true
+                }
+                other => {
+                    let reason = match other {
+                        Some(a) => format!(
+                            "architecture mismatch ({a} table in a {} program)",
+                            self.arch
+                        ),
+                        None => "unknown architecture".into(),
+                    };
+                    trace_module(interp, "quarantine", Severity::Warn, &ct.name, Some(&reason));
+                    self.quarantined.borrow_mut().push(Quarantined {
+                        module: ct.name.clone(),
+                        reason,
+                        ps: ct.module.source().to_string(),
+                    });
+                    false
+                }
+            },
+            Err(reason) => {
+                trace_module(interp, "quarantine", Severity::Warn, &ct.name, Some(&reason));
+                self.quarantined.borrow_mut().push(Quarantined {
+                    module: ct.name.clone(),
+                    reason,
+                    ps: ct.module.source().to_string(),
+                });
+                false
+            }
+        }
+    }
+
     /// Extract the pieces ldb needs from an already-interpreted table.
     fn from_table(table: DictRef, quarantined: Vec<Quarantined>) -> PsResult<Loader> {
         let (top, anchors, proctable, arch);
@@ -285,6 +460,7 @@ impl Loader {
             arch,
             rpt: RefCell::new(None),
             quarantined: RefCell::new(quarantined),
+            pending: RefCell::new(Vec::new()),
         })
     }
 
@@ -493,6 +669,36 @@ fn run_module(interp: &mut Interp, name: &str, ps: &str, budget: Budget) -> Resu
     let save = interp.push_budget(budget);
     let ran = run_with_provenance(interp, name, ps);
     interp.pop_budget(save);
+    seal_module(interp, name, depth, dicts, ran)
+}
+
+/// As [`run_module`], executing a compiled module through the fast path.
+/// The sandbox is identical: same budget push, same depth watermark,
+/// same dictionary-stack snapshot/restore, same shape validation.
+fn run_compiled_module(
+    interp: &mut Interp,
+    name: &str,
+    m: &CompiledModule,
+    budget: Budget,
+) -> Result<DictRef, String> {
+    let depth = interp.depth();
+    let dicts = interp.dict_stack_snapshot();
+    let save = interp.push_budget(budget);
+    let ran = m.run_with_provenance(interp, name);
+    interp.pop_budget(save);
+    seal_module(interp, name, depth, dicts, ran)
+}
+
+/// The common back half of a sandboxed module run: check the run left
+/// exactly one value, validate its shape, and on any failure restore the
+/// operand and dictionary stacks to their watermarks.
+fn seal_module(
+    interp: &mut Interp,
+    name: &str,
+    depth: usize,
+    dicts: Vec<DictRef>,
+    ran: PsResult<()>,
+) -> Result<DictRef, String> {
     let r = ran.map_err(|e| e.to_string()).and_then(|()| {
         if interp.depth() != depth + 1 {
             return Err(format!(

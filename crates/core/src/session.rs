@@ -277,13 +277,15 @@ impl Session {
         }
     }
 
-    /// A snapshot of the tenant's health counters.
+    /// A snapshot of the tenant's health counters. A read-only probe: it
+    /// deliberately does *not* touch the idle clock, so a monitor polling
+    /// health cannot keep an otherwise-idle tenant alive past
+    /// [`SessionRegistry::evict_idle`]'s deadline.
     ///
     /// # Errors
     /// As [`Session::run`].
     pub fn health(&mut self) -> Result<Health, SessionError> {
         self.ready()?;
-        self.last_used = Instant::now();
         self.to
             .send(ToWorker::Health)
             .map_err(|_| SessionError::Worker("worker gone".to_string()))?;
@@ -350,8 +352,8 @@ impl Session {
         self.closed
     }
 
-    /// How long since the last `run`/`health` request — what the idle
-    /// reaper compares against its threshold.
+    /// How long since the last `run` request — what the idle reaper
+    /// compares against its threshold. Health probes do not count as use.
     pub fn idle_for(&self) -> Duration {
         self.last_used.elapsed()
     }

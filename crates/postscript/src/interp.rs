@@ -289,8 +289,9 @@ impl Interp {
 
     /// Charge one execution step and enforce the fuel and operand-stack
     /// limits. One increment and two compares on the dispatch hot path.
+    /// Crate-visible so the compiled-module executor charges identically.
     #[inline]
-    fn charge_step(&mut self) -> PsResult<()> {
+    pub(crate) fn charge_step(&mut self) -> PsResult<()> {
         self.fuel_used += 1;
         self.stats.fuel_spent_total += 1;
         if self.fuel_used & CANCEL_POLL_MASK == 0 {
@@ -523,7 +524,7 @@ impl Interp {
 
     // ----- execution -----
 
-    fn enter(&mut self) -> PsResult<()> {
+    pub(crate) fn enter(&mut self) -> PsResult<()> {
         self.charge_step()?;
         self.depth += 1;
         if self.depth > self.max_depth {
@@ -533,7 +534,7 @@ impl Interp {
         Ok(())
     }
 
-    fn leave(&mut self) {
+    pub(crate) fn leave(&mut self) {
         self.depth -= 1;
     }
 

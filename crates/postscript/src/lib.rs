@@ -28,6 +28,7 @@
 //! ```
 
 pub mod budget;
+pub mod compile;
 pub mod dict;
 pub mod error;
 pub mod file;
@@ -38,6 +39,7 @@ pub mod pretty;
 pub mod scanner;
 
 pub use budget::{Budget, BudgetSave, BudgetStats};
+pub use compile::{compile_module, CacheStats, CompiledModule, ModuleCache};
 pub use dict::{Dict, Key};
 pub use error::{ErrorKind, PsError, PsResult, RuntimeError};
 pub use file::PsFile;

@@ -16,6 +16,11 @@
 #                      interference, per-tenant health, graceful cap
 #   daemon shutdown  — teardown mid-command: typed close reasons, idle
 #                      eviction, no leaked threads, TCP quickstart
+#   shared cache     — N same-binary tenants pay exactly one symbol-table
+#                      compile (counted over the health verb); health
+#                      polling cannot keep an idle tenant alive
+#   daemon protocol  — escape/unescape round-trips (proptest), payload
+#                      whitespace preserved, CRLF clients over real TCP
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,3 +33,5 @@ cargo test -q --test replay_golden
 cargo test -q --test chaos_soak
 cargo test -q --test daemon_marathon
 cargo test -q --test daemon_shutdown
+cargo test -q --test daemon_shared_cache
+cargo test -q --test daemon_protocol

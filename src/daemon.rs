@@ -19,6 +19,7 @@
 //!     -> ok <session-id>
 //! cmd <id> <command line>      -> ok <transcript>     (run_script format)
 //! health <id>                  -> ok <health json>
+//! health                       -> ok <daemon json>    (sessions + module cache)
 //! close <id>                   -> ok closed <reason>
 //! ping                         -> ok pong
 //! shutdown                     -> ok shutdown <n-closed>
@@ -30,6 +31,12 @@
 //! solo run byte for byte): `count`, a healthy compute loop with
 //! breakpoint-friendly structure, and `spin`, which never stops — the
 //! wedge that demonstrates watchdog recovery.
+//!
+//! Symbol tables, by contrast, are compiled *once per distinct unit*:
+//! the daemon owns a shared read-only [`ModuleCache`] keyed by table
+//! content, so N tenants attached to the same binary pay one bytecode
+//! compile and share the `Arc`-interned result (the no-argument `health`
+//! verb reports the hit/miss counters).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -40,7 +47,8 @@ use std::time::Duration;
 use ldb_cc::driver::{compile_many, program_load_plan, CompileOpts};
 use ldb_cc::pssym::PsMode;
 use ldb_core::{
-    ChaosConfig, CloseReason, SessionBuilder, SessionConfig, SessionError, SessionRegistry,
+    ChaosConfig, CloseReason, CompiledTable, ModuleCache, SessionBuilder, SessionConfig,
+    SessionError, SessionRegistry,
 };
 use ldb_machine::Arch;
 use ldb_nub::{spawn, ClientConfig, FaultConfig, FaultyWire, NubConfig, Wire};
@@ -87,20 +95,25 @@ pub fn builtin_program(name: &str) -> Option<&'static str> {
     }
 }
 
-/// Escape a payload onto one protocol line: `\` → `\\`, newline → `\n`.
+/// Escape a payload onto one protocol line: `\` → `\\`, newline → `\n`,
+/// carriage return → `\r` (a bare `\r` would be eaten as framing by
+/// CRLF-terminating clients).
 pub fn escape_line(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
             c => out.push(c),
         }
     }
     out
 }
 
-/// Invert [`escape_line`].
+/// Invert [`escape_line`]. Unknown escapes pass the escaped character
+/// through, so output from older peers (which left `\r` bare) still
+/// decodes.
 pub fn unescape_line(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
@@ -111,6 +124,7 @@ pub fn unescape_line(s: &str) -> String {
         }
         match chars.next() {
             Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
             Some(c) => out.push(c),
             None => out.push('\\'),
         }
@@ -152,10 +166,11 @@ impl Default for DaemonConfig {
     }
 }
 
-/// Build the [`SessionBuilder`] for one tenant: compile `src` for
-/// `arch`, spawn a fresh nub, optionally wrap the wire in a fault
-/// injector, optionally arm the chaos layer, and attach — all of it on
-/// the session's worker thread.
+/// Build the [`SessionBuilder`] for one tenant with a private
+/// single-tenant module cache. The daemon itself uses
+/// [`session_builder_with_cache`] so tenants share compiled tables; this
+/// entry point is for solo baselines and tests, which must behave
+/// identically (same compiled-lazy load path, cache population aside).
 pub fn session_builder(
     arch: Arch,
     src: &str,
@@ -163,15 +178,40 @@ pub fn session_builder(
     fault: Option<FaultConfig>,
     jitter_seed: u64,
 ) -> SessionBuilder {
+    session_builder_with_cache(arch, src, chaos, fault, jitter_seed, Arc::new(ModuleCache::new()))
+}
+
+/// Build the [`SessionBuilder`] for one tenant: compile `src` for
+/// `arch`, intern its symbol tables in `cache` (one bytecode compile per
+/// distinct table content, however many tenants attach), spawn a fresh
+/// nub, optionally wrap the wire in a fault injector, optionally arm the
+/// chaos layer, and attach lazily — all of it on the session's worker
+/// thread.
+pub fn session_builder_with_cache(
+    arch: Arch,
+    src: &str,
+    chaos: Option<ChaosConfig>,
+    fault: Option<FaultConfig>,
+    jitter_seed: u64,
+    cache: Arc<ModuleCache>,
+) -> SessionBuilder {
     let src = src.to_string();
     Box::new(move |ldb| {
         let p = compile_many(&[("target.c", src.as_str())], arch, CompileOpts::default())
             .map_err(|e| ldb_core::LdbError::msg(format!("compile: {e}")))?;
         let (frame_ps, modules) = program_load_plan(&p, PsMode::Deferred);
-        let modules: Vec<ldb_core::ModuleTable> = modules
+        let (frame, _hit) = cache
+            .get_or_compile(&frame_ps)
+            .map_err(|e| ldb_core::LdbError::msg(format!("loader frame: {e}")))?;
+        let modules: Vec<CompiledTable> = modules
             .into_iter()
-            .map(|(name, ps)| ldb_core::ModuleTable { name, ps })
-            .collect();
+            .map(|(name, ps)| {
+                let (module, _hit) = cache
+                    .get_or_compile(&ps)
+                    .map_err(|e| ldb_core::LdbError::msg(format!("table `{name}`: {e}")))?;
+                Ok(CompiledTable { name, module })
+            })
+            .collect::<Result<_, ldb_core::LdbError>>()?;
         let handle = spawn(&p.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
         let wire = handle
             .connect_channel()
@@ -192,7 +232,7 @@ pub fn session_builder(
             event_poll: Duration::from_millis(100),
             jitter_seed,
         };
-        ldb.attach_plan_with_config(wire, &frame_ps, &modules, Some(handle), client)?;
+        ldb.attach_compiled_with_config(wire, &frame, &modules, Some(handle), client)?;
         Ok(format!("{arch}"))
     })
 }
@@ -203,19 +243,32 @@ pub fn session_builder(
 pub struct Daemon {
     cfg: DaemonConfig,
     registry: Arc<SessionRegistry>,
+    /// Compiled symbol tables shared by every tenant (read-only entries,
+    /// keyed by table content).
+    cache: Arc<ModuleCache>,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Daemon {
-    /// A daemon with an empty registry.
+    /// A daemon with an empty registry and an empty module cache.
     pub fn new(cfg: DaemonConfig) -> Daemon {
         let registry = Arc::new(SessionRegistry::new(cfg.max_sessions));
-        Daemon { cfg, registry, shutdown: Arc::new(AtomicBool::new(false)) }
+        Daemon {
+            cfg,
+            registry,
+            cache: Arc::new(ModuleCache::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// The tenant table (tests aggregate per-tenant health through it).
     pub fn registry(&self) -> &Arc<SessionRegistry> {
         &self.registry
+    }
+
+    /// The shared compiled-module cache (tests assert its counters).
+    pub fn module_cache(&self) -> &Arc<ModuleCache> {
+        &self.cache
     }
 
     /// Whether `shutdown` has been processed.
@@ -227,7 +280,13 @@ impl Daemon {
     /// the trailing newline). Never panics a caller: every failure is an
     /// `err …` reply.
     pub fn handle_line(&self, line: &str) -> String {
-        match self.dispatch(line.trim()) {
+        // Strip the line terminator only (CRLF clients leave a trailing
+        // `\r` after `lines()` takes the `\n`); anything else trailing
+        // may be a whitespace-significant escaped payload. Leading
+        // whitespace precedes the verb, so it is always framing.
+        let line = line.strip_suffix('\n').unwrap_or(line);
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        match self.dispatch(line.trim_start()) {
             Ok(reply) => format!("ok {}", escape_line(&reply)),
             Err(msg) => format!("err {}", escape_line(&msg)),
         }
@@ -238,21 +297,30 @@ impl Daemon {
             return Err("daemon is shutting down".to_string());
         }
         let (verb, rest) = match line.split_once(char::is_whitespace) {
-            Some((v, r)) => (v, r.trim()),
+            Some((v, r)) => (v, r),
             None => (line, ""),
         };
         match verb {
             "ping" => Ok("pong".to_string()),
-            "open" => self.open(rest),
+            "open" => self.open(rest.trim()),
             "cmd" => {
+                // The id is framing; everything after the single
+                // separator is the escaped payload, whitespace included.
                 let (id, commands) = rest
+                    .trim_start()
                     .split_once(char::is_whitespace)
                     .ok_or_else(|| "usage: cmd <id> <command>".to_string())?;
                 let id = parse_id(id)?;
-                let commands = unescape_line(commands.trim());
+                let commands = unescape_line(commands);
                 self.registry.run(id, &commands).map_err(|e| self.after_error(id, e))
             }
             "health" => {
+                let rest = rest.trim();
+                if rest.is_empty() {
+                    // No id: daemon-level health — the session count and
+                    // the shared module-cache counters.
+                    return Ok(self.health_json());
+                }
                 let id = parse_id(rest)?;
                 self.registry
                     .health(id)
@@ -274,6 +342,21 @@ impl Daemon {
             "" => Err("empty request".to_string()),
             other => Err(format!("unknown verb `{other}`")),
         }
+    }
+
+    /// The daemon-level health document: live session count plus the
+    /// shared module-cache counters. `misses` is the number of bytecode
+    /// compiles actually paid; N same-binary tenants should show N-1
+    /// hits and one miss per table.
+    fn health_json(&self) -> String {
+        let s = self.cache.stats();
+        format!(
+            "{{\"sessions\":{},\"module_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}}}",
+            self.registry.len(),
+            s.hits,
+            s.misses,
+            s.entries
+        )
     }
 
     /// A wedged tenant is unusable: close it (typed) so the id stops
@@ -319,7 +402,8 @@ impl Daemon {
                 other => return Err(format!("unknown open option `{other}`")),
             }
         }
-        let builder = session_builder(arch, prog, chaos, fault, jitter);
+        let builder =
+            session_builder_with_cache(arch, prog, chaos, fault, jitter, Arc::clone(&self.cache));
         match self.registry.open(cfg, builder) {
             Ok(id) => Ok(format!("{id}")),
             Err(e) => Err(e.to_string()),

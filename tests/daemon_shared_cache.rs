@@ -1,0 +1,102 @@
+//! The daemon's shared compiled-module cache: N tenants attached to the
+//! same binary pay exactly one symbol-table bytecode compile, and the
+//! shared entries change nothing a tenant can observe. Also the
+//! idle-clock regression: `health` must be a read-only probe, so a
+//! monitor polling it cannot keep an idle tenant alive forever.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ldb_suite::core::{SessionConfig, SessionRegistry};
+use ldb_suite::daemon::{self, Daemon, DaemonConfig};
+use ldb_suite::machine::Arch;
+
+fn open(daemon: &Daemon, req: &str) -> String {
+    let reply = daemon.handle_line(req);
+    reply
+        .strip_prefix("ok ")
+        .unwrap_or_else(|| panic!("`{req}` failed: {reply}"))
+        .to_string()
+}
+
+#[test]
+fn same_binary_tenants_share_one_compile() {
+    const TENANTS: usize = 6;
+    let daemon = Daemon::new(DaemonConfig {
+        max_sessions: TENANTS + 2,
+        watchdog: Some(Duration::from_secs(30)),
+        ..Default::default()
+    });
+
+    let ids: Vec<String> = (0..TENANTS).map(|_| open(&daemon, "open mips prog=count")).collect();
+
+    // One binary is two cached artifacts (the loader frame and its one
+    // module table), compiled exactly once: the first open misses both,
+    // every later one hits the shared entries.
+    let stats = daemon.module_cache().stats();
+    assert_eq!(stats.misses, 2, "same binary must compile once, not per tenant");
+    assert_eq!(stats.hits as usize, 2 * (TENANTS - 1));
+    assert_eq!(stats.entries, 2);
+
+    // The no-argument `health` verb reports the same counters over the
+    // protocol (what the check.sh gate reads).
+    let h = open(&daemon, "health");
+    assert!(h.contains(&format!("\"sessions\":{TENANTS}")), "{h}");
+    assert!(h.contains("\"misses\":2"), "{h}");
+    assert!(h.contains(&format!("\"hits\":{}", 2 * (TENANTS - 1))), "{h}");
+    assert!(h.contains("\"entries\":2"), "{h}");
+
+    // Shared read-only tables are invisible to tenants: everyone debugs
+    // independently and identically.
+    let transcripts: Vec<String> = ids
+        .iter()
+        .map(|id| open(&daemon, &format!("cmd {id} b clamp\\nc\\np calls\\nbt")))
+        .collect();
+    assert!(transcripts[0].contains("breakpoint in clamp"), "{}", transcripts[0]);
+    assert!(transcripts[0].contains("#0 clamp"), "{}", transcripts[0]);
+    for t in &transcripts[1..] {
+        assert_eq!(t, &transcripts[0], "tenants on one binary must agree byte for byte");
+    }
+
+    // A different binary is a different pair of cache entries, not a
+    // collision.
+    let spin = open(&daemon, "open mips prog=spin");
+    let stats = daemon.module_cache().stats();
+    assert_eq!(stats.misses, 4);
+    assert_eq!(stats.entries, 4);
+
+    let _ = open(&daemon, &format!("close {spin}"));
+    assert!(daemon.handle_line("shutdown").starts_with("ok "));
+}
+
+/// Polling `health` must not reset the idle clock: open a tenant, poll
+/// its health well past the idle threshold, and the reaper must still
+/// evict it (before the fix, every poll re-armed `last_used` and
+/// `evict_idle` never fired).
+#[test]
+fn health_polling_does_not_keep_idle_tenants_alive() {
+    let registry = Arc::new(SessionRegistry::new(2));
+    let id = registry
+        .open(
+            SessionConfig::default(),
+            daemon::session_builder(Arch::Mips, daemon::PROG_COUNT, None, None, 0),
+        )
+        .unwrap();
+    let transcript = registry.run(id, "b clamp\nc").unwrap();
+    assert!(transcript.contains("breakpoint in clamp"), "{transcript}");
+
+    // Poll health for well over the idle threshold.
+    let max_idle = Duration::from_millis(400);
+    let polling_until = Instant::now() + 2 * max_idle;
+    while Instant::now() < polling_until {
+        let h = registry.health(id).expect("health while idle");
+        assert_eq!(h.watchdog_timeouts, 0);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The tenant ran nothing since `run`, so it is idle — however
+    // recently its health was read.
+    let evicted = registry.evict_idle(max_idle);
+    assert_eq!(evicted, vec![id], "health polling kept an idle tenant alive");
+    assert_eq!(registry.len(), 0);
+}
