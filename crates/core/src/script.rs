@@ -67,11 +67,12 @@ pub fn trace_report(ldb: &Ldb) -> String {
     }
     let c = trace.counts();
     let mut out = format!(
-        "trace: {} records (wire {}, ps {}, dbg {})\n",
+        "trace: {} records (wire {}, ps {}, dbg {}, net {})\n",
         c.total(),
         c.wire,
         c.ps,
-        c.dbg
+        c.dbg,
+        c.net
     );
     for (layer, kind, n) in trace.kind_counts() {
         out.push_str(&format!("  {}/{kind} {n}\n", layer.name()));

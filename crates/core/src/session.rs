@@ -502,6 +502,11 @@ struct RegistryInner {
 pub struct SessionRegistry {
     max: usize,
     inner: Mutex<RegistryInner>,
+    /// Worker threads abandoned because a close missed its deadline (see
+    /// [`Session::close`]). Each exits on its own once its cancelled
+    /// command unwedges, but until then it holds a thread and a target —
+    /// soaks assert this gauge stays bounded.
+    leaked_workers: std::sync::atomic::AtomicU64,
 }
 
 /// Lock a mutex, shrugging off poisoning: a tenant panicking while
@@ -521,12 +526,28 @@ impl SessionRegistry {
                 reserved: 0,
                 tenants: HashMap::new(),
             }),
+            leaked_workers: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// The hard session cap.
     pub fn capacity(&self) -> usize {
         self.max
+    }
+
+    /// How many wedged worker threads have been abandoned by closes that
+    /// missed their deadline. Monotonic: it counts abandonments, not
+    /// currently-live leaked threads (each thread exits once its
+    /// cancelled command unwedges) — a soak asserting boundedness wants
+    /// the total, not a racy live count.
+    pub fn leaked_workers(&self) -> u64 {
+        self.leaked_workers.load(Ordering::Relaxed)
+    }
+
+    fn note_leaked(&self, r: &Result<CloseReason, SessionError>) {
+        if matches!(r, Err(SessionError::Wedged)) {
+            self.leaked_workers.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Live session count (not counting opens still building).
@@ -611,7 +632,9 @@ impl SessionRegistry {
         // Abort any in-flight command before waiting on the lock.
         tenant.cancel.store(true, Ordering::Relaxed);
         let mut s = lock_unpoisoned(&tenant.session);
-        s.close(reason)
+        let r = s.close(reason);
+        self.note_leaked(&r);
+        r
     }
 
     /// Evict every session idle for at least `max_idle`, closing each
@@ -628,7 +651,8 @@ impl SessionRegistry {
         for (id, session) in snapshot {
             let Ok(mut s) = session.try_lock() else { continue };
             if !s.is_closed() && s.idle_for() >= max_idle {
-                let _ = s.close(CloseReason::Idle);
+                let r = s.close(CloseReason::Idle);
+                self.note_leaked(&r);
                 evicted.push(id);
             }
         }
@@ -659,7 +683,9 @@ impl SessionRegistry {
         let mut closed = 0;
         for t in tenants {
             let mut s = lock_unpoisoned(&t.session);
-            if s.close(reason).is_ok() {
+            let r = s.close(reason);
+            self.note_leaked(&r);
+            if r.is_ok() {
                 closed += 1;
             }
         }

@@ -44,11 +44,15 @@ pub enum Layer {
     Ps,
     /// The debugger command loop: commands, stops, frame walks.
     Dbg,
+    /// The daemon's client transport: connections accepted and shed,
+    /// oversized or malformed requests, connection quarantines, idle
+    /// disconnects.
+    Net,
 }
 
 impl Layer {
     /// All layers, in report order.
-    pub const ALL: [Layer; 3] = [Layer::Wire, Layer::Ps, Layer::Dbg];
+    pub const ALL: [Layer; 4] = [Layer::Wire, Layer::Ps, Layer::Dbg, Layer::Net];
 
     /// The journal's name for this layer.
     pub fn name(self) -> &'static str {
@@ -56,6 +60,7 @@ impl Layer {
             Layer::Wire => "wire",
             Layer::Ps => "ps",
             Layer::Dbg => "dbg",
+            Layer::Net => "net",
         }
     }
 
@@ -65,17 +70,19 @@ impl Layer {
             "wire" => Layer::Wire,
             "ps" => Layer::Ps,
             "dbg" => Layer::Dbg,
+            "net" => Layer::Net,
             _ => return None,
         })
     }
 
-    /// Dense index (`wire` 0, `ps` 1, `dbg` 2) for per-layer arrays, such
-    /// as [`TraceConfig::min_sev`].
+    /// Dense index (`wire` 0, `ps` 1, `dbg` 2, `net` 3) for per-layer
+    /// arrays, such as [`TraceConfig::min_sev`].
     pub fn idx(self) -> usize {
         match self {
             Layer::Wire => 0,
             Layer::Ps => 1,
             Layer::Dbg => 2,
+            Layer::Net => 3,
         }
     }
 }
@@ -535,7 +542,7 @@ pub struct TraceConfig {
     pub ring_capacity: usize,
     /// Per-layer minimum severity, indexed as [`Layer::ALL`]. A record
     /// below its layer's minimum is not recorded at all.
-    pub min_sev: [Severity; 3],
+    pub min_sev: [Severity; 4],
     /// Stamp records with microseconds since recorder creation. Leave
     /// off for deterministic (replayable) journals.
     pub wall_clock: bool,
@@ -545,7 +552,7 @@ impl Default for TraceConfig {
     fn default() -> Self {
         TraceConfig {
             ring_capacity: 4096,
-            min_sev: [Severity::Debug; 3],
+            min_sev: [Severity::Debug; 4],
             wall_clock: false,
         }
     }
@@ -560,12 +567,14 @@ pub struct LayerCounts {
     pub ps: u64,
     /// Records from [`Layer::Dbg`].
     pub dbg: u64,
+    /// Records from [`Layer::Net`].
+    pub net: u64,
 }
 
 impl LayerCounts {
     /// Sum over layers.
     pub fn total(&self) -> u64 {
-        self.wire + self.ps + self.dbg
+        self.wire + self.ps + self.dbg + self.net
     }
 }
 
@@ -574,7 +583,7 @@ struct Recorder {
     start: Instant,
     next_seq: u64,
     ring: VecDeque<Record>,
-    counts: [u64; 3],
+    counts: [u64; 4],
     kinds: BTreeMap<(Layer, &'static str), u64>,
     writer: Option<Box<dyn Write + Send>>,
     /// Set after the first writer failure; the journal file is then
@@ -675,7 +684,7 @@ impl Trace {
                 start: Instant::now(),
                 next_seq: 0,
                 ring: VecDeque::new(),
-                counts: [0; 3],
+                counts: [0; 4],
                 kinds: BTreeMap::new(),
                 writer,
                 write_failed: false,
@@ -703,7 +712,7 @@ impl Trace {
             None => LayerCounts::default(),
             Some(inner) => {
                 let r = inner.lock().unwrap();
-                LayerCounts { wire: r.counts[0], ps: r.counts[1], dbg: r.counts[2] }
+                LayerCounts { wire: r.counts[0], ps: r.counts[1], dbg: r.counts[2], net: r.counts[3] }
             }
         }
     }
@@ -877,7 +886,7 @@ mod tests {
     fn recorder_counts_filters_and_rings() {
         let t = Trace::new(TraceConfig {
             ring_capacity: 2,
-            min_sev: [Severity::Warn, Severity::Debug, Severity::Debug],
+            min_sev: [Severity::Warn, Severity::Debug, Severity::Debug, Severity::Debug],
             wall_clock: false,
         });
         t.emit(Layer::Wire, Severity::Debug, "send", &[]); // filtered out

@@ -21,6 +21,10 @@
 #                      polling cannot keep an idle tenant alive
 #   daemon protocol  — escape/unescape round-trips (proptest), payload
 #                      whitespace preserved, CRLF clients over real TCP
+#   service-edge     — the hostile-client marathon (64 seeded chaos
+#                      clients vs 16 healthy tenants), typed rejection /
+#                      quarantine / shedding / drain gates, and proptest
+#                      fuzz of arbitrary byte streams over real TCP
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -35,3 +39,4 @@ cargo test -q --test daemon_marathon
 cargo test -q --test daemon_shutdown
 cargo test -q --test daemon_shared_cache
 cargo test -q --test daemon_protocol
+cargo test -q --test daemon_hostile_client

@@ -1,7 +1,17 @@
 //! ldbd — the multi-session debug daemon.
 //!
 //! Usage: ldbd [--listen ADDR] [--max-sessions N] [--watchdog-ms N]
-//!             [--idle-ms N]
+//!             [--idle-ms N] [--max-conns N] [--max-request-bytes N]
+//!             [--conn-idle-ms N] [--retry-after-ms N] [--strikes N]
+//!             [--drain-ms N]
+//!
+//! The connection edge is hardened by default: request lines are capped
+//! at `--max-request-bytes` (oversized requests get a typed `err`;
+//! repeat offenders are quarantined after `--strikes`), connections
+//! idle past `--conn-idle-ms` are disconnected, accepts beyond
+//! `--max-conns` are shed with `err overloaded retry_after_ms=N`, and
+//! shutdown drains in-flight replies for `--drain-ms` before hanging
+//! up.
 //!
 //! Serves the ldb line protocol over TCP (see [`ldb_suite::daemon`]):
 //! each `open` builds a whole debugger session (compiler, nub,
@@ -53,10 +63,42 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 let ms: u64 = args.get(i).ok_or("--idle-ms needs a count")?.parse()?;
                 cfg.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--max-conns" => {
+                i += 1;
+                cfg.limits.max_conns =
+                    args.get(i).ok_or("--max-conns needs a count")?.parse::<usize>()?;
+            }
+            "--max-request-bytes" => {
+                i += 1;
+                cfg.limits.max_request_bytes =
+                    args.get(i).ok_or("--max-request-bytes needs a count")?.parse::<usize>()?;
+            }
+            "--conn-idle-ms" => {
+                i += 1;
+                let ms: u64 = args.get(i).ok_or("--conn-idle-ms needs a count")?.parse()?;
+                cfg.limits.idle = Duration::from_millis(ms.max(1));
+            }
+            "--retry-after-ms" => {
+                i += 1;
+                cfg.limits.retry_after_ms =
+                    args.get(i).ok_or("--retry-after-ms needs a count")?.parse()?;
+            }
+            "--strikes" => {
+                i += 1;
+                let n: u32 = args.get(i).ok_or("--strikes needs a count")?.parse()?;
+                cfg.limits.strikes = n.max(1);
+            }
+            "--drain-ms" => {
+                i += 1;
+                let ms: u64 = args.get(i).ok_or("--drain-ms needs a count")?.parse()?;
+                cfg.limits.drain = Duration::from_millis(ms);
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (usage: ldbd [--listen ADDR] \
-                     [--max-sessions N] [--watchdog-ms N] [--idle-ms N])"
+                     [--max-sessions N] [--watchdog-ms N] [--idle-ms N] \
+                     [--max-conns N] [--max-request-bytes N] [--conn-idle-ms N] \
+                     [--retry-after-ms N] [--strikes N] [--drain-ms N])"
                 )
                 .into())
             }
@@ -64,7 +106,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         i += 1;
     }
     let listener = std::net::TcpListener::bind(&listen)?;
-    println!("ldbd: listening on {} (max {} sessions)", listener.local_addr()?, cfg.max_sessions);
+    println!(
+        "ldbd: listening on {} (max {} sessions, {} connections, {}-byte requests)",
+        listener.local_addr()?,
+        cfg.max_sessions,
+        cfg.limits.max_conns,
+        cfg.limits.max_request_bytes
+    );
     let daemon = Arc::new(Daemon::new(cfg));
     daemon.serve(listener)?;
     println!("ldbd: shut down; all sessions closed and targets detached");

@@ -40,9 +40,9 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ldb_cc::driver::{compile_many, program_load_plan, CompileOpts};
 use ldb_cc::pssym::PsMode;
@@ -52,6 +52,9 @@ use ldb_core::{
 };
 use ldb_machine::Arch;
 use ldb_nub::{spawn, ClientConfig, FaultConfig, FaultyWire, NubConfig, Wire};
+use ldb_trace::{Layer, Severity, Trace};
+
+use crate::net::{BoundedLineReader, ConnLimits, ConnMetrics, LineOutcome, SweepTimer};
 
 /// The healthy built-in target: enough structure for breakpoints, stack
 /// walks, typed prints, and expression evaluation.
@@ -151,6 +154,9 @@ pub struct DaemonConfig {
     pub idle_timeout: Option<Duration>,
     /// How often the idle reaper sweeps.
     pub reap_every: Duration,
+    /// The connection edge: caps, deadlines, shedding and quarantine
+    /// policy (see [`ConnLimits`]).
+    pub limits: ConnLimits,
 }
 
 impl Default for DaemonConfig {
@@ -162,6 +168,7 @@ impl Default for DaemonConfig {
             detach_deadline: Duration::from_millis(200),
             idle_timeout: None,
             reap_every: Duration::from_secs(5),
+            limits: ConnLimits::default(),
         }
     }
 }
@@ -246,17 +253,34 @@ pub struct Daemon {
     /// Compiled symbol tables shared by every tenant (read-only entries,
     /// keyed by table content).
     cache: Arc<ModuleCache>,
+    /// Connection-edge counters (`health` folds a snapshot in).
+    net: Arc<ConnMetrics>,
+    /// Monotonic connection ids for the net-layer journal.
+    next_conn: AtomicU64,
+    /// Flight recorder for the connection edge ([`Layer::Net`] records:
+    /// accept, shed, oversize, malformed, quarantine, idle disconnect),
+    /// so hostile-client incidents replay deterministically.
+    trace: Trace,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Daemon {
     /// A daemon with an empty registry and an empty module cache.
     pub fn new(cfg: DaemonConfig) -> Daemon {
+        Daemon::with_trace(cfg, Trace::off())
+    }
+
+    /// A daemon journaling its connection edge to `trace` as
+    /// [`Layer::Net`] records.
+    pub fn with_trace(cfg: DaemonConfig, trace: Trace) -> Daemon {
         let registry = Arc::new(SessionRegistry::new(cfg.max_sessions));
         Daemon {
             cfg,
             registry,
             cache: Arc::new(ModuleCache::new()),
+            net: Arc::new(ConnMetrics::default()),
+            next_conn: AtomicU64::new(0),
+            trace,
             shutdown: Arc::new(AtomicBool::new(false)),
         }
     }
@@ -269,6 +293,12 @@ impl Daemon {
     /// The shared compiled-module cache (tests assert its counters).
     pub fn module_cache(&self) -> &Arc<ModuleCache> {
         &self.cache
+    }
+
+    /// The connection-edge counters (tests assert every rejection is
+    /// accounted for).
+    pub fn conn_metrics(&self) -> &Arc<ConnMetrics> {
+        &self.net
     }
 
     /// Whether `shutdown` has been processed.
@@ -344,18 +374,23 @@ impl Daemon {
         }
     }
 
-    /// The daemon-level health document: live session count plus the
-    /// shared module-cache counters. `misses` is the number of bytecode
+    /// The daemon-level health document: live session count, the
+    /// abandoned-worker gauge, the shared module-cache counters, and the
+    /// connection-edge counters. `misses` is the number of bytecode
     /// compiles actually paid; N same-binary tenants should show N-1
     /// hits and one miss per table.
     fn health_json(&self) -> String {
         let s = self.cache.stats();
         format!(
-            "{{\"sessions\":{},\"module_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}}}",
+            "{{\"sessions\":{},\"leaked_workers\":{},\
+             \"module_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\
+             \"connections\":{}}}",
             self.registry.len(),
+            self.registry.leaked_workers(),
             s.hits,
             s.misses,
-            s.entries
+            s.entries,
+            self.net.snapshot().to_json()
         )
     }
 
@@ -411,31 +446,56 @@ impl Daemon {
     }
 
     /// Serve the line protocol on `listener` until a client sends
-    /// `shutdown`: one thread per connection, a reaper sweeping idle
-    /// sessions, and on the way out a registry close that detaches every
-    /// live target. Returns once shutdown completes.
+    /// `shutdown`: one thread per connection up to
+    /// [`ConnLimits::max_conns`] (accepts beyond the cap are shed with a
+    /// typed `err overloaded` and a clean hangup), a reaper sweeping
+    /// idle sessions on the configured interval, a bounded per-request
+    /// reader with idle disconnect on every connection, and on the way
+    /// out a drain window that lets in-flight replies finish before
+    /// sockets are forced shut. Returns once shutdown completes.
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
         listener.set_nonblocking(true)?;
         let mut clients: Vec<(std::thread::JoinHandle<()>, TcpStream)> = Vec::new();
         let reaper = self.cfg.idle_timeout.map(|idle| {
             let daemon = Arc::clone(self);
             std::thread::spawn(move || {
+                let mut timer = SweepTimer::new(daemon.cfg.reap_every);
                 while !daemon.shutdown.load(Ordering::Relaxed) {
-                    std::thread::sleep(daemon.cfg.reap_every.min(Duration::from_millis(100)));
-                    daemon.registry.evict_idle(idle);
+                    std::thread::sleep(timer.poll_interval());
+                    // Sweep only when the configured interval has really
+                    // elapsed — the short sleep is for noticing shutdown,
+                    // not for sweeping faster than asked.
+                    if timer.due(Instant::now()) {
+                        daemon.registry.evict_idle(idle);
+                    }
                 }
             })
         });
         while !self.shutdown.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _addr)) => {
+                    // Finished handlers retire their slots here, so the
+                    // handle list does not grow with connection churn.
+                    clients.retain(|(h, _)| !h.is_finished());
+                    let conn = self.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+                    if self.net.active() >= self.cfg.limits.max_conns as u64 {
+                        self.shed(stream, conn);
+                        continue;
+                    }
+                    self.net.note_accepted();
+                    self.trace.emit(
+                        Layer::Net,
+                        Severity::Info,
+                        "accept",
+                        &[("conn", conn.into())],
+                    );
                     let daemon = Arc::clone(self);
-                    // Keep a handle to the socket: a handler blocked in a
-                    // read only notices shutdown when its client speaks,
-                    // so the serve loop must be able to hang up for it.
+                    // Keep a handle to the socket: if a handler outlives
+                    // the drain window at shutdown, the serve loop must
+                    // be able to hang up for it.
                     let sock = stream.try_clone()?;
                     clients.push((
-                        std::thread::spawn(move || daemon.serve_client(stream)),
+                        std::thread::spawn(move || daemon.serve_client(stream, conn)),
                         sock,
                     ));
                 }
@@ -444,6 +504,13 @@ impl Daemon {
                 }
                 Err(e) => return Err(e),
             }
+        }
+        // Graceful drain: handlers poll the shutdown flag between reads
+        // and finish writing the reply they owe first; give them the
+        // drain window before cutting sockets out from under them.
+        let deadline = Instant::now() + self.cfg.limits.drain;
+        while clients.iter().any(|(h, _)| !h.is_finished()) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
         }
         for (handle, sock) in clients {
             let _ = sock.shutdown(std::net::Shutdown::Both);
@@ -458,18 +525,188 @@ impl Daemon {
         Ok(())
     }
 
-    fn serve_client(&self, stream: TcpStream) {
+    /// Reject a connection beyond the cap: one typed `err` carrying the
+    /// backoff hint, then a clean hangup. Runs on the accept thread, so
+    /// the write is deadline-bounded — a shed client that never reads
+    /// cannot stall the accept loop.
+    fn shed(&self, stream: TcpStream, conn: u64) {
+        self.net.note_shed();
+        self.trace.emit(
+            Layer::Net,
+            Severity::Warn,
+            "shed",
+            &[("conn", conn.into()), ("retry_after_ms", self.cfg.limits.retry_after_ms.into())],
+        );
+        let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(self.cfg.limits.write_timeout));
+        let reply = format!(
+            "err overloaded retry_after_ms={} ({} connections at cap)\n",
+            self.cfg.limits.retry_after_ms, self.cfg.limits.max_conns
+        );
+        if stream.write_all(reply.as_bytes()).is_ok() {
+            self.net.add_bytes_out(reply.len() as u64);
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// One client connection: a bounded reader, per-read and per-write
+    /// deadlines, an idle clock, and a strike counter — repeat protocol
+    /// offenders (oversized or non-UTF-8 requests) are quarantined with
+    /// a typed `err` and a hangup. Every exit path lowers the active
+    /// gauge.
+    fn serve_client(&self, stream: TcpStream, conn: u64) {
+        let sock = stream.try_clone().ok();
+        self.serve_client_inner(stream, conn);
+        // The serve loop holds its own clone of this socket for the
+        // shutdown drain, so dropping the handler's fds is not a hangup
+        // — send the FIN explicitly, or an idle-disconnected or
+        // quarantined client would dangle half-open until the next
+        // accept retires the slot.
+        if let Some(sock) = sock {
+            let _ = sock.shutdown(std::net::Shutdown::Both);
+        }
+        self.net.note_closed();
+        self.trace.emit(Layer::Net, Severity::Debug, "conn_end", &[("conn", conn.into())]);
+    }
+
+    fn serve_client_inner(&self, stream: TcpStream, conn: u64) {
+        // Read in short slices so shutdown and the idle clock are
+        // noticed even while a client stalls mid-line.
+        let poll = self.cfg.limits.idle.min(Duration::from_millis(100));
+        if stream.set_read_timeout(Some(poll)).is_err()
+            || stream.set_write_timeout(Some(self.cfg.limits.write_timeout)).is_err()
+        {
+            return;
+        }
         let Ok(peer) = stream.try_clone() else { return };
         let mut writer = peer;
-        let reader = BufReader::new(stream);
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
-            let reply = self.handle_line(&line);
-            if writeln!(writer, "{reply}").is_err() {
-                break;
+        let mut reader = BoundedLineReader::new(stream, self.cfg.limits.max_request_bytes);
+        let mut strikes = 0u32;
+        let mut synced_bytes = 0u64;
+        let mut last_progress = Instant::now();
+        let write_reply = |w: &mut TcpStream, net: &ConnMetrics, reply: &str| -> bool {
+            let mut line = String::with_capacity(reply.len() + 1);
+            line.push_str(reply);
+            line.push('\n');
+            let ok = w.write_all(line.as_bytes()).is_ok();
+            if ok {
+                net.add_bytes_out(line.len() as u64);
             }
-            if self.shutdown.load(Ordering::Relaxed) {
-                break;
+            ok
+        };
+        loop {
+            let outcome = reader.read_line();
+            self.net.add_bytes_in(reader.bytes_read() - synced_bytes);
+            synced_bytes = reader.bytes_read();
+            let offense: Option<String> = match outcome {
+                LineOutcome::Line(bytes) => {
+                    last_progress = Instant::now();
+                    self.net.note_request();
+                    match String::from_utf8(bytes) {
+                        Ok(line) => {
+                            let reply = self.handle_line(&line);
+                            if !write_reply(&mut writer, &self.net, &reply) {
+                                return;
+                            }
+                            if self.shutdown.load(Ordering::Relaxed) {
+                                // The reply this client was owed is out;
+                                // drain over, hang up.
+                                return;
+                            }
+                            // A long-running command is progress, not
+                            // idling: the idle clock restarts at the
+                            // reply, not the request.
+                            last_progress = Instant::now();
+                            None
+                        }
+                        Err(_) => {
+                            self.net.note_malformed();
+                            self.trace.emit(
+                                Layer::Net,
+                                Severity::Warn,
+                                "malformed",
+                                &[("conn", conn.into())],
+                            );
+                            Some("err request is not valid UTF-8".to_string())
+                        }
+                    }
+                }
+                LineOutcome::Oversized { discarded } => {
+                    last_progress = Instant::now();
+                    self.net.note_request();
+                    self.net.note_oversized();
+                    self.trace.emit(
+                        Layer::Net,
+                        Severity::Warn,
+                        "oversize",
+                        &[("conn", conn.into()), ("discarded", discarded.into())],
+                    );
+                    Some(format!(
+                        "err request too long ({discarded} bytes, cap {})",
+                        self.cfg.limits.max_request_bytes
+                    ))
+                }
+                LineOutcome::Flooded { discarded } => {
+                    // An unterminated flood: no resync point exists, so
+                    // quarantine immediately regardless of strikes.
+                    self.net.note_quarantined();
+                    self.trace.emit(
+                        Layer::Net,
+                        Severity::Warn,
+                        "quarantine",
+                        &[
+                            ("conn", conn.into()),
+                            ("why", "flood".into()),
+                            ("discarded", discarded.into()),
+                        ],
+                    );
+                    let _ = write_reply(
+                        &mut writer,
+                        &self.net,
+                        &format!("err connection quarantined (unterminated {discarded}-byte flood)"),
+                    );
+                    return;
+                }
+                LineOutcome::TimedOut => {
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        // Idle at shutdown: nothing is owed, hang up.
+                        return;
+                    }
+                    if last_progress.elapsed() >= self.cfg.limits.idle {
+                        self.net.note_idle_disconnect();
+                        self.trace.emit(
+                            Layer::Net,
+                            Severity::Info,
+                            "idle_close",
+                            &[("conn", conn.into())],
+                        );
+                        let _ = write_reply(&mut writer, &self.net, "err idle timeout, disconnecting");
+                        return;
+                    }
+                    None
+                }
+                LineOutcome::Eof | LineOutcome::Err(_) => return,
+            };
+            if let Some(err_reply) = offense {
+                strikes += 1;
+                if strikes >= self.cfg.limits.strikes {
+                    self.net.note_quarantined();
+                    self.trace.emit(
+                        Layer::Net,
+                        Severity::Warn,
+                        "quarantine",
+                        &[("conn", conn.into()), ("why", "strikes".into()), ("strikes", strikes.into())],
+                    );
+                    let _ = write_reply(
+                        &mut writer,
+                        &self.net,
+                        &format!("err connection quarantined ({strikes} protocol offenses)"),
+                    );
+                    return;
+                }
+                if !write_reply(&mut writer, &self.net, &err_reply) {
+                    return;
+                }
             }
         }
     }
@@ -479,9 +716,48 @@ fn parse_id(s: &str) -> Result<u64, String> {
     s.trim().parse::<u64>().map_err(|_| format!("bad session id `{s}`"))
 }
 
+/// Retry policy for a [`DaemonClient`] riding through transient
+/// rejections: overload shedding, the session cap, and dropped
+/// connections.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub attempts: u32,
+    /// Backoff between attempts when the server did not advertise a
+    /// `retry_after_ms` hint; doubles per retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 8, backoff: Duration::from_millis(10) }
+    }
+}
+
+/// Whether a failed request is worth retrying: transient overload
+/// (connection shedding, session cap) and transport loss. Protocol
+/// errors (`unknown verb`, `bad session id`…) are not — the request
+/// itself is wrong.
+fn retryable(err: &str) -> bool {
+    err.starts_with("io:")
+        || err.contains("overloaded retry_after_ms=")
+        || err.contains("session limit reached")
+}
+
+/// The server's `retry_after_ms=N` backoff hint, if the error carries
+/// one.
+fn retry_after(err: &str) -> Option<Duration> {
+    let n = err.split("retry_after_ms=").nth(1)?;
+    let n: u64 = n.split(|c: char| !c.is_ascii_digit()).next()?.parse().ok()?;
+    Some(Duration::from_millis(n))
+}
+
 /// A line-protocol client for tests and tools: connects, sends one
-/// request per call, reads one reply.
+/// request per call, reads one reply. [`DaemonClient::request_with_retry`]
+/// adds reconnect-and-backoff so well-behaved callers ride through
+/// overload shedding and dropped connections.
 pub struct DaemonClient {
+    addr: std::net::SocketAddr,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
@@ -494,16 +770,27 @@ impl DaemonClient {
     pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<DaemonClient> {
         let stream = TcpStream::connect(addr)?;
         let writer = stream.try_clone()?;
-        Ok(DaemonClient { reader: BufReader::new(stream), writer })
+        Ok(DaemonClient { addr, reader: BufReader::new(stream), writer })
     }
 
     /// Send one request line, read one reply line. Returns
     /// `Ok(payload)` for `ok …` replies and `Err(message)` for `err …`
     /// (payloads unescaped).
     ///
+    /// A request containing a line terminator is rejected with a typed
+    /// error *before* anything hits the wire: an embedded `\n` would
+    /// silently frame as two requests and desynchronize every subsequent
+    /// reply. Escape payloads with [`escape_line`].
+    ///
     /// # Errors
     /// Socket failures surface as `Err` with an `io:` prefix.
     pub fn request(&mut self, line: &str) -> Result<String, String> {
+        if line.contains('\n') || line.contains('\r') {
+            return Err(
+                "request contains a line terminator (escape payloads with escape_line)"
+                    .to_string(),
+            );
+        }
         writeln!(self.writer, "{line}").map_err(|e| format!("io: {e}"))?;
         let mut reply = String::new();
         self.reader.read_line(&mut reply).map_err(|e| format!("io: {e}"))?;
@@ -517,5 +804,45 @@ impl DaemonClient {
         } else {
             Err(format!("malformed reply `{reply}`"))
         }
+    }
+
+    /// [`DaemonClient::request`], but transient failures — overload
+    /// shedding, the session cap, a dropped or reset connection — are
+    /// retried with a fresh connection and backoff (the server's
+    /// `retry_after_ms` hint when it gave one, doubling otherwise).
+    /// Protocol errors are returned immediately.
+    ///
+    /// Note the at-most-once caveat: a request lost to a mid-flight
+    /// transport error *may* have been executed before the connection
+    /// died. Idempotent requests (`ping`, `health`, `cmd` re-runs) are
+    /// always safe; `open` may in the worst case leave an extra session
+    /// for the idle reaper.
+    ///
+    /// # Errors
+    /// The final attempt's error.
+    pub fn request_with_retry(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> Result<String, String> {
+        let mut backoff = policy.backoff;
+        let mut last = String::new();
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(retry_after(&last).unwrap_or(backoff));
+                backoff = backoff.saturating_mul(2);
+                // The old connection may be half-dead (shed, reset, or
+                // drained); start clean.
+                if let Ok(fresh) = DaemonClient::connect(self.addr) {
+                    *self = fresh;
+                }
+            }
+            match self.request(line) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if retryable(&e) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
     }
 }

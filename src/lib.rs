@@ -1,6 +1,7 @@
 //! Umbrella crate for the ldb reproduction: re-exports every subsystem so the
 //! examples and integration tests can reach the whole stack through one name.
 pub mod daemon;
+pub mod net;
 
 pub use ldb_cc as cc;
 pub use ldb_compress as compress;
