@@ -108,6 +108,69 @@ fn breakpoints(c: &mut Criterion) {
     g.finish();
 }
 
+fn checkpoint(c: &mut Criterion) {
+    use ldb_core::StopEvent;
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(20);
+    // A long, healthy run: a tight loop retiring ~10^5 instructions, no
+    // breakpoints, no inspection — the path `--checkpoint-every` must
+    // not tax when off and may tax <5% when on.
+    let loop_c = r#"
+int main(void) { int i; int s; s = 0;
+    for (i = 0; i < 20000; i++) s += i;
+    printf("%d\n", s); return 0; }
+"#;
+    let cc = compile("loop.c", loop_c, Arch::Mips, CompileOpts::default()).unwrap();
+    let symtab = pssym::emit(&cc.unit, &cc.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let loader = nm::loader_table_for(&cc.linked.image, &symtab);
+    // Paired A/B probe: identical sessions, checkpointing off vs on.
+    for (label, every) in
+        [("run_healthy_checkpoint_off", None), ("run_healthy_checkpoint_on_25k", Some(25_000))]
+    {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut ldb = Ldb::new();
+                ldb.spawn_program(&cc.linked.image, &loader).unwrap();
+                ldb.set_checkpoint_every(every);
+                match ldb.cont().unwrap() {
+                    StopEvent::Exited(0) => {}
+                    other => panic!("unexpected stop: {other:?}"),
+                }
+            })
+        });
+    }
+    // The unit costs: one snapshot round trip over the wire (capture is
+    // what every checkpoint pays; restore+replay is what reverse pays).
+    let fib = compile("fib.c", FIB_C, Arch::Mips, CompileOpts::default()).unwrap();
+    let fib_symtab = pssym::emit(&fib.unit, &fib.funcs, Arch::Mips, pssym::PsMode::Deferred);
+    let fib_loader = nm::loader_table_for(&fib.linked.image, &fib_symtab);
+    let stopped = || {
+        let mut ldb = Ldb::new();
+        ldb.spawn_program(&fib.linked.image, &fib_loader).unwrap();
+        ldb.break_at("fib", 7).unwrap();
+        ldb.cont().unwrap();
+        ldb
+    };
+    g.bench_function("snapshot_capture", |b| {
+        let mut ldb = stopped();
+        b.iter(|| ldb.snapshot_bytes().unwrap())
+    });
+    g.bench_function("checkpoint_compressed", |b| {
+        let mut ldb = stopped();
+        b.iter(|| ldb.checkpoint_now().unwrap())
+    });
+    g.bench_function("reverse_step_and_step_back", |b| {
+        let mut ldb = stopped();
+        ldb.checkpoint_now().unwrap();
+        ldb.step_insn().unwrap();
+        b.iter(|| {
+            ldb.reverse_step_insn().unwrap();
+            ldb.step_insn().unwrap();
+        })
+    });
+    g.finish();
+}
+
 fn compiler(c: &mut Criterion) {
     let mut g = c.benchmark_group("cc");
     g.sample_size(20);
@@ -370,5 +433,5 @@ fn lzw(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, compiler, wire_cache, sandbox, trace_overhead, symtab_compile, lzw);
+criterion_group!(benches, ps_interpreter, abstract_memory, nub_protocol, breakpoints, checkpoint, compiler, wire_cache, sandbox, trace_overhead, symtab_compile, lzw);
 criterion_main!(benches);

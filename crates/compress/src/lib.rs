@@ -264,5 +264,44 @@ mod tests {
             let c = compress(s.as_bytes());
             prop_assert_eq!(decompress(&c).unwrap(), s.as_bytes());
         }
+
+        /// Highly repetitive input — the shape of machine snapshots and
+        /// symbol tables — must round-trip and actually win: past a few
+        /// dictionary warm-up codes, LZW on a repeated pattern beats raw.
+        #[test]
+        fn prop_round_trip_repetitive(
+            pat in prop::collection::vec(any::<u8>(), 1..16),
+            reps in 1usize..2048,
+        ) {
+            let data: Vec<u8> = pat.iter().copied().cycle().take(pat.len() * reps).collect();
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).unwrap(), &data[..]);
+            if data.len() >= 1024 {
+                prop_assert!(c.len() < data.len(), "{} -> {}", data.len(), c.len());
+            }
+        }
+    }
+
+    // Fewer cases for the big inputs: each one is a quarter-megabyte
+    // stream through both directions of the coder.
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16 })]
+
+        /// Huge, mostly-zero input with random bytes sprinkled in — the
+        /// shape of a dirty-page snapshot blob. Round-trips exactly and
+        /// compresses hard.
+        #[test]
+        fn prop_round_trip_huge_sparse(
+            len in 65_536usize..262_144,
+            sprinkles in prop::collection::vec((any::<usize>(), any::<u8>()), 0..64),
+        ) {
+            let mut data = vec![0u8; len];
+            for (at, b) in &sprinkles {
+                data[at % len] = *b;
+            }
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).unwrap(), &data[..]);
+            prop_assert!(c.len() * 4 < len, "{len} -> {}", c.len());
+        }
     }
 }

@@ -40,13 +40,37 @@ pub enum ResumeKind {
     },
 }
 
+/// One planted breakpoint: the instruction it overwrote and the scheme
+/// it resumes under. The scheme is chosen at plant time, not inferred
+/// from the overwritten bits: a temp planted *over* a no-op by the
+/// single-step scheme still resumes by stepping the no-op — which
+/// retires the same one step the pristine program would, keeping the
+/// step clock (and so recorded time-travel history) undisturbed.
+#[derive(Debug, Clone, Copy)]
+struct Plant {
+    orig: u64,
+    skip_nop: bool,
+}
+
 /// The set of planted breakpoints in one target. Each records the
 /// instruction it overwrote: a stopping-point no-op under the paper's
 /// interim scheme, or an arbitrary instruction under the single-step
 /// scheme of Sec. 7.1 (when the nub's step extension is available).
 pub struct Breakpoints {
     data: &'static MachineData,
-    planted: HashMap<u32, u64>,
+    planted: HashMap<u32, Plant>,
+    /// Bumped on every change to the planted set that perturbs the step
+    /// clock. A skip-nop plant does: when its trap fires, the no-op is
+    /// "interpreted" by advancing the pc, retiring zero steps where the
+    /// pristine program retires one. A single-step plant does not: the
+    /// trap fires for zero steps and the choreography steps the original
+    /// instruction for one — the same clock as pristine execution, so
+    /// planting or removing one (the temps of `next`/`finish`) leaves
+    /// recorded history replayable. Checkpoints record the generation
+    /// they were taken under: deterministic replay is only exact while
+    /// the clock-perturbing plants match, so reverse execution refuses
+    /// checkpoints from another generation (see `CheckpointStore`).
+    gen: u64,
 }
 
 impl std::fmt::Debug for Breakpoints {
@@ -58,8 +82,16 @@ impl std::fmt::Debug for Breakpoints {
 impl Breakpoints {
     /// An empty set for a target.
     pub fn new(data: &'static MachineData) -> Breakpoints {
-        Breakpoints { data, planted: HashMap::new() }
+        Breakpoints { data, planted: HashMap::new(), gen: 0 }
     }
+
+    /// The current plant-set generation (bumped on every plant/unplant
+    /// of a clock-perturbing — skip-nop — breakpoint).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
 
     /// Plant a breakpoint at `addr`, which must hold a no-op (a stopping
     /// point compiled with `-g`).
@@ -81,13 +113,17 @@ impl Breakpoints {
         client
             .borrow_mut()
             .plant(addr, self.data.insn_unit, self.data.break_pattern as u64)?;
-        self.planted.insert(addr, cur);
+        self.planted.insert(addr, Plant { orig: cur, skip_nop: true });
+        self.gen += 1;
         Ok(())
     }
 
     /// Plant a breakpoint over an *arbitrary* instruction — the Sec. 7.1
     /// single-step scheme. Resuming needs the nub's step extension (see
-    /// [`Breakpoints::resume_kind`]).
+    /// [`Breakpoints::resume_kind`]). Used for the temps of
+    /// `next`/`finish` even when the overwritten instruction happens to
+    /// be a no-op: single-stepping it keeps the step clock pristine, so
+    /// these plants never advance the generation.
     ///
     /// # Errors
     /// Nub connection failure.
@@ -113,7 +149,7 @@ impl Breakpoints {
         client
             .borrow_mut()
             .plant(addr, self.data.insn_unit, self.data.break_pattern as u64)?;
-        self.planted.insert(addr, cur);
+        self.planted.insert(addr, Plant { orig: cur, skip_nop: false });
         Ok(())
     }
 
@@ -122,8 +158,11 @@ impl Breakpoints {
     /// # Errors
     /// Nub connection failure.
     pub fn remove(&mut self, client: &Rc<RefCell<NubClient>>, addr: u32) -> Result<(), LdbError> {
-        if let Some(orig) = self.planted.remove(&addr) {
-            client.borrow_mut().store('c', addr, self.data.insn_unit, orig)?;
+        if let Some(p) = self.planted.remove(&addr) {
+            if p.skip_nop {
+                self.gen += 1;
+            }
+            client.borrow_mut().store('c', addr, self.data.insn_unit, p.orig)?;
         }
         Ok(())
     }
@@ -136,7 +175,11 @@ impl Breakpoints {
     /// Drop the record of a plant without touching target memory — for
     /// a target that no longer exists.
     pub fn forget(&mut self, addr: u32) {
-        self.planted.remove(&addr);
+        if let Some(p) = self.planted.remove(&addr) {
+            if p.skip_nop {
+                self.gen += 1;
+            }
+        }
     }
 
     /// Whether a breakpoint is planted at `addr`.
@@ -157,27 +200,25 @@ impl Breakpoints {
     /// instruction is a no-op, so it is "interpreted" by skipping it.
     pub fn resume_pc(&self, addr: u32) -> Option<u32> {
         match self.planted.get(&addr) {
-            Some(&orig) if orig as u32 == self.data.nop_pattern => {
-                Some(addr + self.data.pc_advance as u32)
-            }
+            Some(p) if p.skip_nop => Some(addr + self.data.pc_advance as u32),
             _ => None,
         }
     }
 
     /// How to resume from the breakpoint at `addr`.
     pub fn resume_kind(&self, addr: u32) -> Option<ResumeKind> {
-        self.planted.get(&addr).map(|&orig| {
-            if orig as u32 == self.data.nop_pattern {
+        self.planted.get(&addr).map(|p| {
+            if p.skip_nop {
                 ResumeKind::SkipNop { next_pc: addr + self.data.pc_advance as u32 }
             } else {
-                ResumeKind::SingleStep { original: orig }
+                ResumeKind::SingleStep { original: p.orig }
             }
         })
     }
 
     /// The original instruction recorded for `addr`.
     pub fn original(&self, addr: u32) -> Option<u64> {
-        self.planted.get(&addr).copied()
+        self.planted.get(&addr).map(|p| p.orig)
     }
 
     /// Rebuild the set from the nub's plant records (after this debugger
@@ -190,7 +231,13 @@ impl Breakpoints {
         let mut n = 0;
         for (addr, size, orig) in plants {
             if size == self.data.insn_unit {
-                self.planted.insert(addr, orig);
+                // The nub records don't carry the resume scheme; a
+                // recovered no-op plant is assumed to be a user
+                // breakpoint (skip-nop). Conservative either way: the
+                // generation advances, orphaning pre-crash checkpoints.
+                let skip_nop = orig as u32 == self.data.nop_pattern;
+                self.gen += 1;
+                self.planted.insert(addr, Plant { orig, skip_nop });
                 n += 1;
             }
         }

@@ -1,0 +1,254 @@
+//! Checkpoints for time-travel debugging.
+//!
+//! A checkpoint is a full machine snapshot (registers plus dirty memory
+//! pages, serialized by `ldb-machine` and compressed with `ldb-compress`)
+//! keyed by the target's retired-instruction count. The store is a bounded
+//! ring: pushing past capacity evicts the oldest entry, so reverse reach
+//! is finite and memory use is predictable.
+//!
+//! Replay exactness requires the plant set at replay time to match the
+//! plant set the checkpointed interval executed under (a trap consumes
+//! steps the pristine instruction would not). Each entry therefore records
+//! the breakpoint-set *generation* it was taken under; lookups filter on
+//! the current generation and report everything older as unreachable.
+
+use std::collections::VecDeque;
+
+/// One stored checkpoint.
+struct Checkpoint {
+    /// Retired-instruction count at capture time.
+    steps: u64,
+    /// Stop signal number announced at capture time (replay must resume
+    /// from the restored state exactly as the original resume did — a
+    /// fired trap needs the skip/single-step choreography, a plain pause
+    /// does not).
+    sig: u8,
+    /// Stop code announced at capture time.
+    code: u32,
+    /// Breakpoint-set generation at capture time.
+    gen: u64,
+    /// The compressed snapshot image.
+    blob: Vec<u8>,
+    /// Uncompressed image size (for `info checkpoints`).
+    raw_len: usize,
+}
+
+/// A bounded ring of compressed machine snapshots, newest at the back.
+pub struct CheckpointStore {
+    cap: usize,
+    ring: VecDeque<Checkpoint>,
+}
+
+/// Aggregate statistics for `info checkpoints`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Entries currently held.
+    pub len: usize,
+    /// Ring capacity.
+    pub cap: usize,
+    /// Oldest reachable step count, if any entry exists.
+    pub oldest: Option<u64>,
+    /// Newest step count, if any entry exists.
+    pub newest: Option<u64>,
+    /// Total compressed bytes held.
+    pub compressed: usize,
+    /// Total uncompressed bytes the entries decode to.
+    pub raw: usize,
+}
+
+/// Default ring capacity: enough to cross several `--checkpoint-every`
+/// intervals without evicting the stop the user will rewind toward.
+pub const DEFAULT_CAP: usize = 32;
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAP)
+    }
+}
+
+impl CheckpointStore {
+    /// An empty store holding at most `cap` checkpoints (minimum 1).
+    #[must_use]
+    pub fn new(cap: usize) -> CheckpointStore {
+        CheckpointStore { cap: cap.max(1), ring: VecDeque::new() }
+    }
+
+    /// Record a snapshot taken at `steps` under plant generation `gen`,
+    /// announced with stop signal `sig`/`code`. A re-capture at the step
+    /// count of the newest entry replaces it (the plant set may have
+    /// changed while stopped); an older step count than the newest is
+    /// ignored — history is append-only, rewinding re-executes instead of
+    /// re-recording.
+    pub fn push(&mut self, steps: u64, sig: u8, code: u32, gen: u64, image: &[u8]) {
+        if let Some(last) = self.ring.back() {
+            match last.steps.cmp(&steps) {
+                std::cmp::Ordering::Greater => return,
+                std::cmp::Ordering::Equal => {
+                    self.ring.pop_back();
+                }
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(Checkpoint {
+            steps,
+            sig,
+            code,
+            gen,
+            blob: ldb_compress::compress(image),
+            raw_len: image.len(),
+        });
+    }
+
+    /// The newest entry at or before `steps` whose plant generation is
+    /// `gen`: `(steps, sig, code, image)` decompressed, or a typed reason
+    /// why no entry qualifies.
+    ///
+    /// # Errors
+    /// No usable entry, or a blob that no longer decompresses (which
+    /// would indicate store corruption and is reported, never panicked).
+    pub fn best_at_or_before(
+        &self,
+        steps: u64,
+        gen: u64,
+    ) -> Result<(u64, u8, u32, Vec<u8>), String> {
+        let mut stale = false;
+        for c in self.ring.iter().rev() {
+            if c.steps > steps {
+                continue;
+            }
+            if c.gen != gen {
+                stale = true;
+                continue;
+            }
+            return match ldb_compress::decompress(&c.blob) {
+                Ok(image) => Ok((c.steps, c.sig, c.code, image)),
+                Err(e) => Err(format!("checkpoint at step {} is corrupt: {e}", c.steps)),
+            };
+        }
+        Err(if stale {
+            format!(
+                "breakpoints changed since the checkpoints covering step {steps} were taken \
+                 (take a fresh one with `checkpoint`)"
+            )
+        } else if let Some(oldest) = self.oldest() {
+            format!("oldest checkpoint is at step {oldest}, past step {steps}")
+        } else {
+            "no checkpoints recorded".to_string()
+        })
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+
+    /// Number of entries held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no checkpoint is held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Oldest recorded step count.
+    #[must_use]
+    pub fn oldest(&self) -> Option<u64> {
+        self.ring.front().map(|c| c.steps)
+    }
+
+    /// Newest recorded step count.
+    #[must_use]
+    pub fn newest(&self) -> Option<u64> {
+        self.ring.back().map(|c| c.steps)
+    }
+
+    /// Per-entry `(steps, raw bytes, compressed bytes)` rows, oldest first.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(u64, usize, usize)> {
+        self.ring.iter().map(|c| (c.steps, c.raw_len, c.blob.len())).collect()
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> CheckpointStats {
+        CheckpointStats {
+            len: self.ring.len(),
+            cap: self.cap,
+            oldest: self.oldest(),
+            newest: self.newest(),
+            compressed: self.ring.iter().map(|c| c.blob.len()).sum(),
+            raw: self.ring.iter().map(|c| c.raw_len).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut s = CheckpointStore::new(2);
+        s.push(10, 17, 0, 0, b"ten");
+        s.push(20, 17, 0, 0, b"twenty");
+        s.push(30, 17, 0, 0, b"thirty");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.oldest(), Some(20));
+        assert_eq!(s.newest(), Some(30));
+        let err = s.best_at_or_before(15, 0).unwrap_err();
+        assert!(err.contains("oldest checkpoint is at step 20"), "{err}");
+    }
+
+    #[test]
+    fn lookup_round_trips_and_picks_newest_eligible() {
+        let mut s = CheckpointStore::new(8);
+        s.push(5, 17, 0, 0, b"five");
+        s.push(9, 5, 0x1000, 0, b"nine");
+        s.push(14, 23, 0, 0, b"fourteen");
+        let (steps, sig, code, image) = s.best_at_or_before(13, 0).unwrap();
+        assert_eq!((steps, sig, code), (9, 5, 0x1000));
+        assert_eq!(image, b"nine");
+        let (steps, ..) = s.best_at_or_before(14, 0).unwrap();
+        assert_eq!(steps, 14);
+    }
+
+    #[test]
+    fn stale_generation_is_a_typed_refusal() {
+        let mut s = CheckpointStore::new(8);
+        s.push(5, 17, 0, 3, b"five");
+        let err = s.best_at_or_before(10, 4).unwrap_err();
+        assert!(err.contains("breakpoints changed"), "{err}");
+        // A matching-generation entry behind the stale one still answers.
+        let mut s = CheckpointStore::new(8);
+        s.push(5, 17, 0, 4, b"five");
+        s.push(9, 17, 0, 3, b"nine");
+        let (steps, ..) = s.best_at_or_before(10, 4).unwrap();
+        assert_eq!(steps, 5);
+    }
+
+    #[test]
+    fn recapture_at_same_step_replaces() {
+        let mut s = CheckpointStore::new(8);
+        s.push(5, 17, 0, 0, b"old");
+        s.push(5, 5, 7, 1, b"new");
+        assert_eq!(s.len(), 1);
+        let (steps, sig, code, image) = s.best_at_or_before(5, 1).unwrap();
+        assert_eq!((steps, sig, code), (5, 5, 7));
+        assert_eq!(image, b"new");
+    }
+
+    #[test]
+    fn empty_store_reports_no_checkpoints() {
+        let s = CheckpointStore::default();
+        assert!(s.is_empty());
+        let err = s.best_at_or_before(0, 0).unwrap_err();
+        assert!(err.contains("no checkpoints recorded"), "{err}");
+    }
+}

@@ -239,6 +239,8 @@ pub struct Target {
     /// Register snapshot from the last successful [`Ldb::registers`]
     /// call, answered while disconnected.
     reg_cache: Vec<(String, u32)>,
+    /// The checkpoint ring reverse execution rewinds through.
+    pub checkpoints: crate::checkpoint::CheckpointStore,
 }
 
 impl Target {
@@ -345,6 +347,10 @@ pub struct Ldb {
     /// debug dict): the known-good base [`Ldb::recover_session`] restores
     /// after a quarantined command.
     base_dicts: Vec<DictRef>,
+    /// Periodic-checkpoint interval for `cont` (`--checkpoint-every N`):
+    /// when set, resumes run in `N`-step legs and a checkpoint is taken at
+    /// each leg boundary. `None` (the default) leaves the run path alone.
+    checkpoint_every: Option<u64>,
 }
 
 /// Session-wide robustness counters: how often the defensive layers
@@ -367,6 +373,10 @@ pub struct Health {
     /// Wedged commands a session watchdog cancelled (0 outside a
     /// watchdog-supervised session — the daemon's per-tenant deadline).
     pub watchdog_timeouts: u64,
+    /// Checkpoints captured (manual, at-resume, and periodic).
+    pub checkpoints_taken: u64,
+    /// Snapshot restores performed by reverse execution.
+    pub restores: u64,
 }
 
 impl Health {
@@ -379,14 +389,17 @@ impl Health {
         format!(
             "{{\"walks_truncated\":{},\"walk_cycles\":{},\"print_cycles\":{},\
              \"print_follow_caps\":{},\"quarantined_commands\":{},\
-             \"chaos_corruptions\":{},\"watchdog_timeouts\":{}}}",
+             \"chaos_corruptions\":{},\"watchdog_timeouts\":{},\
+             \"checkpoints_taken\":{},\"restores\":{}}}",
             self.walks_truncated,
             self.walk_cycles,
             self.print_cycles,
             self.print_follow_caps,
             self.quarantined_commands,
             self.chaos_corruptions,
-            self.watchdog_timeouts
+            self.watchdog_timeouts,
+            self.checkpoints_taken,
+            self.restores
         )
     }
 }
@@ -397,14 +410,16 @@ impl std::fmt::Display for Health {
             f,
             "health: {} truncated walks ({} cycles), {} print cycles, \
              {} follow caps, {} quarantined commands, {} chaos corruptions, \
-             {} watchdog timeouts",
+             {} watchdog timeouts, {} checkpoints, {} restores",
             self.walks_truncated,
             self.walk_cycles,
             self.print_cycles,
             self.print_follow_caps,
             self.quarantined_commands,
             self.chaos_corruptions,
-            self.watchdog_timeouts
+            self.watchdog_timeouts,
+            self.checkpoints_taken,
+            self.restores
         )
     }
 }
@@ -461,6 +476,7 @@ impl Ldb {
             health: Health::default(),
             cancel: None,
             base_dicts,
+            checkpoint_every: None,
         };
         ldb.register_expr_ops();
         ldb
@@ -797,6 +813,7 @@ impl Ldb {
             conds: HashMap::new(),
             disconnected: false,
             reg_cache: Vec::new(),
+            checkpoints: crate::checkpoint::CheckpointStore::default(),
         };
         // Recover any breakpoints a crashed predecessor left planted.
         let _ = target.breakpoints.recover(&target.client);
@@ -1187,9 +1204,348 @@ impl Ldb {
     }
 
     fn cont_inner(&mut self, id: usize) -> Result<StopEvent, LdbError> {
-        self.prepare_resume(id)?;
-        let ev = self.targets[id].client.borrow_mut().continue_and_wait()?;
-        self.handle_event(id, ev)
+        let Some(every) = self.checkpoint_every else {
+            self.prepare_resume(id)?;
+            let ev = self.targets[id].client.borrow_mut().continue_and_wait()?;
+            return self.handle_event(id, ev);
+        };
+        // Checkpointed continue: record the resume point (so reverse
+        // execution can come back to this very stop), then run in
+        // `every`-step legs, checkpointing at each quiet leg boundary.
+        let every = every.max(1);
+        self.take_checkpoint(id)?;
+        loop {
+            self.prepare_resume(id)?;
+            let ev = self.targets[id].client.borrow_mut().step_n_and_wait(every)?;
+            match ev {
+                // `cont` never sends a single-step, so a `Step` stop here
+                // is exactly the leg budget running out: checkpoint the
+                // quiet state and keep running.
+                NubEvent::Stopped { sig: Sig::Step, code, context } => {
+                    self.targets[id].invalidate_data_cache();
+                    self.targets[id].stop = Some(Stop { sig: Sig::Step, code, context });
+                    self.take_checkpoint(id)?;
+                }
+                other => return self.handle_event(id, other),
+            }
+        }
+    }
+
+    // ----- time travel: checkpoints and reverse execution -----
+
+    /// Set the periodic-checkpoint interval for `cont` (`--checkpoint-every
+    /// N`): `Some(n)` makes every continue run in `n`-step legs with a
+    /// checkpoint at each boundary; `None` (the default) restores the
+    /// plain run path, which pays nothing.
+    pub fn set_checkpoint_every(&mut self, every: Option<u64>) {
+        self.checkpoint_every = every;
+    }
+
+    /// The configured periodic-checkpoint interval.
+    #[must_use]
+    pub fn checkpoint_every(&self) -> Option<u64> {
+        self.checkpoint_every
+    }
+
+    /// Capture the current target's full state into its checkpoint ring
+    /// (the `checkpoint` command). Returns the retired-instruction count
+    /// the checkpoint is keyed by.
+    ///
+    /// # Errors
+    /// No stopped target; nub failures.
+    pub fn checkpoint_now(&mut self) -> Result<u64, LdbError> {
+        let id = self.cur_id()?;
+        self.ensure_connected(id)?;
+        let r = self.take_checkpoint(id);
+        self.guard_wire(id, r)
+    }
+
+    /// Per-entry checkpoint rows of the current target, oldest first:
+    /// `(steps, raw bytes, compressed bytes)` (the `info checkpoints`
+    /// command).
+    ///
+    /// # Errors
+    /// No current target.
+    pub fn checkpoint_rows(&self) -> Result<Vec<(u64, usize, usize)>, LdbError> {
+        let id = self.cur_id()?;
+        Ok(self.targets[id].checkpoints.rows())
+    }
+
+    /// Aggregate checkpoint statistics of the current target.
+    ///
+    /// # Errors
+    /// No current target.
+    pub fn checkpoint_stats(&self) -> Result<crate::checkpoint::CheckpointStats, LdbError> {
+        let id = self.cur_id()?;
+        Ok(self.targets[id].checkpoints.stats())
+    }
+
+    /// Retired-instruction count of the current target (its position on
+    /// the time axis reverse execution rewinds along).
+    ///
+    /// # Errors
+    /// No connected target; nub failures.
+    pub fn steps_retired(&mut self) -> Result<u64, LdbError> {
+        let id = self.cur_id()?;
+        self.ensure_connected(id)?;
+        let r = self.targets[id]
+            .client
+            .borrow_mut()
+            .query_steps()
+            .map_err(LdbError::from);
+        self.guard_wire(id, r)
+    }
+
+    /// The current target's serialized machine state (registers plus
+    /// dirty pages, planted traps lifted) — the canonical image the
+    /// differential harness compares for bit-identity: two equal images
+    /// mean equal CPU state, equal memory, and equal step counts.
+    ///
+    /// # Errors
+    /// No connected target; nub failures.
+    pub fn snapshot_bytes(&mut self) -> Result<Vec<u8>, LdbError> {
+        let id = self.cur_id()?;
+        self.ensure_connected(id)?;
+        let r = self.targets[id]
+            .client
+            .borrow_mut()
+            .take_snapshot()
+            .map_err(LdbError::from);
+        self.guard_wire(id, r)
+    }
+
+    /// Capture target `id`'s state into its checkpoint ring, keyed by the
+    /// retired-step count and stamped with the stop signal and the
+    /// breakpoint-set generation (both govern how replay resumes from it).
+    fn take_checkpoint(&mut self, id: usize) -> Result<u64, LdbError> {
+        let stop = self.targets[id]
+            .stop
+            .ok_or_else(|| LdbError::msg("target is not stopped (running or exited)"))?;
+        let (image, steps) = {
+            let mut c = self.targets[id].client.borrow_mut();
+            let image = c.take_snapshot()?;
+            let steps = c.query_steps()?;
+            (image, steps)
+        };
+        let gen = self.targets[id].breakpoints.generation();
+        self.targets[id].checkpoints.push(steps, stop.sig.number(), stop.code, gen, &image);
+        self.health.checkpoints_taken += 1;
+        if self.trace.is_on() {
+            self.trace.emit(
+                Layer::Dbg,
+                Severity::Info,
+                "checkpoint",
+                &[("target", id.into()), ("steps", steps.into()), ("bytes", image.len().into())],
+            );
+        }
+        Ok(steps)
+    }
+
+    /// Rewind one retired instruction: restore the nearest checkpoint and
+    /// deterministically re-execute forward to the instruction before the
+    /// current one (`reverse-step`).
+    ///
+    /// # Errors
+    /// `reverse truncated: …` when no usable checkpoint reaches back far
+    /// enough; nub failures.
+    pub fn reverse_step_insn(&mut self) -> Result<StopEvent, LdbError> {
+        let id = self.cur_id()?;
+        self.ensure_connected(id)?;
+        let r = self.reverse_step_inner(id);
+        self.guard_wire(id, r)
+    }
+
+    fn reverse_step_inner(&mut self, id: usize) -> Result<StopEvent, LdbError> {
+        let now = self.targets[id].client.borrow_mut().query_steps()?;
+        if now == 0 {
+            return Err(LdbError::msg(
+                "reverse truncated: already at the start of execution",
+            ));
+        }
+        self.rewind_to(id, now - 1)?;
+        self.announce_rewound(id)
+    }
+
+    /// Rewind to the most recent breakpoint stop before the current one,
+    /// or to the oldest reachable checkpoint when no breakpoint fired in
+    /// recorded history (`reverse-continue`).
+    ///
+    /// # Errors
+    /// As [`Ldb::reverse_step_insn`].
+    pub fn reverse_cont(&mut self) -> Result<StopEvent, LdbError> {
+        let id = self.cur_id()?;
+        self.ensure_connected(id)?;
+        let r = self.reverse_cont_inner(id);
+        self.guard_wire(id, r)
+    }
+
+    fn reverse_cont_inner(&mut self, id: usize) -> Result<StopEvent, LdbError> {
+        let now = self.targets[id].client.borrow_mut().query_steps()?;
+        if now == 0 {
+            return Err(LdbError::msg(
+                "reverse truncated: already at the start of execution",
+            ));
+        }
+        // Scan pass: replay to just before the current stop, remembering
+        // the last breakpoint trap crossed on the way.
+        let (ckpt, last_trap) = self.rewind_to(id, now - 1)?;
+        let land = last_trap.unwrap_or(ckpt);
+        if land != now - 1 {
+            // Landing pass: fresh restore, replay exactly to the landing
+            // point (the scan already proved the interval deterministic).
+            self.rewind_to(id, land)?;
+        }
+        self.announce_rewound(id)
+    }
+
+    /// Rewind to the previous source line of the current procedure (or an
+    /// enclosing one), skipping backwards over completed calls — the
+    /// reverse of `next` (`reverse-next`).
+    ///
+    /// # Errors
+    /// As [`Ldb::reverse_step_insn`].
+    pub fn reverse_next(&mut self) -> Result<StopEvent, LdbError> {
+        let id = self.cur_id()?;
+        self.ensure_connected(id)?;
+        let r = self.reverse_next_inner(id);
+        self.guard_wire(id, r)
+    }
+
+    fn reverse_next_inner(&mut self, id: usize) -> Result<StopEvent, LdbError> {
+        let start_pc = self.read_saved_pc(id)?;
+        let (start_func, start_line) = self.describe_pc(id, start_pc);
+        let start_vfp = self.targets[id].frames.first().map(|f| f.vfp);
+        // One source line is a handful of instructions; the cap only
+        // guards against degenerate line maps.
+        const CAP: u32 = 4096;
+        for _ in 0..CAP {
+            let ev = self.reverse_step_inner(id)?;
+            match &ev {
+                // Rewound onto a breakpoint hit, the start of recorded
+                // history, or a terminal state: surface it as-is.
+                StopEvent::Breakpoint { .. }
+                | StopEvent::Paused
+                | StopEvent::Attached
+                | StopEvent::Exited(_)
+                | StopEvent::Fault { .. } => return Ok(ev),
+                StopEvent::Stepped { func, line, .. }
+                | StopEvent::Watchpoint { func, line, .. } => {
+                    if func == &start_func && *line == start_line {
+                        continue;
+                    }
+                    // The stack grows down: a topmost frame *below* the
+                    // starting vfp is inside a call the starting line
+                    // made — keep rewinding until the call unwinds.
+                    let vfp = self.targets[id].frames.first().map(|f| f.vfp);
+                    if let (Some(start), Some(cur)) = (start_vfp, vfp) {
+                        if cur < start {
+                            continue;
+                        }
+                    }
+                    return Ok(ev);
+                }
+            }
+        }
+        Err(LdbError::msg(format!(
+            "reverse truncated: no line boundary within {CAP} reverse steps"
+        )))
+    }
+
+    /// Restore the newest usable checkpoint at or before `target` and
+    /// deterministically re-execute forward to exactly `target` retired
+    /// instructions, resuming past intermediate trap stops with the same
+    /// choreography the original run used. Returns the checkpoint's step
+    /// count and the position of the last breakpoint trap observed at or
+    /// before `target` (including a checkpoint captured at a fired trap).
+    fn rewind_to(&mut self, id: usize, target: u64) -> Result<(u64, Option<u64>), LdbError> {
+        let gen = self.targets[id].breakpoints.generation();
+        let (at, sig, code, image) = self.targets[id]
+            .checkpoints
+            .best_at_or_before(target, gen)
+            .map_err(|e| LdbError::msg(format!("reverse truncated: {e}")))?;
+        let context = self.targets[id]
+            .stop
+            .map(|s| s.context)
+            .ok_or_else(|| LdbError::msg("target is not stopped (running or exited)"))?;
+        self.targets[id].client.borrow_mut().load_snapshot(&image)?;
+        // The restore rewrote memory wholesale behind both caches.
+        self.targets[id].invalidate_data_cache();
+        self.targets[id].invalidate_code_cache();
+        // Replay must resume from the restored state exactly as the
+        // original resume did, so the stop takes the signal the
+        // checkpoint was captured under.
+        let sig = Sig::from_number(sig).unwrap_or(Sig::Step);
+        self.targets[id].stop = Some(Stop { sig, code, context });
+        self.health.restores += 1;
+        if self.trace.is_on() {
+            self.trace.emit(
+                Layer::Dbg,
+                Severity::Info,
+                "restore",
+                &[("target", id.into()), ("steps", at.into()), ("to", target.into())],
+            );
+        }
+        let mut last_trap = if sig == Sig::Trap { Some(at) } else { None };
+        loop {
+            let pos = self.targets[id].client.borrow_mut().query_steps()?;
+            if pos == target {
+                return Ok((at, last_trap));
+            }
+            if pos > target {
+                return Err(LdbError::msg(format!(
+                    "reverse replay overshot: at step {pos}, wanted {target}"
+                )));
+            }
+            self.prepare_resume(id)?;
+            // The single-step choreography retires instructions itself;
+            // re-measure before budgeting the next leg.
+            let pos = self.targets[id].client.borrow_mut().query_steps()?;
+            if pos == target {
+                return Ok((at, last_trap));
+            }
+            if pos > target {
+                return Err(LdbError::msg(format!(
+                    "reverse replay overshot: at step {pos}, wanted {target}"
+                )));
+            }
+            let ev = self.targets[id].client.borrow_mut().step_n_and_wait(target - pos)?;
+            match ev {
+                NubEvent::Exited(c) => {
+                    return Err(LdbError::msg(format!(
+                        "reverse replay diverged: target exited ({c})"
+                    )));
+                }
+                NubEvent::Stopped { sig, code, context } => {
+                    self.targets[id].invalidate_data_cache();
+                    self.targets[id].stop = Some(Stop { sig, code, context });
+                    match sig {
+                        Sig::Trap => {
+                            let p = self.targets[id].client.borrow_mut().query_steps()?;
+                            last_trap = Some(p);
+                        }
+                        Sig::Step => {}
+                        other => {
+                            return Err(LdbError::msg(format!(
+                                "reverse replay diverged: unexpected signal {} mid-replay",
+                                other.number()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run the full stop pipeline (cache invalidation, stack walk, trace
+    /// record, description) for the state reverse execution landed on.
+    fn announce_rewound(&mut self, id: usize) -> Result<StopEvent, LdbError> {
+        let stop = self.targets[id]
+            .stop
+            .ok_or_else(|| LdbError::msg("target is not stopped (running or exited)"))?;
+        self.handle_event(
+            id,
+            NubEvent::Stopped { sig: stop.sig, code: stop.code, context: stop.context },
+        )
     }
 
     /// Attach a condition to the breakpoint at `addr` (or clear it with
@@ -1312,12 +1668,18 @@ impl Ldb {
             let ev = self.step_insn()?;
             match ev {
                 StopEvent::Stepped { func, line, addr } => {
-                    // Stepping onto a planted breakpoint is a hit: without
-                    // this, the next resume's nop-skip would silently jump
-                    // the trap without ever reporting it.
+                    // Stepping onto a planted breakpoint is a hit. The
+                    // machine state is exactly a fired trap's — pc at the
+                    // plant, original instruction pending — so record the
+                    // stop as one; the next resume then runs the usual
+                    // skip/step choreography instead of letting the trap
+                    // fire a second report.
                     if self.targets[id].breakpoints.is_planted(addr)
                         && self.breakpoint_should_stop(id, addr)?
                     {
+                        if let Some(stop) = self.targets[id].stop.as_mut() {
+                            stop.sig = Sig::Trap;
+                        }
                         return Ok(StopEvent::Breakpoint { func, line, addr });
                     }
                     if let Some((name, old, new)) = self.check_watches(id, &func)? {
@@ -1385,15 +1747,18 @@ impl Ldb {
         let my_vfp = self.targets[id].frames.first().map(|f| f.vfp);
         let parent = self.targets[id].frames.get(1).map(|f| (f.pc, f.vfp));
         let (entry, _) = self.scope()?;
-        // Temporary plants: every stopping point of the procedure (they
-        // are no-ops, so the cheap scheme applies) ...
+        // Temporary plants: every stopping point of the procedure. They
+        // are no-ops, but the temps use the single-step scheme anyway —
+        // stepping the no-op retires the same one step the pristine
+        // program would, so a transient temp never perturbs the step
+        // clock or orphans time-travel checkpoints.
         let n = symtab::loci_of(&mut self.interp, &entry)?.len();
         let mut temps = Vec::new();
         for i in 0..n {
             let a = symtab::stop_addr(&mut self.interp, &entry, i)?;
             if a != pc0 && !self.targets[id].breakpoints.is_planted(a) {
                 let t = &mut self.targets[id];
-                t.breakpoints.plant(&t.client, a)?;
+                t.breakpoints.plant_anywhere(&t.client, a)?;
                 temps.push(a);
             }
         }
@@ -1510,6 +1875,19 @@ impl Ldb {
             }
         }
         t.invalidate_code_cache();
+        // A temp that landed on a stopping-point no-op advanced the
+        // breakpoint generation, orphaning every earlier checkpoint —
+        // correctly, since the finished interval skipped a no-op the
+        // pristine program would execute. When the session is
+        // checkpointing at all, re-seed reverse reach at this stop under
+        // the current generation (best effort: a failed snapshot must
+        // not fail the step).
+        if !temps.is_empty()
+            && outcome.is_ok()
+            && (self.checkpoint_every.is_some() || !self.targets[id].checkpoints.is_empty())
+        {
+            let _ = self.take_checkpoint(id);
+        }
         Ok(())
     }
 
@@ -1633,6 +2011,7 @@ impl Ldb {
                 .ok_or_else(|| LdbError::msg(format!("no procedure `{func}`")))?
         };
         let args = self.coerce_call_args(id, func, args)?;
+        let pre_stop = self.targets[id].stop;
         let (ctx_addr, saved) = self.save_context(id)?;
         let result = self.run_call(id, ctx_addr, entry_pc, &args, SENTINEL);
         // Restore the pre-call context whatever happened, then rebuild
@@ -1643,6 +2022,15 @@ impl Ldb {
         for (i, word) in saved.iter().enumerate() {
             t.client.borrow_mut().store('d', stop.context + i as u32 * 4, 4, *word)?;
         }
+        // The stop state is part of the pre-call context: the sentinel
+        // fault must not linger as the announced signal, or the next
+        // resume would treat a fired-trap stop as a plain one and let the
+        // breakpoint re-fire.
+        if let (Some(pre), Some(cur)) = (pre_stop, self.targets[id].stop.as_mut()) {
+            cur.sig = pre.sig;
+            cur.code = pre.code;
+        }
+        let t = &self.targets[id];
         // The restore stores went around the cache; drop stale data lines
         // before the frame view is rebuilt from the restored context.
         t.invalidate_data_cache();
@@ -1772,7 +2160,17 @@ impl Ldb {
     fn prepare_resume(&mut self, id: usize) -> Result<(), LdbError> {
         let Some(stop) = self.targets[id].stop else { return Ok(()) };
         let pc = self.read_saved_pc(id)?;
-        let kind = self.targets[id].breakpoints.resume_kind(pc);
+        // The skip/single-step choreography is for a trap that *fired* (it
+        // already consumed its fetch): only a `Sig::Trap` stop means that.
+        // A single-step or checkpoint-leg pause can land *on* a planted
+        // address with the trap not yet executed — resuming plainly lets
+        // it fire, which both reports the breakpoint and keeps replay
+        // step-for-step identical to the original run.
+        let kind = if stop.sig == Sig::Trap {
+            self.targets[id].breakpoints.resume_kind(pc)
+        } else {
+            None
+        };
         let t = &self.targets[id];
         match kind {
             None => {}

@@ -34,6 +34,7 @@
 pub mod amemory;
 pub mod breakpoint;
 pub mod chaos;
+pub mod checkpoint;
 pub mod debugger;
 pub mod event;
 pub mod frame;
@@ -46,6 +47,7 @@ pub mod symtab;
 pub use amemory::{AbstractMemory, AliasMemory, CachedMemory, CacheStats, JoinedMemory, MemError, MemRef, RegisterMemory, WireMemory};
 pub use breakpoint::Breakpoints;
 pub use chaos::{ChaosConfig, ChaosMemory, ChaosStats};
+pub use checkpoint::{CheckpointStats, CheckpointStore};
 pub use debugger::{CallArg, CallReturn, Health, Ldb, PsBudgets, ReloadRow, StopEvent, Target};
 pub use event::{Events, Outcome};
 pub use frame::{walk_stack, Frame, FrameWalker, WalkCtx, WalkError, WalkGuard, WalkStop, WALK_DEPTH_CAP};

@@ -13,7 +13,8 @@
 //! `tests/replay_golden.rs` harness checks on all four architectures.
 //!
 //! The command set mirrors the interactive CLI's core (`b`/`bl`/`c`/`s`/
-//! `n`/`fin`/`p`/`e`/`bt`/`f`/`regs`/`info wire`/`info trace`), with
+//! `n`/`fin`/`p`/`e`/`bt`/`f`/`regs`/`checkpoint`/`reverse-step`/
+//! `reverse-next`/`reverse-continue`/`info wire`/`info trace`), with
 //! output formats chosen to be stable and machine-diffable rather than
 //! chatty.
 
@@ -131,6 +132,13 @@ fn run_command(ldb: &mut Ldb, cmd: &str, rest: &str) -> Result<String, LdbError>
         "c" => report_stop(&ldb.cont_watch()?),
         "s" => report_stop(&ldb.step_insn()?),
         "n" => report_stop(&ldb.step_over()?),
+        "checkpoint" => {
+            let steps = ldb.checkpoint_now()?;
+            format!("checkpoint at step {steps}")
+        }
+        "reverse-step" | "rs" => report_stop(&ldb.reverse_step_insn()?),
+        "reverse-next" | "rn" => report_stop(&ldb.reverse_next()?),
+        "reverse-continue" | "rc" => report_stop(&ldb.reverse_cont()?),
         "fin" => {
             let (ev, ret) = ldb.finish()?;
             match ret {
@@ -175,6 +183,24 @@ fn run_command(ldb: &mut Ldb, cmd: &str, rest: &str) -> Result<String, LdbError>
             "trace" => trace_report(ldb),
             "health" => ldb.health().to_string(),
             "health --json" => ldb.health().to_json(),
+            "checkpoints" => {
+                let rows = ldb.checkpoint_rows()?;
+                let s = ldb.checkpoint_stats()?;
+                let mut lines: Vec<String> = rows
+                    .iter()
+                    .map(|(steps, raw, packed)| {
+                        format!("  step {steps}: {raw} bytes ({packed} compressed)")
+                    })
+                    .collect();
+                lines.insert(
+                    0,
+                    format!(
+                        "checkpoints: {}/{} held, {} raw bytes ({} compressed)",
+                        s.len, s.cap, s.raw, s.compressed
+                    ),
+                );
+                lines.join("\n")
+            }
             other => return Err(LdbError::msg(format!("no `info {other}` in scripts"))),
         },
         other => return Err(LdbError::msg(format!("unknown script command `{other}`"))),

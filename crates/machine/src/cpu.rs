@@ -105,6 +105,18 @@ impl Cpu {
         self.fregs[(f & 15) as usize] = v;
     }
 
+    /// The load-delay pipeline state: which register (if any) the last
+    /// retired instruction loaded. Snapshots must carry this — restoring
+    /// mid-delay-slot without it would change hazard detection.
+    pub fn pending_load(&self) -> Option<u8> {
+        self.pending_load
+    }
+
+    /// Restore the load-delay pipeline state (snapshot restore only).
+    pub fn set_pending_load(&mut self, r: Option<u8>) {
+        self.pending_load = r;
+    }
+
     fn sp(&self) -> u8 {
         self.data().sp
     }

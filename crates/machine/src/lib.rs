@@ -36,10 +36,12 @@ pub mod image;
 pub mod machine;
 pub mod memory;
 pub mod op;
+pub mod snapshot;
 
 pub use arch::{Arch, ByteOrder, ContextLayout, MachineData};
 pub use cpu::{Cpu, Service, StepEvent};
 pub use image::{Image, Rpt, RptEntry, SymKind, Symbol, CODE_BASE, STACK_SIZE};
 pub use machine::{Machine, RunEvent};
-pub use memory::{Fault, Memory};
+pub use memory::{Fault, Memory, PAGE_SIZE};
 pub use op::{AluOp, Cond, FaluOp, FltSize, MemSize, Op};
+pub use snapshot::{Snapshot, SnapshotError};

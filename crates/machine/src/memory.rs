@@ -8,6 +8,11 @@ use std::fmt;
 
 use crate::arch::ByteOrder;
 
+/// Granularity of dirty tracking: the snapshot machinery captures memory
+/// as the set of pages written since creation, so a mostly-untouched
+/// address space costs almost nothing to checkpoint.
+pub const PAGE_SIZE: u32 = 4096;
+
 /// A memory fault or execution fault raised by the simulated CPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -52,11 +57,19 @@ impl fmt::Display for Fault {
 impl std::error::Error for Fault {}
 
 /// Flat target memory.
+///
+/// Every mutation funnels through [`Memory::write_bytes`], which marks
+/// the touched 4 KiB pages in a dirty bitmap. Because a fresh memory is
+/// all zeroes, the invariant *clean page ⇔ all-zero page* holds, and a
+/// snapshot only has to carry the dirty pages ([`Memory::dirty_pages`] /
+/// [`Memory::restore_pages`]).
 #[derive(Clone)]
 pub struct Memory {
     base: u32,
     bytes: Vec<u8>,
     order: ByteOrder,
+    /// One bit per page, set when any byte of the page has been written.
+    dirty: Vec<u64>,
 }
 
 impl fmt::Debug for Memory {
@@ -74,7 +87,8 @@ impl fmt::Debug for Memory {
 impl Memory {
     /// Memory covering `[base, base + size)`.
     pub fn new(base: u32, size: u32, order: ByteOrder) -> Memory {
-        Memory { base, bytes: vec![0; size as usize], order }
+        let pages = (size as usize).div_ceil(PAGE_SIZE as usize);
+        Memory { base, bytes: vec![0; size as usize], order, dirty: vec![0; pages.div_ceil(64)] }
     }
 
     /// Lowest mapped address.
@@ -97,9 +111,95 @@ impl Memory {
         &self.bytes
     }
 
-    /// Rebuild a memory from dumped contents.
+    /// Rebuild a memory from dumped contents. Every page is conservatively
+    /// marked dirty: a dump carries no history, so nothing can be assumed
+    /// zero.
     pub fn from_contents(base: u32, bytes: Vec<u8>, order: ByteOrder) -> Memory {
-        Memory { base, bytes, order }
+        let pages = bytes.len().div_ceil(PAGE_SIZE as usize);
+        let mut dirty = vec![u64::MAX; pages.div_ceil(64)];
+        // Clear the bits past the last page so dirty_pages never reports
+        // pages outside the mapped range.
+        if let Some(last) = dirty.last_mut() {
+            let used = pages % 64;
+            if used != 0 {
+                *last = (1u64 << used) - 1;
+            }
+        }
+        Memory { base, bytes, order, dirty }
+    }
+
+    /// Number of pages (the last one may be partial).
+    fn page_count(&self) -> u32 {
+        (self.bytes.len() as u32).div_ceil(PAGE_SIZE)
+    }
+
+    /// Mark every page overlapping `[i, i + len)` (byte offsets) dirty.
+    fn mark_dirty(&mut self, i: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = i / PAGE_SIZE as usize;
+        let last = (i + len - 1) / PAGE_SIZE as usize;
+        for p in first..=last {
+            self.dirty[p / 64] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// Indices of every page written since creation (or the last
+    /// [`Memory::restore_pages`]), in ascending order.
+    pub fn dirty_pages(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for p in 0..self.page_count() {
+            if self.dirty[p as usize / 64] & (1u64 << (p % 64)) != 0 {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// The bytes of page `idx` (shorter than [`PAGE_SIZE`] for a partial
+    /// final page). Panics on an out-of-range index.
+    pub fn page(&self, idx: u32) -> &[u8] {
+        let start = idx as usize * PAGE_SIZE as usize;
+        let end = (start + PAGE_SIZE as usize).min(self.bytes.len());
+        &self.bytes[start..end]
+    }
+
+    /// Restore the memory contents to exactly the state captured as a
+    /// dirty-page image: pages in `pages` get those bytes, every other
+    /// page returns to all-zero (its initial state), and the dirty bitmap
+    /// is rebuilt to cover exactly the restored pages — so a snapshot of
+    /// the restored memory is bit-identical to the original snapshot.
+    ///
+    /// # Errors
+    /// [`Fault::BadAddress`] for an out-of-range page index or a page
+    /// image whose length does not match that page.
+    pub fn restore_pages(&mut self, pages: &[(u32, Vec<u8>)]) -> Result<(), Fault> {
+        let npages = self.page_count();
+        for (idx, data) in pages {
+            let addr = self.base.wrapping_add(idx.wrapping_mul(PAGE_SIZE));
+            if *idx >= npages || data.len() != self.page(*idx).len() {
+                return Err(Fault::BadAddress { addr, write: true });
+            }
+        }
+        // Zero the pages that are dirty now but absent from the image.
+        let incoming: std::collections::HashSet<u32> = pages.iter().map(|(i, _)| *i).collect();
+        for p in self.dirty_pages() {
+            if !incoming.contains(&p) {
+                let start = p as usize * PAGE_SIZE as usize;
+                let end = (start + PAGE_SIZE as usize).min(self.bytes.len());
+                self.bytes[start..end].fill(0);
+            }
+        }
+        for (idx, data) in pages {
+            let start = *idx as usize * PAGE_SIZE as usize;
+            self.bytes[start..start + data.len()].copy_from_slice(data);
+        }
+        self.dirty.fill(0);
+        for (idx, _) in pages {
+            self.dirty[*idx as usize / 64] |= 1u64 << (idx % 64);
+        }
+        Ok(())
     }
 
     fn index(&self, addr: u32, len: u32, write: bool) -> Result<usize, Fault> {
@@ -126,6 +226,7 @@ impl Memory {
     pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), Fault> {
         let i = self.index(addr, data.len() as u32, true)?;
         self.bytes[i..i + data.len()].copy_from_slice(data);
+        self.mark_dirty(i, data.len());
         Ok(())
     }
 
@@ -310,6 +411,67 @@ mod tests {
         m.write_bytes(4, b"fib\0").unwrap();
         assert_eq!(m.read_cstr(4).unwrap(), "fib");
         assert_eq!(m.read_cstr(7).unwrap(), "");
+    }
+
+    #[test]
+    fn dirty_pages_track_writes() {
+        let mut m = Memory::new(0x1000, 4 * PAGE_SIZE + 100, ByteOrder::Big);
+        assert!(m.dirty_pages().is_empty());
+        m.write_u32(0x1000, 1).unwrap();
+        assert_eq!(m.dirty_pages(), vec![0]);
+        // A write spanning a page boundary dirties both pages.
+        m.write_bytes(0x1000 + PAGE_SIZE * 2 - 2, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.dirty_pages(), vec![0, 1, 2]);
+        // The partial final page is addressable too.
+        m.write_u8(0x1000 + PAGE_SIZE * 4 + 99, 7).unwrap();
+        assert_eq!(m.dirty_pages(), vec![0, 1, 2, 4]);
+        assert_eq!(m.page(4).len(), 100);
+        // A failed write marks nothing.
+        let before = m.dirty_pages();
+        assert!(m.write_u32(0x1000 + PAGE_SIZE * 3 + 98, 0).is_ok());
+        assert!(m.write_u32(0, 0).is_err());
+        assert_ne!(m.dirty_pages(), before);
+        assert_eq!(m.dirty_pages(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn restore_pages_round_trips() {
+        let mut m = Memory::new(0x1000, 3 * PAGE_SIZE, ByteOrder::Little);
+        m.write_u32(0x1000 + 8, 0xAABBCCDD).unwrap();
+        m.write_u32(0x1000 + PAGE_SIZE + 4, 0x11223344).unwrap();
+        let image: Vec<(u32, Vec<u8>)> =
+            m.dirty_pages().iter().map(|&p| (p, m.page(p).to_vec())).collect();
+        let golden = m.contents().to_vec();
+        // Diverge: touch a third page and overwrite a captured one.
+        m.write_u32(0x1000 + 2 * PAGE_SIZE, 0xFFFF_FFFF).unwrap();
+        m.write_u32(0x1000 + 8, 0).unwrap();
+        assert_ne!(m.contents(), &golden[..]);
+        m.restore_pages(&image).unwrap();
+        assert_eq!(m.contents(), &golden[..], "restore must be bit-identical");
+        assert_eq!(m.dirty_pages(), vec![0, 1], "dirty set must match the image");
+    }
+
+    #[test]
+    fn clean_pages_are_all_zero() {
+        // The invariant restore_pages relies on: an untouched page reads
+        // as zeroes, so dropping it from a snapshot loses nothing.
+        let mut m = Memory::new(0, 2 * PAGE_SIZE, ByteOrder::Big);
+        m.write_u32(PAGE_SIZE, 5).unwrap();
+        assert_eq!(m.dirty_pages(), vec![1]);
+        assert!(m.page(0).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn restore_pages_rejects_bad_images() {
+        let mut m = Memory::new(0, 2 * PAGE_SIZE, ByteOrder::Big);
+        assert!(m.restore_pages(&[(9, vec![0; PAGE_SIZE as usize])]).is_err());
+        assert!(m.restore_pages(&[(0, vec![0; 7])]).is_err());
+    }
+
+    #[test]
+    fn from_contents_marks_everything_dirty() {
+        let m = Memory::from_contents(0, vec![1; PAGE_SIZE as usize * 2 + 5], ByteOrder::Big);
+        assert_eq!(m.dirty_pages(), vec![0, 1, 2]);
     }
 
     #[test]

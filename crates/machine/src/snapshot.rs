@@ -1,0 +1,457 @@
+//! Bit-exact machine checkpoints.
+//!
+//! A [`Snapshot`] captures everything that determines a simulated
+//! machine's future: the full CPU register file (integer, floating,
+//! pc, condition codes, the MIPS load-delay pipeline state), the
+//! retired-step count, the dirty memory pages (clean pages are all-zero
+//! by the [`crate::memory::Memory`] invariant, so they need no bytes),
+//! the accumulated host-call output, and the exit status. Restoring a
+//! snapshot puts the machine into a state from which execution proceeds
+//! *identically* — the determinism contract the debugger's reverse
+//! execution is built on.
+//!
+//! The serialized form ([`Snapshot::to_bytes`] / [`Snapshot::from_bytes`])
+//! is a little-endian binary record designed for wire transfer: the
+//! decoder bounds-checks every length field against the bytes actually
+//! present before allocating, in the same discipline as the nub protocol
+//! codec.
+
+use crate::arch::{Arch, ByteOrder};
+use crate::machine::Machine;
+use crate::memory::PAGE_SIZE;
+
+/// Serialized-format magic: "LDBS" plus a format version byte.
+const MAGIC: &[u8; 4] = b"LDBS";
+const VERSION: u8 = 1;
+
+/// Errors from snapshot decode/restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream ended before the record did.
+    Truncated,
+    /// Wrong magic or unsupported version.
+    BadMagic,
+    /// A field held an impossible value (named for diagnostics).
+    BadField(&'static str),
+    /// The snapshot does not describe this machine (arch, byte order, or
+    /// memory geometry differs).
+    Mismatch(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic/version)"),
+            SnapshotError::BadField(w) => write!(f, "snapshot field out of range: {w}"),
+            SnapshotError::Mismatch(w) => write!(f, "snapshot does not fit this machine: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A complete, restorable capture of one machine's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Which target this snapshot came from.
+    pub arch: Arch,
+    /// The memory byte order (MIPS runs either way).
+    pub order: ByteOrder,
+    /// Program counter.
+    pub pc: u32,
+    /// Integer register file.
+    pub regs: [u32; 32],
+    /// Floating register file (restored bit-exactly).
+    pub fregs: [f64; 16],
+    /// Condition codes.
+    pub cc: (i32, i32),
+    /// MIPS load-delay pipeline state.
+    pub pending_load: Option<u8>,
+    /// Retired-instruction count at capture time — the snapshot's
+    /// position on the execution timeline.
+    pub steps: u64,
+    /// Lowest mapped address.
+    pub mem_base: u32,
+    /// Mapped size in bytes.
+    pub mem_len: u32,
+    /// Dirty pages, ascending by index; the last page may be partial.
+    pub pages: Vec<(u32, Vec<u8>)>,
+    /// Host-call output accumulated so far.
+    pub output: String,
+    /// Exit status, if the program had already exited.
+    pub exited: Option<i32>,
+}
+
+impl Snapshot {
+    /// Capture the machine's current state.
+    pub fn capture(m: &Machine) -> Snapshot {
+        let mem = &m.cpu.mem;
+        let pages = mem.dirty_pages().into_iter().map(|p| (p, mem.page(p).to_vec())).collect();
+        Snapshot {
+            arch: m.cpu.arch,
+            order: mem.order(),
+            pc: m.cpu.pc,
+            regs: m.cpu.regs,
+            fregs: m.cpu.fregs,
+            cc: m.cpu.cc,
+            pending_load: m.cpu.pending_load(),
+            steps: m.cpu.steps,
+            mem_base: mem.base(),
+            mem_len: mem.limit() - mem.base(),
+            pages,
+            output: m.output.clone(),
+            exited: m.exited,
+        }
+    }
+
+    /// Restore the machine to exactly the captured state.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Mismatch`] if the snapshot was taken on a machine
+    /// with different architecture, byte order, or memory geometry;
+    /// [`SnapshotError::BadField`] for a corrupt page image.
+    pub fn restore(&self, m: &mut Machine) -> Result<(), SnapshotError> {
+        if self.arch != m.cpu.arch {
+            return Err(SnapshotError::Mismatch("architecture"));
+        }
+        let mem = &m.cpu.mem;
+        if self.order != mem.order() {
+            return Err(SnapshotError::Mismatch("byte order"));
+        }
+        if self.mem_base != mem.base() || self.mem_len != mem.limit() - mem.base() {
+            return Err(SnapshotError::Mismatch("memory geometry"));
+        }
+        m.cpu.mem.restore_pages(&self.pages).map_err(|_| SnapshotError::BadField("pages"))?;
+        m.cpu.pc = self.pc;
+        m.cpu.regs = self.regs;
+        m.cpu.fregs = self.fregs;
+        m.cpu.cc = self.cc;
+        m.cpu.set_pending_load(self.pending_load);
+        m.cpu.steps = self.steps;
+        m.output = self.output.clone();
+        m.exited = self.exited;
+        Ok(())
+    }
+
+    /// Serialize to the little-endian wire form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(256 + self.pages.len() * (PAGE_SIZE as usize + 8));
+        b.extend_from_slice(MAGIC);
+        b.push(VERSION);
+        b.push(arch_code(self.arch));
+        b.push(match self.order {
+            ByteOrder::Little => 0,
+            ByteOrder::Big => 1,
+        });
+        b.push(self.pending_load.unwrap_or(0xff));
+        b.extend_from_slice(&self.pc.to_le_bytes());
+        b.extend_from_slice(&(self.cc.0).to_le_bytes());
+        b.extend_from_slice(&(self.cc.1).to_le_bytes());
+        b.extend_from_slice(&self.steps.to_le_bytes());
+        for r in &self.regs {
+            b.extend_from_slice(&r.to_le_bytes());
+        }
+        for f in &self.fregs {
+            b.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        match self.exited {
+            None => b.push(0),
+            Some(s) => {
+                b.push(1);
+                b.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        b.extend_from_slice(&(self.output.len() as u32).to_le_bytes());
+        b.extend_from_slice(self.output.as_bytes());
+        b.extend_from_slice(&self.mem_base.to_le_bytes());
+        b.extend_from_slice(&self.mem_len.to_le_bytes());
+        b.extend_from_slice(&(self.pages.len() as u32).to_le_bytes());
+        for (idx, data) in &self.pages {
+            b.extend_from_slice(&idx.to_le_bytes());
+            b.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            b.extend_from_slice(data);
+        }
+        b
+    }
+
+    /// Decode the wire form. Every length is validated against the bytes
+    /// actually present before any allocation.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] for truncated or corrupt input.
+    pub fn from_bytes(b: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut c = Cursor { b, pos: 0 };
+        if c.take(5)? != [MAGIC[0], MAGIC[1], MAGIC[2], MAGIC[3], VERSION] {
+            return Err(SnapshotError::BadMagic);
+        }
+        let arch = arch_from_code(c.u8()?).ok_or(SnapshotError::BadField("arch"))?;
+        let order = match c.u8()? {
+            0 => ByteOrder::Little,
+            1 => ByteOrder::Big,
+            _ => return Err(SnapshotError::BadField("order")),
+        };
+        let pending_load = match c.u8()? {
+            0xff => None,
+            r if r < 32 => Some(r),
+            _ => return Err(SnapshotError::BadField("pending_load")),
+        };
+        let pc = c.u32()?;
+        let cc = (c.u32()? as i32, c.u32()? as i32);
+        let steps = c.u64()?;
+        let mut regs = [0u32; 32];
+        for r in &mut regs {
+            *r = c.u32()?;
+        }
+        let mut fregs = [0f64; 16];
+        for f in &mut fregs {
+            *f = f64::from_bits(c.u64()?);
+        }
+        let exited = match c.u8()? {
+            0 => None,
+            1 => Some(c.u32()? as i32),
+            _ => return Err(SnapshotError::BadField("exited")),
+        };
+        let out_len = c.u32()? as usize;
+        let output = String::from_utf8(c.take(out_len)?.to_vec())
+            .map_err(|_| SnapshotError::BadField("output"))?;
+        let mem_base = c.u32()?;
+        let mem_len = c.u32()?;
+        let npages = c.u32()?;
+        if u64::from(npages) > u64::from(mem_len.div_ceil(PAGE_SIZE)) {
+            return Err(SnapshotError::BadField("page count"));
+        }
+        let mut pages = Vec::with_capacity(npages as usize);
+        let mut last: Option<u32> = None;
+        for _ in 0..npages {
+            let idx = c.u32()?;
+            if last.is_some_and(|l| idx <= l) {
+                return Err(SnapshotError::BadField("page order"));
+            }
+            last = Some(idx);
+            let len = c.u32()?;
+            if len > PAGE_SIZE {
+                return Err(SnapshotError::BadField("page size"));
+            }
+            pages.push((idx, c.take(len as usize)?.to_vec()));
+        }
+        if c.pos != b.len() {
+            return Err(SnapshotError::BadField("trailing bytes"));
+        }
+        Ok(Snapshot {
+            arch,
+            order,
+            pc,
+            regs,
+            fregs,
+            cc,
+            pending_load,
+            steps,
+            mem_base,
+            mem_len,
+            pages,
+            output,
+            exited,
+        })
+    }
+}
+
+fn arch_code(a: Arch) -> u8 {
+    match a {
+        Arch::Mips => 0,
+        Arch::M68k => 1,
+        Arch::Sparc => 2,
+        Arch::Vax => 3,
+    }
+}
+
+fn arch_from_code(c: u8) -> Option<Arch> {
+    Some(match c {
+        0 => Arch::Mips,
+        1 => Arch::M68k,
+        2 => Arch::Sparc,
+        3 => Arch::Vax,
+        _ => return None,
+    })
+}
+
+/// A bounds-checking byte reader: check-before-slice, never allocates
+/// ahead of the data it has.
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.b.len() - self.pos < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let s = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(s);
+        Ok(u64::from_le_bytes(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{test_cpu, StepEvent};
+    use crate::memory::Memory;
+
+    /// A machine over a tiny hand-built program: a counting loop that
+    /// stores to memory, so stepping dirties both registers and pages.
+    fn test_machine(arch: Arch, order: ByteOrder) -> Machine {
+        Machine { cpu: test_cpu(arch, order), output: String::new(), exited: None }
+    }
+
+    /// Run `n` single steps, ignoring traps (the test programs have none).
+    fn step_n(m: &mut Machine, n: u64) {
+        for _ in 0..n {
+            match m.cpu.step() {
+                StepEvent::Continue | StepEvent::Breakpoint { .. } | StepEvent::Syscall { .. } => {}
+                StepEvent::Fault(f) => panic!("unexpected fault: {f}"),
+            }
+        }
+    }
+
+    /// Write a small loop program at the pc using the arch encoder:
+    /// nops are universal, so a nop sled is the simplest deterministic
+    /// program every target can run.
+    fn write_nop_sled(m: &mut Machine, len: u32) {
+        let d = m.cpu.arch.data();
+        let nops = d.nop_bytes(m.cpu.mem.order());
+        let mut addr = m.cpu.pc;
+        for _ in 0..len {
+            m.cpu.mem.write_bytes(addr, &nops).unwrap();
+            addr += nops.len() as u32;
+        }
+    }
+
+    fn all_configs() -> Vec<(Arch, ByteOrder)> {
+        vec![
+            (Arch::Mips, ByteOrder::Big),
+            (Arch::Mips, ByteOrder::Little),
+            (Arch::M68k, ByteOrder::Big),
+            (Arch::Sparc, ByteOrder::Big),
+            (Arch::Vax, ByteOrder::Little),
+        ]
+    }
+
+    #[test]
+    fn capture_restore_is_bit_identical_per_arch() {
+        for (arch, order) in all_configs() {
+            let mut m = test_machine(arch, order);
+            write_nop_sled(&mut m, 64);
+            m.cpu.set_reg(2, 0x1234_5678);
+            m.cpu.set_freg(1, -0.125);
+            m.cpu.cc = (-3, 7);
+            step_n(&mut m, 10);
+            let snap = Snapshot::capture(&m);
+            // Diverge: run further, scribble on registers and memory.
+            step_n(&mut m, 20);
+            m.cpu.set_reg(3, 99);
+            m.cpu.set_freg(2, 1.5);
+            m.cpu.mem.write_u32(0x2000, 0xdead).unwrap();
+            m.output.push_str("junk");
+            snap.restore(&mut m).unwrap();
+            let again = Snapshot::capture(&m);
+            assert_eq!(snap, again, "{arch}/{order:?}: restore not bit-identical");
+            assert_eq!(snap.to_bytes(), again.to_bytes(), "{arch}/{order:?}: bytes differ");
+            assert_eq!(m.cpu.steps, 10, "{arch}/{order:?}: step clock not restored");
+        }
+    }
+
+    #[test]
+    fn restored_machine_replays_identically() {
+        for (arch, order) in all_configs() {
+            let mut m = test_machine(arch, order);
+            write_nop_sled(&mut m, 64);
+            step_n(&mut m, 5);
+            let snap = Snapshot::capture(&m);
+            step_n(&mut m, 17);
+            let end = Snapshot::capture(&m);
+            snap.restore(&mut m).unwrap();
+            step_n(&mut m, 17);
+            assert_eq!(
+                Snapshot::capture(&m).to_bytes(),
+                end.to_bytes(),
+                "{arch}/{order:?}: replay diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        for (arch, order) in all_configs() {
+            let mut m = test_machine(arch, order);
+            write_nop_sled(&mut m, 8);
+            m.output.push_str("hello\n");
+            step_n(&mut m, 2);
+            m.cpu.set_pending_load(Some(4));
+            let snap = Snapshot::capture(&m);
+            let decoded = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+            assert_eq!(snap, decoded);
+        }
+    }
+
+    #[test]
+    fn nan_payloads_survive() {
+        let mut m = test_machine(Arch::Sparc, ByteOrder::Big);
+        m.cpu.fregs[3] = f64::from_bits(0x7ff8_dead_beef_0001);
+        let snap = Snapshot::capture(&m);
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back.fregs[3].to_bits(), 0x7ff8_dead_beef_0001);
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        assert_eq!(Snapshot::from_bytes(b""), Err(SnapshotError::Truncated));
+        assert_eq!(Snapshot::from_bytes(b"XXXXX"), Err(SnapshotError::BadMagic));
+        let m = test_machine(Arch::Vax, ByteOrder::Little);
+        let good = Snapshot::capture(&m).to_bytes();
+        // Truncation anywhere is an error, never a panic.
+        for cut in [5, 10, good.len() / 2, good.len() - 1] {
+            assert!(Snapshot::from_bytes(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // A lying page count is caught before allocation.
+        let mut lying = good.clone();
+        let n = lying.len();
+        lying[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Snapshot::from_bytes(&lying).is_err());
+        // Trailing garbage is rejected.
+        let mut tail = good.clone();
+        tail.push(0);
+        assert_eq!(Snapshot::from_bytes(&tail), Err(SnapshotError::BadField("trailing bytes")));
+    }
+
+    #[test]
+    fn restore_rejects_wrong_machine() {
+        let m_sparc = test_machine(Arch::Sparc, ByteOrder::Big);
+        let snap = Snapshot::capture(&m_sparc);
+        let mut m_vax = test_machine(Arch::Vax, ByteOrder::Little);
+        assert_eq!(snap.restore(&mut m_vax), Err(SnapshotError::Mismatch("architecture")));
+        let mut m_small = Machine {
+            cpu: crate::cpu::Cpu::new(Arch::Sparc, Memory::new(0x1000, 0x100, ByteOrder::Big)),
+            output: String::new(),
+            exited: None,
+        };
+        assert_eq!(snap.restore(&mut m_small), Err(SnapshotError::Mismatch("memory geometry")));
+    }
+}

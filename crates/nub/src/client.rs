@@ -681,6 +681,104 @@ impl NubClient {
         self.wait_event()
     }
 
+    /// Execute up to `n` instructions and wait for the resulting stop: a
+    /// breakpoint/fault if one hits first, otherwise a budget-exhaustion
+    /// pause announced with the `Step` signal. `StepN { n: 0 }` re-announces
+    /// the current state without executing (used after a snapshot restore).
+    ///
+    /// # Errors
+    /// Connection loss.
+    pub fn step_n_and_wait(&mut self, n: u64) -> Result<NubEvent, NubError> {
+        self.resume(Request::StepN { n })?;
+        self.wait_event()
+    }
+
+    /// Ask the nub how many instructions the target has retired.
+    ///
+    /// # Errors
+    /// Connection loss.
+    pub fn query_steps(&mut self) -> Result<u64, NubError> {
+        match self.transact(&Request::QuerySteps)? {
+            Reply::Fetched { value } => Ok(value),
+            Reply::Error { code } => Err(NubError::Nub(code)),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Capture the stopped target's full state (registers plus dirty memory
+    /// pages, with planted traps lifted) and stream the serialized image
+    /// back in [`MAX_BLOCK`]-sized chunks.
+    ///
+    /// [`MAX_BLOCK`]: crate::proto::MAX_BLOCK
+    ///
+    /// # Errors
+    /// Connection loss, or a nub that reports a short or oversized image.
+    pub fn take_snapshot(&mut self) -> Result<Vec<u8>, NubError> {
+        let total = match self.transact(&Request::TakeSnapshot)? {
+            Reply::Fetched { value } => value,
+            Reply::Error { code } => return Err(NubError::Nub(code)),
+            other => return Err(NubError::Protocol(format!("{other:?}"))),
+        };
+        let total = usize::try_from(total)
+            .map_err(|_| NubError::Protocol(format!("snapshot length {total} overflows")))?;
+        let mut image = Vec::with_capacity(total);
+        while image.len() < total {
+            let off = image.len() as u32;
+            let len = (total - image.len()).min(crate::proto::MAX_BLOCK as usize) as u32;
+            match self.transact(&Request::ReadSnapshot { off, len })? {
+                Reply::Block { bytes, .. } => {
+                    if bytes.len() != len as usize {
+                        return Err(NubError::Protocol(format!(
+                            "snapshot chunk carries {} bytes, requested {len}",
+                            bytes.len()
+                        )));
+                    }
+                    image.extend_from_slice(&bytes);
+                }
+                Reply::Error { code } => return Err(NubError::Nub(code)),
+                other => return Err(NubError::Protocol(format!("{other:?}"))),
+            }
+        }
+        Ok(image)
+    }
+
+    /// Stream a serialized snapshot to the nub and atomically restore the
+    /// target to it. The nub re-arms its live plants afterwards, so replay
+    /// from the restored state takes the same traps the original run took.
+    ///
+    /// Note this resets the target's retired-step counter to the snapshot's;
+    /// callers tracking progress should [`NubClient::query_steps`] after.
+    ///
+    /// # Errors
+    /// Connection loss, or a nub that rejects the image as corrupt
+    /// (`NubError::Nub(5)`).
+    pub fn load_snapshot(&mut self, image: &[u8]) -> Result<(), NubError> {
+        let mut off = 0usize;
+        // An empty image still needs one LoadSnapshot to reset the staging
+        // buffer before the commit length check.
+        loop {
+            let len = (image.len() - off).min(crate::proto::MAX_BLOCK as usize);
+            let chunk = Request::LoadSnapshot {
+                off: off as u32,
+                bytes: image[off..off + len].to_vec(),
+            };
+            match self.transact(&chunk)? {
+                Reply::Stored => {}
+                Reply::Error { code } => return Err(NubError::Nub(code)),
+                other => return Err(NubError::Protocol(format!("{other:?}"))),
+            }
+            off += len;
+            if off >= image.len() {
+                break;
+            }
+        }
+        match self.transact(&Request::CommitSnapshot { len: image.len() as u32 })? {
+            Reply::Stored => Ok(()),
+            Reply::Error { code } => Err(NubError::Nub(code)),
+            other => Err(NubError::Protocol(format!("{other:?}"))),
+        }
+    }
+
     /// Resume the target without waiting.
     ///
     /// # Errors

@@ -35,10 +35,22 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use crate::arch::{nub_arch, NubArch};
 use crate::proto::{Envelope, Reply, Request, Sig};
 use crate::transport::Wire;
-use ldb_machine::{ByteOrder, Fault, Image, Machine, RunEvent};
+use ldb_machine::{ByteOrder, Fault, Image, Machine, RunEvent, Snapshot};
 
-/// How long the run loop listens on the wire between slices.
+/// How long the run loop listens on the wire between slices of an
+/// open-ended run. The wait is the responsiveness contract: a client can
+/// always raise a busy target within half a millisecond.
 const RUN_POLL: Duration = Duration::from_micros(500);
+
+/// The wire wait between slices of a *budgeted* run (`StepN`). A budgeted
+/// leg stops and services the wire within the budget anyway, so the run
+/// loop only drains frames already queued instead of lingering — this is
+/// what keeps periodic checkpointing off the target's critical path.
+const BUDGET_POLL: Duration = Duration::from_micros(1);
+
+/// Upper bound on a staged snapshot upload: far above any real machine
+/// image, small enough that a hostile client cannot balloon the nub.
+const MAX_SNAPSHOT: usize = 32 << 20;
 
 /// Nub configuration.
 #[derive(Debug, Clone)]
@@ -105,6 +117,7 @@ pub fn spawn_machine(machine: Machine, context: u32, cfg: NubConfig) -> NubHandl
         wire: None,
         connect_rx: rx,
         plants: Vec::new(),
+        plant_values: Vec::new(),
         cfg,
         last_signal: None,
         reached_pause: false,
@@ -112,6 +125,9 @@ pub fn spawn_machine(machine: Machine, context: u32, cfg: NubConfig) -> NubHandl
         last_seq: None,
         reply_cache: None,
         event_gen: 0,
+        run_budget: None,
+        snap_out: Vec::new(),
+        snap_in: Vec::new(),
     };
     let join = std::thread::spawn(move || nub.serve());
     NubHandle { connect: tx, join }
@@ -124,6 +140,9 @@ struct Nub {
     wire: Option<Box<dyn Wire>>,
     connect_rx: Receiver<Box<dyn Wire>>,
     plants: Vec<(u32, u8, u64)>,
+    /// Parallel to `plants`: the trap value that was planted, so a
+    /// snapshot restore can re-plant on top of the pristine image.
+    plant_values: Vec<u64>,
     cfg: NubConfig,
     last_signal: Option<(u8, u32)>,
     /// Set once the startup pause has been reached (before that, a
@@ -142,6 +161,14 @@ struct Nub {
     /// deduplicate re-sent notifications by it. Monotonic for the nub's
     /// whole lifetime.
     event_gen: u32,
+    /// Remaining instruction budget of an in-flight [`Request::StepN`]:
+    /// the run loop stops with [`Sig::Step`] when it reaches zero.
+    /// `None` is an unbudgeted [`Request::Continue`].
+    run_budget: Option<u64>,
+    /// Staged serialized snapshot, paged out via [`Request::ReadSnapshot`].
+    snap_out: Vec<u8>,
+    /// Inbound snapshot chunks, assembled by [`Request::LoadSnapshot`].
+    snap_in: Vec<u8>,
 }
 
 enum State {
@@ -182,13 +209,37 @@ impl Nub {
                         }
                     }
                     // Service the wire between slices so a client can tell
-                    // a busy target from a dead connection.
-                    if let Some(status) = self.poll_running() {
+                    // a busy target from a dead connection. Budgeted legs
+                    // stop on their own in at most one slice, so they skip
+                    // the lingering wait.
+                    let poll = match self.run_budget {
+                        Some(_) => BUDGET_POLL,
+                        None => RUN_POLL,
+                    };
+                    if let Some(status) = self.poll_running(poll) {
                         self.announce_exit(status);
                         return self.machine;
                     }
-                    match self.machine.run(self.cfg.slice) {
-                        RunEvent::StepLimit => {}
+                    // A StepN budget bounds the slice; unbudgeted runs use
+                    // the configured slice unchanged.
+                    let slice = match self.run_budget {
+                        Some(b) => b.min(self.cfg.slice),
+                        None => self.cfg.slice,
+                    };
+                    let before = self.machine.cpu.steps;
+                    let ev = self.machine.run(slice);
+                    if let Some(b) = self.run_budget.as_mut() {
+                        *b = b.saturating_sub(self.machine.cpu.steps - before);
+                    }
+                    match ev {
+                        RunEvent::StepLimit => {
+                            if self.run_budget == Some(0) {
+                                // The StepN budget is spent: stop exactly
+                                // here, like the single-step extension.
+                                self.stop_with(Sig::Step.number(), 0);
+                                state = State::Stopped;
+                            }
+                        }
                         RunEvent::Breakpoint { pc, .. } => {
                             self.stop_with(Sig::Trap.number(), pc);
                             state = State::Stopped;
@@ -299,6 +350,17 @@ impl Nub {
                             Request::Continue => {
                                 self.reply(seq, &Reply::Ack);
                                 self.hooks.restore_context(&mut self.machine, self.context);
+                                self.run_budget = None;
+                                state = State::Run;
+                            }
+                            Request::StepN { n } => {
+                                // The budgeted resume: run at most n
+                                // instructions through the sliced run loop
+                                // (so pings are still answered), stopping
+                                // early at traps/faults like Continue.
+                                self.reply(seq, &Reply::Ack);
+                                self.hooks.restore_context(&mut self.machine, self.context);
+                                self.run_budget = Some(n);
                                 state = State::Run;
                             }
                             Request::Step => {
@@ -336,6 +398,7 @@ impl Nub {
                                 self.wire = None;
                                 self.last_signal = None;
                                 self.hooks.restore_context(&mut self.machine, self.context);
+                                self.run_budget = None;
                                 state = State::Run;
                             }
                             req => {
@@ -361,6 +424,12 @@ impl Nub {
                         }
                         Some(Request::Continue) => {
                             self.hooks.restore_context(&mut self.machine, self.context);
+                            self.run_budget = None;
+                            state = State::Run;
+                        }
+                        Some(Request::StepN { n }) => {
+                            self.hooks.restore_context(&mut self.machine, self.context);
+                            self.run_budget = Some(n);
                             state = State::Run;
                         }
                         Some(Request::Step) => {
@@ -396,6 +465,7 @@ impl Nub {
                             self.wire = None;
                             self.last_signal = None;
                             self.hooks.restore_context(&mut self.machine, self.context);
+                            self.run_budget = None;
                             state = State::Run;
                         }
                         Some(req) => {
@@ -418,10 +488,10 @@ impl Nub {
 
     /// Service the wire while the target runs. Returns `Some(status)` when
     /// a kill arrived and the nub should exit with that status.
-    fn poll_running(&mut self) -> Option<i32> {
+    fn poll_running(&mut self, timeout: Duration) -> Option<i32> {
         loop {
             let w = self.wire.as_mut()?;
-            let frame = match w.recv_timeout(RUN_POLL) {
+            let frame = match w.recv_timeout(timeout) {
                 Ok(Some(f)) => f,
                 Ok(None) => return None,
                 Err(_) => {
@@ -478,6 +548,7 @@ impl Nub {
     }
 
     fn stop_with(&mut self, sig: u8, code: u32) {
+        self.run_budget = None;
         self.hooks.write_context(&mut self.machine, self.context);
         self.last_signal = Some((sig, code));
         self.announce(&Reply::Signal { sig, code, context: self.context });
@@ -558,6 +629,7 @@ impl Nub {
                     .position(|&(a, s, orig)| a == addr && s == size && orig == value)
                 {
                     self.plants.remove(i);
+                    self.plant_values.remove(i);
                 }
                 let fixed = if size == 8 {
                     self.hooks.store_fixup8(&self.machine, self.context, addr, value)
@@ -596,6 +668,7 @@ impl Nub {
                 }
                 if !self.plants.iter().any(|&(a, _, _)| a == addr) {
                     self.plants.push((addr, size, orig));
+                    self.plant_values.push(value);
                 }
                 Reply::Stored
             }
@@ -627,6 +700,113 @@ impl Nub {
                 Reply::Block { order, bytes }
             }
             Request::QueryPlants => Reply::Plants(self.plants.clone()),
+            Request::TakeSnapshot => {
+                // Sync the CPU from the context block so register stores the
+                // debugger made while stopped are part of the image.
+                self.hooks.restore_context(&mut self.machine, self.context);
+                // Capture a *pristine* image: lift every planted trap, so a
+                // restored snapshot carries original text and the client can
+                // re-plant (or not) without byte-diff noise at plant sites.
+                let plants = self.plants.clone();
+                let mut traps = Vec::with_capacity(plants.len());
+                for &(addr, size, orig) in &plants {
+                    let m = &mut self.machine;
+                    let cur = match size {
+                        1 => m.cpu.mem.read_u8(addr).map(|v| v as u64),
+                        2 => m.cpu.mem.read_u16(addr).map(|v| v as u64),
+                        _ => m.cpu.mem.read_u32(addr).map(|v| v as u64),
+                    };
+                    let Ok(cur) = cur else { return Reply::Error { code: 1 } };
+                    let r = match size {
+                        1 => m.cpu.mem.write_u8(addr, orig as u8),
+                        2 => m.cpu.mem.write_u16(addr, orig as u16),
+                        _ => m.cpu.mem.write_u32(addr, orig as u32),
+                    };
+                    if r.is_err() {
+                        return Reply::Error { code: 1 };
+                    }
+                    traps.push(cur);
+                }
+                let snap = Snapshot::capture(&self.machine);
+                // Re-arm the traps we lifted.
+                for (&(addr, size, _), &trap) in plants.iter().zip(&traps) {
+                    let m = &mut self.machine;
+                    let _ = match size {
+                        1 => m.cpu.mem.write_u8(addr, trap as u8),
+                        2 => m.cpu.mem.write_u16(addr, trap as u16),
+                        _ => m.cpu.mem.write_u32(addr, trap as u32),
+                    };
+                }
+                self.plant_values = traps;
+                self.snap_out = snap.to_bytes();
+                Reply::Fetched { value: self.snap_out.len() as u64 }
+            }
+            Request::ReadSnapshot { off, len } => {
+                if len == 0 || len > crate::proto::MAX_BLOCK {
+                    return Reply::Error { code: 3 };
+                }
+                let (off, len) = (off as usize, len as usize);
+                let Some(end) = off.checked_add(len) else {
+                    return Reply::Error { code: 1 };
+                };
+                if end > self.snap_out.len() {
+                    return Reply::Error { code: 1 };
+                }
+                let order = match self.machine.cpu.mem.order() {
+                    ByteOrder::Little => 0,
+                    ByteOrder::Big => 1,
+                };
+                Reply::Block { order, bytes: self.snap_out[off..end].to_vec() }
+            }
+            Request::LoadSnapshot { off, ref bytes } => {
+                // Chunks arrive strictly in order; off 0 starts a fresh image.
+                if off == 0 {
+                    self.snap_in.clear();
+                }
+                if off as usize != self.snap_in.len() {
+                    return Reply::Error { code: 3 };
+                }
+                if self.snap_in.len() + bytes.len() > MAX_SNAPSHOT {
+                    self.snap_in.clear();
+                    return Reply::Error { code: 3 };
+                }
+                self.snap_in.extend_from_slice(bytes);
+                Reply::Stored
+            }
+            Request::CommitSnapshot { len } => {
+                if len as usize != self.snap_in.len() {
+                    self.snap_in.clear();
+                    return Reply::Error { code: 3 };
+                }
+                let snap = match Snapshot::from_bytes(&self.snap_in) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.snap_in.clear();
+                        return Reply::Error { code: 5 };
+                    }
+                };
+                self.snap_in.clear();
+                if snap.restore(&mut self.machine).is_err() {
+                    return Reply::Error { code: 5 };
+                }
+                // The image is pristine; re-arm every live plant so forward
+                // replay takes exactly the traps the original run took.
+                let plants = self.plants.clone();
+                for (&(addr, size, _), &trap) in plants.iter().zip(&self.plant_values) {
+                    let m = &mut self.machine;
+                    let r = match size {
+                        1 => m.cpu.mem.write_u8(addr, trap as u8),
+                        2 => m.cpu.mem.write_u16(addr, trap as u16),
+                        _ => m.cpu.mem.write_u32(addr, trap as u32),
+                    };
+                    if r.is_err() {
+                        return Reply::Error { code: 1 };
+                    }
+                }
+                self.hooks.write_context(&mut self.machine, self.context);
+                Reply::Stored
+            }
+            Request::QuerySteps => Reply::Fetched { value: self.machine.cpu.steps },
             // State-machine requests reaching here means the peer sent
             // them at the wrong time; say "not stopped" rather than panic.
             Request::Ping
@@ -634,6 +814,7 @@ impl Nub {
             | Request::Kill
             | Request::Detach
             | Request::Step
+            | Request::StepN { .. }
             | Request::DetachRun => Reply::Error { code: 4 },
         }
     }

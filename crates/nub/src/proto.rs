@@ -134,6 +134,53 @@ pub enum Request {
         /// Number of bytes to fetch.
         len: u32,
     },
+    /// Execute at most `n` instructions, then stop and notify — the
+    /// budgeted generalization of [`Request::Step`] that the debugger's
+    /// checkpoint and reverse-execution machinery is built on. The target
+    /// stops early at a breakpoint trap, fault, or exit; otherwise it
+    /// stops with [`Sig::Step`] after exactly `n` retired instructions.
+    /// `n == 0` re-announces the current stop (used to refresh state
+    /// after a snapshot restore).
+    StepN {
+        /// Instruction budget.
+        n: u64,
+    },
+    /// Capture the target's complete state (registers + dirty memory
+    /// pages + output) into the nub's staging buffer, pristine of any
+    /// planted breakpoints. Answered with [`Reply::Fetched`] carrying the
+    /// serialized length; the debugger then pages it out with
+    /// [`Request::ReadSnapshot`].
+    TakeSnapshot,
+    /// Read `len` bytes at `off` from the staged snapshot produced by
+    /// [`Request::TakeSnapshot`]. `len` must be in `1..=`[`MAX_BLOCK`].
+    /// Answered with [`Reply::Block`].
+    ReadSnapshot {
+        /// Byte offset into the staged snapshot.
+        off: u32,
+        /// Number of bytes to read.
+        len: u32,
+    },
+    /// Append one chunk of a serialized snapshot to the nub's inbound
+    /// staging buffer. `off` must equal the bytes staged so far (chunks
+    /// arrive in order; the envelope layer already deduplicates
+    /// retransmissions). An `off` of 0 starts a fresh upload.
+    LoadSnapshot {
+        /// Byte offset this chunk starts at.
+        off: u32,
+        /// The chunk (at most [`MAX_BLOCK`] bytes).
+        bytes: Vec<u8>,
+    },
+    /// Decode the staged inbound snapshot (`len` bytes must have been
+    /// staged) and restore the target to that state, re-planting any
+    /// currently recorded breakpoints on top of the pristine image.
+    CommitSnapshot {
+        /// Expected total length, as a handshake against lost chunks.
+        len: u32,
+    },
+    /// Ask for the target's retired-instruction count — its position on
+    /// the deterministic execution timeline. Answered with
+    /// [`Reply::Fetched`].
+    QuerySteps,
 }
 
 /// Replies and notifications the nub sends.
@@ -218,6 +265,12 @@ impl Request {
             Request::DetachRun => "DetachRun",
             Request::Ping => "Ping",
             Request::FetchBlock { .. } => "FetchBlock",
+            Request::StepN { .. } => "StepN",
+            Request::TakeSnapshot => "TakeSnapshot",
+            Request::ReadSnapshot { .. } => "ReadSnapshot",
+            Request::LoadSnapshot { .. } => "LoadSnapshot",
+            Request::CommitSnapshot { .. } => "CommitSnapshot",
+            Request::QuerySteps => "QuerySteps",
         }
     }
 
@@ -257,6 +310,29 @@ impl Request {
                 put_u32(&mut v, *addr);
                 put_u32(&mut v, *len);
             }
+            Request::StepN { n } => {
+                v.push(12);
+                put_u64(&mut v, *n);
+            }
+            Request::TakeSnapshot => v.push(13),
+            Request::ReadSnapshot { off, len } => {
+                v.push(14);
+                put_u32(&mut v, *off);
+                put_u32(&mut v, *len);
+            }
+            Request::LoadSnapshot { off, bytes } => {
+                v.push(15);
+                put_u32(&mut v, *off);
+                put_u32(&mut v, bytes.len() as u32);
+                v.extend_from_slice(bytes);
+            }
+            // Tags 0x10–0x12 are reserved for envelope framing; the last
+            // two bare tags skip over them.
+            Request::CommitSnapshot { len } => {
+                v.push(19);
+                put_u32(&mut v, *len);
+            }
+            Request::QuerySteps => v.push(20),
         }
         v
     }
@@ -292,6 +368,21 @@ impl Request {
                 addr: get_u32(b, 2)?,
                 len: get_u32(b, 6)?,
             }),
+            12 => Some(Request::StepN { n: get_u64(b, 1)? }),
+            13 => Some(Request::TakeSnapshot),
+            14 => Some(Request::ReadSnapshot { off: get_u32(b, 1)?, len: get_u32(b, 5)? }),
+            15 => {
+                let off = get_u32(b, 1)?;
+                let n = get_u32(b, 5)? as usize;
+                // Never trust a length field: cap it and require the body
+                // to actually hold n bytes before anything is allocated.
+                if n > MAX_BLOCK as usize || b.len() < 9 + n {
+                    return None;
+                }
+                Some(Request::LoadSnapshot { off, bytes: b[9..9 + n].to_vec() })
+            }
+            19 => Some(Request::CommitSnapshot { len: get_u32(b, 1)? }),
+            20 => Some(Request::QuerySteps),
             _ => None,
         }
     }
@@ -587,6 +678,38 @@ mod tests {
         let frame = max.encode();
         assert!(frame.len() < 1 << 20);
         assert_eq!(Reply::decode(&frame), Some(max));
+    }
+
+    #[test]
+    fn snapshot_frames_round_trip() {
+        let cases = [
+            Request::StepN { n: 0 },
+            Request::StepN { n: u64::MAX },
+            Request::TakeSnapshot,
+            Request::ReadSnapshot { off: 0x1_0000, len: MAX_BLOCK },
+            Request::LoadSnapshot { off: 0, bytes: vec![] },
+            Request::LoadSnapshot { off: 7, bytes: (0..200u8).collect() },
+            Request::CommitSnapshot { len: 0x1234 },
+            Request::QuerySteps,
+        ];
+        for r in cases {
+            assert_eq!(Request::decode(&r.encode()), Some(r.clone()));
+            let env = Envelope::Req { seq: 42, req: r };
+            assert_eq!(Envelope::decode(&env.encode()), Some(env));
+        }
+    }
+
+    #[test]
+    fn load_snapshot_decode_rejects_lying_lengths() {
+        // Claims 16 payload bytes but carries 4: must not decode (and
+        // must not allocate for the claimed length first).
+        let mut b = vec![15, 0, 0, 0, 0, 16, 0, 0, 0];
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(Request::decode(&b), None);
+        // Claims more than MAX_BLOCK: rejected outright.
+        let mut huge = vec![15, 0, 0, 0, 0];
+        huge.extend_from_slice(&(MAX_BLOCK + 1).to_le_bytes());
+        assert_eq!(Request::decode(&huge), None);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 #                      clients vs 16 healthy tenants), typed rejection /
 #                      quarantine / shedding / drain gates, and proptest
 #                      fuzz of arbitrary byte streams over real TCP
+#   time-travel      — the reverse-execution differential harness
+#                      (reverse-step;step and reverse-continue;continue
+#                      round-trip to bit-identical machine state on every
+#                      architecture, typed truncation past the oldest
+#                      checkpoint) and the pinned reverse-session goldens
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -40,3 +45,5 @@ cargo test -q --test daemon_shutdown
 cargo test -q --test daemon_shared_cache
 cargo test -q --test daemon_protocol
 cargo test -q --test daemon_hostile_client
+cargo test -q --test reverse_exec
+cargo test -q --test reverse_golden

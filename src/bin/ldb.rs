@@ -9,6 +9,7 @@
 //!        ldb <file.c>... --core <path>           post-mortem on a core file
 //!        ldb <file.c>... --no-wire-cache         word-at-a-time wire (no block cache)
 //!        ldb <file.c>... --trace <path>          flight recorder: JSONL journal to path
+//!        ldb <file.c>... --checkpoint-every <n>  checkpoint every n steps during `c`
 //!
 //! `--fault` wraps the debugger's wire in a deterministic fault injector
 //! (keys: seed, drop, corrupt, truncate, dup, delay, disconnect); the
@@ -36,6 +37,8 @@
 //!   s                single-step one instruction
 //!   n                run to the next stopping point in this frame
 //!   fin              run until the selected frame returns
+//!   checkpoint       capture a restore point (info checkpoints lists them)
+//!   rs | rn | rc     reverse-step / reverse-next / reverse-continue
 //!   display <expr>   re-evaluate and print expr at every stop
 //!   undisplay <n>    remove display n
 //!   x <addr> [n]     hex dump of target data memory
@@ -83,6 +86,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut core: Option<String> = None;
     let mut fault: Option<FaultConfig> = None;
     let mut chaos: Option<ChaosConfig> = None;
+    let mut checkpoint_every: Option<u64> = None;
     let mut trace_path: Option<String> = None;
     let mut wire_cache = true;
     let mut ps_fuel: Option<u64> = None;
@@ -110,6 +114,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 let spec =
                     args.get(i).ok_or("--chaos needs a seed (e.g. 7, or seed=7,rate=0.1)")?;
                 chaos = Some(ChaosConfig::parse(spec)?);
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                checkpoint_every = Some(
+                    args.get(i)
+                        .ok_or("--checkpoint-every needs a step count")?
+                        .parse::<u64>()?,
+                );
             }
             "--trace" => {
                 i += 1;
@@ -194,6 +206,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     ldb.set_wire_cache(wire_cache);
     ldb.set_ps_limits(ps_fuel, ps_mem);
     ldb.set_chaos(chaos.clone());
+    ldb.set_checkpoint_every(checkpoint_every);
     // The flight recorder always keeps an in-memory ring for `info trace`;
     // `--trace` additionally streams every record to a JSONL journal with
     // wall-clock timestamps.
@@ -388,6 +401,10 @@ reload                    retry quarantined symbol tables
 w <name> | dw <name>      watch a variable / stop watching
 c                         continue                 s      step one instruction
 n                         step over (same frame)   fin    run until this frame returns
+checkpoint                capture a restore point  info checkpoints  list restore points
+rs | reverse-step         rewind one instruction (restore + deterministic replay)
+rn | reverse-next         rewind to the previous source line, skipping calls
+rc | reverse-continue     rewind to the most recent breakpoint hit
 p <name>                  print via the type's printer
 e <expr>                  evaluate (assignments and calls allowed)
 call <f>(<args>)          call a target function
@@ -495,6 +512,16 @@ q                         quit"
                 println!("{}", ldb.health());
             }
         }
+        "info" if rest.first() == Some(&"checkpoints") => {
+            let s = ldb.checkpoint_stats()?;
+            println!(
+                "checkpoints: {}/{} held, {} raw bytes ({} compressed)",
+                s.len, s.cap, s.raw, s.compressed
+            );
+            for (steps, raw, packed) in ldb.checkpoint_rows()? {
+                println!("  step {steps}: {raw} bytes ({packed} compressed)");
+            }
+        }
         "info" if rest.first() == Some(&"wire") => {
             let id = ldb.current().ok_or("no target")?;
             let t = ldb.target(id);
@@ -564,6 +591,22 @@ q                         quit"
             if !exited {
                 show_displays(ldb, sess);
             }
+        }
+        "checkpoint" => {
+            let steps = ldb.checkpoint_now()?;
+            println!("checkpoint at step {steps}");
+        }
+        "rs" | "reverse-step" => {
+            report(ldb.reverse_step_insn()?);
+            show_displays(ldb, sess);
+        }
+        "rn" | "reverse-next" => {
+            report(ldb.reverse_next()?);
+            show_displays(ldb, sess);
+        }
+        "rc" | "reverse-continue" => {
+            report(ldb.reverse_cont()?);
+            show_displays(ldb, sess);
         }
         "display" => {
             let expr = rest.join(" ");

@@ -166,6 +166,86 @@ fn chaos_is_deterministic_per_seed() {
     assert_ne!(t1, t3, "different seeds produced identical transcripts (chaos inert?)");
 }
 
+/// One hostile time-travel session: run to the last breakpoint stop
+/// before the program would end, then rewind — reverse-step twice,
+/// re-step forward, reverse-continue, continue back. Returns a log of
+/// every stop report and machine fingerprint plus the health counters.
+///
+/// The chaos layer corrupts what the *debugger* reads, never what the
+/// machine executes, so the journaled corruption schedule replays
+/// deterministically and rewinding a hostile session is exactly as
+/// bit-identical as rewinding a healthy one.
+fn run_rewind_session(name: &str, p: &CompiledProgram, seed: u64) -> (String, ldb_suite::core::Health) {
+    use ldb_suite::core::script::report_stop;
+
+    let (frame_ps, modules) = program_load_plan(p, PsMode::Deferred);
+    let modules: Vec<ModuleTable> =
+        modules.into_iter().map(|(n, ps)| ModuleTable { name: n, ps }).collect();
+    let handle = spawn(&p.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
+    let wire = handle.connect_channel().unwrap();
+    let mut ldb = Ldb::new();
+    ldb.set_chaos(Some(ChaosConfig { seed, rate: RATE }));
+    ldb.set_checkpoint_every(Some(50));
+    ldb.attach_plan_with_config(Box::new(wire), &frame_ps, &modules, Some(handle), quiet_client())
+        .unwrap_or_else(|e| panic!("{name} seed {seed}: attach: {e}"));
+    let mut log = String::new();
+    let mut put = |line: String| {
+        log.push_str(&line);
+        log.push('\n');
+    };
+    let fingerprint = |ldb: &mut Ldb| -> (u64, Vec<u8>) {
+        (ldb.steps_retired().unwrap(), ldb.snapshot_bytes().unwrap())
+    };
+    ldb.break_at("clamp", 0).unwrap();
+    // To the last stop: clamp is called ten times; stop at the tenth.
+    for _ in 0..10 {
+        put(report_stop(&ldb.cont_watch().unwrap()));
+    }
+    let last = fingerprint(&mut ldb);
+    put(format!("last stop at step {}", last.0));
+    // Rewind: two instructions back, two forward — bit-identical return.
+    put(report_stop(&ldb.reverse_step_insn().unwrap()));
+    put(report_stop(&ldb.reverse_step_insn().unwrap()));
+    put(report_stop(&ldb.step_insn().unwrap()));
+    put(report_stop(&ldb.step_insn().unwrap()));
+    let again = fingerprint(&mut ldb);
+    assert_eq!(last, again, "{name} seed {seed}: reverse-step round trip diverged");
+    // And a whole breakpoint interval back and forward.
+    put(report_stop(&ldb.reverse_cont().unwrap()));
+    put(report_stop(&ldb.cont_watch().unwrap()));
+    let again = fingerprint(&mut ldb);
+    assert_eq!(last, again, "{name} seed {seed}: reverse-continue round trip diverged");
+    (log, ldb.health())
+}
+
+/// Seeded last-stop rewinds under chaos, every architecture: zero
+/// panics (no quarantined commands), deterministic per seed — the same
+/// seed yields byte-identical logs and *exactly* equal health counters,
+/// including the new checkpoint/restore accounting.
+#[test]
+fn chaos_rewinds_are_deterministic_and_exact() {
+    for (name, arch, order) in [
+        ("mips-little", Arch::Mips, Some(ByteOrder::Little)),
+        ("mips-big", Arch::Mips, Some(ByteOrder::Big)),
+        ("sparc", Arch::Sparc, None),
+        ("m68k", Arch::M68k, None),
+        ("vax", Arch::Vax, None),
+    ] {
+        let p = compile_cfg(arch, order);
+        for seed in 1..=3 {
+            let (log1, h1) = run_rewind_session(name, &p, seed);
+            let (log2, h2) = run_rewind_session(name, &p, seed);
+            assert_eq!(log1, log2, "{name} seed {seed}: rewind log diverged");
+            assert_eq!(h1, h2, "{name} seed {seed}: health counters diverged");
+            assert_eq!(h1.quarantined_commands, 0, "{name} seed {seed}: a command panicked");
+            // Two reverse-steps restore once each; reverse-continue
+            // restores once more (twice when its scan overshoots).
+            assert!(h1.restores >= 3, "{name} seed {seed}: rewinds not counted: {h1:?}");
+            assert!(h1.checkpoints_taken > 0, "{name} seed {seed}: no checkpoints: {h1:?}");
+        }
+    }
+}
+
 /// A deliberate panic inside a command is caught, journaled, counted, and
 /// the session keeps answering: the crash-proof command loop end to end.
 /// The panic is planted by poisoning the INT printer with a host operator
