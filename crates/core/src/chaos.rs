@@ -59,11 +59,19 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// Probability any one `d`-space fetch result is corrupted.
     pub rate: f64,
+    /// Restrict *applied* corruptions to schedule indices `[lo, hi)`:
+    /// corruption events outside the window are suppressed — the fetch
+    /// returns the true value, the PRNG is still drawn identically, and
+    /// the event is counted in [`ChaosStats::suppressed`]. This is the
+    /// seed minimizer's knob: a failing seed's schedule is bisected down
+    /// to the narrowest window that still reproduces its crash bucket.
+    /// `None` applies the whole schedule.
+    pub window: Option<(u64, u64)>,
 }
 
 impl Default for ChaosConfig {
     fn default() -> Self {
-        ChaosConfig { seed: 0, rate: 0.05 }
+        ChaosConfig { seed: 0, rate: 0.05, window: None }
     }
 }
 
@@ -98,6 +106,21 @@ impl ChaosConfig {
                     }
                     cfg.rate = r;
                 }
+                // The minimizer's window, spelled `window=lo..hi` (half
+                // open, in corruption-schedule indices).
+                "window" => {
+                    let (lo, hi) = value
+                        .split_once("..")
+                        .ok_or_else(|| format!("chaos window `{value}` is not lo..hi"))?;
+                    let lo: u64 =
+                        lo.parse().map_err(|_| format!("bad chaos window start `{lo}`"))?;
+                    let hi: u64 =
+                        hi.parse().map_err(|_| format!("bad chaos window end `{hi}`"))?;
+                    if lo >= hi {
+                        return Err(format!("chaos window `{value}` is empty"));
+                    }
+                    cfg.window = Some((lo, hi));
+                }
                 other => return Err(format!("unknown chaos key `{other}`")),
             }
         }
@@ -113,6 +136,9 @@ pub struct ChaosStats {
     pub corruptions: u64,
     /// Fetches inspected (corrupted or not).
     pub fetches: u64,
+    /// Scheduled corruptions suppressed by [`ChaosConfig::window`] (0
+    /// without a window).
+    pub suppressed: u64,
 }
 
 /// The corruption modes, weighted equally. Self-pointing is listed first
@@ -176,6 +202,16 @@ impl AbstractMemory for ChaosMemory {
             2 => 0,                                    // zero
             _ => st.rng.next_u64(),                    // garbage
         } & mask;
+        // The schedule index of this corruption event; a window outside
+        // it suppresses the corruption *after* the PRNG draws, so the
+        // surviving events' values are unchanged by the narrowing.
+        let event = st.stats.corruptions + st.stats.suppressed;
+        if let Some((lo, hi)) = self.cfg.window {
+            if event < lo || event >= hi {
+                st.stats.suppressed += 1;
+                return Ok(v);
+            }
+        }
         st.stats.corruptions += 1;
         drop(st);
         self.trace.emit(
@@ -224,7 +260,7 @@ mod tests {
             .map(|_| {
                 let chaos = ChaosMemory::new(
                     filled_fake(),
-                    ChaosConfig { seed: 7, rate: 0.5 },
+                    ChaosConfig { seed: 7, rate: 0.5, window: None },
                     Trace::off(),
                 );
                 (0..32).map(|a| chaos.fetch('d', a, 1).unwrap()).collect()
@@ -240,7 +276,7 @@ mod tests {
         let read = |seed| -> Vec<u64> {
             let chaos = ChaosMemory::new(
                 filled_fake(),
-                ChaosConfig { seed, rate: 0.5 },
+                ChaosConfig { seed, rate: 0.5, window: None },
                 Trace::off(),
             );
             (0..32).map(|a| chaos.fetch('d', a, 1).unwrap()).collect()
@@ -252,7 +288,7 @@ mod tests {
     fn code_space_and_stores_pass_through() {
         let fake = filled_fake();
         let chaos =
-            ChaosMemory::new(fake.clone(), ChaosConfig { seed: 3, rate: 1.0 }, Trace::off());
+            ChaosMemory::new(fake.clone(), ChaosConfig { seed: 3, rate: 1.0, window: None }, Trace::off());
         for a in 0..32 {
             assert_eq!(chaos.fetch('c', a, 1).unwrap(), 0xCD);
         }
@@ -266,12 +302,40 @@ mod tests {
     #[test]
     fn rate_zero_is_a_no_op() {
         let chaos =
-            ChaosMemory::new(filled_fake(), ChaosConfig { seed: 9, rate: 0.0 }, Trace::off());
+            ChaosMemory::new(filled_fake(), ChaosConfig { seed: 9, rate: 0.0, window: None }, Trace::off());
         for a in 0..32 {
             assert_eq!(chaos.fetch('d', a, 1).unwrap(), 0xAB);
         }
         assert_eq!(chaos.stats().corruptions, 0);
         assert_eq!(chaos.stats().fetches, 32);
+    }
+
+    #[test]
+    fn window_suppresses_outside_events_without_shifting_survivors() {
+        let read = |window| -> (Vec<u64>, ChaosStats) {
+            let chaos = ChaosMemory::new(
+                filled_fake(),
+                ChaosConfig { seed: 11, rate: 1.0, window },
+                Trace::off(),
+            );
+            let vals = (0..16).map(|a| chaos.fetch('d', a, 1).unwrap()).collect();
+            (vals, chaos.stats())
+        };
+        let (full, full_stats) = read(None);
+        assert_eq!(full_stats.corruptions, 16);
+        assert_eq!(full_stats.suppressed, 0);
+        let (windowed, stats) = read(Some((4, 8)));
+        assert_eq!(stats.corruptions, 4);
+        assert_eq!(stats.suppressed, 12);
+        for (i, (w, f)) in windowed.iter().zip(full.iter()).enumerate() {
+            if (4..8).contains(&i) {
+                // Events inside the window corrupt to the same values as
+                // the full schedule (the PRNG draws are unchanged).
+                assert_eq!(w, f, "event {i} diverged inside the window");
+            } else {
+                assert_eq!(*w, 0xAB, "event {i} not suppressed outside the window");
+            }
+        }
     }
 
     #[test]
@@ -287,5 +351,8 @@ mod tests {
         assert!(ChaosConfig::parse("rate=2").is_err());
         assert!(ChaosConfig::parse("bogus=1").is_err());
         assert!(ChaosConfig::parse("0.5").is_err(), "a bare non-integer is not a seed");
+        assert_eq!(ChaosConfig::parse("7,window=2..9").unwrap().window, Some((2, 9)));
+        assert!(ChaosConfig::parse("window=5..5").is_err(), "empty window");
+        assert!(ChaosConfig::parse("window=5").is_err(), "window needs lo..hi");
     }
 }

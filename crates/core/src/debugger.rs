@@ -893,6 +893,14 @@ impl Ldb {
         Ok(())
     }
 
+    /// Whether any attached target has lost its wire (see
+    /// [`Ldb::reconnect`] for the recovery). Batch-outcome classification
+    /// ([`crate::script::BatchOutcome::classify`]) reads this to tell a
+    /// wire-lost session from a merely erroring one.
+    pub fn any_disconnected(&self) -> bool {
+        self.targets.iter().any(|t| t.disconnected)
+    }
+
     /// Pass a result through, switching the target to the disconnected
     /// state when it reports a lost or unresponsive wire.
     fn guard_wire<T>(&mut self, id: usize, r: Result<T, LdbError>) -> Result<T, LdbError> {

@@ -57,7 +57,9 @@ pub use loader::{CompiledTable, FrameMeta, Loader, ModuleTable, Quarantined};
 pub use ldb_postscript::{compile_module, CompiledModule, ModuleCache};
 pub use ldb_postscript::CacheStats as ModuleCacheStats;
 pub use psops::{CtxRef, EvalCtx, MemHandle};
-pub use script::{panic_text, run_command_guarded, run_script, trace_report};
+pub use script::{
+    command_count, panic_text, run_command_guarded, run_script, trace_report, BatchOutcome,
+};
 pub use session::{
     CloseReason, Session, SessionBuilder, SessionConfig, SessionError, SessionRegistry,
 };

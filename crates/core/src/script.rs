@@ -67,8 +67,11 @@ pub fn trace_report(ldb: &Ldb) -> String {
         return "trace: off (start with --trace FILE, or Ldb::set_trace)".to_string();
     }
     let c = trace.counts();
+    // The fleet layer only speaks in fleet-runner journals; solo sessions
+    // keep the four-layer line (and their pinned golden transcripts).
+    let fleet = if c.fleet > 0 { format!(", fleet {}", c.fleet) } else { String::new() };
     let mut out = format!(
-        "trace: {} records (wire {}, ps {}, dbg {}, net {})\n",
+        "trace: {} records (wire {}, ps {}, dbg {}, net {}{fleet})\n",
         c.total(),
         c.wire,
         c.ps,
@@ -178,6 +181,16 @@ fn run_command(ldb: &mut Ldb, cmd: &str, rest: &str) -> Result<String, LdbError>
                 .collect::<Vec<_>>()
                 .join(" ")
         }
+        // The supervision drill: a deliberate panic inside command
+        // dispatch, the scripted analog of the daemon's `spin` builtin.
+        // `run_command_guarded` must quarantine it (error line, health
+        // counter, recovered session) and the script must keep going —
+        // which is exactly what tests/script_recovery.rs and the fleet's
+        // panic corpus assert.
+        "__panic" => {
+            let msg = if rest.trim().is_empty() { "scripted panic drill" } else { rest.trim() };
+            panic!("{msg}");
+        }
         "info" => match rest.trim() {
             "wire" => wire_report(ldb),
             "trace" => trace_report(ldb),
@@ -246,13 +259,19 @@ pub fn run_command_guarded(ldb: &mut Ldb, cmd: &str, rest: &str) -> Result<Strin
 /// replayed session must reproduce its failures too.
 pub fn run_script(ldb: &mut Ldb, script: &str) -> String {
     let trace: Trace = ldb.trace().clone();
+    // One probe for the whole script: the per-command `cmd` record costs
+    // an allocation (the command text), which a headless batch run with
+    // tracing off — or filtered above Info — must not pay 10k times over.
+    let journal_cmds = trace.enabled(Layer::Dbg, Severity::Info);
     let mut out = String::new();
     for line in script.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        trace.emit(Layer::Dbg, Severity::Info, "cmd", &[("text", line.to_string().into())]);
+        if journal_cmds {
+            trace.emit(Layer::Dbg, Severity::Info, "cmd", &[("text", line.to_string().into())]);
+        }
         out.push_str("(ldb) ");
         out.push_str(line);
         out.push('\n');
@@ -273,4 +292,86 @@ pub fn run_script(ldb: &mut Ldb, script: &str) -> String {
         }
     }
     out
+}
+
+/// How many commands a script will execute: the non-blank, non-comment
+/// lines — exactly the lines [`run_script`] dispatches (and journals as
+/// `cmd` records when the recorder keeps Info). The fleet runner
+/// cross-checks this count against each session's journal.
+pub fn command_count(script: &str) -> u64 {
+    script
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .count() as u64
+}
+
+/// The typed outcome of a batch script run, as seen from *inside* the
+/// session: what `ldb --script` turns into a process exit code and what
+/// the fleet supervisor records per session (layering its own
+/// supervisor-level outcomes — wedged, shed — on top).
+///
+/// Classification precedence is severity-ordered: a lost wire trumps a
+/// quarantined panic trumps an ordinary script error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BatchOutcome {
+    /// Every command ran and none reported an error.
+    Clean,
+    /// At least one command produced an `error:` transcript line (bad
+    /// usage, failed lookup, watchdog cancellation, …).
+    ScriptError,
+    /// At least one command panicked and was quarantined by the
+    /// crash-proof loop ([`run_command_guarded`]).
+    PanicQuarantined,
+    /// A target's wire was lost mid-script (the nub died or the fault
+    /// injector severed the connection).
+    WireLost,
+}
+
+impl BatchOutcome {
+    /// The stable token used in fleet reports and journals.
+    pub fn token(self) -> &'static str {
+        match self {
+            BatchOutcome::Clean => "clean",
+            BatchOutcome::ScriptError => "script-error",
+            BatchOutcome::PanicQuarantined => "panic-quarantined",
+            BatchOutcome::WireLost => "wire-lost",
+        }
+    }
+
+    /// The `ldb --script` process exit code: `0` clean, `3` script
+    /// error, `4` panic quarantine, `5` wire loss. (`1` stays the CLI's
+    /// internal-error exit and `2` its usage exit, so shells can tell a
+    /// failed *session* from a failed *invocation*.)
+    pub fn exit_code(self) -> i32 {
+        match self {
+            BatchOutcome::Clean => 0,
+            BatchOutcome::ScriptError => 3,
+            BatchOutcome::PanicQuarantined => 4,
+            BatchOutcome::WireLost => 5,
+        }
+    }
+
+    /// Classify a finished script run from the session state and the
+    /// transcript it produced. Wire loss is read from the targets'
+    /// disconnected flags, panics from the health quarantine counter, and
+    /// plain errors from the transcript's `error:` lines.
+    pub fn classify(ldb: &Ldb, transcript: &str) -> BatchOutcome {
+        if ldb.any_disconnected() {
+            return BatchOutcome::WireLost;
+        }
+        if ldb.health().quarantined_commands > 0 {
+            return BatchOutcome::PanicQuarantined;
+        }
+        if transcript.lines().any(|l| l.starts_with("error: ")) {
+            return BatchOutcome::ScriptError;
+        }
+        BatchOutcome::Clean
+    }
+}
+
+impl std::fmt::Display for BatchOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
 }

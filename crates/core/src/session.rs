@@ -157,7 +157,10 @@ enum ToWorker {
 
 enum FromWorker {
     Opened(Result<String, String>),
-    Ran(String),
+    Ran {
+        transcript: String,
+        outcome: script::BatchOutcome,
+    },
     Health(Box<Health>),
     Closed(CloseReason),
 }
@@ -239,6 +242,21 @@ impl Session {
     /// [`SessionError::Wedged`] if the cancelled command also missed the
     /// grace deadline (the session is then only good for closing).
     pub fn run(&mut self, commands: &str) -> Result<String, SessionError> {
+        self.run_classified(commands).map(|(transcript, _)| transcript)
+    }
+
+    /// As [`Session::run`], returning the worker's typed
+    /// [`BatchOutcome`](script::BatchOutcome) alongside the transcript —
+    /// classified *inside* the worker, where the debugger's wire state
+    /// and health counters live. The fleet supervisor builds its
+    /// per-session outcome from this without parsing transcripts.
+    ///
+    /// # Errors
+    /// As [`Session::run`].
+    pub fn run_classified(
+        &mut self,
+        commands: &str,
+    ) -> Result<(String, script::BatchOutcome), SessionError> {
         self.ready()?;
         self.last_used = Instant::now();
         self.to
@@ -272,7 +290,7 @@ impl Session {
             },
         }?;
         match reply {
-            FromWorker::Ran(transcript) => Ok(transcript),
+            FromWorker::Ran { transcript, outcome } => Ok((transcript, outcome)),
             _ => Err(SessionError::Worker("protocol desync on run".to_string())),
         }
     }
@@ -447,7 +465,10 @@ fn worker(
                     ldb.recover_session();
                     cancel.store(false, Ordering::Relaxed);
                 }
-                let _ = from_worker.send(FromWorker::Ran(transcript));
+                // Classified here, where the debugger lives: wire state
+                // and health counters never cross the channel raw.
+                let outcome = script::BatchOutcome::classify(&ldb, &transcript);
+                let _ = from_worker.send(FromWorker::Ran { transcript, outcome });
             }
             Ok(ToWorker::Health) => {
                 let _ = from_worker.send(FromWorker::Health(Box::new(ldb.health())));

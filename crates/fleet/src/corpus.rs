@@ -1,0 +1,151 @@
+//! The built-in demo corpus: a deterministic mix of healthy, failing,
+//! faulty, panicking, and wedging sessions over all four architectures.
+//!
+//! `ldbfleet`, the smoke test, and the 10k soak all draw from this one
+//! generator, so what CI gates is exactly what the binary demos. Every
+//! spec is a pure function of its index: seeds, rates, scripts, arches
+//! — nothing drawn from the clock — which is what lets two same-seed
+//! fleet runs produce byte-identical reports.
+//!
+//! The corpus cycles a 16-slot wheel (heavy on healthy and chaos
+//! sessions, light on the expensive wedge drill) and rotates the
+//! architecture every 16 sessions, so 64 sessions cover every
+//! template × arch combination.
+
+use std::time::Duration;
+
+use ldb_core::ChaosConfig;
+use ldb_machine::Arch;
+use ldb_nub::FaultConfig;
+
+use crate::SessionSpec;
+
+/// The healthy target: enough structure for breakpoints, stack walks,
+/// pointer-chasing prints, and expression evaluation (and therefore
+/// enough attack surface for the chaos layer).
+pub const PROG_COUNT: &str = r#"
+char msg[16] = "hi there";
+char *p;
+static int calls;
+static int limit = 100;
+int clamp(int v) {
+    calls++;
+    if (v > limit) return limit;
+    return v;
+}
+int main(void) {
+    int i; int s;
+    s = 0;
+    p = msg;
+    for (i = 0; i < 10; i++) s += clamp(i * 30);
+    printf("%d\n", s);
+    return 0;
+}
+"#;
+
+/// The wedge target: never stops, never exits. A `c` against it blocks
+/// until the session watchdog cancels the command.
+pub const PROG_SPIN: &str = r#"
+int main(void) {
+    int i;
+    i = 0;
+    while (1) i = i + 1;
+    return 0;
+}
+"#;
+
+/// A healthy interactive script: breakpoints, stepping, prints, walks.
+const SCRIPT_HEALTHY: &str = "b clamp\nc\np calls\nbt\nc\np calls\n";
+
+/// A chaos-facing script: heavy on the operations that trust d-space —
+/// frame walks, frame selection, pointer-chasing prints.
+const SCRIPT_CHAOS: &str = "b clamp\nc\nbt\np p\nf 1\np i\nc\nbt\np s\n";
+
+/// Deterministic command failures: unknown command, missing symbol.
+const SCRIPT_ERRORS: &str = "b clamp\nc\np nosuchvar\nbogus 1 2\nbt\n";
+
+/// Exercised under wire-fault injection; the commands keep the wire busy
+/// so the injector's disconnect lands mid-script.
+const SCRIPT_FAULT: &str = "b clamp\nc\nbt\nc\nbt\nc\np calls\n";
+
+/// The panic drill: a deliberate mid-script panic that the crash-proof
+/// command loop must quarantine, with live commands on both sides.
+const SCRIPT_PANIC: &str = "b clamp\nc\n__panic corpus drill\np calls\nbt\n";
+
+/// The wedge drill: `c` against the spinning target; only the watchdog
+/// ends it.
+const SCRIPT_WEDGE: &str = "c\n";
+
+/// The per-command watchdog for wedge sessions — short, because the
+/// command *will* hit it; the cancel token aborts the wait long before
+/// the fleet-default deadline would.
+pub const WEDGE_WATCHDOG: Duration = Duration::from_millis(250);
+
+/// The corpus wheel period ([`demo_corpus`] templates repeat at this
+/// stride; 4× this covers every template on every arch).
+pub const WHEEL: usize = 16;
+
+/// Build `n` deterministic session specs. Slot layout per 16-session
+/// wheel: 6 healthy, 4 chaos, 2 script-error, 2 wire-fault, 1 panic,
+/// 1 wedge.
+pub fn demo_corpus(n: usize) -> Vec<SessionSpec> {
+    (0..n).map(spec_for).collect()
+}
+
+/// The spec at corpus index `i` (a pure function of `i`).
+pub fn spec_for(i: usize) -> SessionSpec {
+    let arch = Arch::ALL[(i / WHEEL) % Arch::ALL.len()];
+    let slot = i % WHEEL;
+    match slot {
+        0..=5 => SessionSpec::new(format!("{arch}/healthy/{i}"), arch, PROG_COUNT, SCRIPT_HEALTHY),
+        6..=9 => SessionSpec {
+            chaos: Some(ChaosConfig {
+                seed: 1000 + i as u64,
+                rate: 0.8,
+                window: None,
+            }),
+            ..SessionSpec::new(format!("{arch}/chaos/{i}"), arch, PROG_COUNT, SCRIPT_CHAOS)
+        },
+        10 | 11 => {
+            SessionSpec::new(format!("{arch}/script-error/{i}"), arch, PROG_COUNT, SCRIPT_ERRORS)
+        }
+        12 | 13 => SessionSpec {
+            fault: Some(FaultConfig {
+                seed: i as u64,
+                disconnect_after: Some(40),
+                ..FaultConfig::default()
+            }),
+            ..SessionSpec::new(format!("{arch}/fault/{i}"), arch, PROG_COUNT, SCRIPT_FAULT)
+        },
+        14 => SessionSpec::new(format!("{arch}/panic/{i}"), arch, PROG_COUNT, SCRIPT_PANIC),
+        _ => SessionSpec {
+            watchdog: Some(WEDGE_WATCHDOG),
+            ..SessionSpec::new(format!("{arch}/wedge/{i}"), arch, PROG_SPIN, SCRIPT_WEDGE)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_a_pure_function_of_the_index() {
+        let a = demo_corpus(64);
+        let b = demo_corpus(64);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.script, y.script);
+            assert_eq!(x.chaos, y.chaos);
+        }
+        // 64 sessions cover every template family on every arch.
+        for arch in Arch::ALL {
+            for family in ["healthy", "chaos", "script-error", "fault", "panic", "wedge"] {
+                assert!(
+                    a.iter().any(|s| s.name.starts_with(&format!("{arch}/{family}/"))),
+                    "missing {arch}/{family}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Chaos-seed minimization: shrink a failing corruption schedule to a
+//! minimal reproducer, verifying every step by re-execution.
+//!
+//! A chaos seed names an entire corruption schedule — possibly hundreds
+//! of corrupted fetches — of which usually only a few matter. The
+//! minimizer exploits the [`ChaosConfig::window`] knob: corruption
+//! events outside `[lo, hi)` are suppressed *after* the PRNG draws, so
+//! narrowing the window never reshuffles the surviving events' values.
+//! Starting from the full schedule it shrinks the tail and then the
+//! head with halving steps (a one-dimensional ddmin), accepting a
+//! candidate window only if a deterministic re-execution of the session
+//! lands in the **same crash bucket** as the original failure — the
+//! bucket, not the transcript, because removing irrelevant corruptions
+//! legitimately perturbs addresses and counts while leaving the
+//! defect's shape intact.
+//!
+//! The result is re-verified by one final run before it is reported,
+//! and carries everything a human needs to replay it by hand:
+//! `--chaos seed=S,rate=R,window=LO..HI`.
+//!
+//! [`ChaosConfig::window`]: ldb_core::ChaosConfig::window
+
+use std::sync::Arc;
+
+use crate::{run_session, FleetConfig, PreparedTarget, SessionSpec};
+
+/// A verified minimal reproducer for one failing chaos session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimizedSeed {
+    /// The chaos seed being minimized.
+    pub seed: u64,
+    /// The crash bucket the full schedule lands in (and every accepted
+    /// candidate reproduced).
+    pub bucket: String,
+    /// Corruption events applied by the full schedule.
+    pub full_events: u64,
+    /// The minimal window `[lo, hi)` in corruption-schedule indices.
+    pub window: (u64, u64),
+    /// Corruption events the minimal window still applies.
+    pub window_events: u64,
+    /// Re-executions spent (each candidate is one full deterministic
+    /// session run).
+    pub runs: u32,
+    /// The replay spec: `seed=…,rate=…,window=lo..hi` (paste after
+    /// `--chaos`).
+    pub replay: String,
+}
+
+/// Why a session could not be minimized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MinimizeSkip {
+    /// The spec has no chaos layer to minimize.
+    NoChaos,
+    /// The session does not fail (nothing to reproduce).
+    NotFailing,
+    /// The full run applied no corruptions (the failure is not the
+    /// chaos layer's doing).
+    NoCorruptions,
+    /// The final verification run left the bucket — the failure is not
+    /// window-stable (schedule feedback through debugger behavior), so
+    /// no minimal window is claimed.
+    Unstable,
+}
+
+impl std::fmt::Display for MinimizeSkip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MinimizeSkip::NoChaos => "spec has no chaos layer",
+            MinimizeSkip::NotFailing => "session does not fail",
+            MinimizeSkip::NoCorruptions => "no corruptions applied",
+            MinimizeSkip::Unstable => "bucket not stable under the minimal window",
+        })
+    }
+}
+
+/// Minimize `spec`'s chaos schedule. Runs the full schedule once to
+/// learn the target bucket and event count, then bisects.
+///
+/// # Errors
+/// [`MinimizeSkip`] when there is nothing to minimize (no chaos layer,
+/// no failure, no corruptions) or the result fails verification.
+pub fn minimize_chaos(
+    spec: &SessionSpec,
+    prepared: &Arc<PreparedTarget>,
+    cfg: &FleetConfig,
+) -> Result<MinimizedSeed, MinimizeSkip> {
+    let base_chaos = spec.chaos.clone().ok_or(MinimizeSkip::NoChaos)?;
+    let mut runs = 0u32;
+    let mut run_window = |window: Option<(u64, u64)>| {
+        runs += 1;
+        let mut s = spec.clone();
+        let mut chaos = base_chaos.clone();
+        chaos.window = window;
+        s.chaos = Some(chaos);
+        run_session(&s, prepared, cfg, 0)
+    };
+
+    let full = run_window(None);
+    if !full.outcome.is_bucketed() {
+        return Err(MinimizeSkip::NotFailing);
+    }
+    let bucket = full.bucket.clone().expect("bucketed outcomes carry a bucket");
+    let full_events = full.health.as_ref().map_or(0, |h| h.chaos_corruptions);
+    if full_events == 0 {
+        return Err(MinimizeSkip::NoCorruptions);
+    }
+
+    let (mut lo, mut hi) = (0u64, full_events);
+    let mut reproduces = |lo: u64, hi: u64| -> bool {
+        let r = run_window(Some((lo, hi)));
+        r.bucket.as_deref() == Some(bucket.as_str())
+    };
+    // Shrink the tail, then the head, with halving steps. Each accepted
+    // shrink is already verified — acceptance *is* a deterministic
+    // re-execution landing in the target bucket.
+    let mut step = (hi - lo) / 2;
+    while step > 0 {
+        while hi - lo > step && reproduces(lo, hi - step) {
+            hi -= step;
+        }
+        step /= 2;
+    }
+    step = (hi - lo) / 2;
+    while step > 0 {
+        while hi - lo > step && reproduces(lo + step, hi) {
+            lo += step;
+        }
+        step /= 2;
+    }
+
+    // Final verification: the claimed minimal window must land in the
+    // bucket on a fresh run (guards against any accounting slip above).
+    let verified = run_window(Some((lo, hi)));
+    if verified.bucket.as_deref() != Some(bucket.as_str()) {
+        return Err(MinimizeSkip::Unstable);
+    }
+    let window_events = verified.health.as_ref().map_or(0, |h| h.chaos_corruptions);
+    Ok(MinimizedSeed {
+        seed: base_chaos.seed,
+        bucket,
+        full_events,
+        window: (lo, hi),
+        window_events,
+        runs,
+        replay: format!("seed={},rate={},window={}..{}", base_chaos.seed, base_chaos.rate, lo, hi),
+    })
+}

@@ -48,11 +48,22 @@ pub enum Layer {
     /// oversized or malformed requests, connection quarantines, idle
     /// disconnects.
     Net,
+    /// The fleet runner: session outcomes, retries, shed jobs, bucket
+    /// assignments, minimization steps. Records at this layer describe
+    /// *whole sessions*, not events inside one — a fleet journal is the
+    /// run's triage ledger, cross-checked against each session's own
+    /// journal.
+    Fleet,
 }
 
 impl Layer {
     /// All layers, in report order.
-    pub const ALL: [Layer; 4] = [Layer::Wire, Layer::Ps, Layer::Dbg, Layer::Net];
+    pub const ALL: [Layer; 5] =
+        [Layer::Wire, Layer::Ps, Layer::Dbg, Layer::Net, Layer::Fleet];
+
+    /// The layers a single session can speak on (everything but
+    /// [`Layer::Fleet`], which only the fleet runner emits).
+    pub const SESSION: [Layer; 4] = [Layer::Wire, Layer::Ps, Layer::Dbg, Layer::Net];
 
     /// The journal's name for this layer.
     pub fn name(self) -> &'static str {
@@ -61,6 +72,7 @@ impl Layer {
             Layer::Ps => "ps",
             Layer::Dbg => "dbg",
             Layer::Net => "net",
+            Layer::Fleet => "fleet",
         }
     }
 
@@ -71,18 +83,20 @@ impl Layer {
             "ps" => Layer::Ps,
             "dbg" => Layer::Dbg,
             "net" => Layer::Net,
+            "fleet" => Layer::Fleet,
             _ => return None,
         })
     }
 
-    /// Dense index (`wire` 0, `ps` 1, `dbg` 2, `net` 3) for per-layer
-    /// arrays, such as [`TraceConfig::min_sev`].
+    /// Dense index (`wire` 0, `ps` 1, `dbg` 2, `net` 3, `fleet` 4) for
+    /// per-layer arrays, such as [`TraceConfig::min_sev`].
     pub fn idx(self) -> usize {
         match self {
             Layer::Wire => 0,
             Layer::Ps => 1,
             Layer::Dbg => 2,
             Layer::Net => 3,
+            Layer::Fleet => 4,
         }
     }
 }
@@ -542,7 +556,7 @@ pub struct TraceConfig {
     pub ring_capacity: usize,
     /// Per-layer minimum severity, indexed as [`Layer::ALL`]. A record
     /// below its layer's minimum is not recorded at all.
-    pub min_sev: [Severity; 4],
+    pub min_sev: [Severity; 5],
     /// Stamp records with microseconds since recorder creation. Leave
     /// off for deterministic (replayable) journals.
     pub wall_clock: bool,
@@ -552,7 +566,7 @@ impl Default for TraceConfig {
     fn default() -> Self {
         TraceConfig {
             ring_capacity: 4096,
-            min_sev: [Severity::Debug; 4],
+            min_sev: [Severity::Debug; 5],
             wall_clock: false,
         }
     }
@@ -569,12 +583,14 @@ pub struct LayerCounts {
     pub dbg: u64,
     /// Records from [`Layer::Net`].
     pub net: u64,
+    /// Records from [`Layer::Fleet`].
+    pub fleet: u64,
 }
 
 impl LayerCounts {
     /// Sum over layers.
     pub fn total(&self) -> u64 {
-        self.wire + self.ps + self.dbg + self.net
+        self.wire + self.ps + self.dbg + self.net + self.fleet
     }
 }
 
@@ -583,7 +599,7 @@ struct Recorder {
     start: Instant,
     next_seq: u64,
     ring: VecDeque<Record>,
-    counts: [u64; 4],
+    counts: [u64; 5],
     kinds: BTreeMap<(Layer, &'static str), u64>,
     writer: Option<Box<dyn Write + Send>>,
     /// Set after the first writer failure; the journal file is then
@@ -684,7 +700,7 @@ impl Trace {
                 start: Instant::now(),
                 next_seq: 0,
                 ring: VecDeque::new(),
-                counts: [0; 4],
+                counts: [0; 5],
                 kinds: BTreeMap::new(),
                 writer,
                 write_failed: false,
@@ -706,13 +722,32 @@ impl Trace {
         }
     }
 
+    /// Would a record at (`layer`, `sev`) be kept? Hot call sites that
+    /// must *allocate* to build field values (e.g. the script runner's
+    /// per-command `cmd` record) check this first, so a disabled or
+    /// severity-filtered recorder costs neither the allocation nor the
+    /// lock round-trip of a doomed [`Trace::emit`].
+    #[inline]
+    pub fn enabled(&self, layer: Layer, sev: Severity) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => sev >= inner.lock().unwrap().cfg.min_sev[layer.idx()],
+        }
+    }
+
     /// Per-layer record totals (zero when disabled).
     pub fn counts(&self) -> LayerCounts {
         match &self.inner {
             None => LayerCounts::default(),
             Some(inner) => {
                 let r = inner.lock().unwrap();
-                LayerCounts { wire: r.counts[0], ps: r.counts[1], dbg: r.counts[2], net: r.counts[3] }
+                LayerCounts {
+                    wire: r.counts[0],
+                    ps: r.counts[1],
+                    dbg: r.counts[2],
+                    net: r.counts[3],
+                    fleet: r.counts[4],
+                }
             }
         }
     }
@@ -886,9 +921,19 @@ mod tests {
     fn recorder_counts_filters_and_rings() {
         let t = Trace::new(TraceConfig {
             ring_capacity: 2,
-            min_sev: [Severity::Warn, Severity::Debug, Severity::Debug, Severity::Debug],
+            min_sev: [
+                Severity::Warn,
+                Severity::Debug,
+                Severity::Debug,
+                Severity::Debug,
+                Severity::Debug,
+            ],
             wall_clock: false,
         });
+        assert!(!t.enabled(Layer::Wire, Severity::Debug));
+        assert!(t.enabled(Layer::Wire, Severity::Warn));
+        assert!(t.enabled(Layer::Fleet, Severity::Debug));
+        assert!(!Trace::off().enabled(Layer::Dbg, Severity::Warn));
         t.emit(Layer::Wire, Severity::Debug, "send", &[]); // filtered out
         t.emit(Layer::Wire, Severity::Warn, "retx", &[]);
         t.emit(Layer::Ps, Severity::Debug, "budget", &[]);

@@ -30,8 +30,26 @@
 #                      round-trip to bit-identical machine state on every
 #                      architecture, typed truncation past the oldest
 #                      checkpoint) and the pinned reverse-session goldens
+#   fleet smoke      — 64 supervised headless sessions (every script
+#                      template × every architecture): outcome coverage,
+#                      byte-identical reports across worker counts, retry
+#                      policy, typed shedding, journal cross-check, and an
+#                      end-to-end chaos-seed minimization
+#
+# `--soak` additionally runs the 10k-session fleet soak (release mode,
+# two same-corpus passes, byte-identical bucket reports, zero leaked
+# threads, one minimized chaos seed) — minutes, not seconds, so it is
+# opt-in here and a scheduled job in CI rather than a per-push gate.
 set -eu
 cd "$(dirname "$0")/.."
+
+soak=0
+for arg in "$@"; do
+    case "$arg" in
+        --soak) soak=1 ;;
+        *) echo "usage: $0 [--soak]" >&2; exit 2 ;;
+    esac
+done
 
 cargo build --release
 cargo clippy --workspace --all-targets -- -D warnings
@@ -47,3 +65,9 @@ cargo test -q --test daemon_protocol
 cargo test -q --test daemon_hostile_client
 cargo test -q --test reverse_exec
 cargo test -q --test reverse_golden
+cargo test -q --test script_recovery
+cargo test -q --test fleet_smoke
+
+if [ "$soak" = 1 ]; then
+    cargo test -q --release --test fleet_soak -- --ignored --nocapture
+fi

@@ -10,6 +10,15 @@
 //!        ldb <file.c>... --no-wire-cache         word-at-a-time wire (no block cache)
 //!        ldb <file.c>... --trace <path>          flight recorder: JSONL journal to path
 //!        ldb <file.c>... --checkpoint-every <n>  checkpoint every n steps during `c`
+//!        ldb <file.c>... --script <path>         headless batch mode: run the script, exit typed
+//!
+//! `--script` runs a command script (the `run_script` replay format)
+//! instead of the interactive loop, prints the transcript, and exits
+//! with a typed status a fleet supervisor can branch on: 0 clean, 3 at
+//! least one `error:` line, 4 a command panicked and was quarantined,
+//! 5 the target's wire was lost. (1 remains the internal-error exit and
+//! 2 the usage exit, so shells can tell a failed *session* from a
+//! failed *invocation*.)
 //!
 //! `--fault` wraps the debugger's wire in a deterministic fault injector
 //! (keys: seed, drop, corrupt, truncate, dup, delay, disconnect); the
@@ -88,6 +97,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut chaos: Option<ChaosConfig> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut trace_path: Option<String> = None;
+    let mut script_path: Option<String> = None;
     let mut wire_cache = true;
     let mut ps_fuel: Option<u64> = None;
     let mut ps_mem: Option<u64> = None;
@@ -126,6 +136,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--trace" => {
                 i += 1;
                 trace_path = Some(args.get(i).ok_or("--trace needs a path")?.clone());
+            }
+            "--script" => {
+                i += 1;
+                script_path = Some(args.get(i).ok_or("--script needs a path")?.clone());
             }
             "--arch" => {
                 i += 1;
@@ -252,6 +266,20 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         ldb.attach_plan(maybe_faulty(wire, &fault, &trace), &frame_ps, &modules, Some(handle))?;
     }
     warn_quarantined(&ldb);
+    // Headless batch mode: run the script, print the transcript, exit
+    // with the typed BatchOutcome code. No banners — the transcript is
+    // the whole contract, byte-identical to a run_script replay.
+    if let Some(path) = &script_path {
+        let text = std::fs::read_to_string(path)?;
+        let transcript = ldb_core::run_script(&mut ldb, &text);
+        print!("{transcript}");
+        let outcome = ldb_core::BatchOutcome::classify(&ldb, &transcript);
+        trace.flush();
+        if trace.write_failed() {
+            eprintln!("ldb: warning: trace journal write failed; the file is incomplete");
+        }
+        std::process::exit(outcome.exit_code());
+    }
     if let Some(f) = &fault {
         println!("fault injection active on the wire: {f:?}");
     }

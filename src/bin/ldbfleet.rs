@@ -1,0 +1,158 @@
+//! `ldbfleet`: the headless debugging fleet — thousands of supervised
+//! scripted sessions, crash bucketing, and chaos-seed minimization.
+//!
+//! ```text
+//! Usage: ldbfleet [--sessions N] [--workers N] [--retries N]
+//!                 [--cap N] [--mem-budget BYTES]
+//!                 [--report PATH] [--buckets PATH] [--trace PATH]
+//!                 [--minimize]
+//! ```
+//!
+//! Runs `N` sessions of the built-in demo corpus (healthy, chaos,
+//! script-error, wire-fault, panic, and wedge sessions over all four
+//! architectures) across a worker pool bounded by core count, and
+//! prints the canonical bucket report. `--report` writes the
+//! per-session JSONL, `--buckets` the bucket report, `--trace` a
+//! fleet-layer flight-recorder journal. `--minimize` additionally
+//! bisects the first bucketed chaos session's corruption schedule to a
+//! minimal reproducer.
+//!
+//! Both reports are deterministic: two runs with the same arguments
+//! produce byte-identical bytes, whatever the machine's core count or
+//! scheduling (wall-clock is printed to stderr, never into a report).
+
+use std::io::Write;
+use std::time::Instant;
+
+use ldb_suite::core::ModuleCache;
+use ldb_suite::fleet::{corpus, minimize, report, FleetConfig};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ldbfleet: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ldbfleet [--sessions N] [--workers N] [--retries N] [--cap N] \
+         [--mem-budget BYTES] [--report PATH] [--buckets PATH] [--trace PATH] [--minimize]"
+    );
+    std::process::exit(2);
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = FleetConfig::default();
+    let mut sessions = 256usize;
+    let mut report_path: Option<String> = None;
+    let mut buckets_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut do_minimize = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sessions" => {
+                i += 1;
+                sessions = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--workers" => {
+                i += 1;
+                cfg.workers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--retries" => {
+                i += 1;
+                cfg.max_retries =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cap" => {
+                i += 1;
+                cfg.session_cap =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--mem-budget" => {
+                i += 1;
+                cfg.memory_budget =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--report" => {
+                i += 1;
+                report_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--buckets" => {
+                i += 1;
+                buckets_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--minimize" => do_minimize = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if let Some(path) = &trace_path {
+        let file = std::fs::File::create(path)?;
+        cfg.trace = ldb_trace_for_fleet(Box::new(std::io::BufWriter::new(file)));
+    }
+
+    let specs = corpus::demo_corpus(sessions);
+    eprintln!("ldbfleet: {sessions} sessions across {} workers", cfg.workers);
+    let started = Instant::now();
+    let results = ldb_suite::fleet::run_fleet(&cfg, &specs)?;
+    let wall = started.elapsed();
+    cfg.trace.flush();
+
+    let bucket_report = report::bucket_report(&results);
+    print!("{bucket_report}");
+    eprintln!("ldbfleet: completed in {:.2}s", wall.as_secs_f64());
+    if let Some(path) = &report_path {
+        std::fs::File::create(path)?.write_all(report::session_report(&results).as_bytes())?;
+    }
+    if let Some(path) = &buckets_path {
+        std::fs::File::create(path)?.write_all(bucket_report.as_bytes())?;
+    }
+
+    if do_minimize {
+        let Some(victim) = results
+            .iter()
+            .find(|r| r.bucket.is_some() && specs[r.id as usize].chaos.is_some())
+        else {
+            eprintln!("ldbfleet: no bucketed chaos session to minimize");
+            return Ok(());
+        };
+        let spec = &specs[victim.id as usize];
+        eprintln!("ldbfleet: minimizing {} (bucket {})", spec.name, victim.bucket.as_deref().unwrap_or(""));
+        let cache = ModuleCache::new();
+        let prepared = std::sync::Arc::new(
+            ldb_suite::fleet::prepare_target(spec.arch, &spec.source, &cache)
+                .map_err(|e| format!("prepare: {e}"))?,
+        );
+        match minimize::minimize_chaos(spec, &prepared, &cfg) {
+            Ok(m) => {
+                println!(
+                    "minimized {}: {} of {} corruption events suffice \
+                     (window {}..{}, {} runs, bucket {})",
+                    spec.name,
+                    m.window_events,
+                    m.full_events,
+                    m.window.0,
+                    m.window.1,
+                    m.runs,
+                    m.bucket
+                );
+                println!("replay: --chaos {}", m.replay);
+            }
+            Err(skip) => eprintln!("ldbfleet: minimization skipped: {skip}"),
+        }
+    }
+    Ok(())
+}
+
+/// A fleet-layer trace writing JSONL to `w` (wall-clock off: the journal
+/// should diff cleanly between runs even though record order may not).
+fn ldb_trace_for_fleet(w: Box<dyn std::io::Write + Send>) -> ldb_suite::trace::Trace {
+    ldb_suite::trace::Trace::with_writer(ldb_suite::trace::TraceConfig::default(), w)
+}

@@ -7,6 +7,7 @@ pub use ldb_cc as cc;
 pub use ldb_compress as compress;
 pub use ldb_core as core;
 pub use ldb_exprserver as exprserver;
+pub use ldb_fleet as fleet;
 pub use ldb_machine as machine;
 pub use ldb_nub as nub;
 pub use ldb_postscript as postscript;

@@ -81,7 +81,7 @@ fn run_chaos_session(name: &str, p: &CompiledProgram, seed: u64) -> (String, ldb
     let handle = spawn(&p.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
     let wire = handle.connect_channel().unwrap();
     let mut ldb = Ldb::new();
-    ldb.set_chaos(Some(ChaosConfig { seed, rate: RATE }));
+    ldb.set_chaos(Some(ChaosConfig { seed, rate: RATE, window: None }));
     ldb.attach_plan_with_config(Box::new(wire), &frame_ps, &modules, Some(handle), quiet_client())
         .unwrap_or_else(|e| panic!("{name} seed {seed}: attach: {e}"));
     let transcript = script::run_script(&mut ldb, SCRIPT);
@@ -184,7 +184,7 @@ fn run_rewind_session(name: &str, p: &CompiledProgram, seed: u64) -> (String, ld
     let handle = spawn(&p.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
     let wire = handle.connect_channel().unwrap();
     let mut ldb = Ldb::new();
-    ldb.set_chaos(Some(ChaosConfig { seed, rate: RATE }));
+    ldb.set_chaos(Some(ChaosConfig { seed, rate: RATE, window: None }));
     ldb.set_checkpoint_every(Some(50));
     ldb.attach_plan_with_config(Box::new(wire), &frame_ps, &modules, Some(handle), quiet_client())
         .unwrap_or_else(|e| panic!("{name} seed {seed}: attach: {e}"));

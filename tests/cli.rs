@@ -323,3 +323,69 @@ int main(void) {
     assert!(out.contains("clamp"), "{out}");
     assert!(out.contains("main"), "{out}");
 }
+
+// ---------------------------------------------------------------------------
+// Headless batch mode (`--script`): typed process exit codes.
+// ---------------------------------------------------------------------------
+
+/// Run `ldb` with a `--script` file and return (stdout, exit code).
+fn run_ldb_batch(extra_args: &[&str], script: &str) -> (String, i32) {
+    let dir = std::env::temp_dir().join("ldb-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Unique per content so parallel tests don't race on one file.
+    let path = dir.join(format!("script-{:x}.ldb", {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in script.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^ extra_args.len() as u64
+    }));
+    std::fs::write(&path, script).unwrap();
+    let f = write_src("fib.c", FIB);
+    let mut args = vec![f.as_str(), "--arch", "mips", "--script", path.to_str().unwrap()];
+    args.extend_from_slice(extra_args);
+    let out = Command::new(env!("CARGO_BIN_EXE_ldb"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .output()
+        .expect("spawn ldb");
+    (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.code().unwrap_or(-1))
+}
+
+#[test]
+fn batch_clean_run_exits_zero_without_banners() {
+    let (out, code) = run_ldb_batch(&[], "b fib 4\nc\np i\nc\n");
+    assert_eq!(code, 0, "clean batch run must exit 0:\n{out}");
+    assert!(out.contains("(ldb) p i\ni = 2"), "{out}");
+    // Batch mode prints the transcript and nothing else: no interactive
+    // banner, no fault/chaos notices.
+    assert!(!out.contains("ldb: "), "banner leaked into batch transcript:\n{out}");
+    assert!(out.starts_with("(ldb) "), "transcript must start at the first command:\n{out}");
+}
+
+#[test]
+fn batch_script_error_exits_three() {
+    let (out, code) = run_ldb_batch(&[], "b fib 4\nc\np nosuchvar\nc\n");
+    assert_eq!(code, 3, "script-error batch run must exit 3:\n{out}");
+    assert!(out.contains("error: "), "{out}");
+}
+
+#[test]
+fn batch_quarantined_panic_exits_four_and_recovers() {
+    let (out, code) = run_ldb_batch(&[], "b fib 4\nc\n__panic batch drill\np i\nc\n");
+    assert_eq!(code, 4, "panic-quarantine batch run must exit 4:\n{out}");
+    assert!(out.contains("error: command quarantined (internal panic: batch drill)"), "{out}");
+    // The command *after* the panic still ran: the loop recovered.
+    assert!(out.contains("i = 2"), "post-panic command did not run:\n{out}");
+}
+
+#[test]
+fn batch_wire_loss_exits_five() {
+    let (out, code) =
+        run_ldb_batch(&["--fault", "seed=1,disconnect=30"], "b fib 4\nc\nbt\nc\nbt\nc\n");
+    assert_eq!(code, 5, "wire-loss batch run must exit 5:\n{out}");
+    assert!(out.contains("error: "), "{out}");
+}

@@ -1,0 +1,194 @@
+//! Fleet smoke: the 64-session demo corpus (every script template ×
+//! every architecture) exercises the whole supervised pipeline in a few
+//! seconds — outcome coverage, deterministic reports, the retry policy,
+//! graceful shedding, the per-session journal cross-check, and one
+//! end-to-end chaos-seed minimization.
+//!
+//! The 10k-scale version of the same assertions lives in
+//! `tests/fleet_soak.rs` behind `#[ignore]` (`scripts/check.sh --soak`).
+
+use std::sync::Arc;
+
+use ldb_suite::core::ModuleCache;
+use ldb_suite::fleet::{
+    corpus, minimize, prepare_target, report, run_fleet, FleetConfig, FleetOutcome, SessionResult,
+    ShedReason,
+};
+use ldb_suite::machine::Arch;
+
+const SMOKE_SESSIONS: usize = 64;
+
+fn smoke_config(workers: usize) -> FleetConfig {
+    FleetConfig { workers, ..FleetConfig::default() }
+}
+
+fn run_smoke(workers: usize) -> Vec<SessionResult> {
+    let specs = corpus::demo_corpus(SMOKE_SESSIONS);
+    run_fleet(&smoke_config(workers), &specs).expect("fleet run")
+}
+
+#[test]
+fn demo_corpus_covers_every_outcome_and_arch() {
+    let results = run_smoke(4);
+    assert_eq!(results.len(), SMOKE_SESSIONS);
+    // Results come back dense and ordered whatever the completion order.
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.id as usize, i, "results must be sorted by id");
+    }
+
+    let counts = report::outcome_counts(&results);
+    let count = |tok: &str| counts.iter().find(|(o, _)| o.token() == tok).map_or(0, |(_, n)| *n);
+    assert!(count("clean") > 0, "no clean sessions: {counts:?}");
+    assert!(count("script-error") > 0, "no script errors: {counts:?}");
+    assert!(count("panic-quarantined") > 0, "no quarantines: {counts:?}");
+    assert!(count("wire-lost") > 0, "no wire losses: {counts:?}");
+    assert!(count("wedged") > 0, "no wedges: {counts:?}");
+
+    // All four architectures participated (the wheel rotates arch every
+    // 16 sessions; 64 sessions = full coverage).
+    let specs = corpus::demo_corpus(SMOKE_SESSIONS);
+    for arch in Arch::ALL {
+        assert!(specs.iter().any(|s| s.arch == arch), "{arch:?} missing from corpus");
+    }
+
+    // Every bucketed outcome carries a bucket id and a readable key;
+    // clean sessions carry neither.
+    for r in &results {
+        if r.outcome.is_bucketed() {
+            assert!(r.bucket.is_some() && r.bucket_key.is_some(), "{}: unbucketed {:?}", r.name, r.outcome);
+            assert_eq!(r.bucket.as_deref().unwrap().len(), 16, "{}: bucket id shape", r.name);
+        } else {
+            assert!(r.bucket.is_none(), "{}: {:?} must not bucket", r.name, r.outcome);
+        }
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs_and_worker_counts() {
+    let a = run_smoke(4);
+    let b = run_smoke(2);
+    assert_eq!(
+        report::session_report(&a),
+        report::session_report(&b),
+        "session JSONL must not depend on scheduling or worker count"
+    );
+    assert_eq!(
+        report::bucket_report(&a),
+        report::bucket_report(&b),
+        "bucket report must not depend on scheduling or worker count"
+    );
+}
+
+#[test]
+fn retries_booked_only_against_injected_transient_faults() {
+    let specs = corpus::demo_corpus(SMOKE_SESSIONS);
+    let results = run_fleet(&smoke_config(4), &specs).expect("fleet run");
+    let mut retried = 0u32;
+    for r in &results {
+        if r.retries > 0 {
+            retried += r.retries;
+            let spec = &specs[r.id as usize];
+            assert!(
+                spec.fault.is_some(),
+                "{}: retried without a fault injector (outcome {:?})",
+                r.name,
+                r.outcome
+            );
+        }
+        assert_eq!(r.attempts, r.retries + 1, "{}: attempt arithmetic", r.name);
+    }
+    // The wheel's injected-disconnect sessions always lose the wire, so
+    // the retry path is actually exercised, not vacuously true.
+    assert!(retried > 0, "no retries booked; the transient path went untested");
+}
+
+#[test]
+fn session_cap_and_memory_budget_shed_deterministically() {
+    let specs = corpus::demo_corpus(SMOKE_SESSIONS);
+
+    let cap = 10usize;
+    let capped = run_fleet(
+        &FleetConfig { session_cap: Some(cap), ..smoke_config(4) },
+        &specs,
+    )
+    .expect("capped run");
+    for r in &capped {
+        let want_shed = r.id as usize >= cap;
+        let is_shed = matches!(r.outcome, FleetOutcome::Shed(ShedReason::SessionCap));
+        assert_eq!(is_shed, want_shed, "{}: cap shedding must be by corpus index", r.name);
+        if is_shed {
+            assert!(r.transcript.is_empty() && r.health.is_none() && r.journal.is_none());
+        }
+    }
+
+    // A one-byte budget sheds everything — typed outcomes, no errors.
+    let starved =
+        run_fleet(&FleetConfig { memory_budget: Some(1), ..smoke_config(4) }, &specs)
+            .expect("starved run");
+    assert!(starved
+        .iter()
+        .all(|r| matches!(r.outcome, FleetOutcome::Shed(ShedReason::MemoryBudget))));
+
+    // Shed decisions are a pure function of the spec: same inputs, same
+    // report bytes.
+    let capped2 = run_fleet(
+        &FleetConfig { session_cap: Some(cap), ..smoke_config(2) },
+        &specs,
+    )
+    .expect("capped rerun");
+    assert_eq!(report::session_report(&capped), report::session_report(&capped2));
+}
+
+#[test]
+fn journal_cross_check_holds_for_every_executed_session() {
+    let results = run_smoke(4);
+    for r in &results {
+        if matches!(r.outcome, FleetOutcome::Shed(_)) {
+            continue;
+        }
+        let j = r.journal.unwrap_or_else(|| panic!("{}: executed session lost its journal", r.name));
+        assert!(j.parsed, "{}: journal line failed strict schema validation", r.name);
+        // Wedged sessions can die mid-script (the worker never answers),
+        // so only settled outcomes must balance the command ledger.
+        if !matches!(r.outcome, FleetOutcome::Wedged) {
+            assert!(
+                j.consistent(),
+                "{}: journal disagrees with session bookkeeping: {j:?}",
+                r.name
+            );
+        }
+    }
+}
+
+#[test]
+fn minimization_shrinks_a_chaos_seed_into_the_same_bucket() {
+    let specs = corpus::demo_corpus(SMOKE_SESSIONS);
+    let cfg = smoke_config(4);
+    let results = run_fleet(&cfg, &specs).expect("fleet run");
+    let victim = results
+        .iter()
+        .find(|r| r.bucket.is_some() && specs[r.id as usize].chaos.is_some())
+        .expect("the demo corpus always buckets at least one chaos session");
+    let spec = &specs[victim.id as usize];
+    let cache = ModuleCache::new();
+    let prepared =
+        Arc::new(prepare_target(spec.arch, &spec.source, &cache).expect("prepare target"));
+
+    let m = minimize::minimize_chaos(spec, &prepared, &cfg).expect("minimization");
+    assert_eq!(&m.bucket, victim.bucket.as_ref().unwrap(), "minimized seed changed bucket");
+    assert!(
+        m.window_events <= m.full_events,
+        "minimizer grew the schedule: {} > {}",
+        m.window_events,
+        m.full_events
+    );
+    assert!(m.window_events > 0, "an empty schedule cannot reproduce a chaos bucket");
+    // The replay string is a valid `--chaos` spec that lands in the same
+    // bucket deterministically.
+    let chaos = ldb_suite::core::ChaosConfig::parse(&m.replay)
+        .unwrap_or_else(|e| panic!("replay spec `{}` unparseable: {e}", m.replay));
+    let mut replay_spec = spec.clone();
+    replay_spec.chaos = Some(chaos);
+    let rerun = ldb_suite::fleet::run_session(&replay_spec, &prepared, &cfg, victim.id);
+    assert_eq!(rerun.bucket.as_ref(), Some(&m.bucket), "replay spec did not reproduce");
+}

@@ -1,0 +1,105 @@
+//! Fleet soak: the acceptance gate at scale. 10 000 supervised sessions,
+//! twice with the same corpus, asserting the canonical reports are
+//! byte-identical, no worker thread leaks, retries stay booked against
+//! injected faults only, and at least one chaos seed minimizes into its
+//! own bucket.
+//!
+//! Ignored by default — debug builds would take many minutes. Run it
+//! release-mode via `scripts/check.sh --soak`, or directly:
+//!
+//! ```text
+//! cargo test -q --release --test fleet_soak -- --ignored
+//! ```
+
+use std::sync::Arc;
+
+use ldb_suite::core::ModuleCache;
+use ldb_suite::fleet::{corpus, minimize, prepare_target, report, run_fleet, FleetConfig};
+
+const SOAK_SESSIONS: usize = 10_000;
+
+/// Live threads in this process, per the kernel.
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").map_or(1, |d| d.count())
+}
+
+#[test]
+#[ignore = "10k-session soak; run via scripts/check.sh --soak"]
+fn soak_ten_thousand_sessions_deterministic_and_leak_free() {
+    let specs = corpus::demo_corpus(SOAK_SESSIONS);
+    let cfg = FleetConfig::default();
+    let threads_before = thread_count();
+
+    let started = std::time::Instant::now();
+    let first = run_fleet(&cfg, &specs).expect("first soak run");
+    let first_wall = started.elapsed();
+    eprintln!(
+        "soak: first pass {} sessions in {:.1}s on {} workers",
+        SOAK_SESSIONS,
+        first_wall.as_secs_f64(),
+        cfg.workers
+    );
+
+    // Every session ran (or shed as a typed outcome) — nothing lost.
+    assert_eq!(first.len(), SOAK_SESSIONS);
+
+    // The worker pool wound down completely: thread count back where it
+    // started (the pool is scoped, so anything left is a leak).
+    let threads_after = thread_count();
+    assert_eq!(
+        threads_after, threads_before,
+        "leaked threads: {threads_before} before, {threads_after} after"
+    );
+
+    // Retries only ever book against injector-marked transient faults.
+    for r in &first {
+        if r.retries > 0 {
+            assert!(
+                specs[r.id as usize].fault.is_some(),
+                "{}: retried without a fault injector",
+                r.name
+            );
+        }
+    }
+
+    // Second pass, same corpus and policy: byte-identical canon.
+    let second = run_fleet(&cfg, &specs).expect("second soak run");
+    assert_eq!(
+        report::bucket_report(&first),
+        report::bucket_report(&second),
+        "bucket report must be byte-identical across same-seed runs"
+    );
+    assert_eq!(
+        report::session_report(&first),
+        report::session_report(&second),
+        "session JSONL must be byte-identical across same-seed runs"
+    );
+    assert_eq!(thread_count(), threads_before, "second pass leaked threads");
+
+    // At least one chaos seed minimizes to a (no larger) reproducer that
+    // lands in the same bucket.
+    let victim = first
+        .iter()
+        .find(|r| r.bucket.is_some() && specs[r.id as usize].chaos.is_some())
+        .expect("10k sessions must bucket at least one chaos session");
+    let spec = &specs[victim.id as usize];
+    let cache = ModuleCache::new();
+    let prepared =
+        Arc::new(prepare_target(spec.arch, &spec.source, &cache).expect("prepare target"));
+    let m = minimize::minimize_chaos(spec, &prepared, &cfg).expect("minimization");
+    assert_eq!(&m.bucket, victim.bucket.as_ref().unwrap(), "minimized seed changed bucket");
+    assert!(m.window_events <= m.full_events);
+    eprintln!(
+        "soak: minimized {} from {} to {} corruption events in {} runs",
+        spec.name, m.full_events, m.window_events, m.runs
+    );
+
+    // Sanity on the outcome mix: the wheel guarantees each class appears.
+    let counts = report::outcome_counts(&first);
+    for tok in ["clean", "script-error", "panic-quarantined", "wire-lost", "wedged"] {
+        assert!(
+            counts.iter().any(|(o, n)| o.token() == tok && *n > 0),
+            "outcome {tok} missing at 10k scale: {counts:?}"
+        );
+    }
+}

@@ -74,7 +74,8 @@ fn every_record_from_a_real_session_round_trips() {
             layers[rec.layer.idx()] = true;
         }
         // An in-process session exercises the three session layers; the
-        // net layer belongs to the daemon's TCP edge.
+        // net layer belongs to the daemon's TCP edge and the fleet layer
+        // to the `ldbfleet` supervisor, so neither speaks here.
         for l in [Layer::Wire, Layer::Ps, Layer::Dbg] {
             assert!(layers[l.idx()], "{arch}: layer {} never spoke: {layers:?}", l.name());
         }
@@ -95,7 +96,13 @@ fn cross_check_is_not_applicable_when_wire_debug_is_filtered() {
     let handle = spawn(&p.linked.image, NubConfig { wait_at_pause: true, ..Default::default() });
     let wire = handle.connect_channel().unwrap();
     let trace = Trace::new(TraceConfig {
-        min_sev: [Severity::Info, Severity::Debug, Severity::Debug, Severity::Debug],
+        min_sev: [
+            Severity::Info,
+            Severity::Debug,
+            Severity::Debug,
+            Severity::Debug,
+            Severity::Debug,
+        ],
         ..TraceConfig::default()
     });
     let mut ldb = Ldb::new();
